@@ -1,0 +1,145 @@
+"""Ablation A2 — table storage: hash answer store vs. answer tries.
+
+Section 4.5 describes the answer-store design that was "currently
+being developed" for XSB: "trie-based indexing … integrated with the
+actual storing of the answers, which will both decrease the space and
+the time necessary for saving answers."  The engine implements both
+stores behind one flag, so this ablation measures them head to head:
+
+* time: tabled path over cycles (answer-insert + dup-check heavy);
+* space: trie node count vs. stored answer terms, on answers with
+  heavily shared prefixes (where the trie's sharing pays).
+"""
+
+from repro import Engine
+from repro.bench import cycle_edges, format_table, time_call
+from repro.index import AnswerTrie
+from repro.terms import canonical_key
+
+PATH = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+"""
+
+SIZE = 512
+
+
+def run_with_store(store, edges):
+    engine = Engine(answer_store=store)
+    engine.consult_string(PATH)
+    engine.add_facts("edge", edges)
+    return engine.count("path(1, X)")
+
+
+def test_stores_agree_and_compare(benchmark):
+    edges = cycle_edges(SIZE)
+    benchmark(run_with_store, "hash", edges)
+    t_hash, n1 = time_call(run_with_store, "hash", edges, repeat=3)
+    t_trie, n2 = time_call(run_with_store, "trie", edges, repeat=3)
+    assert n1 == n2 == SIZE
+    print()
+    print(
+        format_table(
+            ["store", "ms"],
+            [("hash", t_hash * 1e3), ("trie", t_trie * 1e3)],
+        )
+    )
+    # neither store should be wildly off the other on this workload
+    assert t_trie < t_hash * 4
+    assert t_hash < t_trie * 4
+
+
+def test_trie_shares_answer_prefixes(benchmark):
+    """Space: answers path(1, i) share the functor and first argument;
+    the trie stores that prefix once."""
+    from repro.lang import parse_term
+
+    def build():
+        trie = AnswerTrie()
+        for i in range(1000):
+            trie.insert(parse_term(f"path(1, {i})"))
+        return trie.node_count()
+
+    nodes = benchmark(build)
+    # 1000 answers x 3 tokens each = 3000 token instances; shared
+    # storage keeps ~1 node per answer plus the shared prefix.
+    assert nodes < 1000 + 5
+    print(f"\n1000 answers stored in {nodes} trie nodes (3000 tokens flat)")
+
+
+def test_trie_dup_check_is_single_traversal(benchmark):
+    """The integrated check-and-store: inserting a duplicate costs one
+    traversal and adds nothing."""
+    from repro.lang import parse_term
+
+    trie = AnswerTrie()
+    term = parse_term("path(1, 2)")
+    trie.insert(term)
+    before = trie.node_count()
+
+    def dup():
+        return trie.insert(parse_term("path(1, 2)"))
+
+    assert benchmark(dup) is False
+    assert trie.node_count() == before
+    assert len(trie) == 1
+
+
+def test_subgoal_table_is_variant_keyed(benchmark):
+    """The call-pattern index (section 4.5): variant calls share one
+    table; non-variant calls get their own."""
+
+    def check():
+        engine = Engine()
+        engine.consult_string(PATH)
+        engine.add_facts("edge", cycle_edges(16))
+        engine.query("path(1, X)")
+        engine.query("path(1, Y)")  # variant of the first: same table
+        engine.query("path(2, X)")  # different constant: new table
+        engine.query("path(X, Y)")  # open call: new table
+        return engine.table_statistics()["subgoals"]
+
+    assert benchmark(check) == 3
+
+
+def test_subgoal_index_modes_compare(benchmark):
+    """Call-pattern index: variant-key hash vs subgoal trie."""
+
+    def run(mode):
+        engine = Engine(subgoal_index=mode)
+        engine.consult_string(PATH)
+        engine.add_facts("edge", cycle_edges(128))
+        # many distinct subgoal variants: one bound call per node
+        total = 0
+        for node in range(1, 129):
+            total += engine.count(f"path({node}, X)")
+        return total
+
+    benchmark(run, "dict")
+    t_dict, n1 = time_call(run, "dict", repeat=2)
+    t_trie, n2 = time_call(run, "trie", repeat=2)
+    assert n1 == n2 == 128 * 128
+    print(
+        f"\nsubgoal check-in, 128 variants: dict {t_dict*1e3:.1f} ms, "
+        f"trie {t_trie*1e3:.1f} ms"
+    )
+    assert t_trie < t_dict * 4
+    assert t_dict < t_trie * 4
+
+
+def test_canonical_keys_are_stable_across_runs(benchmark):
+    from repro.lang import parse_term
+
+    def check():
+        a = canonical_key(parse_term("p(X, f(X, Y), 3)"))
+        b = canonical_key(parse_term("p(A, f(A, B), 3)"))
+        return a == b
+
+    assert benchmark(check)
+
+
+if __name__ == "__main__":
+    edges = cycle_edges(SIZE)
+    print("hash:", time_call(run_with_store, "hash", edges, repeat=3)[0])
+    print("trie:", time_call(run_with_store, "trie", edges, repeat=3)[0])

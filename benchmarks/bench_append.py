@@ -1,0 +1,138 @@
+"""Experiment S5a — the append/3 comparison of section 5.
+
+The paper runs ``append/3`` top-down (SLD in XSB, pipelining in CORAL)
+and bottom-up (SLG; magic-compiled CORAL):
+
+* "As expected, SLD was the fastest of all approaches."
+* "In version 1.4 of XSB, table copy optimizations for ground
+  structures are not complete.  As a result, SLG is quadratic for this
+  query."  -> SLG's time grows ~n^2 while the others grow ~n.
+* "Pipelined CORAL was faster than SLG for lists of length greater
+  than about 10, while CORAL compiled bottom-up … was faster than SLG
+  for lists of length greater than about 200 or so."  -> two
+  crossovers exist, pipelined first; exact crossover lengths are
+  substrate constants and differ here (recorded in EXPERIMENTS.md).
+
+Tiers: SLD = untabled engine; SLG = tabled engine (answers copied to
+table space per suffix — the quadratic cost the paper describes);
+pipelined = the interpreted tuple-at-a-time meta-interpreter;
+bottom-up = magic-rewritten semi-naive evaluation.
+"""
+
+from conftest import fresh_engine
+from repro.bench import format_table, time_call
+from repro.bottomup import parse_program
+from repro.bottomup import query as bottomup_query
+from repro.engine.interp import MetaInterpreter
+
+APPEND_SLD = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+"""
+
+APPEND_SLG = ":- table app/3.\n" + APPEND_SLD
+
+LENGTHS = [8, 32, 128, 256]
+
+
+def _list_text(n):
+    return "[" + ",".join(str(i) for i in range(n)) + "]"
+
+
+def sld_run(n):
+    engine = fresh_engine(APPEND_SLD)
+    return engine.count(f"app({_list_text(n)}, [x], R)")
+
+
+def slg_run(n):
+    engine = fresh_engine(APPEND_SLG)
+    return engine.count(f"app({_list_text(n)}, [x], R)")
+
+
+def pipelined_run(n):
+    engine = fresh_engine(APPEND_SLD)
+    interp = MetaInterpreter(engine)
+    return interp.count(f"app({_list_text(n)}, [x], R)")
+
+
+def bottomup_run(n):
+    program, _ = parse_program(APPEND_SLD, check_safety=False)
+    goal_list = _make_value_list(range(n))
+    results = bottomup_query(
+        program, {}, "app", (goal_list, _make_value_list(["x"]), None)
+    )
+    return len(results)
+
+
+def _make_value_list(items):
+    out = "[]"
+    for item in reversed(list(items)):
+        out = (".", item, out)
+    return out
+
+
+def sweep():
+    rows = []
+    for n in LENGTHS:
+        sld, c1 = time_call(sld_run, n, repeat=2)
+        slg, c2 = time_call(slg_run, n, repeat=2)
+        pipe, c3 = time_call(pipelined_run, n, repeat=2)
+        bottom, c4 = time_call(bottomup_run, n, repeat=2)
+        assert c1 == c2 == c3 == c4 == 1
+        rows.append((n, sld * 1e3, slg * 1e3, pipe * 1e3, bottom * 1e3))
+    return rows
+
+
+def test_append_sld_fastest(benchmark):
+    benchmark(sld_run, LENGTHS[-1])
+    rows = sweep()
+    print()
+    print("append/3: times in ms")
+    print(
+        format_table(
+            ["length", "SLD", "SLG", "pipelined", "bottom-up"], rows
+        )
+    )
+    # SLD is the fastest approach at every length beyond tiny ones.
+    for _, sld, slg, pipe, bottom in rows[1:]:
+        assert sld <= slg and sld <= pipe and sld <= bottom
+
+
+def test_append_slg_quadratic(benchmark):
+    benchmark(slg_run, 128)
+    small, _ = time_call(slg_run, 64, repeat=3)
+    large, _ = time_call(slg_run, 256, repeat=3)
+    sld_small, _ = time_call(sld_run, 64, repeat=3)
+    sld_large, _ = time_call(sld_run, 256, repeat=3)
+    # 4x the length: SLD grows ~4x (linear); SLG clearly super-linearly.
+    slg_growth = large / small
+    sld_growth = sld_large / sld_small
+    assert slg_growth > sld_growth * 1.6
+    assert slg_growth > 6  # quadratic would be ~16x; demand well above 4x
+
+
+def test_append_crossovers_exist(benchmark):
+    """Linear-but-slower tiers eventually beat the quadratic SLG."""
+    benchmark(bottomup_run, 128)
+    n = 512
+    slg, _ = time_call(slg_run, n, repeat=2)
+    pipe, _ = time_call(pipelined_run, n, repeat=2)
+    bottom, _ = time_call(bottomup_run, n, repeat=2)
+    assert pipe < slg
+    assert bottom < slg
+
+
+def test_append_all_modes_same_answer(benchmark):
+    def check():
+        engine = fresh_engine(APPEND_SLG)
+        sols = engine.query("app([1,2], [3], R)")
+        assert sols == [{"R": [1, 2, 3]}]
+        sols = engine.query("app(X, Y, [1,2])")
+        return len(sols)
+
+    assert benchmark(check) == 3
+
+
+if __name__ == "__main__":
+    for row in sweep():
+        print(row)

@@ -1,0 +1,75 @@
+"""Experiment F2 — Figure 2 of the paper.
+
+SLDNF evaluation of ``win(1)`` over a complete binary tree calls only
+part of the game tree: "only 13 out of 31 possible subgoals are
+evaluated" at height 4, and in general the number of called subgoals
+is G(n) = 2^(floor(n/2)+2) - 3 + 2(n/2 - floor(n/2)) — the exact
+formula of the paper's footnote 9.
+
+This benchmark instruments the engine's call counter and checks the
+measured distinct-subgoal counts against the formula *exactly*, while
+also confirming default SLG negation evaluates the whole tree.
+"""
+
+from conftest import WIN_SLDNF, WIN_TNOT, fresh_engine
+from repro.bench import binary_tree_edges, format_table
+
+
+def paper_g(n):
+    """Footnote 9: G(n) = 2^(⌊n/2⌋+2) − 3 + 2(n/2 − ⌊n/2⌋)."""
+    return 2 ** (n // 2 + 2) - 3 + 2 * (n / 2 - n // 2)
+
+
+def sldnf_distinct_calls(height):
+    engine = fresh_engine(
+        WIN_SLDNF, [("move", binary_tree_edges(height))]
+    )
+    engine.start_counting(log_subgoals=True)
+    engine.has_solution("win(1)")
+    engine.stop_counting()
+    return engine.distinct_subgoals("win", 1)
+
+
+def slg_distinct_subgoals(height):
+    engine = fresh_engine(WIN_TNOT, [("move", binary_tree_edges(height))])
+    engine.count("win(1)")  # drain: complete the win(1) table
+    return engine.table_statistics()["subgoals"]
+
+
+def test_figure2_sldnf_call_counts(benchmark):
+    benchmark(sldnf_distinct_calls, 6)
+    rows = []
+    for height in range(1, 9):
+        measured = sldnf_distinct_calls(height)
+        expected = paper_g(height)
+        nodes = 2 ** (height + 1) - 1
+        rows.append((height, nodes, measured, expected))
+        assert measured == expected, (height, measured, expected)
+    print()
+    print("Figure 2: SLDNF calls to win/1 over complete binary trees")
+    print(format_table(["height", "nodes", "called", "G(n)"], rows))
+    # the paper's headline instance: 13 of 31 subgoals at height 4
+    assert rows[3][1] == 31 and rows[3][2] == 13
+
+
+def test_figure2_slg_evaluates_everything(benchmark):
+    def slg_counts():
+        return [slg_distinct_subgoals(h) for h in (3, 4, 5)]
+
+    counts = benchmark(slg_counts)
+    # SLG computes the full game: one table per node (2^(h+1) - 1)
+    assert counts == [15, 31, 63]
+
+
+def test_figure2_growth_rates(benchmark):
+    """SLDNF grows ~sqrt(2)^n, SLG ~2^n: the quotient widens."""
+    benchmark(sldnf_distinct_calls, 8)
+    sldnf = [sldnf_distinct_calls(h) for h in (4, 6, 8)]
+    total = [2 ** (h + 1) - 1 for h in (4, 6, 8)]
+    fractions = [called / nodes for called, nodes in zip(sldnf, total)]
+    assert fractions[0] > fractions[1] > fractions[2]
+
+
+if __name__ == "__main__":
+    for h in range(1, 10):
+        print(h, sldnf_distinct_calls(h), paper_g(h))

@@ -1,0 +1,133 @@
+"""Experiment S5f — section 4.6: bulk-load paths.
+
+Three ways to get a relation into the engine, fastest last:
+
+* the **general reader**: full HiLog parse of ``fact(...)`` clauses
+  ("usually takes several milliseconds even for simple terms" —
+  slowest, by far);
+* the **formatted read**: structured tuple lines, no parsing, assert
+  with index maintenance ("about a millisecond … including simple
+  index maintenance" on a Sparc2; "roughly equivalent to the data load
+  times of other deductive database systems");
+* **object files**: precompiled byte-code, "about 12x faster than
+  loading through the formatted read and assert".
+
+Asserted shape: general > formatted > object file, with the object
+file at least 4x faster than the formatted read (measured multiple is
+printed; the paper's was 12x).
+"""
+
+import os
+import tempfile
+
+from repro import Engine
+from repro.bench import format_table, join_relations, time_call
+from repro.lang import parse_terms
+from repro.storage import load_formatted
+from repro.wam import WamMachine, compile_predicate, load_object_file, save_object_file
+
+SIZE = 3000
+
+
+def make_sources():
+    rows, _ = join_relations(SIZE)
+    program_text = "\n".join(f"fact({a}, '{b}')." for a, b in rows)
+    formatted_lines = [f"{a}\t{b}" for a, b in rows]
+    clause_terms = parse_terms(program_text)
+    predicate = compile_predicate("fact", 2, clause_terms)
+    objpath = tempfile.mktemp(suffix=".xwam")
+    save_object_file(objpath, [predicate])
+    return program_text, formatted_lines, objpath
+
+
+def general_reader_load(program_text):
+    engine = Engine()
+    engine.consult_string(program_text)
+    return len(engine.predicate("fact", 2).clauses)
+
+
+def formatted_load(lines):
+    engine = Engine()
+    return load_formatted(engine, "fact", lines)
+
+
+def object_file_load(objpath):
+    machine = WamMachine()
+    for predicate in load_object_file(objpath):
+        machine.define(predicate)
+    return len(machine.program[("fact", 2)].clauses)
+
+
+def measure():
+    program_text, formatted_lines, objpath = make_sources()
+    try:
+        general, n1 = time_call(general_reader_load, program_text, repeat=2)
+        formatted, n2 = time_call(formatted_load, formatted_lines, repeat=3)
+        objfile, n3 = time_call(object_file_load, objpath, repeat=3)
+        assert n1 == n2 == n3 == SIZE
+    finally:
+        os.unlink(objpath)
+    return [
+        ("general reader (parse+compile)", general),
+        ("formatted read + assert", formatted),
+        ("object file (byte-code)", objfile),
+    ]
+
+
+def test_load_time_hierarchy(benchmark):
+    program_text, formatted_lines, objpath = make_sources()
+    try:
+        benchmark(object_file_load, objpath)
+    finally:
+        pass
+    tiers = measure()
+    os_ok = True
+    base = tiers[1][1]  # normalize to formatted read
+    rows = [
+        (label, seconds * 1e3, seconds / base) for label, seconds in tiers
+    ]
+    print()
+    print(f"bulk load of a {SIZE}-tuple relation")
+    print(format_table(["path", "ms", "vs formatted"], rows))
+    times = dict(tiers)
+    general = times["general reader (parse+compile)"]
+    formatted = times["formatted read + assert"]
+    objfile = times["object file (byte-code)"]
+    assert general > formatted > objfile
+    # the paper's multiple was ~12x; demand at least 4x and print ours
+    multiple = formatted / objfile
+    print(f"object-file speedup over formatted read: {multiple:.1f}x (paper: ~12x)")
+    assert multiple > 4
+    os.unlink(objpath)
+    assert os_ok
+
+
+def test_loaded_code_answers_queries(benchmark):
+    def check():
+        rows = [(1, "a"), (2, "b"), (3, "c")]
+        engine = Engine()
+        load_formatted(engine, "fact", [f"{a}\t{b}" for a, b in rows])
+        assert engine.query("fact(2, X)") == [{"X": "b"}]
+
+        from repro.lang import parse_term
+        from repro.wam.compiler import compile_query_term
+
+        predicate = compile_predicate(
+            "fact", 2, parse_terms("fact(1,a). fact(2,b).")
+        )
+        path = tempfile.mktemp(suffix=".xwam")
+        save_object_file(path, [predicate])
+        machine = WamMachine()
+        machine.define(load_object_file(path)[0])
+        os.unlink(path)
+        answers = machine.run_query(
+            *compile_query_term(parse_term("fact(2, X)"))
+        )
+        return [str(answer["X"]) for answer in answers]
+
+    assert benchmark(check) == ["b"]
+
+
+if __name__ == "__main__":
+    for label, seconds in measure():
+        print(f"{label:34s} {seconds*1e3:9.2f} ms")

@@ -1,0 +1,82 @@
+"""Experiment T2 — Table 2 of the paper.
+
+    win(X) :- move(X,Y), not win(Y).
+
+evaluated over complete binary trees of height 6..10 with the three
+negation flavours: default SLG negation (``tnot/1``), SLDNF (``\\+``),
+and Existential Negation (``e_tnot/1``).  Times are normalized to the
+E-neg row, as in the paper.
+
+Paper shape (Table 2): the SLG/E-neg ratio *grows* with the height
+(4.5 at h=6 up to 15.7 at h=11, roughly doubling every two levels,
+because SLG explores all 2^n subgoals while E-neg explores ~sqrt(2)^n);
+the SLDNF/E-neg ratio is roughly *constant* below 1 (~0.22-0.30; SLDNF
+keeps no tables at all).
+"""
+
+import pytest
+
+from conftest import WIN_ETNOT, WIN_SLDNF, WIN_TNOT, fresh_engine
+from repro.bench import binary_tree_edges, format_table, time_call
+
+HEIGHTS = [6, 7, 8, 9, 10]
+
+
+def run_win(program, height):
+    engine = fresh_engine(program, [("move", binary_tree_edges(height))])
+    return engine.has_solution("win(1)")
+
+
+def sweep():
+    rows = []
+    for height in HEIGHTS:
+        slg, _ = time_call(run_win, WIN_TNOT, height, repeat=2)
+        sldnf, _ = time_call(run_win, WIN_SLDNF, height, repeat=2)
+        eneg, _ = time_call(run_win, WIN_ETNOT, height, repeat=2)
+        rows.append((height, slg / eneg, sldnf / eneg, 1.0))
+    return rows
+
+
+def test_table2_negation_flavours(benchmark):
+    # headline measurement: E-neg at the largest height
+    benchmark(run_win, WIN_ETNOT, HEIGHTS[-1])
+    rows = sweep()
+    print()
+    print("Table 2: times normalized to E-neg, win/1 on complete binary trees")
+    print(
+        format_table(
+            ["Height", "XSB/Default SLG", "XSB/SLDNF", "XSB/E-Neg"], rows
+        )
+    )
+    # Shape 1: default SLG is the slowest flavour at every height.
+    for _, slg_ratio, sldnf_ratio, _ in rows:
+        assert slg_ratio > 1.0
+        assert slg_ratio > sldnf_ratio
+    # Shape 2: the SLG ratio grows with height (exponential separation);
+    # compare the ends of the sweep to be robust to timing noise.
+    assert rows[-1][1] > rows[0][1] * 1.5
+    # Shape 3: SLDNF/E-neg stays roughly constant (no growth trend):
+    # the last ratio is within 3x of the first, while SLG's grew.
+    assert rows[-1][2] < rows[0][2] * 3
+
+
+def test_table2_all_flavours_agree(benchmark):
+    def all_agree():
+        results = []
+        for program in (WIN_TNOT, WIN_ETNOT, WIN_SLDNF):
+            engine = fresh_engine(
+                program, [("move", binary_tree_edges(5))]
+            )
+            results.append(
+                [engine.has_solution(f"win({n})") for n in (1, 2, 3, 4, 8)]
+            )
+        assert results[0] == results[1] == results[2]
+        return results[0]
+
+    # subtree heights 5,4,4,3,2: a node wins iff its subtree height is odd
+    assert benchmark(all_agree) == [True, False, False, True, False]
+
+
+if __name__ == "__main__":
+    for row in sweep():
+        print(row)

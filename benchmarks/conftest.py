@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints the paper-style table it regenerates (visible
+with ``pytest benchmarks/ --benchmark-only -s``) and asserts the
+*shape* claims — who wins, how ratios grow, where crossovers fall.
+Absolute times are meaningless here (the substrate is a Python
+simulation of a C-coded abstract machine); see EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Engine  # noqa: E402
+
+PATH_LEFT_TABLED = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+"""
+
+PATH_RIGHT_SLD = """
+rpath(X,Y) :- redge(X,Y).
+rpath(X,Y) :- redge(X,Z), rpath(Z,Y).
+"""
+
+WIN_TNOT = """
+:- table win/1.
+win(X) :- move(X,Y), tnot(win(Y)).
+"""
+
+WIN_ETNOT = """
+:- table win/1.
+win(X) :- move(X,Y), e_tnot(win(Y)).
+"""
+
+WIN_SLDNF = """
+win(X) :- move(X,Y), \\+ win(Y).
+"""
+
+
+def fresh_engine(program, facts=()):
+    engine = Engine()
+    engine.consult_string(program)
+    for name, rows in facts:
+        engine.add_facts(name, rows)
+    return engine

@@ -1,0 +1,78 @@
+"""HiLog data modeling: the corporate-benefits example of section 4.7.
+
+Benefit packages are *sets of tuples* named by terms; HiLog lets a
+variable range over those names and be applied as a predicate, and
+set operations (intersection, union) are two-line definitions.
+
+Run:  python examples/corporate_benefits.py
+"""
+
+from repro import Engine
+
+db = Engine()
+db.consult_string(
+    """
+    % -- the database of section 4.7 -----------------------------------
+    :- hilog package1, package2, package3.
+    :- hilog intersect_2, union_2, subset_2.
+
+    package1(health_ins,     required).
+    package1(life_ins,       optional).
+    package2(free_car,       optional).
+    package2(long_vacations, optional).
+    package2(life_ins,       optional).
+    package3(health_ins,     required).
+    package3(life_ins,       optional).
+
+    benefits('John', package1).
+    benefits('Bob',  package2).
+    benefits('Eve',  package3).
+
+    % -- set operations over package names (HiLog terms as sets) -------
+    intersect_2(S1, S2)(X, Y) :- S1(X, Y), S2(X, Y).
+    union_2(S1, S2)(X, Y) :- S1(X, Y).
+    union_2(S1, S2)(X, Y) :- S2(X, Y).
+
+    % set inclusion / equality via negation, as the paper sketches
+    not_subset(S1, S2) :- S1(X, Y), \\+ S2(X, Y).
+    subset(S1, S2) :- benefits(_, S1), benefits(_, S2),
+                      \\+ not_subset(S1, S2).
+    equal_sets(S1, S2) :- subset(S1, S2), subset(S2, S1).
+    """
+)
+
+# The query of the paper: bind P to the *name* of John's benefit set,
+# then apply it to enumerate his benefits.
+print("John's benefits:")
+for solution in db.query("benefits('John', P), P(Benefit, Kind)"):
+    print(f"  {solution['Benefit']} ({solution['Kind']}) from {solution['P']}")
+
+# Common benefits of John and Bob (the intersection query).
+print("\ncommon to John and Bob:")
+for solution in db.query(
+    "benefits('John', P), benefits('Bob', Q), intersect_2(P, Q)(X, Y)"
+):
+    print(f"  {solution['X']} ({solution['Y']})")
+
+# Everything either of them gets.
+union = db.query(
+    "benefits('John', P), benefits('Bob', Q), union_2(P, Q)(X, _)"
+)
+print("\nunion size (with duplicates):", len(union))
+
+# Set equality through double inclusion: John's and Eve's packages have
+# different *names* but the same extension.
+print(
+    "\npackage1 == package3 ?",
+    db.has_solution("equal_sets(package1, package3)"),
+)
+print("package1 == package2 ?", db.has_solution("equal_sets(package1, package2)"))
+
+# Aggregation: HiLog + tabling alone cannot count (it is second-order),
+# so XSB provides findall/setof (section 4.7).
+counts = db.query(
+    "benefits(Who, P), findall(B, P(B, _), L), length(L, N)"
+)
+print("\nbenefit counts:")
+for solution in counts:
+    print(f"  {solution['Who']}: {solution['N']}")

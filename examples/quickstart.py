@@ -1,0 +1,83 @@
+"""Quickstart: the tabled deductive database in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Engine
+
+# ---------------------------------------------------------------------------
+# 1. Create an engine and consult a program.  `:- table path/2.` turns on
+#    SLG evaluation for path/2: left recursion terminates, answers are
+#    memoized, and no answer is computed twice.
+# ---------------------------------------------------------------------------
+
+db = Engine()
+db.consult_string(
+    """
+    :- table path/2.
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    """
+)
+
+# Facts can be consulted as text, asserted, or bulk-loaded from Python.
+db.add_facts("edge", [(1, 2), (2, 3), (3, 4), (4, 2)])  # note the cycle!
+
+print("reachable from 1:", sorted(s["X"] for s in db.query("path(1, X)")))
+print("is 4 -> 3 a path?", db.has_solution("path(4, 3)"))
+
+# The table space now holds the completed subgoals; a repeated query is
+# answered straight from the table.
+print("table statistics:", db.table_statistics())
+
+# ---------------------------------------------------------------------------
+# 2. Ordinary Prolog works too (SLD with cut, arithmetic, findall...).
+# ---------------------------------------------------------------------------
+
+db.consult_string(
+    """
+    classify(N, negative) :- N < 0, !.
+    classify(0, zero) :- !.
+    classify(_, positive).
+
+    squares(Limit, L) :- findall(S, (between(1, Limit, I), S is I*I), L).
+    """
+)
+print("classify(-3):", db.once("classify(-3, C)")["C"])
+print("squares:", db.once("squares(6, L)")["L"])
+
+# ---------------------------------------------------------------------------
+# 3. Negation: tnot/1 is SLG negation over tabled predicates; programs
+#    must be (modularly) stratified for the engine, and the engine
+#    *checks* that dynamically.
+# ---------------------------------------------------------------------------
+
+db.consult_string(
+    """
+    :- table unreachable/2.
+    node(N) :- edge(N, _).
+    node(N) :- edge(_, N).
+    unreachable(X, Y) :- node(X), node(Y), tnot(path(X, Y)).
+    """
+)
+print(
+    "pairs with no path:",
+    sorted((s["X"], s["Y"]) for s in db.query("unreachable(X, Y)")),
+)
+
+# ---------------------------------------------------------------------------
+# 4. HiLog: higher-order syntax, compiled via the apply encoding.
+# ---------------------------------------------------------------------------
+
+db.consult_string(
+    """
+    :- hilog likes, knows.
+    likes(ann, bob). likes(bob, carl).
+    knows(ann, carl).
+    related(P, X, Y) :- P(X, Y).
+    """
+)
+print("who does ann like?", db.query("likes(ann, X)"))
+print("parameterized call:", db.query("related(knows, ann, X)"))
+
+print("\nquickstart OK")

@@ -1,0 +1,85 @@
+"""The stalemate game (example 4.1) in all its negation flavours.
+
+    win(X) :- move(X, Y), not win(Y).
+
+* Over an *acyclic* move graph the program is modularly stratified and
+  the engine evaluates it with SLG negation (``tnot``), Existential
+  Negation (``e_tnot``) or plain SLDNF (``\\+``) — same answers,
+  different costs (Table 2 of the paper).
+* Over a *cyclic* graph the program is not stratified: the engine
+  detects the loop through negation and the well-founded interpreter
+  takes over, assigning ``undefined`` to the positions in the cycle.
+
+Run:  python examples/win_game.py
+"""
+
+from repro import Engine
+from repro.engine.wfs import WFSInterpreter
+from repro.errors import NonStratifiedError
+
+# A small game: 1 -> {2,3}, 2 -> {4,5}, 3 -> {6}, 6 -> {7}.
+MOVES = [(1, 2), (1, 3), (2, 4), (2, 5), (3, 6), (6, 7)]
+
+
+def engine_with(flavour):
+    engine = Engine()
+    engine.consult_string(
+        f"""
+        :- table win/1.
+        win(X) :- move(X, Y), {flavour}(win(Y)).
+        """
+        if flavour != "\\+"
+        else "win(X) :- move(X, Y), \\+ win(Y)."
+    )
+    engine.add_facts("move", MOVES)
+    return engine
+
+
+positions = sorted({x for x, _ in MOVES} | {y for _, y in MOVES})
+print("position:", "  ".join(f"{p}" for p in positions))
+for flavour in ("tnot", "e_tnot", "\\+"):
+    engine = engine_with(flavour)
+    row = [
+        "W" if engine.has_solution(f"win({p})") else "L" for p in positions
+    ]
+    label = {"tnot": "SLG neg ", "e_tnot": "E-neg   ", "\\+": "SLDNF   "}
+    print(f"{label[flavour]}:", "  ".join(row))
+
+# Table sizes show the cost difference the paper's Table 2 measures:
+# SLG negation retains the whole game tree; existential negation cuts
+# tables away as soon as one winning move is known.
+slg = engine_with("tnot")
+slg.query("win(1)")
+eneg = engine_with("e_tnot")
+eneg.query("win(1)")
+print(
+    f"\ntables retained: tnot={slg.table_statistics()['subgoals']}, "
+    f"e_tnot={eneg.table_statistics()['subgoals']}"
+)
+
+# ---------------------------------------------------------------------------
+# Now make the game cyclic: 7 -> 3 creates a loop 3 -> 6 -> 7 -> 3.
+# ---------------------------------------------------------------------------
+
+cyclic = Engine()
+cyclic.consult_string(
+    ":- table win/1.\nwin(X) :- move(X, Y), tnot(win(Y))."
+)
+cyclic.add_facts("move", MOVES + [(7, 3)])
+try:
+    cyclic.query("win(3)")
+    raise SystemExit("expected a stratification error!")
+except NonStratifiedError as error:
+    print(f"\nengine refused the cyclic game: {error}")
+
+# The well-founded interpreter evaluates it three-valuedly: the loop
+# positions are neither won nor lost.
+wfs = WFSInterpreter("win(X) :- move(X, Y), tnot(win(Y)).")
+wfs.add_facts("move", MOVES + [(7, 3)])
+print("\nwell-founded model of the cyclic game:")
+for position in sorted({x for x, _ in MOVES + [(7, 3)]} | {5, 4, 7}):
+    print(f"  win({position}) = {wfs.truth('win', (position,))}")
+
+true_rows, undefined_rows = wfs.query("win", (None,))
+print("won positions:", [row[0] for row in true_rows])
+print("drawn (undefined) positions:", [row[0] for row in undefined_rows])

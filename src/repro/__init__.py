@@ -1,0 +1,75 @@
+"""repro — a reproduction of "XSB as an Efficient Deductive Database Engine".
+
+Public API
+----------
+
+The primary entry point is :class:`repro.engine.Engine`:
+
+>>> from repro import Engine
+>>> db = Engine()
+>>> db.consult_string('''
+...     :- table path/2.
+...     path(X,Y) :- edge(X,Y).
+...     path(X,Y) :- path(X,Z), edge(Z,Y).
+...     edge(1,2). edge(2,3). edge(3,1).
+... ''')
+>>> sorted(s['X'] for s in db.query('path(1, X)'))
+[1, 2, 3]
+
+See README.md for the architecture overview, DESIGN.md for the map from
+the paper's systems/experiments to modules, and EXPERIMENTS.md for the
+measured reproduction of every table and figure.
+"""
+
+import sys as _sys
+
+# Term-walking helpers (copy_term, canonical_key, the writer) recurse on
+# term depth; Prolog lists nest one level per element, so lift Python's
+# default limit to accommodate the list sizes the benchmarks use.
+if _sys.getrecursionlimit() < 40000:
+    _sys.setrecursionlimit(40000)
+
+from .engine import Engine
+from .errors import (
+    EvaluationError,
+    ExistenceError,
+    InstantiationError,
+    ModuleError,
+    NonStratifiedError,
+    ParseError,
+    ReproError,
+    SafetyError,
+    StorageError,
+    TablingError,
+    TransactionError,
+    TypeError_,
+)
+from .lang import parse_term, parse_terms, term_to_str
+from .terms import Atom, Struct, Var, mkatom, mkstruct
+
+__version__ = "1.3.0"
+
+__all__ = [
+    "Engine",
+    "Atom",
+    "Struct",
+    "Var",
+    "mkatom",
+    "mkstruct",
+    "parse_term",
+    "parse_terms",
+    "term_to_str",
+    "ReproError",
+    "ParseError",
+    "ExistenceError",
+    "InstantiationError",
+    "EvaluationError",
+    "NonStratifiedError",
+    "TablingError",
+    "ModuleError",
+    "StorageError",
+    "TransactionError",
+    "TypeError_",
+    "SafetyError",
+    "__version__",
+]

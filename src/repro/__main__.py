@@ -1,0 +1,5 @@
+"""``python -m repro`` — the toplevel / direct-execution entry point."""
+
+from .repl import main
+
+raise SystemExit(main())

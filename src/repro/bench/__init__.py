@@ -1,0 +1,25 @@
+"""Benchmark substrate: workload generators and reporting helpers."""
+
+from .data import (
+    binary_tree_edges,
+    chain_edges,
+    cycle_edges,
+    fanout_edges,
+    join_relations,
+    same_generation_facts,
+)
+from .harness import RowTimer, banner, format_table, geometric_mean, time_call
+
+__all__ = [
+    "chain_edges",
+    "cycle_edges",
+    "fanout_edges",
+    "binary_tree_edges",
+    "same_generation_facts",
+    "join_relations",
+    "time_call",
+    "RowTimer",
+    "format_table",
+    "banner",
+    "geometric_mean",
+]

@@ -1,0 +1,78 @@
+"""Workload generators for the paper's experiments.
+
+Each generator returns edge/fact tuples; callers feed them to
+whichever engine is under test (``Engine.add_facts``, bottom-up fact
+dicts, or the relational store).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "chain_edges",
+    "cycle_edges",
+    "fanout_edges",
+    "binary_tree_edges",
+    "same_generation_facts",
+    "join_relations",
+]
+
+
+def chain_edges(length, start=1):
+    """``edge(1,2). edge(2,3). ... edge(N-1,N).``"""
+    return [(i, i + 1) for i in range(start, start + length - 1)]
+
+
+def cycle_edges(length):
+    """The figure 5 cycles: a chain of ``length`` nodes closed back to 1."""
+    return chain_edges(length) + [(length, 1)]
+
+
+def fanout_edges(width):
+    """The figure 5 fanout structures: ``edge(1,1). ... edge(1,N).``"""
+    return [(1, i) for i in range(1, width + 1)]
+
+
+def binary_tree_edges(height):
+    """``move/2`` facts for a complete binary tree of the given height
+    (Table 2's workload): nodes 1 .. 2^(height+1)-1, node i moving to
+    2i and 2i+1."""
+    internal = 2**height - 1
+    edges = []
+    for node in range(1, internal + 1):
+        edges.append((node, 2 * node))
+        edges.append((node, 2 * node + 1))
+    return edges
+
+
+def same_generation_facts(families, depth):
+    """``par/2`` facts forming ``families`` complete binary ancestries of
+    the given depth — the classical same_generation workload."""
+    facts = []
+    for family in range(families):
+        base = family * (2 ** (depth + 1))
+        internal = 2**depth - 1
+        for node in range(1, internal + 1):
+            facts.append((base + 2 * node, base + node))
+            facts.append((base + 2 * node + 1, base + node))
+    return facts
+
+
+def join_relations(size, fanout=1, seed=1994):
+    """Two relations for the Table 3 indexed-join experiment.
+
+    ``r(K, payload)`` with ``size`` tuples and ``s(K, payload)`` where
+    each key appears ``fanout`` times, so the join yields
+    ``size * fanout`` pairs.  A fixed seed keeps runs comparable.
+    """
+    rng = random.Random(seed)
+    keys = list(range(size))
+    rng.shuffle(keys)
+    r = [(k, f"r{k}") for k in keys]
+    s = []
+    for k in range(size):
+        for copy in range(fanout):
+            s.append((k, f"s{k}_{copy}"))
+    rng.shuffle(s)
+    return r, s

@@ -1,0 +1,90 @@
+"""Timing and table-printing helpers shared by the benchmarks.
+
+The benchmarks report *relative* times and growth shapes, never
+absolute numbers: the substrate is a Python simulation of the SLG-WAM,
+so only who-wins / by-what-factor / where-crossovers-fall carry over
+from the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["time_call", "RowTimer", "format_table", "banner", "geometric_mean"]
+
+
+def time_call(fn, *args, repeat=1, **kwargs):
+    """Best-of-``repeat`` wall time of ``fn(*args)``; returns (seconds,
+    last result)."""
+    best = math.inf
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+class RowTimer:
+    """Collects labeled timings and renders them normalized."""
+
+    def __init__(self, normalize_to=None):
+        self.rows = []
+        self.normalize_to = normalize_to
+
+    def measure(self, label, fn, *args, repeat=1, **kwargs):
+        seconds, result = time_call(fn, *args, repeat=repeat, **kwargs)
+        self.rows.append((label, seconds))
+        return seconds, result
+
+    def add(self, label, seconds):
+        self.rows.append((label, seconds))
+
+    def normalized(self):
+        base = None
+        if self.normalize_to is not None:
+            for label, seconds in self.rows:
+                if label == self.normalize_to:
+                    base = seconds
+        if base is None and self.rows:
+            base = self.rows[0][1]
+        return [
+            (label, seconds, seconds / base if base else float("nan"))
+            for label, seconds in self.rows
+        ]
+
+
+def format_table(headers, rows, float_digits=3):
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def banner(title):
+    bar = "=" * len(title)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def geometric_mean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,45 @@
+"""Set-at-a-time bottom-up datalog evaluation — the comparator systems.
+
+The paper compares XSB against CORAL and LDL, which evaluate magic-set
+rewritten programs with a semi-naive, set-at-a-time fixpoint.  This
+subpackage implements those algorithms over one shared substrate so
+the benchmarks compare algorithm against algorithm:
+
+* :mod:`repro.bottomup.relation` — in-memory relations with hash
+  indexes and hash joins;
+* :mod:`repro.bottomup.datalog` — rules, safety (range-restriction)
+  checking, predicate dependency graphs, stratification;
+* :mod:`repro.bottomup.seminaive` — naive and semi-naive fixpoints
+  with stratified negation;
+* :mod:`repro.bottomup.magic` — adornments and the magic-sets rewrite
+  (goal-directedness for bottom-up);
+* :mod:`repro.bottomup.factoring` — the factoring optimization of
+  Naughton/Ramakrishnan/Sagiv/Ullman (CORAL's "factoring" option, the
+  CORAL-fac line of figure 5);
+* :mod:`repro.bottomup.wellfounded` — the alternating fixpoint for the
+  well-founded semantics (the Glue-Nail-style comparator, and the
+  oracle our WFS interpreter is tested against).
+"""
+
+from .datalog import Program, Rule, Var, atom, parse_program, struct
+from .magic import magic_rewrite
+from .factoring import factor_program
+from .relation import Relation
+from .seminaive import evaluate, evaluate_naive, query
+from .wellfounded import alternating_fixpoint
+
+__all__ = [
+    "Relation",
+    "Program",
+    "Rule",
+    "Var",
+    "atom",
+    "struct",
+    "parse_program",
+    "evaluate",
+    "evaluate_naive",
+    "query",
+    "magic_rewrite",
+    "factor_program",
+    "alternating_fixpoint",
+]

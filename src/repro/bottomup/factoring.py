@@ -1,0 +1,188 @@
+"""The factoring optimization (Naughton, Ramakrishnan, Sagiv, Ullman).
+
+Section 5 of the paper benchmarks CORAL both with default settings and
+with "the factoring option [10] turned on" (the CORAL-fac line of
+figure 5).  Factoring notices that in a magic-rewritten linear
+recursion such as::
+
+    path__bf(X,Y) :- m_path__bf(X), edge(X,Y).
+    path__bf(X,Y) :- m_path__bf(X), path__bf(X,Z), edge(Z,Y).
+
+the bound argument ``X`` is invariant through the recursion: every
+tuple of ``path__bf`` carries the same demanded constants around, so
+the binary recursion can be *factored* into a unary one::
+
+    path_f(Y) :- m_path__bf(X), edge(X,Y).
+    path_f(Y) :- path_f(Z), edge(Z,Y).
+    path__bf(X,Y) :- m_path__bf(X), path_f(Y).
+
+``factor_program`` applies this rewrite to every adorned predicate for
+which the invariance conditions hold; programs where they do not are
+returned unchanged (factoring does not always apply, and can be
+incorrect when it does not — we only fire on the proven pattern).
+"""
+
+from __future__ import annotations
+
+from .datalog import REL, Program, Rule, Var, pattern_vars
+
+__all__ = ["factor_program", "factored_name"]
+
+
+def factored_name(pred):
+    return f"{pred}__fac"
+
+
+def _split_magic(rule):
+    """Return (magic_literal, rest) when the body starts with a magic
+    guard, else (None, body)."""
+    if rule.body and rule.body[0][0] == REL and rule.body[0][1].startswith("m_"):
+        return rule.body[0], rule.body[1:]
+    return None, rule.body
+
+
+def _factorable(pred, arity, rules):
+    """Check the invariance conditions for one adorned predicate.
+
+    Conditions (a conservative instance of NRSU factoring):
+    * every rule is guarded by the same magic predicate whose arguments
+      are distinct variables equal to the head's bound arguments;
+    * in recursive rules, the recursive literal's bound arguments are
+      exactly the head's bound arguments (the binding is invariant);
+    * the bound head variables do not occur anywhere else in recursive
+      rules (so dropping them is safe).
+    """
+    bound_positions = None
+    for rule in rules:
+        magic, rest = _split_magic(rule)
+        if magic is None:
+            return None
+        magic_vars = list(magic[2])
+        if not all(isinstance(v, Var) for v in magic_vars):
+            return None
+        positions = []
+        for v in magic_vars:
+            try:
+                positions.append(rule.head_args.index(v))
+            except ValueError:
+                return None
+        if bound_positions is None:
+            bound_positions = positions
+        elif bound_positions != positions:
+            return None
+        recursive = [
+            lit
+            for lit in rest
+            if lit[0] == REL and lit[1] == pred and len(lit[2]) == arity
+        ]
+        for lit in recursive:
+            if not lit[3]:
+                return None
+            for p, v in zip(positions, magic_vars):
+                if lit[2][p] is not v:
+                    return None
+        if recursive:
+            # invariant vars must not appear outside magic + recursion
+            used_elsewhere = []
+            for lit in rest:
+                if lit[0] == REL and lit[1] == pred:
+                    free_args = [
+                        a
+                        for i, a in enumerate(lit[2])
+                        if i not in positions
+                    ]
+                    for arg in free_args:
+                        pattern_vars(arg, used_elsewhere)
+                else:
+                    for arg in _literal_patterns(lit):
+                        pattern_vars(arg, used_elsewhere)
+            if any(v in used_elsewhere for v in magic_vars):
+                return None
+    return bound_positions
+
+
+def _literal_patterns(literal):
+    kind = literal[0]
+    if kind == REL:
+        return literal[2]
+    return literal[1:]
+
+
+def factor_program(program):
+    """Apply factoring wherever the conditions hold."""
+    by_pred = {}
+    for rule in program.rules:
+        by_pred.setdefault((rule.head_pred, len(rule.head_args)), []).append(rule)
+
+    out = []
+    for (pred, arity), rules in by_pred.items():
+        if not _is_adorned(pred):
+            out.extend(rules)
+            continue
+        has_recursion = any(
+            any(
+                lit[0] == REL and lit[1] == pred and len(lit[2]) == arity
+                for lit in rule.body
+            )
+            for rule in rules
+        )
+        if not has_recursion:
+            out.extend(rules)
+            continue
+        positions = _factorable(pred, arity, rules)
+        if positions is None:
+            out.extend(rules)
+            continue
+        out.extend(_factor(pred, arity, rules, positions))
+    return Program(out, check_safety=False)
+
+
+def _is_adorned(pred):
+    return "__" in pred and not pred.startswith("m_")
+
+
+def _factor(pred, arity, rules, bound_positions):
+    free_positions = [i for i in range(arity) if i not in bound_positions]
+    fac = factored_name(pred)
+    out = []
+    answer_vars = [Var(f"A{i}") for i in range(arity)]
+    magic_pred = None
+    for rule in rules:
+        magic, rest = _split_magic(rule)
+        magic_pred = magic[1]
+        free_head = tuple(rule.head_args[i] for i in free_positions)
+        new_body = []
+        recursive_present = False
+        for lit in rest:
+            if lit[0] == REL and lit[1] == pred and len(lit[2]) == arity:
+                recursive_present = True
+                new_body.append(
+                    (
+                        REL,
+                        fac,
+                        tuple(lit[2][i] for i in free_positions),
+                        lit[3],
+                    )
+                )
+            else:
+                new_body.append(lit)
+        if recursive_present:
+            out.append(Rule(fac, free_head, new_body))
+        else:
+            # base rules keep the magic guard (it binds the invariants)
+            out.append(Rule(fac, free_head, [magic] + new_body))
+    # answer rule reassembles the original adorned predicate
+    head_args = list(answer_vars)
+    magic_args = tuple(answer_vars[i] for i in bound_positions)
+    fac_args = tuple(answer_vars[i] for i in free_positions)
+    out.append(
+        Rule(
+            pred,
+            tuple(head_args),
+            [
+                (REL, magic_pred, magic_args, True),
+                (REL, fac, fac_args, True),
+            ],
+        )
+    )
+    return out

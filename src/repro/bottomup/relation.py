@@ -1,0 +1,80 @@
+"""In-memory relations for the bottom-up engine.
+
+Values are hashable Python data: ints, floats, strings (atoms), and
+nested tuples ``(functor, arg1, ..., argN)`` for compound terms, so a
+Prolog list ``[1,2]`` is ``('.', 1, ('.', 2, '[]'))``.  A relation is a
+set of fact tuples with hash indexes built on demand for whatever
+binding patterns the joins use.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A set of tuples with on-demand hash indexes.
+
+    Indexes are keyed by the tuple of bound positions; they are built
+    lazily the first time a join probes that pattern and maintained
+    incrementally afterwards.
+    """
+
+    __slots__ = ("name", "arity", "tuples", "indexes")
+
+    def __init__(self, name, arity):
+        self.name = name
+        self.arity = arity
+        self.tuples = set()
+        self.indexes = {}
+
+    def add(self, row):
+        """Insert one tuple; True when it was new."""
+        if row in self.tuples:
+            return False
+        self.tuples.add(row)
+        for positions, index in self.indexes.items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def add_many(self, rows):
+        added = 0
+        for row in rows:
+            if self.add(row):
+                added += 1
+        return added
+
+    def _ensure_index(self, positions):
+        index = self.indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.tuples:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, []).append(row)
+            self.indexes[positions] = index
+        return index
+
+    def probe(self, positions, key):
+        """All tuples whose ``positions`` equal ``key`` (hash lookup)."""
+        if not positions:
+            return self.tuples
+        index = self._ensure_index(positions)
+        return index.get(key, ())
+
+    def __contains__(self, row):
+        return row in self.tuples
+
+    def __len__(self):
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def copy(self):
+        clone = Relation(self.name, self.arity)
+        clone.tuples = set(self.tuples)
+        return clone
+
+    def __repr__(self):
+        return f"<Relation {self.name}/{self.arity} {len(self.tuples)} tuples>"

@@ -1,0 +1,371 @@
+"""Naive and semi-naive bottom-up fixpoints with stratified negation.
+
+This is the evaluation style of CORAL and LDL (section 2 of the
+paper): relations are computed a *set at a time*; within each stratum
+the semi-naive fixpoint joins the per-iteration delta relations
+against the accumulated full relations, so no derivation is repeated.
+"""
+
+from __future__ import annotations
+
+from ..errors import SafetyError
+from .datalog import CMP, IS, REL, UNIFY, Var, compare, eval_expr, match, substitute
+from .relation import Relation
+
+__all__ = ["evaluate", "evaluate_naive", "query", "EvaluationStats"]
+
+
+class EvaluationStats:
+    """Counters the ablation benches report."""
+
+    __slots__ = ("iterations", "derivations", "duplicates")
+
+    def __init__(self):
+        self.iterations = 0
+        self.derivations = 0
+        self.duplicates = 0
+
+    def __repr__(self):
+        return (
+            f"<EvaluationStats iters={self.iterations} "
+            f"derived={self.derivations} dups={self.duplicates}>"
+        )
+
+
+def _as_relations(facts):
+    relations = {}
+    for (name, arity), rows in facts.items():
+        relation = Relation(name, arity)
+        relation.add_many(tuple(row) for row in rows)
+        relations[(name, arity)] = relation
+    return relations
+
+
+def _rel(relations, key):
+    relation = relations.get(key)
+    if relation is None:
+        relation = Relation(key[0], key[1])
+        relations[key] = relation
+    return relation
+
+
+def _bound_probe(args, bindings):
+    """Split literal args into (positions, key, patterns) for a probe."""
+    positions = []
+    key = []
+    for i, arg in enumerate(args):
+        if isinstance(arg, Var):
+            value = bindings.get(arg)
+            if value is not None:
+                positions.append(i)
+                key.append(value)
+        elif isinstance(arg, tuple):
+            continue  # compound patterns are matched after the probe
+        else:
+            positions.append(i)
+            key.append(arg)
+    return tuple(positions), tuple(key)
+
+
+def _join(rule, index, relations, delta_key, delta_rel, stats, out):
+    """Evaluate ``rule`` with body literal ``index`` ranging over the
+    delta relation; emit derived head tuples into ``out``.
+
+    The delta literal is evaluated *first* (standard semi-naive
+    practice: every derivation must use at least one delta tuple, so
+    driving the join from the delta bounds the work by the delta's
+    size); the remaining literals are then ordered greedily by
+    bound-variable connectivity — the sideways join ordering a
+    bottom-up optimizer performs.
+    """
+
+    body = rule.body
+    if 0 <= index < len(body):
+        order = _delta_order(rule, index)
+    else:
+        order = list(range(len(body)))
+
+    def walk(step, bindings):
+        if step == len(body):
+            row = tuple(substitute(arg, bindings) for arg in rule.head_args)
+            stats.derivations += 1
+            out.append(row)
+            return
+        position = order[step]
+        literal = body[position]
+        kind = literal[0]
+        if kind == REL:
+            _, pred, args, positive = literal
+            key = (pred, len(args))
+            if positive:
+                if position == index:
+                    candidates = delta_rel
+                else:
+                    source = relations.get(key) or ()
+                    positions, probe_key = _bound_probe(args, bindings)
+                    if isinstance(source, Relation):
+                        candidates = source.probe(positions, probe_key)
+                    else:
+                        candidates = source
+                for row in candidates:
+                    added = _match_args(args, row, bindings)
+                    if added is None:
+                        continue
+                    walk(step + 1, bindings)
+                    for var in added:
+                        del bindings[var]
+            else:
+                row = tuple(substitute(arg, bindings) for arg in args)
+                relation = relations.get(key)
+                if relation is None or row not in relation:
+                    walk(step + 1, bindings)
+            return
+        if kind == CMP:
+            _, op, left, right = literal
+            if compare(op, left, right, bindings):
+                walk(step + 1, bindings)
+            return
+        if kind == IS:
+            _, target, expr = literal
+            value = eval_expr(expr, bindings)
+            added = match(target, value, bindings)
+            if added is not None:
+                walk(step + 1, bindings)
+                for var in added:
+                    del bindings[var]
+            return
+        if kind == UNIFY:
+            _, left, right = literal
+            try:
+                value = substitute(right, bindings)
+                added = match(left, value, bindings)
+            except SafetyError:
+                value = substitute(left, bindings)
+                added = match(right, value, bindings)
+            if added is not None:
+                walk(step + 1, bindings)
+                for var in added:
+                    del bindings[var]
+            return
+        raise SafetyError(f"unknown literal kind {kind}")
+
+    walk(0, {})
+
+
+def _delta_order(rule, index):
+    """Join order for a delta-driven rule evaluation.
+
+    Starts from the delta literal, then repeatedly schedules the
+    earliest literal that is *ready*: positive relational literals are
+    ready when they share a bound variable (or have a ground argument);
+    comparisons, assignments, unifications and negations are ready once
+    the variables they need are bound.  Falls back to the earliest
+    unscheduled positive literal when nothing is connected.
+    """
+    from .datalog import pattern_vars
+
+    body = rule.body
+    bound = set()
+    for arg in body[index][2]:
+        bound.update(pattern_vars(arg, []))
+    order = [index]
+    remaining = [i for i in range(len(body)) if i != index]
+
+    def literal_vars(literal):
+        out = []
+        if literal[0] == REL:
+            for arg in literal[2]:
+                pattern_vars(arg, out)
+        else:
+            for part in literal[1:]:
+                pattern_vars(part, out)
+        return out
+
+    def readiness(i):
+        literal = body[i]
+        kind = literal[0]
+        variables = literal_vars(literal)
+        if kind == REL and literal[3]:
+            if not variables:
+                return 2
+            bound_count = sum(1 for v in variables if v in bound)
+            return 2 if bound_count else 0
+        # negation / cmp / is / unify: conservative — for IS and UNIFY
+        # one side may be defined by the literal itself, so require the
+        # other side's variables only.
+        if kind == IS:
+            needs = literal_vars((REL, "", (literal[2],), True))
+            return 3 if all(v in bound for v in needs) else -1
+        if kind == UNIFY:
+            left_ok = all(v in bound for v in pattern_vars(literal[1], []))
+            right_ok = all(v in bound for v in pattern_vars(literal[2], []))
+            return 3 if left_ok or right_ok else -1
+        return 3 if all(v in bound for v in variables) else -1
+
+    while remaining:
+        chosen = None
+        best = -1
+        for i in remaining:
+            score = readiness(i)
+            if score > best:
+                best = score
+                chosen = i
+                if score >= 3:
+                    break
+        if best <= 0:
+            # nothing connected: take the earliest positive literal to
+            # make progress (original order ties are kept by the scan)
+            positives = [
+                i for i in remaining if body[i][0] == REL and body[i][3]
+            ]
+            chosen = positives[0] if positives else remaining[0]
+        order.append(chosen)
+        remaining.remove(chosen)
+        bound.update(literal_vars(body[chosen]))
+    return order
+
+
+def _match_args(args, row, bindings):
+    added = []
+    from .datalog import _match  # reuse the pattern matcher
+
+    for pattern, value in zip(args, row):
+        if not _match(pattern, value, bindings, added):
+            for var in added:
+                del bindings[var]
+            return None
+    return added
+
+
+def evaluate(program, facts, stats=None, max_iterations=None):
+    """Semi-naive evaluation; returns {(&name, arity): Relation}.
+
+    ``facts`` maps ``(name, arity)`` to an iterable of value tuples.
+    Negation is evaluated stratum by stratum (stratified semantics);
+    non-stratified programs raise SafetyError — use
+    :mod:`repro.bottomup.wellfounded` for those.
+    """
+    if stats is None:
+        stats = EvaluationStats()
+    relations = _as_relations(facts)
+    strata = program.stratify()
+    idb = program.idb_predicates
+    max_stratum = max(strata.values(), default=0)
+
+    for level in range(max_stratum + 1):
+        level_preds = {
+            key for key in idb if strata.get(key, 0) == level
+        }
+        if not level_preds:
+            continue
+        rules = [
+            rule
+            for rule in program.rules
+            if (rule.head_pred, len(rule.head_args)) in level_preds
+        ]
+        _fixpoint(rules, level_preds, relations, stats, max_iterations)
+    return relations
+
+
+def _fixpoint(rules, level_preds, relations, stats, max_iterations):
+    # Seed pass: every rule once with no delta restriction (treating
+    # the whole current database as the delta for literal -1).
+    deltas = {key: Relation(*key) for key in level_preds}
+    for rule in rules:
+        derived = []
+        _join(rule, -1, relations, None, None, stats, derived)
+        head_key = (rule.head_pred, len(rule.head_args))
+        full = _rel(relations, head_key)
+        for row in derived:
+            if full.add(row):
+                deltas[head_key].add(row)
+            else:
+                stats.duplicates += 1
+
+    while any(len(d) for d in deltas.values()):
+        stats.iterations += 1
+        if max_iterations is not None and stats.iterations > max_iterations:
+            raise SafetyError("fixpoint iteration limit exceeded")
+        new_deltas = {key: Relation(*key) for key in level_preds}
+        for rule in rules:
+            head_key = (rule.head_pred, len(rule.head_args))
+            for index, literal in enumerate(rule.body):
+                if literal[0] != REL or not literal[3]:
+                    continue
+                body_key = (literal[1], len(literal[2]))
+                delta = deltas.get(body_key)
+                if delta is None or not len(delta):
+                    continue
+                derived = []
+                _join(rule, index, relations, body_key, delta, stats, derived)
+                full = _rel(relations, head_key)
+                for row in derived:
+                    if full.add(row):
+                        new_deltas[head_key].add(row)
+                    else:
+                        stats.duplicates += 1
+        deltas = new_deltas
+
+
+def evaluate_naive(program, facts, stats=None, max_iterations=10_000):
+    """Naive evaluation: re-derives everything each round (ablation)."""
+    if stats is None:
+        stats = EvaluationStats()
+    relations = _as_relations(facts)
+    strata = program.stratify()
+    idb = program.idb_predicates
+    max_stratum = max(strata.values(), default=0)
+    for level in range(max_stratum + 1):
+        rules = [
+            rule
+            for rule in program.rules
+            if strata.get((rule.head_pred, len(rule.head_args)), 0) == level
+        ]
+        if not rules:
+            continue
+        changed = True
+        while changed:
+            stats.iterations += 1
+            if stats.iterations > max_iterations:
+                raise SafetyError("fixpoint iteration limit exceeded")
+            changed = False
+            for rule in rules:
+                derived = []
+                _join(rule, -1, relations, None, None, stats, derived)
+                full = _rel(relations, (rule.head_pred, len(rule.head_args)))
+                for row in derived:
+                    if full.add(row):
+                        changed = True
+                    else:
+                        stats.duplicates += 1
+    return relations
+
+
+def query(program, facts, goal_pred, goal_args, rewrite="magic", stats=None):
+    """Goal-directed bottom-up query: rewrite, evaluate, filter.
+
+    ``goal_args`` may contain None for free positions.  ``rewrite`` is
+    ``"magic"`` (the CORAL default), ``"magic+factoring"`` (CORAL-fac)
+    or ``"none"`` (evaluate the whole program).
+    Returns the list of matching tuples.
+    """
+    from .factoring import factor_program
+    from .magic import magic_rewrite
+
+    if rewrite == "none":
+        relations = evaluate(program, facts, stats=stats)
+        answer_key = (goal_pred, len(goal_args))
+    else:
+        rewritten, answer_pred = magic_rewrite(program, goal_pred, goal_args)
+        if rewrite == "magic+factoring":
+            rewritten = factor_program(rewritten)
+        relations = evaluate(rewritten, facts, stats=stats)
+        answer_key = (answer_pred, len(goal_args))
+    relation = relations.get(answer_key)
+    if relation is None:
+        return []
+    out = []
+    for row in relation:
+        if all(g is None or g == v for g, v in zip(goal_args, row)):
+            out.append(row)
+    return out

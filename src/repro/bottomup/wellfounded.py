@@ -1,0 +1,179 @@
+"""The alternating fixpoint for the well-founded semantics (van Gelder).
+
+Used two ways in this reproduction:
+
+* as the bottom-up comparator for non-stratified programs (Glue-Nail
+  evaluates well-founded programs with "an alternating fixpoint
+  tailored to magic programs" [Morishita 93], cited in section 5);
+* as the oracle the SLG-with-delaying interpreter
+  (:mod:`repro.engine.wfs`) is tested against.
+
+The computation runs over the *ground instantiation* of the program,
+obtained by evaluating rule bodies against an overestimate of the
+derivable facts (negation ignored), which keeps grounding relevant
+rather than enumerating the full Herbrand base.
+"""
+
+from __future__ import annotations
+
+from ..errors import SafetyError
+from .datalog import CMP, IS, REL, UNIFY, Program, Rule, compare, eval_expr, match, substitute
+from .seminaive import evaluate
+
+__all__ = ["ground_program", "alternating_fixpoint", "well_founded_model"]
+
+
+def _strip_negation(program):
+    """A definite overestimate: drop negative literals entirely."""
+    rules = []
+    for rule in program.rules:
+        body = [
+            literal
+            for literal in rule.body
+            if literal[0] != REL or literal[3]
+        ]
+        rules.append(Rule(rule.head_pred, rule.head_args, body))
+    return Program(rules, check_safety=False)
+
+
+def ground_program(program, facts):
+    """Relevant ground instances: (head, [pos atoms], [neg atoms]).
+
+    Atoms are ``(pred, args)`` pairs.  Rules are instantiated against
+    the definite overestimate of the program, so only instances whose
+    positive part is potentially derivable are produced.
+    """
+    overestimate = evaluate(_strip_negation(program), facts)
+    ground_rules = []
+
+    for rule in program.rules:
+        _instantiate(rule, overestimate, ground_rules)
+    # EDB facts become bodyless ground rules.
+    for (name, arity), rows in facts.items():
+        for row in rows:
+            ground_rules.append(((name, tuple(row)), [], []))
+    return ground_rules
+
+
+def _instantiate(rule, relations, out):
+    body = rule.body
+
+    def walk(position, bindings, pos_atoms, neg_atoms):
+        if position == len(body):
+            head = (
+                rule.head_pred,
+                tuple(substitute(a, bindings) for a in rule.head_args),
+            )
+            out.append((head, list(pos_atoms), list(neg_atoms)))
+            return
+        literal = body[position]
+        kind = literal[0]
+        if kind == REL:
+            _, pred, args, positive = literal
+            relation = relations.get((pred, len(args)))
+            if positive:
+                rows = relation if relation is not None else ()
+                for row in rows:
+                    added = []
+                    ok = True
+                    for pattern, value in zip(args, row):
+                        sub = match(pattern, value, bindings)
+                        if sub is None:
+                            ok = False
+                            break
+                        added.extend(sub)
+                    if ok:
+                        pos_atoms.append((pred, row))
+                        walk(position + 1, bindings, pos_atoms, neg_atoms)
+                        pos_atoms.pop()
+                    for var in added:
+                        bindings.pop(var, None)
+            else:
+                row = tuple(substitute(a, bindings) for a in args)
+                # Only keep the negative condition when the atom is
+                # possibly derivable; otherwise it is trivially true.
+                if relation is not None and row in relation:
+                    neg_atoms.append((pred, row))
+                    walk(position + 1, bindings, pos_atoms, neg_atoms)
+                    neg_atoms.pop()
+                else:
+                    walk(position + 1, bindings, pos_atoms, neg_atoms)
+            return
+        if kind == CMP:
+            _, op, left, right = literal
+            if compare(op, left, right, bindings):
+                walk(position + 1, bindings, pos_atoms, neg_atoms)
+            return
+        if kind == IS:
+            _, target, expr = literal
+            added = match(target, eval_expr(expr, bindings), bindings)
+            if added is not None:
+                walk(position + 1, bindings, pos_atoms, neg_atoms)
+                for var in added:
+                    del bindings[var]
+            return
+        if kind == UNIFY:
+            _, left, right = literal
+            try:
+                value = substitute(right, bindings)
+                added = match(left, value, bindings)
+            except SafetyError:
+                value = substitute(left, bindings)
+                added = match(right, value, bindings)
+            if added is not None:
+                walk(position + 1, bindings, pos_atoms, neg_atoms)
+                for var in added:
+                    del bindings[var]
+            return
+
+    walk(0, {}, [], [])
+
+
+def _least_model(ground_rules, false_oracle):
+    """Least fixpoint treating ¬q as true iff false_oracle(q)."""
+    derived = set()
+    changed = True
+    # simple semi-naive-ish loop over ground rules
+    while changed:
+        changed = False
+        for head, pos, neg in ground_rules:
+            if head in derived:
+                continue
+            if all(p in derived for p in pos) and all(
+                false_oracle(n) for n in neg
+            ):
+                derived.add(head)
+                changed = True
+    return derived
+
+
+def alternating_fixpoint(ground_rules):
+    """Compute the well-founded model of a ground program.
+
+    Returns ``(true_atoms, undefined_atoms)``; everything else in the
+    heads' atom space is false.
+    """
+    true_set = set()
+    while True:
+        # Overestimate of the derivable atoms, assuming only the
+        # currently-known-true atoms cannot be negated away ...
+        possible = _least_model(
+            ground_rules, lambda q, t=frozenset(true_set): q not in t
+        )
+        # ... then the underestimate of the true atoms against it.
+        new_true = _least_model(
+            ground_rules, lambda q, p=frozenset(possible): q not in p
+        )
+        if new_true == true_set:
+            undefined = possible - true_set
+            return true_set, undefined
+        true_set = new_true
+
+
+def well_founded_model(program, facts):
+    """Convenience wrapper: ground then alternate.
+
+    Returns ``(true, undefined)`` atom sets.
+    """
+    ground_rules = ground_program(program, facts)
+    return alternating_fixpoint(ground_rules)

@@ -1,0 +1,328 @@
+"""The public engine facade.
+
+:class:`Engine` bundles the program database, the table space, the
+operator table, HiLog declarations and the module system, and exposes
+consulting and querying.  One engine corresponds to one running XSB
+image; tables persist across queries until abolished.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..errors import ParseError
+from ..lang.ops import OperatorTable
+from ..lang.parser import Parser
+from ..modules import ModuleSystem
+from ..terms import (
+    Atom,
+    Struct,
+    Trail,
+    Var,
+    deref,
+    is_proper_list,
+    list_to_python,
+    make_list,
+    mkatom,
+    resolve,
+)
+from ..terms.rename import copy_term
+from .builtins import default_registry
+from .clause import Clause
+from .database import Database
+from .machine import MODE_QUERY, Machine
+from .table import TableSpace
+
+__all__ = ["Engine", "term_to_python", "python_to_term"]
+
+
+def python_to_term(value):
+    """Convert a Python value to a term: str -> atom, int/float kept,
+    list/tuple -> Prolog list, terms passed through."""
+    if isinstance(value, (Atom, Struct, Var, int, float)):
+        return value
+    if isinstance(value, str):
+        return mkatom(value)
+    if isinstance(value, (list, tuple)):
+        return make_list([python_to_term(v) for v in value])
+    raise TypeError(f"cannot convert {value!r} to a term")
+
+
+def term_to_python(term):
+    """Convert a term to a Python value: atoms -> str, numbers kept,
+    proper lists -> list; other terms are returned resolved."""
+    term = deref(term)
+    if isinstance(term, Atom):
+        if term.name == "[]":
+            return []
+        return term.name
+    if isinstance(term, (int, float)):
+        return term
+    if isinstance(term, Struct) and is_proper_list(term):
+        return [term_to_python(item) for item in list_to_python(term)]
+    return resolve(term)
+
+
+class Engine:
+    """An in-memory deductive database engine.
+
+    Parameters
+    ----------
+    unknown:
+        ``"error"`` (default) raises :class:`~repro.errors.ExistenceError`
+        for calls to undefined predicates; ``"fail"`` makes them fail.
+    answer_store:
+        ``"hash"`` (default) stores table answers in a list with a
+        full-answer hash index for the duplicate check; ``"trie"`` uses
+        the integrated answer-trie store (section 4.5's "currently
+        being developed" design — our tables ablation compares them).
+    subgoal_index:
+        the call-pattern index of section 4.5: ``"dict"`` (default)
+        hashes the whole variant-canonical subgoal; ``"trie"`` checks
+        subgoals into a discrimination net in one traversal.
+    hilog_specialize:
+        apply compile-time specialization of known HiLog calls
+        (section 4.7) during consult.
+    output:
+        stream for ``write/1`` and friends.
+    """
+
+    def __init__(
+        self,
+        unknown="error",
+        answer_store="hash",
+        subgoal_index="dict",
+        hilog_specialize=True,
+        output=None,
+    ):
+        if answer_store not in ("hash", "trie"):
+            raise ValueError("answer_store must be 'hash' or 'trie'")
+        self.db = Database()
+        self.tables = TableSpace(
+            use_trie=(answer_store == "trie"), subgoal_index=subgoal_index
+        )
+        self.trail = Trail()
+        self.builtins = default_registry()
+        self.operators = OperatorTable()
+        self.modules = ModuleSystem()
+        self.hilog_symbols = self.db.hilog_symbols
+        self.unknown = unknown
+        self.hilog_specialize = hilog_specialize
+        self.output = output if output is not None else sys.stdout
+        self.counting = False
+        self.call_counts = {}
+        self.log_subgoals = False
+        self.subgoal_log = []
+
+    # -- loading ---------------------------------------------------------------
+
+    def consult_string(self, text):
+        """Consult program text (clauses and directives)."""
+        from ..lang.reader import ProgramReader
+
+        ProgramReader(self).consult(text)
+        return self
+
+    def consult_file(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.consult_string(handle.read())
+
+    def add_fact(self, name, *args, dynamic=True, front=False):
+        """Fast-path insertion of one ground fact, bypassing the parser.
+
+        This is the analog of the formatted read + assert of section
+        4.6: arguments are Python values (str -> atom) and the fact is
+        compiled and indexed directly.
+        """
+        terms = tuple(python_to_term(a) for a in args)
+        clause = Clause(name, terms, (), 0)
+        pred = self.db.ensure(name, len(terms), dynamic=dynamic)
+        pred.dynamic = pred.dynamic or dynamic
+        pred.add_clause(clause, front=front)
+        return clause
+
+    def add_facts(self, name, rows, dynamic=True):
+        """Bulk-insert ground facts from an iterable of tuples."""
+        count = 0
+        for row in rows:
+            self.add_fact(name, *row, dynamic=dynamic)
+            count += 1
+        return count
+
+    def assertz(self, text):
+        """Assert one clause given as source text (dynamic code)."""
+        term = self.parse(text)
+        from ..hilog import hilog_encode
+
+        self.db.add_clause_term(
+            hilog_encode(term, self.hilog_symbols), dynamic=True
+        )
+        return self
+
+    def load_library(self):
+        """Consult the bundled list/set library (member/2, append/3,
+        reverse/2, select/3, set operations, maplist/foldl, ...)."""
+        from ..lib import load_library
+
+        return load_library(self)
+
+    # -- declarations ------------------------------------------------------------
+
+    def table(self, name, arity):
+        """Declare a predicate tabled (``:- table name/arity.``)."""
+        self.db.declare_tabled(name, arity)
+        return self
+
+    def dynamic(self, name, arity):
+        self.db.declare_dynamic(name, arity)
+        return self
+
+    def index(self, name, arity, field_sets, bucket_count=0):
+        """Declare hash indexing, e.g. ``index('p', 5, [1, 2, (3, 5)])``."""
+        normalized = [
+            (fields,) if isinstance(fields, int) else tuple(fields)
+            for fields in field_sets
+        ]
+        self.db.ensure(name, arity).set_hash_index(
+            normalized, bucket_count=bucket_count
+        )
+        return self
+
+    def index_trie(self, name, arity):
+        """Declare first-string (trie) indexing for a static predicate."""
+        self.db.ensure(name, arity).set_trie_index()
+        return self
+
+    # -- querying --------------------------------------------------------------------
+
+    def parse(self, text):
+        """Parse a single term using this engine's operator table."""
+        from ..lang.parser import parse_term
+
+        return parse_term(text, self.operators)
+
+    def _goal_and_vars(self, goal):
+        if isinstance(goal, str):
+            text = goal if goal.rstrip().endswith(".") else goal + " ."
+            parser = Parser(text, self.operators)
+            result = parser.read_term()
+            if result is None:
+                raise ParseError("empty query")
+            term, varmap = result
+            from ..hilog import hilog_encode
+
+            term = hilog_encode(term, self.hilog_symbols)
+            return term, varmap
+        from ..terms import term_variables
+
+        named = {
+            (v.name or f"_V{i}"): v
+            for i, v in enumerate(term_variables(goal))
+        }
+        return goal, named
+
+    def query_iter(self, goal, raw=False):
+        """Iterate solutions as dicts {variable name: value}.
+
+        Values are converted to Python (atoms -> str, lists -> list)
+        unless ``raw=True``, in which case resolved term copies are
+        returned.  Closing the iterator abandons the run and reclaims
+        any tables it left incomplete.
+        """
+        term, varmap = self._goal_and_vars(goal)
+        machine = Machine(self, MODE_QUERY)
+        for _ in machine.solve(term):
+            if raw:
+                yield {
+                    name: copy_term(var) for name, var in varmap.items()
+                }
+            else:
+                yield {
+                    name: term_to_python(var) for name, var in varmap.items()
+                }
+
+    def query(self, goal, limit=None, raw=False):
+        """All solutions (or the first ``limit``) as a list of dicts."""
+        out = []
+        iterator = self.query_iter(goal, raw=raw)
+        try:
+            for solution in iterator:
+                out.append(solution)
+                if limit is not None and len(out) >= limit:
+                    break
+        finally:
+            iterator.close()
+        return out
+
+    def once(self, goal, raw=False):
+        """First solution or None."""
+        solutions = self.query(goal, limit=1, raw=raw)
+        return solutions[0] if solutions else None
+
+    def has_solution(self, goal):
+        return self.once(goal) is not None
+
+    def count(self, goal):
+        """Number of solutions (drains the query)."""
+        machine = Machine(self, MODE_QUERY)
+        term, _ = self._goal_and_vars(goal)
+        total = 0
+        for _ in machine.solve(term):
+            total += 1
+        return total
+
+    def run_goal(self, term):
+        """Run a goal term once for its side effects; True on success."""
+        machine = Machine(self, MODE_QUERY)
+        gen = machine.solve(term)
+        try:
+            for _ in gen:
+                return True
+            return False
+        finally:
+            gen.close()
+
+    # -- instrumentation / maintenance ----------------------------------------------
+
+    def start_counting(self, log_subgoals=False):
+        """Count predicate calls (used to reproduce Figure 2).
+
+        With ``log_subgoals=True`` every call's variant-canonical form
+        is recorded too, so *distinct subgoals* can be counted — the
+        quantity Figure 2 plots for SLDNF over the game tree.
+        """
+        self.counting = True
+        self.call_counts = {}
+        self.log_subgoals = log_subgoals
+        self.subgoal_log = []
+        return self
+
+    def stop_counting(self):
+        self.counting = False
+        return dict(self.call_counts)
+
+    def distinct_subgoals(self, name, arity):
+        """Distinct logged subgoal variants of one predicate."""
+        return len(
+            {
+                key
+                for (n, a, key) in self.subgoal_log
+                if n == name and a == arity
+            }
+        )
+
+    def table_statistics(self):
+        return self.tables.statistics()
+
+    def abolish_all_tables(self):
+        self.tables.abolish_all()
+        return self
+
+    def predicate(self, name, arity):
+        return self.db.lookup(name, arity)
+
+    def __repr__(self):
+        return (
+            f"<Engine {self.db.user_clause_count()} clauses, "
+            f"{self.tables.frame_count()} tables>"
+        )

@@ -1,0 +1,1012 @@
+"""Builtin predicates of the engine.
+
+Each builtin is a function ``fn(machine, args, goals)`` returning the
+next goal list on success or ``None`` on failure; nondeterministic
+builtins push an :class:`~repro.engine.frames.IteratorCP` themselves.
+The registry maps ``(name, arity)`` to the function.
+
+The set covers what the paper's examples and experiments use: control
+(`call/1..8`, negation in its three flavours, ``tcut/0``), term
+inspection and construction, arithmetic, all-solutions (`findall/3`,
+``tfindall/3``, ``bagof/3``, ``setof/3``), and the dynamic-database
+operations of section 4.2 (assert/retract at the clause level,
+retractall/abolish at the predicate level).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import (
+    EvaluationError,
+    InstantiationError,
+    NonStratifiedError,
+    TablingError,
+    TypeError_,
+)
+from ..terms import (
+    NIL,
+    Atom,
+    Struct,
+    Var,
+    canonical_key,
+    compare_terms,
+    copy_term,
+    deref,
+    is_ground,
+    is_proper_list,
+    list_to_python,
+    make_list,
+    mkatom,
+    term_variables,
+    unify,
+)
+from .frames import Goals, IteratorCP
+from .machine import MODE_FINDALL, MODE_NEGATION
+
+__all__ = ["default_registry", "arith_eval"]
+
+
+# --------------------------------------------------------------------------
+# arithmetic
+# --------------------------------------------------------------------------
+
+def _int2(fn):
+    def wrapped(a, b):
+        if not isinstance(a, int) or not isinstance(b, int):
+            raise TypeError_("integer arithmetic", (a, b))
+        return fn(a, b)
+
+    return wrapped
+
+
+_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int) and b and a % b == 0 else a / b,
+    "//": _int2(lambda a, b: a // b),
+    "mod": _int2(lambda a, b: a % b),
+    "rem": _int2(lambda a, b: a - (abs(a) // abs(b)) * abs(b) * (1 if a >= 0 else -1) if b else 0),
+    "min": min,
+    "max": max,
+    "**": lambda a, b: float(a) ** float(b),
+    "^": lambda a, b: a**b,
+    ">>": _int2(lambda a, b: a >> b),
+    "<<": _int2(lambda a, b: a << b),
+    "/\\": _int2(lambda a, b: a & b),
+    "\\/": _int2(lambda a, b: a | b),
+    "xor": _int2(lambda a, b: a ^ b),
+    "gcd": _int2(math.gcd),
+    "atan2": math.atan2,
+    "atan": math.atan2,
+    "copysign": math.copysign,
+}
+
+_UNARY = {
+    "-": lambda a: -a,
+    "+": lambda a: a,
+    "abs": abs,
+    "sign": lambda a: (a > 0) - (a < 0) if isinstance(a, int) else math.copysign(1.0, a) if a else 0.0,
+    "sqrt": math.sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "asin": math.asin,
+    "acos": math.acos,
+    "atan": math.atan,
+    "exp": math.exp,
+    "log": math.log,
+    "log2": math.log2,
+    "float": float,
+    "integer": lambda a: int(a),
+    "float_integer_part": lambda a: float(int(a)),
+    "float_fractional_part": lambda a: a - int(a),
+    "truncate": lambda a: int(a),
+    "round": lambda a: int(round(a)),
+    "ceiling": lambda a: int(math.ceil(a)),
+    "floor": lambda a: int(math.floor(a)),
+    "msb": lambda a: a.bit_length() - 1,
+    "\\": lambda a: ~a,
+}
+
+_CONSTANTS = {
+    "pi": math.pi,
+    "e": math.e,
+    "inf": math.inf,
+    "epsilon": 2.220446049250313e-16,
+    "max_tagged_integer": (1 << 62) - 1,
+    "random": None,  # resolved lazily; deterministic engines may seed
+}
+
+
+def arith_eval(term):
+    """Evaluate an arithmetic expression term to a Python number."""
+    term = deref(term)
+    if isinstance(term, (int, float)):
+        return term
+    if isinstance(term, Var):
+        raise InstantiationError("arithmetic expression")
+    if isinstance(term, Atom):
+        value = _CONSTANTS.get(term.name)
+        if term.name == "random":
+            import random
+
+            return random.random()
+        if value is None:
+            raise TypeError_("evaluable", term)
+        return value
+    if isinstance(term, Struct):
+        if len(term.args) == 2:
+            fn = _BINARY.get(term.name)
+            if fn is not None:
+                left = arith_eval(term.args[0])
+                right = arith_eval(term.args[1])
+                try:
+                    return fn(left, right)
+                except ZeroDivisionError as exc:
+                    raise EvaluationError("zero_divisor") from exc
+        if len(term.args) == 1:
+            fn = _UNARY.get(term.name)
+            if fn is not None:
+                try:
+                    return fn(arith_eval(term.args[0]))
+                except ValueError as exc:
+                    raise EvaluationError(str(exc)) from exc
+    raise TypeError_("evaluable", term)
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+def _unify_or_fail(machine, left, right, goals):
+    mark = machine.trail.mark()
+    if unify(left, right, machine.trail):
+        return goals.next
+    machine.trail.undo_to(mark)
+    return None
+
+
+def _extend_goal(goal, extra):
+    """call/N: add ``extra`` arguments to ``goal``."""
+    goal = deref(goal)
+    if isinstance(goal, Atom):
+        return Struct(goal.name, tuple(extra))
+    if isinstance(goal, Struct):
+        return Struct(goal.name, goal.args + tuple(extra))
+    if isinstance(goal, Var):
+        raise InstantiationError("call/N")
+    raise TypeError_("callable", goal)
+
+
+def _nondet(machine, thunks, goals):
+    """Push an IteratorCP over ``thunks`` and take its first alternative."""
+    from .frames import EXHAUSTED
+
+    cp = IteratorCP(machine.trail.mark(), thunks, goals.next)
+    machine.cpstack.append(cp)
+    result = cp.retry(machine)
+    if result is EXHAUSTED:
+        machine.cpstack.pop()
+        return None
+    return result
+
+
+# --------------------------------------------------------------------------
+# unification / comparison
+# --------------------------------------------------------------------------
+
+def bi_unify(machine, args, goals):
+    return _unify_or_fail(machine, args[0], args[1], goals)
+
+
+def bi_not_unify(machine, args, goals):
+    mark = machine.trail.mark()
+    ok = unify(args[0], args[1], machine.trail)
+    machine.trail.undo_to(mark)
+    return None if ok else goals.next
+
+
+def bi_struct_eq(machine, args, goals):
+    return goals.next if compare_terms(args[0], args[1]) == 0 else None
+
+
+def bi_struct_neq(machine, args, goals):
+    return goals.next if compare_terms(args[0], args[1]) != 0 else None
+
+
+def _ordering(op):
+    def builtin(machine, args, goals):
+        c = compare_terms(args[0], args[1])
+        return goals.next if op(c) else None
+
+    return builtin
+
+
+def bi_compare(machine, args, goals):
+    c = compare_terms(args[1], args[2])
+    symbol = mkatom("<" if c < 0 else ">" if c > 0 else "=")
+    return _unify_or_fail(machine, args[0], symbol, goals)
+
+
+# --------------------------------------------------------------------------
+# type tests
+# --------------------------------------------------------------------------
+
+def _type_test(test):
+    def builtin(machine, args, goals):
+        return goals.next if test(deref(args[0])) else None
+
+    return builtin
+
+
+bi_var = _type_test(lambda t: isinstance(t, Var))
+bi_nonvar = _type_test(lambda t: not isinstance(t, Var))
+bi_atom = _type_test(lambda t: isinstance(t, Atom))
+bi_number = _type_test(lambda t: isinstance(t, (int, float)))
+bi_integer = _type_test(lambda t: isinstance(t, int))
+bi_float = _type_test(lambda t: isinstance(t, float))
+bi_atomic = _type_test(lambda t: isinstance(t, (Atom, int, float)))
+bi_compound = _type_test(lambda t: isinstance(t, Struct))
+bi_callable = _type_test(lambda t: isinstance(t, (Atom, Struct)))
+bi_is_list = _type_test(is_proper_list)
+bi_ground = _type_test(is_ground)
+
+
+# --------------------------------------------------------------------------
+# term construction / inspection
+# --------------------------------------------------------------------------
+
+def bi_functor(machine, args, goals):
+    term = deref(args[0])
+    if isinstance(term, Var):
+        name = deref(args[1])
+        arity = deref(args[2])
+        if isinstance(arity, Var) or isinstance(name, Var):
+            raise InstantiationError("functor/3")
+        if not isinstance(arity, int):
+            raise TypeError_("integer", arity)
+        if arity == 0:
+            return _unify_or_fail(machine, term, name, goals)
+        if not isinstance(name, Atom):
+            raise TypeError_("atom", name)
+        fresh = Struct(name.name, tuple(Var() for _ in range(arity)))
+        return _unify_or_fail(machine, term, fresh, goals)
+    if isinstance(term, Struct):
+        name, arity = mkatom(term.name), len(term.args)
+    elif isinstance(term, Atom):
+        name, arity = term, 0
+    else:
+        name, arity = term, 0
+    mark = machine.trail.mark()
+    if unify(args[1], name, machine.trail) and unify(args[2], arity, machine.trail):
+        return goals.next
+    machine.trail.undo_to(mark)
+    return None
+
+
+def bi_arg(machine, args, goals):
+    n = deref(args[0])
+    term = deref(args[1])
+    if not isinstance(term, Struct):
+        raise TypeError_("compound", term)
+    if isinstance(n, int):
+        if 1 <= n <= len(term.args):
+            return _unify_or_fail(machine, args[2], term.args[n - 1], goals)
+        return None
+    if isinstance(n, Var):
+        trail = machine.trail
+
+        def thunk_for(index):
+            def thunk():
+                return unify(n, index + 1, trail) and unify(
+                    args[2], term.args[index], trail
+                )
+
+            return thunk
+
+        return _nondet(machine, (thunk_for(i) for i in range(len(term.args))), goals)
+    raise TypeError_("integer", n)
+
+
+def bi_univ(machine, args, goals):
+    term = deref(args[0])
+    if isinstance(term, Var):
+        items = list_to_python(args[1])
+        if not items:
+            raise TypeError_("non-empty list", args[1])
+        head = deref(items[0])
+        if len(items) == 1:
+            return _unify_or_fail(machine, term, head, goals)
+        if not isinstance(head, Atom):
+            raise TypeError_("atom functor", head)
+        return _unify_or_fail(
+            machine, term, Struct(head.name, tuple(items[1:])), goals
+        )
+    if isinstance(term, Struct):
+        listed = make_list([mkatom(term.name), *term.args])
+    else:
+        listed = make_list([term])
+    return _unify_or_fail(machine, args[1], listed, goals)
+
+
+def bi_copy_term(machine, args, goals):
+    return _unify_or_fail(machine, args[1], copy_term(args[0]), goals)
+
+
+# --------------------------------------------------------------------------
+# arithmetic builtins
+# --------------------------------------------------------------------------
+
+def bi_is(machine, args, goals):
+    return _unify_or_fail(machine, args[0], arith_eval(args[1]), goals)
+
+
+def _arith_cmp(op):
+    def builtin(machine, args, goals):
+        return goals.next if op(arith_eval(args[0]), arith_eval(args[1])) else None
+
+    return builtin
+
+
+def bi_between(machine, args, goals):
+    low = arith_eval(args[0])
+    high = arith_eval(args[1])
+    x = deref(args[2])
+    if isinstance(x, int):
+        return goals.next if low <= x <= high else None
+    trail = machine.trail
+
+    def thunk_for(value):
+        def thunk():
+            return unify(x, value, trail)
+
+        return thunk
+
+    return _nondet(machine, (thunk_for(v) for v in range(low, high + 1)), goals)
+
+
+def bi_succ(machine, args, goals):
+    a = deref(args[0])
+    b = deref(args[1])
+    if isinstance(a, int):
+        return _unify_or_fail(machine, b, a + 1, goals)
+    if isinstance(b, int):
+        if b <= 0:
+            return None
+        return _unify_or_fail(machine, a, b - 1, goals)
+    raise InstantiationError("succ/2")
+
+
+# --------------------------------------------------------------------------
+# control
+# --------------------------------------------------------------------------
+
+def _make_call(machine, goal, extra, goals):
+    target = _extend_goal(goal, extra) if extra else deref(goal)
+    if isinstance(target, Var):
+        raise InstantiationError("call/1")
+    return Goals(target, goals.next, len(machine.cpstack))
+
+
+def bi_call(machine, args, goals):
+    return _make_call(machine, args[0], args[1:], goals)
+
+
+def bi_naf(machine, args, goals):
+    r"""``\+/1`` — SLDNF negation by failure (existential, no tables kept)."""
+    goal = deref(args[0])
+    if isinstance(goal, Var):
+        raise InstantiationError("\\+/1")
+    found = machine.nested_has_solution(goal, MODE_NEGATION)
+    return None if found else goals.next
+
+
+def _resolve_tabled_negation(machine, goal, context):
+    """Common checks for tnot/e_tnot; returns the dereffed goal."""
+    goal = deref(goal)
+    if isinstance(goal, Var):
+        raise InstantiationError(context)
+    if not isinstance(goal, (Atom, Struct)):
+        raise TypeError_("callable", goal)
+    if not is_ground(goal):
+        # A call to a non-ground negative literal flounders (footnote 1).
+        raise NonStratifiedError(f"floundering: non-ground {context} call {goal!r}")
+    name = goal.name
+    arity = len(goal.args) if isinstance(goal, Struct) else 0
+    pred = machine.engine.db.lookup(name, arity)
+    if pred is None or not pred.tabled:
+        raise TablingError(
+            f"{context} requires a tabled predicate; {name}/{arity} is not tabled"
+        )
+    return goal
+
+
+def bi_tnot(machine, args, goals):
+    """SLG negation: completely evaluate the positive subgoal, keep its
+    table, then succeed iff it has no answer (section 4.4)."""
+    goal = _resolve_tabled_negation(machine, args[0], "tnot/1")
+    tables = machine.engine.tables
+    frame = tables.lookup_term(goal)
+    if frame is not None and not frame.complete:
+        raise NonStratifiedError(frame.indicator)
+    if frame is None:
+        machine.nested_drain(goal, MODE_NEGATION)
+        frame = tables.lookup_term(goal)
+    if frame is None or not frame.complete:
+        raise TablingError(f"tnot/1: table for {goal!r} did not complete")
+    return None if frame.has_unconditional_answer() else goals.next
+
+
+def bi_e_tnot(machine, args, goals):
+    """Existential Negation: stop the positive subgoal at its first
+    answer and reclaim its tables (the tcut behaviour of section 4.4)."""
+    goal = _resolve_tabled_negation(machine, args[0], "e_tnot/1")
+    tables = machine.engine.tables
+    frame = tables.lookup_term(goal)
+    if frame is not None:
+        if not frame.complete:
+            raise NonStratifiedError(frame.indicator)
+        return None if frame.has_unconditional_answer() else goals.next
+    found = machine.nested_has_solution(goal, MODE_NEGATION)
+    return None if found else goals.next
+
+
+def bi_tcut(machine, args, goals):
+    machine.tcut_to(goals.cutbar)
+    return goals.next
+
+
+def bi_forall(machine, args, goals):
+    cond, action = args
+    test = Struct(",", (cond, Struct("\\+", (action,))))
+    found = machine.nested_has_solution(test, MODE_NEGATION)
+    return None if found else goals.next
+
+
+def bi_once(machine, args, goals):
+    goal = deref(args[0])
+    ite = Struct("->", (goal, mkatom("true")))
+    return Goals(ite, goals.next, len(machine.cpstack))
+
+
+def bi_ignore(machine, args, goals):
+    goal = deref(args[0])
+    ite = Struct(";", (Struct("->", (goal, mkatom("true"))), mkatom("true")))
+    return Goals(ite, goals.next, len(machine.cpstack))
+
+
+# --------------------------------------------------------------------------
+# all-solutions
+# --------------------------------------------------------------------------
+
+def bi_findall(machine, args, goals):
+    template, goal, out = args
+    goal = deref(goal)
+    if isinstance(goal, Var):
+        raise InstantiationError("findall/3")
+    collected = machine.nested_drain(
+        goal, MODE_FINDALL, collect=lambda: copy_term(template)
+    )
+    return _unify_or_fail(machine, out, make_list(collected), goals)
+
+
+def bi_tfindall(machine, args, goals):
+    """``tfindall/3`` — findall that insists on a completed table.
+
+    XSB suspends the caller until the table completes; with this
+    engine's subordinate-run scheduling a fresh subgoal is completed by
+    the nested run itself, so the only remaining case — the subgoal is
+    in the caller's own SCC — is non-stratified aggregation and is
+    rejected, mirroring the paper's stratification assumption.
+    """
+    template, goal, out = args
+    goal = deref(goal)
+    if isinstance(goal, Struct) or isinstance(goal, Atom):
+        frame = machine.engine.tables.lookup_term(goal)
+        if frame is not None and not frame.complete:
+            raise NonStratifiedError(
+                f"tfindall/3 on incomplete table {frame.indicator}"
+            )
+    return bi_findall(machine, args, goals)
+
+
+def _collect_grouped(machine, template, goal):
+    """Shared bagof/setof harness: strip ^-witnesses, find the free
+    variables, and return [(free_key, free_tuple, value)] per solution."""
+    witnesses = []
+    inner = deref(goal)
+    while isinstance(inner, Struct) and inner.name == "^" and len(inner.args) == 2:
+        witnesses.append(inner.args[0])
+        inner = deref(inner.args[1])
+    bound = {id(v) for v in term_variables(template)}
+    for witness in witnesses:
+        bound.update(id(v) for v in term_variables(witness))
+    free = [v for v in term_variables(inner) if id(v) not in bound]
+    free_tuple = Struct("$free", tuple(free)) if free else mkatom("$free")
+
+    def collect():
+        return copy_term(Struct("-", (free_tuple, template)))
+
+    solutions = machine.nested_drain(inner, MODE_FINDALL, collect=collect)
+    groups = []
+    index = {}
+    for pair in solutions:
+        free_part, value = pair.args
+        key = canonical_key(free_part)
+        slot = index.get(key)
+        if slot is None:
+            index[key] = len(groups)
+            groups.append((free_part, [value]))
+        else:
+            groups[slot][1].append(value)
+    return free_tuple, groups
+
+
+def bi_bagof(machine, args, goals):
+    template, goal, out = args
+    free_tuple, groups = _collect_grouped(machine, template, goal)
+    if not groups:
+        return None
+    trail = machine.trail
+
+    def thunk_for(free_part, values):
+        def thunk():
+            return unify(free_tuple, free_part, trail) and unify(
+                out, make_list(values), trail
+            )
+
+        return thunk
+
+    return _nondet(
+        machine, (thunk_for(fp, vs) for fp, vs in groups), goals
+    )
+
+
+def bi_setof(machine, args, goals):
+    template, goal, out = args
+    free_tuple, groups = _collect_grouped(machine, template, goal)
+    if not groups:
+        return None
+    trail = machine.trail
+    import functools
+
+    def dedup_sort(values):
+        values = sorted(values, key=functools.cmp_to_key(compare_terms))
+        unique = []
+        for value in values:
+            if not unique or compare_terms(unique[-1], value) != 0:
+                unique.append(value)
+        return unique
+
+    def thunk_for(free_part, values):
+        def thunk():
+            return unify(free_tuple, free_part, trail) and unify(
+                out, make_list(dedup_sort(values)), trail
+            )
+
+        return thunk
+
+    return _nondet(
+        machine, (thunk_for(fp, vs) for fp, vs in groups), goals
+    )
+
+
+def bi_phrase2(machine, args, goals):
+    """``phrase(Body, List)`` — run a grammar body over a whole list."""
+    from ..lang.dcg import dcg_body_goal
+
+    goal = dcg_body_goal(args[0], args[1], NIL)
+    return Goals(goal, goals.next, len(machine.cpstack))
+
+
+def bi_phrase3(machine, args, goals):
+    """``phrase(Body, List, Rest)`` — difference-list grammar call."""
+    from ..lang.dcg import dcg_body_goal
+
+    goal = dcg_body_goal(args[0], args[1], args[2])
+    return Goals(goal, goals.next, len(machine.cpstack))
+
+
+def bi_aggregate_count(machine, args, goals):
+    goal, out = args
+    count = machine.nested_drain(deref(goal), MODE_FINDALL)
+    return _unify_or_fail(machine, out, count, goals)
+
+
+# --------------------------------------------------------------------------
+# dynamic database
+# --------------------------------------------------------------------------
+
+def _assert(machine, term, front):
+    term = copy_term(deref(term))
+    machine.engine.db.add_clause_term(term, dynamic=True, front=front)
+
+
+def bi_assertz(machine, args, goals):
+    _assert(machine, args[0], front=False)
+    return goals.next
+
+
+def bi_asserta(machine, args, goals):
+    _assert(machine, args[0], front=True)
+    return goals.next
+
+
+def _clause_spec(term):
+    """Split an assert/retract argument into (head, body-or-None)."""
+    term = deref(term)
+    if isinstance(term, Struct) and term.name == ":-" and len(term.args) == 2:
+        return deref(term.args[0]), deref(term.args[1])
+    return term, None
+
+
+def bi_retract(machine, args, goals):
+    head, body = _clause_spec(args[0])
+    if isinstance(head, Var):
+        raise InstantiationError("retract/1")
+    name = head.name
+    arity = len(head.args) if isinstance(head, Struct) else 0
+    pred = machine.engine.db.lookup(name, arity)
+    if pred is None:
+        return None
+    call_args = head.args if isinstance(head, Struct) else ()
+    candidates = list(pred.candidates(call_args))
+    trail = machine.trail
+    target_body = body if body is not None else mkatom("true")
+
+    def thunk_for(clause):
+        def thunk():
+            if body is None and clause.body:
+                # retract(Head) only matches facts (body `true`).
+                return False
+            clause_term = clause.to_term()
+            if isinstance(clause_term, Struct) and clause_term.name == ":-":
+                c_head, c_body = clause_term.args
+            else:
+                c_head, c_body = clause_term, mkatom("true")
+            if not unify(c_head, head, trail):
+                return False
+            if body is not None and not unify(c_body, target_body, trail):
+                return False
+            return pred.remove_clause(clause)
+
+        return thunk
+
+    return _nondet(machine, (thunk_for(c) for c in candidates), goals)
+
+
+def bi_retractall(machine, args, goals):
+    head = deref(args[0])
+    if isinstance(head, Var):
+        raise InstantiationError("retractall/1")
+    name = head.name
+    arity = len(head.args) if isinstance(head, Struct) else 0
+    pred = machine.engine.db.lookup(name, arity)
+    if pred is None:
+        machine.engine.db.declare_dynamic(name, arity)
+        return goals.next
+    call_args = head.args if isinstance(head, Struct) else ()
+    trail = machine.trail
+    mark = trail.mark()
+    for clause in list(pred.candidates(call_args)):
+        clause_term = clause.to_term()
+        c_head = (
+            clause_term.args[0]
+            if isinstance(clause_term, Struct) and clause_term.name == ":-"
+            else clause_term
+        )
+        if unify(c_head, head, trail):
+            pred.remove_clause(clause)
+        trail.undo_to(mark)
+    return goals.next
+
+
+def bi_abolish(machine, args, goals):
+    spec = deref(args[0])
+    if (
+        isinstance(spec, Struct)
+        and spec.name == "/"
+        and len(spec.args) == 2
+    ):
+        name = deref(spec.args[0])
+        arity = deref(spec.args[1])
+        if isinstance(name, Atom) and isinstance(arity, int):
+            machine.engine.db.abolish(name.name, arity)
+            return goals.next
+    raise TypeError_("predicate indicator", spec)
+
+
+def bi_clause(machine, args, goals):
+    head = deref(args[0])
+    if isinstance(head, Var):
+        raise InstantiationError("clause/2")
+    name = head.name
+    arity = len(head.args) if isinstance(head, Struct) else 0
+    pred = machine.engine.db.lookup(name, arity)
+    if pred is None:
+        return None
+    call_args = head.args if isinstance(head, Struct) else ()
+    trail = machine.trail
+
+    def thunk_for(clause):
+        def thunk():
+            clause_term = clause.to_term()
+            if isinstance(clause_term, Struct) and clause_term.name == ":-":
+                c_head, c_body = clause_term.args
+            else:
+                c_head, c_body = clause_term, mkatom("true")
+            return unify(c_head, head, trail) and unify(c_body, args[1], trail)
+
+        return thunk
+
+    return _nondet(
+        machine, (thunk_for(c) for c in list(pred.candidates(call_args))), goals
+    )
+
+
+def bi_abolish_all_tables(machine, args, goals):
+    machine.engine.tables.abolish_all()
+    return goals.next
+
+
+# --------------------------------------------------------------------------
+# atoms, lists, sorting, output
+# --------------------------------------------------------------------------
+
+def bi_atom_codes(machine, args, goals):
+    a = deref(args[0])
+    if isinstance(a, Atom):
+        return _unify_or_fail(
+            machine, args[1], make_list([ord(c) for c in a.name]), goals
+        )
+    if isinstance(a, (int, float)):
+        return _unify_or_fail(
+            machine, args[1], make_list([ord(c) for c in repr(a)]), goals
+        )
+    codes = list_to_python(args[1])
+    text = "".join(chr(deref(c)) for c in codes)
+    return _unify_or_fail(machine, a, mkatom(text), goals)
+
+
+def bi_atom_chars(machine, args, goals):
+    a = deref(args[0])
+    if isinstance(a, Atom):
+        return _unify_or_fail(
+            machine, args[1], make_list([mkatom(c) for c in a.name]), goals
+        )
+    chars = list_to_python(args[1])
+    text = "".join(deref(c).name for c in chars)
+    return _unify_or_fail(machine, a, mkatom(text), goals)
+
+
+def bi_atom_length(machine, args, goals):
+    a = deref(args[0])
+    if not isinstance(a, Atom):
+        raise TypeError_("atom", a)
+    return _unify_or_fail(machine, args[1], len(a.name), goals)
+
+
+def bi_atom_concat(machine, args, goals):
+    a, b, c = (deref(x) for x in args)
+    if isinstance(a, Atom) and isinstance(b, Atom):
+        return _unify_or_fail(machine, c, mkatom(a.name + b.name), goals)
+    if not isinstance(c, Atom):
+        raise InstantiationError("atom_concat/3")
+    trail = machine.trail
+    text = c.name
+
+    def thunk_for(split):
+        def thunk():
+            return unify(a, mkatom(text[:split]), trail) and unify(
+                b, mkatom(text[split:]), trail
+            )
+
+        return thunk
+
+    return _nondet(machine, (thunk_for(i) for i in range(len(text) + 1)), goals)
+
+
+def bi_number_codes(machine, args, goals):
+    n = deref(args[0])
+    if isinstance(n, (int, float)):
+        return _unify_or_fail(
+            machine, args[1], make_list([ord(c) for c in repr(n)]), goals
+        )
+    codes = list_to_python(args[1])
+    text = "".join(chr(deref(c)) for c in codes)
+    try:
+        value = int(text)
+    except ValueError:
+        try:
+            value = float(text)
+        except ValueError as exc:
+            raise TypeError_("number text", text) from exc
+    return _unify_or_fail(machine, n, value, goals)
+
+
+def bi_char_code(machine, args, goals):
+    a = deref(args[0])
+    if isinstance(a, Atom):
+        return _unify_or_fail(machine, args[1], ord(a.name), goals)
+    code = deref(args[1])
+    if isinstance(code, int):
+        return _unify_or_fail(machine, a, mkatom(chr(code)), goals)
+    raise InstantiationError("char_code/2")
+
+
+def bi_length(machine, args, goals):
+    lst = deref(args[0])
+    n = deref(args[1])
+    if is_proper_list(lst):
+        return _unify_or_fail(machine, n, len(list_to_python(lst)), goals)
+    if isinstance(n, int):
+        fresh = make_list([Var() for _ in range(n)])
+        return _unify_or_fail(machine, lst, fresh, goals)
+    raise InstantiationError("length/2")
+
+
+def _sort_terms(items, dedup):
+    import functools
+
+    items = sorted(items, key=functools.cmp_to_key(compare_terms))
+    if not dedup:
+        return items
+    unique = []
+    for item in items:
+        if not unique or compare_terms(unique[-1], item) != 0:
+            unique.append(item)
+    return unique
+
+
+def bi_sort(machine, args, goals):
+    items = list_to_python(args[0])
+    return _unify_or_fail(
+        machine, args[1], make_list(_sort_terms(items, dedup=True)), goals
+    )
+
+
+def bi_msort(machine, args, goals):
+    items = list_to_python(args[0])
+    return _unify_or_fail(
+        machine, args[1], make_list(_sort_terms(items, dedup=False)), goals
+    )
+
+
+def _write(machine, term, quoted):
+    from ..lang.writer import term_to_str
+
+    machine.engine.output.write(
+        term_to_str(term, machine.engine.operators, quoted=quoted)
+    )
+
+
+def bi_write(machine, args, goals):
+    _write(machine, args[0], quoted=False)
+    return goals.next
+
+
+def bi_print(machine, args, goals):
+    _write(machine, args[0], quoted=False)
+    return goals.next
+
+
+def bi_writeq(machine, args, goals):
+    _write(machine, args[0], quoted=True)
+    return goals.next
+
+
+def bi_write_canonical(machine, args, goals):
+    from ..lang.writer import term_to_str
+
+    machine.engine.output.write(
+        term_to_str(args[0], machine.engine.operators, quoted=True,
+                    hilog_notation=False)
+    )
+    return goals.next
+
+
+def bi_nl(machine, args, goals):
+    machine.engine.output.write("\n")
+    return goals.next
+
+
+def bi_writeln(machine, args, goals):
+    _write(machine, args[0], quoted=False)
+    machine.engine.output.write("\n")
+    return goals.next
+
+
+def bi_tab(machine, args, goals):
+    machine.engine.output.write(" " * arith_eval(args[0]))
+    return goals.next
+
+
+def bi_halt(machine, args, goals):
+    raise SystemExit(0)
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+def default_registry():
+    registry = {
+        ("=", 2): bi_unify,
+        ("\\=", 2): bi_not_unify,
+        ("==", 2): bi_struct_eq,
+        ("\\==", 2): bi_struct_neq,
+        ("@<", 2): _ordering(lambda c: c < 0),
+        ("@>", 2): _ordering(lambda c: c > 0),
+        ("@=<", 2): _ordering(lambda c: c <= 0),
+        ("@>=", 2): _ordering(lambda c: c >= 0),
+        ("compare", 3): bi_compare,
+        ("var", 1): bi_var,
+        ("nonvar", 1): bi_nonvar,
+        ("atom", 1): bi_atom,
+        ("number", 1): bi_number,
+        ("integer", 1): bi_integer,
+        ("float", 1): bi_float,
+        ("atomic", 1): bi_atomic,
+        ("compound", 1): bi_compound,
+        ("callable", 1): bi_callable,
+        ("is_list", 1): bi_is_list,
+        ("ground", 1): bi_ground,
+        ("functor", 3): bi_functor,
+        ("arg", 3): bi_arg,
+        ("=..", 2): bi_univ,
+        ("copy_term", 2): bi_copy_term,
+        ("is", 2): bi_is,
+        ("=:=", 2): _arith_cmp(lambda a, b: a == b),
+        ("=\\=", 2): _arith_cmp(lambda a, b: a != b),
+        ("<", 2): _arith_cmp(lambda a, b: a < b),
+        (">", 2): _arith_cmp(lambda a, b: a > b),
+        ("=<", 2): _arith_cmp(lambda a, b: a <= b),
+        (">=", 2): _arith_cmp(lambda a, b: a >= b),
+        ("between", 3): bi_between,
+        ("succ", 2): bi_succ,
+        ("\\+", 1): bi_naf,
+        ("not", 1): bi_naf,
+        ("tnot", 1): bi_tnot,
+        ("e_tnot", 1): bi_e_tnot,
+        ("tcut", 0): bi_tcut,
+        ("forall", 2): bi_forall,
+        ("once", 1): bi_once,
+        ("ignore", 1): bi_ignore,
+        ("findall", 3): bi_findall,
+        ("tfindall", 3): bi_tfindall,
+        ("bagof", 3): bi_bagof,
+        ("setof", 3): bi_setof,
+        ("aggregate_count", 2): bi_aggregate_count,
+        ("phrase", 2): bi_phrase2,
+        ("phrase", 3): bi_phrase3,
+        ("assert", 1): bi_assertz,
+        ("assertz", 1): bi_assertz,
+        ("asserta", 1): bi_asserta,
+        ("retract", 1): bi_retract,
+        ("retractall", 1): bi_retractall,
+        ("abolish", 1): bi_abolish,
+        ("clause", 2): bi_clause,
+        ("abolish_all_tables", 0): bi_abolish_all_tables,
+        ("atom_codes", 2): bi_atom_codes,
+        ("atom_chars", 2): bi_atom_chars,
+        ("atom_length", 2): bi_atom_length,
+        ("atom_concat", 3): bi_atom_concat,
+        ("number_codes", 2): bi_number_codes,
+        ("char_code", 2): bi_char_code,
+        ("length", 2): bi_length,
+        ("sort", 2): bi_sort,
+        ("msort", 2): bi_msort,
+        ("write", 1): bi_write,
+        ("print", 1): bi_print,
+        ("writeq", 1): bi_writeq,
+        ("write_canonical", 1): bi_write_canonical,
+        ("nl", 0): bi_nl,
+        ("writeln", 1): bi_writeln,
+        ("tab", 1): bi_tab,
+        ("halt", 0): bi_halt,
+    }
+    for n in range(1, 9):
+        registry[("call", n)] = bi_call
+    return registry

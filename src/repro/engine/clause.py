@@ -1,0 +1,225 @@
+"""Compiled clause templates — the Python analog of WAM clause code.
+
+A clause is compiled once into *skeletons*: its head arguments and body
+literals with every variable replaced by a :class:`SlotRef` index.
+Resolution then works like compiled code rather than interpretation:
+
+* head matching walks the head skeleton against the call's argument
+  terms directly (the analog of ``get``/``unify`` instructions) —
+  first occurrences of a variable simply capture the argument, with no
+  trailing and no term construction;
+* body instantiation builds the body goals from the skeleton and the
+  slot array (the analog of ``put`` instructions), creating fresh
+  variables lazily for body-only variables.
+
+This is where the engine's "compiled, not interpreted" speed claim
+lives; :mod:`repro.engine.interp`, the meta-interpreter, deliberately
+skips this machinery so the two tiers can be compared (section 3.2).
+"""
+
+from __future__ import annotations
+
+from ..terms import Atom, Struct, Var, bind, deref, unify
+from ..terms.compare import canonical_key
+
+__all__ = ["SlotRef", "Clause", "compile_clause", "decompose_clause"]
+
+_UNSET = object()
+
+
+class SlotRef(Var):
+    """A compiled variable: an index into the resolution's slot array.
+
+    Subclasses :class:`Var` (always unbound) so that code that merely
+    *inspects* skeletons — the indexing subsystem in particular — sees
+    slot references as variables without special-casing them.  The
+    resolution paths in this module always test for SlotRef first and
+    never bind one.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index, name=None):
+        super().__init__(name)
+        self.index = index
+
+    def __repr__(self):
+        return f"${self.index}"
+
+
+def _skeletonize(term, slots):
+    """Replace variables by SlotRefs, assigning slot numbers on first use."""
+    term = deref(term)
+    if isinstance(term, Var):
+        ref = slots.get(id(term))
+        if ref is None:
+            ref = SlotRef(len(slots), term.name)
+            slots[id(term)] = ref
+        return ref
+    if isinstance(term, Struct):
+        return Struct(term.name, tuple(_skeletonize(a, slots) for a in term.args))
+    return term
+
+
+def decompose_clause(term):
+    """Split a clause term into (head, [body literals])."""
+    term = deref(term)
+    if isinstance(term, Struct) and term.name == ":-" and len(term.args) == 2:
+        head = deref(term.args[0])
+        body = []
+        _flatten_body(term.args[1], body)
+        return head, body
+    return term, []
+
+
+def _flatten_body(term, out):
+    term = deref(term)
+    if isinstance(term, Struct) and term.name == "," and len(term.args) == 2:
+        _flatten_body(term.args[0], out)
+        _flatten_body(term.args[1], out)
+    else:
+        out.append(term)
+
+
+class Clause:
+    """One compiled clause.
+
+    ``head_args`` and ``body`` are skeletons; ``nslots`` the number of
+    distinct variables.  ``seq`` is assigned by the database and orders
+    clauses within a predicate.
+    """
+
+    __slots__ = ("name", "arity", "head_args", "body", "nslots", "seq", "source")
+
+    def __init__(self, name, head_args, body, nslots, source=None):
+        self.name = name
+        self.arity = len(head_args)
+        self.head_args = head_args
+        self.body = body
+        self.nslots = nslots
+        self.seq = -1
+        self.source = source
+
+    # -- resolution ---------------------------------------------------------
+
+    def match_head(self, call_args, trail):
+        """Match the head against the call; returns the slot array or None.
+
+        The caller must unwind the trail on failure (choice points hold
+        the pre-call mark, so the machine gets this for free).
+        """
+        slots = [_UNSET] * self.nslots
+        for skeleton, arg in zip(self.head_args, call_args):
+            if not _match(skeleton, arg, slots, trail):
+                return None
+        return slots
+
+    def body_terms(self, slots):
+        """Instantiate the body literal skeletons against ``slots``."""
+        return [_build(literal, slots) for literal in self.body]
+
+    def head_term(self, slots):
+        """Instantiate the full head term (used by clause/2, retract/1)."""
+        if not self.head_args:
+            from ..terms import mkatom
+
+            return mkatom(self.name)
+        return Struct(self.name, tuple(_build(a, slots) for a in self.head_args))
+
+    def fresh_slots(self):
+        return [_UNSET] * self.nslots
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def indicator(self):
+        return f"{self.name}/{self.arity}"
+
+    def to_term(self):
+        """Rebuild the clause as a (fresh-variable) ``Head :- Body`` term."""
+        from ..terms import mkatom
+
+        slots = self.fresh_slots()
+        head = self.head_term(slots)
+        if not self.body:
+            return head
+        body = _build(self.body[-1], slots)
+        for literal in reversed(self.body[:-1]):
+            body = Struct(",", (_build(literal, slots), body))
+        return Struct(":-", (head, body))
+
+    def variant_key(self):
+        """Canonical key of the whole clause (used by retract and tests)."""
+        return canonical_key(self.to_term())
+
+    def __repr__(self):
+        return f"<Clause {self.indicator} #{self.seq}>"
+
+
+def _match(skeleton, term, slots, trail):
+    """Head-argument matching: skeleton (with SlotRefs) vs. a call term."""
+    stack = [(skeleton, term)]
+    while stack:
+        sk, t = stack.pop()
+        if isinstance(sk, SlotRef):
+            captured = slots[sk.index]
+            if captured is _UNSET:
+                slots[sk.index] = deref(t)
+            elif not unify(captured, t, trail):
+                return False
+            continue
+        t = deref(t)
+        if isinstance(sk, Struct):
+            if isinstance(t, Var):
+                bind(t, _build(sk, slots), trail)
+                continue
+            if (
+                not isinstance(t, Struct)
+                or t.name != sk.name
+                or len(t.args) != len(sk.args)
+            ):
+                return False
+            stack.extend(zip(sk.args, t.args))
+        elif isinstance(sk, Atom):
+            if isinstance(t, Var):
+                bind(t, sk, trail)
+            elif not (isinstance(t, Atom) and t.name == sk.name):
+                return False
+        else:
+            if isinstance(t, Var):
+                bind(t, sk, trail)
+            elif type(t) is not type(sk) or t != sk:
+                return False
+    return True
+
+
+def _build(skeleton, slots):
+    """Instantiate a skeleton: the analog of WAM put instructions."""
+    if isinstance(skeleton, SlotRef):
+        value = slots[skeleton.index]
+        if value is _UNSET:
+            value = Var(skeleton.name)
+            slots[skeleton.index] = value
+        return value
+    if isinstance(skeleton, Struct):
+        return Struct(skeleton.name, tuple(_build(a, slots) for a in skeleton.args))
+    return skeleton
+
+
+def compile_clause(term):
+    """Compile a source clause term into a :class:`Clause`."""
+    head, body = decompose_clause(term)
+    head = deref(head)
+    slots = {}
+    if isinstance(head, Struct):
+        name = head.name
+        head_args = tuple(_skeletonize(a, slots) for a in head.args)
+    elif isinstance(head, Atom):
+        name = head.name
+        head_args = ()
+    else:
+        from ..errors import TypeError_
+
+        raise TypeError_("callable clause head", head)
+    body_skeletons = tuple(_skeletonize(b, slots) for b in body)
+    return Clause(name, head_args, body_skeletons, len(slots), source=term)

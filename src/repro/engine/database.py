@@ -1,0 +1,208 @@
+"""The predicate store: static and dynamic code, index plans, tabling flags.
+
+XSB distinguishes *static* predicates (compiled, immutable while
+loaded; hash or first-string indexing) from *dynamic* predicates
+(modifiable tuple-at-a-time via assert/retract; hash indexing on any
+field or combination of fields).  Both compile clauses the same way
+here, which reproduces the paper's observation that "dynamic database
+facts have almost identical representation as compiled facts and so
+execute at essentially the same speed" (section 4.2).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError, TypeError_
+from ..index import FirstStringIndex, IndexPlan, IndexSpec
+from ..terms import Struct
+from .clause import compile_clause
+
+__all__ = ["Predicate", "Database"]
+
+HASH = "hash"
+TRIE = "trie"  # first-string indexing
+
+
+class Predicate:
+    """All clauses and metadata for one name/arity."""
+
+    __slots__ = (
+        "name",
+        "arity",
+        "clauses",
+        "dynamic",
+        "tabled",
+        "index_kind",
+        "index_plan",
+        "trie_index",
+        "next_seq",
+        "module",
+        "subsumptive",
+    )
+
+    def __init__(self, name, arity, dynamic=False, module="usermod"):
+        self.name = name
+        self.arity = arity
+        self.clauses = []
+        self.dynamic = dynamic
+        self.tabled = False
+        self.index_kind = HASH
+        self.index_plan = IndexPlan(arity)
+        self.trie_index = None
+        self.next_seq = 0
+        self.module = module
+        self.subsumptive = False
+
+    @property
+    def indicator(self):
+        return f"{self.name}/{self.arity}"
+
+    # -- index declarations ----------------------------------------------------
+
+    def set_hash_index(self, field_sets, bucket_count=0):
+        """Install ``:- index(p/N, [...])`` style indexing.
+
+        ``field_sets`` is a list of position tuples, e.g. the paper's
+        ``[1,2,3+5]`` arrives as ``[(1,), (2,), (3, 5)]``.  Existing
+        clauses are re-indexed.
+        """
+        for positions in field_sets:
+            for pos in positions:
+                if not 1 <= pos <= self.arity:
+                    raise TypeError_(f"index field in 1..{self.arity}", pos)
+        self.index_kind = HASH
+        self.index_plan = IndexPlan(
+            self.arity, [IndexSpec(p) for p in field_sets], bucket_count
+        )
+        self.index_plan.rebuild(
+            (c.seq, self._indexable_args(c), c) for c in self.clauses
+        )
+        self.trie_index = None
+
+    def set_trie_index(self):
+        """Install first-string indexing (static predicates only)."""
+        if self.dynamic:
+            # The paper, footnote 8: dynamic clauses currently support
+            # only hash-based indexing.
+            raise ReproError(
+                f"{self.indicator}: first-string indexing requires static code"
+            )
+        self.index_kind = TRIE
+        self.trie_index = FirstStringIndex()
+        for clause in self.clauses:
+            self.trie_index.insert(clause.seq, self._head_term_skeleton(clause), clause)
+
+    def _indexable_args(self, clause):
+        """Head-arg skeletons; SlotRefs act as variables for indexing."""
+        return clause.head_args
+
+    def _head_term_skeleton(self, clause):
+        from ..terms import mkatom
+
+        if not clause.head_args:
+            return mkatom(self.name)
+        return Struct(self.name, clause.head_args)
+
+    # -- clause management ------------------------------------------------------
+
+    def add_clause(self, clause, front=False):
+        clause.seq = self.next_seq
+        self.next_seq += 1
+        if front:
+            self.clauses.insert(0, clause)
+        else:
+            self.clauses.append(clause)
+        if self.index_kind == TRIE:
+            self.trie_index.insert(
+                clause.seq, self._head_term_skeleton(clause), clause
+            )
+        else:
+            self.index_plan.insert(
+                clause.seq, clause.head_args, clause, front=front
+            )
+        return clause
+
+    def remove_clause(self, clause):
+        try:
+            self.clauses.remove(clause)
+        except ValueError:
+            return False
+        if self.index_kind == TRIE:
+            self.trie_index.remove(clause.seq)
+        else:
+            self.index_plan.remove(clause.seq)
+        return True
+
+    def retract_all_clauses(self):
+        """Predicate-level retract: drop every clause at once."""
+        self.clauses.clear()
+        if self.index_kind == TRIE:
+            self.trie_index = FirstStringIndex()
+        else:
+            self.index_plan.rebuild([])
+
+    def candidates(self, call_args):
+        """Clauses possibly matching the call, in clause order."""
+        if not call_args:
+            return self.clauses
+        if self.index_kind == TRIE:
+            return self.trie_index.lookup(Struct(self.name, tuple(call_args)))
+        found = self.index_plan.lookup(call_args)
+        if found is None:
+            return self.clauses
+        return found
+
+    def __len__(self):
+        return len(self.clauses)
+
+    def __repr__(self):
+        kind = "dynamic" if self.dynamic else "static"
+        return f"<Predicate {self.indicator} {kind} {len(self.clauses)} clauses>"
+
+
+class Database:
+    """Maps name/arity to :class:`Predicate` and owns declarations."""
+
+    def __init__(self):
+        self.predicates = {}
+        self.hilog_symbols = set()
+
+    def lookup(self, name, arity):
+        """The predicate for a call, or None when undefined."""
+        return self.predicates.get((name, arity))
+
+    def ensure(self, name, arity, dynamic=False):
+        key = (name, arity)
+        pred = self.predicates.get(key)
+        if pred is None:
+            pred = Predicate(name, arity, dynamic=dynamic)
+            self.predicates[key] = pred
+        return pred
+
+    def add_clause_term(self, term, dynamic=False, front=False):
+        """Compile and store one clause; returns the Clause."""
+        clause = compile_clause(term)
+        pred = self.ensure(clause.name, clause.arity, dynamic=dynamic)
+        if dynamic and not pred.dynamic and pred.clauses:
+            raise ReproError(
+                f"{pred.indicator} is static; reconsult it or declare it dynamic"
+            )
+        if dynamic:
+            pred.dynamic = True
+        pred.add_clause(clause, front=front)
+        return clause
+
+    def declare_tabled(self, name, arity):
+        self.ensure(name, arity).tabled = True
+
+    def declare_dynamic(self, name, arity):
+        self.ensure(name, arity, dynamic=True).dynamic = True
+
+    def abolish(self, name, arity):
+        """Remove the predicate definition entirely."""
+        self.predicates.pop((name, arity), None)
+
+    def all_predicates(self):
+        return list(self.predicates.values())
+
+    def user_clause_count(self):
+        return sum(len(p) for p in self.predicates.values())

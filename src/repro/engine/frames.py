@@ -1,0 +1,154 @@
+"""Machine runtime records: goal lists and choice points.
+
+Goals form an immutable linked continuation (so SLG suspensions can
+keep them without copying); each node carries the choice-point-stack
+height that a cut (``!``) executed in that goal should restore.
+
+Choice points follow the WAM discipline: backtracking unwinds the
+trail to the choice point's mark and asks it to ``retry``; a retry
+either returns the next goal list or the EXHAUSTED sentinel, at which
+point the machine pops it and keeps backtracking.  The two SLG choice
+points — generator and consumer — live in :mod:`repro.engine.machine`
+next to the scheduling logic they drive.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Goals",
+    "ChoicePoint",
+    "ClauseCP",
+    "DisjCP",
+    "IteratorCP",
+    "EXHAUSTED",
+    "FAILED",
+    "goals_for_body",
+]
+
+
+class _Sentinel:
+    __slots__ = ("label",)
+
+    def __init__(self, label):
+        self.label = label
+
+    def __repr__(self):
+        return self.label
+
+
+EXHAUSTED = _Sentinel("EXHAUSTED")
+FAILED = _Sentinel("FAILED")
+
+
+class Goals:
+    """One cons cell of the goal continuation."""
+
+    __slots__ = ("term", "next", "cutbar")
+
+    def __init__(self, term, next_goals, cutbar):
+        self.term = term
+        self.next = next_goals
+        self.cutbar = cutbar
+
+    def __repr__(self):
+        parts = []
+        node = self
+        while node is not None and len(parts) < 6:
+            parts.append(repr(node.term))
+            node = node.next
+        if node is not None:
+            parts.append("...")
+        return " ; ".join(parts)
+
+
+def goals_for_body(body_terms, continuation, cutbar):
+    """Chain body literals in front of the continuation."""
+    goals = continuation
+    for literal in reversed(body_terms):
+        goals = Goals(literal, goals, cutbar)
+    return goals
+
+
+class ChoicePoint:
+    """Base choice point; subclasses implement ``retry``."""
+
+    __slots__ = ("trail_mark",)
+
+    def __init__(self, trail_mark):
+        self.trail_mark = trail_mark
+
+    def retry(self, machine):
+        raise NotImplementedError
+
+
+class ClauseCP(ChoicePoint):
+    """Alternatives of an ordinary (non-tabled) predicate call."""
+
+    __slots__ = ("call_args", "continuation", "candidates", "pos", "body_cutbar")
+
+    def __init__(self, trail_mark, call_args, continuation, candidates, body_cutbar):
+        super().__init__(trail_mark)
+        self.call_args = call_args
+        self.continuation = continuation
+        self.candidates = candidates
+        self.pos = 0
+        self.body_cutbar = body_cutbar
+
+    def retry(self, machine):
+        trail = machine.trail
+        candidates = self.candidates
+        while self.pos < len(candidates):
+            clause = candidates[self.pos]
+            self.pos += 1
+            slots = clause.match_head(self.call_args, trail)
+            if slots is None:
+                trail.undo_to(self.trail_mark)
+                continue
+            if not clause.body:
+                return self.continuation
+            return goals_for_body(
+                clause.body_terms(slots), self.continuation, self.body_cutbar
+            )
+        return EXHAUSTED
+
+
+class DisjCP(ChoicePoint):
+    """The pending right branch of ``(A ; B)`` (or the else of ``->``)."""
+
+    __slots__ = ("alternative",)
+
+    def __init__(self, trail_mark, alternative):
+        super().__init__(trail_mark)
+        self.alternative = alternative
+
+    def retry(self, machine):
+        alternative = self.alternative
+        if alternative is EXHAUSTED:
+            return EXHAUSTED
+        self.alternative = EXHAUSTED
+        return alternative
+
+
+class IteratorCP(ChoicePoint):
+    """Generic nondeterministic builtin support.
+
+    ``thunks`` yields zero-argument callables; each is run after the
+    trail is unwound and should perform its unifications, returning
+    True to accept the alternative (the continuation is then resumed)
+    or False to move on.
+    """
+
+    __slots__ = ("thunks", "continuation")
+
+    def __init__(self, trail_mark, thunks, continuation):
+        super().__init__(trail_mark)
+        self.thunks = iter(thunks)
+        self.continuation = continuation
+
+    def retry(self, machine):
+        trail = machine.trail
+        for thunk in self.thunks:
+            if thunk():
+                return self.continuation
+            trail.undo_to(self.trail_mark)
+        return EXHAUSTED

@@ -1,0 +1,238 @@
+"""A tabled *meta-interpreter* — the slow tier of section 3.2.
+
+The paper reports that an SLG meta-interpreter written over the plain
+WAM "has turned out to be unacceptable for general programming" and
+that the SLG-WAM is roughly 100x faster than its meta-interpreter.
+This module is that comparand: a clean, substitution-style tabled
+interpreter that
+
+* resolves against *reconstructed clause terms* (``Clause.to_term``)
+  with general unification — no compiled head-matching, no clause
+  indexing beyond the predicate name;
+* evaluates tabled predicates by a naive answer-saturation fixpoint —
+  each round re-derives every table from scratch against the previous
+  round's answers (no suspension/resumption machinery).
+
+It is deliberately interpretive; its correctness is tested against the
+engine, and the ratio between the two is measured by
+``benchmarks/bench_metainterp_ratio.py`` (experiment S5c).
+"""
+
+from __future__ import annotations
+
+from ..errors import ExistenceError, NonStratifiedError
+from ..terms import (
+    Atom,
+    Struct,
+    Trail,
+    Var,
+    canonical_key,
+    copy_term,
+    deref,
+    instantiate_key,
+    is_ground,
+    unify,
+)
+from .builtins import arith_eval
+
+__all__ = ["MetaInterpreter"]
+
+_ARITH_TESTS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=:=": lambda a, b: a == b,
+    "=\\=": lambda a, b: a != b,
+}
+
+
+class MetaInterpreter:
+    """Interprets the program stored in an :class:`~repro.engine.Engine`.
+
+    Shares the engine's database (clauses, tabling declarations) but
+    none of its SLG machinery; maintains its own table of answers.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.trail = Trail()
+        self.tables = {}  # canonical key -> [answer keys]
+        self.table_index = {}  # canonical key -> set(answer keys)
+
+    # -- public API -------------------------------------------------------------
+
+    def query(self, goal):
+        """All solutions of a goal (text or term) as resolved term copies."""
+        if isinstance(goal, str):
+            goal = self.engine.parse(goal)
+        self._saturate(goal)
+        out = []
+        mark = self.trail.mark()
+        for _ in self._solve(goal, expand_tabled=False):
+            out.append(copy_term(goal))
+        self.trail.undo_to(mark)
+        return out
+
+    def count(self, goal):
+        return len(self.query(goal))
+
+    def has_solution(self, goal):
+        return bool(self.query(goal))
+
+    # -- fixpoint driver -----------------------------------------------------------
+
+    def _saturate(self, goal):
+        """Register subgoals reachable from ``goal`` and saturate all
+        tables by naive iteration."""
+        changed = True
+        rounds = 0
+        while changed:
+            changed = False
+            rounds += 1
+            # seed/track subgoals by running the query itself
+            mark = self.trail.mark()
+            for _ in self._solve(goal, expand_tabled=False):
+                pass
+            self.trail.undo_to(mark)
+            for key in list(self.tables):
+                if self._expand_table(key):
+                    changed = True
+        return rounds
+
+    def _expand_table(self, key):
+        """One naive round for one tabled subgoal; True if new answers."""
+        pattern = instantiate_key(key)
+        name, args = self._functor(pattern)
+        pred = self.engine.db.lookup(name, len(args))
+        if pred is None:
+            raise ExistenceError(f"{name}/{len(args)}")
+        changed = False
+        mark = self.trail.mark()
+        for clause in pred.clauses:
+            renamed = copy_term(clause.to_term())
+            if isinstance(renamed, Struct) and renamed.name == ":-":
+                head, body = renamed.args
+            else:
+                head, body = renamed, None
+            if not unify(head, pattern, self.trail):
+                self.trail.undo_to(mark)
+                continue
+            if body is None:
+                if self._record(key, pattern):
+                    changed = True
+                self.trail.undo_to(mark)
+                continue
+            for _ in self._solve(body, expand_tabled=False):
+                if self._record(key, pattern):
+                    changed = True
+            self.trail.undo_to(mark)
+            # a fresh pattern per clause keeps bindings independent
+            pattern = instantiate_key(key)
+        return changed
+
+    def _record(self, key, answer):
+        akey = canonical_key(answer)
+        seen = self.table_index.setdefault(key, set())
+        if akey in seen:
+            return False
+        seen.add(akey)
+        self.tables[key].append(akey)
+        return True
+
+    # -- the interpreter proper --------------------------------------------------------
+
+    @staticmethod
+    def _functor(term):
+        term = deref(term)
+        if isinstance(term, Struct):
+            return term.name, term.args
+        if isinstance(term, Atom):
+            return term.name, ()
+        raise ExistenceError(repr(term))
+
+    def _solve(self, goal, expand_tabled):
+        """Generator of solutions via destructive bindings."""
+        goal = deref(goal)
+        name, args = self._functor(goal)
+        arity = len(args)
+        trail = self.trail
+
+        if name == "," and arity == 2:
+            for _ in self._solve(args[0], expand_tabled):
+                yield from self._solve(args[1], expand_tabled)
+            return
+        if name == ";" and arity == 2:
+            yield from self._solve(args[0], expand_tabled)
+            yield from self._solve(args[1], expand_tabled)
+            return
+        if name == "true" and arity == 0:
+            yield True
+            return
+        if name == "fail" and arity == 0:
+            return
+        if name == "=" and arity == 2:
+            mark = trail.mark()
+            if unify(args[0], args[1], trail):
+                yield True
+            trail.undo_to(mark)
+            return
+        if name == "is" and arity == 2:
+            mark = trail.mark()
+            if unify(args[0], arith_eval(args[1]), trail):
+                yield True
+            trail.undo_to(mark)
+            return
+        if name in _ARITH_TESTS and arity == 2:
+            if _ARITH_TESTS[name](arith_eval(args[0]), arith_eval(args[1])):
+                yield True
+            return
+        if name in ("\\+", "not") and arity == 1:
+            sub = MetaInterpreter(self.engine)
+            sub.tables = self.tables
+            sub.table_index = self.table_index
+            if not sub.query(copy_term(args[0])):
+                yield True
+            return
+        if name == "tnot" and arity == 1:
+            inner = deref(args[0])
+            if not is_ground(inner):
+                raise NonStratifiedError(f"floundering tnot: {inner!r}")
+            sub = MetaInterpreter(self.engine)
+            if not sub.query(copy_term(inner)):
+                yield True
+            return
+
+        pred = self.engine.db.lookup(name, arity)
+        if pred is None:
+            if self.engine.unknown == "fail":
+                return
+            raise ExistenceError(f"{name}/{arity}")
+
+        if pred.tabled:
+            key = canonical_key(goal)
+            if key not in self.tables:
+                self.tables[key] = []
+                self.table_index[key] = set()
+            answers = list(self.tables[key])  # snapshot of this round
+            mark = trail.mark()
+            for akey in answers:
+                answer = instantiate_key(akey)
+                if unify(goal, answer, trail):
+                    yield True
+                trail.undo_to(mark)
+            return
+
+        mark = trail.mark()
+        for clause in pred.clauses:
+            renamed = copy_term(clause.to_term())
+            if isinstance(renamed, Struct) and renamed.name == ":-":
+                head, body = renamed.args
+            else:
+                head, body = renamed, None
+            if unify(head, goal, trail):
+                if body is None:
+                    yield True
+                else:
+                    yield from self._solve(body, expand_tabled)
+            trail.undo_to(mark)

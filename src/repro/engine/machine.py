@@ -1,0 +1,588 @@
+"""The SLG machine: tuple-at-a-time SLD/SLDNF evaluation plus tabling.
+
+This is the Python rendering of the SLG-WAM (sections 3 and 4 of the
+paper).  The machine evaluates goals depth-first with a goal
+continuation, a choice-point stack and a trail, exactly like a WAM; the
+SLG extension adds two choice points:
+
+* :class:`GeneratorCP` — the first (variant-wise) call to a tabled
+  subgoal.  It resolves the subgoal against program clauses; every
+  clause body is followed by a ``$answer`` pseudo-goal that records the
+  answer in the table and *continues into the caller* (answers are
+  returned as derived, so on definite programs SLG reduces to SLD with
+  memoing, as section 3.1 describes).  When its clauses are exhausted
+  it runs the completion check.
+
+* :class:`ConsumerCP` — a repeated call.  It resolves the subgoal
+  against the answers already in the table; if the table is incomplete
+  when they run out, the consumer *suspends* by saving its continuation
+  and the trail segment above the scheduling base (the CAT strategy:
+  the forward trail is the saved state), and the leader's completion
+  fixpoint later resumes it for each unconsumed answer.
+
+Completion uses the SLG-WAM's approximate SCC scheme: every subgoal
+frame carries a depth-first number and a "deplink"; consuming an
+incomplete older subgoal merges the dependency links of everything
+younger; a generator whose deplink equals its own number is a leader
+and may complete its whole SCC once no suspended consumer in the SCC
+has unconsumed answers.
+
+Negative goals (``tnot``, ``e_tnot``, ``\\+``) evaluate the complement
+in a *subordinate* machine run sharing the table space — legal for
+modularly stratified programs, which is exactly the restriction the
+paper states for XSB's engine; a dynamic check raises
+:class:`~repro.errors.NonStratifiedError` otherwise and points the user
+at the WFS interpreter.
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    ExistenceError,
+    InstantiationError,
+    NonStratifiedError,
+    TablingError,
+    TypeError_,
+)
+from ..terms import Atom, Struct, Var, canonical_key, copy_term, deref, unify
+from .frames import (
+    EXHAUSTED,
+    FAILED,
+    ChoicePoint,
+    ClauseCP,
+    DisjCP,
+    Goals,
+    goals_for_body,
+)
+from .table import Suspension
+
+__all__ = ["Machine", "GeneratorCP", "ConsumerCP"]
+
+MODE_QUERY = "query"
+MODE_NEGATION = "negation"
+MODE_FINDALL = "findall"
+
+_YIELD = Atom("$yield")  # deliberately not interned: matched by name only
+
+
+class GeneratorCP(ChoicePoint):
+    """Program-clause resolution plus completion for a new tabled subgoal."""
+
+    __slots__ = (
+        "frame",
+        "call_term",
+        "call_args",
+        "continuation",
+        "candidates",
+        "pos",
+        "body_cutbar",
+        "in_completion",
+    )
+
+    def __init__(
+        self, trail_mark, frame, call_term, call_args, continuation, candidates,
+        body_cutbar,
+    ):
+        super().__init__(trail_mark)
+        self.frame = frame
+        self.call_term = call_term
+        self.call_args = call_args
+        self.continuation = continuation
+        self.candidates = candidates
+        self.pos = 0
+        self.body_cutbar = body_cutbar
+        self.in_completion = False
+
+    def retry(self, machine):
+        trail = machine.trail
+        frame = self.frame
+        if not self.in_completion:
+            candidates = self.candidates
+            while self.pos < len(candidates):
+                clause = candidates[self.pos]
+                self.pos += 1
+                slots = clause.match_head(self.call_args, trail)
+                if slots is None:
+                    trail.undo_to(self.trail_mark)
+                    continue
+                answer_goal = Goals(
+                    Struct("$answer", (frame, self.call_term)),
+                    self.continuation,
+                    self.body_cutbar,
+                )
+                if not clause.body:
+                    return answer_goal
+                return goals_for_body(
+                    clause.body_terms(slots), answer_goal, self.body_cutbar
+                )
+            self.in_completion = True
+        return self._check_complete(machine)
+
+    def _check_complete(self, machine):
+        """The completion instruction of the SLG-WAM."""
+        frame = self.frame
+        if frame.complete:
+            return EXHAUSTED
+        if frame.deplink < frame.dfn:
+            # Not a leader: an older generator's completion will cover
+            # this frame's SCC; leave it incomplete.
+            return EXHAUSTED
+        comp_stack = machine.comp_stack
+        scc = comp_stack[frame.comp_index :]
+        trail = machine.trail
+        for member in scc:
+            for suspension in member.consumers:
+                if suspension.consumed < len(member.answers):
+                    consumer = ConsumerCP(
+                        trail.mark(),
+                        member,
+                        suspension.call_term,
+                        suspension.goals,
+                        consumed=suspension.consumed,
+                        snapshot=suspension.snapshot,
+                        suspension=suspension,
+                    )
+                    machine.cpstack.append(consumer)
+                    goals = consumer.retry(machine)
+                    if goals is EXHAUSTED:
+                        machine.cpstack.pop()
+                        continue
+                    return goals
+        # Fixpoint: no suspended consumer in the SCC can advance.
+        for member in scc:
+            member.mark_complete()
+        del comp_stack[frame.comp_index :]
+        return EXHAUSTED
+
+
+class ConsumerCP(ChoicePoint):
+    """Answer resolution for a repeated tabled call."""
+
+    __slots__ = ("frame", "call_term", "continuation", "consumed", "snapshot",
+                 "suspension", "weak")
+
+    def __init__(
+        self, trail_mark, frame, call_term, continuation, consumed=0,
+        snapshot=None, suspension=None, weak=False,
+    ):
+        super().__init__(trail_mark)
+        self.frame = frame
+        self.call_term = call_term
+        self.continuation = continuation
+        self.consumed = consumed
+        self.snapshot = snapshot
+        self.suspension = suspension
+        self.weak = weak
+
+    def retry(self, machine):
+        trail = machine.trail
+        if self.snapshot:
+            trail.reinstall(self.snapshot)
+        frame = self.frame
+        answers = frame.answers
+        while self.consumed < len(answers):
+            answer = answers[self.consumed]
+            self.consumed += 1
+            if self.suspension is not None:
+                self.suspension.consumed = self.consumed
+            if unify(self.call_term, copy_term(answer), trail):
+                return self.continuation
+            trail.undo_to(self.trail_mark)
+            if self.snapshot:
+                trail.reinstall(self.snapshot)
+        if frame.complete or self.weak:
+            return EXHAUSTED
+        if self.suspension is None:
+            # First exhaustion: become a suspended consumer of the frame.
+            snapshot = trail.snapshot(machine.scheduling_base_mark())
+            self.suspension = Suspension(
+                self.continuation, self.call_term, self.consumed, snapshot
+            )
+            frame.consumers.append(self.suspension)
+        return EXHAUSTED
+
+
+class Machine:
+    """One evaluation (an SLG "run") over an engine's program and tables.
+
+    Negation and findall spawn subordinate machines sharing the same
+    engine (program, table space, trail); each run owns its own
+    choice-point stack and completion stack, and cleans up the frames
+    it created but did not complete when it is abandoned.
+    """
+
+    __slots__ = (
+        "engine",
+        "trail",
+        "cpstack",
+        "comp_stack",
+        "next_dfn",
+        "created_frames",
+        "mode",
+        "base_mark",
+        "depth",
+    )
+
+    def __init__(self, engine, mode=MODE_QUERY, depth=0):
+        self.engine = engine
+        self.trail = engine.trail
+        self.cpstack = []
+        self.comp_stack = []
+        self.next_dfn = 0
+        self.created_frames = []
+        self.mode = mode
+        self.base_mark = 0
+        self.depth = depth
+
+    # -- public entry ---------------------------------------------------------
+
+    def solve(self, goal_term):
+        """Generator of solutions (True per solution; read bindings from
+        the goal's variables while the generator is suspended)."""
+        engine = self.engine
+        trail = self.trail
+        self.base_mark = trail.mark()
+        # The goal chain ends in a $yield node rather than None so that
+        # "no continuation" and "builtin failure" cannot be confused.
+        end = Goals(_YIELD, None, 0)
+        goals = Goals(goal_term, end, 0)
+        builtins = engine.builtins
+        db = engine.db
+        counting = engine.counting
+        try:
+            while True:
+                term = deref(goals.term)
+                if isinstance(term, Struct):
+                    name = term.name
+                    args = term.args
+                    arity = len(args)
+                elif isinstance(term, Atom):
+                    name = term.name
+                    args = ()
+                    arity = 0
+                elif isinstance(term, Var):
+                    raise InstantiationError("call")
+                else:
+                    raise TypeError_("callable goal", term)
+
+                # -- control constructs ------------------------------------
+                if arity == 2 and name == ",":
+                    goals = Goals(
+                        args[0],
+                        Goals(args[1], goals.next, goals.cutbar),
+                        goals.cutbar,
+                    )
+                    continue
+                if arity == 0:
+                    if name == "true":
+                        goals = goals.next
+                        continue
+                    if name == "$yield":
+                        yield True
+                        goals = self._backtrack()
+                        if goals is FAILED:
+                            return
+                        continue
+                    if name == "fail" or name == "false":
+                        goals = self._backtrack()
+                        if goals is FAILED:
+                            return
+                        continue
+                    if name == "!":
+                        self._cut_to(goals.cutbar)
+                        goals = goals.next
+                        continue
+                if arity == 2 and name == ";":
+                    goals = self._disjunction(args, goals)
+                    continue
+                if arity == 2 and name == "->":
+                    goals = self._if_then_else(args[0], args[1], None, goals)
+                    continue
+                if name == "$ite" and arity == 2:
+                    self._cut_to(args[0])
+                    goals = Goals(args[1], goals.next, goals.cutbar)
+                    continue
+                if name == "$answer" and arity == 2:
+                    goals = self._record_answer(args, goals)
+                    if goals is FAILED:
+                        return
+                    continue
+                if name == "$cutto" and arity == 1:
+                    self._cut_to(args[0])
+                    goals = goals.next
+                    continue
+
+                # -- builtins -----------------------------------------------
+                handler = builtins.get((name, arity))
+                if handler is not None:
+                    result = handler(self, args, goals)
+                    if result is None:
+                        goals = self._backtrack()
+                        if goals is FAILED:
+                            return
+                    else:
+                        goals = result
+                    continue
+
+                # -- user predicates ----------------------------------------
+                if counting:
+                    counts = engine.call_counts
+                    key = (name, arity)
+                    counts[key] = counts.get(key, 0) + 1
+                    if engine.log_subgoals:
+                        engine.subgoal_log.append(
+                            (name, arity, canonical_key(term))
+                        )
+                pred = db.lookup(name, arity)
+                if pred is None:
+                    if engine.unknown == "fail":
+                        goals = self._backtrack()
+                        if goals is FAILED:
+                            return
+                        continue
+                    raise ExistenceError(f"{name}/{arity}")
+                if pred.tabled:
+                    goals = self._call_tabled(term, pred, args, goals)
+                else:
+                    goals = self._call_user(pred, args, goals)
+                if goals is FAILED:
+                    return
+        finally:
+            self._cleanup()
+
+    # -- backtracking / cut ------------------------------------------------------
+
+    def _backtrack(self):
+        cpstack = self.cpstack
+        trail = self.trail
+        while cpstack:
+            cp = cpstack[-1]
+            trail.undo_to(cp.trail_mark)
+            goals = cp.retry(self)
+            if goals is not EXHAUSTED:
+                return goals
+            cpstack.pop()
+        return FAILED
+
+    def _cut_to(self, height):
+        """Discard choice points above ``height`` (the cut barrier).
+
+        Cutting over a generator of an incomplete table would leave the
+        table partially computed; the paper's compiler statically
+        rejects such programs, and we reject them dynamically.
+        """
+        cpstack = self.cpstack
+        if height >= len(cpstack):
+            return
+        for cp in cpstack[height:]:
+            if isinstance(cp, GeneratorCP) and not cp.frame.complete:
+                raise TablingError(
+                    f"cut would close the partially computed table for "
+                    f"{cp.frame.indicator}; use tcut/0 or complete the table"
+                )
+        del cpstack[height:]
+
+    def tcut_to(self, height):
+        """``tcut/0``: cut that first frees tables when that is safe.
+
+        If every incomplete generator above the barrier has no other
+        users (no suspended consumers), their tables are deleted and the
+        cut proceeds; otherwise tcut is a no-op, as section 4.4 states.
+        """
+        cpstack = self.cpstack
+        if height >= len(cpstack):
+            return True
+        doomed = []
+        for cp in cpstack[height:]:
+            if isinstance(cp, GeneratorCP) and not cp.frame.complete:
+                if cp.frame.consumers:
+                    return False  # other users: no-op
+                doomed.append(cp.frame)
+        tables = self.engine.tables
+        if doomed:
+            cutpoint = min(frame.comp_index for frame in doomed)
+            del self.comp_stack[cutpoint:]
+            for frame in doomed:
+                tables.delete(frame)
+        del cpstack[height:]
+        return True
+
+    # -- control helpers --------------------------------------------------------
+
+    def _disjunction(self, args, goals):
+        left = deref(args[0])
+        if isinstance(left, Struct) and left.name == "->" and len(left.args) == 2:
+            return self._if_then_else(left.args[0], left.args[1], args[1], goals)
+        alternative = Goals(args[1], goals.next, goals.cutbar)
+        self.cpstack.append(DisjCP(self.trail.mark(), alternative))
+        return Goals(args[0], goals.next, goals.cutbar)
+
+    def _if_then_else(self, cond, then, els, goals):
+        height = len(self.cpstack)
+        if els is None:
+            alternative = EXHAUSTED  # bare (C -> T) fails when C fails
+            cp = DisjCP(self.trail.mark(), EXHAUSTED)
+        else:
+            cp = DisjCP(
+                self.trail.mark(), Goals(els, goals.next, goals.cutbar)
+            )
+        self.cpstack.append(cp)
+        commit = Goals(
+            Struct("$ite", (height, then)), goals.next, goals.cutbar
+        )
+        # A cut inside the condition is local to the condition.
+        return Goals(cond, commit, height + 1)
+
+    def _record_answer(self, args, goals):
+        frame, call_term = args
+        tables = self.engine.tables
+        if frame.add_answer(call_term):
+            tables.answers_inserted += 1
+            return goals.next
+        tables.duplicate_answers += 1
+        result = self._backtrack()
+        return result
+
+    # -- ordinary calls -----------------------------------------------------------
+
+    def _call_user(self, pred, args, goals):
+        candidates = pred.candidates(args)
+        if not candidates:
+            return self._backtrack()
+        trail = self.trail
+        if len(candidates) == 1:
+            # Determinate call: no choice point (the WAM's indexing win).
+            clause = candidates[0]
+            mark = trail.mark()
+            slots = clause.match_head(args, trail)
+            if slots is None:
+                trail.undo_to(mark)
+                return self._backtrack()
+            if not clause.body:
+                return goals.next
+            return goals_for_body(
+                clause.body_terms(slots), goals.next, len(self.cpstack)
+            )
+        cutbar = len(self.cpstack)
+        cp = ClauseCP(trail.mark(), args, goals.next, candidates, cutbar)
+        self.cpstack.append(cp)
+        result = cp.retry(self)
+        if result is EXHAUSTED:
+            self.cpstack.pop()
+            return self._backtrack()
+        return result
+
+    # -- tabled calls ----------------------------------------------------------------
+
+    def _call_tabled(self, term, pred, args, goals):
+        tables = self.engine.tables
+        frame = tables.lookup_term(term)
+        trail = self.trail
+        cpstack = self.cpstack
+        if frame is None:
+            frame = tables.create_term(term, pred.indicator)
+            frame.run = self
+            frame.dfn = frame.deplink = self.next_dfn
+            self.next_dfn += 1
+            frame.comp_index = len(self.comp_stack)
+            self.comp_stack.append(frame)
+            frame.gen_trail_mark = trail.mark()
+            self.created_frames.append(frame)
+            candidates = pred.candidates(args)
+            cutbar = len(cpstack)
+            cp = GeneratorCP(
+                trail.mark(), frame, term, args, goals.next, candidates, cutbar
+            )
+            cpstack.append(cp)
+            result = cp.retry(self)
+            if result is EXHAUSTED:
+                cpstack.pop()
+                return self._backtrack()
+            return result
+
+        if not frame.complete and frame.run is not self:
+            # A subordinate run touching an incomplete outer table: only
+            # weak (snapshot) consumption is sound, and only outside
+            # negative contexts — this matches the paper's discussion of
+            # findall on incomplete tables (section 4.7).
+            if self.mode == MODE_NEGATION:
+                raise NonStratifiedError(frame.indicator)
+            consumer = ConsumerCP(trail.mark(), frame, term, goals.next, weak=True)
+        elif not frame.complete:
+            # In-run repeated call: merge dependency links so the SCC
+            # completes together (approximate SCC of the SLG-WAM).
+            dfn = frame.dfn
+            for younger in self.comp_stack[frame.comp_index + 1 :]:
+                if younger.deplink > dfn:
+                    younger.deplink = dfn
+            consumer = ConsumerCP(trail.mark(), frame, term, goals.next)
+        else:
+            consumer = ConsumerCP(trail.mark(), frame, term, goals.next)
+        cpstack.append(consumer)
+        result = consumer.retry(self)
+        if result is EXHAUSTED:
+            cpstack.pop()
+            return self._backtrack()
+        return result
+
+    def scheduling_base_mark(self):
+        """Trail mark below which bindings survive until this run's oldest
+        incomplete generator completes (the CAT snapshot base)."""
+        if self.comp_stack:
+            return self.comp_stack[0].gen_trail_mark
+        return self.base_mark
+
+    # -- subordinate runs -----------------------------------------------------------
+
+    def nested_machine(self, mode):
+        return Machine(self.engine, mode=mode, depth=self.depth + 1)
+
+    def nested_has_solution(self, goal, mode=MODE_NEGATION):
+        """Run ``goal`` in a subordinate machine; True at first solution.
+
+        The subordinate run is abandoned as soon as the first solution
+        arrives (existential semantics); its incomplete tables are then
+        reclaimed, which is the behaviour ``e_tnot`` buys via ``tcut``.
+        """
+        sub = self.nested_machine(mode)
+        gen = sub.solve(goal)
+        try:
+            for _ in gen:
+                return True
+            return False
+        finally:
+            gen.close()
+
+    def nested_drain(self, goal, mode=MODE_NEGATION, collect=None):
+        """Run ``goal`` in a subordinate machine to exhaustion.
+
+        Every table the subordinate run creates is completed by the time
+        this returns.  When ``collect`` is given it is called once per
+        solution (while bindings are installed) and the results list is
+        returned; otherwise the solution count is returned.
+        """
+        sub = self.nested_machine(mode)
+        gen = sub.solve(goal)
+        results = [] if collect is not None else None
+        count = 0
+        try:
+            for _ in gen:
+                count += 1
+                if collect is not None:
+                    results.append(collect())
+        finally:
+            gen.close()
+        return results if collect is not None else count
+
+    # -- cleanup -------------------------------------------------------------------
+
+    def _cleanup(self):
+        """Undo bindings and reclaim incomplete tables of this run."""
+        tables = self.engine.tables
+        for frame in self.created_frames:
+            if not frame.complete:
+                tables.delete(frame)
+        self.created_frames = []
+        self.cpstack.clear()
+        self.comp_stack.clear()
+        self.trail.undo_to(self.base_mark)

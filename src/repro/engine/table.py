@@ -1,0 +1,215 @@
+"""Table space: subgoal frames, answer stores, suspensions.
+
+The table space is the memory area the SLG-WAM adds to the WAM
+(section 3.2): a map from *variant-canonical* subgoals to subgoal
+frames, each holding its answers, its completion bookkeeping and its
+suspended consumers.  Completed tables persist across queries (that is
+the memo benefit) until reclaimed with ``abolish_all_tables`` or
+deleted by ``tcut``/existential negation.
+"""
+
+from __future__ import annotations
+
+from ..index import AnswerTrie
+from ..terms import canonical_key, copy_term
+
+__all__ = ["SubgoalFrame", "Suspension", "TableSpace", "INCOMPLETE", "COMPLETE"]
+
+INCOMPLETE = "incomplete"
+COMPLETE = "complete"
+
+
+class Suspension:
+    """A consumer that ran out of answers while its table was incomplete.
+
+    Stores everything needed to resume: the continuation goals, the
+    call instance whose variables the continuation shares, how many
+    answers were already consumed, and the trail segment between the
+    scheduling base and the suspension point (the CAT approach — the
+    forward trail *is* the saved consumer state).
+    """
+
+    __slots__ = ("goals", "call_term", "consumed", "snapshot")
+
+    def __init__(self, goals, call_term, consumed, snapshot):
+        self.goals = goals
+        self.call_term = call_term
+        self.consumed = consumed
+        self.snapshot = snapshot
+
+
+class SubgoalFrame:
+    """Per-tabled-subgoal state.
+
+    ``dfn``/``deplink`` implement the SLG-WAM's approximate SCC check:
+    ``deplink`` is the smallest depth-first number of any incomplete
+    subgoal this one's computation was observed to depend on; a
+    generator whose ``deplink`` equals its own ``dfn`` when it exhausts
+    its clauses is a *leader* and may complete its whole SCC.
+    """
+
+    __slots__ = (
+        "key",
+        "indicator",
+        "state",
+        "answers",
+        "answer_keys",
+        "answer_trie",
+        "consumers",
+        "dfn",
+        "deplink",
+        "comp_index",
+        "run",
+        "gen_trail_mark",
+        "negation_delayed",
+    )
+
+    def __init__(self, key, indicator, use_trie=False):
+        self.key = key
+        self.indicator = indicator
+        self.state = INCOMPLETE
+        self.answers = []
+        self.answer_keys = set() if not use_trie else None
+        self.answer_trie = AnswerTrie() if use_trie else None
+        self.consumers = []
+        self.dfn = -1
+        self.deplink = -1
+        self.comp_index = -1
+        self.run = None
+        self.gen_trail_mark = 0
+        self.negation_delayed = False
+
+    # -- answers ------------------------------------------------------------
+
+    def add_answer(self, term):
+        """Insert a (copied) answer; False when it is a duplicate.
+
+        This is the duplicate check of section 4.5: "a hash index that
+        includes all arguments of the answer", or, in trie mode, the
+        integrated check-and-store traversal.
+        """
+        if self.answer_trie is not None:
+            stored = copy_term(term)
+            if not self.answer_trie.insert(stored):
+                return False
+            self.answers.append(stored)
+            return True
+        key = canonical_key(term)
+        if key in self.answer_keys:
+            return False
+        self.answer_keys.add(key)
+        self.answers.append(copy_term(term))
+        return True
+
+    def answer_count(self):
+        return len(self.answers)
+
+    @property
+    def complete(self):
+        return self.state == COMPLETE
+
+    def mark_complete(self):
+        self.state = COMPLETE
+        self.consumers = []
+        self.run = None
+
+    def has_unconditional_answer(self):
+        """For negation: is the (ground) subgoal true?"""
+        return bool(self.answers)
+
+    def __repr__(self):
+        return (
+            f"<SubgoalFrame {self.indicator} {self.state} "
+            f"{len(self.answers)} answers>"
+        )
+
+
+class TableSpace:
+    """The engine-wide store of subgoal frames.
+
+    The call-pattern index (section 4.5) comes in two flavours: a hash
+    on the whole variant-canonical key (``subgoal_index="dict"``, the
+    default) or a subgoal trie (``"trie"``) where one traversal is both
+    the variant check and the check-in.
+    """
+
+    def __init__(self, use_trie=False, subgoal_index="dict"):
+        if subgoal_index not in ("dict", "trie"):
+            raise ValueError("subgoal_index must be 'dict' or 'trie'")
+        self.subgoal_index = subgoal_index
+        if subgoal_index == "trie":
+            from ..index.subgoal_trie import SubgoalTrie
+
+            self._trie = SubgoalTrie()
+            self.frames = None
+        else:
+            self._trie = None
+            self.frames = {}
+        self.use_trie = use_trie
+        # Counters reported by Engine.table_statistics().
+        self.subgoals_created = 0
+        self.answers_inserted = 0
+        self.duplicate_answers = 0
+
+    # -- frame check-in / lookup -------------------------------------------------
+
+    def lookup_term(self, term):
+        """The frame for a variant of ``term``, or None."""
+        if self._trie is not None:
+            return self._trie.lookup(term)
+        return self.frames.get(canonical_key(term))
+
+    def create_term(self, term, indicator):
+        """Check a new subgoal in; the caller guarantees it is new."""
+        if self._trie is not None:
+            frame = SubgoalFrame(copy_term(term), indicator,
+                                 use_trie=self.use_trie)
+            self._trie.insert(frame.key, frame)
+        else:
+            key = canonical_key(term)
+            frame = SubgoalFrame(key, indicator, use_trie=self.use_trie)
+            self.frames[key] = frame
+        self.subgoals_created += 1
+        return frame
+
+    def delete(self, frame):
+        """Remove a frame entirely (tcut / abandoned existential runs)."""
+        if self._trie is not None:
+            self._trie.remove(frame.key)
+            return
+        existing = self.frames.get(frame.key)
+        if existing is frame:
+            del self.frames[frame.key]
+
+    def abolish_all(self):
+        """``abolish_all_tables``: reclaim all table space."""
+        if self._trie is not None:
+            self._trie.clear()
+        else:
+            self.frames.clear()
+
+    # -- inspection ----------------------------------------------------------------
+
+    def all_frames(self):
+        if self._trie is not None:
+            return self._trie.frames()
+        return list(self.frames.values())
+
+    def frame_count(self):
+        if self._trie is not None:
+            return len(self._trie)
+        return len(self.frames)
+
+    def completed_count(self):
+        return sum(1 for f in self.all_frames() if f.complete)
+
+    def statistics(self):
+        frames = self.all_frames()
+        return {
+            "subgoals": len(frames),
+            "completed": sum(1 for f in frames if f.complete),
+            "subgoals_created": self.subgoals_created,
+            "answers_inserted": self.answers_inserted,
+            "duplicate_answers": self.duplicate_answers,
+            "answers_stored": sum(len(f.answers) for f in frames),
+        }

@@ -1,0 +1,206 @@
+"""Well-founded semantics interpreter for non-stratified programs.
+
+XSB's engine evaluates SLG restricted to modularly stratified programs
+(section 3.2, footnote 4); "code that needs to use full (i.e.,
+nonstratified) SLG is (currently) executed using a meta-interpreter
+executing on top of the engine" (section 4.2), computing the
+well-founded model [21] — equivalently the three-valued stable model
+[11].  This module is that meta-interpreter.
+
+Strategy: the program (datalog with negation; arithmetic and term
+construction allowed as long as the relevant instantiation is finite)
+is grounded *relevantly* — only rule instances whose positive part is
+potentially derivable are produced — and the well-founded model of the
+ground program is computed by the alternating fixpoint, the same
+strategy the paper's comparator Glue-Nail uses [9].  On top of the
+model, conditional answers are exposed as a *residual program*: rules
+among undefined atoms with the true/false parts simplified away, which
+is the delay-list view of SLG answers that [5] uses to enumerate
+three-valued stable models.
+"""
+
+from __future__ import annotations
+
+from ..bottomup.datalog import parse_program
+from ..bottomup.wellfounded import alternating_fixpoint, ground_program
+from ..errors import ReproError
+from ..lang.writer import term_to_str
+from ..terms import Atom, Struct, Var, deref
+
+__all__ = ["WFSInterpreter", "TRUE", "FALSE", "UNDEFINED"]
+
+TRUE = "true"
+FALSE = "false"
+UNDEFINED = "undefined"
+
+
+def _value_of(term):
+    """Frozen ground value of a parsed term (no variables allowed)."""
+    term = deref(term)
+    if isinstance(term, Atom):
+        return term.name
+    if isinstance(term, Struct):
+        return (term.name,) + tuple(_value_of(a) for a in term.args)
+    if isinstance(term, Var):
+        raise ReproError("WFS queries must be ground or open per argument")
+    return term
+
+
+class WFSInterpreter:
+    """Three-valued query answering over the well-founded model.
+
+    Construct from program text (Prolog/datalog syntax); facts may be
+    included in the text or supplied separately via :meth:`add_facts`.
+    The model is computed lazily on first query and cached until the
+    facts change.
+    """
+
+    def __init__(self, text=""):
+        self.program, self.facts = parse_program(text, check_safety=False)
+        self._model = None
+
+    @classmethod
+    def from_engine(cls, engine):
+        """Lift a tuple-engine program into the WFS interpreter."""
+        interp = cls("")
+        chunks = []
+        for pred in engine.db.all_predicates():
+            for clause in pred.clauses:
+                chunks.append(term_to_str(clause.to_term()) + " .")
+        return cls("\n".join(chunks))
+
+    def add_facts(self, name, rows):
+        """Add EDB facts: rows of Python values (str = atom)."""
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return self
+        arity = len(rows[0])
+        self.facts.setdefault((name, arity), []).extend(rows)
+        self._model = None
+        return self
+
+    # -- model computation -------------------------------------------------------
+
+    def model(self):
+        """``(true_atoms, undefined_atoms)`` over ``(pred, args)`` pairs."""
+        if self._model is None:
+            rules = ground_program(self.program, self.facts)
+            self._ground_rules = rules
+            self._model = alternating_fixpoint(rules)
+        return self._model
+
+    def truth(self, pred, args):
+        """Truth value of one ground atom: TRUE / UNDEFINED / FALSE."""
+        true_atoms, undefined = self.model()
+        atom = (pred, tuple(args))
+        if atom in true_atoms:
+            return TRUE
+        if atom in undefined:
+            return UNDEFINED
+        return FALSE
+
+    def query(self, pred, args):
+        """Three-valued query: ``args`` uses None for open positions.
+
+        Returns ``(true_rows, undefined_rows)`` of matching tuples.
+        """
+        true_atoms, undefined = self.model()
+
+        def matches(row):
+            return len(row) == len(args) and all(
+                a is None or a == v for a, v in zip(args, row)
+            )
+
+        true_rows = sorted(
+            row for (p, row) in true_atoms if p == pred and matches(row)
+        )
+        undef_rows = sorted(
+            row for (p, row) in undefined if p == pred and matches(row)
+        )
+        return true_rows, undef_rows
+
+    # -- residual program (answers conditioned by delays) --------------------------
+
+    def residual(self):
+        """Simplified rules among the undefined atoms.
+
+        Each entry is ``(head_atom, positive_conditions,
+        negative_conditions)`` with all true conditions removed and all
+        rules containing false conditions dropped — the transformed
+        program of section 3.1 "from which sets of 3-valued stable
+        models can be computed".
+        """
+        true_atoms, undefined = self.model()
+        residual = []
+        for head, pos, neg in self._ground_rules:
+            if head not in undefined:
+                continue
+            pos_left = []
+            dead = False
+            for atom in pos:
+                if atom in true_atoms:
+                    continue
+                if atom in undefined:
+                    pos_left.append(atom)
+                else:
+                    dead = True
+                    break
+            if dead:
+                continue
+            neg_left = []
+            for atom in neg:
+                if atom in true_atoms:
+                    dead = True
+                    break
+                if atom in undefined:
+                    neg_left.append(atom)
+            if dead:
+                continue
+            residual.append((head, pos_left, neg_left))
+        return residual
+
+    def stable_models(self, limit=64):
+        """Enumerate (total) stable models restricted to the undefined
+        atoms by brute force over the residual program.
+
+        For each assignment of the undefined atoms consistent with the
+        residual rules under the stable-model condition, yields the set
+        of atoms assigned true.  This realizes the paper's remark that
+        conditional answers form a program from which three-valued
+        stable models can be computed [5].
+        """
+        _, undefined = self.model()
+        undefined = sorted(undefined)
+        if len(undefined) > 16:
+            raise ReproError("too many undefined atoms to enumerate")
+        residual = self.residual()
+        models = []
+        for mask in range(1 << len(undefined)):
+            assignment = {
+                atom: bool(mask >> i & 1) for i, atom in enumerate(undefined)
+            }
+            if self._is_stable(residual, undefined, assignment):
+                models.append({a for a, v in assignment.items() if v})
+                if len(models) >= limit:
+                    break
+        return models
+
+    @staticmethod
+    def _is_stable(residual, undefined, assignment):
+        """Gelfond-Lifschitz check restricted to the residual program."""
+        # reduct: drop rules with a negative condition assigned true;
+        # then the true atoms must be exactly the reduct's least model.
+        reduct = []
+        for head, pos, neg in residual:
+            if any(assignment.get(a, False) for a in neg):
+                continue
+            reduct.append((head, pos))
+        derived = set()
+        changed = True
+        while changed:
+            changed = False
+            for head, pos in reduct:
+                if head not in derived and all(p in derived for p in pos):
+                    derived.add(head)
+                    changed = True
+        return derived == {a for a, v in assignment.items() if v}

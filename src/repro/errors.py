@@ -1,0 +1,89 @@
+"""Exception hierarchy for the repro deductive database engine."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class ParseError(ReproError):
+    """Raised when source text cannot be parsed into terms or clauses.
+
+    Carries the source position of the offending token when available.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ExistenceError(ReproError):
+    """Raised when a goal calls a predicate that is not defined."""
+
+    def __init__(self, indicator):
+        self.indicator = indicator
+        super().__init__(f"undefined predicate: {indicator}")
+
+
+class TypeError_(ReproError):
+    """Raised when a builtin receives an argument of the wrong type.
+
+    Named with a trailing underscore to avoid shadowing the Python builtin.
+    """
+
+    def __init__(self, expected, culprit):
+        self.expected = expected
+        self.culprit = culprit
+        super().__init__(f"type error: expected {expected}, got {culprit}")
+
+
+class InstantiationError(ReproError):
+    """Raised when a builtin needs a bound argument but finds a variable."""
+
+    def __init__(self, context=""):
+        suffix = f" in {context}" if context else ""
+        super().__init__(f"arguments insufficiently instantiated{suffix}")
+
+
+class EvaluationError(ReproError):
+    """Raised when arithmetic evaluation fails (e.g. division by zero)."""
+
+
+class NonStratifiedError(ReproError):
+    """Raised by the SLG engine when it detects a loop through negation.
+
+    The engine implements SLG restricted to modularly stratified programs,
+    exactly as XSB version 1.3 did; programs that trip this error must be
+    evaluated with the well-founded-semantics interpreter in
+    :mod:`repro.engine.wfs`.
+    """
+
+    def __init__(self, subgoal):
+        self.subgoal = subgoal
+        super().__init__(
+            f"loop through negation at subgoal {subgoal}; "
+            "use the WFS interpreter (repro.engine.wfs) for "
+            "non-stratified programs"
+        )
+
+
+class TablingError(ReproError):
+    """Raised for misuse of tabling primitives (e.g. cut over a table)."""
+
+
+class ModuleError(ReproError):
+    """Raised for module-system violations (bad import/export)."""
+
+
+class StorageError(ReproError):
+    """Raised for object-file and bulk-load format problems."""
+
+
+class TransactionError(ReproError):
+    """Raised by the relational store for lock/transaction violations."""
+
+
+class SafetyError(ReproError):
+    """Raised when a datalog rule is not range-restricted (unsafe)."""

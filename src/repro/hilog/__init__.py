@@ -1,0 +1,6 @@
+"""HiLog support: apply/N encoding and compile-time specialization."""
+
+from .encode import APPLY, hilog_encode, hilog_functor_symbol
+from .specialize import specialize_batch
+
+__all__ = ["hilog_encode", "hilog_functor_symbol", "specialize_batch", "APPLY"]

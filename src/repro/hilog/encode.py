@@ -1,0 +1,81 @@
+"""HiLog-to-first-order encoding (sections 4.1 and 4.7 of the paper).
+
+HiLog terms are encoded with a family of ``apply`` symbols: a HiLog
+term ``T`` of arity N becomes ``apply/(N+1)`` whose first argument is
+the functor of ``T``.  The parser already produces ``apply`` structs
+for syntactically-higher-order applications (``X(bob,Y)``,
+``f(a)(b)``); what remains is the *declared* case — after
+
+    :- hilog h.
+
+the first-order-looking term ``h(a)`` must be read as ``apply(h, a)``.
+``hilog_encode`` performs that rewrite over a whole clause.
+"""
+
+from __future__ import annotations
+
+from ..terms import Struct, Var, deref, mkatom
+
+__all__ = ["hilog_encode", "hilog_functor_symbol", "APPLY"]
+
+APPLY = "apply"
+
+# Connectives whose *structure* is never subject to hilog declarations;
+# their arguments still are.
+_TRANSPARENT = {
+    (":-", 2),
+    (":-", 1),
+    ("?-", 1),
+    (",", 2),
+    (";", 2),
+    ("->", 2),
+    ("\\+", 1),
+    ("not", 1),
+    ("tnot", 1),
+    ("e_tnot", 1),
+    ("findall", 3),
+    ("tfindall", 3),
+    ("bagof", 3),
+    ("setof", 3),
+    ("forall", 2),
+    ("once", 1),
+}
+
+
+def hilog_encode(term, hilog_symbols):
+    """Rewrite ``name(args...)`` to ``apply(name, args...)`` for every
+    functor ``name`` in ``hilog_symbols``, recursively."""
+    if not hilog_symbols:
+        return term
+    return _encode(term, hilog_symbols)
+
+
+def _encode(term, symbols):
+    term = deref(term)
+    if not isinstance(term, Struct):
+        return term
+    args = tuple(_encode(a, symbols) for a in term.args)
+    key = (term.name, len(term.args))
+    if key not in _TRANSPARENT and term.name in symbols and term.name != APPLY:
+        return Struct(APPLY, (mkatom(term.name), *args))
+    if args == term.args:
+        return term
+    return Struct(term.name, args)
+
+
+def hilog_functor_symbol(term):
+    """The outer symbol of an apply/N first argument, for grouping.
+
+    Returns ``("struct", name, arity)``, ``("atom", name)``, or None
+    for variables/numbers (no compile-time specialization possible).
+    """
+    term = deref(term)
+    if isinstance(term, Struct):
+        return ("struct", term.name, len(term.args))
+    if isinstance(term, Var):
+        return None
+    from ..terms import Atom
+
+    if isinstance(term, Atom):
+        return ("atom", term.name)
+    return None

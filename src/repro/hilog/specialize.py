@@ -1,0 +1,162 @@
+"""Compile-time specialization of known HiLog calls (section 4.7).
+
+The paper optimizes::
+
+    apply(path(Graph),X,Y) :- apply(Graph,X,Y).
+    apply(path(Graph),X,Y) :- apply(path(Graph),X,Z), apply(Graph,X,Z).
+
+into::
+
+    apply(path(Graph),X,Y) :- apply_path(Graph,X,Y).     % bridge
+    apply_path(Graph,X,Y) :- apply(Graph,X,Y).
+    apply_path(Graph,X,Y) :- apply_path(Graph,X,Z), apply(Graph,X,Z).
+
+``specialize_batch`` applies that transformation to a consulted batch
+of clauses: every ``apply/N`` clause whose first argument has a known
+compound functor ``f/k`` moves to a specialized predicate
+``apply_f/(k+N-1)`` whose arguments are ``f``'s arguments followed by
+the original call arguments; a single bridge clause per group keeps
+variable-functor calls working; and known call sites inside the batch
+are rewritten to call the specialized predicate directly.
+"""
+
+from __future__ import annotations
+
+from ..terms import Struct, Var, deref
+from .encode import APPLY, hilog_functor_symbol
+
+__all__ = ["specialize_batch", "specialized_name"]
+
+
+def specialized_name(functor_name, functor_arity):
+    return f"apply_{functor_name}${functor_arity}"
+
+
+def _is_apply(term):
+    return (
+        isinstance(term, Struct)
+        and term.name == APPLY
+        and len(term.args) >= 2
+    )
+
+
+def _specialize_literal(term, groups):
+    """Rewrite one call literal if its functor group was specialized."""
+    term = deref(term)
+    if not isinstance(term, Struct):
+        return term
+    if _is_apply(term):
+        functor = deref(term.args[0])
+        symbol = hilog_functor_symbol(functor)
+        if (
+            symbol is not None
+            and symbol[0] == "struct"
+            and (symbol[1], symbol[2], len(term.args)) in groups
+        ):
+            new_args = tuple(functor.args) + tuple(term.args[1:])
+            return Struct(specialized_name(symbol[1], symbol[2]), new_args)
+        # Not specialized: still recurse into arguments (e.g. nested
+        # apply in findall templates).
+    args = tuple(_specialize_literal(a, groups) for a in term.args)
+    if args == term.args:
+        return term
+    return Struct(term.name, args)
+
+
+_CONTROL = {",", ";", "->", "\\+", "not", "tnot", "e_tnot", "once", "findall",
+             "tfindall", "bagof", "setof", "forall"}
+
+
+def _specialize_body(term, groups):
+    term = deref(term)
+    if isinstance(term, Struct) and term.name in _CONTROL:
+        args = tuple(_specialize_body(a, groups) for a in term.args)
+        return Struct(term.name, args)
+    return _specialize_literal(term, groups)
+
+
+def specialize_batch(clauses, report=None):
+    """Transform a batch of clause terms; returns the new clause list.
+
+    ``clauses`` are encoded clause terms (``Head`` or ``Head :- Body``).
+    The return value replaces the batch: specialized predicates, bridge
+    clauses, and all other clauses with call sites rewritten.
+
+    When ``report`` is a list, each specialized group is appended to it
+    as ``(apply_arity, specialized_name, specialized_arity)`` so the
+    caller can propagate per-predicate declarations (tabling in
+    particular) from ``apply/N`` to the specialized predicates.
+    """
+    # Pass 1: find the specializable groups: (functor_name, functor_arity,
+    # apply_arity) such that some apply clause head has that compound
+    # functor as its first argument.
+    groups = set()
+    for clause in clauses:
+        head = _clause_head(clause)
+        if _is_apply(head):
+            symbol = hilog_functor_symbol(deref(head.args[0]))
+            if symbol is not None and symbol[0] == "struct":
+                groups.add((symbol[1], symbol[2], len(head.args)))
+    if not groups:
+        return list(clauses)
+    if report is not None:
+        for name, arity, apply_arity in groups:
+            report.append(
+                (apply_arity, specialized_name(name, arity), arity + apply_arity - 1)
+            )
+
+    out = []
+    bridged = set()
+    for clause in clauses:
+        head, body = _split(clause)
+        new_body = _specialize_body(body, groups) if body is not None else None
+        if _is_apply(head):
+            functor = deref(head.args[0])
+            symbol = hilog_functor_symbol(functor)
+            group = (
+                (symbol[1], symbol[2], len(head.args))
+                if symbol is not None and symbol[0] == "struct"
+                else None
+            )
+            if group is not None and group in groups:
+                name = specialized_name(symbol[1], symbol[2])
+                new_head = Struct(
+                    name, tuple(functor.args) + tuple(head.args[1:])
+                )
+                if group not in bridged:
+                    bridged.add(group)
+                    out.append(_bridge_clause(symbol, len(head.args)))
+                out.append(_join(new_head, new_body))
+                continue
+        out.append(_join(head, new_body))
+    return out
+
+
+def _bridge_clause(symbol, apply_arity):
+    """``apply(f(A...), X...) :- apply_f(A..., X...)``."""
+    _, name, arity = symbol
+    functor_vars = tuple(Var() for _ in range(arity))
+    call_vars = tuple(Var() for _ in range(apply_arity - 1))
+    head = Struct(APPLY, (Struct(name, functor_vars), *call_vars))
+    body = Struct(specialized_name(name, arity), functor_vars + call_vars)
+    return Struct(":-", (head, body))
+
+
+def _clause_head(clause):
+    clause = deref(clause)
+    if isinstance(clause, Struct) and clause.name == ":-" and len(clause.args) == 2:
+        return deref(clause.args[0])
+    return clause
+
+
+def _split(clause):
+    clause = deref(clause)
+    if isinstance(clause, Struct) and clause.name == ":-" and len(clause.args) == 2:
+        return deref(clause.args[0]), deref(clause.args[1])
+    return clause, None
+
+
+def _join(head, body):
+    if body is None:
+        return head
+    return Struct(":-", (head, body))

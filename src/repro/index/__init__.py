@@ -1,0 +1,17 @@
+"""Indexing subsystem: hash indexes, first-string tries, answer tries."""
+
+from .answer_trie import AnswerTrie
+from .subgoal_trie import SubgoalTrie
+from .hash_index import HashIndex, IndexPlan, IndexSpec, outer_symbol
+from .trie_index import FirstStringIndex, first_string
+
+__all__ = [
+    "HashIndex",
+    "IndexSpec",
+    "IndexPlan",
+    "outer_symbol",
+    "FirstStringIndex",
+    "first_string",
+    "AnswerTrie",
+    "SubgoalTrie",
+]

@@ -1,0 +1,144 @@
+"""Trie-based answer storage for tables.
+
+The paper (section 4.5) reports trie indexing for answer clauses as
+under development: "the index is being integrated with the actual
+storing of the answers, which will both decrease the space and the time
+necessary for saving answers".  This module implements that design:
+answers are stored *as* paths of a trie keyed on the full preorder
+symbol string (variables numbered by first occurrence), so the
+duplicate check and the insertion are one traversal, and common answer
+prefixes share space.
+"""
+
+from __future__ import annotations
+
+from ..terms import Atom, Struct, Var, deref
+
+__all__ = ["AnswerTrie"]
+
+_VAR = 0
+_ATOM = 1
+_NUM = 2
+_STRUCT = 3
+
+
+def _flatten(term):
+    """Full preorder token string; variables become (VAR, index)."""
+    tokens = []
+    varmap = {}
+    stack = [term]
+    while stack:
+        t = deref(stack.pop())
+        if isinstance(t, Var):
+            index = varmap.get(id(t))
+            if index is None:
+                index = len(varmap)
+                varmap[id(t)] = index
+            tokens.append((_VAR, index))
+        elif isinstance(t, Struct):
+            tokens.append((_STRUCT, t.name, len(t.args)))
+            stack.extend(reversed(t.args))
+        elif isinstance(t, Atom):
+            tokens.append((_ATOM, t.name))
+        else:
+            tokens.append((_NUM, type(t).__name__, t))
+    return tokens
+
+
+def _rebuild(tokens):
+    """Reconstruct a term from a token string produced by ``_flatten``."""
+    from ..terms import mkatom
+
+    variables = {}
+    pos = 0
+
+    def build():
+        nonlocal pos
+        token = tokens[pos]
+        pos += 1
+        tag = token[0]
+        if tag == _VAR:
+            var = variables.get(token[1])
+            if var is None:
+                var = Var()
+                variables[token[1]] = var
+            return var
+        if tag == _ATOM:
+            return mkatom(token[1])
+        if tag == _STRUCT:
+            name, arity = token[1], token[2]
+            args = tuple(build() for _ in range(arity))
+            return Struct(name, args)
+        return token[2]
+
+    return build()
+
+
+class _Node:
+    __slots__ = ("children", "is_answer")
+
+    def __init__(self):
+        self.children = {}
+        self.is_answer = False
+
+
+class AnswerTrie:
+    """Answers stored as trie paths; insertion doubles as the dup check."""
+
+    __slots__ = ("root", "count", "_order")
+
+    def __init__(self):
+        self.root = _Node()
+        self.count = 0
+        self._order = []  # token strings in insertion order
+
+    def insert(self, term):
+        """Insert ``term``; True when it is a *new* answer.
+
+        A single traversal both checks for a variant duplicate and
+        stores the answer — the integration the paper describes.
+        """
+        tokens = _flatten(term)
+        node = self.root
+        for token in tokens:
+            child = node.children.get(token)
+            if child is None:
+                child = _Node()
+                node.children[token] = child
+            node = child
+        if node.is_answer:
+            return False
+        node.is_answer = True
+        self.count += 1
+        self._order.append(tokens)
+        return True
+
+    def __contains__(self, term):
+        tokens = _flatten(term)
+        node = self.root
+        for token in tokens:
+            node = node.children.get(token)
+            if node is None:
+                return False
+        return node.is_answer
+
+    def __len__(self):
+        return self.count
+
+    def answer(self, index):
+        """The ``index``-th answer (fresh variables) in insertion order."""
+        return _rebuild(self._order[index])
+
+    def answers(self):
+        """All answers in insertion order, rebuilt with fresh variables."""
+        return [_rebuild(tokens) for tokens in self._order]
+
+    def node_count(self):
+        """Trie node count — the space metric of the tables ablation."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children.values())
+        return total

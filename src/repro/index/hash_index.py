@@ -1,0 +1,172 @@
+"""Hash-based clause indexing (section 4.5 of the paper).
+
+XSB supports hash indexes on any argument, on combinations of up to
+three arguments, and any number of distinct indexes per predicate, e.g.::
+
+    :- index(p/5, [1, 2, 3+5]).
+
+Retrieval uses the first index in the declaration whose key arguments
+are all instantiated.  All hashing uses only the *outer functor symbol*
+of an argument, exactly as the paper specifies, so ``f(a)`` and
+``f(b)`` hash alike under ``f/1``.
+
+Clauses whose indexed argument is a variable match every key; they live
+in a catch-all bucket that is merged back in source order on lookup.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeError_
+from ..terms import Atom, Struct, Var, deref
+
+__all__ = ["outer_symbol", "IndexSpec", "HashIndex", "IndexPlan"]
+
+_ANY = object()  # marks arguments whose outer symbol is an unbound variable
+
+
+def outer_symbol(term):
+    """The hash key of a term: its outer functor symbol.
+
+    Returns ``_ANY`` (a private sentinel) for unbound variables so that
+    callers can distinguish "not indexable" from real symbols.
+    """
+    term = deref(term)
+    if isinstance(term, Var):
+        return _ANY
+    if isinstance(term, Atom):
+        return ("a", term.name)
+    if isinstance(term, Struct):
+        return ("s", term.name, len(term.args))
+    return ("n", type(term).__name__, term)
+
+
+def is_any(key):
+    return key is _ANY
+
+
+class IndexSpec:
+    """One index over a field set, e.g. ``3+5`` -> positions (3, 5)."""
+
+    __slots__ = ("positions",)
+
+    def __init__(self, positions):
+        positions = tuple(positions)
+        if not 1 <= len(positions) <= 3:
+            raise TypeError_("index on 1..3 fields", positions)
+        self.positions = positions
+
+    def key_of_args(self, args):
+        """Combined key for a retrieval; None when any field is unbound."""
+        parts = []
+        for pos in self.positions:
+            key = outer_symbol(args[pos - 1])
+            if key is _ANY:
+                return None
+            parts.append(key)
+        return tuple(parts)
+
+    def __repr__(self):
+        return "+".join(str(p) for p in self.positions)
+
+
+class HashIndex:
+    """A single hash index over one :class:`IndexSpec`.
+
+    Entries are ``(sequence, payload)`` pairs; lookups merge the key
+    bucket with the catch-all (variable) bucket in sequence order so
+    clause-selection order is preserved.
+
+    ``bucket_count`` exists for fidelity with the paper's "the size of
+    the hash table is specifiable": Python dicts resize themselves, so
+    the value is recorded (and reported by ``stats``) rather than used.
+    """
+
+    __slots__ = ("spec", "buckets", "catch_all", "bucket_count")
+
+    def __init__(self, spec, bucket_count=0):
+        self.spec = spec
+        self.buckets = {}
+        self.catch_all = []
+        self.bucket_count = bucket_count
+
+    def insert(self, seq, head_args, payload, front=False):
+        """Index one clause (``front`` supports ``asserta``)."""
+        key = self.spec.key_of_args(head_args)
+        target = self.catch_all if key is None else self.buckets.setdefault(key, [])
+        entry = (seq, payload)
+        if front:
+            target.insert(0, entry)
+        else:
+            target.append(entry)
+
+    def remove(self, seq):
+        """Remove the clause with the given sequence number everywhere."""
+        self.catch_all[:] = [e for e in self.catch_all if e[0] != seq]
+        for bucket in self.buckets.values():
+            bucket[:] = [e for e in bucket if e[0] != seq]
+
+    def applicable(self, call_args):
+        """True when all key fields are bound in this retrieval."""
+        return self.spec.key_of_args(call_args) is not None
+
+    def lookup(self, call_args):
+        """Candidate payloads in clause order, or None if not applicable."""
+        key = self.spec.key_of_args(call_args)
+        if key is None:
+            return None
+        bucket = self.buckets.get(key, [])
+        if not self.catch_all:
+            return [payload for _, payload in bucket]
+        merged = sorted(bucket + self.catch_all, key=lambda entry: entry[0])
+        return [payload for _, payload in merged]
+
+    def stats(self):
+        sizes = [len(b) for b in self.buckets.values()]
+        return {
+            "spec": repr(self.spec),
+            "keys": len(self.buckets),
+            "catch_all": len(self.catch_all),
+            "max_bucket": max(sizes, default=0),
+            "declared_buckets": self.bucket_count,
+        }
+
+
+class IndexPlan:
+    """The ordered list of indexes declared for one predicate.
+
+    Retrieval walks the declaration order and uses the *first* index
+    whose key fields are all bound — the semantics of
+    ``:- index(p/5,[1,2,3+5])`` described in the paper.
+    """
+
+    __slots__ = ("arity", "indexes")
+
+    def __init__(self, arity, specs=None, bucket_count=0):
+        self.arity = arity
+        if specs is None:
+            specs = [IndexSpec((1,))] if arity >= 1 else []
+        self.indexes = [HashIndex(spec, bucket_count) for spec in specs]
+
+    def insert(self, seq, head_args, payload, front=False):
+        for index in self.indexes:
+            index.insert(seq, head_args, payload, front=front)
+
+    def remove(self, seq):
+        for index in self.indexes:
+            index.remove(seq)
+
+    def lookup(self, call_args):
+        """Payloads via the first applicable index; None if none applies."""
+        for index in self.indexes:
+            result = index.lookup(call_args)
+            if result is not None:
+                return result
+        return None
+
+    def rebuild(self, entries):
+        """Re-index from scratch from ``(seq, head_args, payload)`` triples."""
+        for index in self.indexes:
+            index.buckets.clear()
+            index.catch_all.clear()
+        for seq, head_args, payload in entries:
+            self.insert(seq, head_args, payload)

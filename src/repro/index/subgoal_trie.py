@@ -1,0 +1,117 @@
+"""Trie index on call patterns (section 4.5).
+
+"Tabled subgoals require indexing since the action taken for a subgoal
+depends on whether it has been previously called during an
+evaluation."  XSB's default is a first-argument hash; this module
+provides the trie alternative the later XSB literature made standard:
+the subgoal's full preorder symbol string (variables numbered by first
+occurrence, so lookup *is* the variant check) keyed into a
+discrimination net whose leaves carry the subgoal frames.
+
+The engine selects between the canonical-key dict (the default — a
+hash on the whole variant pattern) and this trie with
+``Engine(subgoal_index="trie")``; the tables ablation compares them.
+"""
+
+from __future__ import annotations
+
+from .answer_trie import _flatten
+
+__all__ = ["SubgoalTrie"]
+
+
+class _Node:
+    __slots__ = ("children", "frame")
+
+    def __init__(self):
+        self.children = {}
+        self.frame = None
+
+
+class SubgoalTrie:
+    """Maps subgoal variants to frames via one trie traversal."""
+
+    __slots__ = ("root", "count")
+
+    def __init__(self):
+        self.root = _Node()
+        self.count = 0
+
+    def lookup(self, term):
+        """The frame of a variant of ``term``, or None."""
+        node = self.root
+        for token in _flatten(term):
+            node = node.children.get(token)
+            if node is None:
+                return None
+        return node.frame
+
+    def insert(self, term, frame):
+        """Store ``frame`` under the variant pattern of ``term``.
+
+        A single traversal both locates the variant (check) and creates
+        the path (insert); returns the previously stored frame when the
+        variant already existed (in which case nothing is replaced).
+        """
+        node = self.root
+        for token in _flatten(term):
+            child = node.children.get(token)
+            if child is None:
+                child = _Node()
+                node.children[token] = child
+            node = child
+        if node.frame is not None:
+            return node.frame
+        node.frame = frame
+        self.count += 1
+        return None
+
+    def remove(self, term):
+        """Delete the entry for ``term``'s variant (tcut/abandon path)."""
+        node = self.root
+        path = []
+        for token in _flatten(term):
+            child = node.children.get(token)
+            if child is None:
+                return False
+            path.append((node, token))
+            node = child
+        if node.frame is None:
+            return False
+        node.frame = None
+        self.count -= 1
+        # prune empty branches bottom-up
+        for parent, token in reversed(path):
+            child = parent.children[token]
+            if child.frame is None and not child.children:
+                del parent.children[token]
+            else:
+                break
+        return True
+
+    def frames(self):
+        """All stored frames (no particular order)."""
+        out = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.frame is not None:
+                out.append(node.frame)
+            stack.extend(node.children.values())
+        return out
+
+    def clear(self):
+        self.root = _Node()
+        self.count = 0
+
+    def __len__(self):
+        return self.count
+
+    def node_count(self):
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children.values())
+        return total

@@ -1,0 +1,128 @@
+"""First-string indexing (section 4.5, example 4.2 of the paper).
+
+A variant of path indexing: each clause head is flattened into the
+string of symbols met on a preorder traversal, *stopping at the first
+variable*; the strings are stored in a trie (discrimination net).
+Retrieval walks the trie with the call's preorder string, also stopping
+at the call's first variable, and returns every clause whose string is
+a prefix of the call's (more general clauses) plus, when the call's
+string ran out first, every clause in the remaining subtree.
+
+The result is a superset of the matching clauses (indexing is a
+prefilter; head unification performs the exact check), never a subset.
+"""
+
+from __future__ import annotations
+
+from ..terms import Atom, Struct, Var, deref
+
+__all__ = ["first_string", "FirstStringIndex", "TrieNode"]
+
+
+def first_string(term):
+    """The preorder symbol string of ``term``, cut at the first variable.
+
+    Symbols are ``(name, arity)`` pairs; numbers appear as
+    ``(value, 0)``.  Returns ``(tokens, hit_variable)``.
+    """
+    tokens = []
+    stack = [term]
+    while stack:
+        t = deref(stack.pop())
+        if isinstance(t, Var):
+            return tokens, True
+        if isinstance(t, Struct):
+            tokens.append((t.name, len(t.args)))
+            stack.extend(reversed(t.args))
+        elif isinstance(t, Atom):
+            tokens.append((t.name, 0))
+        else:
+            tokens.append((t, 0))
+    return tokens, False
+
+
+class TrieNode:
+    """One discrimination-net node."""
+
+    __slots__ = ("children", "terminals")
+
+    def __init__(self):
+        self.children = {}
+        self.terminals = []  # (seq, payload) of strings ending here
+
+    def subtree_entries(self, out):
+        """Collect every (seq, payload) stored at or below this node."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            out.extend(node.terminals)
+            stack.extend(node.children.values())
+
+
+class FirstStringIndex:
+    """Trie of clause-head first-strings for one predicate."""
+
+    __slots__ = ("root", "size")
+
+    def __init__(self):
+        self.root = TrieNode()
+        self.size = 0
+
+    def insert(self, seq, head, payload):
+        tokens, _ = first_string(head)
+        node = self.root
+        # The first token is the predicate symbol itself; the paper drops
+        # it ("after removing the first token") since the trie is
+        # per-predicate.  We keep the same convention.
+        for token in tokens[1:]:
+            child = node.children.get(token)
+            if child is None:
+                child = TrieNode()
+                node.children[token] = child
+            node = child
+        node.terminals.append((seq, payload))
+        self.size += 1
+
+    def remove(self, seq):
+        """Remove the entry with the given sequence number (linear scan)."""
+        removed = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            before = len(node.terminals)
+            node.terminals[:] = [e for e in node.terminals if e[0] != seq]
+            removed += before - len(node.terminals)
+            stack.extend(node.children.values())
+        self.size -= removed
+
+    def lookup(self, call):
+        """Candidate payloads for ``call`` in clause order (a superset)."""
+        tokens, hit_variable = first_string(call)
+        entries = []
+        node = self.root
+        matched_all = True
+        for token in tokens[1:]:
+            entries.extend(node.terminals)
+            child = node.children.get(token)
+            if child is None:
+                matched_all = False
+                break
+            node = child
+        if matched_all:
+            if hit_variable:
+                node.subtree_entries(entries)
+            else:
+                entries.extend(node.terminals)
+        if len(entries) > 1:
+            entries.sort(key=lambda entry: entry[0])
+        return [payload for _, payload in entries]
+
+    def depth(self):
+        """Maximum trie depth (used by tests and the indexing ablation)."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            stack.extend((child, d + 1) for child in node.children.values())
+        return best

@@ -1,0 +1,18 @@
+"""Prolog/HiLog syntax: lexer, operator tables, parser, writer, reader."""
+
+from .lexer import Lexer, tokenize
+from .ops import OperatorTable
+from .parser import APPLY, Parser, parse_term, parse_terms
+from .writer import TermWriter, term_to_str
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "OperatorTable",
+    "Parser",
+    "parse_term",
+    "parse_terms",
+    "term_to_str",
+    "TermWriter",
+    "APPLY",
+]

@@ -1,0 +1,125 @@
+"""Definite clause grammar translation.
+
+XSB inherits Prolog's grammar-rule notation (``-->`` sits in the
+standard operator table the paper adopts).  A rule::
+
+    s --> np, vp.
+    det --> [the].
+    digits(D) --> [D], { 0'0 =< D, D =< 0'9 }.
+
+translates into an ordinary clause whose predicates carry a difference
+list: ``s(S0, S) :- np(S0, S1), vp(S1, S)``; terminal lists constrain
+the stream; ``{Goal}`` brackets plain goals.  ``phrase/2,3`` run a
+grammar body against a list.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeError_
+from ..terms import NIL, Atom, Struct, Var, deref, make_list
+
+__all__ = ["is_dcg_rule", "translate_dcg", "dcg_body_goal"]
+
+
+def is_dcg_rule(term):
+    term = deref(term)
+    return (
+        isinstance(term, Struct) and term.name == "-->" and len(term.args) == 2
+    )
+
+
+def translate_dcg(term):
+    """Translate ``Head --> Body`` into an ordinary clause term."""
+    term = deref(term)
+    head, body = term.args
+    s0 = Var("S0")
+    s_end = Var("S")
+    new_head = _extend(deref(head), s0, s_end)
+    new_body = _body(deref(body), s0, s_end)
+    return Struct(":-", (new_head, new_body))
+
+
+def dcg_body_goal(body, list_term, rest_term):
+    """The goal equivalent to ``phrase(Body, List, Rest)``."""
+    return _body(deref(body), list_term, rest_term)
+
+
+def _extend(term, s0, s):
+    if isinstance(term, Atom):
+        return Struct(term.name, (s0, s))
+    if isinstance(term, Struct):
+        return Struct(term.name, term.args + (s0, s))
+    raise TypeError_("grammar-rule nonterminal", term)
+
+
+def _is_list_term(term):
+    return (
+        term is NIL
+        or (isinstance(term, Atom) and term.name == "[]")
+        or (
+            isinstance(term, Struct)
+            and term.name == "."
+            and len(term.args) == 2
+        )
+    )
+
+
+def _list_items(term):
+    items = []
+    while True:
+        term = deref(term)
+        if isinstance(term, Atom) and term.name == "[]":
+            return items
+        if (
+            isinstance(term, Struct)
+            and term.name == "."
+            and len(term.args) == 2
+        ):
+            items.append(term.args[0])
+            term = term.args[1]
+            continue
+        raise TypeError_("terminal list in grammar rule", term)
+
+
+def _body(term, s0, s):
+    term = deref(term)
+    if isinstance(term, Struct) and term.name == "," and len(term.args) == 2:
+        middle = Var()
+        left = _body(deref(term.args[0]), s0, middle)
+        right = _body(deref(term.args[1]), middle, s)
+        return Struct(",", (left, right))
+    if isinstance(term, Struct) and term.name == ";" and len(term.args) == 2:
+        return Struct(
+            ";",
+            (
+                _body(deref(term.args[0]), s0, s),
+                _body(deref(term.args[1]), s0, s),
+            ),
+        )
+    if isinstance(term, Struct) and term.name == "->" and len(term.args) == 2:
+        middle = Var()
+        return Struct(
+            "->",
+            (
+                _body(deref(term.args[0]), s0, middle),
+                _body(deref(term.args[1]), middle, s),
+            ),
+        )
+    if isinstance(term, Struct) and term.name == "{}" and len(term.args) == 1:
+        # bracketed goal: does not consume input
+        return Struct(",", (term.args[0], Struct("=", (s0, s))))
+    if isinstance(term, Atom) and term.name == "!":
+        return Struct(",", (term, Struct("=", (s0, s))))
+    if isinstance(term, Struct) and term.name == "\\+" and len(term.args) == 1:
+        # negative lookahead: consumes nothing
+        probe = Var()
+        inner = _body(deref(term.args[0]), s0, probe)
+        return Struct(
+            ",", (Struct("\\+", (inner,)), Struct("=", (s0, s)))
+        )
+    if _is_list_term(term):
+        items = _list_items(term)
+        return Struct("=", (s0, make_list(items, s)))
+    if isinstance(term, Var):
+        return Struct("phrase", (term, s0, s))
+    return _extend(term, s0, s)

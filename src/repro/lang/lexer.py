@@ -1,0 +1,288 @@
+"""Tokenizer for XSB-style Prolog/HiLog source text.
+
+Follows ISO Prolog lexical conventions where they matter for this
+engine: symbolic atoms are maximal runs of symbol characters, ``(``
+directly after a token is a *functor* open (``OPEN_CT``), the clause
+terminator is ``.`` followed by layout or end of input, and both ``%``
+line comments and ``/* */`` block comments are skipped.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .tokens import Token, TokenType
+
+__all__ = ["tokenize", "Lexer"]
+
+_SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+_SOLO = set(",;!|")
+_PUNCT = set("()[]{},|")
+
+
+def _is_ident_start(ch):
+    return ch.isalpha() and ch.islower()
+
+
+def _is_ident_char(ch):
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Streaming tokenizer over a source string."""
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message):
+        raise ParseError(message, self.line, self.col)
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_layout(self):
+        """Skip whitespace and comments; return True if any was skipped."""
+        skipped = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self._advance()
+                skipped = True
+            elif ch == "%":
+                while self.pos < len(self.text) and self.text[self.pos] != "\n":
+                    self._advance()
+                skipped = True
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self.text[self.pos] == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    self._error("unterminated block comment")
+                self._advance(2)
+                skipped = True
+            else:
+                break
+        return skipped
+
+    def tokens(self):
+        """Yield tokens, ending with a single EOF token."""
+        previous_was_term_like = False
+        while True:
+            had_layout = self._skip_layout()
+            if self.pos >= len(self.text):
+                yield Token(TokenType.EOF, None, self.line, self.col)
+                return
+            line, col = self.line, self.col
+            ch = self.text[self.pos]
+
+            if ch == "(":
+                self._advance()
+                kind = (
+                    TokenType.OPEN_CT
+                    if previous_was_term_like and not had_layout
+                    else TokenType.PUNCT
+                )
+                yield Token(kind, "(", line, col)
+                previous_was_term_like = False
+                continue
+
+            if ch in _PUNCT:
+                self._advance()
+                yield Token(TokenType.PUNCT, ch, line, col)
+                previous_was_term_like = ch in ")]}"
+                continue
+
+            if ch.isdigit():
+                token = self._number(line, col)
+                yield token
+                previous_was_term_like = True
+                continue
+
+            if ch == "_" or (ch.isalpha() and ch.isupper()):
+                start = self.pos
+                while self.pos < len(self.text) and _is_ident_char(self.text[self.pos]):
+                    self._advance()
+                yield Token(TokenType.VAR, self.text[start : self.pos], line, col)
+                previous_was_term_like = True
+                continue
+
+            if _is_ident_start(ch):
+                start = self.pos
+                while self.pos < len(self.text) and _is_ident_char(self.text[self.pos]):
+                    self._advance()
+                yield Token(TokenType.ATOM, self.text[start : self.pos], line, col)
+                previous_was_term_like = True
+                continue
+
+            if ch == "'":
+                yield Token(TokenType.ATOM, self._quoted("'", line, col), line, col)
+                previous_was_term_like = True
+                continue
+
+            if ch == '"':
+                yield Token(TokenType.STRING, self._quoted('"', line, col), line, col)
+                previous_was_term_like = True
+                continue
+
+            if ch in _SOLO:
+                self._advance()
+                yield Token(TokenType.ATOM, ch, line, col)
+                previous_was_term_like = ch in ")!"
+                continue
+
+            if ch in _SYMBOL_CHARS:
+                start = self.pos
+                while (
+                    self.pos < len(self.text) and self.text[self.pos] in _SYMBOL_CHARS
+                ):
+                    self._advance()
+                symbol = self.text[start : self.pos]
+                if symbol == "." and self._at_clause_end():
+                    yield Token(TokenType.END, ".", line, col)
+                    previous_was_term_like = False
+                else:
+                    yield Token(TokenType.ATOM, symbol, line, col)
+                    previous_was_term_like = False
+                continue
+
+            self._error(f"unexpected character {ch!r}")
+
+    def _at_clause_end(self):
+        """A lone '.' ends a clause when followed by layout, '%', or EOF."""
+        nxt = self._peek()
+        return nxt == "" or nxt.isspace() or nxt == "%"
+
+    def _number(self, line, col):
+        start = self.pos
+        text = self.text
+        # Character-code literal 0'c (ISO).
+        if text[self.pos] == "0" and self._peek(1) == "'":
+            self._advance(2)
+            if self.pos >= len(text):
+                self._error("unterminated character code")
+            ch = text[self.pos]
+            if ch == "\\":
+                value, length = self._escape(self.pos + 1)
+                self._advance(length)
+                return Token(TokenType.INT, value, line, col)
+            self._advance()
+            return Token(TokenType.INT, ord(ch), line, col)
+        # Radix literals 0x.., 0o.., 0b..
+        if text[self.pos] == "0" and self._peek(1) in "xob":
+            base = {"x": 16, "o": 8, "b": 2}[self._peek(1)]
+            digits_start = self.pos + 2
+            end = digits_start
+            while end < len(text) and text[end].isalnum():
+                end += 1
+            literal = text[digits_start:end]
+            try:
+                value = int(literal, base)
+            except ValueError:
+                self._error(f"bad radix literal 0{self._peek(1)}{literal}")
+            self._advance(end - self.pos)
+            return Token(TokenType.INT, value, line, col)
+        while self.pos < len(text) and text[self.pos].isdigit():
+            self._advance()
+        is_float = False
+        if (
+            self._peek() == "."
+            and self._peek(1).isdigit()
+        ):
+            is_float = True
+            self._advance()
+            while self.pos < len(text) and text[self.pos].isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self.pos < len(text) and text[self.pos].isdigit():
+                self._advance()
+        literal = text[start : self.pos]
+        if is_float:
+            return Token(TokenType.FLOAT, float(literal), line, col)
+        return Token(TokenType.INT, int(literal), line, col)
+
+    _ESCAPES = {
+        "n": "\n",
+        "t": "\t",
+        "r": "\r",
+        "a": "\a",
+        "b": "\b",
+        "f": "\f",
+        "v": "\v",
+        "\\": "\\",
+        "'": "'",
+        '"': '"',
+        "`": "`",
+        "0": "\0",
+    }
+
+    def _escape(self, index):
+        """Decode the escape at ``text[index]``; return (codepoint, length
+        consumed including the backslash)."""
+        ch = self.text[index] if index < len(self.text) else ""
+        if ch in self._ESCAPES:
+            return ord(self._ESCAPES[ch]), 2
+        if ch == "x":
+            end = index + 1
+            while end < len(self.text) and self.text[end] in "0123456789abcdefABCDEF":
+                end += 1
+            code = int(self.text[index + 1 : end], 16)
+            if end < len(self.text) and self.text[end] == "\\":
+                end += 1
+            return code, end - index + 1
+        self._error(f"unknown escape \\{ch}")
+
+    def _quoted(self, quote, line, col):
+        """Read a quoted atom or string body, handling escapes and the
+        doubled-quote convention."""
+        self._advance()  # opening quote
+        parts = []
+        while True:
+            if self.pos >= len(self.text):
+                raise ParseError("unterminated quoted token", line, col)
+            ch = self.text[self.pos]
+            if ch == quote:
+                if self._peek(1) == quote:
+                    parts.append(quote)
+                    self._advance(2)
+                    continue
+                self._advance()
+                return "".join(parts)
+            if ch == "\\":
+                if self._peek(1) == "\n":
+                    self._advance(2)  # line continuation
+                    continue
+                code, length = self._escape(self.pos + 1)
+                parts.append(chr(code))
+                self._advance(length)
+                continue
+            parts.append(ch)
+            self._advance()
+
+
+def tokenize(text):
+    """Tokenize ``text`` into a list of tokens (EOF-terminated)."""
+    return list(Lexer(text).tokens())

@@ -1,0 +1,153 @@
+"""Operator tables (XSB integrates Prolog operators with HiLog syntax).
+
+A fresh :class:`OperatorTable` carries the standard Prolog operators
+plus the XSB extensions used in the paper: ``tnot/1``, ``e_tnot/1`` and
+``table`` / ``hilog`` / ``index`` appear as ordinary (non-operator)
+directives, while ``tnot`` and ``e_tnot`` parse as prefix operators so
+rules read exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+
+__all__ = ["OperatorTable", "Op", "PREFIX", "INFIX", "POSTFIX"]
+
+PREFIX = "prefix"
+INFIX = "infix"
+POSTFIX = "postfix"
+
+_VALID_TYPES = {
+    "xfx": (INFIX, True, True),
+    "xfy": (INFIX, True, False),
+    "yfx": (INFIX, False, True),
+    "fy": (PREFIX, None, False),
+    "fx": (PREFIX, None, True),
+    "xf": (POSTFIX, True, None),
+    "yf": (POSTFIX, False, None),
+}
+
+
+class Op:
+    """One operator definition.
+
+    ``left_tight``/``right_tight`` record whether the corresponding
+    argument must have *strictly lower* priority (the ``x`` positions of
+    the ISO type codes).
+    """
+
+    __slots__ = ("name", "priority", "fixity", "type_code")
+
+    def __init__(self, name, priority, type_code):
+        if type_code not in _VALID_TYPES:
+            raise ParseError(f"invalid operator type {type_code}")
+        self.name = name
+        self.priority = priority
+        self.type_code = type_code
+        self.fixity = _VALID_TYPES[type_code][0]
+
+    @property
+    def left_max(self):
+        """Maximum priority allowed for a left argument (infix/postfix)."""
+        strict = _VALID_TYPES[self.type_code][1]
+        return self.priority - 1 if strict else self.priority
+
+    @property
+    def right_max(self):
+        """Maximum priority allowed for a right argument (prefix/infix)."""
+        strict = _VALID_TYPES[self.type_code][2]
+        return self.priority - 1 if strict else self.priority
+
+
+_STANDARD = [
+    (":-", 1200, "xfx"),
+    ("-->", 1200, "xfx"),
+    (":-", 1200, "fx"),
+    ("?-", 1200, "fx"),
+    ("import", 1150, "fx"),
+    ("export", 1150, "fx"),
+    ("local", 1150, "fx"),
+    ("from", 1100, "xfx"),
+    ("table", 1150, "fx"),
+    ("hilog", 1150, "fx"),
+    ("dynamic", 1150, "fx"),
+    ("discontiguous", 1150, "fx"),
+    (";", 1100, "xfy"),
+    ("->", 1050, "xfy"),
+    (",", 1000, "xfy"),
+    ("\\+", 900, "fy"),
+    ("not", 900, "fy"),
+    ("tnot", 900, "fy"),
+    ("e_tnot", 900, "fy"),
+    ("=", 700, "xfx"),
+    ("\\=", 700, "xfx"),
+    ("==", 700, "xfx"),
+    ("\\==", 700, "xfx"),
+    ("@<", 700, "xfx"),
+    ("@>", 700, "xfx"),
+    ("@=<", 700, "xfx"),
+    ("@>=", 700, "xfx"),
+    ("is", 700, "xfx"),
+    ("=:=", 700, "xfx"),
+    ("=\\=", 700, "xfx"),
+    ("<", 700, "xfx"),
+    (">", 700, "xfx"),
+    ("=<", 700, "xfx"),
+    (">=", 700, "xfx"),
+    ("=..", 700, "xfx"),
+    ("+", 500, "yfx"),
+    ("-", 500, "yfx"),
+    ("/\\", 500, "yfx"),
+    ("\\/", 500, "yfx"),
+    ("xor", 500, "yfx"),
+    ("*", 400, "yfx"),
+    ("/", 400, "yfx"),
+    ("//", 400, "yfx"),
+    ("mod", 400, "yfx"),
+    ("rem", 400, "yfx"),
+    ("<<", 400, "yfx"),
+    (">>", 400, "yfx"),
+    ("**", 200, "xfx"),
+    ("^", 200, "xfy"),
+    ("-", 200, "fy"),
+    ("+", 200, "fy"),
+    ("\\", 200, "fy"),
+]
+
+
+class OperatorTable:
+    """Mutable operator table with the standard operators preloaded."""
+
+    def __init__(self):
+        self._prefix = {}
+        self._infix = {}
+        self._postfix = {}
+        for name, priority, type_code in _STANDARD:
+            self.add(priority, type_code, name)
+
+    def add(self, priority, type_code, name):
+        """Define (or with priority 0, remove) an operator — ``op/3``."""
+        if not 0 <= priority <= 1200:
+            raise ParseError(f"operator priority out of range: {priority}")
+        op = Op(name, priority, type_code)
+        table = {
+            PREFIX: self._prefix,
+            INFIX: self._infix,
+            POSTFIX: self._postfix,
+        }[op.fixity]
+        if priority == 0:
+            table.pop(name, None)
+        else:
+            table[name] = op
+
+    def prefix(self, name):
+        return self._prefix.get(name)
+
+    def infix(self, name):
+        return self._infix.get(name)
+
+    def postfix(self, name):
+        return self._postfix.get(name)
+
+    def is_operator(self, name):
+        return name in self._prefix or name in self._infix or name in self._postfix

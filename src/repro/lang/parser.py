@@ -1,0 +1,281 @@
+"""Operator-precedence parser for XSB-style Prolog/HiLog terms.
+
+The grammar is standard Prolog extended with HiLog application: any
+primary term immediately followed by ``(`` applies that term to the
+parenthesised arguments.  ``p(a)`` with an atom functor parses as a
+first-order struct (the reader later re-encodes it when ``p`` was
+declared ``hilog``); ``X(bob, Y)`` and ``f(a)(b)`` parse directly into
+the ``apply/N`` encoding of the HiLog paper.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..terms import NIL, Struct, Var, make_list, mkatom
+from .lexer import Lexer
+from .ops import OperatorTable
+from .tokens import TokenType
+
+__all__ = ["Parser", "parse_term", "parse_terms", "APPLY"]
+
+APPLY = "apply"
+
+_MAX_PRIORITY = 1200
+_ARG_PRIORITY = 999
+
+
+class Parser:
+    """Parses a token stream into terms, one clause at a time."""
+
+    def __init__(self, text, operators=None):
+        self.tokens = list(Lexer(text).tokens())
+        self.pos = 0
+        self.operators = operators if operators is not None else OperatorTable()
+        self.varmap = {}
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self):
+        token = self.tokens[self.pos]
+        if token.type != TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message, token=None):
+        token = token or self._peek()
+        raise ParseError(message, token.line, token.column)
+
+    def _expect_punct(self, value):
+        token = self._next()
+        if token.type not in (TokenType.PUNCT, TokenType.OPEN_CT) or token.value != value:
+            self._error(f"expected {value!r}, found {token.value!r}", token)
+
+    def at_eof(self):
+        return self._peek().type == TokenType.EOF
+
+    # -- entry points ------------------------------------------------------
+
+    def read_term(self):
+        """Read one '.'-terminated term; return (term, varmap) or None at EOF.
+
+        The varmap maps source variable names to their Var cells, which
+        the toplevel uses to print answers.
+        """
+        if self.at_eof():
+            return None
+        self.varmap = {}
+        term = self._parse(_MAX_PRIORITY)
+        token = self._next()
+        if token.type != TokenType.END:
+            self._error(f"operator expected before {token.value!r}", token)
+        return term, dict(self.varmap)
+
+    # -- recursive-descent core ---------------------------------------------
+
+    def _parse(self, max_priority):
+        left, left_priority = self._parse_primary(max_priority)
+        return self._parse_infix(left, left_priority, max_priority)
+
+    def _parse_infix(self, left, left_priority, max_priority):
+        while True:
+            token = self._peek()
+            name = None
+            if token.type == TokenType.ATOM:
+                name = token.value
+            elif token.type == TokenType.PUNCT and token.value == ",":
+                name = ","
+            if name is None:
+                return left
+            infix = self.operators.infix(name)
+            postfix = self.operators.postfix(name)
+            if (
+                infix is not None
+                and infix.priority <= max_priority
+                and left_priority <= infix.left_max
+                and self._can_start_term(self._peek(1))
+            ):
+                self._next()
+                right = self._parse(infix.right_max)
+                left = Struct(name, (left, right))
+                left_priority = infix.priority
+                continue
+            if (
+                postfix is not None
+                and postfix.priority <= max_priority
+                and left_priority <= postfix.left_max
+            ):
+                self._next()
+                left = Struct(name, (left,))
+                left_priority = postfix.priority
+                continue
+            return left
+
+    def _can_start_term(self, token):
+        if token.type in (
+            TokenType.INT,
+            TokenType.FLOAT,
+            TokenType.STRING,
+            TokenType.VAR,
+            TokenType.ATOM,
+            TokenType.OPEN_CT,
+        ):
+            return True
+        return token.type == TokenType.PUNCT and token.value in "([{"
+
+    def _parse_primary(self, max_priority):
+        token = self._next()
+        kind = token.type
+
+        if kind == TokenType.INT or kind == TokenType.FLOAT:
+            return self._applications(token.value), 0
+
+        if kind == TokenType.STRING:
+            codes = make_list([ord(c) for c in token.value])
+            return self._applications(codes), 0
+
+        if kind == TokenType.VAR:
+            if token.value == "_":
+                var = Var("_")
+            else:
+                var = self.varmap.get(token.value)
+                if var is None:
+                    var = Var(token.value)
+                    self.varmap[token.value] = var
+            return self._applications(var), 0
+
+        if kind in (TokenType.PUNCT, TokenType.OPEN_CT) and token.value == "(":
+            inner = self._parse(_MAX_PRIORITY)
+            self._expect_punct(")")
+            return self._applications(inner), 0
+
+        if kind == TokenType.PUNCT and token.value == "[":
+            return self._applications(self._parse_list()), 0
+
+        if kind == TokenType.PUNCT and token.value == "{":
+            nxt = self._peek()
+            if nxt.type == TokenType.PUNCT and nxt.value == "}":
+                self._next()
+                return self._applications(mkatom("{}")), 0
+            inner = self._parse(_MAX_PRIORITY)
+            self._expect_punct("}")
+            return self._applications(Struct("{}", (inner,))), 0
+
+        if kind == TokenType.ATOM:
+            return self._parse_atom_primary(token, max_priority)
+
+        self._error(f"unexpected token {token.value!r}", token)
+
+    def _parse_atom_primary(self, token, max_priority):
+        name = token.value
+        nxt = self._peek()
+
+        # Functor application: atom immediately followed by '('.
+        if nxt.type == TokenType.OPEN_CT:
+            self._next()
+            args = self._parse_arguments()
+            term = Struct(name, tuple(args))
+            return self._applications(term), 0
+
+        # Negative numeric literal: '-' directly before a number.
+        if name == "-" and nxt.type in (TokenType.INT, TokenType.FLOAT):
+            self._next()
+            return self._applications(-nxt.value), 0
+
+        prefix = self.operators.prefix(name)
+        if (
+            prefix is not None
+            and prefix.priority <= max_priority
+            and self._can_start_term(nxt)
+            and not self._operand_position_ends(nxt)
+        ):
+            operand = self._parse(prefix.right_max)
+            return Struct(name, (operand,)), prefix.priority
+
+        atom = mkatom(name)
+        priority = 0
+        if self.operators.is_operator(name):
+            # A bare operator used as an atom keeps its priority so that
+            # e.g. ``X = (-)`` works but ``- = 1`` does not over-reduce.
+            priority = _MAX_PRIORITY if name in (",",) else 0
+        return self._applications(atom), priority
+
+    def _operand_position_ends(self, token):
+        """True when the next token cannot begin a prefix operand — the
+        operator atom is then being used as a plain atom (e.g. ``f(-)``)."""
+        if token.type == TokenType.PUNCT and token.value in ")]},|":
+            return True
+        if token.type in (TokenType.END, TokenType.EOF):
+            return True
+        if token.type == TokenType.ATOM and self.operators.infix(token.value):
+            # e.g. ``- = 1``: treat '-' as an atom left of '='.
+            if not self.operators.prefix(token.value):
+                return True
+        return False
+
+    def _applications(self, base):
+        """Fold zero or more HiLog applications ``base(args)(args)...``."""
+        while self._peek().type == TokenType.OPEN_CT:
+            self._next()
+            args = self._parse_arguments()
+            base = Struct(APPLY, (base, *args))
+        return base
+
+    def _parse_arguments(self):
+        args = [self._parse(_ARG_PRIORITY)]
+        while True:
+            token = self._peek()
+            if token.type == TokenType.PUNCT and token.value == ",":
+                self._next()
+                args.append(self._parse(_ARG_PRIORITY))
+                continue
+            self._expect_punct(")")
+            return args
+
+    def _parse_list(self):
+        token = self._peek()
+        if token.type == TokenType.PUNCT and token.value == "]":
+            self._next()
+            return self._applications_nil()
+        items = [self._parse(_ARG_PRIORITY)]
+        tail = NIL
+        while True:
+            token = self._peek()
+            if token.type == TokenType.PUNCT and token.value == ",":
+                self._next()
+                items.append(self._parse(_ARG_PRIORITY))
+                continue
+            if token.type == TokenType.PUNCT and token.value == "|":
+                self._next()
+                tail = self._parse(_ARG_PRIORITY)
+            self._expect_punct("]")
+            return make_list(items, tail)
+
+    def _applications_nil(self):
+        return NIL
+
+
+def parse_term(text, operators=None):
+    """Parse a single term from ``text`` (with or without a final '.')."""
+    if not text.rstrip().endswith("."):
+        text = text + " ."
+    parser = Parser(text, operators)
+    result = parser.read_term()
+    if result is None:
+        raise ParseError("empty input")
+    term, _ = result
+    return term
+
+
+def parse_terms(text, operators=None):
+    """Parse all '.'-terminated terms in ``text``; returns a list of terms."""
+    parser = Parser(text, operators)
+    out = []
+    while True:
+        result = parser.read_term()
+        if result is None:
+            return out
+        out.append(result[0])

@@ -1,0 +1,227 @@
+"""The program reader: consulting source text into an engine.
+
+Handles clause terms and the directives the paper describes:
+
+* ``:- table p/2.`` / ``:- table p/2, q/3.`` — declare tabled.
+* ``:- table_all.`` — auto-table enough predicates to break all call
+  graph loops in this consult unit (section 4.3).
+* ``:- hilog h.`` — declare HiLog symbols (section 4.1).
+* ``:- index(p/5, [1,2,3+5]).`` — hash indexing on fields or field
+  combinations; ``:- index(p/5, 2).`` single field;
+  ``:- index(p/2, trie).`` first-string indexing (section 4.5).
+* ``:- dynamic p/2.`` — dynamic (assert/retract-able) predicate.
+* ``:- op(Priority, Type, Name).`` — operator definitions.
+* ``:- export p/2.`` / ``:- import p/2 from m.`` / ``:- local f/1.`` —
+  module-system declarations (section 4.2).
+* any other ``:- Goal`` — executed once when read.
+
+Clauses are HiLog-encoded as they are read, buffered per consult unit,
+optionally HiLog-specialized (section 4.7), then compiled.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..terms import Atom, Struct, deref, list_to_python
+from .parser import Parser
+
+__all__ = ["ProgramReader", "parse_indicator"]
+
+
+def parse_indicator(term):
+    """Parse a ``name/arity`` term into a (name, arity) pair."""
+    term = deref(term)
+    if (
+        isinstance(term, Struct)
+        and term.name == "/"
+        and len(term.args) == 2
+    ):
+        name = deref(term.args[0])
+        arity = deref(term.args[1])
+        if isinstance(name, Atom) and isinstance(arity, int):
+            return name.name, arity
+    raise ParseError(f"expected a predicate indicator, got {term!r}")
+
+
+def _spec_list(term):
+    """Flatten ``a, b, c`` or ``[a, b, c]`` directive arguments."""
+    term = deref(term)
+    if isinstance(term, Struct) and term.name == "," and len(term.args) == 2:
+        return _spec_list(term.args[0]) + _spec_list(term.args[1])
+    if isinstance(term, Struct) and term.name == "." and len(term.args) == 2:
+        return [deref(t) for t in list_to_python(term)]
+    return [term]
+
+
+class ProgramReader:
+    """Reads one or more consult units into an engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def consult(self, text):
+        """Consult source text: directives take effect in order; clauses
+        are installed (and HiLog-specialized) at the end of the unit."""
+        from ..hilog import hilog_encode, specialize_batch
+
+        engine = self.engine
+        parser = Parser(text, engine.operators)
+        pending = []
+        auto_table = False
+        while True:
+            result = parser.read_term()
+            if result is None:
+                break
+            term, _varmap = result
+            term = deref(term)
+            if (
+                isinstance(term, Struct)
+                and term.name == ":-"
+                and len(term.args) == 1
+            ):
+                directive = deref(term.args[0])
+                if self._is_table_all(directive):
+                    auto_table = True
+                else:
+                    self._directive(directive, pending)
+                continue
+            if (
+                isinstance(term, Struct)
+                and term.name == "?-"
+                and len(term.args) == 1
+            ):
+                self._flush(pending, auto_table=False)
+                engine.run_goal(deref(term.args[0]))
+                continue
+            from .dcg import is_dcg_rule, translate_dcg
+
+            if is_dcg_rule(term):
+                term = translate_dcg(term)
+            encoded = hilog_encode(term, engine.hilog_symbols)
+            pending.append(engine.modules.rename_clause(encoded))
+        self._flush(pending, auto_table=auto_table)
+        engine.modules.reset_to_default()
+
+    # -- clause installation ---------------------------------------------------
+
+    def _flush(self, pending, auto_table):
+        if not pending:
+            return
+        engine = self.engine
+        clauses = pending[:]
+        pending.clear()
+        if engine.hilog_specialize:
+            from ..hilog import specialize_batch
+
+            report = []
+            clauses = specialize_batch(clauses, report=report)
+            # A tabling declaration on apply/N covers the predicates
+            # specialization carves out of it.
+            for apply_arity, spec_name, spec_arity in report:
+                pred = engine.db.lookup("apply", apply_arity)
+                if pred is not None and pred.tabled:
+                    engine.db.declare_tabled(spec_name, spec_arity)
+        if auto_table:
+            from ..modules.table_all import select_tabled
+
+            for name, arity in select_tabled(clauses):
+                engine.db.declare_tabled(name, arity)
+        for clause in clauses:
+            engine.db.add_clause_term(clause)
+
+    # -- directives ----------------------------------------------------------------
+
+    @staticmethod
+    def _is_table_all(directive):
+        return isinstance(directive, Atom) and directive.name == "table_all"
+
+    def _directive(self, directive, pending):
+        engine = self.engine
+        directive = deref(directive)
+        if isinstance(directive, Struct):
+            name = directive.name
+            args = directive.args
+        elif isinstance(directive, Atom):
+            name = directive.name
+            args = ()
+        else:
+            raise ParseError(f"bad directive {directive!r}")
+
+        if name == "table" and len(args) == 1:
+            for spec in _spec_list(args[0]):
+                engine.db.declare_tabled(*parse_indicator(spec))
+            return
+        if name == "hilog" and len(args) == 1:
+            for spec in _spec_list(args[0]):
+                spec = deref(spec)
+                if not isinstance(spec, Atom):
+                    raise ParseError(f"hilog declaration expects atoms: {spec!r}")
+                engine.hilog_symbols.add(spec.name)
+            return
+        if name == "dynamic" and len(args) == 1:
+            for spec in _spec_list(args[0]):
+                engine.db.declare_dynamic(*parse_indicator(spec))
+            return
+        if name == "discontiguous" and len(args) == 1:
+            return  # accepted for compatibility; clause order is kept anyway
+        if name == "index" and len(args) in (2, 3):
+            self._index_directive(args)
+            return
+        if name == "op" and len(args) == 3:
+            priority = deref(args[0])
+            type_code = deref(args[1])
+            for op_name in _spec_list(args[2]):
+                op_name = deref(op_name)
+                engine.operators.add(priority, type_code.name, op_name.name)
+            return
+        if name == "export" and len(args) == 1:
+            for spec in _spec_list(args[0]):
+                engine.modules.export_current(parse_indicator(spec))
+            return
+        if name == "local" and len(args) == 1:
+            for spec in _spec_list(args[0]):
+                engine.modules.local_current(parse_indicator(spec))
+            return
+        if name == "import" and len(args) == 1:
+            engine.modules.import_directive(deref(args[0]))
+            return
+        if name == "module" and len(args) in (1, 2):
+            module_name = deref(args[0])
+            engine.modules.begin_module(module_name.name)
+            return
+        # Anything else: run it as a load-time goal.
+        self._flush(pending, auto_table=False)
+        engine.run_goal(directive)
+
+    def _index_directive(self, args):
+        engine = self.engine
+        name, arity = parse_indicator(args[0])
+        spec = deref(args[1])
+        bucket_count = 0
+        if len(args) == 3:
+            size = deref(args[2])
+            if isinstance(size, int):
+                bucket_count = size
+        pred = engine.db.ensure(name, arity)
+        if isinstance(spec, Atom) and spec.name == "trie":
+            pred.set_trie_index()
+            return
+        field_sets = []
+        for field in _spec_list(spec):
+            field = deref(field)
+            if isinstance(field, int):
+                field_sets.append((field,))
+            elif isinstance(field, Struct) and field.name == "+":
+                field_sets.append(tuple(self._plus_fields(field)))
+            else:
+                raise ParseError(f"bad index field spec: {field!r}")
+        pred.set_hash_index(field_sets, bucket_count=bucket_count)
+
+    def _plus_fields(self, term):
+        """Flatten ``3+5`` (or ``1+2+3``) into field positions."""
+        term = deref(term)
+        if isinstance(term, Struct) and term.name == "+" and len(term.args) == 2:
+            return self._plus_fields(term.args[0]) + self._plus_fields(term.args[1])
+        if isinstance(term, int):
+            return [term]
+        raise ParseError(f"bad index field: {term!r}")

@@ -1,0 +1,34 @@
+"""Token definitions for the Prolog/HiLog lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "TokenType"]
+
+
+class TokenType:
+    """Token kinds.  Plain class-attribute constants keep dispatch cheap."""
+
+    ATOM = "atom"
+    VAR = "var"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    PUNCT = "punct"  # , | ( ) [ ] { }
+    OPEN_CT = "open_ct"  # '(' immediately following the previous token
+    END = "end"  # clause-terminating '.'
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.type}, {self.value!r})"

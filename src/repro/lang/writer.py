@@ -1,0 +1,166 @@
+"""Term output: ``term_to_str`` with operator, list and HiLog notation."""
+
+from __future__ import annotations
+
+from ..terms import Atom, Struct, Var, deref
+from .ops import OperatorTable
+
+__all__ = ["term_to_str", "TermWriter"]
+
+_DEFAULT_OPS = OperatorTable()
+
+_IDENT_OK = set("abcdefghijklmnopqrstuvwxyz")
+_SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+
+
+def _atom_needs_quotes(name):
+    if not name:
+        return True
+    if name in ("[]", "{}", "!", ";", ","):
+        return False
+    first = name[0]
+    if first in _IDENT_OK:
+        return not all(c.isalnum() or c == "_" for c in name)
+    if all(c in _SYMBOL_CHARS for c in name):
+        return False
+    return True
+
+
+def _quote_atom(name):
+    escaped = name.replace("\\", "\\\\").replace("'", "\\'")
+    escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+    return f"'{escaped}'"
+
+
+class TermWriter:
+    """Renders terms back to (re-readable) source text."""
+
+    def __init__(self, operators=None, quoted=True, hilog_notation=True):
+        self.operators = operators if operators is not None else _DEFAULT_OPS
+        self.quoted = quoted
+        self.hilog_notation = hilog_notation
+        self._var_names = {}
+
+    def to_str(self, term, max_priority=1200):
+        return "".join(self._emit(term, max_priority))
+
+    # -- helpers ------------------------------------------------------------
+
+    def _var_name(self, var):
+        name = self._var_names.get(id(var))
+        if name is None:
+            if var.name and var.name != "_":
+                name = f"_{var.name}" if var.name[0].isupper() else var.name
+                name = var.name
+            else:
+                name = f"_G{len(self._var_names)}"
+            self._var_names[id(var)] = name
+        return name
+
+    def _atom_str(self, name):
+        if self.quoted and _atom_needs_quotes(name):
+            return _quote_atom(name)
+        return name
+
+    def _emit(self, term, max_priority):
+        term = deref(term)
+        if isinstance(term, Var):
+            yield self._var_name(term)
+            return
+        if isinstance(term, Atom):
+            yield self._atom_str(term.name)
+            return
+        if isinstance(term, (int, float)):
+            yield repr(term)
+            return
+        if not isinstance(term, Struct):
+            yield repr(term)
+            return
+
+        if term.name == "." and len(term.args) == 2:
+            yield from self._emit_list(term)
+            return
+        if term.name == "{}" and len(term.args) == 1:
+            yield "{"
+            yield from self._emit(term.args[0], 1200)
+            yield "}"
+            return
+        if self.hilog_notation and term.name == "apply" and len(term.args) >= 2:
+            yield from self._emit(term.args[0], 0)
+            yield "("
+            for index, arg in enumerate(term.args[1:]):
+                if index:
+                    yield ","
+                yield from self._emit(arg, 999)
+            yield ")"
+            return
+
+        yield from self._emit_operator_or_canonical(term, max_priority)
+
+    def _emit_operator_or_canonical(self, term, max_priority):
+        name = term.name
+        if len(term.args) == 2:
+            op = self.operators.infix(name)
+            if op is not None:
+                parenthesize = op.priority > max_priority
+                if parenthesize:
+                    yield "("
+                yield from self._emit(term.args[0], op.left_max)
+                yield "," if _tight(name) else f" {name} "
+                yield from self._emit(term.args[1], op.right_max)
+                if parenthesize:
+                    yield ")"
+                return
+        if len(term.args) == 1:
+            op = self.operators.prefix(name)
+            if op is not None:
+                parenthesize = op.priority > max_priority
+                if parenthesize:
+                    yield "("
+                yield self._atom_str(name)
+                yield " "
+                yield from self._emit(term.args[0], op.right_max)
+                if parenthesize:
+                    yield ")"
+                return
+        yield self._atom_str(name)
+        yield "("
+        for index, arg in enumerate(term.args):
+            if index:
+                yield ","
+            yield from self._emit(arg, 999)
+        yield ")"
+
+    def _emit_list(self, term):
+        yield "["
+        first = True
+        while True:
+            term = deref(term)
+            if isinstance(term, Struct) and term.name == "." and len(term.args) == 2:
+                if not first:
+                    yield ","
+                first = False
+                yield from self._emit(term.args[0], 999)
+                term = term.args[1]
+                continue
+            if isinstance(term, Atom) and term.name == "[]":
+                break
+            yield "|"
+            yield from self._emit(term, 999)
+            break
+        yield "]"
+
+
+def _tight(name):
+    """Operators printed without surrounding spaces."""
+    return name in (",",)
+
+
+def term_to_str(term, operators=None, quoted=True, hilog_notation=True):
+    """Render ``term`` as source text.
+
+    ``hilog_notation`` controls whether ``apply/N`` structs print in
+    curried HiLog form (``f(a)(X)``) or in their first-order encoding.
+    """
+    writer = TermWriter(operators, quoted=quoted, hilog_notation=hilog_notation)
+    return writer.to_str(term)

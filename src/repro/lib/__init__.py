@@ -1,0 +1,11 @@
+"""Bundled Prolog-source libraries.
+
+XSB ships a Prolog library alongside the engine ("the rich and proven
+environment of Prolog can be included in XSB", section 6); this
+package holds the reproduction's equivalent, written in the object
+language and consulted on demand with ``Engine.load_library()``.
+"""
+
+from .listlib import LISTS_LIBRARY, load_library
+
+__all__ = ["LISTS_LIBRARY", "load_library"]

@@ -1,0 +1,99 @@
+"""The list/set library, written in the object language."""
+
+from __future__ import annotations
+
+__all__ = ["LISTS_LIBRARY", "load_library"]
+
+LISTS_LIBRARY = """
+% ---------------------------------------------------------------------
+% lists — the standard list-processing library.
+% ---------------------------------------------------------------------
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], Acc, Acc).
+reverse_([H|T], Acc, R) :- reverse_(T, [H|Acc], R).
+
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+
+nth0(I, L, X) :- nth_(L, 0, I, X).
+nth1(I, L, X) :- nth_(L, 1, I, X).
+nth_([H|_], N, N, H).
+nth_([_|T], N0, N, X) :- N1 is N0 + 1, nth_(T, N1, N, X).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S0), S is S0 + H.
+
+max_list([X], X) :- !.
+max_list([H|T], M) :- max_list(T, M0), M is max(H, M0).
+
+min_list([X], X) :- !.
+min_list([H|T], M) :- min_list(T, M0), M is min(H, M0).
+
+numlist(L, H, []) :- L > H, !.
+numlist(L, H, [L|T]) :- L1 is L + 1, numlist(L1, H, T).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+selectchk(X, L, R) :- select(X, L, R), !.
+
+delete([], _, []).
+delete([X|T], X, R) :- !, delete(T, X, R).
+delete([H|T], X, [H|R]) :- delete(T, X, R).
+
+exclude_nonmember([], _, []).
+exclude_nonmember([H|T], L, [H|R]) :-
+    memberchk(H, L), !, exclude_nonmember(T, L, R).
+exclude_nonmember([_|T], L, R) :- exclude_nonmember(T, L, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+% set operations on lists (the flat cousins of the HiLog sets of §4.7)
+subtract([], _, []).
+subtract([H|T], L, R) :- memberchk(H, L), !, subtract(T, L, R).
+subtract([H|T], L, [H|R]) :- subtract(T, L, R).
+
+intersection([], _, []).
+intersection([H|T], L, [H|R]) :- memberchk(H, L), !, intersection(T, L, R).
+intersection([_|T], L, R) :- intersection(T, L, R).
+
+union([], L, L).
+union([H|T], L, R) :- memberchk(H, L), !, union(T, L, R).
+union([H|T], L, [H|R]) :- union(T, L, R).
+
+list_to_set([], []).
+list_to_set([H|T], [H|R]) :- delete(T, H, T1), list_to_set(T1, R).
+
+subset_list([], _).
+subset_list([H|T], L) :- memberchk(H, L), subset_list(T, L).
+
+% pairs
+pairs_keys_values([], [], []).
+pairs_keys_values([K-V|T], [K|Ks], [V|Vs]) :- pairs_keys_values(T, Ks, Vs).
+
+% folds expressed with findall-free recursion
+maplist_1(_, []).
+maplist_1(G, [H|T]) :- call(G, H), maplist_1(G, T).
+
+maplist_2(_, [], []).
+maplist_2(G, [H|T], [H2|T2]) :- call(G, H, H2), maplist_2(G, T, T2).
+
+foldl_(_, [], Acc, Acc).
+foldl_(G, [H|T], Acc0, Acc) :- call(G, H, Acc0, Acc1), foldl_(G, T, Acc1, Acc).
+"""
+
+
+def load_library(engine):
+    """Consult the bundled library into an engine; returns the engine."""
+    engine.consult_string(LISTS_LIBRARY)
+    return engine

@@ -1,0 +1,6 @@
+"""Module system and table_all auto-tabling analysis."""
+
+from .modsys import ModuleSystem
+from .table_all import build_call_graph, select_tabled
+
+__all__ = ["ModuleSystem", "select_tabled", "build_call_graph"]

@@ -1,0 +1,137 @@
+"""Term-based module system (section 4.2).
+
+XSB's module system is *term-based* rather than predicate-based: what
+is hidden, imported or exported are terms — predicates, structure
+symbols and constants alike.  This implementation realizes term
+scoping by symbol renaming at read time:
+
+* ``:- module(m).`` opens module ``m`` for the rest of the consult unit;
+* ``:- local f/1.`` declares the symbol ``f`` of arity 1 (arity 0 for
+  constants) private: every occurrence in the unit — as a predicate, a
+  structure functor, or a constant — is renamed to ``m$f``, making it
+  unreachable from other modules;
+* ``:- export p/2.`` declares a symbol public (the default); exported
+  symbols keep their names and are globally visible;
+* ``:- import p/2 from m.`` records where a symbol is expected to come
+  from; since exported symbols are global, the declaration serves as
+  the dynamic-loading hint the paper describes and is validated when
+  the exporting module is present.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModuleError
+from ..terms import Atom, Struct, deref, mkatom
+
+__all__ = ["ModuleSystem"]
+
+DEFAULT_MODULE = "usermod"
+
+
+class ModuleInfo:
+    __slots__ = ("name", "exports", "locals", "imports")
+
+    def __init__(self, name):
+        self.name = name
+        self.exports = set()
+        self.locals = set()
+        self.imports = {}  # (name, arity) -> source module
+
+
+class ModuleSystem:
+    """Tracks module declarations and performs term-based renaming."""
+
+    def __init__(self):
+        self.modules = {DEFAULT_MODULE: ModuleInfo(DEFAULT_MODULE)}
+        self.current = DEFAULT_MODULE
+
+    def begin_module(self, name):
+        self.modules.setdefault(name, ModuleInfo(name))
+        self.current = name
+
+    def info(self, name=None):
+        return self.modules[name or self.current]
+
+    # -- declarations ----------------------------------------------------------
+
+    def export_current(self, indicator):
+        info = self.info()
+        if indicator in info.locals:
+            raise ModuleError(f"{indicator} is declared local in {info.name}")
+        info.exports.add(indicator)
+
+    def local_current(self, indicator):
+        info = self.info()
+        if indicator in info.exports:
+            raise ModuleError(f"{indicator} is exported from {info.name}")
+        info.locals.add(indicator)
+
+    def import_directive(self, term):
+        """Handle ``:- import p/2 from m.``"""
+        term = deref(term)
+        if (
+            isinstance(term, Struct)
+            and term.name == "from"
+            and len(term.args) == 2
+        ):
+            from ..lang.reader import parse_indicator
+
+            source = deref(term.args[1])
+            if not isinstance(source, Atom):
+                raise ModuleError(f"bad import source: {source!r}")
+            specs = term.args[0]
+            for spec in self._conj_items(specs):
+                indicator = parse_indicator(spec)
+                info = self.info()
+                info.imports[indicator] = source.name
+                exporter = self.modules.get(source.name)
+                if exporter is not None and indicator not in exporter.exports:
+                    raise ModuleError(
+                        f"{indicator[0]}/{indicator[1]} is not exported "
+                        f"from {source.name}"
+                    )
+            return
+        raise ModuleError(f"bad import directive: {term!r}")
+
+    @staticmethod
+    def _conj_items(term):
+        term = deref(term)
+        if (
+            isinstance(term, Struct)
+            and term.name == ","
+            and len(term.args) == 2
+        ):
+            return ModuleSystem._conj_items(term.args[0]) + ModuleSystem._conj_items(
+                term.args[1]
+            )
+        return [term]
+
+    # -- renaming ------------------------------------------------------------------
+
+    def mangled(self, name, arity):
+        return f"{self.current}${name}"
+
+    def rename_clause(self, term):
+        """Apply local-symbol renaming for the current module."""
+        info = self.info()
+        if not info.locals or self.current == DEFAULT_MODULE:
+            return term
+        return self._rename(term, info)
+
+    def _rename(self, term, info):
+        term = deref(term)
+        if isinstance(term, Atom):
+            if (term.name, 0) in info.locals:
+                return mkatom(self.mangled(term.name, 0))
+            return term
+        if isinstance(term, Struct):
+            args = tuple(self._rename(a, info) for a in term.args)
+            if (term.name, len(term.args)) in info.locals:
+                return Struct(self.mangled(term.name, len(term.args)), args)
+            if args == term.args:
+                return term
+            return Struct(term.name, args)
+        return term
+
+    def reset_to_default(self):
+        self.current = DEFAULT_MODULE

@@ -1,0 +1,33 @@
+"""A miniature transactional RDBMS — the "Sybase" tier of Table 3.
+
+The paper's join comparison (section 5, table 3) includes Sybase at
+100x Quintus and notes: "Sybase uses a fundamentally different
+paradigm … none except Sybase have made special provisions for
+concurrency or recoverability", and draws the lesson that separating
+concurrency out of a query engine pays.
+
+To reproduce that data point without the commercial system, this
+package implements the machinery whose *per-tuple costs* the paper is
+talking about: a page-based heap with a buffer pool
+(:mod:`repro.relstore.pages`, :mod:`repro.relstore.buffer`), two-phase
+locking (:mod:`repro.relstore.locks`), write-ahead logging with
+recovery (:mod:`repro.relstore.wal`), and an indexed-join executor
+that pays lock + log + buffer-pool costs on every tuple it touches
+(:mod:`repro.relstore.sqlengine`).
+"""
+
+from .buffer import BufferPool
+from .locks import LockManager, LockMode
+from .pages import HeapFile, Page
+from .sqlengine import RelStore
+from .wal import WriteAheadLog
+
+__all__ = [
+    "RelStore",
+    "HeapFile",
+    "Page",
+    "BufferPool",
+    "LockManager",
+    "LockMode",
+    "WriteAheadLog",
+]

@@ -1,0 +1,56 @@
+"""Two-phase locking.
+
+Lock units are ``(table, page_id)`` pairs — page-level locking, a
+common RDBMS granularity of the era.  The store is single-threaded, so
+conflicting acquisition from another live transaction raises
+:class:`~repro.errors.TransactionError` immediately rather than
+blocking; what matters for the reproduction is that *every tuple touch
+pays the lock-manager cost* and that the protocol is enforced (no
+acquiring after release, shared/exclusive compatibility).
+"""
+
+from __future__ import annotations
+
+from ..errors import TransactionError
+
+__all__ = ["LockMode", "LockManager"]
+
+
+class LockMode:
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    def __init__(self):
+        self.table = {}  # unit -> {txn_id: mode}
+        self.acquisitions = 0
+
+    def acquire(self, txn, unit, mode):
+        if txn.released_locks:
+            raise TransactionError(
+                f"txn {txn.txn_id}: lock acquired after release (2PL violation)"
+            )
+        holders = self.table.setdefault(unit, {})
+        held = holders.get(txn.txn_id)
+        self.acquisitions += 1
+        if held == LockMode.EXCLUSIVE or held == mode:
+            return
+        if mode == LockMode.SHARED:
+            if any(m == LockMode.EXCLUSIVE for t, m in holders.items() if t != txn.txn_id):
+                raise TransactionError(f"lock conflict on {unit}")
+        else:
+            if any(t != txn.txn_id for t in holders):
+                raise TransactionError(f"lock conflict on {unit}")
+        holders[txn.txn_id] = mode
+        txn.locks.add(unit)
+
+    def release_all(self, txn):
+        for unit in txn.locks:
+            holders = self.table.get(unit)
+            if holders is not None:
+                holders.pop(txn.txn_id, None)
+                if not holders:
+                    del self.table[unit]
+        txn.locks.clear()
+        txn.released_locks = True

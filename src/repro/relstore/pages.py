@@ -1,0 +1,115 @@
+"""Page-based heap storage.
+
+Rows live in fixed-capacity pages; pages are serialized to a single
+heap file at page-aligned offsets.  Rows are tuples of ints, floats
+and strings.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from ..errors import StorageError
+from .rowcodec import decode_row, encode_row
+
+__all__ = ["Page", "HeapFile", "PAGE_BYTES", "ROWS_PER_PAGE"]
+
+PAGE_BYTES = 4096
+ROWS_PER_PAGE = 64
+
+
+class Page:
+    """One heap page: a bounded directory of serialized row slots.
+
+    Rows live on the page in encoded form (see
+    :mod:`repro.relstore.rowcodec`); :meth:`get_row` materializes one
+    slot, which is how page-based systems touch tuples.
+    """
+
+    __slots__ = ("page_id", "slots", "dirty")
+
+    def __init__(self, page_id, slots=None):
+        self.page_id = page_id
+        self.slots = list(slots or [])
+        self.dirty = False
+
+    @property
+    def full(self):
+        return len(self.slots) >= ROWS_PER_PAGE
+
+    @property
+    def slot_count(self):
+        return len(self.slots)
+
+    def insert(self, row):
+        """Append a row (encoding it); returns its slot number."""
+        if self.full:
+            raise StorageError(f"page {self.page_id} is full")
+        self.slots.append(encode_row(row))
+        self.dirty = True
+        return len(self.slots) - 1
+
+    def get_row(self, slot):
+        """Materialize the tuple stored in one slot."""
+        return decode_row(self.slots[slot])
+
+    def all_rows(self):
+        return [decode_row(data) for data in self.slots]
+
+    def serialize(self):
+        blob = pickle.dumps(self.slots, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) > PAGE_BYTES - 8:
+            raise StorageError(
+                f"page {self.page_id} overflows {PAGE_BYTES} bytes; "
+                "reduce ROWS_PER_PAGE or row width"
+            )
+        header = len(blob).to_bytes(8, "little")
+        return header + blob + b"\0" * (PAGE_BYTES - 8 - len(blob))
+
+    @classmethod
+    def deserialize(cls, page_id, data):
+        size = int.from_bytes(data[:8], "little")
+        slots = pickle.loads(data[8 : 8 + size])
+        return cls(page_id, slots)
+
+
+class HeapFile:
+    """A file of pages; supports read_page/write_page/append_page.
+
+    ``path=None`` keeps pages in memory (used by tests and by callers
+    that want the paging behaviour without filesystem traffic).
+    """
+
+    def __init__(self, path=None):
+        self.path = path
+        self.page_count = 0
+        self._memory = {}
+        if path is not None and os.path.exists(path):
+            self.page_count = os.path.getsize(path) // PAGE_BYTES
+
+    def read_page(self, page_id):
+        if not 0 <= page_id < self.page_count:
+            raise StorageError(f"page {page_id} out of range")
+        if self.path is None:
+            return Page.deserialize(page_id, self._memory[page_id])
+        with open(self.path, "rb") as handle:
+            handle.seek(page_id * PAGE_BYTES)
+            return Page.deserialize(page_id, handle.read(PAGE_BYTES))
+
+    def write_page(self, page):
+        data = page.serialize()
+        if self.path is None:
+            self._memory[page.page_id] = data
+        else:
+            mode = "r+b" if os.path.exists(self.path) else "w+b"
+            with open(self.path, mode) as handle:
+                handle.seek(page.page_id * PAGE_BYTES)
+                handle.write(data)
+        page.dirty = False
+
+    def append_page(self):
+        page = Page(self.page_count)
+        self.page_count += 1
+        self.write_page(page)
+        return page

@@ -1,0 +1,217 @@
+"""The relational executor: tables, transactions, indexed joins.
+
+Usage::
+
+    store = RelStore()
+    store.create_table("r", 2, index_on=0)
+    with store.transaction() as txn:
+        store.insert(txn, "r", (1, "a"))
+    with store.transaction() as txn:
+        rows = store.select(txn, "r", 0, 1)
+        pairs = store.join(txn, "r", 1, "s", 0)
+
+Every row touched goes through the buffer pool and the lock manager;
+every write is WAL-logged before the page is dirtied.  These per-tuple
+fixed costs are the point: they reproduce the Table 3 gap between a
+query engine with "special provisions for concurrency and
+recoverability" and the memory-resident engines that skip them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import StorageError, TransactionError
+from .btree import BPlusTree
+from .buffer import BufferPool
+from .locks import LockManager, LockMode
+from .pages import HeapFile
+from .wal import WriteAheadLog
+
+__all__ = ["RelStore", "Transaction"]
+
+
+class Transaction:
+    _ids = itertools.count(1)
+
+    def __init__(self, store):
+        self.txn_id = next(self._ids)
+        self.store = store
+        self.locks = set()
+        self.released_locks = False
+        self.active = True
+        store.wal.log_begin(self.txn_id)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.store.commit(self)
+        else:
+            self.store.abort(self)
+        return False
+
+
+class _Table:
+    __slots__ = ("name", "arity", "heap", "pool", "indexes", "row_count")
+
+    def __init__(self, name, arity, heap_path, pool_pages):
+        self.name = name
+        self.arity = arity
+        self.heap = HeapFile(heap_path)
+        self.pool = BufferPool(self.heap, capacity=pool_pages)
+        self.indexes = {}  # column -> BPlusTree of value -> [(page, slot)]
+        self.row_count = 0
+
+
+class RelStore:
+    """A database of tables with transactions."""
+
+    def __init__(self, directory=None, pool_pages=256):
+        self.directory = directory
+        self.pool_pages = pool_pages
+        self.tables = {}
+        self.locks = LockManager()
+        wal_path = None if directory is None else f"{directory}/wal.log"
+        self.wal = WriteAheadLog(wal_path)
+
+    # -- schema ------------------------------------------------------------------
+
+    def create_table(self, name, arity, index_on=0):
+        if name in self.tables:
+            raise StorageError(f"table {name} exists")
+        heap_path = (
+            None if self.directory is None else f"{self.directory}/{name}.heap"
+        )
+        table = _Table(name, arity, heap_path, self.pool_pages)
+        if index_on is not None:
+            table.indexes[index_on] = BPlusTree()
+        self.tables[name] = table
+        return table
+
+    def create_index(self, name, column):
+        table = self._table(name)
+        if column in table.indexes:
+            return
+        index = BPlusTree()
+        for page_id in range(table.heap.page_count):
+            page = table.pool.fetch(page_id)
+            for slot, row in enumerate(page.all_rows()):
+                index.insert(row[column], (page_id, slot))
+        table.indexes[column] = index
+
+    def _table(self, name):
+        table = self.tables.get(name)
+        if table is None:
+            raise StorageError(f"no such table {name}")
+        return table
+
+    # -- transactions ----------------------------------------------------------------
+
+    def transaction(self):
+        return Transaction(self)
+
+    def commit(self, txn):
+        if not txn.active:
+            raise TransactionError("commit of inactive transaction")
+        self.wal.log_commit(txn.txn_id)
+        for table in self.tables.values():
+            table.pool.flush_all()
+        self.locks.release_all(txn)
+        txn.active = False
+
+    def abort(self, txn):
+        if not txn.active:
+            return
+        self.wal.log_abort(txn.txn_id)
+        self.locks.release_all(txn)
+        txn.active = False
+
+    def _check(self, txn):
+        if not txn.active:
+            raise TransactionError("operation outside an active transaction")
+
+    # -- data operations --------------------------------------------------------------
+
+    def insert(self, txn, name, row):
+        self._check(txn)
+        table = self._table(name)
+        if len(row) != table.arity:
+            raise StorageError(f"{name}: arity mismatch for {row!r}")
+        self.wal.log_write(txn.txn_id, name, row)
+        if table.heap.page_count == 0:
+            page = table.pool.new_page()
+        else:
+            page = table.pool.fetch(table.heap.page_count - 1)
+            if page.full:
+                page = table.pool.new_page()
+        self.locks.acquire(txn, (name, page.page_id), LockMode.EXCLUSIVE)
+        slot = page.insert(tuple(row))
+        for column, index in table.indexes.items():
+            index.insert(row[column], (page.page_id, slot))
+        table.row_count += 1
+
+    def scan(self, txn, name):
+        """Full scan under shared page locks."""
+        self._check(txn)
+        table = self._table(name)
+        out = []
+        for page_id in range(table.heap.page_count):
+            self.locks.acquire(txn, (name, page_id), LockMode.SHARED)
+            page = table.pool.fetch(page_id)
+            out.extend(page.all_rows())
+        return out
+
+    def select(self, txn, name, column, value):
+        """Indexed (or scanning) selection under shared locks."""
+        self._check(txn)
+        table = self._table(name)
+        index = table.indexes.get(column)
+        if index is None:
+            return [r for r in self.scan(txn, name) if r[column] == value]
+        out = []
+        for page_id, slot in index.search(value):
+            self.locks.acquire(txn, (name, page_id), LockMode.SHARED)
+            page = table.pool.fetch(page_id)
+            out.append(page.get_row(slot))
+        return out
+
+    def join(self, txn, left_name, left_col, right_name, right_col):
+        """Indexed nested-loop equijoin via the Volcano executor.
+
+        Every tuple flows through iterator operators with interpreted
+        expressions, row-level shared locks and buffer-pool fetches —
+        the per-tuple fixed costs the Table 3 experiment measures.
+        Returns concatenated (left + right) tuples.
+        """
+        self._check(txn)
+        from .plans import IndexProbeJoin, Project, SeqScan
+
+        left_arity = self._table(left_name).arity
+        right_arity = self._table(right_name).arity
+        outer = SeqScan(self, txn, left_name)
+        joined = IndexProbeJoin(
+            self, txn, outer, right_name, left_col, right_col
+        )
+        # result materialization through interpreted projection, as any
+        # plan-executing system does
+        plan = Project(
+            joined,
+            [("col", i) for i in range(left_arity + right_arity)],
+        )
+        return list(plan)
+
+    def execute(self, plan):
+        """Drain an operator tree built from :mod:`repro.relstore.plans`."""
+        return list(plan)
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def recover_into(self, fresh_store):
+        """Redo committed work from this store's WAL into a fresh store
+        (tables must already be created there)."""
+        for name, row in self.wal.committed_writes():
+            with fresh_store.transaction() as txn:
+                fresh_store.insert(txn, name, row)
+        return fresh_store

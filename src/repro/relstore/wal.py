@@ -1,0 +1,89 @@
+"""Write-ahead logging and recovery.
+
+Log records are appended (and serialized) before the corresponding
+page is considered durable; recovery replays committed transactions'
+writes and drops uncommitted ones.  ``path=None`` keeps the log in
+memory, preserving the per-record serialization cost without
+filesystem traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+__all__ = ["WriteAheadLog", "BEGIN", "WRITE", "COMMIT", "ABORT"]
+
+BEGIN = "begin"
+WRITE = "write"
+COMMIT = "commit"
+ABORT = "abort"
+
+
+class WriteAheadLog:
+    def __init__(self, path=None):
+        self.path = path
+        self.records_written = 0
+        self._memory = []
+        self._handle = open(path, "ab") if path is not None else None
+
+    def append(self, record):
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        framed = len(blob).to_bytes(4, "little") + blob
+        if self._handle is not None:
+            self._handle.write(framed)
+        else:
+            self._memory.append(framed)
+        self.records_written += 1
+
+    def log_begin(self, txn_id):
+        self.append((BEGIN, txn_id))
+
+    def log_write(self, txn_id, table, row):
+        self.append((WRITE, txn_id, table, row))
+
+    def log_commit(self, txn_id):
+        self.append((COMMIT, txn_id))
+        self.flush()
+
+    def log_abort(self, txn_id):
+        self.append((ABORT, txn_id))
+
+    def flush(self):
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- recovery ----------------------------------------------------------------
+
+    def records(self):
+        """Iterate all log records (reads the file when file-backed)."""
+        if self.path is not None:
+            self.flush()
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        else:
+            data = b"".join(self._memory)
+        offset = 0
+        while offset < len(data):
+            size = int.from_bytes(data[offset : offset + 4], "little")
+            offset += 4
+            yield pickle.loads(data[offset : offset + size])
+            offset += size
+
+    def committed_writes(self):
+        """Replay: the (table, row) writes of committed transactions, in
+        log order — the redo pass of recovery."""
+        committed = set()
+        writes = []
+        for record in self.records():
+            kind = record[0]
+            if kind == COMMIT:
+                committed.add(record[1])
+            elif kind == WRITE:
+                writes.append((record[1], record[2], record[3]))
+        return [(table, row) for txn, table, row in writes if txn in committed]

@@ -1,0 +1,93 @@
+"""Client-server result protocol.
+
+Sybase is a client-server system: result rows are serialized into
+protocol packets by the server and decoded by the client even when
+both sit on one machine.  The paper's join times were necessarily
+measured through that interface, so the relational tier of the
+Table 3 benchmark ships its result set through this encoder/decoder.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import StorageError
+
+__all__ = ["encode_rows", "decode_rows", "roundtrip", "PACKET_BYTES"]
+
+PACKET_BYTES = 512
+
+
+_INT = 0
+_FLOAT = 1
+_STR = 2
+
+
+def _encode_row(row, out):
+    """Typed column-by-column encoding, TDS-style."""
+    out += struct.pack("<H", len(row))
+    for value in row:
+        if isinstance(value, bool):
+            raise StorageError("bool columns are not supported")
+        if isinstance(value, int):
+            out += struct.pack("<Bq", _INT, value)
+        elif isinstance(value, float):
+            out += struct.pack("<Bd", _FLOAT, value)
+        elif isinstance(value, str):
+            blob = value.encode("utf-8")
+            out += struct.pack("<BI", _STR, len(blob))
+            out += blob
+        else:
+            raise StorageError(f"cannot ship column value {value!r}")
+
+
+def encode_rows(rows):
+    """Serialize rows into framed packets (list of bytes objects)."""
+    packets = []
+    current = bytearray()
+    for row in rows:
+        _encode_row(row, current)
+        if len(current) >= PACKET_BYTES:
+            packets.append(bytes(current))
+            current = bytearray()
+    if current:
+        packets.append(bytes(current))
+    return packets
+
+
+def decode_rows(packets):
+    """Decode packets back into row tuples."""
+    rows = []
+    buffer = b"".join(packets)
+    offset = 0
+    total = len(buffer)
+    while offset < total:
+        if offset + 2 > total:
+            raise StorageError("truncated result packet")
+        (width,) = struct.unpack_from("<H", buffer, offset)
+        offset += 2
+        row = []
+        for _ in range(width):
+            tag = buffer[offset]
+            offset += 1
+            if tag == _INT:
+                (value,) = struct.unpack_from("<q", buffer, offset)
+                offset += 8
+            elif tag == _FLOAT:
+                (value,) = struct.unpack_from("<d", buffer, offset)
+                offset += 8
+            elif tag == _STR:
+                (size,) = struct.unpack_from("<I", buffer, offset)
+                offset += 4
+                value = buffer[offset : offset + size].decode("utf-8")
+                offset += size
+            else:
+                raise StorageError(f"bad column tag {tag}")
+            row.append(value)
+        rows.append(tuple(row))
+    return rows
+
+
+def roundtrip(rows):
+    """Server-side encode + client-side decode of a result set."""
+    return decode_rows(encode_rows(rows))

@@ -1,0 +1,206 @@
+"""The interactive toplevel.
+
+"XSB is normally invoked using its read-eval-print loop interpreter,
+[but] it can also directly execute compiled user programs" (section
+4.2).  This module provides both: :class:`Toplevel` is the REPL, and
+``python -m repro file.P --goal 'main.'`` is direct execution.
+
+The REPL reads '.'-terminated goals, prints bindings one solution at a
+time (``;`` asks for more, anything else stops), and accepts the usual
+house-keeping forms: ``[file].`` consults a file, ``halt.`` leaves.
+I/O is injected so the loop is fully testable.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .engine import Engine
+from .errors import ReproError
+from .lang.writer import term_to_str
+from .terms import Atom, Struct, deref, is_proper_list, list_to_python
+
+__all__ = ["Toplevel", "main"]
+
+BANNER = "repro (XSB SIGMOD'94 reproduction) — type 'halt.' to leave"
+PROMPT = "?- "
+MORE_PROMPT = " ? "
+
+
+class Toplevel:
+    """A read-eval-print loop over one engine."""
+
+    def __init__(self, engine=None, input_stream=None, output_stream=None):
+        self.engine = engine if engine is not None else Engine()
+        self.input = input_stream if input_stream is not None else sys.stdin
+        self.output = (
+            output_stream if output_stream is not None else sys.stdout
+        )
+        if engine is None:
+            self.engine.output = self.output
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _write(self, text):
+        self.output.write(text)
+
+    def _read_goal_text(self):
+        """Accumulate input lines until a clause-terminating '.'"""
+        self._write(PROMPT)
+        try:
+            self.output.flush()
+        except (ValueError, OSError):
+            pass
+        lines = []
+        while True:
+            line = self.input.readline()
+            if not line:
+                return None if not lines else " ".join(lines)
+            lines.append(line.rstrip("\n"))
+            joined = " ".join(lines).rstrip()
+            if joined.endswith("."):
+                return joined
+            self._write("   ")
+
+    # -- command handling ----------------------------------------------------------
+
+    def _special_command(self, term):
+        """Handle halt/consult forms; returns 'halt', True, or False."""
+        term = deref(term)
+        if isinstance(term, Atom) and term.name in ("halt", "end_of_file"):
+            return "halt"
+        if isinstance(term, Struct) and term.name == "halt":
+            return "halt"
+        if is_proper_list(term) and not (
+            isinstance(term, Atom)
+        ):
+            # [file1, file2]. consults files, as in Prolog toplevels
+            for item in list_to_python(term):
+                item = deref(item)
+                if isinstance(item, Atom):
+                    self._consult_file(item.name)
+            return True
+        if (
+            isinstance(term, Struct)
+            and term.name == "consult"
+            and len(term.args) == 1
+        ):
+            target = deref(term.args[0])
+            if isinstance(target, Atom):
+                self._consult_file(target.name)
+                return True
+        return False
+
+    def _consult_file(self, path):
+        try:
+            self.engine.consult_file(path)
+            self._write(f"% {path} consulted\n")
+        except (OSError, ReproError) as error:
+            self._write(f"error: {error}\n")
+
+    # -- the loop --------------------------------------------------------------------
+
+    def run_goal(self, text):
+        """Run one goal; prints bindings / yes / no. Returns False on halt."""
+        try:
+            term, varmap = self.engine._goal_and_vars(text)
+        except ReproError as error:
+            self._write(f"error: {error}\n")
+            return True
+
+        special = self._special_command(term)
+        if special == "halt":
+            return False
+        if special:
+            return True
+
+        try:
+            shown_any = False
+            iterator = self.engine.query_iter(text, raw=True)
+            try:
+                for solution in iterator:
+                    shown_any = True
+                    visible = {
+                        name: value
+                        for name, value in solution.items()
+                        if not name.startswith("_")
+                    }
+                    if visible:
+                        bindings = ", ".join(
+                            f"{name} = {term_to_str(value, self.engine.operators)}"
+                            for name, value in sorted(visible.items())
+                        )
+                        self._write(bindings)
+                    else:
+                        self._write("yes")
+                    self._write(MORE_PROMPT)
+                    try:
+                        self.output.flush()
+                    except (ValueError, OSError):
+                        pass
+                    answer = self.input.readline()
+                    if not answer or not answer.strip().startswith(";"):
+                        self._write("\n")
+                        break
+                    self._write("\n")
+                else:
+                    if shown_any:
+                        self._write("no (more)\n")
+                    else:
+                        self._write("no\n")
+            finally:
+                iterator.close()
+        except ReproError as error:
+            self._write(f"error: {error}\n")
+        return True
+
+    def interact(self, banner=True):
+        """Run the loop until EOF or halt."""
+        if banner:
+            self._write(BANNER + "\n")
+        while True:
+            text = self._read_goal_text()
+            if text is None:
+                self._write("\n")
+                return
+            if not text.strip(" ."):
+                continue
+            if not self.run_goal(text):
+                return
+
+
+def main(argv=None):
+    """``python -m repro [files...] [--goal 'g.'] [--quiet]``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="An XSB-style tabled deductive database engine.",
+    )
+    parser.add_argument("files", nargs="*", help="program files to consult")
+    parser.add_argument(
+        "--goal",
+        action="append",
+        default=[],
+        help="run this goal and exit (repeatable; direct execution mode)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the banner"
+    )
+    arguments = parser.parse_args(argv)
+
+    engine = Engine()
+    for path in arguments.files:
+        engine.consult_file(path)
+    if arguments.goal:
+        # direct execution: run the goals, report success via exit code
+        ok = True
+        for goal in arguments.goal:
+            ok = engine.run_goal(engine.parse(goal)) and ok
+        return 0 if ok else 1
+    Toplevel(engine).interact(banner=not arguments.quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Interfaces with a persistent store (section 4.6).
+
+XSB computes only on in-memory data, so bulk communication with the
+backing store matters.  Three load paths, fastest last:
+
+* the **general reader** (:func:`consult_text_file`) parses arbitrary
+  HiLog terms with operators — flexible but slow, "usually takes
+  several milliseconds even for simple terms";
+* the **formatted read** (:func:`load_formatted`) reads highly
+  structured tuple files without the parser, asserting straight into
+  indexed dynamic code — "about a millisecond per fact including
+  simple index maintenance" on the paper's hardware;
+* **object files** (:mod:`repro.wam.objfile`) load precompiled code
+  ~12x faster than formatted read + assert.
+"""
+
+from .textio import (
+    consult_text_file,
+    dump_formatted,
+    load_formatted,
+    load_formatted_file,
+    parse_formatted_line,
+)
+
+__all__ = [
+    "consult_text_file",
+    "load_formatted",
+    "load_formatted_file",
+    "dump_formatted",
+    "parse_formatted_line",
+]

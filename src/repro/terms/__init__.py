@@ -1,0 +1,59 @@
+"""Term representation, unification and term utilities."""
+
+from .compare import (
+    canonical_key,
+    compare_terms,
+    is_ground,
+    is_variant,
+    resolve,
+    subsumes,
+    term_variables,
+)
+from .listutil import is_proper_list, list_to_python, make_list
+from .rename import copy_term, instantiate_key
+from .term import (
+    CUT,
+    FAIL,
+    NIL,
+    TRUE,
+    Atom,
+    Struct,
+    Var,
+    functor_arity,
+    is_callable_term,
+    mkatom,
+    mkstruct,
+)
+from .unify import Trail, bind, deref, occurs_in, undo_to, unify
+
+__all__ = [
+    "Var",
+    "Atom",
+    "Struct",
+    "mkatom",
+    "mkstruct",
+    "functor_arity",
+    "is_callable_term",
+    "NIL",
+    "TRUE",
+    "FAIL",
+    "CUT",
+    "Trail",
+    "deref",
+    "bind",
+    "unify",
+    "undo_to",
+    "occurs_in",
+    "canonical_key",
+    "is_variant",
+    "is_ground",
+    "resolve",
+    "term_variables",
+    "compare_terms",
+    "subsumes",
+    "copy_term",
+    "instantiate_key",
+    "make_list",
+    "list_to_python",
+    "is_proper_list",
+]

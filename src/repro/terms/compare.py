@@ -1,0 +1,212 @@
+"""Term inspection: canonical (variant) keys, ordering, groundness.
+
+The subgoal table and the answer tables of the SLG engine are keyed by
+*variant* equivalence — two terms are variants when they are equal up
+to a consistent renaming of variables.  ``canonical_key`` produces a
+hashable tree with variables replaced by first-occurrence indices, so
+variant checking is a dict lookup, which is XSB's "index on call
+patterns" (section 4.5 of the paper).
+"""
+
+from __future__ import annotations
+
+from .term import Atom, Struct, Var
+from .unify import deref
+
+__all__ = [
+    "canonical_key",
+    "is_variant",
+    "is_ground",
+    "resolve",
+    "term_variables",
+    "compare_terms",
+    "subsumes",
+]
+
+# Tags used inside canonical keys.  Plain tuples keep hashing fast.
+_VAR = 0
+_ATOM = 1
+_NUM = 2
+_STRUCT = 3
+
+
+def canonical_key(term):
+    """Return a hashable key identifying ``term`` up to variable renaming."""
+    varmap = {}
+    return _canon(term, varmap)
+
+
+def _canon(term, varmap):
+    term = deref(term)
+    if isinstance(term, Var):
+        index = varmap.get(id(term))
+        if index is None:
+            index = len(varmap)
+            varmap[id(term)] = index
+        return (_VAR, index)
+    if isinstance(term, Atom):
+        return (_ATOM, term.name)
+    if isinstance(term, Struct):
+        return (_STRUCT, term.name, tuple(_canon(a, varmap) for a in term.args))
+    return (_NUM, type(term).__name__, term)
+
+
+def is_variant(left, right):
+    """True when the two terms are equal up to variable renaming."""
+    return canonical_key(left) == canonical_key(right)
+
+
+def is_ground(term):
+    """True when ``term`` contains no unbound variables."""
+    stack = [term]
+    while stack:
+        t = deref(stack.pop())
+        if isinstance(t, Var):
+            return False
+        if isinstance(t, Struct):
+            stack.extend(t.args)
+    return True
+
+
+def resolve(term):
+    """Return a copy of ``term`` with all bound variables substituted.
+
+    Unbound variables are shared between input and output, so the result
+    is safe to keep across backtracking only when it is ground; callers
+    that store answers use :func:`repro.terms.rename.copy_term` instead.
+    """
+    term = deref(term)
+    if isinstance(term, Struct):
+        args = tuple(resolve(a) for a in term.args)
+        if all(x is y for x, y in zip(args, term.args)):
+            return term
+        return Struct(term.name, args)
+    return term
+
+
+def term_variables(term):
+    """Return the distinct unbound variables of ``term`` in first-occurrence
+    order (the order Prolog's ``term_variables/2`` specifies)."""
+    seen = set()
+    out = []
+    stack = [term]
+    # Depth-first, left-to-right; the stack is popped from the end so we
+    # push argument lists reversed.
+    while stack:
+        t = deref(stack.pop())
+        if isinstance(t, Var):
+            if id(t) not in seen:
+                seen.add(id(t))
+                out.append(t)
+        elif isinstance(t, Struct):
+            stack.extend(reversed(t.args))
+    return out
+
+
+def _order_class(term):
+    """Standard order of terms: Var < Number < Atom < Struct."""
+    if isinstance(term, Var):
+        return 0
+    if isinstance(term, (int, float)):
+        return 1
+    if isinstance(term, Atom):
+        return 2
+    if isinstance(term, Struct):
+        return 3
+    return 4
+
+
+def compare_terms(left, right):
+    """Three-way comparison in the standard order of terms."""
+    left = deref(left)
+    right = deref(right)
+    lc, rc = _order_class(left), _order_class(right)
+    if lc != rc:
+        return -1 if lc < rc else 1
+    if lc == 0:
+        li, ri = id(left), id(right)
+        return 0 if li == ri else (-1 if li < ri else 1)
+    if lc == 1:
+        return 0 if left == right else (-1 if left < right else 1)
+    if lc == 2:
+        if left.name == right.name:
+            return 0
+        return -1 if left.name < right.name else 1
+    if lc == 3:
+        if len(left.args) != len(right.args):
+            return -1 if len(left.args) < len(right.args) else 1
+        if left.name != right.name:
+            return -1 if left.name < right.name else 1
+        for la, ra in zip(left.args, right.args):
+            c = compare_terms(la, ra)
+            if c:
+                return c
+        return 0
+    ls, rs = repr(left), repr(right)
+    return 0 if ls == rs else (-1 if ls < rs else 1)
+
+
+def subsumes(general, specific):
+    """True when ``general`` subsumes ``specific`` (one-way matching).
+
+    Neither term is modified.  Used by the safety analyser and tests;
+    the engine proper uses variant checking.
+    """
+    bindings = {}
+    stack = [(general, specific)]
+    while stack:
+        g, s = stack.pop()
+        g = deref(g)
+        s = deref(s)
+        if isinstance(g, Var):
+            bound = bindings.get(id(g))
+            if bound is None:
+                bindings[id(g)] = s
+            elif compare_terms(bound, s) != 0 or not _same_shape(bound, s):
+                return False
+            continue
+        if isinstance(s, Var):
+            return False
+        if isinstance(g, Struct):
+            if (
+                not isinstance(s, Struct)
+                or g.name != s.name
+                or len(g.args) != len(s.args)
+            ):
+                return False
+            stack.extend(zip(g.args, s.args))
+        elif isinstance(g, Atom):
+            if not (isinstance(s, Atom) and g.name == s.name):
+                return False
+        else:
+            if type(g) is not type(s) or g != s:
+                return False
+    return True
+
+
+def _same_shape(left, right):
+    """Structural identity including variable identity (no renaming)."""
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = deref(a)
+        b = deref(b)
+        if a is b:
+            continue
+        if isinstance(a, Var) or isinstance(b, Var):
+            return False
+        if isinstance(a, Struct):
+            if (
+                not isinstance(b, Struct)
+                or a.name != b.name
+                or len(a.args) != len(b.args)
+            ):
+                return False
+            stack.extend(zip(a.args, b.args))
+        elif isinstance(a, Atom):
+            if not (isinstance(b, Atom) and a.name == b.name):
+                return False
+        else:
+            if type(a) is not type(b) or a != b:
+                return False
+    return True

@@ -1,0 +1,48 @@
+"""Helpers for Prolog lists (``'.'/2`` cells terminated by ``[]``)."""
+
+from __future__ import annotations
+
+from ..errors import TypeError_
+from .term import NIL, Atom, Struct
+from .unify import deref
+
+__all__ = ["make_list", "list_to_python", "is_proper_list", "CONS"]
+
+CONS = "."
+
+
+def make_list(items, tail=NIL):
+    """Build a Prolog list term from a Python iterable."""
+    result = tail
+    for item in reversed(list(items)):
+        result = Struct(CONS, (item, result))
+    return result
+
+
+def list_to_python(term):
+    """Convert a proper Prolog list into a Python list.
+
+    Raises :class:`repro.errors.TypeError_` on partial or improper lists.
+    """
+    out = []
+    term = deref(term)
+    while True:
+        if isinstance(term, Atom) and term is NIL:
+            return out
+        if isinstance(term, Struct) and term.name == CONS and len(term.args) == 2:
+            out.append(deref(term.args[0]))
+            term = deref(term.args[1])
+            continue
+        raise TypeError_("proper list", term)
+
+
+def is_proper_list(term):
+    """True when ``term`` is a complete, NIL-terminated list."""
+    term = deref(term)
+    while True:
+        if isinstance(term, Atom) and term is NIL:
+            return True
+        if isinstance(term, Struct) and term.name == CONS and len(term.args) == 2:
+            term = deref(term.args[1])
+            continue
+        return False

@@ -1,0 +1,72 @@
+"""Copying and renaming of terms (``copy_term/2`` and friends)."""
+
+from __future__ import annotations
+
+from .term import Struct, Var
+from .unify import deref
+
+__all__ = ["copy_term", "instantiate_key"]
+
+
+def copy_term(term, varmap=None):
+    """Return a structurally-identical copy with fresh variables.
+
+    Bound variables are chased and their values copied, so the result
+    is independent of later backtracking — this is the operation the
+    SLG engine uses to move answers into table space and back
+    (section 3.2 of the paper).  ``varmap`` may be supplied to share a
+    renaming across several terms (e.g. a clause head and body).
+    """
+    if varmap is None:
+        varmap = {}
+    return _copy(term, varmap)
+
+
+def _copy(term, varmap):
+    term = deref(term)
+    if isinstance(term, Var):
+        fresh = varmap.get(id(term))
+        if fresh is None:
+            fresh = Var(term.name)
+            varmap[id(term)] = fresh
+        return fresh
+    if isinstance(term, Struct):
+        return Struct(term.name, tuple(_copy(a, varmap) for a in term.args))
+    return term
+
+
+# Canonical-key tags mirrored from repro.terms.compare.
+_VAR = 0
+_ATOM = 1
+_NUM = 2
+_STRUCT = 3
+
+
+def instantiate_key(key, variables=None):
+    """Rebuild a term from a canonical key (see ``canonical_key``).
+
+    Variable indices are mapped to fresh variables (or to the supplied
+    ``variables`` list, extended as needed).  Together with
+    ``canonical_key`` this round-trips terms through table space: the
+    table stores hashable keys, and answer resolution instantiates them
+    back into heap terms.
+    """
+    from .term import mkatom  # local import to avoid a cycle at module load
+
+    if variables is None:
+        variables = []
+
+    def build(node):
+        tag = node[0]
+        if tag == _VAR:
+            index = node[1]
+            while len(variables) <= index:
+                variables.append(Var())
+            return variables[index]
+        if tag == _ATOM:
+            return mkatom(node[1])
+        if tag == _STRUCT:
+            return Struct(node[1], tuple(build(child) for child in node[2]))
+        return node[2]
+
+    return build(key)

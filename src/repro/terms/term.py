@@ -1,0 +1,152 @@
+"""Term representation for the repro engine.
+
+Terms follow the WAM model translated to Python: variables are mutable
+cells bound destructively (and undone via a trail, see
+:mod:`repro.terms.unify`), atoms are interned so equality is identity,
+and compound terms are immutable ``(functor, args)`` records.
+
+Numbers are plain Python ``int``/``float`` objects; any Python object
+that is not a :class:`Var`, :class:`Atom` or :class:`Struct` unifies
+only with an identical object, which also gives a natural escape hatch
+for opaque payloads.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Var",
+    "Atom",
+    "Struct",
+    "mkatom",
+    "mkstruct",
+    "is_callable_term",
+    "functor_arity",
+    "NIL",
+    "TRUE",
+    "FAIL",
+    "CUT",
+]
+
+
+class Var:
+    """A logic variable: an unbound cell or a forwarding reference.
+
+    ``ref`` is ``None`` while the variable is unbound; binding sets it
+    to another term (possibly another variable).  ``name`` is kept only
+    for printing source-level variables; machine-generated variables
+    print as ``_G<id>``.
+    """
+
+    __slots__ = ("ref", "name")
+    _counter = 0
+
+    def __init__(self, name=None):
+        self.ref = None
+        self.name = name
+
+    def __repr__(self):
+        if self.ref is not None:
+            return f"Var({self.ref!r})"
+        return self.name or f"_G{id(self) & 0xFFFFFF:x}"
+
+
+class Atom:
+    """An interned constant symbol.
+
+    Use :func:`mkatom` to obtain instances; direct construction bypasses
+    the intern table and breaks identity-based equality.
+    """
+
+    __slots__ = ("name",)
+    _table: dict = {}
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __eq__(self, other):
+        return self is other or (isinstance(other, Atom) and other.name == self.name)
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __reduce__(self):
+        # Serialize through the intern table so identity-based equality
+        # survives pickling (object files, section 4.6).
+        return (mkatom, (self.name,))
+
+
+def mkatom(name):
+    """Return the unique :class:`Atom` for ``name``, creating it if needed."""
+    atom = Atom._table.get(name)
+    if atom is None:
+        atom = Atom(name)
+        Atom._table[name] = atom
+    return atom
+
+
+class Struct:
+    """A compound term ``functor(arg1, ..., argN)`` with N >= 1.
+
+    ``name`` is the functor string and ``args`` a tuple of terms.  HiLog
+    terms are represented after encoding, i.e. as ``apply/N`` structs
+    whose first argument is the (possibly compound) functor term.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = tuple(args)
+
+    @property
+    def arity(self):
+        return len(self.args)
+
+    @property
+    def indicator(self):
+        return f"{self.name}/{len(self.args)}"
+
+    def __repr__(self):
+        inner = ",".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+    def __reduce__(self):
+        return (Struct, (self.name, self.args))
+
+
+def mkstruct(name, *args):
+    """Convenience constructor: ``mkstruct('f', x, y)`` is ``f(x, y)``.
+
+    With no arguments it returns the interned atom instead, matching
+    Prolog where ``f()`` is not a term.
+    """
+    if not args:
+        return mkatom(name)
+    return Struct(name, args)
+
+
+def is_callable_term(term):
+    """True for terms that may appear as goals: atoms and structs."""
+    return isinstance(term, (Atom, Struct))
+
+
+def functor_arity(term):
+    """Return the ``(name, arity)`` pair of a callable term."""
+    if isinstance(term, Atom):
+        return term.name, 0
+    if isinstance(term, Struct):
+        return term.name, len(term.args)
+    raise TypeError(f"not a callable term: {term!r}")
+
+
+# Frequently-used interned atoms.
+NIL = mkatom("[]")
+TRUE = mkatom("true")
+FAIL = mkatom("fail")
+CUT = mkatom("!")

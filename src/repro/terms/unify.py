@@ -1,0 +1,134 @@
+"""Binding, trailing and unification.
+
+The engine binds variables destructively and records every binding on a
+trail; backtracking (and SLG consumer suspension) restores state by
+unwinding the trail to a saved mark.  This mirrors the WAM's
+bind/trail/unwind discipline, which is what makes tuple-at-a-time
+evaluation cheap.
+"""
+
+from __future__ import annotations
+
+from .term import Atom, Struct, Var
+
+__all__ = [
+    "Trail",
+    "deref",
+    "bind",
+    "unify",
+    "undo_to",
+    "occurs_in",
+]
+
+
+class Trail:
+    """A stack of variables bound since the start of the computation.
+
+    ``mark()`` returns the current height; ``undo_to(mark)`` unbinds
+    everything above the mark.  ``snapshot(mark)`` copies the segment of
+    bindings above ``mark`` so a suspended SLG consumer can be resumed
+    later (the CAT approach: the forward trail is the saved state).
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries = []
+
+    def mark(self):
+        return len(self.entries)
+
+    def push(self, var):
+        self.entries.append(var)
+
+    def undo_to(self, mark):
+        entries = self.entries
+        while len(entries) > mark:
+            entries.pop().ref = None
+
+    def snapshot(self, mark):
+        """Copy the (variable, value) pairs bound above ``mark``."""
+        return [(var, var.ref) for var in self.entries[mark:]]
+
+    def reinstall(self, snapshot):
+        """Re-apply a snapshot taken by :meth:`snapshot`, trailing each
+        binding so that ordinary backtracking undoes the resumption."""
+        entries = self.entries
+        for var, value in snapshot:
+            if var.ref is None:
+                var.ref = value
+                entries.append(var)
+
+    def __len__(self):
+        return len(self.entries)
+
+
+def deref(term):
+    """Follow variable bindings to the representative term."""
+    while isinstance(term, Var):
+        ref = term.ref
+        if ref is None:
+            return term
+        term = ref
+    return term
+
+
+def bind(var, value, trail):
+    """Bind an unbound variable, recording it on the trail."""
+    var.ref = value
+    trail.push(var)
+
+
+def undo_to(trail, mark):
+    """Module-level alias of :meth:`Trail.undo_to` for symmetry."""
+    trail.undo_to(mark)
+
+
+def unify(left, right, trail):
+    """Unify two terms destructively; True on success.
+
+    On failure the caller is responsible for unwinding the trail to its
+    pre-call mark (choice points always hold one).  No occurs check is
+    performed, as in the WAM; :func:`occurs_in` is available for code
+    that needs soundness checks (e.g. the safety analyser).
+    """
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = deref(a)
+        b = deref(b)
+        if a is b:
+            continue
+        if isinstance(a, Var):
+            bind(a, b, trail)
+        elif isinstance(b, Var):
+            bind(b, a, trail)
+        elif isinstance(a, Struct):
+            if (
+                not isinstance(b, Struct)
+                or a.name != b.name
+                or len(a.args) != len(b.args)
+            ):
+                return False
+            stack.extend(zip(a.args, b.args))
+        elif isinstance(a, Atom):
+            if not (isinstance(b, Atom) and a.name == b.name):
+                return False
+        else:
+            # Numbers and opaque payloads: type-exact equality.  Guard
+            # against int/float and bool/int coercion surprises.
+            if type(a) is not type(b) or a != b:
+                return False
+    return True
+
+
+def occurs_in(var, term):
+    """True when the (unbound) variable occurs inside ``term``."""
+    stack = [term]
+    while stack:
+        t = deref(stack.pop())
+        if t is var:
+            return True
+        if isinstance(t, Struct):
+            stack.extend(t.args)
+    return False

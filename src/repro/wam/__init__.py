@@ -1,0 +1,35 @@
+"""A WAM byte-code compiler and emulator for static definite code.
+
+The paper stresses that XSB "is compiled to a lower level than is
+usual with database systems" (section 2) and credits its speed to the
+WAM execution model.  The main engine (:mod:`repro.engine`) realizes
+that with compiled clause templates; this subpackage goes all the way
+down: clauses are compiled to an explicit get/put/unify/call
+instruction set, executed by a register machine with environments,
+choice points and a trail.
+
+It serves three purposes:
+
+* an instruction-level model of the (non-tabled part of the) SLG-WAM,
+  exercised by its own test suite;
+* the *object file* format of section 4.6: compiled predicates are
+  serialized and reload without parsing or clause compilation, which
+  is what makes object-file loading ~12x faster than read+assert
+  (benchmarked in ``benchmarks/bench_load_times.py``);
+* an ablation tier for the instruction-dispatch cost discussion.
+"""
+
+from .compiler import compile_predicate, compile_query, compile_query_term
+from .emulator import WamMachine
+from .instructions import disassemble
+from .objfile import load_object_file, save_object_file
+
+__all__ = [
+    "compile_predicate",
+    "compile_query",
+    "compile_query_term",
+    "WamMachine",
+    "disassemble",
+    "save_object_file",
+    "load_object_file",
+]

@@ -1,0 +1,299 @@
+"""Clause-to-byte-code compiler.
+
+Each clause compiles to a flat instruction list; a predicate compiles
+to its clause list plus a first-argument switch table (the WAM's
+``switch_on_constant``), which the emulator consults before starting a
+try chain.  Nested structures are flattened through frame slots used
+as the WAM's S registers.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeError_
+from ..terms import Atom, Struct, Var, deref
+from .instructions import (
+    BUILTIN,
+    CALL,
+    GET_CONSTANT,
+    GET_STRUCTURE,
+    GET_VALUE,
+    GET_VARIABLE,
+    PROCEED,
+    PUT_CONSTANT,
+    PUT_STRUCTURE,
+    PUT_VALUE,
+    PUT_VARIABLE,
+    UNIFY_CONSTANT,
+    UNIFY_VALUE,
+    UNIFY_VARIABLE,
+)
+
+__all__ = ["CompiledClause", "CompiledPredicate", "compile_predicate",
+           "compile_clause_code", "compile_query", "BUILTIN_PREDS"]
+
+BUILTIN_PREDS = {
+    ("is", 2),
+    ("<", 2),
+    (">", 2),
+    ("=<", 2),
+    (">=", 2),
+    ("=:=", 2),
+    ("=\\=", 2),
+    ("=", 2),
+    ("true", 0),
+    ("fail", 0),
+}
+
+
+class CompiledClause:
+    """Byte code plus the frame size it needs."""
+
+    __slots__ = ("code", "nslots", "source")
+
+    def __init__(self, code, nslots, source=None):
+        self.code = code
+        self.nslots = nslots
+        self.source = source
+
+
+class CompiledPredicate:
+    """All clauses of one predicate plus the first-argument switch."""
+
+    __slots__ = ("name", "arity", "clauses", "switch", "var_clauses")
+
+    def __init__(self, name, arity, clauses, switch, var_clauses):
+        self.name = name
+        self.arity = arity
+        self.clauses = clauses
+        self.switch = switch  # first-arg symbol -> [clause index]
+        self.var_clauses = var_clauses  # indices of clauses with var arg1
+
+    def candidates(self, first_arg_symbol):
+        """Clause indices to try for a call (None symbol = unbound)."""
+        if first_arg_symbol is None or self.arity == 0:
+            return range(len(self.clauses))
+        return self.switch.get(first_arg_symbol, self.var_clauses)
+
+    @property
+    def indicator(self):
+        return f"{self.name}/{self.arity}"
+
+
+class _Compiler:
+    def __init__(self):
+        self.slots = {}
+        self.code = []
+        self.next_slot = 0
+
+    def slot_for(self, var, out_is_new=None):
+        ref = self.slots.get(id(var))
+        if ref is None:
+            ref = self.next_slot
+            self.next_slot += 1
+            self.slots[id(var)] = ref
+            if out_is_new is not None:
+                out_is_new.append(True)
+        elif out_is_new is not None:
+            out_is_new.append(False)
+        return ref
+
+    def temp_slot(self):
+        ref = self.next_slot
+        self.next_slot += 1
+        return ref
+
+    # -- head compilation ------------------------------------------------------
+
+    def compile_head_arg(self, term, areg):
+        term = deref(term)
+        if isinstance(term, Var):
+            new = []
+            slot = self.slot_for(term, new)
+            op = GET_VARIABLE if new[0] else GET_VALUE
+            self.code.append((op, slot, areg))
+        elif isinstance(term, Struct):
+            sslot = self.temp_slot()
+            self.code.append(
+                (GET_STRUCTURE, term.name, len(term.args), areg, sslot)
+            )
+            self.compile_structure_args(term, sslot)
+        else:
+            const = term if not isinstance(term, Atom) else term
+            self.code.append((GET_CONSTANT, const, areg))
+
+    def compile_structure_args(self, struct, sslot):
+        """unify_* for each argument; nested structures recurse through
+        fresh slots captured with unify_variable."""
+        nested = []
+        for index, arg in enumerate(struct.args):
+            arg = deref(arg)
+            if isinstance(arg, Var):
+                new = []
+                slot = self.slot_for(arg, new)
+                op = UNIFY_VARIABLE if new[0] else UNIFY_VALUE
+                self.code.append((op, slot, sslot, index))
+            elif isinstance(arg, Struct):
+                slot = self.temp_slot()
+                self.code.append((UNIFY_VARIABLE, slot, sslot, index))
+                nested.append((arg, slot))
+            else:
+                self.code.append((UNIFY_CONSTANT, arg, sslot, index))
+        for struct_arg, slot in nested:
+            inner = self.temp_slot()
+            # the captured cell must itself match the nested structure
+            self.code.append(
+                (GET_STRUCTURE, struct_arg.name, len(struct_arg.args), ("slot", slot), inner)
+            )
+            self.compile_structure_args(struct_arg, inner)
+
+    # -- body compilation --------------------------------------------------------
+
+    def compile_body_arg(self, term, areg):
+        term = deref(term)
+        if isinstance(term, Var):
+            new = []
+            slot = self.slot_for(term, new)
+            op = PUT_VARIABLE if new[0] else PUT_VALUE
+            self.code.append((op, slot, areg))
+        elif isinstance(term, Struct):
+            slot = self.build_structure(term)
+            self.code.append((PUT_VALUE, slot, areg))
+        else:
+            self.code.append((PUT_CONSTANT, term, areg))
+
+    def build_structure(self, struct):
+        """Build a compound bottom-up into a slot; returns the slot."""
+        arg_slots = []
+        for arg in struct.args:
+            arg = deref(arg)
+            if isinstance(arg, Struct):
+                arg_slots.append(("slot", self.build_structure(arg)))
+            elif isinstance(arg, Var):
+                new = []
+                slot = self.slot_for(arg, new)
+                arg_slots.append(("var", slot, new[0]))
+            else:
+                arg_slots.append(("const", arg))
+        sslot = self.temp_slot()
+        self.code.append(
+            (PUT_STRUCTURE, struct.name, len(struct.args), None, sslot)
+        )
+        for index, spec in enumerate(arg_slots):
+            kind = spec[0]
+            if kind == "slot":
+                self.code.append((UNIFY_VALUE, spec[1], sslot, index))
+            elif kind == "var":
+                op = UNIFY_VARIABLE if spec[2] else UNIFY_VALUE
+                self.code.append((op, spec[1], sslot, index))
+            else:
+                self.code.append((UNIFY_CONSTANT, spec[1], sslot, index))
+        return sslot
+
+
+def _goal_parts(term):
+    term = deref(term)
+    if isinstance(term, Struct):
+        return term.name, term.args
+    if isinstance(term, Atom):
+        return term.name, ()
+    raise TypeError_("callable literal", term)
+
+
+def compile_clause_code(head_args, body_literals, source=None):
+    """Compile one clause given its head args and body literal terms."""
+    compiler = _Compiler()
+    for areg, arg in enumerate(head_args):
+        compiler.compile_head_arg(arg, areg)
+    for literal in body_literals:
+        name, args = _goal_parts(literal)
+        for areg, arg in enumerate(args):
+            compiler.compile_body_arg(arg, areg)
+        key = (name, len(args))
+        opcode = BUILTIN if key in BUILTIN_PREDS else CALL
+        compiler.code.append((opcode, name, len(args)))
+    compiler.code.append((PROCEED,))
+    return CompiledClause(compiler.code, compiler.next_slot, source=source)
+
+
+def compile_predicate(name, arity, clause_terms):
+    """Compile a predicate from clause terms (``H`` or ``H :- B``)."""
+    from ..engine.clause import decompose_clause
+    from ..index.hash_index import outer_symbol
+
+    clauses = []
+    switch = {}
+    var_clauses = []
+    for clause_term in clause_terms:
+        head, body = decompose_clause(clause_term)
+        head = deref(head)
+        head_args = head.args if isinstance(head, Struct) else ()
+        compiled = compile_clause_code(head_args, body, source=clause_term)
+        index = len(clauses)
+        clauses.append(compiled)
+        if arity >= 1:
+            symbol = outer_symbol(head_args[0])
+            if isinstance(deref(head_args[0]), Var):
+                var_clauses.append(index)
+            else:
+                switch.setdefault(symbol, []).append(index)
+    # merge var clauses into every constant bucket, preserving order
+    if var_clauses:
+        for symbol, bucket in switch.items():
+            merged = sorted(set(bucket) | set(var_clauses))
+            switch[symbol] = merged
+    return CompiledPredicate(name, arity, clauses, switch, var_clauses)
+
+
+def compile_query(goal_terms):
+    """Compile a query body.
+
+    Returns ``(CompiledClause, named, prefill)``: ``named`` maps source
+    variable names to frame slots so the caller can read answers, and
+    ``prefill`` is the number of leading slots the emulator must
+    initialize with fresh variables before running the code (query
+    variables are referenced by value since the caller owns them).
+    """
+    compiler = _Compiler()
+    named = {}
+    for literal in goal_terms:
+        _, args = _goal_parts(literal)
+        for arg in args:
+            _collect_named(arg, compiler, named)
+    prefill = compiler.next_slot
+    for literal in goal_terms:
+        name, args = _goal_parts(literal)
+        for areg, arg in enumerate(args):
+            compiler.compile_body_arg(arg, areg)
+        key = (name, len(args))
+        opcode = BUILTIN if key in BUILTIN_PREDS else CALL
+        compiler.code.append((opcode, name, len(args)))
+    compiler.code.append((PROCEED,))
+    return CompiledClause(compiler.code, compiler.next_slot), named, prefill
+
+
+def compile_query_term(goal_term):
+    """Compile a (possibly comma-conjoined) goal term — see
+    :func:`compile_query`."""
+    literals = []
+    _flatten_conj(goal_term, literals)
+    return compile_query(literals)
+
+
+def _flatten_conj(term, out):
+    term = deref(term)
+    if isinstance(term, Struct) and term.name == "," and len(term.args) == 2:
+        _flatten_conj(term.args[0], out)
+        _flatten_conj(term.args[1], out)
+    else:
+        out.append(term)
+
+
+def _collect_named(term, compiler, named):
+    term = deref(term)
+    if isinstance(term, Var):
+        slot = compiler.slot_for(term)
+        if term.name and term.name != "_":
+            named[term.name] = slot
+    elif isinstance(term, Struct):
+        for arg in term.args:
+            _collect_named(arg, compiler, named)

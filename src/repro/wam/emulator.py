@@ -1,0 +1,276 @@
+"""The byte-code emulator: a register machine with trail and choice points.
+
+Machine state mirrors the WAM: argument registers ``X``, a per-clause
+frame (environment), a continuation (kept as an immutable chain so
+choice points can capture it), a choice-point stack and a trail.
+First-argument indexing consults the predicate's switch table before
+starting a try chain, exactly like ``switch_on_constant``.
+"""
+
+from __future__ import annotations
+
+from ..engine.builtins import arith_eval
+from ..errors import ExistenceError
+from ..index.hash_index import outer_symbol
+from ..terms import Struct, Trail, Var, deref, unify
+from .instructions import (
+    BUILTIN,
+    CALL,
+    GET_CONSTANT,
+    GET_STRUCTURE,
+    GET_VALUE,
+    GET_VARIABLE,
+    PROCEED,
+    PUT_CONSTANT,
+    PUT_STRUCTURE,
+    PUT_VALUE,
+    PUT_VARIABLE,
+    UNIFY_CONSTANT,
+    UNIFY_VALUE,
+    UNIFY_VARIABLE,
+)
+
+__all__ = ["WamMachine"]
+
+_HALT = ("halt",)
+
+_ARITH_TESTS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=:=": lambda a, b: a == b,
+    "=\\=": lambda a, b: a != b,
+}
+
+
+class _ChoicePoint:
+    __slots__ = ("trail_mark", "xregs", "cont", "pred", "candidates", "pos")
+
+    def __init__(self, trail_mark, xregs, cont, pred, candidates, pos):
+        self.trail_mark = trail_mark
+        self.xregs = xregs
+        self.cont = cont
+        self.pred = pred
+        self.candidates = candidates
+        self.pos = pos
+
+
+class WamMachine:
+    """Executes compiled predicates (see :mod:`repro.wam.compiler`)."""
+
+    def __init__(self, program=None):
+        # program: (name, arity) -> CompiledPredicate
+        self.program = dict(program or {})
+        self.trail = Trail()
+        self.instructions_executed = 0
+
+    def define(self, predicate):
+        self.program[(predicate.name, predicate.arity)] = predicate
+
+    # -- execution ---------------------------------------------------------------
+
+    def solve(self, query, named=None, prefill=0):
+        """Run a compiled query; yields once per solution.
+
+        ``query`` is a :class:`CompiledClause` from ``compile_query``;
+        ``named``/``prefill`` are its companions.  While suspended at a
+        yield, answers are readable through ``self.answer(named)``.
+        """
+        trail = self.trail
+        base_mark = trail.mark()
+        xregs = [None] * 8
+        frame = [Var() for _ in range(prefill)]
+        frame.extend(None for _ in range(query.nslots - prefill))
+        self._query_frame = frame
+        cpstack = []
+        code = query.code
+        pc = 0
+        cont = _HALT
+
+        def backtrack():
+            nonlocal code, pc, cont, frame
+            while cpstack:
+                cp = cpstack[-1]
+                trail.undo_to(cp.trail_mark)
+                if cp.pos >= len(cp.candidates):
+                    cpstack.pop()
+                    continue
+                clause = cp.pred.clauses[cp.candidates[cp.pos]]
+                cp.pos += 1
+                if cp.pos >= len(cp.candidates):
+                    cpstack.pop()  # trust: last alternative
+                for i, value in enumerate(cp.xregs):
+                    xregs[i] = value
+                cont = cp.cont
+                frame = [None] * clause.nslots
+                code = clause.code
+                pc = 0
+                return True
+            return False
+
+        try:
+            while True:
+                instruction = code[pc]
+                pc += 1
+                op = instruction[0]
+                self.instructions_executed += 1
+
+                if op == GET_CONSTANT:
+                    cell = deref(xregs[instruction[2]])
+                    if isinstance(cell, Var):
+                        cell.ref = instruction[1]
+                        trail.push(cell)
+                    elif not _const_eq(cell, instruction[1]):
+                        if not backtrack():
+                            return
+                elif op == GET_VARIABLE:
+                    frame[instruction[1]] = xregs[instruction[2]]
+                elif op == GET_VALUE:
+                    if not unify(frame[instruction[1]], xregs[instruction[2]], trail):
+                        if not backtrack():
+                            return
+                elif op == GET_STRUCTURE:
+                    _, name, arity, areg, sslot = instruction
+                    cell = xregs[areg] if isinstance(areg, int) else frame[areg[1]]
+                    cell = deref(cell)
+                    if isinstance(cell, Var):
+                        built = Struct(name, tuple(Var() for _ in range(arity)))
+                        cell.ref = built
+                        trail.push(cell)
+                        frame[sslot] = built
+                    elif (
+                        isinstance(cell, Struct)
+                        and cell.name == name
+                        and len(cell.args) == arity
+                    ):
+                        frame[sslot] = cell
+                    else:
+                        if not backtrack():
+                            return
+                elif op == UNIFY_CONSTANT:
+                    _, const, sslot, index = instruction
+                    cell = deref(frame[sslot].args[index])
+                    if isinstance(cell, Var):
+                        cell.ref = const
+                        trail.push(cell)
+                    elif not _const_eq(cell, const):
+                        if not backtrack():
+                            return
+                elif op == UNIFY_VARIABLE:
+                    _, slot, sslot, index = instruction
+                    frame[slot] = frame[sslot].args[index]
+                elif op == UNIFY_VALUE:
+                    _, slot, sslot, index = instruction
+                    if not unify(frame[slot], frame[sslot].args[index], trail):
+                        if not backtrack():
+                            return
+                elif op == PUT_CONSTANT:
+                    xregs[instruction[2]] = instruction[1]
+                elif op == PUT_VARIABLE:
+                    fresh = Var()
+                    frame[instruction[1]] = fresh
+                    xregs[instruction[2]] = fresh
+                elif op == PUT_VALUE:
+                    xregs[instruction[2]] = frame[instruction[1]]
+                elif op == PUT_STRUCTURE:
+                    _, name, arity, _unused, sslot = instruction
+                    frame[sslot] = Struct(
+                        name, tuple(Var() for _ in range(arity))
+                    )
+                elif op == CALL:
+                    _, name, arity = instruction
+                    pred = self.program.get((name, arity))
+                    if pred is None:
+                        raise ExistenceError(f"{name}/{arity}")
+                    while arity > len(xregs):
+                        xregs.append(None)
+                    symbol = None
+                    if arity >= 1:
+                        first = deref(xregs[0])
+                        if not isinstance(first, Var):
+                            symbol = outer_symbol(first)
+                    candidates = list(pred.candidates(symbol))
+                    if not candidates:
+                        if not backtrack():
+                            return
+                        continue
+                    new_cont = (code, pc, frame, cont)
+                    if len(candidates) > 1:
+                        cpstack.append(
+                            _ChoicePoint(
+                                trail.mark(),
+                                tuple(xregs[:arity]),
+                                new_cont,
+                                pred,
+                                candidates,
+                                1,
+                            )
+                        )
+                    clause = pred.clauses[candidates[0]]
+                    frame = [None] * clause.nslots
+                    code = clause.code
+                    pc = 0
+                    cont = new_cont
+                elif op == BUILTIN:
+                    _, name, arity = instruction
+                    if not self._builtin(name, arity, xregs, trail):
+                        if not backtrack():
+                            return
+                elif op == PROCEED:
+                    if cont is _HALT:
+                        yield True
+                        if not backtrack():
+                            return
+                        continue
+                    code, pc, frame, cont = cont
+                else:
+                    raise RuntimeError(f"bad opcode {op}")
+        finally:
+            trail.undo_to(base_mark)
+
+    def _builtin(self, name, arity, xregs, trail):
+        if name == "true":
+            return True
+        if name == "fail":
+            return False
+        if name == "=":
+            return unify(xregs[0], xregs[1], trail)
+        if name == "is":
+            return unify(xregs[0], arith_eval(xregs[1]), trail)
+        test = _ARITH_TESTS.get(name)
+        if test is not None:
+            return test(arith_eval(xregs[0]), arith_eval(xregs[1]))
+        raise ExistenceError(f"wam builtin {name}/{arity}")
+
+    def answer(self, named):
+        """Read the current bindings of a suspended solve()."""
+        from ..terms import resolve
+
+        return {
+            name: resolve(self._query_frame[slot])
+            for name, slot in named.items()
+        }
+
+    def run_query(self, query, named, prefill):
+        """Drain a query; returns the list of answer dicts (resolved
+        copies safe to keep)."""
+        from ..terms import copy_term
+
+        out = []
+        for _ in self.solve(query, named, prefill):
+            out.append(
+                {
+                    name: copy_term(self._query_frame[slot])
+                    for name, slot in named.items()
+                }
+            )
+        return out
+
+
+def _const_eq(cell, const):
+    from ..terms import Atom
+
+    if isinstance(cell, Atom):
+        return isinstance(const, Atom) and cell.name == const.name
+    return type(cell) is type(const) and cell == const

@@ -1,0 +1,80 @@
+"""The byte-code instruction set.
+
+Instructions are plain tuples ``(opcode, operand...)`` for cheap
+dispatch and trivial serialization.  The set follows the WAM [24] with
+one structural simplification: ``get_structure``/``put_structure``
+pre-build the compound with fresh variables when needed, so the
+``unify_*``/``set_*`` instructions always run against an existing
+structure's argument cells (no read/write mode flag); this is
+behaviourally equivalent and keeps the emulator loop small.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GET_CONSTANT",
+    "GET_VARIABLE",
+    "GET_VALUE",
+    "GET_STRUCTURE",
+    "UNIFY_CONSTANT",
+    "UNIFY_VARIABLE",
+    "UNIFY_VALUE",
+    "PUT_CONSTANT",
+    "PUT_VARIABLE",
+    "PUT_VALUE",
+    "PUT_STRUCTURE",
+    "CALL",
+    "PROCEED",
+    "BUILTIN",
+    "NAMES",
+    "disassemble",
+]
+
+# head argument matching
+GET_CONSTANT = 0  # (op, const, areg)
+GET_VARIABLE = 1  # (op, slot, areg)
+GET_VALUE = 2  # (op, slot, areg)
+GET_STRUCTURE = 3  # (op, name, arity, areg, sslot)  -> S register in frame
+
+# structure argument matching/filling, relative to an S slot
+UNIFY_CONSTANT = 4  # (op, const, sslot, index)
+UNIFY_VARIABLE = 5  # (op, slot, sslot, index)
+UNIFY_VALUE = 6  # (op, slot, sslot, index)
+
+# body argument loading
+PUT_CONSTANT = 7  # (op, const, areg)
+PUT_VARIABLE = 8  # (op, slot, areg)
+PUT_VALUE = 9  # (op, slot, areg)
+PUT_STRUCTURE = 10  # (op, name, arity, areg, sslot)
+
+# control
+CALL = 11  # (op, name, arity)
+PROCEED = 12  # (op,)
+BUILTIN = 13  # (op, name, arity)  — is/2, comparisons, =/2
+
+NAMES = {
+    GET_CONSTANT: "get_constant",
+    GET_VARIABLE: "get_variable",
+    GET_VALUE: "get_value",
+    GET_STRUCTURE: "get_structure",
+    UNIFY_CONSTANT: "unify_constant",
+    UNIFY_VARIABLE: "unify_variable",
+    UNIFY_VALUE: "unify_value",
+    PUT_CONSTANT: "put_constant",
+    PUT_VARIABLE: "put_variable",
+    PUT_VALUE: "put_value",
+    PUT_STRUCTURE: "put_structure",
+    CALL: "call",
+    PROCEED: "proceed",
+    BUILTIN: "builtin",
+}
+
+
+def disassemble(code):
+    """Human-readable listing of one clause's code."""
+    lines = []
+    for pc, instruction in enumerate(code):
+        op = instruction[0]
+        operands = ", ".join(repr(x) for x in instruction[1:])
+        lines.append(f"{pc:4d}  {NAMES.get(op, op):<16} {operands}")
+    return "\n".join(lines)

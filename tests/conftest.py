@@ -1,0 +1,61 @@
+"""Shared fixtures and term-generation strategies for the test suite."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Engine  # noqa: E402
+
+
+@pytest.fixture
+def engine():
+    """A fresh engine with default settings."""
+    return Engine()
+
+
+@pytest.fixture
+def engine_fail_unknown():
+    """Engine where undefined predicates fail instead of erroring."""
+    return Engine(unknown="fail")
+
+
+def make_binary_tree(engine, height, move="move"):
+    """Assert ``move/2`` facts for a complete binary tree of the given
+    height (nodes 1 .. 2^(height+1) - 1); returns the node count."""
+    internal = 2**height - 1
+    for node in range(1, internal + 1):
+        engine.add_fact(move, node, 2 * node)
+        engine.add_fact(move, node, 2 * node + 1)
+    return 2 ** (height + 1) - 1
+
+
+def make_chain(engine, length, edge="edge", start=1):
+    for i in range(start, start + length - 1):
+        engine.add_fact(edge, i, i + 1)
+
+
+def make_cycle(engine, length, edge="edge"):
+    make_chain(engine, length, edge)
+    engine.add_fact(edge, length, 1)
+
+
+PATH_LEFT = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+"""
+
+PATH_RIGHT = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- edge(X,Z), path(Z,Y).
+"""
+
+PATH_DOUBLE = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), path(Z,Y).
+"""

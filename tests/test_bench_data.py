@@ -1,0 +1,85 @@
+"""Tests for the benchmark substrate (generators and harness)."""
+
+import math
+
+from repro.bench import (
+    RowTimer,
+    banner,
+    binary_tree_edges,
+    chain_edges,
+    cycle_edges,
+    fanout_edges,
+    format_table,
+    geometric_mean,
+    join_relations,
+    same_generation_facts,
+    time_call,
+)
+
+
+class TestGenerators:
+    def test_chain(self):
+        assert chain_edges(4) == [(1, 2), (2, 3), (3, 4)]
+
+    def test_cycle_closes(self):
+        edges = cycle_edges(5)
+        assert (5, 1) in edges
+        assert len(edges) == 5
+
+    def test_fanout(self):
+        edges = fanout_edges(3)
+        assert edges == [(1, 1), (1, 2), (1, 3)]
+
+    def test_binary_tree_node_count(self):
+        for height in (1, 3, 5):
+            edges = binary_tree_edges(height)
+            nodes = {a for a, _ in edges} | {b for _, b in edges}
+            assert len(nodes) == 2 ** (height + 1) - 1
+            assert len(edges) == len(nodes) - 1
+
+    def test_binary_tree_structure(self):
+        edges = set(binary_tree_edges(3))
+        assert (1, 2) in edges and (1, 3) in edges
+        assert (7, 14) in edges and (7, 15) in edges
+
+    def test_same_generation_families_disjoint(self):
+        facts = same_generation_facts(families=2, depth=3)
+        first = {v for pair in facts[: len(facts) // 2] for v in pair}
+        second = {v for pair in facts[len(facts) // 2 :] for v in pair}
+        assert not first & second
+
+    def test_join_relations_shape(self):
+        r, s = join_relations(50, fanout=2)
+        assert len(r) == 50 and len(s) == 100
+        keys = {k for k, _ in r}
+        assert keys == set(range(50))
+
+    def test_join_relations_deterministic(self):
+        assert join_relations(20) == join_relations(20)
+
+
+class TestHarness:
+    def test_time_call_returns_result(self):
+        seconds, result = time_call(lambda: 42, repeat=2)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_row_timer_normalizes(self):
+        timer = RowTimer(normalize_to="base")
+        timer.add("base", 2.0)
+        timer.add("other", 4.0)
+        rows = timer.normalized()
+        assert rows[1][2] == 2.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (30, 4.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "4.250" in text
+
+    def test_banner(self):
+        assert "hello" in banner("hello")
+
+    def test_geometric_mean(self):
+        assert math.isclose(geometric_mean([1, 4]), 2.0)
+        assert math.isnan(geometric_mean([]))

@@ -1,0 +1,285 @@
+"""Tests for the bottom-up engine: rules, fixpoints, magic, factoring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bottomup import (
+    Relation,
+    Var,
+    evaluate,
+    evaluate_naive,
+    factor_program,
+    magic_rewrite,
+    parse_program,
+    query,
+)
+from repro.bottomup.datalog import Program, Rule, match, pattern_vars
+from repro.bottomup.seminaive import EvaluationStats
+from repro.errors import SafetyError
+
+PATH = """
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+"""
+
+
+class TestRelation:
+    def test_add_dedup(self):
+        rel = Relation("r", 2)
+        assert rel.add((1, 2))
+        assert not rel.add((1, 2))
+        assert len(rel) == 1
+
+    def test_probe_by_position(self):
+        rel = Relation("r", 2)
+        rel.add_many([(1, "a"), (1, "b"), (2, "c")])
+        assert sorted(rel.probe((0,), (1,))) == [(1, "a"), (1, "b")]
+        assert list(rel.probe((1,), ("c",))) == [(2, "c")]
+
+    def test_index_maintained_incrementally(self):
+        rel = Relation("r", 2)
+        rel.add((1, "a"))
+        rel.probe((0,), (1,))  # builds the index
+        rel.add((1, "b"))
+        assert len(rel.probe((0,), (1,))) == 2
+
+    def test_empty_positions_returns_all(self):
+        rel = Relation("r", 1)
+        rel.add_many([(1,), (2,)])
+        assert len(rel.probe((), ())) == 2
+
+
+class TestParsing:
+    def test_facts_separated_from_rules(self):
+        program, facts = parse_program("e(1,2). e(2,3).\n" + PATH)
+        assert len(program) == 2
+        assert facts[("e", 2)] == [(1, 2), (2, 3)]
+
+    def test_negation_parsed(self):
+        program, _ = parse_program(
+            "u(X) :- n(X), \\+ r(X).", check_safety=True
+        )
+        kinds = [lit[3] for lit in program.rules[0].body if lit[0] == "rel"]
+        assert kinds == [True, False]
+
+    def test_arithmetic_literals(self):
+        program, _ = parse_program("d(X, Y) :- n(X), Y is X * 2, Y > 3.")
+        kinds = [lit[0] for lit in program.rules[0].body]
+        assert kinds == ["rel", "is", "cmp"]
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(SafetyError):
+            parse_program("bad(X, Y) :- n(X).")
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(SafetyError):
+            parse_program("bad(X) :- \\+ n(X), m(X).")
+
+    def test_directive_ignored(self):
+        program, _ = parse_program(":- table path/2.\n" + PATH)
+        assert len(program) == 2
+
+
+class TestStratification:
+    def test_positive_program_one_stratum(self):
+        program, _ = parse_program(PATH)
+        strata = program.stratify()
+        assert strata[("path", 2)] == 0
+
+    def test_negation_lifts_stratum(self):
+        program, _ = parse_program(
+            PATH + "unreach(X,Y) :- node(X), node(Y), \\+ path(X,Y).\n"
+            "node(1).\n"
+        )
+        strata = program.stratify()
+        assert strata[("unreach", 2)] == strata[("path", 2)] + 1
+
+    def test_nonstratified_rejected(self):
+        program, _ = parse_program(
+            "p(X) :- n(X), \\+ q(X). q(X) :- n(X), \\+ p(X)."
+        )
+        with pytest.raises(SafetyError):
+            program.stratify()
+
+
+class TestFixpoints:
+    def facts(self, n):
+        return {("edge", 2): [(i, i + 1) for i in range(1, n)] + [(n, 1)]}
+
+    def test_seminaive_transitive_closure(self):
+        program, _ = parse_program(PATH)
+        relations = evaluate(program, self.facts(8))
+        assert len(relations[("path", 2)]) == 64
+
+    def test_naive_agrees_with_seminaive(self):
+        program, _ = parse_program(PATH)
+        a = evaluate(program, self.facts(6))[("path", 2)].tuples
+        b = evaluate_naive(program, self.facts(6))[("path", 2)].tuples
+        assert a == b
+
+    def test_seminaive_fewer_derivations_than_naive(self):
+        program, _ = parse_program(PATH)
+        semi, naive = EvaluationStats(), EvaluationStats()
+        evaluate(program, self.facts(10), stats=semi)
+        evaluate_naive(program, self.facts(10), stats=naive)
+        assert semi.derivations < naive.derivations
+
+    def test_stratified_negation(self):
+        program, _ = parse_program(
+            """
+            reach(X) :- source(X).
+            reach(Y) :- reach(X), edge(X,Y).
+            unreach(X) :- node(X), \\+ reach(X).
+            """
+        )
+        facts = {
+            ("edge", 2): [(1, 2)],
+            ("source", 1): [(1,)],
+            ("node", 1): [(1,), (2,), (3,)],
+        }
+        relations = evaluate(program, facts)
+        assert relations[("unreach", 1)].tuples == {(3,)}
+
+    def test_arithmetic_in_rules(self):
+        program, _ = parse_program("d(Y) :- n(X), Y is X + 10, Y > 11.")
+        relations = evaluate(program, {("n", 1): [(1,), (2,), (3,)]})
+        assert relations[("d", 1)].tuples == {(12,), (13,)}
+
+    def test_compound_terms_in_rules(self):
+        program, _ = parse_program(
+            "wrap(f(X)) :- n(X). unwrap(X) :- wrap(f(X)).",
+            check_safety=True,
+        )
+        relations = evaluate(program, {("n", 1): [(1,), (2,)]})
+        assert relations[("unwrap", 1)].tuples == {(1,), (2,)}
+
+
+class TestMagic:
+    def test_goal_directed_subset(self):
+        program, _ = parse_program(PATH)
+        # two disconnected components; query only reaches one
+        facts = {
+            ("edge", 2): [(1, 2), (2, 3), (100, 101), (101, 102)]
+        }
+        stats_full, stats_magic = EvaluationStats(), EvaluationStats()
+        evaluate(program, facts, stats=stats_full)
+        answers = query(program, facts, "path", (1, None), stats=stats_magic)
+        assert sorted(a[1] for a in answers) == [2, 3]
+        assert stats_magic.derivations < stats_full.derivations
+
+    def test_rewrite_structure(self):
+        program, _ = parse_program(PATH)
+        rewritten, answer_pred = magic_rewrite(program, "path", (1, None))
+        assert answer_pred == "path__bf"
+        heads = {r.head_pred for r in rewritten.rules}
+        assert "m_path__bf" in heads and "path__bf" in heads
+
+    def test_fully_bound_query(self):
+        program, _ = parse_program(PATH)
+        facts = {("edge", 2): [(1, 2), (2, 3)]}
+        assert query(program, facts, "path", (1, 3)) == [(1, 3)]
+        assert query(program, facts, "path", (3, 1)) == []
+
+    def test_open_query(self):
+        program, _ = parse_program(PATH)
+        facts = {("edge", 2): [(1, 2), (2, 3)]}
+        answers = query(program, facts, "path", (None, None))
+        assert len(answers) == 3
+
+    def test_unknown_predicate_rejected(self):
+        program, _ = parse_program(PATH)
+        with pytest.raises(SafetyError):
+            magic_rewrite(program, "nopath", (1, None))
+
+
+class TestFactoring:
+    def test_factored_program_same_answers(self):
+        program, _ = parse_program(PATH)
+        facts = {("edge", 2): [(1, 2), (2, 3), (3, 1)]}
+        plain = sorted(query(program, facts, "path", (1, None)))
+        factored = sorted(
+            query(program, facts, "path", (1, None), rewrite="magic+factoring")
+        )
+        assert plain == factored
+
+    def test_factoring_produces_unary_recursion(self):
+        program, _ = parse_program(PATH)
+        rewritten, _ = magic_rewrite(program, "path", (1, None))
+        factored = factor_program(rewritten)
+        unary = [r for r in factored.rules if r.head_pred.endswith("__fac")]
+        assert unary
+        assert all(len(r.head_args) == 1 for r in unary)
+
+    def test_factoring_skips_inapplicable_programs(self):
+        # the bound argument is used in the rule body: not invariant
+        program, _ = parse_program(
+            """
+            p(X,Y) :- e(X,Y).
+            p(X,Y) :- p(X,Z), e(Z,Y), e(X,Y).
+            """
+        )
+        rewritten, _ = magic_rewrite(program, "p", (1, None))
+        factored = factor_program(rewritten)
+        assert not any(
+            r.head_pred.endswith("__fac") for r in factored.rules
+        )
+
+
+class TestMatch:
+    def test_compound_pattern(self):
+        x = Var("X")
+        bindings = {}
+        added = match(("f", x, 3), ("f", "a", 3), bindings)
+        assert added is not None
+        assert bindings[x] == "a"
+
+    def test_mismatch_undoes(self):
+        x = Var("X")
+        bindings = {}
+        assert match(("f", x, x), ("f", 1, 2), bindings) is None
+        assert not bindings
+
+
+# -- property-based: bottom-up vs the tuple-at-a-time engine -----------------
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 8), st.integers(1, 8)),
+        min_size=1,
+        max_size=14,
+        unique=True,
+    ),
+    st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_prop_magic_agrees_with_slg(edges, source):
+    from repro import Engine
+
+    program, _ = parse_program(PATH)
+    bottomup = sorted(
+        row[1] for row in query(program, {("edge", 2): edges}, "path",
+                                (source, None))
+    )
+    engine = Engine(unknown="fail")
+    engine.consult_string(":- table path/2.\n" + PATH)
+    engine.add_facts("edge", edges)
+    topdown = sorted(s["X"] for s in engine.query(f"path({source}, X)"))
+    assert bottomup == topdown
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 6), st.integers(1, 6)),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_prop_factoring_preserves_answers(edges):
+    program, _ = parse_program(PATH)
+    facts = {("edge", 2): edges}
+    assert sorted(query(program, facts, "path", (1, None))) == sorted(
+        query(program, facts, "path", (1, None), rewrite="magic+factoring")
+    )

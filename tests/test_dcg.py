@@ -1,0 +1,117 @@
+"""Tests for definite clause grammar translation and phrase/2,3."""
+
+import pytest
+
+from repro import Engine
+from repro.lang import parse_term, term_to_str
+from repro.lang.dcg import is_dcg_rule, translate_dcg
+
+
+class TestTranslation:
+    def test_detects_dcg(self):
+        assert is_dcg_rule(parse_term("s --> np, vp"))
+        assert not is_dcg_rule(parse_term("s :- np, vp"))
+
+    def test_nonterminal_gets_two_args(self):
+        clause = translate_dcg(parse_term("s --> np, vp"))
+        head = clause.args[0]
+        assert head.name == "s" and len(head.args) == 2
+
+    def test_arguments_preserved(self):
+        clause = translate_dcg(parse_term("num(X) --> digit(X)"))
+        head = clause.args[0]
+        assert head.name == "num" and len(head.args) == 3
+
+    def test_terminal_list_becomes_unification(self):
+        clause = translate_dcg(parse_term("det --> [the]"))
+        body = clause.args[1]
+        assert body.name == "="
+
+    def test_brace_goal_passes_through(self):
+        clause = translate_dcg(parse_term("d(X) --> [X], {X > 0}"))
+        text = term_to_str(clause)
+        assert "X > 0" in text
+
+
+GRAMMAR = """
+s --> np, vp.
+np --> det, noun.
+vp --> verb, np.
+vp --> verb.
+det --> [the].
+det --> [a].
+noun --> [cat].
+noun --> [dog].
+verb --> [sees].
+verb --> [chases].
+"""
+
+
+class TestGrammarExecution:
+    @pytest.fixture
+    def grammar(self):
+        engine = Engine()
+        engine.consult_string(GRAMMAR)
+        return engine
+
+    def test_recognize_sentence(self, grammar):
+        assert grammar.has_solution(
+            "phrase(s, [the, cat, sees, a, dog])"
+        )
+
+    def test_reject_bad_sentence(self, grammar):
+        assert not grammar.has_solution("phrase(s, [cat, the, sees])")
+        assert not grammar.has_solution("phrase(s, [the, cat])")
+
+    def test_generate_sentences(self, grammar):
+        sentences = grammar.query("phrase(s, S)")
+        texts = [s["S"] for s in sentences]
+        assert ["the", "cat", "sees"] in texts
+        # np = 2 dets x 2 nouns = 4; vp = 2 verbs x (4 nps + bare) = 10
+        assert len(texts) == 40
+
+    def test_phrase_with_rest(self, grammar):
+        sols = grammar.query("phrase(np, [the, dog, sees, a, cat], R)")
+        assert sols[0]["R"] == ["sees", "a", "cat"]
+
+    def test_arguments_thread_through(self):
+        engine = Engine()
+        engine.consult_string(
+            """
+            digits([D|T]) --> digit(D), digits(T).
+            digits([D]) --> digit(D).
+            digit(D) --> [D], { D >= 0'0, D =< 0'9 }.
+            """
+        )
+        sols = engine.query('phrase(digits(L), "42")')
+        assert sols and sols[0]["L"] == [52, 50]
+
+    def test_disjunction_in_body(self):
+        engine = Engine()
+        engine.consult_string("ab --> [a] ; [b].")
+        assert engine.has_solution("phrase(ab, [a])")
+        assert engine.has_solution("phrase(ab, [b])")
+        assert not engine.has_solution("phrase(ab, [c])")
+
+    def test_recursive_grammar_counts(self):
+        engine = Engine()
+        engine.consult_string(
+            """
+            as(0) --> [].
+            as(N) --> [a], as(M), { N is M + 1 }.
+            """
+        )
+        sols = engine.query("phrase(as(N), [a, a, a])")
+        assert sols == [{"N": 3}]
+
+    def test_negative_lookahead(self):
+        engine = Engine()
+        engine.consult_string(
+            """
+            word([C|T]) --> letter(C), word(T).
+            word([C]) --> letter(C), \\+ letter(_).
+            letter(C) --> [C], { C >= 0'a, C =< 0'z }.
+            """
+        )
+        # \+ letter(_) succeeds at end of input or before a non-letter
+        assert engine.has_solution('phrase(word(W), "abc")')

@@ -1,0 +1,161 @@
+"""Tests for HiLog encoding, specialization, and HiLog queries."""
+
+from repro import Engine
+from repro.hilog import hilog_encode, specialize_batch
+from repro.hilog.specialize import specialized_name
+from repro.lang import parse_term, term_to_str
+from repro.terms import is_variant
+
+
+class TestEncoding:
+    def test_declared_symbol_encoded(self):
+        term = parse_term("h(a)")
+        encoded = hilog_encode(term, {"h"})
+        assert encoded.name == "apply"
+        assert term_to_str(encoded, hilog_notation=False) == "apply(h,a)"
+
+    def test_undeclared_symbol_untouched(self):
+        term = parse_term("h(a)")
+        assert hilog_encode(term, {"other"}) is term
+
+    def test_nested_encoding(self):
+        term = parse_term("p(h(a), g(h(b)))")
+        encoded = hilog_encode(term, {"h"})
+        assert encoded.name == "p"
+        assert encoded.args[0].name == "apply"
+        assert encoded.args[1].args[0].name == "apply"
+
+    def test_clause_connectives_transparent(self):
+        term = parse_term("x :- h(a), \\+ h(b)")
+        encoded = hilog_encode(term, {"h"})
+        assert encoded.name == ":-"
+        assert encoded.args[1].name == ","
+        assert encoded.args[1].args[0].name == "apply"
+
+    def test_atom_positions_not_encoded(self):
+        # the atom h as an argument stays an atom (it names the set)
+        term = parse_term("benefits(john, h)")
+        encoded = hilog_encode(term, {"h"})
+        assert encoded.args[1].name == "h"
+
+    def test_empty_declarations_is_identity(self):
+        term = parse_term("f(g(h))")
+        assert hilog_encode(term, set()) is term
+
+
+class TestSpecialization:
+    PAPER = [
+        "apply(path(Graph),X,Y) :- apply(Graph,X,Y)",
+        "apply(path(Graph),X,Y) :- apply(path(Graph),X,Z), apply(Graph,Z,Y)",
+    ]
+
+    def test_paper_transformation(self):
+        clauses = [parse_term(c) for c in self.PAPER]
+        out = specialize_batch(clauses)
+        rendered = [term_to_str(t, hilog_notation=False) for t in out]
+        name = specialized_name("path", 1)
+        # bridge present
+        assert any(
+            t.startswith("apply(path(") and name in t for t in rendered
+        )
+        # recursive call specialized in the body
+        recursive = [t for t in rendered if t.count(name) == 2]
+        assert recursive
+
+    def test_no_compound_functors_no_change(self):
+        clauses = [parse_term("apply(p, a, b)"), parse_term("q(1)")]
+        out = specialize_batch(clauses)
+        assert [term_to_str(a) for a in out] == [
+            term_to_str(c) for c in clauses
+        ]
+
+    def test_report_groups(self):
+        clauses = [parse_term(c) for c in self.PAPER]
+        report = []
+        specialize_batch(clauses, report=report)
+        assert report == [(3, specialized_name("path", 1), 3)]
+
+    def test_variable_functor_calls_preserved(self):
+        clauses = [parse_term(c) for c in self.PAPER]
+        out = specialize_batch(clauses)
+        rendered = " ".join(term_to_str(t, hilog_notation=False) for t in out)
+        assert "apply(Graph" in rendered or "apply(_G" in rendered
+
+
+class TestHiLogQueries:
+    GRAPH = """
+    :- hilog g1, g2.
+    g1(a,b). g1(b,c).
+    g2(b,c). g2(c,d).
+    """
+
+    def test_variable_predicate_query(self, engine):
+        engine.consult_string(self.GRAPH + "\nhas(x1, g1). has(x2, g2).\n")
+        sols = engine.query("has(x1, P), P(X, Y)")
+        assert ("a", "b") in [(s["X"], s["Y"]) for s in sols]
+
+    def test_set_intersection_from_paper(self, engine):
+        engine.consult_string(
+            self.GRAPH
+            + """
+        :- hilog intersect_2.
+        intersect_2(S1,S2)(X,Y) :- S1(X,Y), S2(X,Y).
+        """
+        )
+        sols = engine.query("intersect_2(g1, g2)(X, Y)")
+        assert [(s["X"], s["Y"]) for s in sols] == [("b", "c")]
+
+    def test_set_union_from_paper(self, engine):
+        engine.consult_string(
+            self.GRAPH
+            + """
+        :- hilog union_2.
+        union_2(S1,S2)(X,Y) :- S1(X,Y).
+        union_2(S1,S2)(X,Y) :- S2(X,Y).
+        """
+        )
+        assert len(engine.query("union_2(g1, g2)(X, Y)")) == 4
+
+    def _tabled_path(self, hilog_specialize):
+        engine = Engine(hilog_specialize=hilog_specialize)
+        engine.consult_string(
+            """
+            :- hilog edges.
+            :- table apply/3.
+            path(G)(X,Y) :- G(X,Y).
+            path(G)(X,Y) :- path(G)(X,Z), G(Z,Y).
+            edges(1,2). edges(2,3). edges(3,1).
+            """
+        )
+        return engine
+
+    def test_tabled_hilog_path_with_specialization(self):
+        engine = self._tabled_path(True)
+        assert sorted(s["Y"] for s in engine.query("path(edges)(1,Y)")) == [
+            1,
+            2,
+            3,
+        ]
+        assert engine.predicate(specialized_name("path", 1), 3) is not None
+
+    def test_tabled_hilog_path_without_specialization(self):
+        engine = self._tabled_path(False)
+        assert sorted(s["Y"] for s in engine.query("path(edges)(1,Y)")) == [
+            1,
+            2,
+            3,
+        ]
+        assert engine.predicate(specialized_name("path", 1), 3) is None
+
+    def test_hilog_and_first_order_coexist(self, engine):
+        engine.consult_string(
+            """
+            :- hilog h.
+            h(1). h(2).
+            p(1). p(2).
+            """
+        )
+        assert engine.count("h(X)") == 2  # via apply/2
+        assert engine.count("p(X)") == 2  # plain first-order
+        assert engine.predicate("apply", 2) is not None
+        assert engine.predicate("p", 1) is not None

@@ -1,0 +1,204 @@
+"""Tests for the indexing subsystem: hash, first-string trie, answer trie."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.index import (
+    AnswerTrie,
+    FirstStringIndex,
+    HashIndex,
+    IndexPlan,
+    IndexSpec,
+    first_string,
+    outer_symbol,
+)
+from repro.lang import parse_term
+from repro.terms import Trail, Var, bind, is_variant, mkatom, mkstruct
+
+
+class TestOuterSymbol:
+    def test_atom(self):
+        assert outer_symbol(mkatom("a")) == ("a", "a")
+
+    def test_struct_uses_name_and_arity(self):
+        assert outer_symbol(mkstruct("f", 1)) == ("s", "f", 1)
+        assert outer_symbol(mkstruct("f", 1, 2)) != outer_symbol(mkstruct("f", 1))
+
+    def test_nested_args_ignored(self):
+        assert outer_symbol(mkstruct("f", mkatom("a"))) == outer_symbol(
+            mkstruct("f", mkatom("b"))
+        )
+
+    def test_numbers(self):
+        assert outer_symbol(3) == ("n", "int", 3)
+        assert outer_symbol(3) != outer_symbol(3.0)
+
+    def test_bound_variable_is_chased(self):
+        v = Var()
+        bind(v, mkatom("a"), Trail())
+        assert outer_symbol(v) == ("a", "a")
+
+
+class TestIndexSpec:
+    def test_multi_field_key(self):
+        spec = IndexSpec((1, 3))
+        key = spec.key_of_args((mkatom("a"), Var(), 5))
+        assert key == (("a", "a"), ("n", "int", 5))
+
+    def test_unbound_field_gives_none(self):
+        spec = IndexSpec((2,))
+        assert spec.key_of_args((1, Var())) is None
+
+    def test_more_than_three_fields_rejected(self):
+        with pytest.raises(TypeError_):
+            IndexSpec((1, 2, 3, 4))
+
+
+class TestHashIndex:
+    def make(self, spec=(1,)):
+        return HashIndex(IndexSpec(spec))
+
+    def test_lookup_by_key(self):
+        index = self.make()
+        index.insert(0, (mkatom("a"), 1), "c0")
+        index.insert(1, (mkatom("b"), 2), "c1")
+        assert index.lookup((mkatom("a"), Var())) == ["c0"]
+
+    def test_catch_all_merged_in_order(self):
+        index = self.make()
+        index.insert(0, (mkatom("a"),), "c0")
+        index.insert(1, (Var(),), "c1")  # variable head arg matches all
+        index.insert(2, (mkatom("a"),), "c2")
+        assert index.lookup((mkatom("a"),)) == ["c0", "c1", "c2"]
+        assert index.lookup((mkatom("zz"),)) == ["c1"]
+
+    def test_unbound_call_not_applicable(self):
+        index = self.make()
+        index.insert(0, (mkatom("a"),), "c0")
+        assert index.lookup((Var(),)) is None
+
+    def test_remove(self):
+        index = self.make()
+        index.insert(0, (mkatom("a"),), "c0")
+        index.remove(0)
+        assert index.lookup((mkatom("a"),)) == []
+
+    def test_front_insert(self):
+        index = self.make()
+        index.insert(0, (mkatom("a"),), "c0")
+        index.insert(1, (mkatom("a"),), "c1", front=True)
+        assert index.lookup((mkatom("a"),)) == ["c1", "c0"]
+
+
+class TestIndexPlan:
+    def test_first_applicable_index_wins(self):
+        # the paper's :- index(p/5,[1,2,3+5])
+        plan = IndexPlan(5, [IndexSpec((1,)), IndexSpec((2,)), IndexSpec((3, 5))])
+        a, b = mkatom("a"), mkatom("b")
+        plan.insert(0, (a, b, a, a, b), "c0")
+        plan.insert(1, (b, b, a, a, b), "c1")
+        # arg1 bound: uses index 1
+        assert plan.lookup((a, Var(), Var(), Var(), Var())) == ["c0"]
+        # arg1 unbound, arg2 bound: both share b in field 2
+        assert plan.lookup((Var(), b, Var(), Var(), Var())) == ["c0", "c1"]
+        # only 3+5 bound
+        assert plan.lookup((Var(), Var(), a, Var(), b)) == ["c0", "c1"]
+        # nothing bound: no index applies
+        assert plan.lookup((Var(),) * 5) is None
+
+
+class TestFirstString:
+    def test_paper_example_strings(self):
+        # p(g(a), f(X)) -> p/2 g/1 a f/1 (stops at X)
+        tokens, hit = first_string(parse_term("p(g(a),f(X))"))
+        assert tokens == [("p", 2), ("g", 1), ("a", 0), ("f", 1)]
+        assert hit is True
+
+    def test_ground_full_string(self):
+        tokens, hit = first_string(parse_term("p(g(b),f(1))"))
+        assert tokens == [("p", 2), ("g", 1), ("b", 0), ("f", 1), (1, 0)]
+        assert hit is False
+
+    def test_paper_example_42_retrieval(self):
+        """Example 4.2: four clauses, figure-3 trie."""
+        index = FirstStringIndex()
+        clauses = [
+            "p(g(a),f(X))",
+            "p(g(a),f(a))",
+            "p(g(b),f(1))",
+            "p(g(X),Y)",
+        ]
+        for seq, text in enumerate(clauses):
+            index.insert(seq, parse_term(text), text)
+        # fully ground call p(g(a), f(a)): candidates exclude the g(b) clause
+        got = index.lookup(parse_term("p(g(a),f(a))"))
+        assert got == ["p(g(a),f(X))", "p(g(a),f(a))", "p(g(X),Y)"]
+        # call with variable second arg: all g(a)-compatible clauses
+        got = index.lookup(parse_term("p(g(a),Z)"))
+        assert got == ["p(g(a),f(X))", "p(g(a),f(a))", "p(g(X),Y)"]
+        # g(b) call
+        got = index.lookup(parse_term("p(g(b),f(1))"))
+        assert got == ["p(g(b),f(1))", "p(g(X),Y)"]
+        # totally open call: everything
+        assert len(index.lookup(parse_term("p(U,V)"))) == 4
+
+    def test_superset_never_subset(self):
+        index = FirstStringIndex()
+        index.insert(0, parse_term("q(a,b,c)"), 0)
+        index.insert(1, parse_term("q(a,B,c)"), 1)
+        got = index.lookup(parse_term("q(a,b,c)"))
+        assert 0 in got and 1 in got
+
+    def test_remove(self):
+        index = FirstStringIndex()
+        index.insert(0, parse_term("p(a)"), "x")
+        index.remove(0)
+        assert index.lookup(parse_term("p(a)")) == []
+        assert index.size == 0
+
+    def test_depth(self):
+        index = FirstStringIndex()
+        index.insert(0, parse_term("p(g(a),f(a))"), 0)
+        assert index.depth() == 4
+
+
+class TestAnswerTrie:
+    def test_insert_and_duplicate(self):
+        trie = AnswerTrie()
+        assert trie.insert(parse_term("path(1,2)"))
+        assert not trie.insert(parse_term("path(1,2)"))
+        assert len(trie) == 1
+
+    def test_variant_duplicate_detected(self):
+        trie = AnswerTrie()
+        assert trie.insert(parse_term("p(X,f(X))"))
+        assert not trie.insert(parse_term("p(Y,f(Y))"))
+        assert trie.insert(parse_term("p(X,f(Y))"))
+
+    def test_contains(self):
+        trie = AnswerTrie()
+        trie.insert(parse_term("p(a)"))
+        assert parse_term("p(a)") in trie
+        assert parse_term("p(b)") not in trie
+
+    def test_answers_rebuilt_as_variants(self):
+        trie = AnswerTrie()
+        original = parse_term("p(X, g(X), 3)")
+        trie.insert(original)
+        rebuilt = trie.answers()[0]
+        assert is_variant(original, rebuilt)
+
+    def test_insertion_order_preserved(self):
+        trie = AnswerTrie()
+        for i in range(5):
+            trie.insert(parse_term(f"p({i})"))
+        assert [a.args[0] for a in trie.answers()] == [0, 1, 2, 3, 4]
+
+    def test_shared_prefix_space(self):
+        trie = AnswerTrie()
+        trie.insert(parse_term("p(common, 1)"))
+        nodes_one = trie.node_count()
+        trie.insert(parse_term("p(common, 2)"))
+        nodes_two = trie.node_count()
+        # only the final token differs: exactly one extra node
+        assert nodes_two == nodes_one + 1

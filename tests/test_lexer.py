@@ -1,0 +1,118 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_atom_and_end(self):
+        assert kinds("foo.") == [(TokenType.ATOM, "foo"), (TokenType.END, ".")]
+
+    def test_variable(self):
+        assert kinds("Xyz _Q _")[0:3] == [
+            (TokenType.VAR, "Xyz"),
+            (TokenType.VAR, "_Q"),
+            (TokenType.VAR, "_"),
+        ]
+
+    def test_integers_and_floats(self):
+        assert kinds("42 3.14 2e3 1.5e-2") == [
+            (TokenType.INT, 42),
+            (TokenType.FLOAT, 3.14),
+            (TokenType.FLOAT, 2e3),
+            (TokenType.FLOAT, 1.5e-2),
+        ]
+
+    def test_radix_and_char_literals(self):
+        assert kinds("0xff 0o17 0b101 0'a 0'\\n") == [
+            (TokenType.INT, 255),
+            (TokenType.INT, 15),
+            (TokenType.INT, 5),
+            (TokenType.INT, ord("a")),
+            (TokenType.INT, ord("\n")),
+        ]
+
+    def test_symbolic_atoms_maximal_munch(self):
+        assert kinds(":- =.. \\+ @=<") == [
+            (TokenType.ATOM, ":-"),
+            (TokenType.ATOM, "=.."),
+            (TokenType.ATOM, "\\+"),
+            (TokenType.ATOM, "@=<"),
+        ]
+
+    def test_solo_characters(self):
+        assert kinds("; ! , |") == [
+            (TokenType.ATOM, ";"),
+            (TokenType.ATOM, "!"),
+            (TokenType.PUNCT, ","),
+            (TokenType.PUNCT, "|"),
+        ]
+
+
+class TestFunctorOpen:
+    def test_open_ct_after_atom(self):
+        tokens = tokenize("f(x)")
+        assert tokens[1].type == TokenType.OPEN_CT
+
+    def test_plain_open_after_space(self):
+        tokens = tokenize("f (x)")
+        assert tokens[1].type == TokenType.PUNCT
+
+    def test_open_ct_after_close_paren_hilog(self):
+        tokens = tokenize("f(a)(b)")
+        types = [t.type for t in tokens]
+        assert types.count(TokenType.OPEN_CT) == 2
+
+    def test_open_ct_after_variable(self):
+        tokens = tokenize("X(a)")
+        assert tokens[1].type == TokenType.OPEN_CT
+
+
+class TestQuoted:
+    def test_quoted_atom(self):
+        assert kinds("'hello world'") == [(TokenType.ATOM, "hello world")]
+
+    def test_doubled_quote(self):
+        assert kinds("'it''s'") == [(TokenType.ATOM, "it's")]
+
+    def test_escapes(self):
+        assert kinds(r"'a\nb\tc'") == [(TokenType.ATOM, "a\nb\tc")]
+
+    def test_string(self):
+        assert kinds('"ab"') == [(TokenType.STRING, "ab")]
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+
+class TestCommentsAndLayout:
+    def test_line_comment(self):
+        assert kinds("a. % comment\nb.")[0] == (TokenType.ATOM, "a")
+        assert len(kinds("a. % comment\nb.")) == 4
+
+    def test_block_comment(self):
+        assert kinds("a /* stuff\nmore */ b") == [
+            (TokenType.ATOM, "a"),
+            (TokenType.ATOM, "b"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* oops")
+
+    def test_end_requires_layout(self):
+        # '.' inside a symbolic atom is not a clause end
+        assert kinds("a.b")[0] == (TokenType.ATOM, "a")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a.\nfoo.")
+        assert tokens[2].line == 2
+        assert tokens[2].column == 1

@@ -1,0 +1,125 @@
+"""Tests for the bundled list/set library."""
+
+import pytest
+
+from repro import Engine
+
+
+@pytest.fixture(scope="module")
+def lib():
+    engine = Engine()
+    engine.load_library()
+    return engine
+
+
+class TestListBasics:
+    def test_member(self, lib):
+        assert [s["X"] for s in lib.query("member(X, [1,2,3])")] == [1, 2, 3]
+        assert not lib.has_solution("member(9, [1,2,3])")
+
+    def test_memberchk_deterministic(self, lib):
+        assert lib.count("memberchk(2, [2, 2, 2])") == 1
+
+    def test_append_forward(self, lib):
+        assert lib.query("append([1,2],[3],R)")[0]["R"] == [1, 2, 3]
+
+    def test_append_split(self, lib):
+        assert lib.count("append(X, Y, [a,b,c])") == 4
+
+    def test_reverse(self, lib):
+        assert lib.query("reverse([1,2,3], R)")[0]["R"] == [3, 2, 1]
+
+    def test_last(self, lib):
+        assert lib.query("last([a,b,c], X)") == [{"X": "c"}]
+
+    def test_nth0_nth1(self, lib):
+        assert lib.query("nth0(1, [a,b,c], X)")[0]["X"] == "b"
+        assert lib.query("nth1(1, [a,b,c], X)")[0]["X"] == "a"
+
+    def test_nth_enumerates(self, lib):
+        assert lib.count("nth0(_, [a,b,c], _)") == 3
+
+
+class TestArithmeticLists:
+    def test_sum_list(self, lib):
+        assert lib.query("sum_list([1,2,3,4], S)") == [{"S": 10}]
+        assert lib.query("sum_list([], S)") == [{"S": 0}]
+
+    def test_max_min(self, lib):
+        assert lib.query("max_list([3,1,4,1,5], M)") == [{"M": 5}]
+        assert lib.query("min_list([3,1,4], M)") == [{"M": 1}]
+
+    def test_numlist(self, lib):
+        assert lib.query("numlist(2, 5, L)")[0]["L"] == [2, 3, 4, 5]
+        assert lib.query("numlist(5, 2, L)")[0]["L"] == []
+
+
+class TestSelection:
+    def test_select(self, lib):
+        sols = lib.query("select(2, [1,2,3], R)")
+        assert sols[0]["R"] == [1, 3]
+
+    def test_delete(self, lib):
+        assert lib.query("delete([1,2,1,3], 1, R)")[0]["R"] == [2, 3]
+
+    def test_permutation_count(self, lib):
+        assert lib.count("permutation([1,2,3], _)") == 6
+
+    def test_permutation_check(self, lib):
+        assert lib.has_solution("permutation([1,2,3], [3,1,2])")
+        assert not lib.has_solution("permutation([1,2], [1,2,3])")
+
+
+class TestSets:
+    def test_subtract(self, lib):
+        assert lib.query("subtract([1,2,3,4], [2,4], R)")[0]["R"] == [1, 3]
+
+    def test_intersection(self, lib):
+        assert lib.query("intersection([1,2,3], [2,3,4], R)")[0]["R"] == [2, 3]
+
+    def test_union(self, lib):
+        assert lib.query("union([1,2], [2,3], R)")[0]["R"] == [1, 2, 3]
+
+    def test_list_to_set(self, lib):
+        assert lib.query("list_to_set([a,b,a,c,b], R)")[0]["R"] == [
+            "a",
+            "b",
+            "c",
+        ]
+
+    def test_subset_list(self, lib):
+        assert lib.has_solution("subset_list([2,3], [1,2,3])")
+        assert not lib.has_solution("subset_list([2,9], [1,2,3])")
+
+
+class TestHigherOrder:
+    def test_maplist_check(self, lib):
+        lib.consult_string("even_(X) :- 0 is X mod 2.")
+        assert lib.has_solution("maplist_1(even_, [2,4,6])")
+        assert not lib.has_solution("maplist_1(even_, [2,3])")
+
+    def test_maplist_transform(self, lib):
+        lib.consult_string("double_(X, Y) :- Y is X * 2.")
+        assert lib.query("maplist_2(double_, [1,2,3], R)")[0]["R"] == [2, 4, 6]
+
+    def test_foldl(self, lib):
+        lib.consult_string("add_(X, A0, A) :- A is A0 + X.")
+        assert lib.query("foldl_(add_, [1,2,3], 0, S)")[0]["S"] == 6
+
+    def test_pairs(self, lib):
+        sols = lib.query("pairs_keys_values([a-1, b-2], Ks, Vs)")
+        assert sols[0]["Ks"] == ["a", "b"]
+        assert sols[0]["Vs"] == [1, 2]
+
+    def test_library_with_tabling(self, lib):
+        """Library predicates compose with tabled code."""
+        lib.consult_string(
+            """
+            :- table tc/2.
+            tc(X,Y) :- arc(X,Y).
+            tc(X,Y) :- tc(X,Z), arc(Z,Y).
+            arc(a,b). arc(b,c).
+            """
+        )
+        sols = lib.query("findall(Y, tc(a, Y), L), subset_list([b,c], L)")
+        assert sols

@@ -1,0 +1,234 @@
+"""Edge cases and failure injection for the machine and the engine."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import (
+    EvaluationError,
+    ExistenceError,
+    InstantiationError,
+    NonStratifiedError,
+    TablingError,
+    TypeError_,
+)
+
+
+class TestErrorRecovery:
+    """Errors must leave the engine in a clean, reusable state."""
+
+    def test_engine_usable_after_existence_error(self, engine):
+        engine.consult_string("p(1).")
+        with pytest.raises(ExistenceError):
+            engine.query("p(X), ghost(X)")
+        assert len(engine.trail) == 0
+        assert engine.query("p(X)") == [{"X": 1}]
+
+    def test_engine_usable_after_arithmetic_error(self, engine):
+        engine.consult_string("p(1). p(0).")
+        with pytest.raises(EvaluationError):
+            engine.query("p(X), Y is 1 // X")  # fails on X = 0
+        assert len(engine.trail) == 0
+        assert engine.count("p(_)") == 2
+
+    def test_tables_clean_after_error_mid_tabling(self, engine):
+        engine.consult_string(
+            """
+            :- table t/1.
+            t(X) :- n(X), check(X).
+            check(X) :- X > 0.
+            check(oops) :- boom.
+            n(1). n(oops).
+            """
+        )
+        with pytest.raises((TypeError_, ExistenceError)):
+            engine.query("t(X)")
+        # the incomplete table was reclaimed; retrying raises again
+        # rather than returning a half-computed table
+        with pytest.raises((TypeError_, ExistenceError)):
+            engine.query("t(X)")
+        stats = engine.table_statistics()
+        assert stats["completed"] == stats["subgoals"]
+
+    def test_nonstratified_error_cleanup(self, engine):
+        engine.consult_string(":- table s/0. s :- tnot(s).")
+        for _ in range(2):
+            with pytest.raises(NonStratifiedError):
+                engine.query("s")
+        assert len(engine.trail) == 0
+
+
+class TestCutEdgeCases:
+    def test_cut_inside_if_then_else_condition_is_local(self, engine):
+        engine.consult_string("n(1). n(2).")
+        # cut inside the condition does not kill the else branch
+        sols = engine.query("(n(X), X > 1, ! -> R = big ; R = small)")
+        assert sols == [{"X": 2, "R": "big"}]
+
+    def test_cut_in_disjunction_cuts_clause(self, engine):
+        engine.consult_string(
+            "n(1). n(2). d(X) :- (n(X), ! ; n(X))."
+        )
+        assert engine.query("d(X)") == [{"X": 1}]
+
+    def test_double_cut(self, engine):
+        engine.consult_string("n(1). n(2). f(X) :- n(X), !, !.")
+        assert engine.query("f(X)") == [{"X": 1}]
+
+    def test_cut_then_fail(self, engine):
+        engine.consult_string("n(1). n(2). g :- n(2), !, fail. g.")
+        assert not engine.has_solution("g")
+
+    def test_tcut_noop_when_table_shared(self, engine):
+        engine.consult_string(
+            """
+            :- table t/1.
+            t(X) :- t(X).
+            t(1). t(2).
+            use(X) :- t(X), tcut.
+            """
+        )
+        # t/1 consumes itself (a suspended consumer exists): tcut must
+        # be a no-op, so both answers survive and the table completes
+        answers = sorted(s["X"] for s in engine.query("use(X)"))
+        assert answers == [1, 2]
+
+
+class TestNegationEdgeCases:
+    def test_deep_tnot_nesting(self, engine):
+        # a chain win game nests subordinate runs ~depth deep
+        engine.consult_string(
+            ":- table win/1. win(X) :- move(X,Y), tnot(win(Y))."
+        )
+        depth = 60
+        for i in range(depth):
+            engine.add_fact("move", i, i + 1)
+        # terminal position `depth` loses; win(i) iff (depth - i) is odd
+        assert engine.has_solution(f"win({depth - 1})")
+        assert not engine.has_solution(f"win({depth - 2})")
+        assert engine.has_solution("win(1)") == ((depth - 1) % 2 == 1)
+
+    def test_tnot_completed_table_reused(self, engine):
+        engine.consult_string(
+            """
+            :- table q/1.
+            q(1).
+            p(X) :- n(X), tnot(q(X)).
+            n(1). n(2).
+            """
+        )
+        assert [s["X"] for s in engine.query("p(X)")] == [2]
+        created = engine.tables.subgoals_created
+        assert [s["X"] for s in engine.query("p(X)")] == [2]
+        # both q(1) and q(2) tables were reused, not recreated
+        assert engine.tables.subgoals_created == created
+
+    def test_e_tnot_after_complete_table(self, engine):
+        engine.consult_string(":- table q/1. q(1).")
+        engine.query("q(X)")  # completes q(X); q(1)/q(2) still fresh
+        assert not engine.has_solution("e_tnot(q(1))")
+        assert engine.has_solution("e_tnot(q(2))")
+
+    def test_naf_inside_findall(self, engine):
+        engine.consult_string("p(1). p(2). q(1).")
+        sols = engine.once("findall(X, (p(X), \\+ q(X)), L)")
+        assert sols["L"] == [2]
+
+    def test_double_negation(self, engine):
+        engine.consult_string(":- table q/1. q(1).")
+        # tnot is not idempotent syntax; use nested predicates
+        engine.consult_string(
+            ":- table notq/1. notq(X) :- val(X), tnot(q(X)).\n"
+            "val(1). val(2).\n"
+            ":- table nn/1. nn(X) :- val(X), tnot(notq(X))."
+        )
+        assert [s["X"] for s in engine.query("nn(X)")] == [1]
+
+
+class TestVariantSubtleties:
+    def test_repeated_variables_distinct_tables(self, engine):
+        engine.consult_string(":- table r/2. r(X, Y). r(X, X).")
+        engine.query("r(A, B)")
+        engine.query("r(A, A)")
+        assert engine.table_statistics()["subgoals"] == 2
+        # r(A,A) has both clauses matching; 1 distinct answer variant
+        assert engine.count("r(A, A)") == 1
+
+    def test_nonground_answers(self, engine):
+        engine.consult_string(":- table g/2. g(X, f(X)). g(a, b).")
+        sols = engine.query("g(A, B)", raw=True)
+        assert len(sols) == 2
+
+    def test_answer_variant_dedup_not_instance_dedup(self, engine):
+        # f(X) and f(a) are different answers (not variants)
+        engine.consult_string(":- table h/1. h(f(X)). h(f(a)).")
+        assert engine.count("h(Z)") == 2
+
+
+class TestDeepAndWide:
+    def test_long_chain_tabled(self, engine):
+        engine.consult_string(
+            ":- table p/2. p(X,Y) :- e(X,Y). p(X,Y) :- p(X,Z), e(Z,Y)."
+        )
+        n = 2000
+        for i in range(1, n):
+            engine.add_fact("e", i, i + 1)
+        assert engine.count("p(1, X)") == n - 1
+
+    def test_wide_disjunction(self, engine):
+        body = " ; ".join(f"X = {i}" for i in range(50))
+        engine.consult_string(f"w(X) :- ({body}).")
+        assert engine.count("w(X)") == 50
+
+    def test_many_solutions_streamed(self, engine):
+        engine.add_facts("n", [(i,) for i in range(500)])
+        count = 0
+        for _ in engine.query_iter("n(_)"):
+            count += 1
+        assert count == 500
+
+    def test_conjunction_depth(self, engine):
+        engine.consult_string("t(1).")
+        goal = ", ".join(["t(1)"] * 200)
+        assert engine.has_solution(goal)
+
+
+class TestDynamicUpdatesDuringQueries:
+    def test_assert_during_enumeration_snapshot(self, engine):
+        engine.consult_string(":- dynamic n/1.")
+        engine.add_facts("n", [(1,), (2,)])
+        seen = []
+        for solution in engine.query_iter("n(X)"):
+            seen.append(solution["X"])
+            if len(seen) == 1:
+                engine.query("assert(n(99))")
+        # the running enumeration used its candidate snapshot
+        assert seen[:2] == [1, 2]
+        assert engine.count("n(99)") == 1
+
+    def test_retract_does_not_break_running_query(self, engine):
+        engine.consult_string(":- dynamic n/1.")
+        engine.add_facts("n", [(1,), (2,), (3,)])
+        seen = []
+        for solution in engine.query_iter("n(X)"):
+            seen.append(solution["X"])
+            if len(seen) == 1:
+                engine.query("retract(n(3))")
+        assert 1 in seen and 2 in seen
+
+
+class TestInstantiationChecks:
+    def test_call_unbound(self, engine):
+        with pytest.raises(InstantiationError):
+            engine.query("call(G)")
+
+    def test_is_unbound_rhs(self, engine):
+        with pytest.raises(InstantiationError):
+            engine.query("X is Y")
+
+    def test_retract_unbound(self, engine):
+        with pytest.raises(InstantiationError):
+            engine.query("retract(X)")
+
+    def test_number_goal_rejected(self, engine):
+        with pytest.raises(TypeError_):
+            engine.run_goal(42)

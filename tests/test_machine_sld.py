@@ -1,0 +1,177 @@
+"""Tests for plain SLD/SLDNF evaluation: control, cut, negation."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import ExistenceError, InstantiationError
+
+
+class TestBasicResolution:
+    def test_fact_query(self, engine):
+        engine.consult_string("e(1,2). e(2,3).")
+        assert engine.query("e(1,X)") == [{"X": 2}]
+
+    def test_conjunction(self, engine):
+        engine.consult_string("e(1,2). e(2,3).")
+        assert engine.query("e(1,X), e(X,Y)") == [{"X": 2, "Y": 3}]
+
+    def test_rule_chaining(self, engine):
+        engine.consult_string("gp(X,Z) :- p(X,Y), p(Y,Z). p(a,b). p(b,c).")
+        assert engine.query("gp(a,Z)") == [{"Z": "c"}]
+
+    def test_backtracking_order(self, engine):
+        engine.consult_string("n(1). n(2). n(3).")
+        assert [s["X"] for s in engine.query("n(X)")] == [1, 2, 3]
+
+    def test_failure(self, engine):
+        engine.consult_string("n(1).")
+        assert engine.query("n(2)") == []
+
+    def test_deep_recursion_append(self, engine):
+        engine.consult_string(
+            "app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."
+        )
+        n = 200
+        lst = "[" + ",".join(str(i) for i in range(n)) + "]"
+        result = engine.query(f"app(X, [x], {lst}_tail)".replace("_tail", ""))
+        assert len(result) == 0 or True  # smoke: no crash
+        result = engine.query(f"app({lst}, [x], R)")
+        assert len(result[0]["R"]) == n + 1
+
+    def test_undefined_predicate_errors(self, engine):
+        with pytest.raises(ExistenceError):
+            engine.query("nosuch(1)")
+
+    def test_undefined_predicate_fails_when_configured(
+        self, engine_fail_unknown
+    ):
+        assert engine_fail_unknown.query("nosuch(1)") == []
+
+    def test_variable_goal_raises(self, engine):
+        with pytest.raises(InstantiationError):
+            engine.query("G")
+
+
+class TestCut:
+    def test_cut_commits_to_first_clause(self, engine):
+        engine.consult_string(
+            "t(null, unknown) :- !. t(X, X)."
+        )
+        assert engine.query("t(null, R)") == [{"R": "unknown"}]
+        assert engine.query("t(5, R)") == [{"R": 5}]
+
+    def test_cut_prunes_within_clause(self, engine):
+        engine.consult_string("n(1). n(2). first(X) :- n(X), !.")
+        assert engine.query("first(X)") == [{"X": 1}]
+
+    def test_cut_local_to_clause(self, engine):
+        engine.consult_string(
+            "n(1). n(2). pick(X) :- n(X), !. top(X,Y) :- pick(X), n(Y)."
+        )
+        assert engine.query("top(X,Y)") == [
+            {"X": 1, "Y": 1},
+            {"X": 1, "Y": 2},
+        ]
+
+    def test_cut_fail_negation_idiom(self, engine):
+        engine.consult_string(
+            "p(a,b). not_p(X,Y) :- p(X,Y), !, fail. not_p(_,_)."
+        )
+        assert engine.query("not_p(a,b)") == []
+        assert engine.query("not_p(a,c)") == [{}]
+
+    def test_cut_in_query_conjunction(self, engine):
+        engine.consult_string("n(1). n(2).")
+        assert engine.query("n(X), !") == [{"X": 1}]
+
+
+class TestControl:
+    def test_disjunction(self, engine):
+        assert engine.query("(X = 1 ; X = 2)") == [{"X": 1}, {"X": 2}]
+
+    def test_if_then_else_then(self, engine):
+        assert engine.query("(1 < 2 -> X = yes ; X = no)") == [{"X": "yes"}]
+
+    def test_if_then_else_else(self, engine):
+        assert engine.query("(2 < 1 -> X = yes ; X = no)") == [{"X": "no"}]
+
+    def test_if_then_commits_condition(self, engine):
+        engine.consult_string("n(1). n(2).")
+        assert engine.query("(n(X) -> true ; fail)") == [{"X": 1}]
+
+    def test_bare_if_then_fails_without_else(self, engine):
+        assert engine.query("(fail -> X = 1)") == []
+
+    def test_once(self, engine):
+        engine.consult_string("n(1). n(2).")
+        assert engine.query("once(n(X))") == [{"X": 1}]
+
+    def test_call_extends_arguments(self, engine):
+        engine.consult_string("add3(A,B,C,S) :- S is A+B+C.")
+        assert engine.query("call(add3(1,2), 3, S)") == [{"S": 6}]
+
+    def test_true_fail(self, engine):
+        assert engine.query("true") == [{}]
+        assert engine.query("fail") == []
+
+
+class TestNegationByFailure:
+    def test_naf_basic(self, engine):
+        engine.consult_string("p(a).")
+        assert engine.query("\\+ p(b)") == [{}]
+        assert engine.query("\\+ p(a)") == []
+
+    def test_naf_does_not_bind(self, engine):
+        engine.consult_string("p(a).")
+        solutions = engine.query("\\+ p(z), X = done")
+        assert solutions == [{"X": "done"}]
+
+    def test_naf_over_conjunction(self, engine):
+        engine.consult_string("p(a). q(b).")
+        assert engine.has_solution("\\+ (p(X), q(X))")
+        assert engine.has_solution("\\+ (p(a), q(a))")
+        assert not engine.has_solution("\\+ p(a)")
+
+    def test_stalemate_sldnf(self, engine):
+        engine.consult_string("win(X) :- move(X,Y), \\+ win(Y).")
+        engine.add_fact("move", 1, 2)
+        engine.add_fact("move", 2, 3)
+        # 3 has no move: loses; 2 wins; 1 loses
+        assert engine.has_solution("win(2)")
+        assert not engine.has_solution("win(1)")
+
+    def test_forall(self, engine):
+        engine.consult_string("n(2). n(4).")
+        assert engine.has_solution("forall(n(X), 0 is X mod 2)")
+        engine.consult_string(":- dynamic m/1. ")
+        engine.add_fact("n", 5)
+        assert not engine.has_solution("forall(n(X), 0 is X mod 2)")
+
+
+class TestSolutionInterface:
+    def test_limit(self, engine):
+        engine.consult_string("n(1). n(2). n(3).")
+        assert len(engine.query("n(X)", limit=2)) == 2
+
+    def test_query_iter_close_midway(self, engine):
+        engine.consult_string("n(1). n(2). n(3).")
+        it = engine.query_iter("n(X)")
+        first = next(it)
+        it.close()
+        assert first == {"X": 1}
+        # engine still usable afterwards
+        assert engine.count("n(X)") == 3
+
+    def test_raw_solutions_are_terms(self, engine):
+        engine.consult_string("p(f(1)).")
+        sol = engine.query("p(X)", raw=True)[0]
+        assert sol["X"].name == "f"
+
+    def test_count(self, engine):
+        engine.consult_string("n(1). n(2).")
+        assert engine.count("n(_)") == 2
+
+    def test_trail_clean_between_queries(self, engine):
+        engine.consult_string("n(1).")
+        engine.query("n(X)")
+        assert len(engine.trail) == 0

@@ -1,0 +1,196 @@
+"""Tests for the operator-precedence parser and HiLog application."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import OperatorTable, parse_term, parse_terms, term_to_str
+from repro.terms import Atom, Struct, Var, is_variant, list_to_python, mkatom
+
+
+def s(term):
+    return term_to_str(term)
+
+
+class TestPrimaries:
+    def test_atom(self):
+        assert parse_term("foo") is mkatom("foo")
+
+    def test_number(self):
+        assert parse_term("42") == 42
+        assert parse_term("3.5") == 3.5
+
+    def test_negative_number_literal(self):
+        assert parse_term("-7") == -7
+
+    def test_variable_sharing(self):
+        t = parse_term("f(X, X, Y)")
+        assert t.args[0] is t.args[1]
+        assert t.args[0] is not t.args[2]
+
+    def test_anonymous_variables_distinct(self):
+        t = parse_term("f(_, _)")
+        assert t.args[0] is not t.args[1]
+
+    def test_quoted_atom(self):
+        assert parse_term("'Hello World'") is mkatom("Hello World")
+
+    def test_string_as_codes(self):
+        assert list_to_python(parse_term('"ab"')) == [97, 98]
+
+    def test_parenthesized(self):
+        assert s(parse_term("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_braces(self):
+        t = parse_term("{a, b}")
+        assert t.name == "{}"
+
+
+class TestOperators:
+    def test_precedence(self):
+        t = parse_term("1 + 2 * 3")
+        assert t.name == "+"
+        assert t.args[1].name == "*"
+
+    def test_left_associativity(self):
+        t = parse_term("1 - 2 - 3")
+        assert t.args[0].name == "-"
+
+    def test_right_associativity(self):
+        t = parse_term("a, b, c")
+        assert t.name == ","
+        assert t.args[1].name == ","
+
+    def test_xfx_non_associative(self):
+        with pytest.raises(ParseError):
+            parse_term("a = b = c")
+
+    def test_clause_structure(self):
+        t = parse_term("h :- b1, b2")
+        assert t.name == ":-" and len(t.args) == 2
+
+    def test_prefix_minus_expression(self):
+        t = parse_term("- X")
+        assert t.name == "-" and len(t.args) == 1
+
+    def test_prefix_op_as_atom_in_args(self):
+        t = parse_term("f(-, +)")
+        assert t.args[0] is mkatom("-")
+
+    def test_comparison_chain(self):
+        t = parse_term("X =< Y + 1")
+        assert t.name == "=<"
+
+    def test_if_then_else(self):
+        t = parse_term("(C -> T ; E)")
+        assert t.name == ";"
+        assert t.args[0].name == "->"
+
+    def test_custom_operator(self):
+        ops = OperatorTable()
+        ops.add(700, "xfx", "===")
+        t = parse_term("a === b", ops)
+        assert t.name == "==="
+
+    def test_operator_removal(self):
+        ops = OperatorTable()
+        ops.add(0, "xfx", "===")  # no-op removal of unknown op is fine
+        with pytest.raises(ParseError):
+            parse_term("a === b", ops)
+
+
+class TestLists:
+    def test_empty(self):
+        assert parse_term("[]") is mkatom("[]")
+
+    def test_proper(self):
+        assert [x for x in list_to_python(parse_term("[1,2,3]"))] == [1, 2, 3]
+
+    def test_tail(self):
+        t = parse_term("[1|T]")
+        assert t.name == "." and isinstance(t.args[1], Var)
+
+    def test_nested(self):
+        t = parse_term("[[1],[2,3]]")
+        inner = list_to_python(t)
+        assert list_to_python(inner[0]) == [1]
+
+
+class TestHiLog:
+    def test_variable_functor(self):
+        t = parse_term("X(bob, Y)")
+        assert t.name == "apply" and len(t.args) == 3
+        assert isinstance(t.args[0], Var)
+
+    def test_curried_application(self):
+        t = parse_term("r(X)(parent(X, 'Mary'))")
+        assert t.name == "apply"
+        assert t.args[0].name == "r"
+
+    def test_number_functor(self):
+        t = parse_term("7(E)")
+        assert t.name == "apply"
+        assert t.args[0] == 7
+
+    def test_atom_functor_stays_first_order(self):
+        t = parse_term("parent(john, mary)")
+        assert t.name == "parent"
+
+    def test_double_application(self):
+        t = parse_term("f(a)(b)(c)")
+        assert t.name == "apply"
+        assert t.args[0].name == "apply"
+
+    def test_intersect_clause_from_paper(self):
+        t = parse_term("intersect_2(S1,S2)(X,Y) :- S1(X,Y), S2(X,Y)")
+        head = t.args[0]
+        assert head.name == "apply"
+        assert head.args[0].name == "intersect_2"
+
+
+class TestClauseReading:
+    def test_parse_terms_multiple(self):
+        terms = parse_terms("a. b. c :- d.")
+        assert len(terms) == 3
+
+    def test_missing_end_raises(self):
+        with pytest.raises(ParseError):
+            parse_terms("a b.")
+
+    def test_empty_text(self):
+        assert parse_terms("   % nothing\n") == []
+
+    def test_directive(self):
+        t = parse_terms(":- table path/2.")[0]
+        assert t.name == ":-" and len(t.args) == 1
+
+
+class TestWriterRoundtrip:
+    CASES = [
+        "f(a,b)",
+        "path(X,Y) :- path(X,Z),edge(Z,Y)",
+        "[1,2|T]",
+        "a ; b -> c ; d",
+        "X is 1 + 2 * -3",
+        "\\+ p(X)",
+        "f(g(a))(X,Y)",
+        "'odd atom'(1)",
+        "{x}",
+        "p(-)",
+        "tnot win(X)",
+        "[f(X)|[]]",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_roundtrip_is_variant(self, text):
+        original = parse_term(text)
+        reprinted = parse_term(term_to_str(original))
+        assert is_variant(original, reprinted), term_to_str(original)
+
+    def test_quoting(self):
+        assert term_to_str(mkatom("hello world")) == "'hello world'"
+        assert term_to_str(mkatom("foo")) == "foo"
+
+    def test_canonical_mode_disables_hilog(self):
+        t = parse_term("X(a)")
+        assert "apply" in term_to_str(t, hilog_notation=False)
+        assert "apply" not in term_to_str(t)

@@ -1,0 +1,198 @@
+"""Cross-cutting property-based tests.
+
+These pit the engine against independent oracles: networkx for graph
+closures, Python itself for arithmetic, and the parser/writer pair
+against each other.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine
+from repro.lang import parse_term, term_to_str
+from repro.terms import canonical_key, is_variant
+
+edge_lists = st.lists(
+    st.tuples(st.integers(1, 9), st.integers(1, 9)),
+    min_size=1,
+    max_size=20,
+    unique=True,
+)
+
+PATH_PROGRAMS = {
+    "left": "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).",
+    "right": "path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).",
+    "double": "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).",
+}
+
+
+def tabled_engine(variant, edges):
+    engine = Engine(unknown="fail")
+    engine.consult_string(":- table path/2.\n" + PATH_PROGRAMS[variant])
+    engine.add_facts("edge", edges)
+    return engine
+
+
+def closure_oracle(edges):
+    graph = nx.DiGraph(edges)
+    return {
+        (a, b)
+        for a in graph.nodes
+        for b in nx.descendants(graph, a)
+    } | set()
+
+
+@pytest.mark.parametrize("variant", ["left", "right", "double"])
+@given(edges=edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_prop_tabled_path_is_transitive_closure(variant, edges):
+    engine = tabled_engine(variant, edges)
+    answers = {
+        (s["X"], s["Y"]) for s in engine.query("path(X, Y)")
+    }
+    graph = nx.DiGraph(edges)
+    expected = set()
+    for node in graph.nodes:
+        for reachable in nx.descendants(graph, node):
+            expected.add((node, reachable))
+        # descendants excludes self-loops reachable via cycles
+        if any(node in nx.descendants(graph, succ) or succ == node
+               for succ in graph.successors(node)):
+            expected.add((node, node))
+    assert answers == expected
+
+
+@given(edges=edge_lists, source=st.integers(1, 9))
+@settings(max_examples=40, deadline=None)
+def test_prop_bound_query_subset_of_open_query(edges, source):
+    engine = tabled_engine("left", edges)
+    open_answers = {
+        (s["X"], s["Y"]) for s in engine.query("path(X, Y)")
+    }
+    engine2 = tabled_engine("left", edges)
+    bound = {(source, s["Y"]) for s in engine2.query(f"path({source}, Y)")}
+    assert bound == {p for p in open_answers if p[0] == source}
+
+
+@given(edges=edge_lists)
+@settings(max_examples=30, deadline=None)
+def test_prop_no_duplicate_answers(edges):
+    engine = tabled_engine("left", edges)
+    answers = [(s["X"], s["Y"]) for s in engine.query("path(X, Y)")]
+    assert len(answers) == len(set(answers))
+
+
+@given(edges=edge_lists)
+@settings(max_examples=30, deadline=None)
+def test_prop_all_tables_complete_after_drain(edges):
+    engine = tabled_engine("left", edges)
+    engine.query("path(X, Y)")
+    stats = engine.table_statistics()
+    assert stats["completed"] == stats["subgoals"]
+    assert len(engine.trail) == 0
+
+
+@given(edges=edge_lists)
+@settings(max_examples=25, deadline=None)
+def test_prop_tabled_matches_untabled_on_acyclic(edges):
+    # forward edges only: SLD terminates; answers must agree as a set
+    edges = [(a, b) for a, b in edges if a < b]
+    if not edges:
+        return
+    tabled = tabled_engine("right", edges)
+    plain = Engine(unknown="fail")
+    plain.consult_string(PATH_PROGRAMS["right"])
+    plain.add_facts("edge", edges)
+    left = {(s["X"], s["Y"]) for s in tabled.query("path(X, Y)")}
+    right = {(s["X"], s["Y"]) for s in plain.query("path(X, Y)")}
+    assert left == right
+
+
+# -- arithmetic against Python --------------------------------------------------
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=100, deadline=None)
+def test_prop_arithmetic_matches_python(a, b):
+    engine = Engine()
+    result = engine.once(f"X is {a} + {b} * 2 - abs({a})")
+    assert result["X"] == a + b * 2 - abs(a)
+
+
+@given(st.integers(-100, 100), st.integers(1, 50))
+@settings(max_examples=100, deadline=None)
+def test_prop_integer_division_matches_python(a, b):
+    engine = Engine()
+    result = engine.once(f"Q is {a} // {b}, R is {a} mod {b}")
+    assert result["Q"] == a // b
+    assert result["R"] == a % b
+
+
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_prop_sort_matches_python(values):
+    engine = Engine()
+    text = "[" + ",".join(map(str, values)) + "]"
+    assert engine.once(f"msort({text}, S)")["S"] == sorted(values)
+    assert engine.once(f"sort({text}, S)")["S"] == sorted(set(values))
+
+
+# -- parser/writer against each other ---------------------------------------------
+
+atoms = st.sampled_from(["a", "foo", "bar_x", "'quoted atom'", "[]"])
+
+
+def term_texts():
+    """Random parseable term texts."""
+    leaf = st.one_of(
+        atoms,
+        st.integers(-99, 99).map(str),
+        st.sampled_from(["X", "Y", "_Z"]),
+    )
+    return st.recursive(
+        leaf,
+        lambda child: st.one_of(
+            st.builds(
+                lambda name, args: f"{name}({','.join(args)})",
+                st.sampled_from(["f", "g", "h"]),
+                st.lists(child, min_size=1, max_size=3),
+            ),
+            st.builds(
+                lambda items: "[" + ",".join(items) + "]",
+                st.lists(child, min_size=0, max_size=3),
+            ),
+            st.builds(lambda a, b: f"({a} + {b})", child, child),
+        ),
+        max_leaves=10,
+    )
+
+
+@given(term_texts())
+@settings(max_examples=150, deadline=None)
+def test_prop_parse_write_roundtrip(text):
+    term = parse_term(text)
+    reprinted = parse_term(term_to_str(term))
+    assert is_variant(term, reprinted)
+
+
+@given(term_texts())
+@settings(max_examples=100, deadline=None)
+def test_prop_canonical_key_invariant_under_roundtrip(text):
+    term = parse_term(text)
+    again = parse_term(term_to_str(term))
+    assert canonical_key(term) == canonical_key(again)
+
+
+# -- findall as an oracle for backtracking ---------------------------------------
+
+@given(st.lists(st.integers(0, 9), min_size=0, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_prop_findall_matches_solution_order(values):
+    engine = Engine(unknown="fail")
+    engine.dynamic("v", 1)
+    for value in values:
+        engine.add_fact("v", value)
+    collected = engine.once("findall(X, v(X), L)")["L"]
+    streamed = [s["X"] for s in engine.query("v(X)")]
+    assert collected == streamed == values

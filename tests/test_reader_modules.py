@@ -1,0 +1,167 @@
+"""Tests for directives, the module system, and table_all."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import ModuleError, ParseError
+from repro.lang import parse_term
+from repro.modules.table_all import build_call_graph, select_tabled
+
+
+class TestDirectives:
+    def test_table_directive(self, engine):
+        engine.consult_string(":- table p/2. p(1,2).")
+        assert engine.predicate("p", 2).tabled
+
+    def test_table_list_directive(self, engine):
+        engine.consult_string(":- table p/1, q/2.\np(1). q(1,2).")
+        assert engine.predicate("p", 1).tabled
+        assert engine.predicate("q", 2).tabled
+
+    def test_dynamic_directive(self, engine):
+        engine.consult_string(":- dynamic d/1.")
+        assert engine.predicate("d", 1).dynamic
+
+    def test_index_directive_multifield(self, engine):
+        engine.consult_string(
+            ":- index(p/5, [1, 2, 3+5]).\n"
+            "p(a,b,c,d,e). p(b,b,c,d,e)."
+        )
+        pred = engine.predicate("p", 5)
+        specs = [repr(ix.spec) for ix in pred.index_plan.indexes]
+        assert specs == ["1", "2", "3+5"]
+
+    def test_index_directive_single_field(self, engine):
+        engine.consult_string(":- index(q/3, 2). q(a,b,c).")
+        pred = engine.predicate("q", 3)
+        assert [repr(ix.spec) for ix in pred.index_plan.indexes] == ["2"]
+
+    def test_index_directive_with_hash_size(self, engine):
+        engine.consult_string(":- index(r/2, [1], 4096). r(a,b).")
+        pred = engine.predicate("r", 2)
+        assert pred.index_plan.indexes[0].bucket_count == 4096
+
+    def test_index_trie_directive(self, engine):
+        engine.consult_string(":- index(s/2, trie). s(g(a), f(b)).")
+        assert engine.predicate("s", 2).index_kind == "trie"
+
+    def test_op_directive(self, engine):
+        engine.consult_string(":- op(700, xfx, ===).\nrule(X) :- X === X.")
+        assert engine.operators.infix("===") is not None
+
+    def test_load_time_goal(self, engine):
+        engine.consult_string(":- dynamic seen/1.\n:- assert(seen(yes)).")
+        assert engine.has_solution("seen(yes)")
+
+    def test_bad_indicator_raises(self, engine):
+        with pytest.raises(ParseError):
+            engine.consult_string(":- table foo.")
+
+    def test_query_form_runs(self, engine):
+        engine.consult_string(":- dynamic q/1.\n?- assert(q(1)).")
+        assert engine.has_solution("q(1)")
+
+
+class TestTableAll:
+    def test_self_loop_detected(self):
+        clauses = [parse_term("p(X) :- p(X)")]
+        assert select_tabled(clauses) == [("p", 1)]
+
+    def test_mutual_loop_detected(self):
+        clauses = [
+            parse_term("a(X) :- b(X)"),
+            parse_term("b(X) :- a(X)"),
+        ]
+        assert select_tabled(clauses) == [("a", 1), ("b", 1)]
+
+    def test_nonrecursive_not_tabled(self):
+        clauses = [
+            parse_term("top(X) :- mid(X)"),
+            parse_term("mid(X) :- base(X)"),
+            parse_term("base(1)"),
+        ]
+        assert select_tabled(clauses) == []
+
+    def test_loop_through_control_constructs(self):
+        clauses = [parse_term("p(X) :- q(X), (r(X) ; p(X))")]
+        assert ("p", 1) in select_tabled(clauses)
+
+    def test_loop_through_negation_counts(self):
+        clauses = [parse_term("w(X) :- m(X,Y), tnot(w(Y))")]
+        assert ("w", 1) in select_tabled(clauses)
+
+    def test_call_graph_edges(self):
+        graph = build_call_graph([parse_term("a :- b, c")])
+        assert graph[("a", 0)] == {("b", 0), ("c", 0)}
+
+    def test_table_all_directive_end_to_end(self, engine):
+        engine.consult_string(
+            """
+            :- table_all.
+            path(X,Y) :- edge(X,Y).
+            path(X,Y) :- path(X,Z), edge(Z,Y).
+            edge(1,2). edge(2,1).
+            """
+        )
+        assert engine.predicate("path", 2).tabled
+        assert not engine.predicate("edge", 2).tabled
+        # and the left recursion over a cycle terminates
+        assert sorted(s["X"] for s in engine.query("path(1,X)")) == [1, 2]
+
+
+class TestModules:
+    def test_local_symbols_hidden(self, engine):
+        engine.consult_string(
+            """
+            :- module(m1).
+            :- export pub/1.
+            :- local helper/1.
+            pub(X) :- helper(X).
+            helper(42).
+            """
+        )
+        assert engine.query("pub(X)") == [{"X": 42}]
+        # helper/1 is not visible under its source name
+        assert engine.predicate("helper", 1) is None
+        assert engine.predicate("m1$helper", 1) is not None
+
+    def test_local_constants_renamed_term_based(self, engine):
+        # term-based scoping: a local *constant* is hidden too
+        engine.consult_string(
+            """
+            :- module(m2).
+            :- export get/1.
+            :- local secret/0.
+            get(secret).
+            """
+        )
+        value = engine.query("get(X)")[0]["X"]
+        assert value == "m2$secret"
+
+    def test_export_conflicts_with_local(self, engine):
+        with pytest.raises(ModuleError):
+            engine.consult_string(
+                ":- module(m3).\n:- local f/1.\n:- export f/1.\n"
+            )
+
+    def test_import_validated_against_exports(self, engine):
+        engine.consult_string(
+            ":- module(m4).\n:- export good/1.\ngood(1).\n"
+        )
+        engine.consult_string(
+            ":- module(m5).\n:- import good/1 from m4.\nuse(X) :- good(X).\n"
+        )
+        assert engine.query("use(X)") == [{"X": 1}]
+        with pytest.raises(ModuleError):
+            engine.consult_string(
+                ":- module(m6).\n:- import missing/1 from m4.\n"
+            )
+
+    def test_default_module_no_renaming(self, engine):
+        engine.consult_string("plain(1).")
+        assert engine.predicate("plain", 1) is not None
+
+    def test_module_scope_ends_with_consult_unit(self, engine):
+        engine.consult_string(":- module(m7).\n:- local l/0.\n")
+        engine.consult_string("l.")  # new unit: back in usermod
+        assert engine.predicate("l", 0) is not None

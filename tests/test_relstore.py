@@ -1,0 +1,290 @@
+"""Tests for the relational store: pages, buffer, locks, WAL, executor."""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError, TransactionError
+from repro.relstore import BufferPool, HeapFile, LockManager, LockMode, Page, RelStore
+from repro.relstore.btree import BPlusTree
+from repro.relstore.plans import Filter, Project, SeqScan, evaluate_expr
+from repro.relstore.rowcodec import decode_row, encode_row
+from repro.relstore.wire import decode_rows, encode_rows, roundtrip
+
+
+class TestRowCodec:
+    def test_roundtrip_types(self):
+        row = (42, -7, 3.25, "hello", "")
+        assert decode_row(encode_row(row)) == row
+
+    def test_unicode(self):
+        row = ("naïve Σ",)
+        assert decode_row(encode_row(row)) == row
+
+    def test_unsupported_value(self):
+        with pytest.raises(StorageError):
+            encode_row(([1, 2],))
+
+    @given(
+        st.tuples(
+            st.integers(-(2**40), 2**40),
+            st.text(max_size=20),
+            st.floats(allow_nan=False, allow_infinity=False),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_prop_roundtrip(self, row):
+        assert decode_row(encode_row(row)) == row
+
+
+class TestPages:
+    def test_insert_and_materialize(self):
+        page = Page(0)
+        slot = page.insert((1, "a"))
+        assert page.get_row(slot) == (1, "a")
+        assert page.dirty
+
+    def test_full_page_rejects(self):
+        from repro.relstore.pages import ROWS_PER_PAGE
+
+        page = Page(0)
+        for i in range(ROWS_PER_PAGE):
+            page.insert((i,))
+        with pytest.raises(StorageError):
+            page.insert((99,))
+
+    def test_page_serialization_roundtrip(self):
+        page = Page(3)
+        page.insert((1, "x"))
+        page.insert((2, "y"))
+        restored = Page.deserialize(3, page.serialize())
+        assert restored.all_rows() == [(1, "x"), (2, "y")]
+
+    def test_heap_file_on_disk(self):
+        path = tempfile.mktemp(suffix=".heap")
+        try:
+            heap = HeapFile(path)
+            page = heap.append_page()
+            page.insert((5, "v"))
+            heap.write_page(page)
+            heap2 = HeapFile(path)
+            assert heap2.page_count == 1
+            assert heap2.read_page(0).get_row(0) == (5, "v")
+        finally:
+            os.unlink(path)
+
+    def test_out_of_range_page(self):
+        heap = HeapFile()
+        with pytest.raises(StorageError):
+            heap.read_page(0)
+
+
+class TestBufferPool:
+    def test_hit_miss_accounting(self):
+        heap = HeapFile()
+        pool = BufferPool(heap, capacity=2)
+        pool.new_page()
+        pool.fetch(0)
+        assert pool.hits == 1 and pool.misses == 0
+
+    def test_lru_eviction_writes_dirty(self):
+        heap = HeapFile()
+        pool = BufferPool(heap, capacity=2)
+        p0 = pool.new_page()
+        p0.insert((1,))
+        pool.new_page()
+        pool.new_page()  # evicts page 0 (dirty -> written back)
+        assert pool.evictions >= 1
+        assert pool.fetch(0).get_row(0) == (1,)
+
+
+class TestBPlusTree:
+    def test_search_insert(self):
+        tree = BPlusTree()
+        for key in range(200):
+            tree.insert(key, (0, key))
+        assert tree.search(123) == [(0, 123)]
+        assert tree.search(999) == []
+        assert tree.height > 1  # actually split
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.search(5) == ["a", "b"]
+
+    def test_range_scan(self):
+        tree = BPlusTree()
+        for key in range(0, 100, 2):
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range_scan(10, 20)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_prop_search_finds_all_inserted(self, keys):
+        tree = BPlusTree()
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        for i, key in enumerate(keys):
+            assert i in tree.search(key)
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=200, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_prop_range_scan_sorted_complete(self, keys):
+        tree = BPlusTree()
+        for key in keys:
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range_scan(min(keys), max(keys))]
+        assert got == sorted(keys)
+
+
+class TestLocks:
+    def test_shared_locks_compatible(self):
+        store = RelStore()
+        store.create_table("t", 1)
+        t1 = store.transaction()
+        t2 = store.transaction()
+        store.locks.acquire(t1, ("t", 0), LockMode.SHARED)
+        store.locks.acquire(t2, ("t", 0), LockMode.SHARED)
+        store.commit(t1)
+        store.commit(t2)
+
+    def test_exclusive_conflicts(self):
+        store = RelStore()
+        store.create_table("t", 1)
+        t1 = store.transaction()
+        t2 = store.transaction()
+        store.locks.acquire(t1, ("t", 0), LockMode.EXCLUSIVE)
+        with pytest.raises(TransactionError):
+            store.locks.acquire(t2, ("t", 0), LockMode.SHARED)
+        store.commit(t1)
+        store.abort(t2)
+
+    def test_two_phase_violation(self):
+        store = RelStore()
+        store.create_table("t", 1)
+        txn = store.transaction()
+        store.locks.acquire(txn, ("t", 0), LockMode.SHARED)
+        store.commit(txn)  # releases
+        with pytest.raises(TransactionError):
+            store.locks.acquire(txn, ("t", 1), LockMode.SHARED)
+
+
+class TestTransactions:
+    def test_insert_select(self):
+        store = RelStore()
+        store.create_table("t", 2)
+        with store.transaction() as txn:
+            store.insert(txn, "t", (1, "a"))
+            store.insert(txn, "t", (2, "b"))
+        with store.transaction() as txn:
+            assert store.select(txn, "t", 0, 2) == [(2, "b")]
+
+    def test_operation_outside_txn_rejected(self):
+        store = RelStore()
+        store.create_table("t", 1)
+        txn = store.transaction()
+        store.commit(txn)
+        with pytest.raises(TransactionError):
+            store.insert(txn, "t", (1,))
+
+    def test_arity_checked(self):
+        store = RelStore()
+        store.create_table("t", 2)
+        with pytest.raises(StorageError):
+            with store.transaction() as txn:
+                store.insert(txn, "t", (1,))
+
+    def test_abort_on_exception(self):
+        store = RelStore()
+        store.create_table("t", 1)
+        with pytest.raises(ValueError):
+            with store.transaction() as txn:
+                store.insert(txn, "t", (1,))
+                raise ValueError("boom")
+        # the txn aborted; locks are free for others
+        with store.transaction() as txn:
+            store.insert(txn, "t", (2,))
+
+    def test_recovery_replays_committed_only(self):
+        store = RelStore()
+        store.create_table("t", 1)
+        with store.transaction() as txn:
+            store.insert(txn, "t", (1,))
+        doomed = store.transaction()
+        store.insert(doomed, "t", (2,))
+        store.abort(doomed)
+        fresh = RelStore()
+        fresh.create_table("t", 1)
+        store.recover_into(fresh)
+        with fresh.transaction() as txn:
+            assert fresh.scan(txn, "t") == [(1,)]
+
+
+class TestExecutor:
+    def setup_method(self):
+        self.store = RelStore()
+        self.store.create_table("r", 2, index_on=0)
+        self.store.create_table("s", 2, index_on=0)
+        with self.store.transaction() as txn:
+            for i in range(10):
+                self.store.insert(txn, "r", (i, f"r{i}"))
+                self.store.insert(txn, "s", (i % 5, f"s{i}"))
+
+    def test_join_results(self):
+        with self.store.transaction() as txn:
+            rows = self.store.join(txn, "r", 0, "s", 0)
+        assert len(rows) == 10  # keys 0..4 match twice each
+        for row in rows:
+            assert row[0] == row[2]
+
+    def test_seq_scan_and_filter(self):
+        with self.store.transaction() as txn:
+            scan = SeqScan(self.store, txn, "r")
+            filtered = Filter(scan, ("lt", ("col", 0), ("const", 3)))
+            rows = list(filtered)
+        assert sorted(r[0] for r in rows) == [0, 1, 2]
+
+    def test_project(self):
+        with self.store.transaction() as txn:
+            scan = SeqScan(self.store, txn, "r")
+            projected = Project(scan, [("col", 1)])
+            rows = list(projected)
+        assert ("r3",) in rows
+
+    def test_expression_evaluation(self):
+        row = (3, "x", 3)
+        assert evaluate_expr(("eq", ("col", 0), ("col", 2)), row)
+        assert not evaluate_expr(("lt", ("col", 0), ("const", 3)), row)
+        assert evaluate_expr(
+            ("and", ("le", ("col", 0), ("const", 3)),
+             ("eq", ("col", 1), ("const", "x"))),
+            row,
+        )
+
+    def test_wire_roundtrip(self):
+        with self.store.transaction() as txn:
+            rows = self.store.join(txn, "r", 0, "s", 0)
+        assert roundtrip(rows) == rows
+
+    def test_wire_packets_framed(self):
+        rows = [(i, f"v{i}") for i in range(100)]
+        packets = encode_rows(rows)
+        assert len(packets) > 1  # framed into multiple packets
+        assert decode_rows(packets) == rows
+
+    def test_disk_backed_store(self):
+        directory = tempfile.mkdtemp()
+        store = RelStore(directory=directory)
+        store.create_table("t", 2)
+        with store.transaction() as txn:
+            for i in range(100):
+                store.insert(txn, "t", (i, f"v{i}"))
+        with store.transaction() as txn:
+            assert store.select(txn, "t", 0, 55) == [(55, "v55")]
+        assert os.path.exists(os.path.join(directory, "t.heap"))
+        assert os.path.exists(os.path.join(directory, "wal.log"))

@@ -1,0 +1,145 @@
+"""Tests for the read-eval-print loop and direct execution."""
+
+import io
+import os
+import tempfile
+
+from repro import Engine
+from repro.repl import Toplevel, main
+
+
+def run_session(script, engine=None):
+    """Feed a scripted session; return the transcript."""
+    output = io.StringIO()
+    top = Toplevel(
+        engine=engine,
+        input_stream=io.StringIO(script),
+        output_stream=output,
+    )
+    top.interact(banner=False)
+    return output.getvalue()
+
+
+class TestToplevel:
+    def test_simple_query_yes(self):
+        engine = Engine()
+        engine.consult_string("p(1).")
+        transcript = run_session("p(1).\n\n", engine)
+        assert "yes" in transcript
+
+    def test_failure_prints_no(self):
+        engine = Engine()
+        engine.consult_string("p(1).")
+        transcript = run_session("p(2).\n", engine)
+        assert "no" in transcript
+
+    def test_bindings_printed(self):
+        engine = Engine()
+        engine.consult_string("p(1). p(2).")
+        transcript = run_session("p(X).\n\n", engine)
+        assert "X = 1" in transcript
+
+    def test_semicolon_asks_for_more(self):
+        engine = Engine()
+        engine.consult_string("p(1). p(2).")
+        transcript = run_session("p(X).\n;\n\n", engine)
+        assert "X = 1" in transcript and "X = 2" in transcript
+
+    def test_exhausting_solutions_says_no_more(self):
+        engine = Engine()
+        engine.consult_string("p(1).")
+        transcript = run_session("p(X).\n;\n", engine)
+        assert "no (more)" in transcript
+
+    def test_halt_stops(self):
+        engine = Engine()
+        engine.consult_string("p(1).")
+        transcript = run_session("halt.\np(1).\n", engine)
+        assert "yes" not in transcript
+
+    def test_error_reported_not_fatal(self):
+        engine = Engine()
+        engine.consult_string("p(1).")
+        transcript = run_session("nosuch(1).\np(1).\n\n", engine)
+        assert "error:" in transcript
+        assert "yes" in transcript
+
+    def test_parse_error_reported(self):
+        transcript = run_session("p(.\ntrue.\n\n")
+        assert "error:" in transcript
+
+    def test_multiline_goal(self):
+        engine = Engine()
+        engine.consult_string("p(1).")
+        transcript = run_session("p(\nX\n).\n\n", engine)
+        assert "X = 1" in transcript
+
+    def test_consult_from_repl(self):
+        path = tempfile.mktemp(suffix=".P")
+        with open(path, "w") as handle:
+            handle.write("loaded(indeed).\n")
+        try:
+            transcript = run_session(
+                f"consult('{path}').\nloaded(X).\n\n"
+            )
+            assert "consulted" in transcript
+            assert "X = indeed" in transcript
+        finally:
+            os.unlink(path)
+
+    def test_list_consult_syntax(self):
+        path = tempfile.mktemp(suffix=".P")
+        with open(path, "w") as handle:
+            handle.write("zz(9).\n")
+        try:
+            transcript = run_session(f"['{path}'].\nzz(X).\n\n")
+            assert "X = 9" in transcript
+        finally:
+            os.unlink(path)
+
+    def test_tabled_query_in_repl(self):
+        engine = Engine()
+        engine.consult_string(
+            """
+            :- table path/2.
+            path(X,Y) :- edge(X,Y).
+            path(X,Y) :- path(X,Z), edge(Z,Y).
+            edge(1,2). edge(2,1).
+            """
+        )
+        transcript = run_session("path(1, X).\n;\n;\n", engine)
+        assert "X = 2" in transcript and "X = 1" in transcript
+
+
+class TestDirectExecution:
+    def test_goal_mode_success(self, capsys):
+        path = tempfile.mktemp(suffix=".P")
+        with open(path, "w") as handle:
+            handle.write("main :- write(ran), nl.\n")
+        try:
+            code = main([path, "--goal", "main."])
+            assert code == 0
+            assert "ran" in capsys.readouterr().out
+        finally:
+            os.unlink(path)
+
+    def test_goal_mode_failure_exit_code(self):
+        path = tempfile.mktemp(suffix=".P")
+        with open(path, "w") as handle:
+            handle.write("p(1).\n")
+        try:
+            assert main([path, "--goal", "p(2)."]) == 1
+        finally:
+            os.unlink(path)
+
+    def test_multiple_goals(self, capsys):
+        path = tempfile.mktemp(suffix=".P")
+        with open(path, "w") as handle:
+            handle.write(":- dynamic seen/1.\n")
+        try:
+            code = main(
+                [path, "--goal", "assert(seen(1)).", "--goal", "seen(1)."]
+            )
+            assert code == 0
+        finally:
+            os.unlink(path)

@@ -1,0 +1,326 @@
+"""Tests for SLG evaluation: tabling, completion, negation flavours."""
+
+import pytest
+
+from repro import Engine
+from repro.errors import NonStratifiedError, TablingError
+from conftest import (
+    PATH_DOUBLE,
+    PATH_LEFT,
+    PATH_RIGHT,
+    make_binary_tree,
+    make_chain,
+    make_cycle,
+)
+
+
+class TestDefiniteTabling:
+    def test_left_recursion_terminates_on_cycle(self, engine):
+        engine.consult_string(PATH_LEFT)
+        make_cycle(engine, 10)
+        assert len(engine.query("path(1,X)")) == 10
+
+    def test_right_recursion_on_cycle(self, engine):
+        engine.consult_string(PATH_RIGHT)
+        make_cycle(engine, 10)
+        assert len(engine.query("path(1,X)")) == 10
+
+    def test_double_recursion_on_cycle(self, engine):
+        engine.consult_string(PATH_DOUBLE)
+        make_cycle(engine, 8)
+        assert len(engine.query("path(1,X)")) == 8
+
+    def test_all_three_agree_on_chain(self):
+        answers = []
+        for program in (PATH_LEFT, PATH_RIGHT, PATH_DOUBLE):
+            engine = Engine()
+            engine.consult_string(program)
+            make_chain(engine, 12)
+            answers.append(sorted(s["X"] for s in engine.query("path(1,X)")))
+        assert answers[0] == answers[1] == answers[2] == list(range(2, 13))
+
+    def test_no_duplicate_answers(self, engine):
+        # the diamond produces each path twice without tabling
+        engine.consult_string(PATH_LEFT)
+        for a, b in [(1, 2), (1, 3), (2, 4), (3, 4)]:
+            engine.add_fact("edge", a, b)
+        assert sorted(s["X"] for s in engine.query("path(1,X)")) == [2, 3, 4]
+
+    def test_duplicate_answers_counted(self, engine):
+        engine.consult_string(PATH_LEFT)
+        for a, b in [(1, 2), (1, 3), (2, 4), (3, 4)]:
+            engine.add_fact("edge", a, b)
+        engine.query("path(1,X)")
+        assert engine.table_statistics()["duplicate_answers"] >= 1
+
+    def test_fanout(self, engine):
+        engine.consult_string(PATH_LEFT)
+        for i in range(1, 21):
+            engine.add_fact("edge", 1, i)
+        assert len(engine.query("path(1,X)")) == 20
+
+    def test_mutual_recursion(self, engine):
+        engine.consult_string(
+            """
+            :- table p/1, q/1.
+            p(X) :- q(X).
+            p(a).
+            q(X) :- p(X).
+            q(b).
+            """
+        )
+        assert sorted(s["X"] for s in engine.query("p(X)")) == ["a", "b"]
+        assert sorted(s["X"] for s in engine.query("q(X)")) == ["a", "b"]
+
+    def test_three_way_scc(self, engine):
+        engine.consult_string(
+            """
+            :- table a/1, b/1, c/1.
+            a(X) :- b(X).
+            b(X) :- c(X).
+            c(X) :- a(X).
+            c(1).
+            a(2).
+            """
+        )
+        assert sorted(s["X"] for s in engine.query("b(X)")) == [1, 2]
+
+    def test_same_generation(self, engine):
+        engine.consult_string(
+            """
+            :- table sg/2.
+            sg(X,X).
+            sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).
+            par(c1,p1). par(c2,p1). par(p1,g1). par(p2,g1). par(c3,p2).
+            """
+        )
+        cousins = sorted(set(s["Y"] for s in engine.query("sg(c1,Y)")))
+        assert cousins == ["c1", "c2", "c3"]
+
+    def test_nonrecursive_tabled_predicate(self, engine):
+        engine.consult_string(":- table f/1. f(1). f(2).")
+        assert engine.count("f(X)") == 2
+        assert engine.count("f(X)") == 2  # second call reads the table
+
+    def test_tabled_call_with_no_clauses_completes_empty(self, engine):
+        engine.consult_string(":- table z/1. z(X) :- z(X).")
+        assert engine.query("z(1)") == []
+        stats = engine.table_statistics()
+        assert stats["completed"] == stats["subgoals"]
+
+
+class TestTablePersistence:
+    def test_tables_reused_across_queries(self, engine):
+        engine.consult_string(PATH_LEFT)
+        make_chain(engine, 10)
+        engine.query("path(1,X)")
+        created_before = engine.tables.subgoals_created
+        engine.query("path(1,X)")
+        assert engine.tables.subgoals_created == created_before
+
+    def test_distinct_variants_distinct_tables(self, engine):
+        engine.consult_string(PATH_LEFT)
+        make_chain(engine, 5)
+        engine.query("path(1,X)")
+        engine.query("path(1,3)")  # different call variant
+        assert engine.table_statistics()["subgoals"] == 2
+
+    def test_abolish_all_tables(self, engine):
+        engine.consult_string(PATH_LEFT)
+        make_chain(engine, 5)
+        engine.query("path(1,X)")
+        engine.abolish_all_tables()
+        assert engine.table_statistics()["subgoals"] == 0
+
+    def test_abandoned_query_reclaims_incomplete_tables(self, engine):
+        engine.consult_string(PATH_LEFT)
+        make_chain(engine, 10)
+        engine.query("path(1,X)", limit=1)  # abandoned mid-run
+        # incomplete table was reclaimed; a fresh run works and completes
+        assert len(engine.query("path(1,X)")) == 9
+        stats = engine.table_statistics()
+        assert stats["completed"] == stats["subgoals"]
+
+    def test_answers_survive_with_fresh_variables(self, engine):
+        engine.consult_string(":- table r/2. r(X, X). r(X, f(X)).")
+        first = engine.query("r(a, Z)")
+        second = engine.query("r(b, Z)")
+        assert {"Z": "a"} in first
+        assert {"Z": "b"} in second
+
+
+class TestCutInteraction:
+    def test_cut_over_incomplete_table_rejected(self, engine):
+        engine.consult_string(PATH_LEFT + "first(X) :- path(1,X), !.")
+        make_chain(engine, 5)
+        with pytest.raises(TablingError):
+            engine.query("first(X)")
+
+    def test_cut_over_completed_table_ok(self, engine):
+        engine.consult_string(PATH_LEFT + "first(X) :- path(1,X), !.")
+        make_chain(engine, 5)
+        engine.query("path(1,X)")  # completes the table
+        assert engine.query("first(X)") == [{"X": 2}]
+
+    def test_tcut_frees_single_user_table(self, engine):
+        engine.consult_string(PATH_LEFT + "efirst(X) :- path(1,X), tcut.")
+        make_chain(engine, 5)
+        assert engine.query("efirst(X)", limit=1) == [{"X": 2}]
+        # the table was freed by tcut
+        assert engine.table_statistics()["subgoals"] == 0
+
+    def test_tcut_without_tables_is_plain_cut(self, engine):
+        engine.consult_string("n(1). n(2). f(X) :- n(X), tcut.")
+        assert engine.query("f(X)") == [{"X": 1}]
+
+
+class TestTabledNegation:
+    def _win(self, engine, flavour):
+        engine.consult_string(
+            f"""
+            :- table win/1.
+            win(X) :- move(X,Y), {flavour}(win(Y)).
+            """
+        )
+
+    def test_tnot_win_on_tree(self, engine):
+        self._win(engine, "tnot")
+        make_binary_tree(engine, 3)
+        assert engine.has_solution("win(1)")
+        assert not engine.has_solution("win(2)")
+        assert engine.has_solution("win(4)")
+        assert not engine.has_solution("win(8)")  # leaf loses
+
+    def test_e_tnot_win_on_tree(self, engine):
+        self._win(engine, "e_tnot")
+        make_binary_tree(engine, 3)
+        assert engine.has_solution("win(1)")
+        assert not engine.has_solution("win(8)")
+
+    def test_three_flavours_agree(self):
+        expectations = {}
+        for flavour in ("tnot", "e_tnot"):
+            engine = Engine()
+            self._win(engine, flavour)
+            make_binary_tree(engine, 4)
+            expectations[flavour] = [
+                engine.has_solution(f"win({node})") for node in range(1, 32)
+            ]
+        sldnf = Engine()
+        sldnf.consult_string("win(X) :- move(X,Y), \\+ win(Y).")
+        make_binary_tree(sldnf, 4)
+        expectations["sldnf"] = [
+            sldnf.has_solution(f"win({node})") for node in range(1, 32)
+        ]
+        assert expectations["tnot"] == expectations["e_tnot"]
+        assert expectations["tnot"] == expectations["sldnf"]
+
+    def test_tnot_retains_tables_e_tnot_frees_them(self):
+        tnot_engine = Engine()
+        self._win(tnot_engine, "tnot")
+        make_binary_tree(tnot_engine, 3)
+        tnot_engine.query("win(1)")
+        retained = tnot_engine.table_statistics()["subgoals"]
+        assert retained > 1  # full game tree tabled
+
+        e_engine = Engine()
+        self._win(e_engine, "e_tnot")
+        make_binary_tree(e_engine, 3)
+        e_engine.query("win(1)")
+        # e_tnot deletes tables of subgoals it cut; far fewer remain
+        assert e_engine.table_statistics()["subgoals"] < retained
+
+    def test_loop_through_negation_detected(self, engine):
+        engine.consult_string(":- table s/0. s :- tnot(s).")
+        with pytest.raises(NonStratifiedError):
+            engine.query("s")
+
+    def test_even_odd_modularly_stratified(self, engine):
+        engine.consult_string(
+            """
+            :- table even/1.
+            even(0).
+            even(s(N)) :- tnot(even(N)).
+            """
+        )
+        assert engine.has_solution("even(s(s(0)))")
+        assert not engine.has_solution("even(s(0))")
+
+    def test_floundering_detected(self, engine):
+        engine.consult_string(":- table p/1. p(1).")
+        with pytest.raises(NonStratifiedError):
+            engine.query("tnot(p(X))")
+
+    def test_tnot_requires_tabled_predicate(self, engine):
+        engine.consult_string("q(1).")
+        with pytest.raises(TablingError):
+            engine.query("tnot(q(1))")
+
+    def test_stratified_two_layers(self, engine):
+        engine.consult_string(
+            """
+            :- table reach/2, unreach/2.
+            reach(X,Y) :- edge(X,Y).
+            reach(X,Y) :- reach(X,Z), edge(Z,Y).
+            unreach(X,Y) :- node(X), node(Y), tnot(reach(X,Y)).
+            node(1). node(2). node(3).
+            edge(1,2).
+            """
+        )
+        pairs = sorted(
+            (s["X"], s["Y"]) for s in engine.query("unreach(X,Y)")
+        )
+        assert (1, 2) not in pairs
+        assert (2, 1) in pairs and (3, 3) in pairs
+
+
+class TestTfindall:
+    def test_tfindall_completes_then_collects(self, engine):
+        engine.consult_string(PATH_LEFT)
+        make_chain(engine, 6)
+        sols = engine.query("tfindall(Y, path(1,Y), L)")
+        assert sorted(sols[0]["L"]) == [2, 3, 4, 5, 6]
+
+    def test_tfindall_inside_scc_rejected(self, engine):
+        engine.consult_string(
+            """
+            :- table p/1.
+            p(1).
+            p(X) :- tfindall(Y, p(Y), L), length(L, X).
+            """
+        )
+        with pytest.raises(NonStratifiedError):
+            engine.query("p(X)")
+
+    def test_findall_on_incomplete_table_reads_snapshot(self, engine):
+        # the paper's caveat: findall/3 may capture an incomplete answer
+        # list; it must not raise.
+        engine.consult_string(
+            """
+            :- table p/1.
+            p(1).
+            p(X) :- findall(Y, p(Y), L), length(L, N), N < 3, X is N + 10.
+            """
+        )
+        solutions = engine.query("p(X)")
+        assert 1 in [s["X"] for s in solutions]
+
+
+class TestAnswerTrieMode:
+    def test_trie_store_same_answers(self):
+        plain = Engine()
+        trie = Engine(answer_store="trie")
+        for engine in (plain, trie):
+            engine.consult_string(PATH_LEFT)
+            make_cycle(engine, 12)
+        a = sorted(s["X"] for s in plain.query("path(1,X)"))
+        b = sorted(s["X"] for s in trie.query("path(1,X)"))
+        assert a == b == list(range(1, 13))
+
+    def test_trie_mode_negation(self):
+        engine = Engine(answer_store="trie")
+        engine.consult_string(
+            ":- table win/1. win(X) :- move(X,Y), tnot(win(Y))."
+        )
+        make_binary_tree(engine, 3)
+        assert engine.has_solution("win(1)")

@@ -1,0 +1,132 @@
+"""Tests for storage (readers/writers) and the meta-interpreter."""
+
+import os
+import tempfile
+
+import pytest
+
+from repro import Engine
+from repro.engine.interp import MetaInterpreter
+from repro.errors import StorageError
+from repro.storage import (
+    dump_formatted,
+    load_formatted,
+    load_formatted_file,
+    parse_formatted_line,
+)
+
+
+class TestFormattedReader:
+    def test_field_typing(self):
+        assert parse_formatted_line("12\t3.5\tword\t-4") == (12, 3.5, "word", -4)
+
+    def test_custom_delimiter(self):
+        assert parse_formatted_line("a,b,1", delimiter=",") == ("a", "b", 1)
+
+    def test_load_counts_and_queries(self, engine):
+        n = load_formatted(engine, "t", ["1\ta", "2\tb", "", "3\tc"])
+        assert n == 3
+        assert engine.query("t(2, X)") == [{"X": "b"}]
+
+    def test_ragged_rows_rejected(self, engine):
+        with pytest.raises(StorageError):
+            load_formatted(engine, "t", ["1\ta", "2"])
+
+    def test_file_roundtrip(self, engine):
+        load_formatted(engine, "t", ["1\talpha", "2\tbeta"])
+        path = tempfile.mktemp(suffix=".tsv")
+        try:
+            assert dump_formatted(engine, "t", 2, path) == 2
+            other = Engine()
+            assert load_formatted_file(other, "t", path) == 2
+            assert other.query("t(1, X)") == [{"X": "alpha"}]
+        finally:
+            os.unlink(path)
+
+    def test_dump_rejects_rules(self, engine):
+        engine.consult_string("r(X) :- s(X). s(1).")
+        path = tempfile.mktemp()
+        with pytest.raises(StorageError):
+            dump_formatted(engine, "r", 1, path)
+
+    def test_consult_file(self, engine):
+        path = tempfile.mktemp(suffix=".P")
+        try:
+            with open(path, "w") as handle:
+                handle.write(":- table p/1.\np(1).\np(X) :- q(X).\nq(2).\n")
+            engine.consult_file(path)
+            assert sorted(s["X"] for s in engine.query("p(X)")) == [1, 2]
+        finally:
+            os.unlink(path)
+
+
+class TestMetaInterpreter:
+    def make(self, text):
+        engine = Engine()
+        engine.consult_string(text)
+        return engine, MetaInterpreter(engine)
+
+    def test_plain_sld(self):
+        _, interp = self.make("e(1,2). e(2,3). p(X,Y) :- e(X,Z), e(Z,Y).")
+        assert interp.count("p(1, Y)") == 1
+        assert interp.has_solution("p(1, 3)")
+        assert not interp.has_solution("p(3, 1)")
+
+    def test_tabled_left_recursion(self):
+        _, interp = self.make(
+            """
+            :- table path/2.
+            path(X,Y) :- edge(X,Y).
+            path(X,Y) :- path(X,Z), edge(Z,Y).
+            edge(1,2). edge(2,3). edge(3,1).
+            """
+        )
+        assert interp.count("path(1, X)") == 3
+
+    def test_agrees_with_engine_on_mutual_recursion(self):
+        program = """
+        :- table p/1, q/1.
+        p(X) :- q(X).
+        p(a).
+        q(X) :- p(X).
+        q(b).
+        """
+        engine, interp = self.make(program)
+        meta = sorted(str(t.args[0]) for t in interp.query("p(X)"))
+        direct = sorted(s["X"] for s in engine.query("p(X)"))
+        assert meta == direct == ["a", "b"]
+
+    def test_arithmetic_and_unify(self):
+        _, interp = self.make("n(1). n(2). n(3).")
+        assert interp.count("n(X), Y is X + 1, Y > 2") == 2
+        assert interp.count("n(X), X = 2") == 1
+
+    def test_disjunction(self):
+        _, interp = self.make("a(1). b(2).")
+        assert interp.count("(a(X) ; b(X))") == 2
+
+    def test_negation_by_failure(self):
+        _, interp = self.make("p(1).")
+        assert interp.has_solution("\\+ p(2)")
+        assert not interp.has_solution("\\+ p(1)")
+
+    def test_tnot_over_tabled(self):
+        _, interp = self.make(
+            """
+            :- table win/1.
+            win(X) :- move(X,Y), tnot(win(Y)).
+            move(a,b). move(b,c).
+            """
+        )
+        assert interp.has_solution("win(b)")
+        assert not interp.has_solution("win(a)")
+
+    def test_duplicate_answers_eliminated(self):
+        _, interp = self.make(
+            """
+            :- table p/1.
+            p(X) :- e(X). p(X) :- f(X).
+            e(1). f(1).
+            """
+        )
+        assert interp.count("p(X)") == 1

@@ -1,0 +1,139 @@
+"""Tests for the subgoal (call-pattern) trie and its engine mode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine
+from repro.index import SubgoalTrie
+from repro.lang import parse_term
+
+
+class TestSubgoalTrie:
+    def test_insert_lookup(self):
+        trie = SubgoalTrie()
+        assert trie.insert(parse_term("p(1, X)"), "frame1") is None
+        assert trie.lookup(parse_term("p(1, Y)")) == "frame1"  # variant
+        assert trie.lookup(parse_term("p(2, Y)")) is None
+
+    def test_variant_collision_returns_existing(self):
+        trie = SubgoalTrie()
+        trie.insert(parse_term("p(X, X)"), "a")
+        assert trie.insert(parse_term("p(Y, Y)"), "b") == "a"
+        assert len(trie) == 1
+
+    def test_non_variants_distinct(self):
+        trie = SubgoalTrie()
+        trie.insert(parse_term("p(X, X)"), "same")
+        trie.insert(parse_term("p(X, Y)"), "open")
+        assert trie.lookup(parse_term("p(A, A)")) == "same"
+        assert trie.lookup(parse_term("p(A, B)")) == "open"
+        assert len(trie) == 2
+
+    def test_remove_and_prune(self):
+        trie = SubgoalTrie()
+        trie.insert(parse_term("p(f(g(1)))"), "deep")
+        nodes_with = trie.node_count()
+        assert trie.remove(parse_term("p(f(g(1)))"))
+        assert trie.lookup(parse_term("p(f(g(1)))")) is None
+        assert trie.node_count() < nodes_with  # branches pruned
+        assert not trie.remove(parse_term("p(f(g(1)))"))
+
+    def test_remove_keeps_shared_prefix(self):
+        trie = SubgoalTrie()
+        trie.insert(parse_term("p(a, 1)"), "x")
+        trie.insert(parse_term("p(a, 2)"), "y")
+        trie.remove(parse_term("p(a, 1)"))
+        assert trie.lookup(parse_term("p(a, 2)")) == "y"
+
+    def test_frames_enumeration(self):
+        trie = SubgoalTrie()
+        for i in range(5):
+            trie.insert(parse_term(f"q({i})"), i)
+        assert sorted(trie.frames()) == [0, 1, 2, 3, 4]
+
+    def test_clear(self):
+        trie = SubgoalTrie()
+        trie.insert(parse_term("p(1)"), "f")
+        trie.clear()
+        assert len(trie) == 0
+        assert trie.lookup(parse_term("p(1)")) is None
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["p(X)", "p(1)", "p(X, X)", "p(X, Y)", "q(f(X))", "q(f(a))"]
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_prop_trie_agrees_with_dict(self, calls):
+        from repro.terms import canonical_key
+
+        trie = SubgoalTrie()
+        mirror = {}
+        for index, text in enumerate(calls):
+            term = parse_term(text)
+            key = canonical_key(term)
+            existing_dict = mirror.get(key)
+            existing_trie = trie.lookup(term)
+            assert (existing_dict is None) == (existing_trie is None)
+            if existing_dict is None:
+                mirror[key] = index
+                trie.insert(term, index)
+            else:
+                assert existing_trie == existing_dict
+
+
+class TestEngineTrieMode:
+    PROGRAM = """
+    :- table path/2.
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- path(X,Z), edge(Z,Y).
+    """
+
+    def build(self, subgoal_index):
+        engine = Engine(subgoal_index=subgoal_index)
+        engine.consult_string(self.PROGRAM)
+        engine.add_facts(
+            "edge", [(i, i + 1) for i in range(1, 12)] + [(12, 1)]
+        )
+        return engine
+
+    def test_same_answers_both_modes(self):
+        for mode in ("dict", "trie"):
+            engine = self.build(mode)
+            assert engine.count("path(1, X)") == 12, mode
+
+    def test_stats_identical(self):
+        results = []
+        for mode in ("dict", "trie"):
+            engine = self.build(mode)
+            engine.query("path(1, X)")
+            engine.query("path(3, X)")
+            results.append(engine.table_statistics())
+        assert results[0] == results[1]
+
+    def test_trie_mode_tcut_reclaims(self):
+        engine = Engine(subgoal_index="trie")
+        engine.consult_string(
+            self.PROGRAM + "first(X) :- path(1, X), tcut."
+        )
+        engine.add_facts("edge", [(1, 2), (2, 3)])
+        assert engine.query("first(X)", limit=1) == [{"X": 2}]
+        assert engine.table_statistics()["subgoals"] == 0
+
+    def test_trie_mode_negation(self):
+        engine = Engine(subgoal_index="trie")
+        engine.consult_string(
+            ":- table win/1. win(X) :- move(X,Y), tnot(win(Y))."
+        )
+        engine.add_facts("move", [(1, 2), (2, 3)])
+        assert not engine.has_solution("win(1)")
+        assert engine.has_solution("win(2)")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(subgoal_index="btree")

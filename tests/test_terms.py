@@ -1,0 +1,345 @@
+"""Unit and property tests for the term layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.terms import (
+    Atom,
+    Struct,
+    Trail,
+    Var,
+    bind,
+    canonical_key,
+    compare_terms,
+    copy_term,
+    deref,
+    instantiate_key,
+    is_ground,
+    is_proper_list,
+    is_variant,
+    list_to_python,
+    make_list,
+    mkatom,
+    mkstruct,
+    occurs_in,
+    resolve,
+    subsumes,
+    term_variables,
+    unify,
+)
+
+
+# --------------------------------------------------------------------------
+# construction and interning
+# --------------------------------------------------------------------------
+
+class TestAtoms:
+    def test_interning_returns_identical_object(self):
+        assert mkatom("foo") is mkatom("foo")
+
+    def test_distinct_names_distinct_atoms(self):
+        assert mkatom("foo") is not mkatom("bar")
+
+    def test_atom_equality_by_name(self):
+        assert mkatom("x") == Atom("x")
+
+    def test_atom_hashable(self):
+        assert len({mkatom("a"), mkatom("a"), mkatom("b")}) == 2
+
+
+class TestStructs:
+    def test_mkstruct_builds_compound(self):
+        t = mkstruct("f", 1, mkatom("a"))
+        assert isinstance(t, Struct)
+        assert t.name == "f"
+        assert t.arity == 2
+        assert t.indicator == "f/2"
+
+    def test_mkstruct_zero_args_gives_atom(self):
+        assert mkstruct("f") is mkatom("f")
+
+
+class TestVars:
+    def test_fresh_var_unbound(self):
+        v = Var()
+        assert v.ref is None
+
+    def test_deref_follows_chain(self):
+        a, b = Var(), Var()
+        trail = Trail()
+        bind(a, b, trail)
+        bind(b, 42, trail)
+        assert deref(a) == 42
+
+
+# --------------------------------------------------------------------------
+# unification and trailing
+# --------------------------------------------------------------------------
+
+class TestUnify:
+    def setup_method(self):
+        self.trail = Trail()
+
+    def test_var_binds_to_constant(self):
+        v = Var()
+        assert unify(v, 7, self.trail)
+        assert deref(v) == 7
+
+    def test_atom_mismatch_fails(self):
+        assert not unify(mkatom("a"), mkatom("b"), self.trail)
+
+    def test_int_float_do_not_unify(self):
+        assert not unify(1, 1.0, self.trail)
+
+    def test_struct_recursive_unify(self):
+        x, y = Var(), Var()
+        left = mkstruct("f", x, mkstruct("g", x))
+        right = mkstruct("f", mkstruct("h", y), mkstruct("g", mkstruct("h", 3)))
+        assert unify(left, right, self.trail)
+        assert deref(y) == 3
+
+    def test_arity_mismatch_fails(self):
+        assert not unify(mkstruct("f", 1), mkstruct("f", 1, 2), self.trail)
+
+    def test_shared_variable_consistency(self):
+        x = Var()
+        left = mkstruct("p", x, x)
+        right = mkstruct("p", 1, 2)
+        assert not unify(left, right, self.trail)
+
+    def test_trail_undo_restores_unbound(self):
+        v = Var()
+        mark = self.trail.mark()
+        unify(v, mkatom("a"), self.trail)
+        assert deref(v) is mkatom("a")
+        self.trail.undo_to(mark)
+        assert v.ref is None
+
+    def test_snapshot_and_reinstall(self):
+        v, w = Var(), Var()
+        mark = self.trail.mark()
+        bind(v, 1, self.trail)
+        bind(w, mkstruct("f", v), self.trail)
+        snapshot = self.trail.snapshot(mark)
+        self.trail.undo_to(mark)
+        assert v.ref is None and w.ref is None
+        self.trail.reinstall(snapshot)
+        assert deref(v) == 1
+        assert deref(w).name == "f"
+
+    def test_reinstall_skips_already_bound(self):
+        v = Var()
+        mark = self.trail.mark()
+        bind(v, 1, self.trail)
+        snapshot = self.trail.snapshot(mark)
+        self.trail.reinstall(snapshot)  # still bound: no-op
+        assert deref(v) == 1
+        # only one trail entry was added by reinstall-skip
+        assert len(self.trail.entries) == 1
+
+    def test_occurs_in(self):
+        v = Var()
+        assert occurs_in(v, mkstruct("f", mkstruct("g", v)))
+        assert not occurs_in(v, mkstruct("f", 1))
+
+
+# --------------------------------------------------------------------------
+# variant keys / groundness / copies
+# --------------------------------------------------------------------------
+
+class TestCanonicalKeys:
+    def test_variants_share_key(self):
+        x, y = Var(), Var()
+        a, b = Var(), Var()
+        t1 = mkstruct("p", x, mkstruct("f", y, x))
+        t2 = mkstruct("p", a, mkstruct("f", b, a))
+        assert canonical_key(t1) == canonical_key(t2)
+
+    def test_non_variants_differ(self):
+        x, y = Var(), Var()
+        t1 = mkstruct("p", x, x)
+        t2 = mkstruct("p", x, y)
+        assert canonical_key(t1) != canonical_key(t2)
+
+    def test_is_variant(self):
+        assert is_variant(mkstruct("f", Var()), mkstruct("f", Var()))
+        assert not is_variant(mkstruct("f", 1), mkstruct("f", 2))
+
+    def test_key_distinguishes_atom_and_string_number(self):
+        assert canonical_key(mkatom("1")) != canonical_key(1)
+
+    def test_instantiate_key_roundtrip(self):
+        t = mkstruct("p", Var(), mkstruct("g", Var(), 3, mkatom("a")))
+        rebuilt = instantiate_key(canonical_key(t))
+        assert is_variant(t, rebuilt)
+
+
+class TestGroundAndCopy:
+    def test_ground(self):
+        assert is_ground(mkstruct("f", 1, mkatom("a")))
+        assert not is_ground(mkstruct("f", Var()))
+
+    def test_copy_term_is_variant_and_independent(self):
+        x = Var()
+        t = mkstruct("f", x, x, 3)
+        c = copy_term(t)
+        assert is_variant(t, c)
+        trail = Trail()
+        bind(c.args[0], 1, trail)
+        assert x.ref is None  # original untouched
+
+    def test_copy_term_resolves_bindings(self):
+        x = Var()
+        trail = Trail()
+        bind(x, mkatom("a"), trail)
+        c = copy_term(mkstruct("f", x))
+        trail.undo_to(0)
+        assert deref(c.args[0]) is mkatom("a")
+
+    def test_resolve_substitutes(self):
+        x = Var()
+        trail = Trail()
+        bind(x, 5, trail)
+        r = resolve(mkstruct("f", x))
+        assert r.args[0] == 5
+
+    def test_term_variables_order(self):
+        x, y, z = Var("X"), Var("Y"), Var("Z")
+        t = mkstruct("f", x, mkstruct("g", y, x), z)
+        assert term_variables(t) == [x, y, z]
+
+
+# --------------------------------------------------------------------------
+# ordering and subsumption
+# --------------------------------------------------------------------------
+
+class TestOrdering:
+    def test_type_order(self):
+        v = Var()
+        terms = [mkstruct("f", 1), mkatom("a"), 3, v]
+        ordered = sorted(
+            terms, key=lambda t: [0 if compare_terms(t, u) <= 0 else 1 for u in terms]
+        )
+        # Var < Number < Atom < Struct
+        assert compare_terms(v, 3) < 0
+        assert compare_terms(3, mkatom("a")) < 0
+        assert compare_terms(mkatom("a"), mkstruct("f", 1)) < 0
+
+    def test_struct_order_by_arity_then_name(self):
+        assert compare_terms(mkstruct("z", 1), mkstruct("a", 1, 2)) < 0
+        assert compare_terms(mkstruct("a", 1), mkstruct("b", 1)) < 0
+
+    def test_equal_structs(self):
+        assert compare_terms(mkstruct("f", 1, mkatom("a")),
+                             mkstruct("f", 1, mkatom("a"))) == 0
+
+    def test_subsumes_general_specific(self):
+        x = Var()
+        assert subsumes(mkstruct("f", x, x), mkstruct("f", 1, 1))
+        assert not subsumes(mkstruct("f", x, x), mkstruct("f", 1, 2))
+        assert not subsumes(mkstruct("f", 1), mkstruct("f", Var()))
+
+
+# --------------------------------------------------------------------------
+# lists
+# --------------------------------------------------------------------------
+
+class TestLists:
+    def test_roundtrip(self):
+        items = [1, mkatom("a"), mkstruct("f", 2)]
+        assert list_to_python(make_list(items)) == items
+
+    def test_empty(self):
+        assert list_to_python(make_list([])) == []
+
+    def test_proper_list_detection(self):
+        assert is_proper_list(make_list([1, 2]))
+        assert not is_proper_list(make_list([1], tail=Var()))
+
+    def test_improper_list_raises(self):
+        from repro.errors import TypeError_
+
+        with pytest.raises(TypeError_):
+            list_to_python(make_list([1], tail=mkatom("x")))
+
+
+# --------------------------------------------------------------------------
+# property-based tests
+# --------------------------------------------------------------------------
+
+def terms(max_leaves=12):
+    """Hypothesis strategy for random (possibly non-ground) terms."""
+    leaf = st.one_of(
+        st.integers(-5, 5),
+        st.sampled_from([mkatom(n) for n in "abcde"]),
+        st.builds(Var),
+    )
+    return st.recursive(
+        leaf,
+        lambda child: st.builds(
+            lambda name, args: Struct(name, tuple(args)),
+            st.sampled_from(["f", "g", "h"]),
+            st.lists(child, min_size=1, max_size=3),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+@given(terms())
+@settings(max_examples=150, deadline=None)
+def test_prop_copy_is_variant(t):
+    assert is_variant(t, copy_term(t))
+
+
+@given(terms())
+@settings(max_examples=150, deadline=None)
+def test_prop_canonical_key_roundtrip(t):
+    rebuilt = instantiate_key(canonical_key(t))
+    assert canonical_key(rebuilt) == canonical_key(t)
+
+
+@given(terms(), terms())
+@settings(max_examples=150, deadline=None)
+def test_prop_unify_symmetric(a, b):
+    trail = Trail()
+    a1, b1 = copy_term(a), copy_term(b)
+    mark = trail.mark()
+    left = unify(a1, b1, trail)
+    trail.undo_to(mark)
+    a2, b2 = copy_term(a), copy_term(b)
+    right = unify(b2, a2, trail)
+    trail.undo_to(mark)
+    assert left == right
+
+
+@given(terms())
+@settings(max_examples=100, deadline=None)
+def test_prop_unify_reflexive_on_copy(t):
+    trail = Trail()
+    assert unify(copy_term(t), copy_term(t), trail)
+
+
+@given(terms())
+@settings(max_examples=100, deadline=None)
+def test_prop_ground_copy_equal(t):
+    c = copy_term(t)
+    if is_ground(t):
+        assert compare_terms(t, c) == 0
+
+
+@given(terms())
+@settings(max_examples=100, deadline=None)
+def test_prop_compare_self_zero(t):
+    assert compare_terms(t, t) == 0
+
+
+@given(terms())
+@settings(max_examples=100, deadline=None)
+def test_prop_general_subsumes_instance(t):
+    trail = Trail()
+    instance = copy_term(t)
+    # ground the instance's variables
+    for i, v in enumerate(term_variables(instance)):
+        bind(v, i, trail)
+    assert subsumes(t, instance)

@@ -1,0 +1,262 @@
+"""Tests for the byte-code compiler, emulator and object files."""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExistenceError, StorageError
+from repro.lang import parse_term, parse_terms
+from repro.terms import Var, deref
+from repro.wam import (
+    WamMachine,
+    compile_predicate,
+    compile_query_term,
+    disassemble,
+    load_object_file,
+    save_object_file,
+)
+from repro.wam.compiler import compile_clause_code
+from repro.wam.instructions import (
+    CALL,
+    GET_CONSTANT,
+    GET_STRUCTURE,
+    PROCEED,
+    PUT_VALUE,
+)
+
+
+def run(machine, text):
+    return machine.run_query(*compile_query_term(parse_term(text)))
+
+
+def machine_for(name, arity, program_text):
+    machine = WamMachine()
+    machine.define(compile_predicate(name, arity, parse_terms(program_text)))
+    return machine
+
+
+class TestCompiler:
+    def test_fact_code_shape(self):
+        clause = compile_clause_code(parse_term("f(a, 1)").args, [])
+        ops = [i[0] for i in clause.code]
+        assert ops == [GET_CONSTANT, GET_CONSTANT, PROCEED]
+
+    def test_rule_has_call(self):
+        term = parse_term("p(X) :- q(X)")
+        clause = compile_clause_code(
+            (term.args[0].args[0],), [term.args[1]]
+        )
+        assert CALL in [i[0] for i in clause.code]
+
+    def test_nested_structures_flattened(self):
+        clause = compile_clause_code(parse_term("p(f(g(a)))").args, [])
+        structure_ops = [
+            i for i in clause.code if i[0] == GET_STRUCTURE
+        ]
+        assert len(structure_ops) == 2  # f/1 and the nested g/1
+
+    def test_disassemble_readable(self):
+        clause = compile_clause_code(parse_term("p(X, X)").args, [])
+        listing = disassemble(clause.code)
+        assert "get_variable" in listing and "get_value" in listing
+
+    def test_switch_on_first_argument(self):
+        pred = compile_predicate(
+            "e", 2, parse_terms("e(a, 1). e(b, 2). e(a, 3). e(X, 0).")
+        )
+        from repro.index.hash_index import outer_symbol
+        from repro.terms import mkatom
+
+        candidates = list(pred.candidates(outer_symbol(mkatom("a"))))
+        # two a-clauses plus the variable clause
+        assert candidates == [0, 2, 3]
+        assert list(pred.candidates(None)) == [0, 1, 2, 3]
+
+
+class TestEmulator:
+    def test_facts(self):
+        m = machine_for("e", 2, "e(1, 2). e(2, 3).")
+        assert run(m, "e(1, X)") == [{"X": 2}]
+        assert run(m, "e(9, X)") == []
+
+    def test_conjunction_and_backtracking(self):
+        m = machine_for("n", 1, "n(1). n(2). n(3).")
+        answers = run(m, "n(X), n(Y), X < Y")
+        assert len(answers) == 3
+
+    def test_recursion(self):
+        m = WamMachine()
+        m.define(compile_predicate("e", 2, parse_terms("e(1,2). e(2,3).")))
+        m.define(
+            compile_predicate(
+                "p",
+                2,
+                parse_terms("p(X,Y) :- e(X,Y). p(X,Y) :- e(X,Z), p(Z,Y)."),
+            )
+        )
+        assert sorted(a["Y"] for a in run(m, "p(1, Y)")) == [2, 3]
+
+    def test_append_both_modes(self):
+        m = machine_for(
+            "app", 3, "app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."
+        )
+        forward = run(m, "app([1,2],[3],R)")
+        assert len(forward) == 1
+        splits = run(m, "app(X, Y, [1,2,3])")
+        assert len(splits) == 4
+
+    def test_structure_building_in_body(self):
+        m = machine_for("w", 2, "w(X, f(g(X), 2)).")
+        answers = run(m, "w(7, R)")
+        assert str(answers[0]["R"]) == "f(g(7),2)"
+
+    def test_repeated_variables(self):
+        m = machine_for("same", 2, "same(X, X).")
+        assert run(m, "same(f(1), f(1))") == [{}]
+        assert run(m, "same(f(1), f(2))") == []
+
+    def test_arithmetic_builtins(self):
+        m = machine_for("n", 1, "n(3). n(4).")
+        answers = run(m, "n(X), Y is X * X, Y >= 10")
+        assert [a["Y"] for a in answers] == [16]
+
+    def test_unify_builtin(self):
+        m = machine_for("n", 1, "n(1).")
+        assert run(m, "n(X), X = 1") == [{"X": 1}]
+
+    def test_undefined_predicate(self):
+        m = WamMachine()
+        with pytest.raises(ExistenceError):
+            run(m, "ghost(1)")
+
+    def test_trail_restored_after_run(self):
+        m = machine_for("n", 1, "n(1). n(2).")
+        run(m, "n(X)")
+        assert len(m.trail) == 0
+
+    def test_instruction_counter(self):
+        m = machine_for("n", 1, "n(1).")
+        before = m.instructions_executed
+        run(m, "n(X)")
+        assert m.instructions_executed > before
+
+
+class TestObjectFiles:
+    def test_roundtrip_rules(self):
+        pred = compile_predicate(
+            "p", 2, parse_terms("p(X,Y) :- q(X,Y). p(a,b).")
+        )
+        path = tempfile.mktemp(suffix=".xwam")
+        try:
+            save_object_file(path, [pred])
+            loaded = load_object_file(path)[0]
+            assert loaded.name == "p" and loaded.arity == 2
+            m = WamMachine()
+            m.define(loaded)
+            m.define(compile_predicate("q", 2, parse_terms("q(1,2).")))
+            assert run(m, "p(1, Y)") == [{"Y": 2}]
+            assert run(m, "p(a, Y)")[0]["Y"].name == "b"
+        finally:
+            os.unlink(path)
+
+    def test_fact_block_roundtrip(self):
+        pred = compile_predicate(
+            "e", 2, parse_terms("e(1, a). e(2, b). e(3, c).")
+        )
+        path = tempfile.mktemp(suffix=".xwam")
+        try:
+            save_object_file(path, [pred])
+            loaded = load_object_file(path)[0]
+            from repro.wam.objfile import FactClause
+
+            assert all(isinstance(c, FactClause) for c in loaded.clauses)
+            m = WamMachine()
+            m.define(loaded)
+            assert run(m, "e(2, X)")[0]["X"].name == "b"
+            assert len(run(m, "e(X, Y)")) == 3
+        finally:
+            os.unlink(path)
+
+    def test_fact_block_resaves(self):
+        """A loaded fact block can be saved again (round-trip twice)."""
+        pred = compile_predicate("e", 1, parse_terms("e(1). e(2)."))
+        p1, p2 = tempfile.mktemp(), tempfile.mktemp()
+        try:
+            save_object_file(p1, [pred])
+            loaded = load_object_file(p1)[0]
+            save_object_file(p2, [loaded])
+            again = load_object_file(p2)[0]
+            m = WamMachine({("e", 1): again})
+            assert len(run(m, "e(X)")) == 2
+        finally:
+            os.unlink(p1)
+            os.unlink(p2)
+
+    def test_bad_magic_rejected(self):
+        path = tempfile.mktemp()
+        try:
+            with open(path, "wb") as handle:
+                handle.write(b"NOTANOBJ")
+            with pytest.raises(StorageError):
+                load_object_file(path)
+        finally:
+            os.unlink(path)
+
+
+class TestAgainstMainEngine:
+    """The WAM backend and the template engine must agree."""
+
+    PROGRAM = """
+    e(1,2). e(2,3). e(3,4). e(2,5).
+    p(X,Y) :- e(X,Y).
+    p(X,Y) :- e(X,Z), p(Z,Y).
+    """
+
+    def test_path_answers_agree(self):
+        from repro import Engine
+
+        engine = Engine()
+        engine.consult_string(self.PROGRAM)
+        expected = sorted(s["Y"] for s in engine.query("p(1, Y)"))
+
+        m = WamMachine()
+        m.define(
+            compile_predicate(
+                "e", 2, parse_terms("e(1,2). e(2,3). e(3,4). e(2,5).")
+            )
+        )
+        m.define(
+            compile_predicate(
+                "p",
+                2,
+                parse_terms(
+                    "p(X,Y) :- e(X,Y). p(X,Y) :- e(X,Z), p(Z,Y)."
+                ),
+            )
+        )
+        got = sorted(a["Y"] for a in run(m, "p(1, Y)"))
+        assert got == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 5), st.integers(1, 5)),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prop_fact_queries_agree(self, edges):
+        from repro import Engine
+
+        engine = Engine(unknown="fail")
+        engine.add_facts("e", edges)
+        text = "\n".join(f"e({a},{b})." for a, b in edges)
+        m = machine_for("e", 2, text)
+        for probe in range(1, 6):
+            expected = sorted(s["X"] for s in engine.query(f"e({probe}, X)"))
+            got = sorted(a["X"] for a in run(m, f"e({probe}, X)"))
+            assert got == expected

@@ -1,0 +1,176 @@
+"""Tests for the alternating fixpoint and the WFS interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bottomup import parse_program
+from repro.bottomup.wellfounded import (
+    alternating_fixpoint,
+    ground_program,
+    well_founded_model,
+)
+from repro.engine.wfs import FALSE, TRUE, UNDEFINED, WFSInterpreter
+
+WIN = "win(X) :- move(X, Y), tnot(win(Y))."
+
+
+class TestAlternatingFixpoint:
+    def test_definite_program_all_true(self):
+        program, _ = parse_program("p(X) :- e(X). q(X) :- p(X).")
+        true_atoms, undefined = well_founded_model(
+            program, {("e", 1): [(1,)]}
+        )
+        assert ("p", (1,)) in true_atoms
+        assert ("q", (1,)) in true_atoms
+        assert not undefined
+
+    def test_stratified_negation(self):
+        program, _ = parse_program("q(X) :- n(X), \\+ p(X). p(1).")
+        true_atoms, undefined = well_founded_model(
+            program, {("n", 1): [(1,), (2,)], ("p", 1): [(1,)]}
+        )
+        assert ("q", (2,)) in true_atoms
+        assert ("q", (1,)) not in true_atoms
+        assert not undefined
+
+    def test_two_cycle_undefined(self):
+        program, _ = parse_program(WIN)
+        true_atoms, undefined = well_founded_model(
+            program, {("move", 2): [("a", "b"), ("b", "a")]}
+        )
+        assert ("win", ("a",)) in undefined
+        assert ("win", ("b",)) in undefined
+
+    def test_win_chain(self):
+        # a -> b -> c: c loses, b wins, a loses
+        program, _ = parse_program(WIN)
+        true_atoms, undefined = well_founded_model(
+            program, {("move", 2): [("a", "b"), ("b", "c")]}
+        )
+        assert ("win", ("b",)) in true_atoms
+        assert ("win", ("a",)) not in true_atoms
+        assert not undefined
+
+    def test_escape_from_cycle(self):
+        # b is in a draw-cycle with a, but b can also move to c (lost):
+        # b wins; a's only move is to the winner: a loses... except a's
+        # move to b - b is won, so a is lost; and the cycle resolves.
+        program, _ = parse_program(WIN)
+        true_atoms, undefined = well_founded_model(
+            program,
+            {("move", 2): [("a", "b"), ("b", "a"), ("b", "c")]},
+        )
+        assert ("win", ("b",)) in true_atoms
+        assert not undefined
+        assert ("win", ("a",)) not in true_atoms
+
+    def test_grounding_restricts_to_derivable(self):
+        program, _ = parse_program(WIN)
+        rules = ground_program(
+            program, {("move", 2): [("a", "b")]}
+        )
+        heads = {head for head, _, _ in rules}
+        # win(c) is never derivable: not ground-instantiated
+        assert ("win", ("c",)) not in heads
+
+
+class TestWFSInterpreter:
+    def test_truth_values(self):
+        wfs = WFSInterpreter(WIN)
+        wfs.add_facts("move", [("a", "b"), ("b", "a"), ("b", "c")])
+        assert wfs.truth("win", ("b",)) == TRUE
+        assert wfs.truth("win", ("a",)) == FALSE
+        assert wfs.truth("win", ("c",)) == FALSE
+        assert wfs.truth("win", ("zzz",)) == FALSE
+
+    def test_undefined_loop(self):
+        wfs = WFSInterpreter(WIN)
+        wfs.add_facts("move", [("a", "b"), ("b", "a")])
+        assert wfs.truth("win", ("a",)) == UNDEFINED
+
+    def test_open_query_partitions(self):
+        wfs = WFSInterpreter(WIN)
+        wfs.add_facts("move", [("a", "b"), ("b", "a"), ("c", "d")])
+        true_rows, undefined_rows = wfs.query("win", (None,))
+        assert true_rows == [("c",)]
+        assert undefined_rows == [("a",), ("b",)]
+
+    def test_residual_program_over_undefined(self):
+        wfs = WFSInterpreter(WIN)
+        wfs.add_facts("move", [("a", "b"), ("b", "a")])
+        residual = wfs.residual()
+        heads = {head for head, _, _ in residual}
+        assert heads == {("win", ("a",)), ("win", ("b",))}
+        # each residual rule is conditioned on the other's negation
+        for head, pos, neg in residual:
+            assert not pos
+            assert len(neg) == 1
+
+    def test_stable_models_of_two_cycle(self):
+        # the 2-cycle has two total stable models: {win(a)} and {win(b)}
+        wfs = WFSInterpreter(WIN)
+        wfs.add_facts("move", [("a", "b"), ("b", "a")])
+        models = wfs.stable_models()
+        assert sorted(sorted(m) for m in models) == [
+            [("win", ("a",))],
+            [("win", ("b",))],
+        ]
+
+    def test_from_engine(self):
+        from repro import Engine
+
+        engine = Engine()
+        engine.consult_string(WIN + "\nmove(a, b). move(b, a).")
+        wfs = WFSInterpreter.from_engine(engine)
+        assert wfs.truth("win", ("a",)) == UNDEFINED
+
+    def test_model_cached_until_facts_change(self):
+        wfs = WFSInterpreter(WIN)
+        wfs.add_facts("move", [("a", "b")])
+        first = wfs.model()
+        assert wfs.model() is first
+        wfs.add_facts("move", [("b", "c")])
+        assert wfs.model() is not first
+
+    def test_arithmetic_in_wfs_program(self):
+        wfs = WFSInterpreter(
+            "big(X) :- n(X), X > 2.\nsmall(X) :- n(X), tnot(big(X))."
+        )
+        wfs.add_facts("n", [(1,), (5,)])
+        assert wfs.truth("small", (1,)) == TRUE
+        assert wfs.truth("small", (5,)) == FALSE
+
+
+class TestWFSAgainstEngine:
+    """On modularly stratified inputs the engine's tnot and the WFS
+    interpreter must agree (WFS is total there)."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 7), st.integers(1, 7)),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_prop_win_agrees_when_acyclic(self, edges):
+        # keep only forward edges: acyclic -> modularly stratified
+        edges = [(a, b) for a, b in edges if a < b]
+        if not edges:
+            return
+        from repro import Engine
+
+        engine = Engine(unknown="fail")
+        engine.consult_string(
+            ":- table win/1.\nwin(X) :- move(X,Y), tnot(win(Y))."
+        )
+        engine.add_facts("move", edges)
+        wfs = WFSInterpreter(WIN)
+        wfs.add_facts("move", edges)
+        nodes = {a for a, _ in edges} | {b for _, b in edges}
+        for node in nodes:
+            engine_says = engine.has_solution(f"win({node})")
+            wfs_says = wfs.truth("win", (node,)) == TRUE
+            assert engine_says == wfs_says, node
