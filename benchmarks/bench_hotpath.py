@@ -1,0 +1,225 @@
+"""Hot-path microbenchmarks: variant check-in, answer insert/consume,
+clause dispatch — plus the end-to-end tabled programs they feed.
+
+Unlike the paper-figure benchmarks (which compare strategies against
+each other), this file times the *engine's own* hot paths so that
+engine work can be shown as a speedup against a committed baseline:
+``BENCH_hotpath.json`` holds the current tree's numbers and
+``BENCH_hotpath_before.json`` the numbers of the tree this PR started
+from, both written by :func:`repro.bench.write_json_results`.
+
+Run standalone to (re)generate the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out benchmarks/BENCH_hotpath.json
+
+The end-to-end series use only the stable public API (``Engine``,
+``query``/``count``), so the script also runs unmodified against older
+trees to produce a "before" file.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Engine  # noqa: E402
+from repro.bench import (  # noqa: E402
+    chain_edges,
+    cycle_edges,
+    format_table,
+    same_generation_facts,
+    time_call,
+)
+
+try:  # present after the statistics-layer PR; before-trees lack it
+    from repro.bench import write_json_results
+except ImportError:  # pragma: no cover - exercised only on old trees
+    import platform
+
+    def write_json_results(path, results, meta=None):
+        payload = {
+            "meta": {"python": platform.python_version(), **(meta or {})},
+            "results": {k: float(v) for k, v in results.items()},
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return payload
+
+
+PATH_LEFT = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+"""
+
+PATH_DOUBLE = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), path(Z,Y).
+"""
+
+SAME_GEN = """
+:- table sg/2.
+:- index(par/2, [1, 2]).
+sg(X,X).
+sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).
+"""
+
+
+def _engine(program, facts=()):
+    engine = Engine()
+    engine.consult_string(program)
+    for name, rows in facts:
+        engine.add_facts(name, rows)
+    return engine
+
+
+# -- end-to-end tabled series (stable API; runs on before-trees too) -------
+
+def run_leftrec_chain():
+    engine = _engine(PATH_LEFT, [("edge", chain_edges(1024))])
+    return engine.count("path(1, X)")
+
+
+def run_leftrec_cycle():
+    engine = _engine(PATH_LEFT, [("edge", cycle_edges(256))])
+    return engine.count("path(1, X)")
+
+
+def run_metainterp_cycle():
+    from repro.engine.interp import MetaInterpreter
+
+    engine = _engine(PATH_LEFT, [("edge", cycle_edges(20))])
+    return MetaInterpreter(engine).count("path(1, X)")
+
+
+def run_samegen():
+    engine = _engine(SAME_GEN, [("par", same_generation_facts(2, 5))])
+    return engine.count("sg(32, X)")
+
+
+def run_doublerec_cycle():
+    engine = _engine(PATH_DOUBLE, [("edge", cycle_edges(48))])
+    return engine.count("path(1, X)")
+
+
+# -- microbenchmark series (hot paths in isolation) ------------------------
+
+def run_variant_checkin():
+    """Repeated tabled calls that are all variant *hits*."""
+    engine = _engine(PATH_LEFT, [("edge", chain_edges(64))])
+    engine.count("path(1, X)")  # complete the table
+    total = 0
+    for _ in range(200):
+        total += engine.count("path(1, X)")
+    return total
+
+
+def run_answer_consume():
+    """Drain a large completed table repeatedly (answer return path)."""
+    engine = _engine(PATH_LEFT, [("edge", chain_edges(1024))])
+    engine.count("path(1, X)")
+    total = 0
+    for _ in range(20):
+        total += engine.count("path(1, X)")
+    return total
+
+
+def run_clause_dispatch():
+    """First-argument-indexed fact retrieval, bound and unbound."""
+    engine = _engine("", [("edge", chain_edges(512))])
+    total = 0
+    for _ in range(30):
+        for node in range(1, 512, 7):
+            total += engine.count(f"edge({node}, X)")
+    return total
+
+
+EXPECTED = {
+    "leftrec_chain_1024": 1023,
+    "leftrec_cycle_256": 256,
+    "metainterp_cycle_20": 20,
+    "samegen_depth_5": 32,
+    "doublerec_cycle_48": 48,
+    "variant_checkin": 200 * 63,
+    "answer_consume": 20 * 1023,
+    "clause_dispatch": 30 * 73,
+}
+
+SERIES = {
+    "leftrec_chain_1024": run_leftrec_chain,
+    "leftrec_cycle_256": run_leftrec_cycle,
+    "metainterp_cycle_20": run_metainterp_cycle,
+    "samegen_depth_5": run_samegen,
+    "doublerec_cycle_48": run_doublerec_cycle,
+    "variant_checkin": run_variant_checkin,
+    "answer_consume": run_answer_consume,
+    "clause_dispatch": run_clause_dispatch,
+}
+
+
+def run_all(repeat=3, names=None):
+    """Best-of-``repeat`` seconds per series; checks result counts."""
+    results = {}
+    for name, fn in SERIES.items():
+        if names is not None and name not in names:
+            continue
+        seconds, value = time_call(fn, repeat=repeat)
+        expected = EXPECTED[name]
+        assert value == expected, f"{name}: got {value}, expected {expected}"
+        results[name] = seconds
+    return results
+
+
+# -- pytest entry points ---------------------------------------------------
+
+def test_hotpath_series_write_json(benchmark, tmp_path):
+    benchmark(run_leftrec_chain)
+    results = run_all(repeat=1)
+    out = tmp_path / "BENCH_hotpath.json"
+    payload = write_json_results(str(out), results, meta={"repeat": 1})
+    again = json.loads(out.read_text())
+    assert again["results"].keys() == payload["results"].keys()
+    print()
+    print(format_table(
+        ["series", "ms"],
+        [(name, seconds * 1e3) for name, seconds in results.items()],
+    ))
+
+
+def test_completed_table_faster_than_first_run(benchmark):
+    def ratio():
+        engine = _engine(PATH_LEFT, [("edge", chain_edges(512))])
+        first, n1 = time_call(engine.count, "path(1, X)")
+        second, n2 = time_call(engine.count, "path(1, X)")
+        assert n1 == n2 == 511
+        return first / second
+
+    # Re-running against a completed table skips all clause resolution;
+    # it must beat the fixpoint computation by a wide margin.
+    assert benchmark(ratio) > 2.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("series", nargs="*", help="subset of series names")
+    options = parser.parse_args()
+    unknown = sorted(set(options.series) - set(SERIES))
+    if unknown:
+        parser.error(
+            f"unknown series: {', '.join(unknown)} "
+            f"(choose from {', '.join(SERIES)})"
+        )
+    timings = run_all(repeat=options.repeat, names=options.series or None)
+    for name, seconds in timings.items():
+        print(f"{name:24s} {seconds * 1e3:10.3f} ms")
+    if options.out:
+        write_json_results(
+            options.out, timings, meta={"repeat": options.repeat}
+        )
+        print(f"wrote {options.out}")

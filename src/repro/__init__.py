@@ -21,14 +21,6 @@ the paper's systems/experiments to modules, and EXPERIMENTS.md for the
 measured reproduction of every table and figure.
 """
 
-import sys as _sys
-
-# Term-walking helpers (copy_term, canonical_key, the writer) recurse on
-# term depth; Prolog lists nest one level per element, so lift Python's
-# default limit to accommodate the list sizes the benchmarks use.
-if _sys.getrecursionlimit() < 40000:
-    _sys.setrecursionlimit(40000)
-
 from .engine import Engine
 from .errors import (
     EvaluationError,

@@ -8,7 +8,16 @@ from .data import (
     join_relations,
     same_generation_facts,
 )
-from .harness import RowTimer, banner, format_table, geometric_mean, time_call
+from .harness import (
+    RowTimer,
+    banner,
+    compare_results,
+    format_table,
+    geometric_mean,
+    read_json_results,
+    time_call,
+    write_json_results,
+)
 
 __all__ = [
     "chain_edges",
@@ -22,4 +31,7 @@ __all__ = [
     "format_table",
     "banner",
     "geometric_mean",
+    "write_json_results",
+    "read_json_results",
+    "compare_results",
 ]

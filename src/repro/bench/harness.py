@@ -8,10 +8,21 @@ from the paper (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import math
+import platform
 import time
 
-__all__ = ["time_call", "RowTimer", "format_table", "banner", "geometric_mean"]
+__all__ = [
+    "time_call",
+    "RowTimer",
+    "format_table",
+    "banner",
+    "geometric_mean",
+    "write_json_results",
+    "read_json_results",
+    "compare_results",
+]
 
 
 def time_call(fn, *args, repeat=1, **kwargs):
@@ -88,3 +99,54 @@ def geometric_mean(values):
     if not values:
         return float("nan")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# --------------------------------------------------------------------------
+# JSON result files (before/after comparisons)
+# --------------------------------------------------------------------------
+
+def write_json_results(path, results, meta=None):
+    """Persist benchmark timings for later comparison.
+
+    ``results`` maps series name to seconds (floats).  The interpreter
+    version is recorded so a comparison across different Pythons is
+    visibly apples-to-oranges.  Returns the payload written.
+    """
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            **(meta or {}),
+        },
+        "results": {name: float(seconds) for name, seconds in results.items()},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def read_json_results(path):
+    """Load a file written by :func:`write_json_results`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return payload
+
+
+def compare_results(before, after):
+    """Per-series speedups plus their geometric mean.
+
+    Takes two payloads (or their ``results`` dicts); returns
+    ``(rows, geomean)`` where rows are ``(name, before_s, after_s,
+    speedup)`` for the series present in both.
+    """
+    before = before.get("results", before)
+    after = after.get("results", after)
+    rows = []
+    for name in sorted(before):
+        if name in after and after[name] > 0:
+            rows.append(
+                (name, before[name], after[name], before[name] / after[name])
+            )
+    mean = geometric_mean([speedup for _, _, _, speedup in rows])
+    return rows, mean

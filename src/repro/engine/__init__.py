@@ -26,6 +26,7 @@ from ..terms import (
     mkatom,
     resolve,
 )
+from ..perf import EngineStats
 from ..terms.rename import copy_term
 from .builtins import default_registry
 from .clause import Clause
@@ -85,6 +86,10 @@ class Engine:
         (section 4.7) during consult.
     output:
         stream for ``write/1`` and friends.
+    statistics:
+        ``True`` (default) keeps the engine event counters live so
+        ``statistics/0,2`` report real numbers; ``False`` disables all
+        counting (each counting site then costs one ``is None`` test).
     """
 
     def __init__(
@@ -94,9 +99,11 @@ class Engine:
         subgoal_index="dict",
         hilog_specialize=True,
         output=None,
+        statistics=True,
     ):
         if answer_store not in ("hash", "trie"):
             raise ValueError("answer_store must be 'hash' or 'trie'")
+        self.stats = EngineStats(enabled=statistics)
         self.db = Database()
         self.tables = TableSpace(
             use_trie=(answer_store == "trie"), subgoal_index=subgoal_index
@@ -142,10 +149,22 @@ class Engine:
         return clause
 
     def add_facts(self, name, rows, dynamic=True):
-        """Bulk-insert ground facts from an iterable of tuples."""
+        """Bulk-insert ground facts from an iterable of tuples.
+
+        The predicate lookup is hoisted out of the loop (keyed per
+        arity, since rows may in principle vary), so bulk loading pays
+        one database probe per relation rather than one per fact.
+        """
         count = 0
+        preds = {}
         for row in rows:
-            self.add_fact(name, *row, dynamic=dynamic)
+            terms = tuple(python_to_term(a) for a in row)
+            pred = preds.get(len(terms))
+            if pred is None:
+                pred = self.db.ensure(name, len(terms), dynamic=dynamic)
+                pred.dynamic = pred.dynamic or dynamic
+                preds[len(terms)] = pred
+            pred.add_clause(Clause(name, terms, (), 0))
             count += 1
         return count
 
@@ -313,6 +332,19 @@ class Engine:
 
     def table_statistics(self):
         return self.tables.statistics()
+
+    def statistics(self):
+        """Merged engine statistics: SLG scheduling counters plus
+        table-space usage — the keys ``statistics/2`` enumerates."""
+        merged = self.stats.snapshot()
+        merged.update(self.tables.statistics())
+        return merged
+
+    def reset_statistics(self):
+        """Zero the scheduling counters (table-space usage is live
+        state and is not reset)."""
+        self.stats.reset()
+        return self
 
     def abolish_all_tables(self):
         self.tables.abolish_all()

@@ -428,12 +428,13 @@ def bi_tnot(machine, args, goals):
     table, then succeed iff it has no answer (section 4.4)."""
     goal = _resolve_tabled_negation(machine, args[0], "tnot/1")
     tables = machine.engine.tables
-    frame = tables.lookup_term(goal)
+    key = tables.call_key(goal)
+    frame = tables.lookup_term(goal, key=key)
     if frame is not None and not frame.complete:
         raise NonStratifiedError(frame.indicator)
     if frame is None:
         machine.nested_drain(goal, MODE_NEGATION)
-        frame = tables.lookup_term(goal)
+        frame = tables.lookup_term(goal, key=key)
     if frame is None or not frame.complete:
         raise TablingError(f"tnot/1: table for {goal!r} did not complete")
     return None if frame.has_unconditional_answer() else goals.next
@@ -751,6 +752,50 @@ def bi_abolish_all_tables(machine, args, goals):
     return goals.next
 
 
+def bi_statistics0(machine, args, goals):
+    """``statistics/0`` — print every counter to the engine's output."""
+    from ..perf import STATISTIC_KEYS
+
+    stats = machine.engine.statistics()
+    out = machine.engine.output
+    width = max(len(key) for key in STATISTIC_KEYS)
+    for key in STATISTIC_KEYS:
+        out.write(f"{key.ljust(width)}  {stats[key]}\n")
+    return goals.next
+
+
+def bi_statistics2(machine, args, goals):
+    """``statistics(Key, Value)`` — one counter, or enumerate all.
+
+    ``Key`` bound to a known counter name unifies ``Value`` with its
+    current integer; an unbound ``Key`` backtracks through every
+    counter in reporting order.
+    """
+    from ..perf import STATISTIC_KEYS
+
+    key, value = deref(args[0]), args[1]
+    stats = machine.engine.statistics()
+    if isinstance(key, Atom):
+        if key.name not in stats:
+            raise TypeError_("statistics key", key)
+        return _unify_or_fail(machine, value, stats[key.name], goals)
+    if not isinstance(key, Var):
+        raise TypeError_("atom", key)
+    trail = machine.trail
+
+    def thunk_for(name):
+        def thunk():
+            return unify(key, mkatom(name), trail) and unify(
+                value, stats[name], trail
+            )
+
+        return thunk
+
+    return _nondet(
+        machine, (thunk_for(name) for name in STATISTIC_KEYS), goals
+    )
+
+
 # --------------------------------------------------------------------------
 # atoms, lists, sorting, output
 # --------------------------------------------------------------------------
@@ -989,6 +1034,8 @@ def default_registry():
         ("abolish", 1): bi_abolish,
         ("clause", 2): bi_clause,
         ("abolish_all_tables", 0): bi_abolish_all_tables,
+        ("statistics", 0): bi_statistics0,
+        ("statistics", 2): bi_statistics2,
         ("atom_codes", 2): bi_atom_codes,
         ("atom_chars", 2): bi_atom_chars,
         ("atom_length", 2): bi_atom_length,

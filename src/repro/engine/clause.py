@@ -19,8 +19,9 @@ skips this machinery so the two tiers can be compared (section 3.2).
 
 from __future__ import annotations
 
-from ..terms import Atom, Struct, Var, bind, deref, unify
+from ..terms import Atom, Struct, Var, bind, deref, mkatom, unify
 from ..terms.compare import canonical_key
+from ..terms.rename import copy_term
 
 __all__ = ["SlotRef", "Clause", "compile_clause", "decompose_clause"]
 
@@ -48,7 +49,11 @@ class SlotRef(Var):
 
 
 def _skeletonize(term, slots):
-    """Replace variables by SlotRefs, assigning slot numbers on first use."""
+    """Replace variables by SlotRefs, assigning slot numbers on first use.
+
+    Iterative so that asserting deep facts (long lists) cannot blow the
+    recursion limit.
+    """
     term = deref(term)
     if isinstance(term, Var):
         ref = slots.get(id(term))
@@ -56,9 +61,35 @@ def _skeletonize(term, slots):
             ref = SlotRef(len(slots), term.name)
             slots[id(term)] = ref
         return ref
-    if isinstance(term, Struct):
-        return Struct(term.name, tuple(_skeletonize(a, slots) for a in term.args))
-    return term
+    if not isinstance(term, Struct):
+        return term
+    parts = []
+    stack = [(term, iter(term.args), parts)]
+    while True:
+        src, it, parts = stack[-1]
+        descended = False
+        for child in it:
+            child = deref(child)
+            if isinstance(child, Var):
+                ref = slots.get(id(child))
+                if ref is None:
+                    ref = SlotRef(len(slots), child.name)
+                    slots[id(child)] = ref
+                parts.append(ref)
+            elif isinstance(child, Struct):
+                child_parts = []
+                stack.append((child, iter(child.args), child_parts))
+                descended = True
+                break
+            else:
+                parts.append(child)
+        if descended:
+            continue
+        stack.pop()
+        node = Struct(src.name, parts)
+        if not stack:
+            return node
+        stack[-1][2].append(node)
 
 
 def decompose_clause(term):
@@ -73,12 +104,14 @@ def decompose_clause(term):
 
 
 def _flatten_body(term, out):
-    term = deref(term)
-    if isinstance(term, Struct) and term.name == "," and len(term.args) == 2:
-        _flatten_body(term.args[0], out)
-        _flatten_body(term.args[1], out)
-    else:
-        out.append(term)
+    stack = [term]
+    while stack:
+        term = deref(stack.pop())
+        if isinstance(term, Struct) and term.name == "," and len(term.args) == 2:
+            stack.append(term.args[1])
+            stack.append(term.args[0])
+        else:
+            out.append(term)
 
 
 class Clause:
@@ -89,7 +122,16 @@ class Clause:
     clauses within a predicate.
     """
 
-    __slots__ = ("name", "arity", "head_args", "body", "nslots", "seq", "source")
+    __slots__ = (
+        "name",
+        "arity",
+        "head_args",
+        "body",
+        "nslots",
+        "seq",
+        "source",
+        "_term",
+    )
 
     def __init__(self, name, head_args, body, nslots, source=None):
         self.name = name
@@ -99,6 +141,7 @@ class Clause:
         self.nslots = nslots
         self.seq = -1
         self.source = source
+        self._term = None
 
     # -- resolution ---------------------------------------------------------
 
@@ -109,9 +152,31 @@ class Clause:
         the pre-call mark, so the machine gets this for free).
         """
         slots = [_UNSET] * self.nslots
-        for skeleton, arg in zip(self.head_args, call_args):
-            if not _match(skeleton, arg, slots, trail):
-                return None
+        for sk, arg in zip(self.head_args, call_args):
+            # Scalar skeleton arguments (the entire head of a typical
+            # fact) are handled inline; only compound arguments pay for
+            # the explicit-stack walk in _match.
+            if type(sk) is SlotRef:
+                captured = slots[sk.index]
+                if captured is _UNSET:
+                    slots[sk.index] = deref(arg)
+                elif not unify(captured, arg, trail):
+                    return None
+            elif isinstance(sk, Struct):
+                if not _match(sk, arg, slots, trail):
+                    return None
+            elif isinstance(sk, Atom):
+                t = deref(arg)
+                if isinstance(t, Var):
+                    bind(t, sk, trail)
+                elif not (isinstance(t, Atom) and t.name == sk.name):
+                    return None
+            else:
+                t = deref(arg)
+                if isinstance(t, Var):
+                    bind(t, sk, trail)
+                elif type(t) is not type(sk) or t != sk:
+                    return None
         return slots
 
     def body_terms(self, slots):
@@ -121,8 +186,6 @@ class Clause:
     def head_term(self, slots):
         """Instantiate the full head term (used by clause/2, retract/1)."""
         if not self.head_args:
-            from ..terms import mkatom
-
             return mkatom(self.name)
         return Struct(self.name, tuple(_build(a, slots) for a in self.head_args))
 
@@ -136,17 +199,26 @@ class Clause:
         return f"{self.name}/{self.arity}"
 
     def to_term(self):
-        """Rebuild the clause as a (fresh-variable) ``Head :- Body`` term."""
-        from ..terms import mkatom
+        """Rebuild the clause as a (fresh-variable) ``Head :- Body`` term.
 
-        slots = self.fresh_slots()
-        head = self.head_term(slots)
-        if not self.body:
-            return head
-        body = _build(self.body[-1], slots)
-        for literal in reversed(self.body[:-1]):
-            body = Struct(",", (_build(literal, slots), body))
-        return Struct(":-", (head, body))
+        The rebuilt term is cached as a template and each call returns a
+        fresh-variable copy of it, so repeated reconstruction (the
+        meta-interpreter resolves this way on every step) pays one
+        ``copy_term`` rather than a skeleton walk per use.
+        """
+        template = self._term
+        if template is None:
+            slots = self.fresh_slots()
+            head = self.head_term(slots)
+            if not self.body:
+                template = head
+            else:
+                body = _build(self.body[-1], slots)
+                for literal in reversed(self.body[:-1]):
+                    body = Struct(",", (_build(literal, slots), body))
+                template = Struct(":-", (head, body))
+            self._term = template
+        return copy_term(template)
 
     def variant_key(self):
         """Canonical key of the whole clause (used by retract and tests)."""
@@ -194,16 +266,45 @@ def _match(skeleton, term, slots, trail):
 
 
 def _build(skeleton, slots):
-    """Instantiate a skeleton: the analog of WAM put instructions."""
+    """Instantiate a skeleton: the analog of WAM put instructions.
+
+    Iterative post-order walk; skeletons mirror source terms, so deep
+    clause arguments must not recurse either.
+    """
     if isinstance(skeleton, SlotRef):
         value = slots[skeleton.index]
         if value is _UNSET:
             value = Var(skeleton.name)
             slots[skeleton.index] = value
         return value
-    if isinstance(skeleton, Struct):
-        return Struct(skeleton.name, tuple(_build(a, slots) for a in skeleton.args))
-    return skeleton
+    if not isinstance(skeleton, Struct):
+        return skeleton
+    parts = []
+    stack = [(skeleton, iter(skeleton.args), parts)]
+    while True:
+        src, it, parts = stack[-1]
+        descended = False
+        for child in it:
+            if isinstance(child, SlotRef):
+                value = slots[child.index]
+                if value is _UNSET:
+                    value = Var(child.name)
+                    slots[child.index] = value
+                parts.append(value)
+            elif isinstance(child, Struct):
+                child_parts = []
+                stack.append((child, iter(child.args), child_parts))
+                descended = True
+                break
+            else:
+                parts.append(child)
+        if descended:
+            continue
+        stack.pop()
+        node = Struct(src.name, parts)
+        if not stack:
+            return node
+        stack[-1][2].append(node)
 
 
 def compile_clause(term):

@@ -145,7 +145,7 @@ class Predicate:
         if not call_args:
             return self.clauses
         if self.index_kind == TRIE:
-            return self.trie_index.lookup(Struct(self.name, tuple(call_args)))
+            return self.trie_index.lookup_args(call_args)
         found = self.index_plan.lookup(call_args)
         if found is None:
             return self.clauses

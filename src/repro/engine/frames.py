@@ -97,6 +97,7 @@ class ClauseCP(ChoicePoint):
     def retry(self, machine):
         trail = machine.trail
         candidates = self.candidates
+        stats = machine.stats
         while self.pos < len(candidates):
             clause = candidates[self.pos]
             self.pos += 1
@@ -104,6 +105,8 @@ class ClauseCP(ChoicePoint):
             if slots is None:
                 trail.undo_to(self.trail_mark)
                 continue
+            if stats is not None:
+                stats.clause_matches += 1
             if not clause.body:
                 return self.continuation
             return goals_for_body(

@@ -110,7 +110,8 @@ class MetaInterpreter:
         changed = False
         mark = self.trail.mark()
         for clause in pred.clauses:
-            renamed = copy_term(clause.to_term())
+            # to_term returns a fresh-variable copy already.
+            renamed = clause.to_term()
             if isinstance(renamed, Struct) and renamed.name == ":-":
                 head, body = renamed.args
             else:
@@ -225,7 +226,7 @@ class MetaInterpreter:
 
         mark = trail.mark()
         for clause in pred.clauses:
-            renamed = copy_term(clause.to_term())
+            renamed = clause.to_term()  # fresh-variable copy
             if isinstance(renamed, Struct) and renamed.name == ":-":
                 head, body = renamed.args
             else:

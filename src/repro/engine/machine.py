@@ -64,6 +64,14 @@ MODE_FINDALL = "findall"
 
 _YIELD = Atom("$yield")  # deliberately not interned: matched by name only
 
+# Goal names handled inline by the solve loop; ordinary calls skip the
+# whole control-construct ladder with one set probe (names are interned,
+# so the hash is cached).
+_CONTROL = frozenset(
+    (",", "true", "$yield", "fail", "false", "!", ";", "->",
+     "$ite", "$answer", "$cutto")
+)
+
 
 class GeneratorCP(ChoicePoint):
     """Program-clause resolution plus completion for a new tabled subgoal."""
@@ -98,6 +106,7 @@ class GeneratorCP(ChoicePoint):
         frame = self.frame
         if not self.in_completion:
             candidates = self.candidates
+            stats = machine.stats
             while self.pos < len(candidates):
                 clause = candidates[self.pos]
                 self.pos += 1
@@ -105,6 +114,8 @@ class GeneratorCP(ChoicePoint):
                 if slots is None:
                     trail.undo_to(self.trail_mark)
                     continue
+                if stats is not None:
+                    stats.clause_matches += 1
                 answer_goal = Goals(
                     Struct("$answer", (frame, self.call_term)),
                     self.continuation,
@@ -130,6 +141,7 @@ class GeneratorCP(ChoicePoint):
         comp_stack = machine.comp_stack
         scc = comp_stack[frame.comp_index :]
         trail = machine.trail
+        stats = machine.stats
         for member in scc:
             for suspension in member.consumers:
                 if suspension.consumed < len(member.answers):
@@ -143,6 +155,8 @@ class GeneratorCP(ChoicePoint):
                         suspension=suspension,
                     )
                     machine.cpstack.append(consumer)
+                    if stats is not None:
+                        stats.resumptions += 1
                     goals = consumer.retry(machine)
                     if goals is EXHAUSTED:
                         machine.cpstack.pop()
@@ -151,6 +165,8 @@ class GeneratorCP(ChoicePoint):
         # Fixpoint: no suspended consumer in the SCC can advance.
         for member in scc:
             member.mark_complete()
+        if stats is not None:
+            stats.completions += len(scc)
         del comp_stack[frame.comp_index :]
         return EXHAUSTED
 
@@ -159,7 +175,7 @@ class ConsumerCP(ChoicePoint):
     """Answer resolution for a repeated tabled call."""
 
     __slots__ = ("frame", "call_term", "continuation", "consumed", "snapshot",
-                 "suspension", "weak")
+                 "suspension", "weak", "pattern")
 
     def __init__(
         self, trail_mark, frame, call_term, continuation, consumed=0,
@@ -173,6 +189,46 @@ class ConsumerCP(ChoicePoint):
         self.snapshot = snapshot
         self.suspension = suspension
         self.weak = weak
+        self.pattern = None
+
+    def _call_pattern(self):
+        """The dereferenced call arguments, when every argument is a
+        scalar or a distinct unbound variable; False otherwise.
+
+        The list is stable across retries of this choice point:
+        backtracking between retries unwinds exactly to this CP's trail
+        mark (plus an identical snapshot reinstall), so nothing a
+        retry sees through these dereferences can change while the CP
+        is alive.  Against a *ground* answer, matching such a pattern
+        is a flat compare-or-bind per argument — no general
+        unification.
+        """
+        call = self.call_term
+        while isinstance(call, Var):
+            ref = call.ref
+            if ref is None:
+                break
+            call = ref
+        if not isinstance(call, Struct):
+            return False
+        pattern = []
+        seen = set()
+        for arg in call.args:
+            a = arg
+            while isinstance(a, Var):
+                ref = a.ref
+                if ref is None:
+                    break
+                a = ref
+            if isinstance(a, Struct):
+                return False
+            if isinstance(a, Var):
+                marker = id(a)
+                if marker in seen:
+                    return False
+                seen.add(marker)
+            pattern.append(a)
+        return pattern
 
     def retry(self, machine):
         trail = machine.trail
@@ -180,12 +236,47 @@ class ConsumerCP(ChoicePoint):
             trail.reinstall(self.snapshot)
         frame = self.frame
         answers = frame.answers
+        ground = frame.answer_ground
+        pattern = self.pattern
+        if pattern is None:
+            pattern = self.pattern = self._call_pattern()
+        entries = trail.entries
         while self.consumed < len(answers):
-            answer = answers[self.consumed]
-            self.consumed += 1
+            index = self.consumed
+            answer = answers[index]
+            self.consumed = index + 1
             if self.suspension is not None:
                 self.suspension.consumed = self.consumed
-            if unify(self.call_term, copy_term(answer), trail):
+            # Ground answers are stored variable-free, so unifying the
+            # call against the table term directly is safe — no
+            # copy_term, no renaming garbage, no answer-side trailing.
+            if ground[index] and pattern is not False:
+                matched = True
+                for c, v in zip(pattern, answer.args):
+                    if c is v:
+                        continue
+                    if isinstance(c, Var):
+                        c.ref = v
+                        entries.append(c)
+                    elif isinstance(c, Atom):
+                        if isinstance(v, Atom) and v.name == c.name:
+                            continue
+                        matched = False
+                        break
+                    elif type(c) is type(v) and c == v:
+                        continue
+                    else:
+                        matched = False
+                        break
+                if matched:
+                    return self.continuation
+                trail.undo_to(self.trail_mark)
+                if self.snapshot:
+                    trail.reinstall(self.snapshot)
+                continue
+            if not ground[index]:
+                answer = copy_term(answer)
+            if unify(self.call_term, answer, trail):
                 return self.continuation
             trail.undo_to(self.trail_mark)
             if self.snapshot:
@@ -199,6 +290,8 @@ class ConsumerCP(ChoicePoint):
                 self.continuation, self.call_term, self.consumed, snapshot
             )
             frame.consumers.append(self.suspension)
+            if machine.stats is not None:
+                machine.stats.suspensions += 1
         return EXHAUSTED
 
 
@@ -221,6 +314,7 @@ class Machine:
         "mode",
         "base_mark",
         "depth",
+        "stats",
     )
 
     def __init__(self, engine, mode=MODE_QUERY, depth=0):
@@ -233,6 +327,10 @@ class Machine:
         self.mode = mode
         self.base_mark = 0
         self.depth = depth
+        # None when statistics are disabled, so every counting site is a
+        # single `is not None` test (zero-cost-when-off contract).
+        stats = getattr(engine, "stats", None)
+        self.stats = stats if stats is not None and stats.enabled else None
 
     # -- public entry ---------------------------------------------------------
 
@@ -248,10 +346,17 @@ class Machine:
         goals = Goals(goal_term, end, 0)
         builtins = engine.builtins
         db = engine.db
+        predicates = db.predicates
         counting = engine.counting
         try:
             while True:
-                term = deref(goals.term)
+                # deref inlined: this dispatch runs once per goal.
+                term = goals.term
+                while isinstance(term, Var):
+                    ref = term.ref
+                    if ref is None:
+                        break
+                    term = ref
                 if isinstance(term, Struct):
                     name = term.name
                     args = term.args
@@ -266,54 +371,60 @@ class Machine:
                     raise TypeError_("callable goal", term)
 
                 # -- control constructs ------------------------------------
-                if arity == 2 and name == ",":
-                    goals = Goals(
-                        args[0],
-                        Goals(args[1], goals.next, goals.cutbar),
-                        goals.cutbar,
-                    )
-                    continue
-                if arity == 0:
-                    if name == "true":
-                        goals = goals.next
+                # Ordinary calls take one set probe instead of the whole
+                # ladder; a control name with an unexpected arity falls
+                # through to the normal dispatch below.
+                if name in _CONTROL:
+                    if arity == 2 and name == ",":
+                        goals = Goals(
+                            args[0],
+                            Goals(args[1], goals.next, goals.cutbar),
+                            goals.cutbar,
+                        )
                         continue
-                    if name == "$yield":
-                        yield True
-                        goals = self._backtrack()
+                    if arity == 0:
+                        if name == "true":
+                            goals = goals.next
+                            continue
+                        if name == "$yield":
+                            yield True
+                            goals = self._backtrack()
+                            if goals is FAILED:
+                                return
+                            continue
+                        if name == "fail" or name == "false":
+                            goals = self._backtrack()
+                            if goals is FAILED:
+                                return
+                            continue
+                        if name == "!":
+                            self._cut_to(goals.cutbar)
+                            goals = goals.next
+                            continue
+                    if arity == 2 and name == ";":
+                        goals = self._disjunction(args, goals)
+                        continue
+                    if arity == 2 and name == "->":
+                        goals = self._if_then_else(args[0], args[1], None, goals)
+                        continue
+                    if name == "$ite" and arity == 2:
+                        self._cut_to(args[0])
+                        goals = Goals(args[1], goals.next, goals.cutbar)
+                        continue
+                    if name == "$answer" and arity == 2:
+                        goals = self._record_answer(args, goals)
                         if goals is FAILED:
                             return
                         continue
-                    if name == "fail" or name == "false":
-                        goals = self._backtrack()
-                        if goals is FAILED:
-                            return
-                        continue
-                    if name == "!":
-                        self._cut_to(goals.cutbar)
+                    if name == "$cutto" and arity == 1:
+                        self._cut_to(args[0])
                         goals = goals.next
                         continue
-                if arity == 2 and name == ";":
-                    goals = self._disjunction(args, goals)
-                    continue
-                if arity == 2 and name == "->":
-                    goals = self._if_then_else(args[0], args[1], None, goals)
-                    continue
-                if name == "$ite" and arity == 2:
-                    self._cut_to(args[0])
-                    goals = Goals(args[1], goals.next, goals.cutbar)
-                    continue
-                if name == "$answer" and arity == 2:
-                    goals = self._record_answer(args, goals)
-                    if goals is FAILED:
-                        return
-                    continue
-                if name == "$cutto" and arity == 1:
-                    self._cut_to(args[0])
-                    goals = goals.next
-                    continue
 
                 # -- builtins -----------------------------------------------
-                handler = builtins.get((name, arity))
+                # One (name, arity) tuple serves both dispatch tables.
+                key = (name, arity)
+                handler = builtins.get(key)
                 if handler is not None:
                     result = handler(self, args, goals)
                     if result is None:
@@ -327,13 +438,12 @@ class Machine:
                 # -- user predicates ----------------------------------------
                 if counting:
                     counts = engine.call_counts
-                    key = (name, arity)
                     counts[key] = counts.get(key, 0) + 1
                     if engine.log_subgoals:
                         engine.subgoal_log.append(
                             (name, arity, canonical_key(term))
                         )
-                pred = db.lookup(name, arity)
+                pred = predicates.get(key)
                 if pred is None:
                     if engine.unknown == "fail":
                         goals = self._backtrack()
@@ -437,9 +547,11 @@ class Machine:
         frame, call_term = args
         tables = self.engine.tables
         if frame.add_answer(call_term):
-            tables.answers_inserted += 1
+            tables.note_answer(True)
+            if self.stats is not None and frame.answer_ground[-1]:
+                self.stats.ground_answers += 1
             return goals.next
-        tables.duplicate_answers += 1
+        tables.note_answer(False)
         result = self._backtrack()
         return result
 
@@ -450,6 +562,9 @@ class Machine:
         if not candidates:
             return self._backtrack()
         trail = self.trail
+        stats = self.stats
+        if stats is not None:
+            stats.clause_candidates += len(candidates)
         if len(candidates) == 1:
             # Determinate call: no choice point (the WAM's indexing win).
             clause = candidates[0]
@@ -458,6 +573,8 @@ class Machine:
             if slots is None:
                 trail.undo_to(mark)
                 return self._backtrack()
+            if stats is not None:
+                stats.clause_matches += 1
             if not clause.body:
                 return goals.next
             return goals_for_body(
@@ -476,11 +593,15 @@ class Machine:
 
     def _call_tabled(self, term, pred, args, goals):
         tables = self.engine.tables
-        frame = tables.lookup_term(term)
+        # One canonicalization covers both the variant lookup and (on a
+        # miss) the new frame's key.
+        frame, created = tables.check_in(term, pred.indicator)
         trail = self.trail
         cpstack = self.cpstack
-        if frame is None:
-            frame = tables.create_term(term, pred.indicator)
+        stats = self.stats
+        if created:
+            if stats is not None:
+                stats.subgoal_misses += 1
             frame.run = self
             frame.dfn = frame.deplink = self.next_dfn
             self.next_dfn += 1
@@ -489,6 +610,8 @@ class Machine:
             frame.gen_trail_mark = trail.mark()
             self.created_frames.append(frame)
             candidates = pred.candidates(args)
+            if stats is not None:
+                stats.clause_candidates += len(candidates)
             cutbar = len(cpstack)
             cp = GeneratorCP(
                 trail.mark(), frame, term, args, goals.next, candidates, cutbar
@@ -499,6 +622,8 @@ class Machine:
                 cpstack.pop()
                 return self._backtrack()
             return result
+        if stats is not None:
+            stats.subgoal_hits += 1
 
         if not frame.complete and frame.run is not self:
             # A subordinate run touching an incomplete outer table: only

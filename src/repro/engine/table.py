@@ -11,7 +11,8 @@ deleted by ``tcut``/existential negation.
 from __future__ import annotations
 
 from ..index import AnswerTrie
-from ..terms import canonical_key, copy_term
+from ..terms import Struct, canonical_key, copy_term, is_ground, resolve
+from ..terms.compare import canonical_key_ground, flat_ground_answer
 
 __all__ = ["SubgoalFrame", "Suspension", "TableSpace", "INCOMPLETE", "COMPLETE"]
 
@@ -53,6 +54,7 @@ class SubgoalFrame:
         "indicator",
         "state",
         "answers",
+        "answer_ground",
         "answer_keys",
         "answer_trie",
         "consumers",
@@ -69,6 +71,7 @@ class SubgoalFrame:
         self.indicator = indicator
         self.state = INCOMPLETE
         self.answers = []
+        self.answer_ground = []
         self.answer_keys = set() if not use_trie else None
         self.answer_trie = AnswerTrie() if use_trie else None
         self.consumers = []
@@ -87,18 +90,41 @@ class SubgoalFrame:
         This is the duplicate check of section 4.5: "a hash index that
         includes all arguments of the answer", or, in trie mode, the
         integrated check-and-store traversal.
+
+        One traversal produces both the duplicate-check key and the
+        groundness bit.  Ground answers are stored *resolved* instead of
+        copied — a resolved ground term contains no variable cells, so
+        it is immune to backtracking, shares structure with the live
+        heap term, and (recorded in ``answer_ground``) lets consumers
+        unify against it directly with no ``copy_term`` and no fresh
+        trail traffic from the answer side.
         """
         if self.answer_trie is not None:
             stored = copy_term(term)
             if not self.answer_trie.insert(stored):
                 return False
             self.answers.append(stored)
+            self.answer_ground.append(is_ground(stored))
             return True
-        key = canonical_key(term)
+        fast = flat_ground_answer(term)
+        if fast is not None:
+            # Flat ground answer: one loop produced both the key and the
+            # dereferenced argument values; duplicates allocate nothing.
+            key, struct, values, substituted = fast
+            if key in self.answer_keys:
+                return False
+            self.answer_keys.add(key)
+            self.answers.append(
+                Struct(struct.name, values) if substituted else struct
+            )
+            self.answer_ground.append(True)
+            return True
+        key, ground = canonical_key_ground(term)
         if key in self.answer_keys:
             return False
         self.answer_keys.add(key)
-        self.answers.append(copy_term(term))
+        self.answers.append(resolve(term) if ground else copy_term(term))
+        self.answer_ground.append(ground)
         return True
 
     def answer_count(self):
@@ -150,14 +176,62 @@ class TableSpace:
         self.subgoals_created = 0
         self.answers_inserted = 0
         self.duplicate_answers = 0
+        # Table-space high-water mark: one unit per subgoal frame plus
+        # one per stored answer (XSB's "table space used" statistic).
+        self.space_live = 0
+        self.space_peak = 0
 
     # -- frame check-in / lookup -------------------------------------------------
 
-    def lookup_term(self, term):
-        """The frame for a variant of ``term``, or None."""
+    def call_key(self, term):
+        """The variant-canonical key of a call, or None in trie mode.
+
+        Callers that look a subgoal up more than once (tnot, tfindall)
+        compute the key once and pass it back via ``lookup_term``'s
+        ``key`` argument instead of re-canonicalizing the term.
+        """
+        if self._trie is not None:
+            return None
+        return canonical_key(term)
+
+    def lookup_term(self, term, key=None):
+        """The frame for a variant of ``term``, or None.
+
+        ``key`` may carry a precomputed :func:`canonical_key` of
+        ``term`` (from :meth:`call_key`) to skip re-canonicalization.
+        """
         if self._trie is not None:
             return self._trie.lookup(term)
-        return self.frames.get(canonical_key(term))
+        if key is None:
+            key = canonical_key(term)
+        return self.frames.get(key)
+
+    def check_in(self, term, indicator):
+        """Look a subgoal variant up, creating its frame on a miss.
+
+        Returns ``(frame, created)``.  One canonicalization serves both
+        the lookup and the frame key — the previous lookup-then-create
+        dance canonicalized every new subgoal twice.
+        """
+        if self._trie is not None:
+            frame = self._trie.lookup(term)
+            if frame is not None:
+                return frame, False
+            frame = SubgoalFrame(copy_term(term), indicator,
+                                 use_trie=self.use_trie)
+            self._trie.insert(frame.key, frame)
+        else:
+            key = canonical_key(term)
+            frame = self.frames.get(key)
+            if frame is not None:
+                return frame, False
+            frame = SubgoalFrame(key, indicator, use_trie=self.use_trie)
+            self.frames[key] = frame
+        self.subgoals_created += 1
+        self.space_live += 1
+        if self.space_live > self.space_peak:
+            self.space_peak = self.space_live
+        return frame, True
 
     def create_term(self, term, indicator):
         """Check a new subgoal in; the caller guarantees it is new."""
@@ -170,16 +244,31 @@ class TableSpace:
             frame = SubgoalFrame(key, indicator, use_trie=self.use_trie)
             self.frames[key] = frame
         self.subgoals_created += 1
+        self.space_live += 1
+        if self.space_live > self.space_peak:
+            self.space_peak = self.space_live
         return frame
+
+    def note_answer(self, inserted):
+        """Book-keeping for one ``add_answer`` outcome."""
+        if inserted:
+            self.answers_inserted += 1
+            self.space_live += 1
+            if self.space_live > self.space_peak:
+                self.space_peak = self.space_live
+        else:
+            self.duplicate_answers += 1
 
     def delete(self, frame):
         """Remove a frame entirely (tcut / abandoned existential runs)."""
         if self._trie is not None:
             self._trie.remove(frame.key)
+            self.space_live -= 1 + len(frame.answers)
             return
         existing = self.frames.get(frame.key)
         if existing is frame:
             del self.frames[frame.key]
+            self.space_live -= 1 + len(frame.answers)
 
     def abolish_all(self):
         """``abolish_all_tables``: reclaim all table space."""
@@ -187,6 +276,7 @@ class TableSpace:
             self._trie.clear()
         else:
             self.frames.clear()
+        self.space_live = 0
 
     # -- inspection ----------------------------------------------------------------
 
@@ -212,4 +302,6 @@ class TableSpace:
             "answers_inserted": self.answers_inserted,
             "duplicate_answers": self.duplicate_answers,
             "answers_stored": sum(len(f.answers) for f in frames),
+            "space_live": self.space_live,
+            "space_peak": self.space_peak,
         }

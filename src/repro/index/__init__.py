@@ -3,7 +3,7 @@
 from .answer_trie import AnswerTrie
 from .subgoal_trie import SubgoalTrie
 from .hash_index import HashIndex, IndexPlan, IndexSpec, outer_symbol
-from .trie_index import FirstStringIndex, first_string
+from .trie_index import FirstStringIndex, first_string, first_string_args
 
 __all__ = [
     "HashIndex",
@@ -12,6 +12,7 @@ __all__ = [
     "outer_symbol",
     "FirstStringIndex",
     "first_string",
+    "first_string_args",
     "AnswerTrie",
     "SubgoalTrie",
 ]

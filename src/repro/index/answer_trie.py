@@ -46,32 +46,39 @@ def _flatten(term):
 
 
 def _rebuild(tokens):
-    """Reconstruct a term from a token string produced by ``_flatten``."""
+    """Reconstruct a term from a token string produced by ``_flatten``.
+
+    Iterative: struct tokens open a frame holding the functor and the
+    args collected so far; leaf values close frames as arities fill up.
+    """
     from ..terms import mkatom
 
     variables = {}
-    pos = 0
-
-    def build():
-        nonlocal pos
-        token = tokens[pos]
-        pos += 1
+    stack = []  # (name, arity, parts) of structs awaiting arguments
+    for token in tokens:
         tag = token[0]
-        if tag == _VAR:
-            var = variables.get(token[1])
-            if var is None:
-                var = Var()
-                variables[token[1]] = var
-            return var
-        if tag == _ATOM:
-            return mkatom(token[1])
         if tag == _STRUCT:
-            name, arity = token[1], token[2]
-            args = tuple(build() for _ in range(arity))
-            return Struct(name, args)
-        return token[2]
-
-    return build()
+            stack.append((token[1], token[2], []))
+            continue
+        if tag == _VAR:
+            value = variables.get(token[1])
+            if value is None:
+                value = Var()
+                variables[token[1]] = value
+        elif tag == _ATOM:
+            value = mkatom(token[1])
+        else:
+            value = token[2]
+        while True:
+            if not stack:
+                return value
+            name, arity, parts = stack[-1]
+            parts.append(value)
+            if len(parts) < arity:
+                break
+            stack.pop()
+            value = Struct(name, parts)
+    raise ValueError("truncated answer token string")
 
 
 class _Node:

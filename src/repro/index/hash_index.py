@@ -44,6 +44,26 @@ def is_any(key):
     return key is _ANY
 
 
+def _raw_symbol(term):
+    """Internal hash key of a term: like :func:`outer_symbol` but without
+    the type-tag wrapper, so atoms key by their (interned) name string
+    and numbers by themselves — no tuple allocation per probe.
+
+    Dropping the tag admits hash collisions between equal-hashing
+    values of different types (``1``/``1.0``/``True``); colliding
+    entries merely share a bucket, and the candidate lists buckets feed
+    are supersets filtered exactly by head matching, so this is safe.
+    """
+    term = deref(term)
+    if isinstance(term, Var):
+        return _ANY
+    if isinstance(term, Atom):
+        return term.name
+    if isinstance(term, Struct):
+        return (term.name, len(term.args))
+    return term
+
+
 class IndexSpec:
     """One index over a field set, e.g. ``3+5`` -> positions (3, 5)."""
 
@@ -79,20 +99,65 @@ class HashIndex:
     ``bucket_count`` exists for fidelity with the paper's "the size of
     the hash table is specifiable": Python dicts resize themselves, so
     the value is recorded (and reported by ``stats``) rather than used.
+
+    Merged candidate lists are memoized per key: repeated retrievals
+    with the same bound pattern (the common case inside a tabled
+    fixpoint, where the same calls recur) reuse one list instead of
+    re-merging and re-sorting the key bucket with the catch-all bucket
+    on every call.  Any mutation invalidates the memo, so the logical
+    update view is unchanged — lists already handed out are snapshots,
+    exactly as the freshly-built lists were before.
     """
 
-    __slots__ = ("spec", "buckets", "catch_all", "bucket_count")
+    __slots__ = (
+        "spec",
+        "buckets",
+        "catch_all",
+        "bucket_count",
+        "_cache",
+        "_single",
+    )
 
     def __init__(self, spec, bucket_count=0):
         self.spec = spec
         self.buckets = {}
         self.catch_all = []
         self.bucket_count = bucket_count
+        self._cache = {}
+        # Zero-based field offset for the overwhelmingly common
+        # single-field index, so probes skip the multi-field loop.
+        positions = spec.positions
+        self._single = positions[0] - 1 if len(positions) == 1 else None
+
+    def _key_of(self, args):
+        """Bucket key for ``args``; None when any key field is unbound.
+
+        Uses raw symbols (:func:`_raw_symbol`) rather than the public
+        tagged form — private to this index, so only internal
+        consistency matters.
+        """
+        single = self._single
+        if single is not None:
+            key = _raw_symbol(args[single])
+            return None if key is _ANY else key
+        parts = []
+        for pos in self.spec.positions:
+            sym = _raw_symbol(args[pos - 1])
+            if sym is _ANY:
+                return None
+            parts.append(sym)
+        return tuple(parts)
 
     def insert(self, seq, head_args, payload, front=False):
         """Index one clause (``front`` supports ``asserta``)."""
-        key = self.spec.key_of_args(head_args)
-        target = self.catch_all if key is None else self.buckets.setdefault(key, [])
+        key = self._key_of(head_args)
+        if key is None:
+            # A catch-all clause is merged into every key's candidates.
+            self._cache.clear()
+            target = self.catch_all
+        else:
+            self._cache.pop(key, None)
+            target = self.buckets.setdefault(key, [])
         entry = (seq, payload)
         if front:
             target.insert(0, entry)
@@ -101,24 +166,33 @@ class HashIndex:
 
     def remove(self, seq):
         """Remove the clause with the given sequence number everywhere."""
+        self._cache.clear()
         self.catch_all[:] = [e for e in self.catch_all if e[0] != seq]
         for bucket in self.buckets.values():
             bucket[:] = [e for e in bucket if e[0] != seq]
 
     def applicable(self, call_args):
         """True when all key fields are bound in this retrieval."""
-        return self.spec.key_of_args(call_args) is not None
+        return self._key_of(call_args) is not None
 
     def lookup(self, call_args):
         """Candidate payloads in clause order, or None if not applicable."""
-        key = self.spec.key_of_args(call_args)
+        key = self._key_of(call_args)
         if key is None:
             return None
-        bucket = self.buckets.get(key, [])
-        if not self.catch_all:
-            return [payload for _, payload in bucket]
-        merged = sorted(bucket + self.catch_all, key=lambda entry: entry[0])
-        return [payload for _, payload in merged]
+        result = self._cache.get(key)
+        if result is None:
+            bucket = self.buckets.get(key)
+            catch_all = self.catch_all
+            if bucket is None:
+                result = [payload for _, payload in catch_all]
+            elif not catch_all:
+                result = [payload for _, payload in bucket]
+            else:
+                merged = sorted(bucket + catch_all, key=lambda entry: entry[0])
+                result = [payload for _, payload in merged]
+            self._cache[key] = result
+        return result
 
     def stats(self):
         sizes = [len(b) for b in self.buckets.values()]
@@ -168,5 +242,6 @@ class IndexPlan:
         for index in self.indexes:
             index.buckets.clear()
             index.catch_all.clear()
+            index._cache.clear()
         for seq, head_args, payload in entries:
             self.insert(seq, head_args, payload)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ..terms import Atom, Struct, Var, deref
 
-__all__ = ["first_string", "FirstStringIndex", "TrieNode"]
+__all__ = ["first_string", "first_string_args", "FirstStringIndex", "TrieNode"]
 
 
 def first_string(term):
@@ -27,6 +27,27 @@ def first_string(term):
     """
     tokens = []
     stack = [term]
+    while stack:
+        t = deref(stack.pop())
+        if isinstance(t, Var):
+            return tokens, True
+        if isinstance(t, Struct):
+            tokens.append((t.name, len(t.args)))
+            stack.extend(reversed(t.args))
+        elif isinstance(t, Atom):
+            tokens.append((t.name, 0))
+        else:
+            tokens.append((t, 0))
+    return tokens, False
+
+
+def first_string_args(args):
+    """:func:`first_string` of ``p(args...)`` minus the leading predicate
+    token — what per-predicate retrieval needs, without materializing
+    the wrapper struct."""
+    tokens = []
+    stack = list(args)
+    stack.reverse()
     while stack:
         t = deref(stack.pop())
         if isinstance(t, Var):
@@ -98,10 +119,19 @@ class FirstStringIndex:
     def lookup(self, call):
         """Candidate payloads for ``call`` in clause order (a superset)."""
         tokens, hit_variable = first_string(call)
+        return self._walk(tokens[1:], hit_variable)
+
+    def lookup_args(self, call_args):
+        """Like :meth:`lookup` on ``p(call_args...)``, but straight from
+        the argument tuple — the retrieval path builds no call struct."""
+        tokens, hit_variable = first_string_args(call_args)
+        return self._walk(tokens, hit_variable)
+
+    def _walk(self, tokens, hit_variable):
         entries = []
         node = self.root
         matched_all = True
-        for token in tokens[1:]:
+        for token in tokens:
             entries.extend(node.terminals)
             child = node.children.get(token)
             if child is None:

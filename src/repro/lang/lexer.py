@@ -9,6 +9,8 @@ line comments and ``/* */`` block comments are skipped.
 
 from __future__ import annotations
 
+from sys import intern
+
 from ..errors import ParseError
 from .tokens import Token, TokenType
 
@@ -46,36 +48,44 @@ class Lexer:
         return ""
 
     def _advance(self, count=1):
-        for _ in range(count):
-            if self.pos < len(self.text):
-                if self.text[self.pos] == "\n":
-                    self.line += 1
-                    self.col = 1
-                else:
-                    self.col += 1
-                self.pos += 1
+        # Batched: newline bookkeeping via count/rfind instead of a
+        # Python loop per character (tokenizing is a load-time hot path).
+        text = self.text
+        pos = self.pos
+        end = pos + count
+        if end > len(text):
+            end = len(text)
+        newlines = text.count("\n", pos, end)
+        if newlines:
+            self.line += newlines
+            self.col = end - text.rfind("\n", pos, end)
+        else:
+            self.col += end - pos
+        self.pos = end
 
     def _skip_layout(self):
         """Skip whitespace and comments; return True if any was skipped."""
         skipped = False
-        while self.pos < len(self.text):
-            ch = self.text[self.pos]
+        text = self.text
+        size = len(text)
+        while self.pos < size:
+            ch = text[self.pos]
             if ch.isspace():
-                self._advance()
+                end = self.pos + 1
+                while end < size and text[end].isspace():
+                    end += 1
+                self._advance(end - self.pos)
                 skipped = True
             elif ch == "%":
-                while self.pos < len(self.text) and self.text[self.pos] != "\n":
-                    self._advance()
+                end = text.find("\n", self.pos)
+                self._advance((end if end != -1 else size) - self.pos)
                 skipped = True
             elif ch == "/" and self._peek(1) == "*":
-                self._advance(2)
-                while self.pos < len(self.text) and not (
-                    self.text[self.pos] == "*" and self._peek(1) == "/"
-                ):
-                    self._advance()
-                if self.pos >= len(self.text):
+                end = text.find("*/", self.pos + 2)
+                if end == -1:
+                    self._advance(size - self.pos)
                     self._error("unterminated block comment")
-                self._advance(2)
+                self._advance(end + 2 - self.pos)
                 skipped = True
             else:
                 break
@@ -117,22 +127,36 @@ class Lexer:
 
             if ch == "_" or (ch.isalpha() and ch.isupper()):
                 start = self.pos
-                while self.pos < len(self.text) and _is_ident_char(self.text[self.pos]):
-                    self._advance()
-                yield Token(TokenType.VAR, self.text[start : self.pos], line, col)
+                text = self.text
+                size = len(text)
+                end = start + 1
+                while end < size and _is_ident_char(text[end]):
+                    end += 1
+                self._advance(end - start)
+                # Interned so repeated occurrences of one name across a
+                # program share a single string object (and the varmap /
+                # atom-table lookups they key compare by identity).
+                name = intern(text[start:end])
+                yield Token(TokenType.VAR, name, line, col)
                 previous_was_term_like = True
                 continue
 
             if _is_ident_start(ch):
                 start = self.pos
-                while self.pos < len(self.text) and _is_ident_char(self.text[self.pos]):
-                    self._advance()
-                yield Token(TokenType.ATOM, self.text[start : self.pos], line, col)
+                text = self.text
+                size = len(text)
+                end = start + 1
+                while end < size and _is_ident_char(text[end]):
+                    end += 1
+                self._advance(end - start)
+                name = intern(text[start:end])
+                yield Token(TokenType.ATOM, name, line, col)
                 previous_was_term_like = True
                 continue
 
             if ch == "'":
-                yield Token(TokenType.ATOM, self._quoted("'", line, col), line, col)
+                name = intern(self._quoted("'", line, col))
+                yield Token(TokenType.ATOM, name, line, col)
                 previous_was_term_like = True
                 continue
 
@@ -149,16 +173,18 @@ class Lexer:
 
             if ch in _SYMBOL_CHARS:
                 start = self.pos
-                while (
-                    self.pos < len(self.text) and self.text[self.pos] in _SYMBOL_CHARS
-                ):
-                    self._advance()
-                symbol = self.text[start : self.pos]
+                text = self.text
+                size = len(text)
+                end = start + 1
+                while end < size and text[end] in _SYMBOL_CHARS:
+                    end += 1
+                self._advance(end - start)
+                symbol = text[start:end]
                 if symbol == "." and self._at_clause_end():
                     yield Token(TokenType.END, ".", line, col)
                     previous_was_term_like = False
                 else:
-                    yield Token(TokenType.ATOM, symbol, line, col)
+                    yield Token(TokenType.ATOM, intern(symbol), line, col)
                     previous_was_term_like = False
                 continue
 
@@ -198,17 +224,21 @@ class Lexer:
                 self._error(f"bad radix literal 0{self._peek(1)}{literal}")
             self._advance(end - self.pos)
             return Token(TokenType.INT, value, line, col)
-        while self.pos < len(text) and text[self.pos].isdigit():
-            self._advance()
+        size = len(text)
+        end = self.pos
+        while end < size and text[end].isdigit():
+            end += 1
+        self._advance(end - self.pos)
         is_float = False
         if (
             self._peek() == "."
             and self._peek(1).isdigit()
         ):
             is_float = True
-            self._advance()
-            while self.pos < len(text) and text[self.pos].isdigit():
-                self._advance()
+            end = self.pos + 1
+            while end < size and text[end].isdigit():
+                end += 1
+            self._advance(end - self.pos)
         if self._peek() in "eE" and (
             self._peek(1).isdigit()
             or (self._peek(1) in "+-" and self._peek(2).isdigit())
@@ -217,8 +247,10 @@ class Lexer:
             self._advance()
             if self._peek() in "+-":
                 self._advance()
-            while self.pos < len(text) and text[self.pos].isdigit():
-                self._advance()
+            end = self.pos
+            while end < size and text[end].isdigit():
+                end += 1
+            self._advance(end - self.pos)
         literal = text[start : self.pos]
         if is_float:
             return Token(TokenType.FLOAT, float(literal), line, col)

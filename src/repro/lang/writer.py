@@ -42,7 +42,28 @@ class TermWriter:
         self._var_names = {}
 
     def to_str(self, term, max_priority=1200):
-        return "".join(self._emit(term, max_priority))
+        """Render ``term``; iterative so 10k-deep terms print fine.
+
+        ``_emit`` yields strings and ``(subterm, priority)`` descent
+        requests; this trampoline drives a stack of generators instead
+        of letting ``yield from`` nest one interpreter frame per term
+        level (which would hit the recursion limit on deep lists).
+        """
+        out = []
+        append = out.append
+        stack = [self._emit(term, max_priority)]
+        while stack:
+            top = stack[-1]
+            descended = False
+            for item in top:
+                if type(item) is tuple:
+                    stack.append(self._emit(item[0], item[1]))
+                    descended = True
+                    break
+                append(item)
+            if not descended:
+                stack.pop()
+        return "".join(out)
 
     # -- helpers ------------------------------------------------------------
 
@@ -82,16 +103,16 @@ class TermWriter:
             return
         if term.name == "{}" and len(term.args) == 1:
             yield "{"
-            yield from self._emit(term.args[0], 1200)
+            yield (term.args[0], 1200)
             yield "}"
             return
         if self.hilog_notation and term.name == "apply" and len(term.args) >= 2:
-            yield from self._emit(term.args[0], 0)
+            yield (term.args[0], 0)
             yield "("
             for index, arg in enumerate(term.args[1:]):
                 if index:
                     yield ","
-                yield from self._emit(arg, 999)
+                yield (arg, 999)
             yield ")"
             return
 
@@ -105,9 +126,9 @@ class TermWriter:
                 parenthesize = op.priority > max_priority
                 if parenthesize:
                     yield "("
-                yield from self._emit(term.args[0], op.left_max)
+                yield (term.args[0], op.left_max)
                 yield "," if _tight(name) else f" {name} "
-                yield from self._emit(term.args[1], op.right_max)
+                yield (term.args[1], op.right_max)
                 if parenthesize:
                     yield ")"
                 return
@@ -119,7 +140,7 @@ class TermWriter:
                     yield "("
                 yield self._atom_str(name)
                 yield " "
-                yield from self._emit(term.args[0], op.right_max)
+                yield (term.args[0], op.right_max)
                 if parenthesize:
                     yield ")"
                 return
@@ -128,7 +149,7 @@ class TermWriter:
         for index, arg in enumerate(term.args):
             if index:
                 yield ","
-            yield from self._emit(arg, 999)
+            yield (arg, 999)
         yield ")"
 
     def _emit_list(self, term):
@@ -140,13 +161,13 @@ class TermWriter:
                 if not first:
                     yield ","
                 first = False
-                yield from self._emit(term.args[0], 999)
+                yield (term.args[0], 999)
                 term = term.args[1]
                 continue
             if isinstance(term, Atom) and term.name == "[]":
                 break
             yield "|"
-            yield from self._emit(term, 999)
+            yield (term, 999)
             break
         yield "]"
 

@@ -1,0 +1,5 @@
+"""Engine statistics — the observability layer of the SLG hot path."""
+
+from .counters import STATISTIC_KEYS, EngineStats
+
+__all__ = ["EngineStats", "STATISTIC_KEYS"]

@@ -1,0 +1,94 @@
+"""Engine-level event counters (the analog of XSB's ``statistics/2``).
+
+XSB treats engine instrumentation as first class: table-space usage and
+SLG scheduling events are observable from the language, which is how
+engine optimizations are demonstrated rather than asserted.  This
+module is the single place those counters live.
+
+Design constraints:
+
+* **Zero-cost when disabled.**  The machine caches ``engine.stats`` in
+  a local at the start of every run — ``None`` when statistics are off
+  — so disabled counting costs exactly one ``is not None`` test on the
+  (few, coarse) counting sites and nothing on term-level kernels.
+* **One plain attribute increment when enabled.**  No locks, no dict
+  lookups, no callables: ``stats.subgoal_hits += 1`` on an
+  ``__slots__`` instance.
+
+The counters:
+
+``subgoal_hits`` / ``subgoal_misses``
+    Variant check-ins of tabled calls that found / did not find an
+    existing subgoal frame (section 4.5's call-pattern index at work;
+    the hit rate is the memo benefit).
+``answers_inserted`` / ``duplicate_answers``
+    New answers copied to table space vs. answers suppressed by the
+    duplicate check (tracked by the table space itself; mirrored into
+    ``snapshot`` for one-stop reporting).
+``ground_answers``
+    Answers that were inserted ground — these take the no-copy fast
+    path on every later consumption.
+``suspensions`` / ``resumptions``
+    SLG consumers that ran out of answers on an incomplete table, and
+    scheduling events that woke one up with unconsumed answers.
+``completions``
+    Subgoal frames marked complete (counted per frame, so one SCC
+    completing counts once per member).
+``clause_candidates`` / ``clause_matches``
+    Clauses returned by the index for resolution attempts vs. heads
+    that actually matched; the gap is wasted ``match_head`` work and
+    the quantity clause indexing exists to shrink.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EngineStats", "STATISTIC_KEYS"]
+
+_FIELDS = (
+    "subgoal_hits",
+    "subgoal_misses",
+    "ground_answers",
+    "suspensions",
+    "resumptions",
+    "completions",
+    "clause_candidates",
+    "clause_matches",
+)
+
+# Keys accepted by statistics/2, in reporting order.  The table-space
+# keys (answers, space) are provided by TableSpace.statistics() and
+# merged in Engine.statistics().
+STATISTIC_KEYS = _FIELDS + (
+    "answers_inserted",
+    "duplicate_answers",
+    "subgoals_created",
+    "subgoals",
+    "completed",
+    "answers_stored",
+    "space_live",
+    "space_peak",
+)
+
+
+class EngineStats:
+    """Mutable counter block; one per :class:`~repro.engine.Engine`."""
+
+    __slots__ = _FIELDS + ("enabled",)
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self.reset()
+
+    def reset(self):
+        for field in _FIELDS:
+            setattr(self, field, 0)
+        return self
+
+    def snapshot(self):
+        """Plain dict of the machine-level counters."""
+        return {field: getattr(self, field) for field in _FIELDS}
+
+    def __repr__(self):
+        inner = ", ".join(f"{f}={getattr(self, f)}" for f in _FIELDS)
+        state = "on" if self.enabled else "off"
+        return f"<EngineStats {state} {inner}>"

@@ -3,9 +3,18 @@
 The subgoal table and the answer tables of the SLG engine are keyed by
 *variant* equivalence — two terms are variants when they are equal up
 to a consistent renaming of variables.  ``canonical_key`` produces a
-hashable tree with variables replaced by first-occurrence indices, so
-variant checking is a dict lookup, which is XSB's "index on call
-patterns" (section 4.5 of the paper).
+hashable *flat* preorder token string (a tuple of scalars) with
+variables replaced by first-occurrence indices, so variant checking is
+a dict lookup, which is XSB's "index on call patterns" (section 4.5 of
+the paper).
+
+The key is flat on purpose: a nested-tuple key mirrors the term's
+shape, and CPython hashes and compares nested tuples recursively *in
+C*, so a 10k-deep term's key would raise ``RecursionError`` from
+``hash()`` even though every Python-level kernel here is iterative.
+Flat tuples hash and compare element-wise.  Since every struct token
+carries its arity, the preorder string determines the tree uniquely
+(``instantiate_key`` parses it back).
 """
 
 from __future__ import annotations
@@ -15,6 +24,8 @@ from .unify import deref
 
 __all__ = [
     "canonical_key",
+    "canonical_key_ground",
+    "flat_ground_answer",
     "is_variant",
     "is_ground",
     "resolve",
@@ -23,7 +34,9 @@ __all__ = [
     "subsumes",
 ]
 
-# Tags used inside canonical keys.  Plain tuples keep hashing fast.
+# Token tags of the flat canonical-key string.  Each tag is followed by
+# a fixed number of operands, so the string parses deterministically:
+# _VAR index | _ATOM name | _NUM typename value | _STRUCT name arity.
 _VAR = 0
 _ATOM = 1
 _NUM = 2
@@ -32,28 +45,148 @@ _STRUCT = 3
 
 def canonical_key(term):
     """Return a hashable key identifying ``term`` up to variable renaming."""
+    return canonical_key_ground(term)[0]
+
+
+def canonical_key_ground(term):
+    """Return ``(key, is_ground)`` in a single traversal.
+
+    The groundness bit falls out of the variable-numbering map for free
+    (the term is ground iff no variable was numbered); the tabling layer
+    uses it to skip ``copy_term`` for ground answers.
+
+    One preorder pass, one flat output tuple: no per-node allocation,
+    and no recursion anywhere — not even inside ``hash()``/``==`` on
+    the result, which nested keys would hit in C on deep terms.
+    """
     varmap = {}
-    return _canon(term, varmap)
+    out = []
+    append = out.append
+    stack = [term]
+    pop = stack.pop
+    while stack:
+        t = pop()
+        while isinstance(t, Var):
+            ref = t.ref
+            if ref is None:
+                break
+            t = ref
+        if isinstance(t, Struct):
+            append(_STRUCT)
+            append(t.name)
+            args = t.args
+            append(len(args))
+            stack.extend(reversed(args))
+        elif isinstance(t, Atom):
+            append(_ATOM)
+            append(t.name)
+        elif isinstance(t, Var):
+            index = varmap.get(id(t))
+            if index is None:
+                index = len(varmap)
+                varmap[id(t)] = index
+            append(_VAR)
+            append(index)
+        else:
+            append(_NUM)
+            append(type(t).__name__)
+            append(t)
+    return tuple(out), not varmap
 
 
-def _canon(term, varmap):
-    term = deref(term)
-    if isinstance(term, Var):
-        index = varmap.get(id(term))
-        if index is None:
-            index = len(varmap)
-            varmap[id(term)] = index
-        return (_VAR, index)
-    if isinstance(term, Atom):
-        return (_ATOM, term.name)
-    if isinstance(term, Struct):
-        return (_STRUCT, term.name, tuple(_canon(a, varmap) for a in term.args))
-    return (_NUM, type(term).__name__, term)
+def flat_ground_answer(term):
+    """Single-pass fast path for the dominant answer shape: a struct
+    whose arguments all dereference to scalars.
+
+    Returns ``(key, struct, values, changed)`` — the canonical key, the
+    dereferenced struct, its dereferenced argument values, and whether
+    any argument was a bound variable (i.e. whether the caller must
+    allocate a substituted struct to store).  Returns ``None`` when the
+    term is not a struct or has an unbound or compound argument, in
+    which case the caller falls back to the general kernels.
+
+    The point is that the tabling layer's answer insert otherwise walks
+    the term twice (duplicate-check key, then resolve-for-storage);
+    for flat ground answers one loop produces both, and nothing is
+    allocated at all for a duplicate.
+    """
+    t = term
+    while isinstance(t, Var):
+        ref = t.ref
+        if ref is None:
+            return None
+        t = ref
+    if not isinstance(t, Struct):
+        return None
+    args = t.args
+    out = [_STRUCT, t.name, len(args)]
+    append = out.append
+    values = []
+    changed = False
+    for child in args:
+        v = child
+        while isinstance(v, Var):
+            ref = v.ref
+            if ref is None:
+                return None
+            v = ref
+        if isinstance(v, Struct):
+            return None
+        if isinstance(v, Atom):
+            append(_ATOM)
+            append(v.name)
+        else:
+            append(_NUM)
+            append(type(v).__name__)
+            append(v)
+        if v is not child:
+            changed = True
+        values.append(v)
+    return tuple(out), t, values, changed
 
 
 def is_variant(left, right):
-    """True when the two terms are equal up to variable renaming."""
-    return canonical_key(left) == canonical_key(right)
+    """True when the two terms are equal up to variable renaming.
+
+    Walks both terms simultaneously maintaining a variable bijection —
+    cheaper than building two canonical keys and comparing them.
+    """
+    lmap = {}
+    rmap = {}
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = deref(a)
+        b = deref(b)
+        if isinstance(a, Var):
+            if not isinstance(b, Var):
+                return False
+            la = lmap.get(id(a))
+            rb = rmap.get(id(b))
+            if la is None and rb is None:
+                index = len(lmap)
+                lmap[id(a)] = index
+                rmap[id(b)] = index
+            elif la is None or la != rb:
+                return False
+            continue
+        if isinstance(b, Var):
+            return False
+        if isinstance(a, Struct):
+            if (
+                not isinstance(b, Struct)
+                or a.name != b.name
+                or len(a.args) != len(b.args)
+            ):
+                return False
+            stack.extend(zip(a.args, b.args))
+        elif isinstance(a, Atom):
+            if not (isinstance(b, Atom) and a.name == b.name):
+                return False
+        else:
+            if type(a) is not type(b) or a != b:
+                return False
+    return True
 
 
 def is_ground(term):
@@ -74,14 +207,56 @@ def resolve(term):
     Unbound variables are shared between input and output, so the result
     is safe to keep across backtracking only when it is ground; callers
     that store answers use :func:`repro.terms.rename.copy_term` instead.
+    Untouched subterms are shared with the input (no pointless
+    reallocation of already-resolved structure).
     """
     term = deref(term)
-    if isinstance(term, Struct):
-        args = tuple(resolve(a) for a in term.args)
-        if all(x is y for x, y in zip(args, term.args)):
+    if not isinstance(term, Struct):
+        return term
+    # Fast path: a struct whose arguments dereference to scalars (the
+    # shape of virtually every relational answer) needs no frame walk.
+    flat = []
+    changed = False
+    for child in term.args:
+        v = child
+        while isinstance(v, Var):
+            ref = v.ref
+            if ref is None:
+                break
+            v = ref
+        if isinstance(v, Struct):
+            flat = None
+            break
+        if v is not child:
+            changed = True
+        flat.append(v)
+    if flat is not None:
+        if not changed:
             return term
-        return Struct(term.name, args)
-    return term
+        return Struct(term.name, flat)
+    parts = []
+    stack = [(term, iter(term.args), parts)]
+    while True:
+        src, it, parts = stack[-1]
+        descended = False
+        for child in it:
+            value = deref(child)
+            if isinstance(value, Struct):
+                child_parts = []
+                stack.append((value, iter(value.args), child_parts))
+                descended = True
+                break
+            parts.append(value)
+        if descended:
+            continue
+        stack.pop()
+        if all(x is y for x, y in zip(parts, src.args)):
+            node = src
+        else:
+            node = Struct(src.name, parts)
+        if not stack:
+            return node
+        stack[-1][2].append(node)
 
 
 def term_variables(term):
@@ -117,33 +292,46 @@ def _order_class(term):
 
 
 def compare_terms(left, right):
-    """Three-way comparison in the standard order of terms."""
-    left = deref(left)
-    right = deref(right)
-    lc, rc = _order_class(left), _order_class(right)
-    if lc != rc:
-        return -1 if lc < rc else 1
-    if lc == 0:
-        li, ri = id(left), id(right)
-        return 0 if li == ri else (-1 if li < ri else 1)
-    if lc == 1:
-        return 0 if left == right else (-1 if left < right else 1)
-    if lc == 2:
-        if left.name == right.name:
-            return 0
-        return -1 if left.name < right.name else 1
-    if lc == 3:
-        if len(left.args) != len(right.args):
-            return -1 if len(left.args) < len(right.args) else 1
-        if left.name != right.name:
+    """Three-way comparison in the standard order of terms.
+
+    Iterative: argument pairs of equal structs are pushed (reversed, so
+    the leftmost differing argument decides) instead of recursing.
+    """
+    stack = [(left, right)]
+    while stack:
+        left, right = stack.pop()
+        left = deref(left)
+        right = deref(right)
+        if left is right:
+            continue
+        lc, rc = _order_class(left), _order_class(right)
+        if lc != rc:
+            return -1 if lc < rc else 1
+        if lc == 0:
+            li, ri = id(left), id(right)
+            if li == ri:
+                continue
+            return -1 if li < ri else 1
+        if lc == 1:
+            if left == right:
+                continue
+            return -1 if left < right else 1
+        if lc == 2:
+            if left.name == right.name:
+                continue
             return -1 if left.name < right.name else 1
-        for la, ra in zip(left.args, right.args):
-            c = compare_terms(la, ra)
-            if c:
-                return c
-        return 0
-    ls, rs = repr(left), repr(right)
-    return 0 if ls == rs else (-1 if ls < rs else 1)
+        if lc == 3:
+            if len(left.args) != len(right.args):
+                return -1 if len(left.args) < len(right.args) else 1
+            if left.name != right.name:
+                return -1 if left.name < right.name else 1
+            stack.extend(zip(reversed(left.args), reversed(right.args)))
+            continue
+        ls, rs = repr(left), repr(right)
+        if ls == rs:
+            continue
+        return -1 if ls < rs else 1
+    return 0
 
 
 def subsumes(general, specific):

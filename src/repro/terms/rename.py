@@ -1,4 +1,10 @@
-"""Copying and renaming of terms (``copy_term/2`` and friends)."""
+"""Copying and renaming of terms (``copy_term/2`` and friends).
+
+All walks here are iterative (explicit stacks): terms nest one level
+per list element, so the SLG engine routinely meets terms thousands of
+levels deep, and recursive kernels would both pay a Python call per
+node and die with ``RecursionError`` on deep data.
+"""
 
 from __future__ import annotations
 
@@ -19,10 +25,6 @@ def copy_term(term, varmap=None):
     """
     if varmap is None:
         varmap = {}
-    return _copy(term, varmap)
-
-
-def _copy(term, varmap):
     term = deref(term)
     if isinstance(term, Var):
         fresh = varmap.get(id(term))
@@ -30,9 +32,37 @@ def _copy(term, varmap):
             fresh = Var(term.name)
             varmap[id(term)] = fresh
         return fresh
-    if isinstance(term, Struct):
-        return Struct(term.name, tuple(_copy(a, varmap) for a in term.args))
-    return term
+    if not isinstance(term, Struct):
+        return term
+    # Post-order copy: each frame is (source struct, shared iterator
+    # over its remaining args, copied args so far).
+    parts = []
+    stack = [(term, iter(term.args), parts)]
+    while True:
+        src, it, parts = stack[-1]
+        descended = False
+        for child in it:
+            child = deref(child)
+            if isinstance(child, Var):
+                fresh = varmap.get(id(child))
+                if fresh is None:
+                    fresh = Var(child.name)
+                    varmap[id(child)] = fresh
+                parts.append(fresh)
+            elif isinstance(child, Struct):
+                child_parts = []
+                stack.append((child, iter(child.args), child_parts))
+                descended = True
+                break
+            else:
+                parts.append(child)
+        if descended:
+            continue
+        stack.pop()
+        node = Struct(src.name, parts)
+        if not stack:
+            return node
+        stack[-1][2].append(node)
 
 
 # Canonical-key tags mirrored from repro.terms.compare.
@@ -45,28 +75,50 @@ _STRUCT = 3
 def instantiate_key(key, variables=None):
     """Rebuild a term from a canonical key (see ``canonical_key``).
 
-    Variable indices are mapped to fresh variables (or to the supplied
-    ``variables`` list, extended as needed).  Together with
-    ``canonical_key`` this round-trips terms through table space: the
-    table stores hashable keys, and answer resolution instantiates them
-    back into heap terms.
+    Parses the flat preorder token string: every ``_STRUCT`` token
+    carries its arity, so an open frame closes exactly when it has
+    collected that many arguments.  Variable indices are mapped to
+    fresh variables (or to the supplied ``variables`` list, extended as
+    needed).  Together with ``canonical_key`` this round-trips terms
+    through table space: the table stores hashable keys, and answer
+    resolution instantiates them back into heap terms.
     """
     from .term import mkatom  # local import to avoid a cycle at module load
 
     if variables is None:
         variables = []
 
-    def build(node):
-        tag = node[0]
+    stack = []  # open frames: [name, arity, parts]
+    i = 0
+    n = len(key)
+    while i < n:
+        tag = key[i]
+        if tag == _STRUCT:
+            stack.append([key[i + 1], key[i + 2], []])
+            i += 3
+            continue
         if tag == _VAR:
-            index = node[1]
+            index = key[i + 1]
             while len(variables) <= index:
                 variables.append(Var())
-            return variables[index]
-        if tag == _ATOM:
-            return mkatom(node[1])
-        if tag == _STRUCT:
-            return Struct(node[1], tuple(build(child) for child in node[2]))
-        return node[2]
-
-    return build(key)
+            value = variables[index]
+            i += 2
+        elif tag == _ATOM:
+            value = mkatom(key[i + 1])
+            i += 2
+        else:  # _NUM
+            value = key[i + 2]
+            i += 3
+        while stack:
+            frame = stack[-1]
+            parts = frame[2]
+            parts.append(value)
+            if len(parts) < frame[1]:
+                break
+            stack.pop()
+            value = Struct(frame[0], parts)
+        else:
+            return value
+    # A bare struct key with arity 0 cannot occur (atoms tokenize as
+    # _ATOM), so falling out of the loop means a truncated key.
+    raise ValueError("truncated canonical key")

@@ -13,6 +13,8 @@ for opaque payloads.
 
 from __future__ import annotations
 
+from sys import intern as _intern
+
 __all__ = [
     "Var",
     "Atom",
@@ -82,11 +84,16 @@ class Atom:
 
 
 def mkatom(name):
-    """Return the unique :class:`Atom` for ``name``, creating it if needed."""
+    """Return the unique :class:`Atom` for ``name``, creating it if needed.
+
+    The name string is interned on first creation, so every atom name
+    — and every functor string derived from one — is a shared string
+    object and dict lookups keyed by it short-circuit on identity.
+    """
     atom = Atom._table.get(name)
     if atom is None:
-        atom = Atom(name)
-        Atom._table[name] = atom
+        atom = Atom(_intern(name))
+        Atom._table[atom.name] = atom
     return atom
 
 

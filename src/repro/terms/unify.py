@@ -93,16 +93,28 @@ def unify(left, right, trail):
     that needs soundness checks (e.g. the safety analyser).
     """
     stack = [(left, right)]
+    entries = trail.entries
     while stack:
         a, b = stack.pop()
-        a = deref(a)
-        b = deref(b)
+        # deref inlined: this is the innermost loop of the whole engine.
+        while isinstance(a, Var):
+            ref = a.ref
+            if ref is None:
+                break
+            a = ref
+        while isinstance(b, Var):
+            ref = b.ref
+            if ref is None:
+                break
+            b = ref
         if a is b:
             continue
         if isinstance(a, Var):
-            bind(a, b, trail)
+            a.ref = b
+            entries.append(a)
         elif isinstance(b, Var):
-            bind(b, a, trail)
+            b.ref = a
+            entries.append(b)
         elif isinstance(a, Struct):
             if (
                 not isinstance(b, Struct)

@@ -1,0 +1,132 @@
+"""Deep-term stress tests at the *default* Python recursion limit.
+
+The paper's workloads are database-sized: relations of tens of
+thousands of tuples, lists of tens of thousands of elements.  Every
+term kernel (unification, renaming, canonicalization, variant check,
+comparison, output) is an explicit-stack loop precisely so these sizes
+work without anyone touching ``sys.setrecursionlimit`` — which these
+tests deliberately do not.
+"""
+
+import sys
+
+from repro import Engine
+from repro.lang.writer import term_to_str
+from repro.terms import (
+    Struct,
+    Trail,
+    Var,
+    canonical_key,
+    compare_terms,
+    copy_term,
+    is_ground,
+    is_proper_list,
+    is_variant,
+    list_to_python,
+    make_list,
+    mkatom,
+    resolve,
+    term_variables,
+    unify,
+)
+from repro.terms.compare import canonical_key_ground
+from conftest import PATH_LEFT, make_chain
+
+DEPTH = 10_000
+
+
+def deep_struct(depth, leaf):
+    term = leaf
+    for _ in range(depth):
+        term = Struct("f", (term,))
+    return term
+
+
+def test_recursion_limit_untouched():
+    # The engine must not paper over recursive kernels by raising the
+    # interpreter limit behind the caller's back.
+    assert sys.getrecursionlimit() <= 3000
+
+
+def test_deep_struct_kernels():
+    ground = deep_struct(DEPTH, mkatom("end"))
+    open_term = deep_struct(DEPTH, Var("X"))
+
+    key, groundness = canonical_key_ground(ground)
+    assert groundness is True
+    assert canonical_key(ground) == key
+
+    okey, open_groundness = canonical_key_ground(open_term)
+    assert open_groundness is False
+    assert is_ground(ground) and not is_ground(open_term)
+
+    assert is_variant(ground, ground)
+    assert is_variant(open_term, deep_struct(DEPTH, Var("Y")))
+    assert not is_variant(ground, open_term)
+
+    duplicate = copy_term(open_term)
+    assert duplicate is not open_term
+    assert is_variant(open_term, duplicate)
+    assert canonical_key(duplicate) == okey
+
+    assert compare_terms(ground, resolve(ground)) == 0
+    assert len(term_variables(open_term)) == 1
+
+
+def test_deep_struct_unify_and_write():
+    trail = Trail()
+    var_leaf = deep_struct(DEPTH, Var("X"))
+    ground = deep_struct(DEPTH, mkatom("end"))
+    assert unify(var_leaf, ground, trail)
+    assert is_ground(resolve(var_leaf))
+
+    text = term_to_str(ground)
+    assert text == "f(" * DEPTH + "end" + ")" * DEPTH
+
+
+def test_long_list_kernels():
+    items = list(range(DEPTH))
+    xs = make_list(items)
+    assert is_proper_list(xs)
+    assert list_to_python(xs) == items
+
+    key, groundness = canonical_key_ground(xs)
+    assert groundness is True
+    assert is_variant(xs, copy_term(xs))
+
+    holes = make_list([Var(f"V{i}") for i in range(DEPTH)])
+    trail = Trail()
+    assert unify(holes, xs, trail)
+    assert list_to_python(resolve(holes)) == items
+
+    rendered = term_to_str(make_list(items[:5]))
+    assert rendered == "[0,1,2,3,4]"
+    # Full render of the 10k list exercises the writer trampoline.
+    assert term_to_str(xs).count(",") == DEPTH - 1
+
+
+def test_long_chain_query():
+    engine = Engine()
+    engine.consult_string(PATH_LEFT)
+    length = DEPTH
+    make_chain(engine, length)
+    solutions = engine.query(f"path(1, X)", limit=None)
+    assert len(solutions) == length - 1
+    stats = engine.statistics()
+    assert stats["answers_inserted"] == length - 1
+    assert stats["ground_answers"] == length - 1
+
+
+def test_deep_term_through_table(engine):
+    # A tabled answer whose single argument is a 2k-deep term must
+    # round-trip table insertion (canonicalize + store) and consumption.
+    engine.consult_string(":- table deep/1.\ndeep(X) :- mk(X).\n")
+    depth = 2_000
+    term = deep_struct(depth, mkatom("end"))
+
+    from repro.engine.clause import Clause
+
+    pred = engine.db.ensure("mk", 1)
+    pred.add_clause(Clause("mk", (term,), (), 0))
+    [solution] = engine.query("deep(X)", raw=True)
+    assert term_to_str(solution["X"]) == term_to_str(term)

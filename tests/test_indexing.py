@@ -202,3 +202,122 @@ class TestAnswerTrie:
         nodes_two = trie.node_count()
         # only the final token differs: exactly one extra node
         assert nodes_two == nodes_one + 1
+
+
+class TestIndexPlanCoverage:
+    """Retrieval-pattern coverage for IndexPlan.lookup and the engine's
+    full-scan fallback when no declared index applies."""
+
+    def make_plan(self):
+        plan = IndexPlan(3, [IndexSpec((1,)), IndexSpec((2, 3))])
+        a, b, c = mkatom("a"), mkatom("b"), mkatom("c")
+        plan.insert(0, (a, b, c), "c0")
+        plan.insert(1, (b, b, c), "c1")
+        plan.insert(2, (Var(), b, b), "c2")  # catch-all for index 1
+        return plan, (a, b, c)
+
+    def test_partially_bound_uses_first_applicable(self):
+        plan, (a, b, c) = self.make_plan()
+        # Field 1 bound: catch-all clause c2 merges with the key bucket.
+        assert plan.lookup((a, Var(), Var())) == ["c0", "c2"]
+        # Field 1 unbound, fields 2+3 bound: second index serves it.
+        assert plan.lookup((Var(), b, c)) == ["c0", "c1"]
+
+    def test_fully_unbound_returns_none(self):
+        plan, _ = self.make_plan()
+        assert plan.lookup((Var(), Var(), Var())) is None
+        assert plan.lookup((Var(), Var(), mkatom("c"))) is None
+
+    def test_none_falls_back_to_full_scan_in_predicate(self):
+        from repro import Engine
+
+        engine = Engine()
+        engine.consult_string("p(a, 1). p(b, 2). p(c, 3).")
+        pred = engine.predicate("p", 2)
+        # Unbound first argument: no index applies, all clauses scanned.
+        assert pred.index_plan.lookup((Var(), Var())) is None
+        assert pred.candidates((Var(), Var())) is pred.clauses
+        assert len(engine.query("p(X, Y)")) == 3
+
+    def test_repeat_lookup_reuses_cached_list(self):
+        plan, (a, b, c) = self.make_plan()
+        first = plan.lookup((a, Var(), Var()))
+        assert plan.lookup((a, Var(), Var())) is first
+
+    def test_insert_invalidates_cache(self):
+        plan, (a, b, c) = self.make_plan()
+        assert plan.lookup((a, Var(), Var())) == ["c0", "c2"]
+        plan.insert(3, (a, c, c), "c3")
+        assert plan.lookup((a, Var(), Var())) == ["c0", "c2", "c3"]
+        # New catch-all clauses join every key's candidates.
+        plan.insert(4, (Var(), c, c), "c4")
+        assert plan.lookup((a, Var(), Var())) == ["c0", "c2", "c3", "c4"]
+
+    def test_remove_invalidates_cache(self):
+        plan, (a, b, c) = self.make_plan()
+        assert plan.lookup((a, Var(), Var())) == ["c0", "c2"]
+        plan.remove(0)
+        assert plan.lookup((a, Var(), Var())) == ["c2"]
+
+    def test_assert_retract_round_trip_through_engine(self):
+        from repro import Engine
+
+        engine = Engine()
+        engine.consult_string(":- dynamic(q/1).")
+        engine.assertz("q(a)")
+        assert engine.query("q(a)") == [{}]
+        engine.assertz("q(b)")
+        assert len(engine.query("q(X)")) == 2
+        assert engine.has_solution("retract(q(a))")
+        assert engine.query("q(a)") == []
+        assert len(engine.query("q(X)")) == 1
+
+    def test_lookup_args_matches_wrapped_lookup(self):
+        index = FirstStringIndex()
+        for seq, text in enumerate(
+            ["f(a, g(b))", "f(a, X)", "f(b, c)", "f(A, B)"]
+        ):
+            index.insert(seq, parse_term(text), f"c{seq}")
+        for call in ["f(a, g(b))", "f(a, Z)", "f(Q, R)", "f(b, b)"]:
+            term = parse_term(call)
+            assert index.lookup_args(term.args) == index.lookup(term)
+
+
+class TestDuplicateSuppressionCounts:
+    def test_cycle_duplicates_counted_exactly(self):
+        from repro import Engine
+
+        engine = Engine()
+        engine.consult_string(
+            """
+            :- table path/2.
+            path(X,Y) :- edge(X,Y).
+            path(X,Y) :- path(X,Z), edge(Z,Y).
+            edge(a,b). edge(b,a).
+            """
+        )
+        assert len(engine.query("path(a, X)")) == 2
+        stats = engine.table_statistics()
+        # a->b and a->a arrive once each; closing the 2-cycle
+        # re-derives a->b exactly once.
+        assert stats["answers_inserted"] == 2
+        assert stats["duplicate_answers"] == 1
+
+    def test_trie_store_counts_match_hash_store(self):
+        from repro import Engine
+
+        program = """
+        :- table path/2.
+        path(X,Y) :- edge(X,Y).
+        path(X,Y) :- path(X,Z), edge(Z,Y).
+        edge(a,b). edge(b,c). edge(c,a).
+        """
+        hash_engine = Engine(answer_store="hash")
+        trie_engine = Engine(answer_store="trie")
+        for engine in (hash_engine, trie_engine):
+            engine.consult_string(program)
+            assert len(engine.query("path(a, X)")) == 3
+        assert (
+            hash_engine.table_statistics()["duplicate_answers"]
+            == trie_engine.table_statistics()["duplicate_answers"]
+        )

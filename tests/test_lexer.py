@@ -116,3 +116,26 @@ class TestCommentsAndLayout:
         tokens = tokenize("a.\nfoo.")
         assert tokens[2].line == 2
         assert tokens[2].column == 1
+
+
+class TestInterning:
+    def test_atom_tokens_share_one_string(self):
+        first = tokenize("foo(foo, foo).")
+        second = tokenize("foo.")
+        names = [t.value for t in first if t.type == TokenType.ATOM]
+        assert all(name is names[0] for name in names)
+        assert second[0].value is names[0]
+
+    def test_parsed_atoms_are_same_object(self):
+        from repro.lang import parse_term
+
+        one = parse_term("edge(a, b)")
+        two = parse_term("edge(a, c)")
+        assert one.args[0] is two.args[0]
+        assert one.name is two.name
+
+    def test_quoted_atom_interned_with_plain(self):
+        from repro.lang import parse_term
+
+        assert parse_term("'hello world'") is parse_term("'hello world'")
+        assert parse_term("'abc'") is parse_term("abc")

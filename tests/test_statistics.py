@@ -1,0 +1,178 @@
+"""The engine statistics layer: counters, ``statistics/0,2``, fast paths.
+
+The counts pinned here are *exact* on a fixed program (a path/2 cycle
+over three edges) so that any change to SLG scheduling, the duplicate
+check or clause retrieval that alters the event stream shows up as a
+test failure, not as silent drift.
+"""
+
+import io
+
+import pytest
+
+from repro import Engine
+from repro.errors import TypeError_
+from repro.perf import STATISTIC_KEYS, EngineStats
+from conftest import PATH_LEFT, make_cycle
+
+
+CYCLE_EDGES = """
+edge(a,b). edge(b,c). edge(c,a).
+"""
+
+
+def cycle_engine():
+    engine = Engine()
+    engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+    return engine
+
+
+class TestExactCounts:
+    """Pin the full event stream of one left-recursive cycle query."""
+
+    def test_path_cycle_counts(self):
+        engine = cycle_engine()
+        solutions = engine.query("path(a, X)")
+        assert sorted(s["X"] for s in solutions) == ["a", "b", "c"]
+        stats = engine.statistics()
+        # One generator check-in (miss), one recursive variant (hit).
+        assert stats["subgoal_misses"] == 1
+        assert stats["subgoal_hits"] == 1
+        assert stats["subgoals_created"] == 1
+        # Three answers reach the table; the cycle re-derives one.
+        assert stats["answers_inserted"] == 3
+        assert stats["duplicate_answers"] == 1
+        # Every answer is ground, so all take the no-copy fast path.
+        assert stats["ground_answers"] == 3
+        # The inner consumer suspends once; the fixpoint is reached by
+        # plain backtracking retries, so no completion-time resumption.
+        assert stats["suspensions"] == 1
+        assert stats["resumptions"] == 0
+        assert stats["completions"] == 1
+        # Both path/2 clauses resolve against the generator plus the
+        # first-argument index serving edge/2 retrievals.
+        assert stats["clause_candidates"] == 6
+        assert stats["clause_matches"] == 6
+        # Table space: one frame + three answers, nothing reclaimed.
+        assert stats["space_live"] == 4
+        assert stats["space_peak"] == 4
+        assert stats["subgoals"] == 1
+        assert stats["completed"] == 1
+        assert stats["answers_stored"] == 3
+
+    def test_second_run_is_pure_hit(self):
+        engine = cycle_engine()
+        engine.query("path(a, X)")
+        engine.reset_statistics()
+        solutions = engine.query("path(a, X)")
+        assert len(solutions) == 3
+        stats = engine.statistics()
+        # The completed table answers the repeat call outright: no new
+        # subgoal, no clause resolution, no answer insertion.
+        assert stats["subgoal_hits"] == 1
+        assert stats["subgoal_misses"] == 0
+        assert stats["clause_candidates"] == 0
+        assert stats["answers_inserted"] == 3  # cumulative, from run one
+        assert stats["space_peak"] == 4
+
+    def test_abolish_reclaims_space(self):
+        engine = cycle_engine()
+        engine.query("path(a, X)")
+        engine.abolish_all_tables()
+        stats = engine.statistics()
+        assert stats["space_live"] == 0
+        assert stats["space_peak"] == 4  # high-water mark survives
+
+
+class TestStatisticsBuiltins:
+    def test_statistics2_bound_key(self):
+        engine = cycle_engine()
+        engine.query("path(a, X)")
+        assert engine.query("statistics(subgoals_created, N)") == [{"N": 1}]
+        assert engine.query("statistics(answers_inserted, N)") == [{"N": 3}]
+
+    def test_statistics2_checks_value(self):
+        engine = cycle_engine()
+        engine.query("path(a, X)")
+        assert engine.has_solution("statistics(subgoals_created, 1)")
+        assert not engine.has_solution("statistics(subgoals_created, 99)")
+
+    def test_statistics2_enumerates_all_keys(self):
+        engine = cycle_engine()
+        rows = engine.query("statistics(K, V)")
+        assert [row["K"] for row in rows] == list(STATISTIC_KEYS)
+        assert all(isinstance(row["V"], int) for row in rows)
+
+    def test_statistics2_unknown_key(self):
+        engine = cycle_engine()
+        with pytest.raises(TypeError_):
+            engine.query("statistics(no_such_counter, V)")
+
+    def test_statistics0_prints_every_key(self):
+        out = io.StringIO()
+        engine = Engine(output=out)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        assert engine.has_solution("statistics")
+        lines = out.getvalue().splitlines()
+        assert len(lines) == len(STATISTIC_KEYS)
+        printed = {line.split()[0]: int(line.split()[1]) for line in lines}
+        assert printed["answers_inserted"] == 3
+
+
+class TestDisabledStatistics:
+    def test_counters_stay_zero(self):
+        engine = Engine(statistics=False)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        assert len(engine.query("path(a, X)")) == 3
+        snap = engine.stats.snapshot()
+        assert all(value == 0 for value in snap.values())
+        # Table-space accounting is live state, not instrumentation, so
+        # it keeps working even with the event counters off.
+        assert engine.statistics()["answers_inserted"] == 3
+
+    def test_enabled_flag_round_trip(self):
+        stats = EngineStats(enabled=False)
+        assert not stats.enabled
+        stats.subgoal_hits += 7
+        assert stats.reset().snapshot()["subgoal_hits"] == 0
+
+
+class TestGroundAnswerFastPath:
+    def test_ground_answers_marked(self, engine):
+        engine.consult_string(PATH_LEFT)
+        make_cycle(engine, 4)
+        engine.query("path(1, X)")
+        [frame] = engine.tables.all_frames()
+        assert frame.answer_ground == [True] * len(frame.answers)
+
+    def test_nonground_answers_copied_per_consumption(self, engine):
+        engine.consult_string(
+            """
+            :- table q/2.
+            q(X, f(X, Y)).
+            p(A, B) :- q(A, B), q(A, B2), B = B2.
+            """
+        )
+        # Each consumption of the non-ground answer must rename it
+        # freshly; sharing one stored term would alias Y across the two
+        # q/2 calls and taint the table for later queries.
+        assert len(engine.query("p(1, Z)")) == 1
+        [frame] = engine.tables.all_frames()
+        assert frame.answer_ground == [False]
+        assert engine.statistics()["ground_answers"] == 0
+        assert engine.query("q(2, W)", raw=False) != []
+
+    def test_mixed_groundness(self, engine):
+        engine.consult_string(
+            """
+            :- table r/1.
+            r(a).
+            r(g(X)).
+            r(b).
+            """
+        )
+        assert len(engine.query("r(X)")) == 3
+        [frame] = engine.tables.all_frames()
+        assert frame.answer_ground == [True, False, True]
+        assert engine.statistics()["ground_answers"] == 2
