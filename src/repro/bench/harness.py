@@ -105,17 +105,40 @@ def geometric_mean(values):
 # JSON result files (before/after comparisons)
 # --------------------------------------------------------------------------
 
+def _git_commit():
+    """The current commit SHA, or "unknown" outside a git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
 def write_json_results(path, results, meta=None):
     """Persist benchmark timings for later comparison.
 
     ``results`` maps series name to seconds (floats).  The interpreter
-    version is recorded so a comparison across different Pythons is
-    visibly apples-to-oranges.  Returns the payload written.
+    version, the git commit and the machine are recorded so a
+    comparison across Pythons, trees or hosts is visibly
+    apples-to-oranges.  Returns the payload written.
     """
     payload = {
         "meta": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
+            "commit": _git_commit(),
+            "machine": platform.machine(),
+            "platform": platform.platform(),
+            "processor": platform.processor(),
             **(meta or {}),
         },
         "results": {name: float(seconds) for name, seconds in results.items()},

@@ -25,7 +25,14 @@ from .datalog import Program, Rule, Var, atom, parse_program, struct
 from .magic import magic_rewrite
 from .factoring import factor_program
 from .relation import Relation
-from .seminaive import evaluate, evaluate_naive, query
+from .seminaive import (
+    EvaluationStats,
+    Prepared,
+    evaluate,
+    evaluate_naive,
+    prepare,
+    query,
+)
 from .wellfounded import alternating_fixpoint
 
 __all__ = [
@@ -38,6 +45,9 @@ __all__ = [
     "parse_program",
     "evaluate",
     "evaluate_naive",
+    "prepare",
+    "Prepared",
+    "EvaluationStats",
     "query",
     "magic_rewrite",
     "factor_program",

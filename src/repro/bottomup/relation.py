@@ -18,14 +18,20 @@ class Relation:
     Indexes are keyed by the tuple of bound positions; they are built
     lazily the first time a join probes that pattern and maintained
     incrementally afterwards.
+
+    ``rows`` preserves insertion order alongside the membership set, so
+    iteration is deterministic (set order would vary with the per-run
+    string hash seed) — the hybrid SLG bridge relies on this to install
+    table answers in a reproducible derivation order.
     """
 
-    __slots__ = ("name", "arity", "tuples", "indexes")
+    __slots__ = ("name", "arity", "tuples", "rows", "indexes")
 
     def __init__(self, name, arity):
         self.name = name
         self.arity = arity
         self.tuples = set()
+        self.rows = []
         self.indexes = {}
 
     def add(self, row):
@@ -33,6 +39,7 @@ class Relation:
         if row in self.tuples:
             return False
         self.tuples.add(row)
+        self.rows.append(row)
         for positions, index in self.indexes.items():
             key = tuple(row[p] for p in positions)
             index.setdefault(key, []).append(row)
@@ -49,16 +56,30 @@ class Relation:
         index = self.indexes.get(positions)
         if index is None:
             index = {}
-            for row in self.tuples:
+            for row in self.rows:
                 key = tuple(row[p] for p in positions)
                 index.setdefault(key, []).append(row)
             self.indexes[positions] = index
         return index
 
+    def clear(self):
+        """Empty the relation while keeping every container's identity.
+
+        Rows, the membership set and each index dict are cleared rather
+        than replaced: compiled join plans capture those exact objects
+        (see :func:`repro.bottomup.seminaive._compile_plan`), so a
+        prepared fixpoint can reset its derived relations between runs
+        without recompiling anything.
+        """
+        self.tuples.clear()
+        self.rows.clear()
+        for index in self.indexes.values():
+            index.clear()
+
     def probe(self, positions, key):
         """All tuples whose ``positions`` equal ``key`` (hash lookup)."""
         if not positions:
-            return self.tuples
+            return self.rows
         index = self._ensure_index(positions)
         return index.get(key, ())
 
@@ -69,11 +90,12 @@ class Relation:
         return len(self.tuples)
 
     def __iter__(self):
-        return iter(self.tuples)
+        return iter(self.rows)
 
     def copy(self):
         clone = Relation(self.name, self.arity)
         clone.tuples = set(self.tuples)
+        clone.rows = list(self.rows)
         return clone
 
     def __repr__(self):

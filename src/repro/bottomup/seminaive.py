@@ -9,10 +9,22 @@ against the accumulated full relations, so no derivation is repeated.
 from __future__ import annotations
 
 from ..errors import SafetyError
-from .datalog import CMP, IS, REL, UNIFY, Var, compare, eval_expr, match, substitute
+from .datalog import (
+    CMP,
+    IS,
+    REL,
+    UNIFY,
+    Var,
+    _match,
+    compare,
+    eval_expr,
+    match,
+    substitute,
+)
 from .relation import Relation
 
-__all__ = ["evaluate", "evaluate_naive", "query", "EvaluationStats"]
+__all__ = ["evaluate", "evaluate_naive", "prepare", "query",
+           "EvaluationStats", "Prepared"]
 
 
 class EvaluationStats:
@@ -35,6 +47,13 @@ class EvaluationStats:
 def _as_relations(facts):
     relations = {}
     for (name, arity), rows in facts.items():
+        if isinstance(rows, Relation):
+            # Prebuilt relation: adopted as-is, indexes and all.  The
+            # hybrid SLG bridge caches its EDB this way so repeated
+            # subgoals against one plan skip the per-call copy (and
+            # keep the hash indexes built by earlier evaluations).
+            relations[(name, arity)] = rows
+            continue
         relation = Relation(name, arity)
         relation.add_many(tuple(row) for row in rows)
         relations[(name, arity)] = relation
@@ -67,7 +86,7 @@ def _bound_probe(args, bindings):
     return tuple(positions), tuple(key)
 
 
-def _join(rule, index, relations, delta_key, delta_rel, stats, out):
+def _join(rule, index, relations, delta_key, delta_rel, stats, out, order=None):
     """Evaluate ``rule`` with body literal ``index`` ranging over the
     delta relation; emit derived head tuples into ``out``.
 
@@ -76,14 +95,18 @@ def _join(rule, index, relations, delta_key, delta_rel, stats, out):
     driving the join from the delta bounds the work by the delta's
     size); the remaining literals are then ordered greedily by
     bound-variable connectivity — the sideways join ordering a
-    bottom-up optimizer performs.
+    bottom-up optimizer performs.  ``order`` may carry that join order
+    precomputed (it depends only on the rule and the delta position, so
+    the fixpoint driver computes it once per rule instead of once per
+    iteration).
     """
 
     body = rule.body
-    if 0 <= index < len(body):
-        order = _delta_order(rule, index)
-    else:
-        order = list(range(len(body)))
+    if order is None:
+        if 0 <= index < len(body):
+            order = _delta_order(rule, index)
+        else:
+            order = list(range(len(body)))
 
     def walk(step, bindings):
         if step == len(body):
@@ -225,10 +248,142 @@ def _delta_order(rule, index):
     return order
 
 
+# --------------------------------------------------------------------------
+# compiled join plans
+# --------------------------------------------------------------------------
+#
+# The generic ``_join``/``walk`` interpreter pays for its generality on
+# every derived tuple: dict-based bindings, recursive pattern matching,
+# per-argument substitution.  For the overwhelmingly common rule shape
+# — every body literal a *positive relational* literal whose arguments
+# are variables or ground constants — the join can instead be compiled
+# once into a specialized nested-loop function: variables become Python
+# locals, index probes become precaptured dict lookups, and the head
+# tuple is built by a single expression.  The hybrid SLG bridge
+# (repro.engine.hybrid) only ever produces this shape, so its fixpoints
+# run entirely on compiled plans; rules with negation, comparisons,
+# arithmetic or compound patterns keep the generic interpreter.
+
+def _pattern_is_open(arg):
+    """True when ``arg`` is a compound pattern containing variables."""
+    from .datalog import pattern_vars
+
+    return isinstance(arg, tuple) and bool(pattern_vars(arg, []))
+
+
+# The generated source depends only on the rule/order *shape* — the
+# captured values (index dicts, row lists, constants) enter as factory
+# parameters — so one ``exec`` per shape serves every engine in the
+# process.  Compiling a plan for a rule shape seen before is then a
+# dict lookup plus a function call, which keeps first-call latency low
+# for workloads that build many engines over the same program.
+_PLAN_FACTORIES = {}
+
+
+def _compile_plan(rule, order, relations):
+    """A specialized join function for ``rule`` along ``order``, or None.
+
+    The returned function has signature ``fn(delta_rows, out_append)``
+    where ``delta_rows`` ranges over the literal at ``order[0]`` and
+    every derived head tuple is passed to ``out_append``.  Index dicts
+    and row lists are captured from the live :class:`Relation` objects
+    at compile time; ``Relation.add`` maintains them in place, so the
+    captures stay current across fixpoint iterations.
+    """
+    body = rule.body
+    for literal in body:
+        if literal[0] != REL or not literal[3]:
+            return None
+        for arg in literal[2]:
+            if _pattern_is_open(arg):
+                return None
+    env = {"_EMPTY": ()}
+    lines = ["def _plan(delta, out_append):"]
+    bound = {}  # Var -> local name
+    depth = 1
+    for step, position in enumerate(order):
+        _, pred, args, _ = body[position]
+        row = f"r{step}"
+        probed = frozenset()
+        if step == 0:
+            lines.append(f"{'    ' * depth}for {row} in delta:")
+        else:
+            positions = []
+            key_parts = []
+            for i, arg in enumerate(args):
+                if isinstance(arg, Var):
+                    local = bound.get(arg)
+                    if local is not None:
+                        positions.append(i)
+                        key_parts.append(local)
+                else:
+                    positions.append(i)
+                    name = f"c{step}_{i}"
+                    env[name] = arg
+                    key_parts.append(name)
+            probed = frozenset(positions)
+            relation = _rel(relations, (pred, len(args)))
+            if positions:
+                index_name = f"idx{step}"
+                env[index_name] = relation._ensure_index(tuple(positions))
+                key = ", ".join(key_parts)
+                if len(key_parts) == 1:
+                    key += ","
+                lines.append(
+                    f"{'    ' * depth}for {row} in "
+                    f"{index_name}.get(({key}), _EMPTY):"
+                )
+            else:
+                rows_name = f"rows{step}"
+                env[rows_name] = relation.rows
+                lines.append(f"{'    ' * depth}for {row} in {rows_name}:")
+        depth += 1
+        pad = "    " * depth
+        for i, arg in enumerate(args):
+            if i in probed:
+                continue  # equality enforced by the index key
+            if isinstance(arg, Var):
+                local = bound.get(arg)
+                if local is None:
+                    local = f"v{len(bound)}"
+                    bound[arg] = local
+                    lines.append(f"{pad}{local} = {row}[{i}]")
+                else:
+                    lines.append(f"{pad}if {row}[{i}] != {local}: continue")
+            else:
+                name = f"c{step}_{i}"
+                env[name] = arg
+                lines.append(f"{pad}if {row}[{i}] != {name}: continue")
+    parts = []
+    for j, arg in enumerate(rule.head_args):
+        if isinstance(arg, Var):
+            local = bound.get(arg)
+            if local is None:
+                return None  # not range-restricted along this order
+            parts.append(local)
+        elif _pattern_is_open(arg):
+            return None  # head builds structure: interpreter territory
+        else:
+            name = f"h{j}"
+            env[name] = arg
+            parts.append(name)
+    head = ", ".join(parts)
+    if len(parts) == 1:
+        head += ","
+    lines.append(f"{'    ' * depth}out_append(({head}))")
+    source = "def _make({}):\n{}\n    return _plan".format(
+        ", ".join(env), "\n".join("    " + line for line in lines)
+    )
+    factory = _PLAN_FACTORIES.get(source)
+    if factory is None:
+        namespace = {}
+        exec(source, namespace)  # noqa: S102 - self-generated join code
+        factory = _PLAN_FACTORIES[source] = namespace["_make"]
+    return factory(*env.values())
+
+
 def _match_args(args, row, bindings):
     added = []
-    from .datalog import _match  # reuse the pattern matcher
-
     for pattern, value in zip(args, row):
         if not _match(pattern, value, bindings, added):
             for var in added:
@@ -268,43 +423,237 @@ def evaluate(program, facts, stats=None, max_iterations=None):
 
 
 def _fixpoint(rules, level_preds, relations, stats, max_iterations):
-    # Seed pass: every rule once with no delta restriction (treating
-    # the whole current database as the delta for literal -1).
-    deltas = {key: Relation(*key) for key in level_preds}
+    # Deltas are plain lists of rows, not Relations: a delta is only
+    # ever *iterated* (it drives the join; the other literals probe
+    # full relations), and its rows are unique by construction — they
+    # were just admitted by ``full.add``.  Lists keep the per-iteration
+    # constant small, which matters on long thin fixpoints (a chain of
+    # length N takes N rounds of one-tuple deltas).
+
+    # Seed pass: every rule once with no delta restriction — compiled
+    # along an order driven from its first literal when the rule shape
+    # allows, interpreted otherwise.  Non-recursive rules (the entire
+    # program, for a single-stratum join query) do all their work here.
+    deltas = {}
     for rule in rules:
         derived = []
-        _join(rule, -1, relations, None, None, stats, derived)
+        if rule.body:
+            compiled = _compile_plan(rule, _delta_order(rule, 0), relations)
+        else:
+            compiled = _compile_plan(rule, [], relations)
+        if compiled is not None:
+            if rule.body:
+                first = rule.body[0]
+                seed_rows = _rel(relations, (first[1], len(first[2]))).rows
+            else:
+                seed_rows = ((),)  # emit the bodiless head once
+            compiled(seed_rows, derived.append)
+            stats.derivations += len(derived)
+        else:
+            _join(rule, -1, relations, None, None, stats, derived)
         head_key = (rule.head_pred, len(rule.head_args))
         full = _rel(relations, head_key)
-        for row in derived:
-            if full.add(row):
-                deltas[head_key].add(row)
-            else:
-                stats.duplicates += 1
+        if derived:
+            delta = deltas.get(head_key)
+            if delta is None:
+                delta = deltas[head_key] = []
+            for row in derived:
+                if full.add(row):
+                    delta.append(row)
+                else:
+                    stats.duplicates += 1
 
-    while any(len(d) for d in deltas.values()):
+    # The per-rule work of an iteration — which body literals can range
+    # over a delta, the join order starting from each, the compiled
+    # join (or its interpreted fallback), the head relation — depends
+    # only on the (fixed) rule set, so it is computed once here instead
+    # of once per iteration.  Plans are grouped by the delta predicate
+    # that drives them: a round then visits only the plans of the
+    # predicates that actually changed, instead of scanning every plan
+    # against every delta (on a long thin fixpoint — a chain of length
+    # N is N rounds of one-tuple deltas — the scan is the round).
+    plans_by_delta = {}
+    for rule in rules:
+        head_key = (rule.head_pred, len(rule.head_args))
+        full = _rel(relations, head_key)
+        for index, literal in enumerate(rule.body):
+            if literal[0] != REL or not literal[3]:
+                continue
+            body_key = (literal[1], len(literal[2]))
+            if body_key not in level_preds:
+                continue  # EDB or lower stratum: never has a delta
+            order = _delta_order(rule, index)
+            compiled = _compile_plan(rule, order, relations)
+            plans_by_delta.setdefault(body_key, []).append(
+                (rule, index, order, compiled, full, head_key)
+            )
+
+    _rounds(plans_by_delta, deltas, relations, stats, max_iterations)
+
+
+def _rounds(plans_by_delta, deltas, relations, stats, max_iterations=None):
+    # Empty deltas are dropped rather than stored, so the loop guard,
+    # the plan-group lookups and the round's bookkeeping all scale
+    # with the number of predicates that actually changed.
+    deltas = {key: rows for key, rows in deltas.items() if rows}
+    while deltas:
         stats.iterations += 1
         if max_iterations is not None and stats.iterations > max_iterations:
             raise SafetyError("fixpoint iteration limit exceeded")
-        new_deltas = {key: Relation(*key) for key in level_preds}
-        for rule in rules:
-            head_key = (rule.head_pred, len(rule.head_args))
-            for index, literal in enumerate(rule.body):
-                if literal[0] != REL or not literal[3]:
-                    continue
-                body_key = (literal[1], len(literal[2]))
-                delta = deltas.get(body_key)
-                if delta is None or not len(delta):
-                    continue
+        new_deltas = {}
+        for body_key, delta in deltas.items():
+            for rule, index, order, compiled, full, head_key in \
+                    plans_by_delta.get(body_key, ()):
                 derived = []
-                _join(rule, index, relations, body_key, delta, stats, derived)
-                full = _rel(relations, head_key)
+                if compiled is not None:
+                    compiled(delta, derived.append)
+                    stats.derivations += len(derived)
+                else:
+                    _join(rule, index, relations, body_key, delta, stats,
+                          derived, order=order)
+                if derived:
+                    head_delta = new_deltas.get(head_key)
+                    for row in derived:
+                        if full.add(row):
+                            if head_delta is None:
+                                head_delta = new_deltas[head_key] = []
+                            head_delta.append(row)
+                        else:
+                            stats.duplicates += 1
+        deltas = new_deltas
+
+
+class Prepared:
+    """One definite program's semi-naive fixpoint, compiled for reruns.
+
+    :func:`evaluate` pays per call for work that depends only on the
+    program: join orders, compiled plans, the relation objects the
+    plans capture.  For a caller that evaluates the *same* program many
+    times with only small seed relations changing — the hybrid SLG
+    bridge runs one magic-rewritten program per new subgoal of an
+    adornment — :func:`prepare` does all of that once; :meth:`run` then
+    clears the derived relations in place (the compiled plans keep
+    their captured index dicts), installs the seed tuples and runs the
+    seed pass plus delta rounds.
+
+    Restrictions, checked by :func:`prepare`: no negative literals (a
+    single stratum is assumed) and no base facts for rule-defined
+    predicates (derived relations are cleared between runs, so initial
+    IDB tuples would not survive).
+    """
+
+    __slots__ = ("relations", "_derived", "_seed_plans", "_plans_by_delta")
+
+    def __init__(self, relations, derived, seed_plans, plans_by_delta):
+        self.relations = relations
+        self._derived = derived
+        self._seed_plans = seed_plans
+        self._plans_by_delta = plans_by_delta
+
+    def run(self, seed_facts, stats=None):
+        """Evaluate with ``seed_facts`` ({(name, arity): rows}) added.
+
+        Returns the relations dict; derived relations in it are reused
+        (and emptied) by the next :meth:`run`, so callers must copy any
+        rows they keep.
+        """
+        if stats is None:
+            stats = EvaluationStats()
+        relations = self.relations
+        for relation in self._derived:
+            relation.clear()
+        deltas = {}
+        for key, rows in seed_facts.items():
+            full = relations.get(key)
+            if full is None:
+                # A seed for a predicate no rule mentions: inert, but
+                # it must still be cleared on the next run.
+                full = relations[key] = Relation(key[0], key[1])
+                self._derived.append(full)
+            delta = [row for row in rows if full.add(row)]
+            if delta:
+                deltas[key] = delta
+        for rule, compiled, seed_key, full, head_key in self._seed_plans:
+            derived = []
+            if compiled is not None:
+                rows = relations[seed_key].rows if seed_key else ((),)
+                compiled(rows, derived.append)
+                stats.derivations += len(derived)
+            else:
+                _join(rule, -1, relations, None, None, stats, derived)
+            if derived:
+                delta = deltas.get(head_key)
+                if delta is None:
+                    delta = deltas[head_key] = []
                 for row in derived:
                     if full.add(row):
-                        new_deltas[head_key].add(row)
+                        delta.append(row)
                     else:
                         stats.duplicates += 1
-        deltas = new_deltas
+        _rounds(self._plans_by_delta, deltas, relations, stats)
+        return relations
+
+
+def prepare(program, facts):
+    """Compile ``program`` into a :class:`Prepared` fixpoint.
+
+    ``facts`` maps ``(name, arity)`` to rows or prebuilt
+    :class:`Relation` objects; prebuilt relations are adopted and
+    shared (never cleared), exactly as in :func:`evaluate`.
+    """
+    relations = _as_relations(facts)
+    base_keys = set(relations)
+    derived = []
+
+    def _derived_rel(key):
+        relation = relations.get(key)
+        if relation is None:
+            relation = relations[key] = Relation(key[0], key[1])
+            if key not in base_keys:
+                derived.append(relation)
+        return relation
+
+    head_keys = set()
+    for rule in program.rules:
+        head_key = (rule.head_pred, len(rule.head_args))
+        if head_key in base_keys:
+            raise SafetyError(
+                f"prepared program derives into base relation {head_key}"
+            )
+        head_keys.add(head_key)
+        _derived_rel(head_key)
+        for literal in rule.body:
+            if literal[0] != REL:
+                continue
+            if not literal[3]:
+                raise SafetyError("prepared evaluation requires a definite program")
+            _derived_rel((literal[1], len(literal[2])))
+
+    seed_plans = []
+    plans_by_delta = {}
+    for rule in program.rules:
+        head_key = (rule.head_pred, len(rule.head_args))
+        full = relations[head_key]
+        if rule.body:
+            seed_compiled = _compile_plan(rule, _delta_order(rule, 0), relations)
+            first = rule.body[0]
+            seed_key = (first[1], len(first[2]))
+        else:
+            seed_compiled = _compile_plan(rule, [], relations)
+            seed_key = None
+        seed_plans.append((rule, seed_compiled, seed_key, full, head_key))
+        for index, literal in enumerate(rule.body):
+            if literal[0] != REL:
+                continue
+            body_key = (literal[1], len(literal[2]))
+            if body_key not in head_keys and body_key in base_keys:
+                continue  # pure EDB: never has a delta
+            order = _delta_order(rule, index)
+            compiled = _compile_plan(rule, order, relations)
+            plans_by_delta.setdefault(body_key, []).append(
+                (rule, index, order, compiled, full, head_key)
+            )
+    return Prepared(relations, derived, seed_plans, plans_by_delta)
 
 
 def evaluate_naive(program, facts, stats=None, max_iterations=10_000):

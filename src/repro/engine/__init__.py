@@ -8,6 +8,7 @@ image; tables persist across queries until abolished.
 
 from __future__ import annotations
 
+import os
 import sys
 
 from ..errors import ParseError
@@ -90,6 +91,13 @@ class Engine:
         ``True`` (default) keeps the engine event counters live so
         ``statistics/0,2`` report real numbers; ``False`` disables all
         counting (each counting site then costs one ``is None`` test).
+    hybrid:
+        route datalog-safe tabled subgoals through the set-at-a-time
+        magic-set + semi-naive evaluator (:mod:`repro.engine.hybrid`)
+        instead of tuple-at-a-time SLG resolution; anything outside
+        the safe fragment transparently falls back to SLG.  ``None``
+        (default) reads the ``REPRO_HYBRID`` environment variable
+        (``0``/``false``/``off`` disables; on otherwise).
     """
 
     def __init__(
@@ -100,6 +108,7 @@ class Engine:
         hilog_specialize=True,
         output=None,
         statistics=True,
+        hybrid=None,
     ):
         if answer_store not in ("hash", "trie"):
             raise ValueError("answer_store must be 'hash' or 'trie'")
@@ -114,6 +123,11 @@ class Engine:
         self.modules = ModuleSystem()
         self.hilog_symbols = self.db.hilog_symbols
         self.unknown = unknown
+        if hybrid is None:
+            hybrid = os.environ.get("REPRO_HYBRID", "1").lower() not in (
+                "0", "false", "off"
+            )
+        self.hybrid = bool(hybrid)
         self.hilog_specialize = hilog_specialize
         self.output = output if output is not None else sys.stdout
         self.counting = False

@@ -16,10 +16,24 @@ from ..index import FirstStringIndex, IndexPlan, IndexSpec
 from ..terms import Struct
 from .clause import compile_clause
 
-__all__ = ["Predicate", "Database"]
+__all__ = ["Predicate", "Database", "mutation_generation"]
 
 HASH = "hash"
 TRIE = "trie"  # first-string indexing
+
+# A process-wide clause-mutation generation, bumped alongside every
+# per-predicate ``mutations`` stamp.  Cached analyses (the hybrid
+# planner's per-predicate verdicts) record the generation they were
+# validated at: while it is unchanged, *nothing* in any database has
+# been asserted or retracted, so the cache is valid by a single integer
+# compare instead of a per-predicate stamp walk.  Spurious bumps (a
+# mutation in an unrelated predicate or another engine) only cost the
+# slow revalidation path, never correctness.
+_GENERATION = [0]
+
+
+def mutation_generation():
+    return _GENERATION[0]
 
 
 class Predicate:
@@ -37,6 +51,8 @@ class Predicate:
         "next_seq",
         "module",
         "subsumptive",
+        "mutations",
+        "hybrid_cache",
     )
 
     def __init__(self, name, arity, dynamic=False, module="usermod"):
@@ -51,6 +67,14 @@ class Predicate:
         self.next_seq = 0
         self.module = module
         self.subsumptive = False
+        # Clause-set version stamp plus the hybrid planner's cached
+        # analysis of this predicate's reachable SCC (see
+        # repro.engine.hybrid).  Every assert/retract bumps the stamp;
+        # the cache records the stamps of everything it looked at and
+        # revalidates against them, so dynamic code invalidates plans
+        # without any cross-predicate bookkeeping here.
+        self.mutations = 0
+        self.hybrid_cache = None
 
     @property
     def indicator(self):
@@ -107,6 +131,8 @@ class Predicate:
     def add_clause(self, clause, front=False):
         clause.seq = self.next_seq
         self.next_seq += 1
+        self.mutations += 1
+        _GENERATION[0] += 1
         if front:
             self.clauses.insert(0, clause)
         else:
@@ -126,6 +152,8 @@ class Predicate:
             self.clauses.remove(clause)
         except ValueError:
             return False
+        self.mutations += 1
+        _GENERATION[0] += 1
         if self.index_kind == TRIE:
             self.trie_index.remove(clause.seq)
         else:
@@ -135,6 +163,8 @@ class Predicate:
     def retract_all_clauses(self):
         """Predicate-level retract: drop every clause at once."""
         self.clauses.clear()
+        self.mutations += 1
+        _GENERATION[0] += 1
         if self.index_kind == TRIE:
             self.trie_index = FirstStringIndex()
         else:

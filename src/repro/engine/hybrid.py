@@ -1,0 +1,447 @@
+"""Hybrid evaluation: datalog-safe tabled subgoals go set-at-a-time.
+
+The SLG machine evaluates tuple at a time: every answer costs a
+generator retry, a head match, a ``$answer`` record and (on
+suspension) a consumer resumption.  For pure datalog — definite
+clauses over finitely many constants, no builtins, no negation — the
+repository already contains the set-at-a-time machinery those tuples
+are paying to emulate: magic-set rewriting (:mod:`repro.bottomup.magic`)
+for goal-directedness and the semi-naive fixpoint
+(:mod:`repro.bottomup.seminaive`) whose inner loop is bulk hash-join
+probes.  This module is the bridge Warren describes in *Top-down and
+Bottom-up Evaluation Procedurally Integrated*: when the machine checks
+in a *new* tabled subgoal whose reachable predicate SCC passes the
+datalog-safety analysis, the SCC is translated to bottom-up rules, the
+call's adornment drives a magic rewrite, the fixpoint runs to
+completion, and the resulting tuples are bulk-installed into the
+subgoal's answer table, which is then marked complete.  Consumers,
+negation (``tnot`` sees a completed table) and ``statistics/0`` all
+work unchanged; any precondition failure falls back to ordinary SLG
+resolution.
+
+Safety analysis (cached per predicate, revalidated against clause-set
+version stamps so assert/retract invalidate it):
+
+* every predicate reachable from the call must be defined (or the
+  engine must have ``unknown="fail"``) and none may be a builtin or a
+  control construct — a body literal like ``tnot/1`` or ``is/2``
+  disqualifies the whole SCC;
+* rule arguments must be variables or constants (atoms, numbers,
+  *ground* structures up to :data:`MAX_TERM_DEPTH`) — patterns that
+  build new structure bottom-up could diverge where SLG's demand-driven
+  search would not;
+* bodiless clauses must be ground facts within the depth bound;
+* the translated rules must be range-restricted (the bottom-up
+  engine's safety condition), checked by :class:`Program` itself.
+
+Per call, each argument must be either an unbound variable (a free
+position in the adornment) or ground within the depth bound; repeated
+variables in the call are honored by filtering the answer relation.
+"""
+
+from __future__ import annotations
+
+from ..bottomup.datalog import REL, Rule, Var as DVar
+from ..bottomup.datalog import Program
+from ..bottomup.magic import adornment_of, magic_name, magic_rewrite
+from ..bottomup.relation import Relation
+from ..bottomup.seminaive import EvaluationStats, prepare
+from ..errors import SafetyError
+from ..terms import Atom, Struct, Var, mkatom
+from .clause import SlotRef
+from .database import mutation_generation
+
+__all__ = ["try_hybrid", "analyze", "HybridPlan", "MAX_TERM_DEPTH"]
+
+# Calls whose arguments nest deeper than this are not routed bottom-up
+# (and neither are predicates whose facts do): the frozen-value
+# conversion is recursive, so the bound also caps its stack depth —
+# 10k-deep terms stay on the iterative SLG kernels.
+MAX_TERM_DEPTH = 64
+
+# Control constructs are dispatched by name inside the machine's solve
+# loop rather than through the builtin registry, so the analysis must
+# reject them explicitly; everything else non-user is caught by the
+# registry probe.  ``true/0`` could in principle be dropped from a
+# body, but it never appears in datalog workloads and skipping the
+# special case keeps the analysis a pure reachability walk.
+_EXCLUDED = frozenset(
+    (",", ";", "->", "!", "true", "fail", "false", "\\+",
+     "$answer", "$yield", "$ite", "$cutto", "tcut")
+)
+
+
+class _Unsafe(Exception):
+    """Internal: a precondition failed; fall back to SLG."""
+
+
+class HybridPlan:
+    """The translated bottom-up form of one predicate's reachable SCC.
+
+    ``program`` holds the rules (range-restriction already checked),
+    ``facts`` prebuilt :class:`Relation` objects keyed by ``(name,
+    arity)``, and ``idb`` the rule-defined predicate keys.  The
+    relations are built once at translation time and shared by every
+    evaluation against this plan — ``evaluate`` adopts them as-is, so
+    the hash indexes its joins build persist across subgoals (the plan
+    is invalidated, relations and all, whenever the underlying clauses
+    change).  Facts of a predicate that also has rules live under an
+    ``<name>$edb`` alias fed to the original name by a bridge rule, so
+    they stay a bulk relation rather than turning into per-fact rules
+    under the magic rewrite.
+
+    ``rewrites`` caches, per call adornment, the magic rewrite and its
+    :class:`~repro.bottomup.seminaive.Prepared` fixpoint: the rewritten
+    rules depend only on *which* argument positions are bound — the
+    bound values enter solely through the magic seed — so repeated
+    subgoals with the same adornment skip the rewrite and every join
+    compilation and pay only for the fixpoint itself.
+    """
+
+    __slots__ = ("program", "facts", "idb", "rewrites")
+
+    def __init__(self, program, facts):
+        self.program = program
+        self.facts = facts
+        self.idb = program.idb_predicates
+        self.rewrites = {}
+
+
+# --------------------------------------------------------------------------
+# analysis and translation (cached on the Predicate)
+# --------------------------------------------------------------------------
+
+def analyze(engine, pred):
+    """The :class:`HybridPlan` for ``pred``, or None when any reachable
+    clause leaves the datalog-safe fragment.
+
+    The result — including the negative verdict — is cached on the
+    predicate together with a snapshot of every predicate the analysis
+    visited and its clause-set version stamp; assert/retract anywhere
+    in the reachable set (or defining a predicate the analysis saw as
+    missing) invalidates the cache on the next call.  The cache also
+    records the global :func:`mutation_generation` it was validated
+    at: while no clause anywhere has changed, revalidation is one
+    integer compare rather than a stamp walk (the common case — every
+    new subgoal of a tabled predicate consults this cache).
+    """
+    cache = pred.hybrid_cache
+    generation = mutation_generation()
+    if cache is not None:
+        if cache[2] == generation:
+            return cache[1]
+        if _cache_valid(engine.db, cache[0]):
+            pred.hybrid_cache = (cache[0], cache[1], generation)
+            return cache[1]
+    snapshot, plan = _build_plan(engine, pred)
+    pred.hybrid_cache = (snapshot, plan, generation)
+    return plan
+
+
+def _cache_valid(db, snapshot):
+    predicates = db.predicates
+    for key, known, stamp in snapshot:
+        current = predicates.get(key)
+        if current is not known:
+            return False
+        if known is not None and known.mutations != stamp:
+            return False
+    return True
+
+
+def _build_plan(engine, pred):
+    """Reachability walk + safety screen + translation, one pass."""
+    predicates = engine.db.predicates
+    builtins = engine.builtins
+    snapshot = []
+    seen = set()
+    reached = []
+    stack = [(pred.name, pred.arity)]
+    while stack:
+        key = stack.pop()
+        if key in seen:
+            continue
+        seen.add(key)
+        target = predicates.get(key)
+        snapshot.append((key, target, -1 if target is None else target.mutations))
+        if target is None:
+            if engine.unknown != "fail":
+                # SLG would raise ExistenceError; preserve that.
+                return tuple(snapshot), None
+            continue  # undefined-but-failing: an empty relation
+        reached.append(target)
+        for clause in target.clauses:
+            for literal in clause.body:
+                if isinstance(literal, Struct):
+                    name, arity = literal.name, len(literal.args)
+                elif isinstance(literal, Atom):
+                    name, arity = literal.name, 0
+                else:
+                    return tuple(snapshot), None  # call through a variable
+                if name in _EXCLUDED or (name, arity) in builtins:
+                    return tuple(snapshot), None
+                stack.append((name, arity))
+    try:
+        plan = _translate(reached)
+    except (_Unsafe, SafetyError):
+        plan = None
+    return tuple(snapshot), plan
+
+
+def _translate(reached):
+    rules = []
+    facts = {}
+    for pred in reached:
+        fact_rows = []
+        rule_clauses = []
+        for clause in pred.clauses:
+            if clause.body:
+                rule_clauses.append(clause)
+            else:
+                # A bodiless clause with a variable (or an over-deep or
+                # opaque argument) raises _Unsafe here: not a fact.
+                fact_rows.append(
+                    tuple(_ground_value(arg, 0) for arg in clause.head_args)
+                )
+        key = (pred.name, pred.arity)
+        if not rule_clauses:
+            if fact_rows:
+                facts[key] = _relation(key[0], pred.arity, fact_rows)
+            continue
+        for clause in rule_clauses:
+            rules.append(_translate_rule(clause))
+        if fact_rows:
+            alias = f"{pred.name}$edb"
+            variables = tuple(DVar(f"A{i}") for i in range(pred.arity))
+            rules.append(
+                Rule(pred.name, variables, [(REL, alias, variables, True)])
+            )
+            facts[(alias, pred.arity)] = _relation(alias, pred.arity, fact_rows)
+    # Program() re-checks range restriction (the bottom-up safety
+    # condition); a head variable unbound by the body — legal in SLG,
+    # where it stays a variable in the answer — raises SafetyError.
+    return HybridPlan(Program(rules), facts)
+
+
+def _relation(name, arity, rows):
+    relation = Relation(name, arity)
+    relation.add_many(rows)
+    return relation
+
+
+def _translate_rule(clause):
+    varmap = {}
+    head_args = tuple(_rule_arg(arg, varmap) for arg in clause.head_args)
+    body = []
+    for literal in clause.body:
+        if isinstance(literal, Struct):
+            args = tuple(_rule_arg(arg, varmap) for arg in literal.args)
+            body.append((REL, literal.name, args, True))
+        else:  # Atom (arity 0); anything else was rejected by the walk
+            body.append((REL, literal.name, (), True))
+    return Rule(clause.name, head_args, body)
+
+
+def _rule_arg(skeleton, varmap):
+    """A compiled-clause argument as a bottom-up pattern.
+
+    Variables (SlotRefs) map to rule variables by slot index; atoms
+    and numbers to frozen constants; *ground* structures become frozen
+    tuple constants.  A structure containing a variable is rejected —
+    such patterns synthesize unbounded new terms bottom-up.
+    """
+    if type(skeleton) is SlotRef:
+        var = varmap.get(skeleton.index)
+        if var is None:
+            var = DVar(skeleton.name or f"S{skeleton.index}")
+            varmap[skeleton.index] = var
+        return var
+    return _ground_value(skeleton, 0)
+
+
+def _ground_value(term, depth):
+    """Freeze a ground term into the bottom-up value domain.
+
+    Fact arguments are overwhelmingly atoms and numbers and the term
+    constructors are never subclassed, so exact-type dispatch handles
+    them before any deref machinery; only the recursive Struct case
+    pays the depth check (the bound caps recursion, which is what it
+    is for).
+    """
+    t = type(term)
+    if t is Atom:
+        return term.name
+    if t is int or t is float:
+        return term
+    if t is Struct:
+        if depth >= MAX_TERM_DEPTH:
+            raise _Unsafe
+        return (term.name,) + tuple(
+            _ground_value(arg, depth + 1) for arg in term.args
+        )
+    if isinstance(term, Var):
+        while isinstance(term, Var):
+            if type(term) is SlotRef or term.ref is None:
+                raise _Unsafe
+            term = term.ref
+        return _ground_value(term, depth)
+    raise _Unsafe  # opaque payloads unify by identity; keep them in SLG
+
+
+def _value_term(value):
+    """Thaw a frozen value back into a term (inverse of _ground_value)."""
+    if type(value) is str:
+        return mkatom(value)
+    if type(value) is tuple:
+        return Struct(value[0], tuple(_value_term(v) for v in value[1:]))
+    return value
+
+
+# --------------------------------------------------------------------------
+# per-call adornment and evaluation
+# --------------------------------------------------------------------------
+
+def _call_goal(call_term, arity):
+    """``(goal_args, repeated_groups)`` for the subgoal, or None.
+
+    ``goal_args`` uses the magic-rewrite convention: None marks a free
+    position, a frozen value a bound one.  ``repeated_groups`` lists
+    position groups sharing one unbound variable; the answer relation
+    is filtered for equality on them.  A partially instantiated
+    structure argument (ground-able neither way) disqualifies the call.
+    """
+    if arity == 0:
+        return (), ()
+    goal_args = []
+    groups = {}
+    for position, arg in enumerate(call_term.args):
+        while isinstance(arg, Var) and arg.ref is not None:
+            arg = arg.ref
+        if isinstance(arg, Var):
+            goal_args.append(None)
+            groups.setdefault(id(arg), []).append(position)
+        else:
+            try:
+                goal_args.append(_ground_value(arg, 0))
+            except _Unsafe:
+                return None
+    repeated = tuple(
+        tuple(group) for group in groups.values() if len(group) > 1
+    )
+    return tuple(goal_args), repeated
+
+
+def _solve(plan, name, arity, goal_args):
+    """Evaluate one adorned call against the plan; (rows, iterations)."""
+    key = (name, arity)
+    checks = [(i, g) for i, g in enumerate(goal_args) if g is not None]
+    if key not in plan.idb:
+        # Facts-only target: an indexed selection, no rewrite needed.
+        relation = plan.facts.get(key)
+        if relation is None:
+            return [], 0
+        rows = relation.probe(
+            tuple(i for i, _ in checks), tuple(g for _, g in checks)
+        )
+        return rows, 0
+    stats = EvaluationStats()
+    adornment = adornment_of(goal_args)
+    entry = plan.rewrites.get(adornment)
+    if entry is None:
+        rewritten, answer_pred = magic_rewrite(
+            plan.program, name, list(goal_args)
+        )
+        # The seed — the only bodiless rule the rewrite emits — carries
+        # this call's bound values; everything else depends only on the
+        # adornment.  Strip it and prepare the rest once: later calls
+        # with this adornment re-run the compiled fixpoint and pass
+        # their own bound values as seed facts.
+        generic = Program(
+            [rule for rule in rewritten.rules if rule.body],
+            check_safety=False,
+        )
+        entry = plan.rewrites[adornment] = (
+            prepare(generic, plan.facts),
+            answer_pred,
+            magic_name(name, adornment),
+        )
+    prepared, answer_pred, seed_name = entry
+    bound = tuple(g for g in goal_args if g is not None)
+    relations = prepared.run({(seed_name, len(bound)): (bound,)}, stats)
+    relation = relations.get((answer_pred, arity))
+    if relation is None:
+        return [], stats.iterations
+    if not checks:
+        return relation.rows, stats.iterations
+    # The magic guard makes most answers relevant already; the filter
+    # re-checks bound constants (adorned rules keep full arity).
+    rows = [
+        row for row in relation if all(row[i] == g for i, g in checks)
+    ]
+    return rows, stats.iterations
+
+
+def try_hybrid(engine, frame, call_term, pred, stats):
+    """Route one newly created subgoal bottom-up if it qualifies.
+
+    On success the frame holds its complete answer set and True is
+    returned; the machine then consumes it like any completed table.
+    On any precondition failure the frame is untouched and False is
+    returned — the caller proceeds with ordinary SLG resolution.
+    """
+    cache = pred.hybrid_cache
+    if (
+        cache is not None
+        and cache[1] is None
+        and cache[2] == mutation_generation()
+    ):
+        # Fast negative path: the predicate is known non-datalog and
+        # nothing has been asserted since — miss-heavy non-datalog
+        # workloads pay one compare per new subgoal, nothing more.
+        if stats is not None:
+            stats.hybrid_fallbacks += 1
+        return False
+    plan = analyze(engine, pred)
+    if plan is None:
+        if stats is not None:
+            stats.hybrid_fallbacks += 1
+        return False
+    goal = _call_goal(call_term, pred.arity)
+    if goal is None:
+        if stats is not None:
+            stats.hybrid_fallbacks += 1
+        return False
+    goal_args, repeated = goal
+    try:
+        rows, iterations = _solve(plan, pred.name, pred.arity, goal_args)
+    except SafetyError:
+        if stats is not None:
+            stats.hybrid_fallbacks += 1
+        return False
+    if repeated:
+        rows = [
+            row
+            for row in rows
+            if all(
+                row[group[0]] == row[i] for group in repeated for i in group[1:]
+            )
+        ]
+    if pred.arity == 0:
+        answers = [mkatom(pred.name)] if rows else []
+    else:
+        answers = [
+            Struct(pred.name, tuple(_value_term(v) for v in row))
+            for row in rows
+        ]
+    count = frame.add_answers_bulk(answers)
+    engine.tables.note_bulk_answers(count)
+    frame.mark_complete()
+    if stats is not None:
+        stats.hybrid_subgoals += 1
+        stats.hybrid_answers += count
+        stats.hybrid_iterations += iterations
+        # Bulk answers are ground by construction and the frame counts
+        # as one completion, mirroring what SLG would have reported.
+        stats.ground_answers += count
+        stats.completions += 1
+    return True

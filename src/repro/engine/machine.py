@@ -54,6 +54,7 @@ from .frames import (
     Goals,
     goals_for_body,
 )
+from .hybrid import try_hybrid
 from .table import Suspension
 
 __all__ = ["Machine", "GeneratorCP", "ConsumerCP"]
@@ -602,6 +603,19 @@ class Machine:
         if created:
             if stats is not None:
                 stats.subgoal_misses += 1
+            engine = self.engine
+            if engine.hybrid and try_hybrid(engine, frame, term, pred, stats):
+                # Datalog-safe SCC: the bridge evaluated the subgoal
+                # set-at-a-time (magic rewrite + semi-naive fixpoint),
+                # bulk-installed the answers and completed the table —
+                # consume it like any other completed table.
+                consumer = ConsumerCP(trail.mark(), frame, term, goals.next)
+                cpstack.append(consumer)
+                result = consumer.retry(self)
+                if result is EXHAUSTED:
+                    cpstack.pop()
+                    return self._backtrack()
+                return result
             frame.run = self
             frame.dfn = frame.deplink = self.next_dfn
             self.next_dfn += 1

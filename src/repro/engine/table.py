@@ -127,6 +127,23 @@ class SubgoalFrame:
         self.answer_ground.append(ground)
         return True
 
+    def add_answers_bulk(self, terms):
+        """Bulk-install answers from a set-at-a-time evaluation.
+
+        The caller (the hybrid bridge in :mod:`repro.engine.hybrid`)
+        guarantees the terms are ground, variable-free and mutually
+        distinct — the bottom-up fixpoint already deduplicated them —
+        so the per-answer variant check, the groundness analysis and
+        the answer-trie traversal of :meth:`add_answer` are all
+        skipped; installation is two list extends.  Only valid on a
+        frame that is immediately marked complete afterwards: the
+        duplicate-check structures are left untouched, so interleaving
+        with :meth:`add_answer` would re-admit duplicates.
+        """
+        self.answers.extend(terms)
+        self.answer_ground.extend([True] * len(terms))
+        return len(terms)
+
     def answer_count(self):
         return len(self.answers)
 
@@ -258,6 +275,14 @@ class TableSpace:
                 self.space_peak = self.space_live
         else:
             self.duplicate_answers += 1
+
+    def note_bulk_answers(self, count):
+        """Book-keeping for one :meth:`SubgoalFrame.add_answers_bulk`."""
+        if count:
+            self.answers_inserted += count
+            self.space_live += count
+            if self.space_live > self.space_peak:
+                self.space_peak = self.space_live
 
     def delete(self, frame):
         """Remove a frame entirely (tcut / abandoned existential runs)."""

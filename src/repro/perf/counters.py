@@ -38,6 +38,20 @@ The counters:
     Clauses returned by the index for resolution attempts vs. heads
     that actually matched; the gap is wasted ``match_head`` work and
     the quantity clause indexing exists to shrink.
+``hybrid_subgoals`` / ``hybrid_fallbacks``
+    New tabled subgoals routed through the set-at-a-time magic-set +
+    semi-naive evaluator (:mod:`repro.engine.hybrid`) vs. subgoals
+    that failed a hybrid precondition (non-datalog SCC, builtin or
+    negation in a body, non-ground structured call argument) and fell
+    back to tuple-at-a-time SLG resolution.
+``hybrid_answers``
+    Answers bulk-installed into table space by the hybrid route (these
+    skip the per-answer variant check — the fixpoint already
+    deduplicated them — and are all ground, so they are also counted
+    in ``ground_answers``).
+``hybrid_iterations``
+    Semi-naive delta iterations run on behalf of hybrid subgoals (the
+    set-at-a-time analog of consumer resumptions).
 """
 
 from __future__ import annotations
@@ -53,6 +67,10 @@ _FIELDS = (
     "completions",
     "clause_candidates",
     "clause_matches",
+    "hybrid_subgoals",
+    "hybrid_fallbacks",
+    "hybrid_answers",
+    "hybrid_iterations",
 )
 
 # Keys accepted by statistics/2, in reporting order.  The table-space

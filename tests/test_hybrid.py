@@ -1,0 +1,298 @@
+"""The hybrid set-at-a-time route: analysis, fallback, invalidation.
+
+Every test here constructs its engine explicitly with ``hybrid=True``
+(or ``False`` for contrast) so the suite is independent of the
+``REPRO_HYBRID`` environment override used by CI's second tier-1 run.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.errors import ExistenceError
+
+
+PATH_LEFT = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+"""
+
+
+def hybrid_engine(text="", **kwargs):
+    engine = Engine(hybrid=True, **kwargs)
+    if text:
+        engine.consult_string(text)
+    return engine
+
+
+class TestRouting:
+    def test_left_recursive_cycle(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b). edge(b,c). edge(c,a).")
+        assert sorted(s["X"] for s in engine.query("path(a, X)")) == [
+            "a", "b", "c"
+        ]
+        assert engine.statistics()["hybrid_subgoals"] == 1
+
+    def test_matches_slg_on_mutual_recursion(self):
+        program = """
+        :- table even/1.
+        :- table odd/1.
+        even(0).
+        even(X) :- nxt(Y, X), odd(Y).
+        odd(X) :- nxt(Y, X), even(Y).
+        """
+        facts = " ".join(f"nxt({i},{i + 1})." for i in range(10))
+        answers = {}
+        for flag in (True, False):
+            engine = Engine(hybrid=flag)
+            engine.consult_string(program + facts)
+            answers[flag] = sorted(s["X"] for s in engine.query("even(X)"))
+        assert answers[True] == answers[False] == [0, 2, 4, 6, 8, 10]
+
+    def test_bound_call_filters(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b). edge(b,c).")
+        assert engine.has_solution("path(a, c)")
+        assert not engine.has_solution("path(c, a)")
+
+    def test_repeated_variable_call(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b). edge(b,a). edge(b,c).")
+        # path(X, X): only nodes on the a<->b cycle close back on
+        # themselves; the repeated variable is honored by filtering.
+        assert sorted(s["X"] for s in engine.query("path(X, X)")) == ["a", "b"]
+
+    def test_facts_only_tabled_predicate(self):
+        engine = hybrid_engine(":- table e/2. e(1,2). e(1,3). e(2,4).")
+        assert sorted(s["X"] for s in engine.query("e(1, X)")) == [2, 3]
+        stats = engine.statistics()
+        assert stats["hybrid_subgoals"] == 1
+        assert stats["hybrid_iterations"] == 0  # bulk selection, no fixpoint
+
+    def test_ground_struct_call_argument(self):
+        engine = hybrid_engine(
+            ":- table labels/2. labels(n(1), a). labels(n(2), b)."
+        )
+        assert engine.query("labels(n(1), L)") == [{"L": "a"}]
+
+    def test_empty_completed_table(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b).")
+        assert engine.query("path(b, X)") == []
+        stats = engine.statistics()
+        assert stats["hybrid_subgoals"] == 1
+        # The frame exists, is complete and empty: tnot can use it.
+        assert stats["completed"] == stats["subgoals"]
+
+    def test_arity_zero_tabled_predicate(self):
+        engine = hybrid_engine(":- table won/0. won :- flag(yes). flag(yes).")
+        assert engine.has_solution("won")
+        assert engine.statistics()["hybrid_subgoals"] == 1
+
+    def test_trie_answer_store_mode(self):
+        engine = hybrid_engine(
+            PATH_LEFT + "edge(a,b). edge(b,c). edge(c,a).",
+            answer_store="trie",
+        )
+        assert len(engine.query("path(a, X)")) == 3
+        assert engine.statistics()["hybrid_subgoals"] == 1
+
+
+class TestFallback:
+    """Anything outside the datalog-safe fragment falls back to SLG —
+    same answers, ``hybrid_fallbacks`` counts the event."""
+
+    def _check(self, program, goal, expected_key, expected):
+        engine = hybrid_engine(program)
+        answers = sorted(s[expected_key] for s in engine.query(goal))
+        assert answers == expected
+        stats = engine.statistics()
+        assert stats["hybrid_subgoals"] == 0
+        assert stats["hybrid_fallbacks"] >= 1
+
+    def test_builtin_in_body(self):
+        self._check(
+            """
+            :- table big/1.
+            big(X) :- num(X), X > 1.
+            num(1). num(2). num(3).
+            """,
+            "big(X)", "X", [2, 3],
+        )
+
+    def test_arithmetic_in_body(self):
+        self._check(
+            """
+            :- table double/2.
+            double(X, Y) :- num(X), Y is X * 2.
+            num(1). num(2).
+            """,
+            "double(X, Y)", "Y", [2, 4],
+        )
+
+    def test_negation_in_scc(self):
+        engine = hybrid_engine(
+            """
+            :- table win/1.
+            win(X) :- move(X, Y), tnot(win(Y)).
+            move(1,2). move(2,3).
+            """
+        )
+        # 3 has no move (lost), so 2 wins and 1 loses.
+        assert not engine.has_solution("win(1)")
+        assert engine.has_solution("win(2)")
+        stats = engine.statistics()
+        assert stats["hybrid_subgoals"] == 0
+        assert stats["hybrid_fallbacks"] >= 1
+
+    def test_builtin_deep_in_scc(self):
+        # The offending literal sits two predicates below the tabled
+        # call; the reachability walk still finds it.
+        self._check(
+            """
+            :- table top/1.
+            top(X) :- mid(X).
+            mid(X) :- leaf(X), X > 0.
+            leaf(1). leaf(2).
+            """,
+            "top(X)", "X", [1, 2],
+        )
+
+    def test_nonground_fact(self):
+        engine = hybrid_engine(":- table r/1. r(g(X)). r(a).")
+        assert len(engine.query("r(Y)")) == 2
+        assert engine.statistics()["hybrid_fallbacks"] >= 1
+
+    def test_struct_building_rule(self):
+        # f(X) in the head synthesizes structure bottom-up: rejected.
+        engine = hybrid_engine(
+            ":- table wrap/2. wrap(X, f(X)) :- item(X). item(1)."
+        )
+        assert engine.query("wrap(1, W)", raw=True) != []
+        assert engine.statistics()["hybrid_fallbacks"] >= 1
+
+    def test_partially_bound_call_argument(self):
+        engine = hybrid_engine(
+            ":- table labels/2. labels(n(1), a). labels(n(2), b)."
+        )
+        # n(Z) is neither ground nor free: the call falls back but the
+        # plan itself stays valid for later fully-free calls.
+        assert len(engine.query("labels(n(Z), L)")) == 2
+        stats = engine.statistics()
+        assert stats["hybrid_fallbacks"] == 1
+        engine.reset_statistics()
+        assert len(engine.query("labels(M, L)")) == 2
+        assert engine.statistics()["hybrid_fallbacks"] == 0
+
+    def test_undefined_reachable_predicate_errors(self):
+        engine = hybrid_engine(":- table p/1. p(X) :- q(X).")
+        with pytest.raises(ExistenceError):
+            engine.query("p(X)")
+
+    def test_undefined_reachable_predicate_fails_when_configured(self):
+        engine = hybrid_engine(":- table p/1. p(X) :- q(X).", unknown="fail")
+        assert engine.query("p(X)") == []
+        assert engine.statistics()["hybrid_subgoals"] == 1
+
+
+class TestInvalidation:
+    def test_assert_invalidates_plan(self):
+        engine = hybrid_engine(PATH_LEFT + ":- dynamic(edge/2). edge(a,b).")
+        assert len(engine.query("path(a, X)")) == 1
+        engine.query("assertz(edge(b,c))")
+        engine.abolish_all_tables()
+        assert sorted(s["X"] for s in engine.query("path(a, X)")) == ["b", "c"]
+        assert engine.statistics()["hybrid_subgoals"] == 2
+
+    def test_retract_invalidates_plan(self):
+        engine = hybrid_engine(
+            ":- table e/2. :- dynamic(e/2). e(1,2). e(1,3)."
+        )
+        assert len(engine.query("e(1, X)")) == 2
+        assert engine.has_solution("retract(e(1,3))")
+        engine.abolish_all_tables()
+        assert engine.query("e(1, X)") == [{"X": 2}]
+
+    def test_defining_missing_predicate_invalidates(self):
+        engine = hybrid_engine(PATH_LEFT, unknown="fail")
+        # edge/2 is undefined: the plan treats it as empty.
+        assert engine.query("path(a, X)") == []
+        engine.query("assertz(edge(a,b))")
+        engine.abolish_all_tables()
+        assert engine.query("path(a, X)") == [{"X": "b"}]
+
+    def test_unrelated_assert_keeps_plan(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b).")
+        engine.query("path(a, X)")
+        pred = engine.db.lookup("path", 2)
+        plan_before = pred.hybrid_cache[1]
+        engine.query("assertz(unrelated(1))")
+        engine.abolish_all_tables()
+        engine.query("path(a, X)")
+        assert pred.hybrid_cache[1] is plan_before
+
+    def test_variant_subgoals_share_plan(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b). edge(b,c).")
+        engine.query("path(a, X)")
+        engine.query("path(b, X)")
+        engine.query("path(X, Y)")
+        stats = engine.statistics()
+        # Three distinct call patterns, one cached analysis.
+        assert stats["hybrid_subgoals"] == 3
+
+
+class TestFlag:
+    def test_env_var_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HYBRID", "0")
+        engine = Engine()
+        assert engine.hybrid is False
+        monkeypatch.setenv("REPRO_HYBRID", "off")
+        assert Engine().hybrid is False
+        monkeypatch.setenv("REPRO_HYBRID", "1")
+        assert Engine().hybrid is True
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HYBRID", "0")
+        assert Engine(hybrid=True).hybrid is True
+
+    def test_disabled_engine_never_routes(self):
+        engine = Engine(hybrid=False)
+        engine.consult_string(PATH_LEFT + "edge(a,b).")
+        engine.query("path(a, X)")
+        stats = engine.statistics()
+        assert stats["hybrid_subgoals"] == 0
+        assert stats["hybrid_fallbacks"] == 0
+
+
+class TestTransparency:
+    def test_tnot_sees_hybrid_completed_table(self):
+        engine = hybrid_engine(
+            PATH_LEFT
+            + """
+            edge(a,b).
+            unreachable(X, Y) :- node(X), node(Y), tnot(path(X, Y)).
+            node(a). node(b).
+            """
+        )
+        pairs = sorted(
+            (s["X"], s["Y"]) for s in engine.query("unreachable(X, Y)")
+        )
+        assert pairs == [("a", "a"), ("b", "a"), ("b", "b")]
+        assert engine.statistics()["hybrid_subgoals"] >= 1
+
+    def test_answers_survive_backtracking(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b). edge(b,c).")
+        # Consume the same completed table from two call sites in one
+        # conjunction; the bulk-installed terms must behave like any
+        # stored ground answers under unification and backtracking.
+        rows = engine.query("path(a, X), path(X, Y)")
+        assert sorted((s["X"], s["Y"]) for s in rows) == [("b", "c")]
+
+    def test_mixed_rules_and_facts_predicate(self):
+        # path/2 has its own facts *and* rules: the facts go through
+        # the $edb alias so they stay a bulk relation under the magic
+        # rewrite.
+        engine = hybrid_engine(
+            PATH_LEFT + "path(z, z0). edge(a,b). edge(b,c)."
+        )
+        answers = sorted(s["X"] for s in engine.query("path(a, X)"))
+        assert answers == ["b", "c"]
+        assert sorted(s["X"] for s in engine.query("path(z, X)")) == ["z0"]
+        assert engine.statistics()["hybrid_subgoals"] == 2

@@ -78,7 +78,13 @@ class TestCutEdgeCases:
         engine.consult_string("n(1). n(2). g :- n(2), !, fail. g.")
         assert not engine.has_solution("g")
 
-    def test_tcut_noop_when_table_shared(self, engine):
+    def test_tcut_noop_when_table_shared(self):
+        from repro import Engine
+
+        # hybrid=False: the scenario needs t/1 to still be *incomplete*
+        # when tcut runs; the hybrid route would complete it instantly,
+        # making tcut a legal plain cut.
+        engine = Engine(hybrid=False)
         engine.consult_string(
             """
             :- table t/1.

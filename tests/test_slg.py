@@ -46,7 +46,12 @@ class TestDefiniteTabling:
             engine.add_fact("edge", a, b)
         assert sorted(s["X"] for s in engine.query("path(1,X)")) == [2, 3, 4]
 
-    def test_duplicate_answers_counted(self, engine):
+    def test_duplicate_answers_counted(self):
+        from repro import Engine
+
+        # hybrid=False: duplicate suppression is an SLG-side mechanism;
+        # the set-at-a-time route never offers the table a duplicate.
+        engine = Engine(hybrid=False)
         engine.consult_string(PATH_LEFT)
         for a, b in [(1, 2), (1, 3), (2, 4), (3, 4)]:
             engine.add_fact("edge", a, b)
@@ -150,11 +155,26 @@ class TestTablePersistence:
 
 
 class TestCutInteraction:
-    def test_cut_over_incomplete_table_rejected(self, engine):
+    def test_cut_over_incomplete_table_rejected(self):
+        from repro import Engine
+
+        # hybrid=False: only the SLG route leaves the table incomplete
+        # at cut time.
+        engine = Engine(hybrid=False)
         engine.consult_string(PATH_LEFT + "first(X) :- path(1,X), !.")
         make_chain(engine, 5)
         with pytest.raises(TablingError):
             engine.query("first(X)")
+
+    def test_cut_over_hybrid_completed_table_ok(self):
+        from repro import Engine
+
+        # The hybrid route completes path/2 during check-in, so the
+        # same cut is legal on the very first query.
+        engine = Engine(hybrid=True)
+        engine.consult_string(PATH_LEFT + "first(X) :- path(1,X), !.")
+        make_chain(engine, 5)
+        assert engine.query("first(X)") == [{"X": 2}]
 
     def test_cut_over_completed_table_ok(self, engine):
         engine.consult_string(PATH_LEFT + "first(X) :- path(1,X), !.")
@@ -162,7 +182,14 @@ class TestCutInteraction:
         engine.query("path(1,X)")  # completes the table
         assert engine.query("first(X)") == [{"X": 2}]
 
-    def test_tcut_frees_single_user_table(self, engine):
+    def test_tcut_frees_single_user_table(self):
+        from repro import Engine
+
+        # hybrid=False: tcut reclaims tables whose evaluation it
+        # abandoned mid-flight; the hybrid route completes path/2
+        # before tcut runs, and completed tables are kept (they are
+        # the memo benefit).
+        engine = Engine(hybrid=False)
         engine.consult_string(PATH_LEFT + "efirst(X) :- path(1,X), tcut.")
         make_chain(engine, 5)
         assert engine.query("efirst(X)", limit=1) == [{"X": 2}]

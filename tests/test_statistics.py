@@ -21,8 +21,12 @@ edge(a,b). edge(b,c). edge(c,a).
 """
 
 
-def cycle_engine():
-    engine = Engine()
+def cycle_engine(hybrid=False):
+    # hybrid off by default: these tests pin the *SLG* event stream
+    # (suspensions, duplicate checks, clause retrievals), which the
+    # set-at-a-time hybrid route deliberately bypasses.  The hybrid
+    # stream has its own exact-count class below.
+    engine = Engine(hybrid=hybrid)
     engine.consult_string(PATH_LEFT + CYCLE_EDGES)
     return engine
 
@@ -82,6 +86,74 @@ class TestExactCounts:
         stats = engine.statistics()
         assert stats["space_live"] == 0
         assert stats["space_peak"] == 4  # high-water mark survives
+
+    def test_slg_route_reports_no_hybrid_events(self):
+        engine = cycle_engine()
+        engine.query("path(a, X)")
+        stats = engine.statistics()
+        assert stats["hybrid_subgoals"] == 0
+        assert stats["hybrid_fallbacks"] == 0
+        assert stats["hybrid_answers"] == 0
+        assert stats["hybrid_iterations"] == 0
+
+
+class TestHybridExactCounts:
+    """Pin the event stream of the same query on the hybrid route."""
+
+    def test_path_cycle_counts(self):
+        engine = cycle_engine(hybrid=True)
+        solutions = engine.query("path(a, X)")
+        assert sorted(s["X"] for s in solutions) == ["a", "b", "c"]
+        stats = engine.statistics()
+        # One check-in miss routes the subgoal bottom-up; the recursive
+        # variant call never happens because no SLG clause ever runs.
+        assert stats["subgoal_misses"] == 1
+        assert stats["subgoal_hits"] == 0
+        assert stats["hybrid_subgoals"] == 1
+        assert stats["hybrid_fallbacks"] == 0
+        # The magic seed is installed before the seed pass, so the
+        # first edge answer falls out of the seed pass itself and the
+        # 3-cycle closure needs two delta rounds on top of it.
+        assert stats["hybrid_iterations"] == 2
+        assert stats["hybrid_answers"] == 3
+        assert stats["answers_inserted"] == 3
+        assert stats["ground_answers"] == 3
+        assert stats["duplicate_answers"] == 0
+        # No tuple-at-a-time machinery fired at all.
+        assert stats["suspensions"] == 0
+        assert stats["resumptions"] == 0
+        assert stats["clause_candidates"] == 0
+        assert stats["completions"] == 1
+        # Table space looks identical to the SLG outcome.
+        assert stats["space_live"] == 4
+        assert stats["space_peak"] == 4
+        assert stats["subgoals"] == 1
+        assert stats["completed"] == 1
+        assert stats["answers_stored"] == 3
+
+    def test_second_run_is_pure_hit(self):
+        engine = cycle_engine(hybrid=True)
+        engine.query("path(a, X)")
+        engine.reset_statistics()
+        assert len(engine.query("path(a, X)")) == 3
+        stats = engine.statistics()
+        assert stats["subgoal_hits"] == 1
+        assert stats["hybrid_subgoals"] == 0  # plan not even consulted
+
+    def test_fallback_counted(self):
+        engine = Engine(hybrid=True)
+        engine.consult_string(
+            """
+            :- table big/1.
+            big(X) :- num(X), X > 1.
+            num(1). num(2). num(3).
+            """
+        )
+        assert sorted(s["X"] for s in engine.query("big(X)")) == [2, 3]
+        stats = engine.statistics()
+        assert stats["hybrid_subgoals"] == 0
+        assert stats["hybrid_fallbacks"] == 1
+        assert stats["hybrid_answers"] == 0
 
 
 class TestStatisticsBuiltins:
