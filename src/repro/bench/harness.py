@@ -127,10 +127,13 @@ def write_json_results(path, results, meta=None):
     """Persist benchmark timings for later comparison.
 
     ``results`` maps series name to seconds (floats).  The interpreter
-    version, the git commit and the machine are recorded so a
-    comparison across Pythons, trees or hosts is visibly
-    apples-to-oranges.  Returns the payload written.
+    version, the git commit, the machine and the active tuple-store
+    backend are recorded so a comparison across Pythons, trees, hosts
+    or storage backends is visibly apples-to-oranges.  Returns the
+    payload written.
     """
+    from ..store import backend_name
+
     payload = {
         "meta": {
             "python": platform.python_version(),
@@ -139,6 +142,7 @@ def write_json_results(path, results, meta=None):
             "machine": platform.machine(),
             "platform": platform.platform(),
             "processor": platform.processor(),
+            "tuple_store": backend_name(),
             **(meta or {}),
         },
         "results": {name: float(seconds) for name, seconds in results.items()},

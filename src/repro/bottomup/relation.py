@@ -5,98 +5,16 @@ nested tuples ``(functor, arg1, ..., argN)`` for compound terms, so a
 Prolog list ``[1,2]`` is ``('.', 1, ('.', 2, '[]'))``.  A relation is a
 set of fact tuples with hash indexes built on demand for whatever
 binding patterns the joins use.
+
+The implementation lives in the unified storage layer:
+``Relation`` *is* :class:`repro.store.MemoryTupleStore` — the same
+class serves semi-naive joins here, predicate fact stores, table
+answer stores and the hybrid bridge, so the bespoke index code this
+module used to carry exists exactly once.
 """
 
 from __future__ import annotations
 
+from ..store.tuplestore import MemoryTupleStore as Relation
+
 __all__ = ["Relation"]
-
-
-class Relation:
-    """A set of tuples with on-demand hash indexes.
-
-    Indexes are keyed by the tuple of bound positions; they are built
-    lazily the first time a join probes that pattern and maintained
-    incrementally afterwards.
-
-    ``rows`` preserves insertion order alongside the membership set, so
-    iteration is deterministic (set order would vary with the per-run
-    string hash seed) — the hybrid SLG bridge relies on this to install
-    table answers in a reproducible derivation order.
-    """
-
-    __slots__ = ("name", "arity", "tuples", "rows", "indexes")
-
-    def __init__(self, name, arity):
-        self.name = name
-        self.arity = arity
-        self.tuples = set()
-        self.rows = []
-        self.indexes = {}
-
-    def add(self, row):
-        """Insert one tuple; True when it was new."""
-        if row in self.tuples:
-            return False
-        self.tuples.add(row)
-        self.rows.append(row)
-        for positions, index in self.indexes.items():
-            key = tuple(row[p] for p in positions)
-            index.setdefault(key, []).append(row)
-        return True
-
-    def add_many(self, rows):
-        added = 0
-        for row in rows:
-            if self.add(row):
-                added += 1
-        return added
-
-    def _ensure_index(self, positions):
-        index = self.indexes.get(positions)
-        if index is None:
-            index = {}
-            for row in self.rows:
-                key = tuple(row[p] for p in positions)
-                index.setdefault(key, []).append(row)
-            self.indexes[positions] = index
-        return index
-
-    def clear(self):
-        """Empty the relation while keeping every container's identity.
-
-        Rows, the membership set and each index dict are cleared rather
-        than replaced: compiled join plans capture those exact objects
-        (see :func:`repro.bottomup.seminaive._compile_plan`), so a
-        prepared fixpoint can reset its derived relations between runs
-        without recompiling anything.
-        """
-        self.tuples.clear()
-        self.rows.clear()
-        for index in self.indexes.values():
-            index.clear()
-
-    def probe(self, positions, key):
-        """All tuples whose ``positions`` equal ``key`` (hash lookup)."""
-        if not positions:
-            return self.rows
-        index = self._ensure_index(positions)
-        return index.get(key, ())
-
-    def __contains__(self, row):
-        return row in self.tuples
-
-    def __len__(self):
-        return len(self.tuples)
-
-    def __iter__(self):
-        return iter(self.rows)
-
-    def copy(self):
-        clone = Relation(self.name, self.arity)
-        clone.tuples = set(self.tuples)
-        clone.rows = list(self.rows)
-        return clone
-
-    def __repr__(self):
-        return f"<Relation {self.name}/{self.arity} {len(self.tuples)} tuples>"

@@ -325,7 +325,7 @@ def _compile_plan(rule, order, relations):
             relation = _rel(relations, (pred, len(args)))
             if positions:
                 index_name = f"idx{step}"
-                env[index_name] = relation._ensure_index(tuple(positions))
+                env[index_name] = relation.index_for(tuple(positions))
                 key = ", ".join(key_parts)
                 if len(key_parts) == 1:
                     key += ","

@@ -347,11 +347,45 @@ class Engine:
     def table_statistics(self):
         return self.tables.statistics()
 
+    def tuple_stores(self):
+        """Every live :class:`~repro.store.TupleStore` this engine owns,
+        deduplicated by identity: predicate fact stores, hash-mode
+        answer stores, and the relations of cached hybrid plans (base
+        stores are shared with the fact stores, so sharing is why the
+        walk dedups)."""
+        seen = {}
+        for pred in self.db.predicates.values():
+            store = pred.fact_store
+            if store is not None:
+                seen[id(store)] = store
+            cache = pred.hybrid_cache
+            if cache is not None and cache[1] is not None:
+                plan = cache[1]
+                for relation in plan.facts.values():
+                    seen[id(relation)] = relation
+                for prepared, _, _ in plan.rewrites.values():
+                    for relation in prepared.relations.values():
+                        seen[id(relation)] = relation
+        for frame in self.tables.all_frames():
+            store = frame.answer_store
+            if store is not None:
+                seen[id(store)] = store
+        return list(seen.values())
+
     def statistics(self):
-        """Merged engine statistics: SLG scheduling counters plus
-        table-space usage — the keys ``statistics/2`` enumerates."""
+        """Merged engine statistics: SLG scheduling counters, table-space
+        usage, and the storage layer's index/probe counters — the keys
+        ``statistics/2`` enumerates."""
         merged = self.stats.snapshot()
         merged.update(self.tables.statistics())
+        stores = self.tuple_stores()
+        merged["store_count"] = len(stores)
+        merged["store_rows"] = sum(len(s) for s in stores)
+        merged["store_probes"] = sum(s.stats.probes for s in stores)
+        merged["store_scans"] = sum(s.stats.scans for s in stores)
+        merged["store_index_builds"] = sum(
+            s.stats.index_builds for s in stores
+        )
         return merged
 
     def reset_statistics(self):

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from ..errors import ReproError, TypeError_
 from ..index import FirstStringIndex, IndexPlan, IndexSpec
+from ..store import freeze_term, make_store
+from ..store.codec import FreezeError
 from ..terms import Struct
 from .clause import compile_clause
 
@@ -53,6 +55,8 @@ class Predicate:
         "subsumptive",
         "mutations",
         "hybrid_cache",
+        "fact_store",
+        "fact_store_stamp",
     )
 
     def __init__(self, name, arity, dynamic=False, module="usermod"):
@@ -75,6 +79,13 @@ class Predicate:
         # without any cross-predicate bookkeeping here.
         self.mutations = 0
         self.hybrid_cache = None
+        # The ground-fact side of the predicate as a TupleStore of
+        # frozen rows (see fact_rows), cached against the mutations
+        # stamp.  Clause indexing stays term-level in index_plan; this
+        # store serves the set-at-a-time consumers (the hybrid bridge,
+        # statistics aggregation) without re-freezing per plan.
+        self.fact_store = None
+        self.fact_store_stamp = -1
 
     @property
     def indicator(self):
@@ -126,6 +137,32 @@ class Predicate:
             return mkatom(self.name)
         return Struct(self.name, clause.head_args)
 
+    # -- the ground-fact store ---------------------------------------------------
+
+    def fact_rows(self):
+        """The bodiless clauses of this predicate as a TupleStore.
+
+        Rows are frozen value tuples (:func:`repro.store.freeze_term`);
+        duplicate fact clauses collapse to one row, matching relation
+        semantics.  The store is built lazily through
+        :func:`repro.store.make_store` — so ``REPRO_TUPLESTORE``
+        selects its backend — cached against the ``mutations`` stamp,
+        and maintained incrementally by plain ``assertz`` of ground
+        facts.  Raises :class:`~repro.store.FreezeError` when any
+        bodiless clause is not a ground fact within the depth bound
+        (callers treat that as "this predicate stays term-level").
+        """
+        store = self.fact_store
+        if store is not None and self.fact_store_stamp == self.mutations:
+            return store
+        store = make_store(self.name, self.arity)
+        for clause in self.clauses:
+            if not clause.body:
+                store.add(tuple(freeze_term(arg) for arg in clause.head_args))
+        self.fact_store = store
+        self.fact_store_stamp = self.mutations
+        return store
+
     # -- clause management ------------------------------------------------------
 
     def add_clause(self, clause, front=False):
@@ -145,6 +182,26 @@ class Predicate:
             self.index_plan.insert(
                 clause.seq, clause.head_args, clause, front=front
             )
+        store = self.fact_store
+        if store is not None:
+            # Appending a ground fact keeps the cached store current;
+            # rules don't enter it, and asserta would have to reorder
+            # rows, so both just invalidate.
+            if (
+                clause.body
+                or front
+                or self.fact_store_stamp != self.mutations - 1
+            ):
+                self.fact_store = None
+            else:
+                try:
+                    store.add(
+                        tuple(freeze_term(arg) for arg in clause.head_args)
+                    )
+                except FreezeError:
+                    self.fact_store = None
+                else:
+                    self.fact_store_stamp = self.mutations
         return clause
 
     def remove_clause(self, clause):
@@ -158,6 +215,10 @@ class Predicate:
             self.trie_index.remove(clause.seq)
         else:
             self.index_plan.remove(clause.seq)
+        # Duplicate fact clauses collapse to one stored row, so one
+        # retraction cannot tell whether the row must go; rebuild
+        # lazily instead of guessing.
+        self.fact_store = None
         return True
 
     def retract_all_clauses(self):
@@ -169,6 +230,12 @@ class Predicate:
             self.trie_index = FirstStringIndex()
         else:
             self.index_plan.rebuild([])
+        store = self.fact_store
+        if store is not None:
+            # In-place clear: captured index containers keep their
+            # identity, so any consumer holding the store stays valid.
+            store.clear()
+            self.fact_store_stamp = self.mutations
 
     def candidates(self, call_args):
         """Clauses possibly matching the call, in clause order."""

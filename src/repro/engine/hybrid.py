@@ -44,20 +44,25 @@ from __future__ import annotations
 from ..bottomup.datalog import REL, Rule, Var as DVar
 from ..bottomup.datalog import Program
 from ..bottomup.magic import adornment_of, magic_name, magic_rewrite
-from ..bottomup.relation import Relation
 from ..bottomup.seminaive import EvaluationStats, prepare
 from ..errors import SafetyError
+from ..store.codec import (
+    MAX_TERM_DEPTH,
+    FreezeError,
+    freeze_term,
+    thaw_value,
+)
 from ..terms import Atom, Struct, Var, mkatom
 from .clause import SlotRef
 from .database import mutation_generation
 
 __all__ = ["try_hybrid", "analyze", "HybridPlan", "MAX_TERM_DEPTH"]
 
-# Calls whose arguments nest deeper than this are not routed bottom-up
-# (and neither are predicates whose facts do): the frozen-value
-# conversion is recursive, so the bound also caps its stack depth —
-# 10k-deep terms stay on the iterative SLG kernels.
-MAX_TERM_DEPTH = 64
+# Term ↔ row conversion is the shared codec's job: calls whose
+# arguments nest deeper than MAX_TERM_DEPTH are not routed bottom-up
+# (and neither are predicates whose facts do) — 10k-deep terms stay on
+# the iterative SLG kernels.  freeze_term raises FreezeError for
+# those, which the analysis treats exactly like _Unsafe.
 
 # Control constructs are dispatched by name inside the machine's solve
 # loop rather than through the builtin registry, so the analysis must
@@ -183,7 +188,7 @@ def _build_plan(engine, pred):
                 stack.append((name, arity))
     try:
         plan = _translate(reached)
-    except (_Unsafe, SafetyError):
+    except (_Unsafe, FreezeError, SafetyError):
         plan = None
     return tuple(snapshot), plan
 
@@ -192,41 +197,34 @@ def _translate(reached):
     rules = []
     facts = {}
     for pred in reached:
-        fact_rows = []
-        rule_clauses = []
-        for clause in pred.clauses:
-            if clause.body:
-                rule_clauses.append(clause)
-            else:
-                # A bodiless clause with a variable (or an over-deep or
-                # opaque argument) raises _Unsafe here: not a fact.
-                fact_rows.append(
-                    tuple(_ground_value(arg, 0) for arg in clause.head_args)
-                )
+        rule_clauses = [c for c in pred.clauses if c.body]
+        has_facts = len(rule_clauses) != len(pred.clauses)
         key = (pred.name, pred.arity)
         if not rule_clauses:
-            if fact_rows:
-                facts[key] = _relation(key[0], pred.arity, fact_rows)
+            if has_facts:
+                # The predicate's own ground-fact store (a bodiless
+                # clause with a variable, or an over-deep or opaque
+                # argument, raises FreezeError here: not a fact).  The
+                # store is shared, not copied: the plan is invalidated
+                # whenever the clauses change, and the hash indexes
+                # joins build on it persist across plans.
+                facts[key] = pred.fact_rows()
             continue
         for clause in rule_clauses:
             rules.append(_translate_rule(clause))
-        if fact_rows:
+        if has_facts:
+            # Facts of a predicate that also has rules stay a bulk
+            # relation under an ``$edb`` alias fed by a bridge rule.
             alias = f"{pred.name}$edb"
             variables = tuple(DVar(f"A{i}") for i in range(pred.arity))
             rules.append(
                 Rule(pred.name, variables, [(REL, alias, variables, True)])
             )
-            facts[(alias, pred.arity)] = _relation(alias, pred.arity, fact_rows)
+            facts[(alias, pred.arity)] = pred.fact_rows()
     # Program() re-checks range restriction (the bottom-up safety
     # condition); a head variable unbound by the body — legal in SLG,
     # where it stays a variable in the answer — raises SafetyError.
     return HybridPlan(Program(rules), facts)
-
-
-def _relation(name, arity, rows):
-    relation = Relation(name, arity)
-    relation.add_many(rows)
-    return relation
 
 
 def _translate_rule(clause):
@@ -256,45 +254,7 @@ def _rule_arg(skeleton, varmap):
             var = DVar(skeleton.name or f"S{skeleton.index}")
             varmap[skeleton.index] = var
         return var
-    return _ground_value(skeleton, 0)
-
-
-def _ground_value(term, depth):
-    """Freeze a ground term into the bottom-up value domain.
-
-    Fact arguments are overwhelmingly atoms and numbers and the term
-    constructors are never subclassed, so exact-type dispatch handles
-    them before any deref machinery; only the recursive Struct case
-    pays the depth check (the bound caps recursion, which is what it
-    is for).
-    """
-    t = type(term)
-    if t is Atom:
-        return term.name
-    if t is int or t is float:
-        return term
-    if t is Struct:
-        if depth >= MAX_TERM_DEPTH:
-            raise _Unsafe
-        return (term.name,) + tuple(
-            _ground_value(arg, depth + 1) for arg in term.args
-        )
-    if isinstance(term, Var):
-        while isinstance(term, Var):
-            if type(term) is SlotRef or term.ref is None:
-                raise _Unsafe
-            term = term.ref
-        return _ground_value(term, depth)
-    raise _Unsafe  # opaque payloads unify by identity; keep them in SLG
-
-
-def _value_term(value):
-    """Thaw a frozen value back into a term (inverse of _ground_value)."""
-    if type(value) is str:
-        return mkatom(value)
-    if type(value) is tuple:
-        return Struct(value[0], tuple(_value_term(v) for v in value[1:]))
-    return value
+    return freeze_term(skeleton)
 
 
 # --------------------------------------------------------------------------
@@ -322,8 +282,8 @@ def _call_goal(call_term, arity):
             groups.setdefault(id(arg), []).append(position)
         else:
             try:
-                goal_args.append(_ground_value(arg, 0))
-            except _Unsafe:
+                goal_args.append(freeze_term(arg))
+            except FreezeError:
                 return None
     repeated = tuple(
         tuple(group) for group in groups.values() if len(group) > 1
@@ -428,12 +388,13 @@ def try_hybrid(engine, frame, call_term, pred, stats):
         ]
     if pred.arity == 0:
         answers = [mkatom(pred.name)] if rows else []
+        rows = [()] if rows else []
     else:
         answers = [
-            Struct(pred.name, tuple(_value_term(v) for v in row))
+            Struct(pred.name, tuple(thaw_value(v) for v in row))
             for row in rows
         ]
-    count = frame.add_answers_bulk(answers)
+    count = frame.add_answers_bulk(answers, rows=rows)
     engine.tables.note_bulk_answers(count)
     frame.mark_complete()
     if stats is not None:

@@ -11,6 +11,7 @@ deleted by ``tcut``/existential negation.
 from __future__ import annotations
 
 from ..index import AnswerTrie
+from ..store.tuplestore import MemoryTupleStore
 from ..terms import Struct, canonical_key, copy_term, is_ground, resolve
 from ..terms.compare import canonical_key_ground, flat_ground_answer
 
@@ -56,6 +57,7 @@ class SubgoalFrame:
         "answers",
         "answer_ground",
         "answer_keys",
+        "answer_store",
         "answer_trie",
         "consumers",
         "dfn",
@@ -72,8 +74,22 @@ class SubgoalFrame:
         self.state = INCOMPLETE
         self.answers = []
         self.answer_ground = []
-        self.answer_keys = set() if not use_trie else None
-        self.answer_trie = AnswerTrie() if use_trie else None
+        if use_trie:
+            self.answer_store = None
+            self.answer_keys = None
+            self.answer_trie = AnswerTrie()
+        else:
+            # The hash-mode answer table is a TupleStore driven through
+            # add_keyed: membership (the duplicate check of section
+            # 4.5 — "a hash index that includes all arguments of the
+            # answer") is by canonical answer key, and the store's rows
+            # hold the dereferenced argument values of every flat
+            # ground answer in insertion order.  answer_keys aliases
+            # the store's membership set so non-flat answers (which
+            # have a key but no row) share the same duplicate check.
+            self.answer_store = MemoryTupleStore(indicator, None)
+            self.answer_keys = self.answer_store.tuples
+            self.answer_trie = None
         self.consumers = []
         self.dfn = -1
         self.deplink = -1
@@ -111,9 +127,8 @@ class SubgoalFrame:
             # Flat ground answer: one loop produced both the key and the
             # dereferenced argument values; duplicates allocate nothing.
             key, struct, values, substituted = fast
-            if key in self.answer_keys:
+            if not self.answer_store.add_keyed(key, values):
                 return False
-            self.answer_keys.add(key)
             self.answers.append(
                 Struct(struct.name, values) if substituted else struct
             )
@@ -127,7 +142,7 @@ class SubgoalFrame:
         self.answer_ground.append(ground)
         return True
 
-    def add_answers_bulk(self, terms):
+    def add_answers_bulk(self, terms, rows=None):
         """Bulk-install answers from a set-at-a-time evaluation.
 
         The caller (the hybrid bridge in :mod:`repro.engine.hybrid`)
@@ -135,13 +150,18 @@ class SubgoalFrame:
         distinct — the bottom-up fixpoint already deduplicated them —
         so the per-answer variant check, the groundness analysis and
         the answer-trie traversal of :meth:`add_answer` are all
-        skipped; installation is two list extends.  Only valid on a
-        frame that is immediately marked complete afterwards: the
-        duplicate-check structures are left untouched, so interleaving
-        with :meth:`add_answer` would re-admit duplicates.
+        skipped; installation is list extends.  ``rows`` optionally
+        carries the answers' frozen value rows, which land in the
+        answer store so its row sequence mirrors ``answers``.  Only
+        valid on a frame that is immediately marked complete
+        afterwards: the duplicate-check structures are left untouched,
+        so interleaving with :meth:`add_answer` would re-admit
+        duplicates.
         """
         self.answers.extend(terms)
         self.answer_ground.extend([True] * len(terms))
+        if rows is not None and self.answer_store is not None:
+            self.answer_store.rows.extend(rows)
         return len(terms)
 
     def answer_count(self):

@@ -1,5 +1,5 @@
 """Engine statistics — the observability layer of the SLG hot path."""
 
-from .counters import STATISTIC_KEYS, EngineStats
+from .counters import STATISTIC_KEYS, EngineStats, StoreStats
 
-__all__ = ["EngineStats", "STATISTIC_KEYS"]
+__all__ = ["EngineStats", "StoreStats", "STATISTIC_KEYS"]

@@ -52,11 +52,18 @@ The counters:
 ``hybrid_iterations``
     Semi-naive delta iterations run on behalf of hybrid subgoals (the
     set-at-a-time analog of consumer resumptions).
+
+The ``store_*`` keys are aggregated over every live
+:class:`~repro.store.TupleStore` the engine owns (predicate fact
+stores, table answer stores, hybrid plan relations) rather than
+counted here: each store carries its own :class:`StoreStats`, and
+``Engine.statistics()`` sums them at report time — see the key list
+below.
 """
 
 from __future__ import annotations
 
-__all__ = ["EngineStats", "STATISTIC_KEYS"]
+__all__ = ["EngineStats", "StoreStats", "STATISTIC_KEYS"]
 
 _FIELDS = (
     "subgoal_hits",
@@ -74,8 +81,9 @@ _FIELDS = (
 )
 
 # Keys accepted by statistics/2, in reporting order.  The table-space
-# keys (answers, space) are provided by TableSpace.statistics() and
-# merged in Engine.statistics().
+# keys (answers, space) are provided by TableSpace.statistics(), the
+# store_* keys by summing per-store StoreStats blocks; both are merged
+# in Engine.statistics().
 STATISTIC_KEYS = _FIELDS + (
     "answers_inserted",
     "duplicate_answers",
@@ -85,7 +93,43 @@ STATISTIC_KEYS = _FIELDS + (
     "answers_stored",
     "space_live",
     "space_peak",
+    "store_count",
+    "store_rows",
+    "store_probes",
+    "store_scans",
+    "store_index_builds",
 )
+
+
+class StoreStats:
+    """Per-:class:`~repro.store.TupleStore` access counters.
+
+    ``probes``
+        Indexed lookups served through :meth:`TupleStore.probe` (the
+        hash-join and fact-selection path).  Compiled join plans
+        capture index dicts directly and bypass ``probe``, so this
+        counts the probe *API*, not every hash lookup in the process.
+    ``scans``
+        Full-relation scans served through ``probe`` with no bound
+        positions — the retrievals indexing exists to avoid.
+    ``index_builds``
+        Indexes materialized from existing rows (on-demand builds and
+        rebuilds after a backend reorganization); incremental index
+        maintenance on insert is not counted.
+    """
+
+    __slots__ = ("probes", "scans", "index_builds")
+
+    def __init__(self):
+        self.probes = 0
+        self.scans = 0
+        self.index_builds = 0
+
+    def __repr__(self):
+        return (
+            f"<StoreStats probes={self.probes} scans={self.scans} "
+            f"builds={self.index_builds}>"
+        )
 
 
 class EngineStats:

@@ -6,61 +6,15 @@ it.  This per-touch cost exists even when all pages are resident in
 the buffer pool, and is one of the honest components of the Table 3
 gap between the relational tier and the engines that keep native
 in-memory term representations.
+
+The encoding itself is the unified storage layer's row codec
+(:mod:`repro.store.codec`): the same int/float/str/nested-tuple value
+domain every TupleStore backend shares, serialized.  This module is
+the page layer's import point for it.
 """
 
 from __future__ import annotations
 
-import struct
-
-from ..errors import StorageError
+from ..store.codec import decode_row, encode_row
 
 __all__ = ["encode_row", "decode_row"]
-
-_INT = 0
-_FLOAT = 1
-_STR = 2
-
-
-def encode_row(row):
-    """Serialize one tuple of int/float/str values to bytes."""
-    out = bytearray()
-    out += struct.pack("<H", len(row))
-    for value in row:
-        if isinstance(value, bool):
-            raise StorageError("bool columns are not supported")
-        if isinstance(value, int):
-            out += struct.pack("<Bq", _INT, value)
-        elif isinstance(value, float):
-            out += struct.pack("<Bd", _FLOAT, value)
-        elif isinstance(value, str):
-            blob = value.encode("utf-8")
-            out += struct.pack("<BI", _STR, len(blob))
-            out += blob
-        else:
-            raise StorageError(f"cannot store column value {value!r}")
-    return bytes(out)
-
-
-def decode_row(data):
-    """Materialize one tuple from its on-page bytes."""
-    (width,) = struct.unpack_from("<H", data, 0)
-    offset = 2
-    row = []
-    for _ in range(width):
-        tag = data[offset]
-        offset += 1
-        if tag == _INT:
-            (value,) = struct.unpack_from("<q", data, offset)
-            offset += 8
-        elif tag == _FLOAT:
-            (value,) = struct.unpack_from("<d", data, offset)
-            offset += 8
-        elif tag == _STR:
-            (size,) = struct.unpack_from("<I", data, offset)
-            offset += 4
-            value = data[offset : offset + size].decode("utf-8")
-            offset += size
-        else:
-            raise StorageError(f"bad column tag {tag}")
-        row.append(value)
-    return tuple(row)

@@ -90,6 +90,15 @@ class RelStore:
         self.tables[name] = table
         return table
 
+    def drop_table(self, name):
+        """Drop a table: heap, buffer pool and indexes go with it.
+
+        The WAL is shared store-wide and keeps its records — recovery
+        replays into whatever tables the fresh store declares.
+        """
+        self._table(name)  # raise StorageError when absent
+        del self.tables[name]
+
     def create_index(self, name, column):
         table = self._table(name)
         if column in table.indexes:

@@ -13,6 +13,7 @@ index maintenance".
 from __future__ import annotations
 
 from ..errors import StorageError
+from ..store.codec import parse_field
 
 __all__ = [
     "consult_text_file",
@@ -28,29 +29,15 @@ def consult_text_file(engine, path):
     return engine.consult_file(path)
 
 
-def _field_value(text):
-    if not text:
-        return ""
-    head = text[0]
-    if head.isdigit() or (head in "+-" and len(text) > 1):
-        try:
-            return int(text)
-        except ValueError:
-            try:
-                return float(text)
-            except ValueError:
-                return text
-    if head.isdigit() or head == ".":
-        try:
-            return float(text)
-        except ValueError:
-            return text
-    return text
-
-
 def parse_formatted_line(line, delimiter="\t"):
-    """Split one formatted line into typed field values."""
-    return tuple(_field_value(field) for field in line.rstrip("\n").split(delimiter))
+    """Split one formatted line into typed field values.
+
+    Field typing is the shared codec's :func:`repro.store.parse_field`
+    (int-looking → int, float-looking → float, else atom string).
+    """
+    return tuple(
+        parse_field(field) for field in line.rstrip("\n").split(delimiter)
+    )
 
 
 def load_formatted(engine, name, lines, delimiter="\t", arity=None):

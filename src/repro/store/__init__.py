@@ -1,0 +1,91 @@
+"""Pluggable relation storage: one protocol, swappable backends.
+
+The paper's Section-4 indexing machinery — hash indexes on any
+argument or joint combination of up to three arguments, several
+simultaneous indexes per relation, table indexes — lives here once,
+behind the :class:`TupleStore` protocol, instead of being reimplemented
+per consumer.  Backends:
+
+``memory`` (default)
+    :class:`MemoryTupleStore` — insertion-ordered rows, set-based
+    dedup, incremental hash-index dicts; the bottom-up engine's
+    ``Relation`` *is* this class.
+``relstore``
+    :class:`~repro.store.relstore_adapter.RelStoreTupleStore` — rows
+    in WAL-logged, lock-guarded, buffer-pooled pages with B+-tree
+    indexes; deliberately pays the Table 3 per-tuple costs.
+
+:func:`make_store` picks the backend from the ``REPRO_TUPLESTORE``
+environment variable (or an explicit argument), so a test run or a
+benchmark swaps every fact store in the engine like-for-like.  The
+compiled semi-naive join plans capture raw index dicts and therefore
+always run on the memory backend, whatever ``make_store`` returns —
+:func:`~repro.bottomup.seminaive.prepare` copies foreign backends in.
+
+The shared ground-term ↔ row codec (:mod:`repro.store.codec`) also
+lives in this package: freeze/thaw between terms and row values, the
+formatted reader's field typing, and the serialized on-page row form.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .codec import (
+    MAX_TERM_DEPTH,
+    FreezeError,
+    decode_row,
+    encode_row,
+    freeze_term,
+    parse_field,
+    thaw_value,
+)
+from .tuplestore import MAX_INDEX_COLUMNS, MemoryTupleStore, TupleStore
+
+__all__ = [
+    "MAX_INDEX_COLUMNS",
+    "MAX_TERM_DEPTH",
+    "FreezeError",
+    "MemoryTupleStore",
+    "TupleStore",
+    "backend_name",
+    "decode_row",
+    "encode_row",
+    "freeze_term",
+    "make_store",
+    "parse_field",
+    "thaw_value",
+]
+
+BACKENDS = ("memory", "relstore")
+
+# Test hook: when not None, overrides the environment selection.
+_FORCED_BACKEND = None
+
+
+def backend_name():
+    """The backend :func:`make_store` would pick right now."""
+    if _FORCED_BACKEND is not None:
+        return _FORCED_BACKEND
+    return os.environ.get("REPRO_TUPLESTORE", "memory") or "memory"
+
+
+def make_store(name, arity, backend=None):
+    """A fresh :class:`TupleStore` for one relation.
+
+    ``backend`` defaults to :func:`backend_name` (the
+    ``REPRO_TUPLESTORE`` environment variable, ``memory`` when unset).
+    The relstore adapter is imported lazily: its package pulls in the
+    page layer, which itself uses this package's row codec.
+    """
+    if backend is None:
+        backend = backend_name()
+    if backend == "memory":
+        return MemoryTupleStore(name, arity)
+    if backend == "relstore":
+        from .relstore_adapter import RelStoreTupleStore
+
+        return RelStoreTupleStore(name, arity)
+    raise ValueError(
+        f"unknown tuple-store backend {backend!r} (expected one of {BACKENDS})"
+    )

@@ -1,0 +1,197 @@
+"""The single ground-term ↔ row codec shared by every tuple consumer.
+
+A *row* is a tuple of hashable Python values: atoms become interned
+strings, integers and floats stay themselves, and a ground compound
+term becomes a nested tuple ``(functor, arg1, ..., argN)`` — so the
+Prolog list ``[1,2]`` freezes to ``('.', 1, ('.', 2, '[]'))``.  This is
+the value domain of the bottom-up engine's relations
+(:mod:`repro.bottomup.relation`), of the hybrid SLG bridge
+(:mod:`repro.engine.hybrid`), of predicate fact stores
+(:mod:`repro.engine.database`) and of the paged relational store
+(:mod:`repro.relstore`); before this module each of those carried its
+own near-copy of the conversion.
+
+Three layers live here:
+
+* :func:`freeze_term` / :func:`thaw_value` — ground terms to row
+  values and back, with the :data:`MAX_TERM_DEPTH` recursion cap
+  (10k-deep terms stay on the engine's iterative kernels);
+* :func:`parse_field` — the formatted reader's shape-typed field
+  conversion (int-looking → int, float-looking → float, else atom
+  string), shared with :mod:`repro.storage.textio`;
+* :func:`encode_row` / :func:`decode_row` — the serialized on-page
+  form used by :mod:`repro.relstore.pages`, extended with a nested
+  tuple tag so frozen compound terms round-trip through pages too.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import StorageError
+from ..terms import Atom, Struct, Var, mkatom
+
+__all__ = [
+    "MAX_TERM_DEPTH",
+    "FreezeError",
+    "freeze_term",
+    "thaw_value",
+    "parse_field",
+    "encode_row",
+    "decode_row",
+]
+
+# Terms nesting deeper than this are not frozen (and callers treat
+# that as "keep the term in term-land"): the conversion is recursive,
+# so the bound also caps its stack depth.
+MAX_TERM_DEPTH = 64
+
+
+class FreezeError(Exception):
+    """A term cannot enter the row domain.
+
+    Raised for unbound variables, terms nesting beyond
+    :data:`MAX_TERM_DEPTH`, and opaque payloads (which unify by
+    identity and must stay in term-land).  Callers use it as a
+    routing signal — e.g. the hybrid planner falls back to SLG — so
+    it deliberately carries no message payload.
+    """
+
+
+def freeze_term(term, depth=0):
+    """Freeze a ground term into the row value domain.
+
+    Term arguments are overwhelmingly atoms and numbers and the term
+    constructors are never subclassed, so exact-type dispatch handles
+    them before any deref machinery; only the recursive Struct case
+    pays the depth check (the bound caps recursion, which is what it
+    is for).
+    """
+    t = type(term)
+    if t is Atom:
+        return term.name
+    if t is int or t is float:
+        return term
+    if t is Struct:
+        if depth >= MAX_TERM_DEPTH:
+            raise FreezeError
+        return (term.name,) + tuple(
+            freeze_term(arg, depth + 1) for arg in term.args
+        )
+    if isinstance(term, Var):
+        # Compiled-clause SlotRefs are Var subclasses whose ref is
+        # always None, so the unbound check covers them too.
+        while isinstance(term, Var):
+            if term.ref is None:
+                raise FreezeError
+            term = term.ref
+        return freeze_term(term, depth)
+    raise FreezeError
+
+
+def thaw_value(value):
+    """Thaw a frozen value back into a term (inverse of freeze_term)."""
+    if type(value) is str:
+        return mkatom(value)
+    if type(value) is tuple:
+        return Struct(value[0], tuple(thaw_value(v) for v in value[1:]))
+    return value
+
+
+def parse_field(text):
+    """Type one formatted-reader field by shape.
+
+    Integer-looking text becomes an int, float-looking text a float,
+    anything else stays a string (an atom in term-land).
+    """
+    if not text:
+        return ""
+    head = text[0]
+    if head.isdigit() or (head in "+-" and len(text) > 1):
+        try:
+            return int(text)
+        except ValueError:
+            try:
+                return float(text)
+            except ValueError:
+                return text
+    if head == ".":
+        try:
+            return float(text)
+        except ValueError:
+            return text
+    return text
+
+
+# --------------------------------------------------------------------------
+# serialized on-page form
+# --------------------------------------------------------------------------
+
+_INT = 0
+_FLOAT = 1
+_STR = 2
+_TUPLE = 3
+
+
+def _encode_value(value, out):
+    if isinstance(value, bool):
+        raise StorageError("bool columns are not supported")
+    if isinstance(value, int):
+        out += struct.pack("<Bq", _INT, value)
+    elif isinstance(value, float):
+        out += struct.pack("<Bd", _FLOAT, value)
+    elif isinstance(value, str):
+        blob = value.encode("utf-8")
+        out += struct.pack("<BI", _STR, len(blob))
+        out += blob
+    elif isinstance(value, tuple):
+        # A frozen compound term: (functor, arg1, ..., argN).
+        out += struct.pack("<BH", _TUPLE, len(value))
+        for item in value:
+            _encode_value(item, out)
+    else:
+        raise StorageError(f"cannot store column value {value!r}")
+
+
+def encode_row(row):
+    """Serialize one row of int/float/str/nested-tuple values."""
+    out = bytearray()
+    out += struct.pack("<H", len(row))
+    for value in row:
+        _encode_value(value, out)
+    return bytes(out)
+
+
+def _decode_value(data, offset):
+    tag = data[offset]
+    offset += 1
+    if tag == _INT:
+        (value,) = struct.unpack_from("<q", data, offset)
+        return value, offset + 8
+    if tag == _FLOAT:
+        (value,) = struct.unpack_from("<d", data, offset)
+        return value, offset + 8
+    if tag == _STR:
+        (size,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        return data[offset : offset + size].decode("utf-8"), offset + size
+    if tag == _TUPLE:
+        (width,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        items = []
+        for _ in range(width):
+            item, offset = _decode_value(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise StorageError(f"bad column tag {tag}")
+
+
+def decode_row(data):
+    """Materialize one row from its on-page bytes."""
+    (width,) = struct.unpack_from("<H", data, 0)
+    offset = 2
+    row = []
+    for _ in range(width):
+        value, offset = _decode_value(data, offset)
+        row.append(value)
+    return tuple(row)

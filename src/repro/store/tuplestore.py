@@ -1,0 +1,239 @@
+"""The TupleStore protocol and its tuned in-memory implementation.
+
+This is the paper's Section-4 indexing story as one storage layer: a
+relation is a deterministic, insertion-ordered sequence of deduplicated
+rows with incremental multi-column hash indexes on any combination of
+up to :data:`MAX_INDEX_COLUMNS` positions, and a predicate (or table,
+or join plan) may keep several such indexes live at once.  Before this
+module the same machinery existed three times — the bottom-up engine's
+``Relation``, the hybrid bridge's hand-rolled fact conversion, and the
+paged ``relstore`` access paths; every tuple consumer now goes through
+one of the backends behind this protocol (see :func:`repro.store.make_store`).
+
+The protocol, as exercised by the shared test suite and the property
+tests:
+
+``add(row) -> bool`` / ``add_many(rows) -> int``
+    Deduplicated insert; insertion order of first occurrences is the
+    iteration order.
+``remove(row) -> bool``
+    Remove one row from the rows, the membership set and every index.
+``clear()``
+    Empty the store *in place*: every container keeps its identity, so
+    compiled join plans holding captured index dicts stay valid.
+``probe(positions, key) -> rows``
+    All rows whose values at ``positions`` equal ``key``; an empty
+    position tuple is a full scan.  Counted in :attr:`stats`.
+``ensure_index(positions)``
+    Materialize (or reuse) the index serving ``positions``.
+``generation`` / version stamps
+    ``generation`` bumps on every *destructive* reorganization
+    (``remove``/``clear``); inserts are append-only, so the pair
+    ``(generation, len(store))`` is a complete content version — the
+    cheap cache-invalidation stamp, with no per-insert cost on the
+    fixpoint hot path.
+``stats``
+    A :class:`~repro.perf.counters.StoreStats` block of probe/scan/
+    index-build counts, aggregated into ``statistics/0,2``.
+"""
+
+from __future__ import annotations
+
+from ..perf.counters import StoreStats
+
+__all__ = ["MAX_INDEX_COLUMNS", "TupleStore", "MemoryTupleStore"]
+
+# The paper (section 4.5): "hash indexes on any argument or joint
+# combination of up to three arguments".
+MAX_INDEX_COLUMNS = 3
+
+
+class TupleStore:
+    """Abstract base: shared argument checking and default helpers.
+
+    Backends implement the storage itself; this base only owns the
+    pieces that must behave identically everywhere — the index-arity
+    limit and the bulk-insert loop.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def check_index_positions(positions):
+        if not positions:
+            raise ValueError("an index needs at least one column")
+        if len(positions) > MAX_INDEX_COLUMNS:
+            raise ValueError(
+                f"indexes cover at most {MAX_INDEX_COLUMNS} columns "
+                f"(got {len(positions)})"
+            )
+        if len(set(positions)) != len(positions):
+            raise ValueError(f"duplicate index column in {positions!r}")
+
+    def add_many(self, rows):
+        """Bulk insert; returns how many rows were new."""
+        add = self.add
+        added = 0
+        for row in rows:
+            if add(row):
+                added += 1
+        return added
+
+
+class MemoryTupleStore(TupleStore):
+    """The tuned in-memory backend (and the bottom-up ``Relation``).
+
+    Rows are value tuples (see :mod:`repro.store.codec`).  ``rows``
+    preserves insertion order alongside the ``tuples`` membership set,
+    so iteration is deterministic (set order would vary with the
+    per-run string hash seed) — the hybrid SLG bridge relies on this
+    to install table answers in a reproducible derivation order.
+
+    Indexes are dicts keyed by the probed value combination, built
+    lazily the first time a pattern is probed and maintained
+    incrementally by every later insert; compiled join plans capture
+    the dict objects directly (:func:`repro.bottomup.seminaive._compile_plan`),
+    which is why :meth:`clear` empties containers instead of replacing
+    them.
+    """
+
+    __slots__ = ("name", "arity", "tuples", "rows", "indexes",
+                 "generation", "stats")
+
+    def __init__(self, name, arity):
+        self.name = name
+        self.arity = arity
+        self.tuples = set()
+        self.rows = []
+        self.indexes = {}
+        self.generation = 0
+        self.stats = StoreStats()
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, row):
+        """Insert one row; True when it was new."""
+        if row in self.tuples:
+            return False
+        self.tuples.add(row)
+        self.rows.append(row)
+        for positions, index in self.indexes.items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def add_keyed(self, key, row):
+        """Insert ``row`` deduplicating by a caller-supplied ``key``.
+
+        The SLG answer store needs this: frozen rows conflate ``1``
+        and ``1.0`` under Python equality while variant checking must
+        keep them distinct, so membership is tracked by the canonical
+        answer key instead of by the row itself.  A store driven
+        through ``add_keyed`` answers ``in`` for keys, not rows.
+        """
+        if key in self.tuples:
+            return False
+        self.tuples.add(key)
+        self.rows.append(row)
+        for positions, index in self.indexes.items():
+            index_key = tuple(row[p] for p in positions)
+            index.setdefault(index_key, []).append(row)
+        return True
+
+    def remove(self, row):
+        """Remove one row everywhere it is stored; True when present."""
+        if row not in self.tuples:
+            return False
+        self.tuples.discard(row)
+        self.rows.remove(row)
+        for positions, index in self.indexes.items():
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(row)
+                if not bucket:
+                    del index[key]
+        self.generation += 1
+        return True
+
+    def clear(self):
+        """Empty the store while keeping every container's identity.
+
+        Rows, the membership set and each index dict are cleared
+        rather than replaced: compiled join plans capture those exact
+        objects, so a prepared fixpoint can reset its derived
+        relations between runs without recompiling anything.
+        """
+        self.tuples.clear()
+        self.rows.clear()
+        for index in self.indexes.values():
+            index.clear()
+        self.generation += 1
+
+    # -- indexes and probes ------------------------------------------------
+
+    def index_for(self, positions):
+        """The live index dict serving ``positions`` (built on demand).
+
+        This is the join compiler's entry point: the returned dict is
+        maintained in place by :meth:`add`, so captured references
+        stay current across fixpoint iterations.
+        """
+        index = self.indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.rows:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, []).append(row)
+            self.indexes[positions] = index
+            self.stats.index_builds += 1
+        return index
+
+    def ensure_index(self, positions):
+        """Declare an index on ``positions`` (the ≤3-column protocol
+        entry point).  Join plans use :meth:`index_for` directly, which
+        is unrestricted: a probe bound on four positions is still just
+        a hash lookup here, while a *declared* index keeps the paper's
+        up-to-three-arguments taxonomy."""
+        self.check_index_positions(tuple(positions))
+        return self.index_for(tuple(positions))
+
+    def probe(self, positions, key):
+        """All rows whose ``positions`` equal ``key`` (hash lookup)."""
+        stats = self.stats
+        if not positions:
+            stats.scans += 1
+            return self.rows
+        stats.probes += 1
+        index = self.index_for(positions)
+        return index.get(key, ())
+
+    # -- container protocol ------------------------------------------------
+
+    def __contains__(self, row):
+        return row in self.tuples
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def copy(self):
+        """An independent clone: rows, membership and indexes are all
+        fresh containers (index buckets included), so no later mutation
+        of either store can leak into the other."""
+        clone = MemoryTupleStore(self.name, self.arity)
+        clone.tuples = set(self.tuples)
+        clone.rows = list(self.rows)
+        clone.indexes = {
+            positions: {key: list(bucket) for key, bucket in index.items()}
+            for positions, index in self.indexes.items()
+        }
+        return clone
+
+    def __repr__(self):
+        return (
+            f"<MemoryTupleStore {self.name}/{self.arity} "
+            f"{len(self.rows)} rows>"
+        )

@@ -49,6 +49,24 @@ class TestRelation:
         rel.add_many([(1,), (2,)])
         assert len(rel.probe((), ())) == 2
 
+    def test_copy_shares_no_index_structures(self):
+        # Regression: copy() once reused the original's index dicts (and
+        # their bucket lists), so inserts into the copy leaked into
+        # probes of the original.
+        rel = Relation("r", 2)
+        rel.add_many([(1, "a"), (2, "b")])
+        rel.probe((0,), (1,))  # build an index before copying
+        clone = rel.copy()
+        assert clone.indexes[(0,)] is not rel.indexes[(0,)]
+        for key, bucket in rel.indexes[(0,)].items():
+            assert clone.indexes[(0,)][key] is not bucket
+        clone.add((1, "c"))
+        assert sorted(clone.probe((0,), (1,))) == [(1, "a"), (1, "c")]
+        assert list(rel.probe((0,), (1,))) == [(1, "a")]
+        rel.remove((2, "b"))
+        assert (2, "b") in clone
+        assert list(clone.probe((0,), (2,))) == [(2, "b")]
+
 
 class TestParsing:
     def test_facts_separated_from_rules(self):

@@ -148,3 +148,72 @@ class TestDatabase:
         db.add_clause_term(parse_term("p(1)"))
         db.add_clause_term(parse_term("p(1,2)"))
         assert db.lookup("p", 1) is not db.lookup("p", 2)
+
+
+class TestDynamicReindexing:
+    """Index maintenance on live dynamic predicates (section 4.5)."""
+
+    def _facts(self, db, terms):
+        return [db.add_clause_term(parse_term(t), dynamic=True) for t in terms]
+
+    def test_set_hash_index_after_clauses_exist(self):
+        db = Database()
+        self._facts(db, ["r(a,b,c)", "r(a,x,c)", "r(b,b,d)"])
+        pred = db.lookup("r", 3)
+        pred.set_hash_index([(2,), (1, 3)])
+        # The new single-field index serves a second-arg retrieval...
+        by_second = pred.candidates((Var(), mkatom("b"), Var()))
+        assert [c.head_args[0].name for c in by_second] == ["a", "b"]
+        # ...and the joint index serves a 1+3 retrieval.
+        by_joint = pred.candidates((mkatom("a"), Var(), mkatom("c")))
+        assert [c.head_args[1].name for c in by_joint] == ["b", "x"]
+        # Clauses asserted after the declaration are indexed too.
+        db.add_clause_term(parse_term("r(c,b,e)"), dynamic=True)
+        assert len(pred.candidates((Var(), mkatom("b"), Var()))) == 3
+
+    def test_retract_removes_clause_from_single_field_index(self):
+        db = Database()
+        clauses = self._facts(db, ["q(a,1)", "q(a,2)", "q(b,3)"])
+        pred = db.lookup("q", 2)
+        assert len(pred.candidates((mkatom("a"), Var()))) == 2
+        assert pred.remove_clause(clauses[0]) is True
+        remaining = pred.candidates((mkatom("a"), Var()))
+        assert [c.head_args[1] for c in remaining] == [2]
+        # The entry is gone from the index's buckets, not just hidden.
+        for index in pred.index_plan.indexes:
+            for bucket in index.buckets.values():
+                assert all(entry[1] is not clauses[0] for entry in bucket)
+            assert all(e[1] is not clauses[0] for e in index.catch_all)
+
+    def test_retract_removes_clause_from_every_installed_index(self):
+        db = Database()
+        clauses = self._facts(db, ["s(a,b,c)", "s(a,b,d)", "s(b,b,c)"])
+        pred = db.lookup("s", 3)
+        pred.set_hash_index([(2,), (1, 3)])
+        assert pred.remove_clause(clauses[0]) is True
+        # Retrieval takes the first applicable declared index, so the
+        # second-arg probe exercises (2,) and the 1+3 probe (which
+        # leaves arg 2 unbound) exercises the joint index.
+        assert len(pred.candidates((Var(), mkatom("b"), Var()))) == 2
+        assert len(pred.candidates((mkatom("a"), Var(), mkatom("c")))) == 0
+        assert len(pred.candidates((mkatom("b"), Var(), mkatom("c")))) == 1
+        for index in pred.index_plan.indexes:
+            entries = list(index.catch_all)
+            for bucket in index.buckets.values():
+                entries.extend(bucket)
+            assert all(entry[1] is not clauses[0] for entry in entries)
+
+    def test_retract_of_catch_all_clause_updates_all_indexes(self):
+        db = Database()
+        db.declare_dynamic("t", 2)
+        pred = db.lookup("t", 2)
+        pred.set_hash_index([(1,), (1, 2)])
+        var_clause = db.add_clause_term(
+            parse_term("t(X, X) :- true"), dynamic=True
+        )
+        db.add_clause_term(parse_term("t(a, b)"), dynamic=True)
+        assert len(pred.candidates((mkatom("a"), Var()))) == 2
+        assert pred.remove_clause(var_clause) is True
+        assert len(pred.candidates((mkatom("a"), Var()))) == 1
+        for index in pred.index_plan.indexes:
+            assert index.catch_all == []

@@ -256,3 +256,65 @@ def test_prop_findall_matches_solution_order(values):
     collected = engine.once("findall(X, v(X), L)")["L"]
     streamed = [s["X"] for s in engine.query("v(X)")]
     assert collected == streamed == values
+
+
+# -- the unified tuple-store against a brute-force oracle ------------------------
+
+_row = st.tuples(
+    st.integers(0, 3), st.sampled_from("ab"), st.integers(0, 2)
+)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), _row),
+        st.tuples(st.just("add_many"), st.lists(_row, max_size=4)),
+        st.tuples(st.just("remove"), _row),
+        st.tuples(st.just("clear"), st.none()),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+_INDEXES = [(0,), (1,), (2,), (0, 1), (1, 2), (0, 1, 2)]
+
+
+@pytest.mark.parametrize("backend", ["memory", "relstore"])
+@given(ops=_ops, probes=st.lists(st.tuples(st.sampled_from(_INDEXES), _row),
+                                 min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_prop_store_probes_match_full_scan(backend, ops, probes):
+    from repro.store import make_store
+
+    store = make_store("t", 3, backend=backend)
+    # Declare half the indexes up front so some probes hit pre-built
+    # indexes and some build lazily, interleaved with the mutations.
+    for positions in _INDEXES[::2]:
+        store.ensure_index(positions)
+    oracle = []
+    for op, payload in ops:
+        if op == "add":
+            added = store.add(payload)
+            assert added == (payload not in oracle)
+            if added:
+                oracle.append(payload)
+        elif op == "add_many":
+            fresh = [r for i, r in enumerate(payload)
+                     if r not in oracle and r not in payload[:i]]
+            assert store.add_many(payload) == len(fresh)
+            oracle.extend(fresh)
+        elif op == "remove":
+            removed = store.remove(payload)
+            assert removed == (payload in oracle)
+            if removed:
+                oracle.remove(payload)
+        else:
+            store.clear()
+            oracle.clear()
+    assert list(store) == oracle
+    assert len(store) == len(oracle)
+    for positions, sample in probes:
+        key = tuple(sample[p] for p in positions)
+        expected = [r for r in oracle
+                    if all(r[p] == k for p, k in zip(positions, key))]
+        assert list(store.probe(positions, key)) == expected
+    assert list(store.probe((), ())) == oracle

@@ -288,3 +288,26 @@ class TestExecutor:
             assert store.select(txn, "t", 0, 55) == [(55, "v55")]
         assert os.path.exists(os.path.join(directory, "t.heap"))
         assert os.path.exists(os.path.join(directory, "wal.log"))
+
+    def test_nested_tuple_rows_round_trip_through_pages(self):
+        # Frozen compound terms are nested tuples; the shared row codec
+        # gives them an on-page form, so they survive the heap.
+        store = RelStore()
+        store.create_table("t", 2)
+        row = (1, ("f", "a", (".", 2, "[]")))
+        with store.transaction() as txn:
+            store.insert(txn, "t", row)
+        with store.transaction() as txn:
+            assert store.scan(txn, "t") == [row]
+
+    def test_drop_table(self):
+        store = RelStore()
+        store.create_table("t", 1)
+        with store.transaction() as txn:
+            store.insert(txn, "t", (1,))
+        store.drop_table("t")
+        with pytest.raises(StorageError):
+            store.drop_table("t")
+        store.create_table("t", 1)
+        with store.transaction() as txn:
+            assert store.scan(txn, "t") == []

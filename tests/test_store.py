@@ -1,0 +1,299 @@
+"""The unified relation-storage layer (repro.store).
+
+One suite exercises the TupleStore protocol over both backends — the
+tuned in-memory store and the paged relstore adapter — plus the shared
+ground-term ↔ row codec and the store-level engine statistics.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.errors import StorageError
+from repro.store import (
+    MAX_INDEX_COLUMNS,
+    MAX_TERM_DEPTH,
+    FreezeError,
+    MemoryTupleStore,
+    backend_name,
+    decode_row,
+    encode_row,
+    freeze_term,
+    make_store,
+    parse_field,
+    thaw_value,
+)
+from repro.terms import Atom, Struct, Var, mkatom
+
+BACKENDS = ["memory", "relstore"]
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request):
+    return make_store("t", 3, backend=request.param)
+
+
+# --------------------------------------------------------------------------
+# protocol: insertion, dedup, ordering
+# --------------------------------------------------------------------------
+
+def test_add_dedups_and_reports_newness(store):
+    assert store.add((1, 2, 3)) is True
+    assert store.add((1, 2, 3)) is False
+    assert store.add((1, 2, 4)) is True
+    assert len(store) == 2
+    assert (1, 2, 3) in store
+    assert (9, 9, 9) not in store
+
+
+def test_iteration_preserves_insertion_order(store):
+    rows = [(3, "c", 1), (1, "a", 2), (2, "b", 3), (1, "a", 2)]
+    for row in rows:
+        store.add(row)
+    assert list(store) == [(3, "c", 1), (1, "a", 2), (2, "b", 3)]
+
+
+def test_add_many_counts_only_new_rows(store):
+    store.add((1, 1, 1))
+    added = store.add_many([(1, 1, 1), (2, 2, 2), (2, 2, 2), (3, 3, 3)])
+    assert added == 2
+    assert len(store) == 3
+
+
+def test_remove_updates_membership_and_probes(store):
+    store.add_many([(1, "a", 1), (1, "b", 2), (2, "a", 3)])
+    store.ensure_index((0,))
+    assert store.remove((1, "a", 1)) is True
+    assert store.remove((1, "a", 1)) is False
+    assert (1, "a", 1) not in store
+    assert list(store.probe((0,), (1,))) == [(1, "b", 2)]
+
+
+# --------------------------------------------------------------------------
+# protocol: indexes and probes
+# --------------------------------------------------------------------------
+
+def test_single_column_probe(store):
+    store.add_many([(1, "a", 10), (2, "b", 20), (1, "c", 30)])
+    store.ensure_index((0,))
+    assert sorted(store.probe((0,), (1,))) == [(1, "a", 10), (1, "c", 30)]
+    assert list(store.probe((0,), (9,))) == []
+
+
+def test_joint_column_probe(store):
+    store.add_many([(1, "a", 10), (1, "a", 20), (1, "b", 10), (2, "a", 10)])
+    store.ensure_index((0, 1))
+    assert sorted(store.probe((0, 1), (1, "a"))) == [(1, "a", 10), (1, "a", 20)]
+
+
+def test_three_column_probe(store):
+    store.add_many([(1, "a", 10), (1, "a", 20)])
+    store.ensure_index((0, 1, 2))
+    assert list(store.probe((0, 1, 2), (1, "a", 20))) == [(1, "a", 20)]
+
+
+def test_multiple_simultaneous_indexes(store):
+    store.add_many([(1, "a", 10), (2, "a", 20), (1, "b", 20)])
+    store.ensure_index((0,))
+    store.ensure_index((1,))
+    store.ensure_index((0, 1))
+    assert sorted(store.probe((1,), ("a",))) == [(1, "a", 10), (2, "a", 20)]
+    assert list(store.probe((0, 1), (1, "b"))) == [(1, "b", 20)]
+    store.add((2, "b", 30))
+    # Every installed index sees the later insert.
+    assert (2, "b", 30) in list(store.probe((0,), (2,)))
+    assert (2, "b", 30) in list(store.probe((1,), ("b",)))
+    assert list(store.probe((0, 1), (2, "b"))) == [(2, "b", 30)]
+
+
+def test_empty_positions_probe_is_a_full_scan(store):
+    store.add_many([(1, 1, 1), (2, 2, 2)])
+    assert list(store.probe((), ())) == [(1, 1, 1), (2, 2, 2)]
+
+
+def test_ensure_index_enforces_column_cap(store):
+    with pytest.raises(ValueError):
+        store.ensure_index(())
+    with pytest.raises(ValueError):
+        store.ensure_index((0, 1, 2, 3))
+    with pytest.raises(ValueError):
+        store.ensure_index((0, 0))
+    assert MAX_INDEX_COLUMNS == 3
+
+
+# --------------------------------------------------------------------------
+# protocol: clear, generation stamps, stats, copy
+# --------------------------------------------------------------------------
+
+def test_clear_empties_in_place_and_keeps_indexes_serviceable(store):
+    store.add_many([(1, "a", 1), (2, "b", 2)])
+    store.ensure_index((0,))
+    store.clear()
+    assert len(store) == 0
+    assert list(store) == []
+    store.add((3, "c", 3))
+    assert list(store.probe((0,), (3,))) == [(3, "c", 3)]
+
+
+def test_clear_preserves_memory_container_identity():
+    # Compiled join plans capture the live index dicts, so clear()
+    # must empty them rather than replace them.
+    store = MemoryTupleStore("t", 2)
+    store.add_many([(1, 2), (3, 4)])
+    index = store.index_for((0,))
+    rows, members = store.rows, store.tuples
+    store.clear()
+    assert store.rows is rows and store.tuples is members
+    assert store.indexes[(0,)] is index and index == {}
+    store.add((5, 6))
+    assert index == {(5,): [(5, 6)]}
+
+
+def test_generation_bumps_only_on_destructive_ops(store):
+    start = store.generation
+    store.add((1, 1, 1))
+    store.add_many([(2, 2, 2)])
+    assert store.generation == start
+    store.remove((1, 1, 1))
+    assert store.generation == start + 1
+    store.clear()
+    assert store.generation == start + 2
+
+
+def test_stats_count_probes_scans_and_builds(store):
+    store.add_many([(1, "a", 1), (2, "b", 2)])
+    # Column 1 is never pre-indexed by any backend (the relstore
+    # adapter builds a leading-column index at construction).
+    store.ensure_index((1,))
+    builds = store.stats.index_builds
+    assert builds >= 1
+    store.probe((1,), ("a",))
+    store.probe((1,), ("b",))
+    store.probe((), ())
+    assert store.stats.probes == 2
+    assert store.stats.scans == 1
+    store.ensure_index((1,))
+    assert store.stats.index_builds == builds
+
+
+def test_copy_is_fully_independent(store):
+    store.add_many([(1, "a", 1), (2, "b", 2)])
+    store.ensure_index((0,))
+    clone = store.copy()
+    clone.add((3, "c", 3))
+    store.remove((1, "a", 1))
+    assert list(store) == [(2, "b", 2)]
+    assert list(clone) == [(1, "a", 1), (2, "b", 2), (3, "c", 3)]
+    assert list(store.probe((0,), (1,))) == []
+    assert list(clone.probe((0,), (1,))) == [(1, "a", 1)]
+
+
+def test_add_keyed_dedups_by_caller_key():
+    # The SLG answer store keys membership by canonical answer key so
+    # 1 and 1.0 (equal as Python values) stay distinct answers.
+    store = MemoryTupleStore("ans", None)
+    assert store.add_keyed("k-int", (1,)) is True
+    assert store.add_keyed("k-float", (1.0,)) is True
+    assert store.add_keyed("k-int", (1,)) is False
+    assert store.rows == [(1,), (1.0,)]
+
+
+# --------------------------------------------------------------------------
+# make_store / backend selection
+# --------------------------------------------------------------------------
+
+def test_make_store_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        make_store("t", 2, backend="papyrus")
+
+
+def test_backend_name_honours_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_TUPLESTORE", raising=False)
+    assert backend_name() == "memory"
+    monkeypatch.setenv("REPRO_TUPLESTORE", "relstore")
+    assert backend_name() == "relstore"
+    assert type(make_store("t", 1)).__name__ == "RelStoreTupleStore"
+
+
+# --------------------------------------------------------------------------
+# the shared codec
+# --------------------------------------------------------------------------
+
+def test_freeze_term_value_domain():
+    assert freeze_term(mkatom("a")) == "a"
+    assert freeze_term(7) == 7
+    assert freeze_term(2.5) == 2.5
+    assert freeze_term(Struct("f", (mkatom("a"), 1))) == ("f", "a", 1)
+    # [1, 2] as ./2 cells
+    lst = Struct(".", (1, Struct(".", (2, mkatom("[]")))))
+    assert freeze_term(lst) == (".", 1, (".", 2, "[]"))
+
+
+def test_freeze_term_follows_bound_variables():
+    var = Var()
+    var.ref = Struct("f", (3,))
+    assert freeze_term(var) == ("f", 3)
+
+
+def test_freeze_term_rejects_unbound_and_deep():
+    with pytest.raises(FreezeError):
+        freeze_term(Var())
+    deep = mkatom("x")
+    for _ in range(MAX_TERM_DEPTH + 1):
+        deep = Struct("f", (deep,))
+    with pytest.raises(FreezeError):
+        freeze_term(deep)
+
+
+def test_thaw_inverts_freeze():
+    term = Struct("f", (mkatom("a"), 1, Struct("g", (2.5,))))
+    frozen = freeze_term(term)
+    thawed = thaw_value(frozen)
+    assert isinstance(thawed, Struct)
+    assert freeze_term(thawed) == frozen
+    assert thaw_value("a") == Atom("a")
+    assert thaw_value(7) == 7
+
+
+def test_parse_field_shapes():
+    assert parse_field("42") == 42
+    assert parse_field("-3") == -3
+    assert parse_field("2.5") == 2.5
+    assert parse_field("-1e3") == -1000.0
+    assert parse_field(".5") == 0.5
+    assert parse_field("abc") == "abc"
+    assert parse_field("12ab") == "12ab"
+    assert parse_field("-") == "-"
+    assert parse_field("") == ""
+
+
+def test_row_codec_round_trips_nested_tuples():
+    row = (1, 2.5, "atom", ("f", "a", (".", 1, "[]")))
+    assert decode_row(encode_row(row)) == row
+
+
+def test_row_codec_rejects_bools_and_opaque_values():
+    with pytest.raises(StorageError):
+        encode_row((True,))
+    with pytest.raises(StorageError):
+        encode_row((object(),))
+
+
+# --------------------------------------------------------------------------
+# engine-level store statistics
+# --------------------------------------------------------------------------
+
+def test_engine_statistics_expose_store_counters():
+    engine = Engine()
+    engine.consult_string(
+        ":- table path/2.\n"
+        "edge(1, 2). edge(2, 3).\n"
+        "path(X, Y) :- edge(X, Y).\n"
+        "path(X, Y) :- path(X, Z), edge(Z, Y).\n"
+    )
+    assert engine.count("path(1, X)") == 2
+    stats = engine.statistics()
+    for key in ("store_count", "store_rows", "store_probes",
+                "store_scans", "store_index_builds"):
+        assert isinstance(stats[key], int)
+    assert stats["store_count"] > 0
+    assert stats["store_rows"] > 0
