@@ -39,11 +39,13 @@ try:  # present after the statistics-layer PR; before-trees lack it
 except ImportError:  # pragma: no cover - exercised only on old trees
     import platform
 
-    def write_json_results(path, results, meta=None):
+    def write_json_results(path, results, meta=None, counters=None):
         payload = {
             "meta": {"python": platform.python_version(), **(meta or {})},
             "results": {k: float(v) for k, v in results.items()},
         }
+        if counters:
+            payload["counters"] = {k: dict(v) for k, v in counters.items()}
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -70,11 +72,16 @@ sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).
 """
 
 
+_LAST_ENGINE = None  # engine behind the most recent series run
+
+
 def _engine(program, facts=()):
+    global _LAST_ENGINE
     engine = Engine()
     engine.consult_string(program)
     for name, rows in facts:
         engine.add_facts(name, rows)
+    _LAST_ENGINE = engine
     return engine
 
 
@@ -91,9 +98,11 @@ def _tabled_run(key, program, facts_fn, goal):
     *evaluation strategy*, not the setup.  The first (engine-building)
     repeat is simply never the best one.
     """
+    global _LAST_ENGINE
     engine = _ENGINES.get(key)
     if engine is None:
         engine = _ENGINES[key] = _engine(program, facts_fn())
+    _LAST_ENGINE = engine
     engine.abolish_all_tables()
     return engine.count(goal)
 
@@ -275,8 +284,15 @@ SERIES = {
 }
 
 
-def run_all(repeat=3, names=None):
-    """Best-of-``repeat`` seconds per series; checks result counts."""
+def run_all(repeat=3, names=None, counters=None):
+    """Best-of-``repeat`` seconds per series; checks result counts.
+
+    Pass a dict as ``counters`` to also collect each series engine's
+    ``statistics()`` snapshot (taken after the last repeat, so counts
+    accumulate over all ``repeat`` runs).  The getattr guard keeps the
+    script runnable against before-trees that predate the statistics
+    layer.
+    """
     results = {}
     for name, fn in SERIES.items():
         if names is not None and name not in names:
@@ -285,6 +301,10 @@ def run_all(repeat=3, names=None):
         expected = EXPECTED[name]
         assert value == expected, f"{name}: got {value}, expected {expected}"
         results[name] = seconds
+        if counters is not None and _LAST_ENGINE is not None:
+            statistics = getattr(_LAST_ENGINE, "statistics", None)
+            if statistics is not None:
+                counters[name] = statistics()
     return results
 
 
@@ -292,11 +312,15 @@ def run_all(repeat=3, names=None):
 
 def test_hotpath_series_write_json(benchmark, tmp_path):
     benchmark(run_leftrec_chain)
-    results = run_all(repeat=1)
+    counters = {}
+    results = run_all(repeat=1, counters=counters)
     out = tmp_path / "BENCH_hotpath.json"
-    payload = write_json_results(str(out), results, meta={"repeat": 1})
+    payload = write_json_results(
+        str(out), results, meta={"repeat": 1}, counters=counters
+    )
     again = json.loads(out.read_text())
     assert again["results"].keys() == payload["results"].keys()
+    assert again["counters"].keys() == again["results"].keys()
     print()
     print(format_table(
         ["series", "ms"],
@@ -329,11 +353,15 @@ if __name__ == "__main__":
             f"unknown series: {', '.join(unknown)} "
             f"(choose from {', '.join(SERIES)})"
         )
-    timings = run_all(repeat=options.repeat, names=options.series or None)
+    counters = {}
+    timings = run_all(
+        repeat=options.repeat, names=options.series or None, counters=counters
+    )
     for name, seconds in timings.items():
         print(f"{name:24s} {seconds * 1e3:10.3f} ms")
     if options.out:
         write_json_results(
-            options.out, timings, meta={"repeat": options.repeat}
+            options.out, timings, meta={"repeat": options.repeat},
+            counters=counters or None,
         )
         print(f"wrote {options.out}")

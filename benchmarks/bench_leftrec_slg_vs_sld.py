@@ -88,5 +88,38 @@ def test_only_slg_terminates_on_cycles(benchmark):
     assert len(first) == 200  # still going: no termination in sight
 
 
+def traced_run(out_path, size=1024):
+    """Run the SLG left-recursion series once under the event tracer
+    and export it — Chrome trace-event JSON (``*.json``, loadable in
+    chrome://tracing / Perfetto) or JSONL otherwise."""
+    from repro import Engine
+
+    engine = Engine(trace=True)
+    engine.consult_string(PATH_LEFT_TABLED)
+    engine.add_facts("edge", chain_edges(size))
+    count = engine.count("path(1, X)")
+    if out_path.endswith(".json"):
+        engine.write_chrome_trace(out_path)
+    else:
+        engine.write_trace_jsonl(out_path)
+    print(f"{count} answers; {len(engine.tracer)} events buffered "
+          f"({engine.tracer.dropped} dropped); wrote {out_path}")
+    print(engine.format_profile())
+
+
 if __name__ == "__main__":
-    print(sweep(chain_edges))
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="trace one SLG left-recursion run into FILE instead of "
+        "sweeping (Chrome trace JSON for *.json, JSONL otherwise)",
+    )
+    parser.add_argument("--size", type=int, default=1024)
+    options = parser.parse_args()
+    if options.trace:
+        traced_run(options.trace, options.size)
+    else:
+        print(sweep(chain_edges))

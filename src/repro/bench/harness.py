@@ -123,14 +123,18 @@ def _git_commit():
     return out.stdout.strip() or "unknown"
 
 
-def write_json_results(path, results, meta=None):
+def write_json_results(path, results, meta=None, counters=None):
     """Persist benchmark timings for later comparison.
 
     ``results`` maps series name to seconds (floats).  The interpreter
     version, the git commit, the machine and the active tuple-store
     backend are recorded so a comparison across Pythons, trees, hosts
-    or storage backends is visibly apples-to-oranges.  Returns the
-    payload written.
+    or storage backends is visibly apples-to-oranges.  ``counters``
+    (optional) is a mapping of engine-statistics snapshots — e.g. one
+    ``Engine.statistics()`` dict per series — stored alongside the
+    timings so a perf regression can be diagnosed from the committed
+    record (did clause_candidates blow up, or did wall time move on
+    its own?).  Returns the payload written.
     """
     from ..store import backend_name
 
@@ -147,6 +151,10 @@ def write_json_results(path, results, meta=None):
         },
         "results": {name: float(seconds) for name, seconds in results.items()},
     }
+    if counters is not None:
+        payload["counters"] = {
+            name: dict(snapshot) for name, snapshot in counters.items()
+        }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

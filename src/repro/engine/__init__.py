@@ -27,13 +27,14 @@ from ..terms import (
     mkatom,
     resolve,
 )
+from ..obs import Profiler, SubgoalRegistry, Tracer
 from ..perf import EngineStats
 from ..terms.rename import copy_term
 from .builtins import default_registry
 from .clause import Clause
 from .database import Database
 from .machine import MODE_QUERY, Machine
-from .table import TableSpace
+from .table import TableSpace, frame_call_term
 
 __all__ = ["Engine", "term_to_python", "python_to_term"]
 
@@ -98,6 +99,20 @@ class Engine:
         the safe fragment transparently falls back to SLG.  ``None``
         (default) reads the ``REPRO_HYBRID`` environment variable
         (``0``/``false``/``off`` disables; on otherwise).
+    trace:
+        record typed SLG events (check-in hit/miss, answer
+        insert/duplicate, suspension, resumption, completion, hybrid
+        routing) in a bounded ring buffer (:mod:`repro.obs`).  ``True``
+        enables the tracer with its default capacity, an integer sets
+        the ring capacity, ``False`` disables it.  ``None`` (default)
+        reads ``REPRO_TRACE`` (unset/``0``/``false``/``off`` disables;
+        an integer > 1 doubles as the capacity).  ``trace_control/1``
+        flips the switch from the language at run boundaries.
+    profile:
+        keep per-subgoal spans (cumulative self time, consumer counts)
+        aggregated by :meth:`profile_report`.  ``None`` (default)
+        follows ``trace``, so ``REPRO_TRACE=1`` lights up the whole
+        observability layer at once.
     """
 
     def __init__(
@@ -109,6 +124,8 @@ class Engine:
         output=None,
         statistics=True,
         hybrid=None,
+        trace=None,
+        profile=None,
     ):
         if answer_store not in ("hash", "trie"):
             raise ValueError("answer_store must be 'hash' or 'trie'")
@@ -130,6 +147,28 @@ class Engine:
         self.hybrid = bool(hybrid)
         self.hilog_specialize = hilog_specialize
         self.output = output if output is not None else sys.stdout
+        self.quiet = False
+        if trace is None:
+            raw = os.environ.get("REPRO_TRACE", "0").lower()
+            if raw in ("0", "false", "off", ""):
+                trace = False
+            else:
+                try:
+                    trace = int(raw)
+                except ValueError:
+                    trace = True
+        if profile is None:
+            profile = bool(trace)
+        self._obs_registry = SubgoalRegistry(render=self._render_subgoal)
+        self.tracer = None
+        self.profiler = None
+        if trace:
+            self.enable_trace(
+                capacity=trace if isinstance(trace, int)
+                and not isinstance(trace, bool) and trace > 1 else None
+            )
+        if profile:
+            self.enable_profile()
         self.counting = False
         self.call_counts = {}
         self.log_subgoals = False
@@ -347,6 +386,74 @@ class Engine:
     def table_statistics(self):
         return self.tables.statistics()
 
+    # -- observability (repro.obs) ---------------------------------------------------
+
+    def _render_subgoal(self, frame):
+        """Printable form of a frame's call term (trace/profile labels)."""
+        from ..lang.writer import term_to_str
+
+        return term_to_str(frame_call_term(frame), self.operators)
+
+    def enable_trace(self, capacity=None):
+        """Switch the SLG event tracer on (new runs pick it up)."""
+        if self.tracer is None:
+            self.tracer = Tracer(
+                **({} if capacity is None else {"capacity": capacity}),
+                registry=self._obs_registry,
+            )
+        else:
+            self.tracer.enabled = True
+        return self
+
+    def disable_trace(self):
+        if self.tracer is not None:
+            self.tracer.enabled = False
+        return self
+
+    def enable_profile(self):
+        """Switch the per-subgoal span profiler on."""
+        if self.profiler is None:
+            self.profiler = Profiler(self._obs_registry)
+        else:
+            self.profiler.enabled = True
+        return self
+
+    def disable_profile(self):
+        if self.profiler is not None:
+            self.profiler.enabled = False
+        return self
+
+    def trace_events(self):
+        """The buffered trace events (oldest first); [] when off."""
+        return self.tracer.events() if self.tracer is not None else []
+
+    def write_trace_jsonl(self, path_or_file):
+        """Export the trace ring as JSONL; returns the line count."""
+        from ..obs import write_jsonl
+
+        if self.tracer is None:
+            raise ValueError("tracing is not enabled on this engine")
+        return write_jsonl(self.tracer, path_or_file)
+
+    def write_chrome_trace(self, path_or_file):
+        """Export the trace ring in Chrome trace-event format."""
+        from ..obs import write_chrome_trace
+
+        if self.tracer is None:
+            raise ValueError("tracing is not enabled on this engine")
+        return write_chrome_trace(self.tracer, path_or_file)
+
+    def profile_report(self):
+        """Per-subgoal profile rows (self time, answers, consumers,
+        byte estimates), most expensive first; [] when off."""
+        return self.profiler.report() if self.profiler is not None else []
+
+    def format_profile(self):
+        """The profile report as a plain-text table."""
+        from ..obs import format_profile
+
+        return format_profile(self.profile_report())
+
     def tuple_stores(self):
         """Every live :class:`~repro.store.TupleStore` this engine owns,
         deduplicated by identity: predicate fact stores, hash-mode
@@ -385,6 +492,16 @@ class Engine:
         merged["store_scans"] = sum(s.stats.scans for s in stores)
         merged["store_index_builds"] = sum(
             s.stats.index_builds for s in stores
+        )
+        tracer = self.tracer
+        merged["trace_events"] = len(tracer) if tracer is not None else 0
+        merged["trace_dropped"] = tracer.dropped if tracer is not None else 0
+        profiler = self.profiler
+        merged["profile_subgoals"] = (
+            profiler.span_count() if profiler is not None else 0
+        )
+        merged["profile_self_ns"] = (
+            profiler.total_self_ns() if profiler is not None else 0
         )
         return merged
 

@@ -752,12 +752,155 @@ def bi_abolish_all_tables(machine, args, goals):
     return goals.next
 
 
+# --------------------------------------------------------------------------
+# table inspection (XSB's get_calls / get_returns / table_state family)
+# --------------------------------------------------------------------------
+
+def _frame_for_spec(machine, spec, context):
+    """Resolve a table spec — a subgoal id integer (from ``get_calls/2``)
+    or a call term (looked up by variant) — to its frame, or None."""
+    spec = deref(spec)
+    tables = machine.engine.tables
+    if isinstance(spec, int):
+        for frame in tables.all_frames():
+            if frame.seq == spec:
+                return frame
+        return None
+    if isinstance(spec, (Atom, Struct)):
+        return tables.lookup_term(spec)
+    if isinstance(spec, Var):
+        raise InstantiationError(context)
+    raise TypeError_("callable or subgoal id", spec)
+
+
+def bi_get_calls(machine, args, goals):
+    """``get_calls(Call, Id)`` — enumerate the tabled subgoals.
+
+    Backtracks through every subgoal frame in table space whose call
+    term unifies with ``Call``, binding ``Id`` to the frame's stable
+    sequence number (the handle ``get_returns/2`` and trace events use).
+    A bound integer ``Id`` selects that one frame directly.
+    """
+    from .table import frame_call_term
+
+    spec = deref(args[1])
+    tables = machine.engine.tables
+    frames = tables.all_frames()
+    if isinstance(spec, int):
+        frames = [frame for frame in frames if frame.seq == spec]
+    trail = machine.trail
+
+    def thunk_for(frame):
+        def thunk():
+            return unify(args[0], frame_call_term(frame), trail) and unify(
+                args[1], frame.seq, trail
+            )
+
+        return thunk
+
+    return _nondet(machine, (thunk_for(f) for f in frames), goals)
+
+
+def bi_get_returns(machine, args, goals):
+    """``get_returns(Table, Answer)`` — enumerate a table's answers.
+
+    ``Table`` is a subgoal id from ``get_calls/2`` or a call term
+    (located by variant); ``Answer`` unifies with each stored answer
+    term in insertion order.  Ground answers unify in place (they are
+    immune to backtracking); non-ground ones are freshly renamed per
+    solution, exactly as answer resolution does.
+    """
+    frame = _frame_for_spec(machine, args[0], "get_returns/2")
+    if frame is None:
+        return None
+    trail = machine.trail
+    answers = frame.answers
+    ground = frame.answer_ground
+
+    def thunk_for(index):
+        def thunk():
+            answer = answers[index]
+            if not ground[index]:
+                answer = copy_term(answer)
+            return unify(args[1], answer, trail)
+
+        return thunk
+
+    return _nondet(machine, (thunk_for(i) for i in range(len(answers))), goals)
+
+
+def bi_table_state(machine, args, goals):
+    """``table_state(Table, State)`` — one table's evaluation state.
+
+    ``State`` is ``undefined`` (no variant in table space),
+    ``incomplete(N)`` or ``complete(N)`` with ``N`` the current answer
+    count — the inspection triple XSB's ``table_state`` family exposes.
+    """
+    frame = _frame_for_spec(machine, args[0], "table_state/2")
+    if frame is None:
+        state = mkatom("undefined")
+    else:
+        state = Struct(frame.state, (frame.answer_count(),))
+    return _unify_or_fail(machine, args[1], state, goals)
+
+
+def bi_trace_control(machine, args, goals):
+    """``trace_control(Cmd)`` — drive the observability layer.
+
+    ``on`` / ``off`` switch the tracer *and* profiler (new runs pick
+    the change up — the current run's cached locals are deliberately
+    left alone, mirroring the statistics contract); ``clear`` empties
+    the ring buffer and the profile; ``dump(File)`` writes the buffered
+    events as JSONL; ``chrome(File)`` writes Chrome trace-event JSON.
+    """
+    engine = machine.engine
+    command = deref(args[0])
+    if isinstance(command, Atom):
+        if command.name == "on":
+            engine.enable_trace()
+            engine.enable_profile()
+            return goals.next
+        if command.name == "off":
+            engine.disable_trace()
+            engine.disable_profile()
+            return goals.next
+        if command.name == "clear":
+            if engine.tracer is not None:
+                engine.tracer.clear()
+            if engine.profiler is not None:
+                engine.profiler.clear()
+            return goals.next
+    elif isinstance(command, Struct) and len(command.args) == 1:
+        target = deref(command.args[0])
+        if command.name in ("dump", "chrome") and isinstance(target, Atom):
+            if engine.tracer is None:
+                raise TablingError(
+                    f"trace_control({command.name}/1): tracing is not "
+                    f"enabled; call trace_control(on) first"
+                )
+            if command.name == "dump":
+                engine.write_trace_jsonl(target.name)
+            else:
+                engine.write_chrome_trace(target.name)
+            return goals.next
+    if isinstance(command, Var):
+        raise InstantiationError("trace_control/1")
+    raise TypeError_("trace_control command", command)
+
+
 def bi_statistics0(machine, args, goals):
-    """``statistics/0`` — print every counter to the engine's output."""
+    """``statistics/0`` — print every counter to the engine's output.
+
+    A header line labels the block; engines in quiet mode (the REPL's
+    ``--quiet``) suppress it so scripted output stays parseable.
+    """
     from ..perf import STATISTIC_KEYS
 
-    stats = machine.engine.statistics()
-    out = machine.engine.output
+    engine = machine.engine
+    stats = engine.statistics()
+    out = engine.output
+    if not engine.quiet:
+        out.write(f"% engine statistics ({len(STATISTIC_KEYS)} counters)\n")
     width = max(len(key) for key in STATISTIC_KEYS)
     for key in STATISTIC_KEYS:
         out.write(f"{key.ljust(width)}  {stats[key]}\n")
@@ -1034,6 +1177,10 @@ def default_registry():
         ("abolish", 1): bi_abolish,
         ("clause", 2): bi_clause,
         ("abolish_all_tables", 0): bi_abolish_all_tables,
+        ("get_calls", 2): bi_get_calls,
+        ("get_returns", 2): bi_get_returns,
+        ("table_state", 2): bi_table_state,
+        ("trace_control", 1): bi_trace_control,
         ("statistics", 0): bi_statistics0,
         ("statistics", 2): bi_statistics2,
         ("atom_codes", 2): bi_atom_codes,

@@ -46,6 +46,12 @@ from ..bottomup.datalog import Program
 from ..bottomup.magic import adornment_of, magic_name, magic_rewrite
 from ..bottomup.seminaive import EvaluationStats, prepare
 from ..errors import SafetyError
+from ..obs.trace import (
+    EV_ANSWER_BULK,
+    EV_COMPLETE,
+    EV_HYBRID_FALLBACK,
+    EV_HYBRID_ROUTE,
+)
 from ..store.codec import (
     MAX_TERM_DEPTH,
     FreezeError,
@@ -341,13 +347,18 @@ def _solve(plan, name, arity, goal_args):
     return rows, stats.iterations
 
 
-def try_hybrid(engine, frame, call_term, pred, stats):
+def try_hybrid(engine, frame, call_term, pred, stats, trace=None, prof=None):
     """Route one newly created subgoal bottom-up if it qualifies.
 
     On success the frame holds its complete answer set and True is
     returned; the machine then consumes it like any completed table.
     On any precondition failure the frame is untouched and False is
     returned — the caller proceeds with ordinary SLG resolution.
+
+    ``trace``/``prof`` are the machine's cached observability locals
+    (None when disabled): a routed subgoal records a ``hybrid_route``
+    span bracketing the fixpoint, a rejected one a ``hybrid_fallback``
+    event, so traces show *where* set-at-a-time evaluation kicked in.
     """
     cache = pred.hybrid_cache
     if (
@@ -360,23 +371,35 @@ def try_hybrid(engine, frame, call_term, pred, stats):
         # workloads pay one compare per new subgoal, nothing more.
         if stats is not None:
             stats.hybrid_fallbacks += 1
+        if trace is not None:
+            trace.event(EV_HYBRID_FALLBACK, frame)
         return False
     plan = analyze(engine, pred)
     if plan is None:
         if stats is not None:
             stats.hybrid_fallbacks += 1
+        if trace is not None:
+            trace.event(EV_HYBRID_FALLBACK, frame)
         return False
     goal = _call_goal(call_term, pred.arity)
     if goal is None:
         if stats is not None:
             stats.hybrid_fallbacks += 1
+        if trace is not None:
+            trace.event(EV_HYBRID_FALLBACK, frame)
         return False
     goal_args, repeated = goal
+    if prof is not None:
+        prof.enter(frame)
     try:
         rows, iterations = _solve(plan, pred.name, pred.arity, goal_args)
     except SafetyError:
         if stats is not None:
             stats.hybrid_fallbacks += 1
+        if trace is not None:
+            trace.event(EV_HYBRID_FALLBACK, frame)
+        if prof is not None:
+            prof.exit(frame)
         return False
     if repeated:
         rows = [
@@ -397,6 +420,12 @@ def try_hybrid(engine, frame, call_term, pred, stats):
     count = frame.add_answers_bulk(answers, rows=rows)
     engine.tables.note_bulk_answers(count)
     frame.mark_complete()
+    if trace is not None:
+        trace.event(EV_HYBRID_ROUTE, frame, iterations)
+        trace.event(EV_ANSWER_BULK, frame, count)
+        trace.event(EV_COMPLETE, frame, count)
+    if prof is not None:
+        prof.exit(frame)
     if stats is not None:
         stats.hybrid_subgoals += 1
         stats.hybrid_answers += count

@@ -44,6 +44,15 @@ from ..errors import (
     TablingError,
     TypeError_,
 )
+from ..obs.trace import (
+    EV_ANSWER_DUP,
+    EV_ANSWER_INSERT,
+    EV_COMPLETE,
+    EV_RESUME,
+    EV_SUBGOAL_HIT,
+    EV_SUBGOAL_MISS,
+    EV_SUSPEND,
+)
 from ..terms import Atom, Struct, Var, canonical_key, copy_term, deref, unify
 from .frames import (
     EXHAUSTED,
@@ -143,6 +152,7 @@ class GeneratorCP(ChoicePoint):
         scc = comp_stack[frame.comp_index :]
         trail = machine.trail
         stats = machine.stats
+        trace = machine.trace
         for member in scc:
             for suspension in member.consumers:
                 if suspension.consumed < len(member.answers):
@@ -158,14 +168,21 @@ class GeneratorCP(ChoicePoint):
                     machine.cpstack.append(consumer)
                     if stats is not None:
                         stats.resumptions += 1
+                    if trace is not None:
+                        trace.event(EV_RESUME, member)
                     goals = consumer.retry(machine)
                     if goals is EXHAUSTED:
                         machine.cpstack.pop()
                         continue
                     return goals
         # Fixpoint: no suspended consumer in the SCC can advance.
+        prof = machine.prof
         for member in scc:
             member.mark_complete()
+            if trace is not None:
+                trace.event(EV_COMPLETE, member, len(member.answers))
+            if prof is not None:
+                prof.exit(member)
         if stats is not None:
             stats.completions += len(scc)
         del comp_stack[frame.comp_index :]
@@ -293,6 +310,10 @@ class ConsumerCP(ChoicePoint):
             frame.consumers.append(self.suspension)
             if machine.stats is not None:
                 machine.stats.suspensions += 1
+            if machine.trace is not None:
+                machine.trace.event(EV_SUSPEND, frame, self.consumed)
+            if machine.prof is not None:
+                machine.prof.note_consumer(frame)
         return EXHAUSTED
 
 
@@ -316,6 +337,8 @@ class Machine:
         "base_mark",
         "depth",
         "stats",
+        "trace",
+        "prof",
     )
 
     def __init__(self, engine, mode=MODE_QUERY, depth=0):
@@ -332,6 +355,13 @@ class Machine:
         # single `is not None` test (zero-cost-when-off contract).
         stats = getattr(engine, "stats", None)
         self.stats = stats if stats is not None and stats.enabled else None
+        # Same cached-local pattern for the observability layer: the
+        # tracer and profiler are snapshotted once per run and are None
+        # when disabled, so hook sites cost one `is not None` test.
+        tracer = getattr(engine, "tracer", None)
+        self.trace = tracer if tracer is not None and tracer.enabled else None
+        prof = getattr(engine, "profiler", None)
+        self.prof = prof if prof is not None and prof.enabled else None
 
     # -- public entry ---------------------------------------------------------
 
@@ -551,8 +581,12 @@ class Machine:
             tables.note_answer(True)
             if self.stats is not None and frame.answer_ground[-1]:
                 self.stats.ground_answers += 1
+            if self.trace is not None:
+                self.trace.event(EV_ANSWER_INSERT, frame)
             return goals.next
         tables.note_answer(False)
+        if self.trace is not None:
+            self.trace.event(EV_ANSWER_DUP, frame)
         result = self._backtrack()
         return result
 
@@ -600,11 +634,16 @@ class Machine:
         trail = self.trail
         cpstack = self.cpstack
         stats = self.stats
+        trace = self.trace
+        prof = self.prof
         if created:
             if stats is not None:
                 stats.subgoal_misses += 1
+            if trace is not None:
+                trace.event(EV_SUBGOAL_MISS, frame)
             engine = self.engine
-            if engine.hybrid and try_hybrid(engine, frame, term, pred, stats):
+            if engine.hybrid and try_hybrid(engine, frame, term, pred, stats,
+                                            trace=trace, prof=prof):
                 # Datalog-safe SCC: the bridge evaluated the subgoal
                 # set-at-a-time (magic rewrite + semi-naive fixpoint),
                 # bulk-installed the answers and completed the table —
@@ -623,6 +662,8 @@ class Machine:
             self.comp_stack.append(frame)
             frame.gen_trail_mark = trail.mark()
             self.created_frames.append(frame)
+            if prof is not None:
+                prof.enter(frame)
             candidates = pred.candidates(args)
             if stats is not None:
                 stats.clause_candidates += len(candidates)
@@ -638,6 +679,8 @@ class Machine:
             return result
         if stats is not None:
             stats.subgoal_hits += 1
+        if trace is not None:
+            trace.event(EV_SUBGOAL_HIT, frame)
 
         if not frame.complete and frame.run is not self:
             # A subordinate run touching an incomplete outer table: only
@@ -718,9 +761,14 @@ class Machine:
     def _cleanup(self):
         """Undo bindings and reclaim incomplete tables of this run."""
         tables = self.engine.tables
+        prof = self.prof
         for frame in self.created_frames:
             if not frame.complete:
                 tables.delete(frame)
+                if prof is not None:
+                    # Close the abandoned span so the profiler's stack
+                    # does not leak attribution into later queries.
+                    prof.exit(frame)
         self.created_frames = []
         self.cpstack.clear()
         self.comp_stack.clear()

@@ -12,13 +12,43 @@ from __future__ import annotations
 
 from ..index import AnswerTrie
 from ..store.tuplestore import MemoryTupleStore
-from ..terms import Struct, canonical_key, copy_term, is_ground, resolve
+from ..terms import (
+    Struct,
+    canonical_key,
+    copy_term,
+    instantiate_key,
+    is_ground,
+    resolve,
+)
 from ..terms.compare import canonical_key_ground, flat_ground_answer
 
-__all__ = ["SubgoalFrame", "Suspension", "TableSpace", "INCOMPLETE", "COMPLETE"]
+__all__ = [
+    "SubgoalFrame",
+    "Suspension",
+    "TableSpace",
+    "INCOMPLETE",
+    "COMPLETE",
+    "frame_call_term",
+]
 
 INCOMPLETE = "incomplete"
 COMPLETE = "complete"
+
+
+def frame_call_term(frame, variables=None):
+    """Rebuild the call term a frame was checked in under.
+
+    In dict mode the frame key is the flat canonical key and is parsed
+    back with :func:`~repro.terms.instantiate_key`; in trie mode the
+    key already *is* a (copied) term.  Either way the result is a fresh
+    renaming safe to unify against — the table inspection builtins
+    (``get_calls/2``, ``table_state/2``) and the observability layer's
+    subgoal labels are both built on this.
+    """
+    key = frame.key
+    if isinstance(key, tuple):
+        return instantiate_key(key, variables)
+    return copy_term(key)
 
 
 class Suspension:
@@ -53,6 +83,7 @@ class SubgoalFrame:
     __slots__ = (
         "key",
         "indicator",
+        "seq",
         "state",
         "answers",
         "answer_ground",
@@ -68,9 +99,13 @@ class SubgoalFrame:
         "negation_delayed",
     )
 
-    def __init__(self, key, indicator, use_trie=False):
+    def __init__(self, key, indicator, use_trie=False, seq=0):
         self.key = key
         self.indicator = indicator
+        # Stable engine-wide sequence number (assigned by TableSpace
+        # from its cumulative creation counter): the identity trace
+        # events, profile spans and get_calls/2 all key on.
+        self.seq = seq
         self.state = INCOMPLETE
         self.answers = []
         self.answer_ground = []
@@ -255,14 +290,16 @@ class TableSpace:
             if frame is not None:
                 return frame, False
             frame = SubgoalFrame(copy_term(term), indicator,
-                                 use_trie=self.use_trie)
+                                 use_trie=self.use_trie,
+                                 seq=self.subgoals_created)
             self._trie.insert(frame.key, frame)
         else:
             key = canonical_key(term)
             frame = self.frames.get(key)
             if frame is not None:
                 return frame, False
-            frame = SubgoalFrame(key, indicator, use_trie=self.use_trie)
+            frame = SubgoalFrame(key, indicator, use_trie=self.use_trie,
+                                 seq=self.subgoals_created)
             self.frames[key] = frame
         self.subgoals_created += 1
         self.space_live += 1
@@ -274,11 +311,13 @@ class TableSpace:
         """Check a new subgoal in; the caller guarantees it is new."""
         if self._trie is not None:
             frame = SubgoalFrame(copy_term(term), indicator,
-                                 use_trie=self.use_trie)
+                                 use_trie=self.use_trie,
+                                 seq=self.subgoals_created)
             self._trie.insert(frame.key, frame)
         else:
             key = canonical_key(term)
-            frame = SubgoalFrame(key, indicator, use_trie=self.use_trie)
+            frame = SubgoalFrame(key, indicator, use_trie=self.use_trie,
+                                 seq=self.subgoals_created)
             self.frames[key] = frame
         self.subgoals_created += 1
         self.space_live += 1

@@ -1,0 +1,71 @@
+"""Observability: structured SLG tracing, profiling, and exporters.
+
+The counters in :mod:`repro.perf` answer "how many"; this package
+answers "which subgoal, when, and for how long".  Three pieces:
+
+* :mod:`repro.obs.trace` — a bounded ring-buffer tracer of typed SLG
+  events (check-in hit/miss, answer insert/duplicate, suspension,
+  resumption, completion, hybrid routing), each stamped with a
+  monotonic clock and a stable subgoal id.
+* :mod:`repro.obs.profile` — per-subgoal spans: cumulative self time,
+  answer and consumer counts, and table-space byte estimates,
+  aggregated into a sortable profile report.
+* :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing``
+  trace-event exporters.
+
+Everything follows the zero-cost-when-disabled discipline of the
+counters layer: the machine caches ``engine.tracer`` / ``engine.profiler``
+in locals once per run, and a disabled subsystem is simply ``None``.
+"""
+
+from .export import (
+    chrome_trace_events,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .profile import (
+    Profiler,
+    estimate_table_bytes,
+    estimate_term_bytes,
+    format_profile,
+)
+from .trace import (
+    EV_ANSWER_BULK,
+    EV_ANSWER_DUP,
+    EV_ANSWER_INSERT,
+    EV_COMPLETE,
+    EV_HYBRID_FALLBACK,
+    EV_HYBRID_ROUTE,
+    EV_RESUME,
+    EV_SUBGOAL_HIT,
+    EV_SUBGOAL_MISS,
+    EV_SUSPEND,
+    EVENT_KINDS,
+    SubgoalRegistry,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "SubgoalRegistry",
+    "Profiler",
+    "EVENT_KINDS",
+    "EV_SUBGOAL_MISS",
+    "EV_SUBGOAL_HIT",
+    "EV_ANSWER_INSERT",
+    "EV_ANSWER_DUP",
+    "EV_ANSWER_BULK",
+    "EV_SUSPEND",
+    "EV_RESUME",
+    "EV_COMPLETE",
+    "EV_HYBRID_ROUTE",
+    "EV_HYBRID_FALLBACK",
+    "estimate_term_bytes",
+    "estimate_table_bytes",
+    "format_profile",
+    "jsonl_lines",
+    "write_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]

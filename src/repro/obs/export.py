@@ -1,0 +1,170 @@
+"""Trace exporters: JSONL and Chrome ``chrome://tracing`` formats.
+
+Two consumers, two formats:
+
+* **JSONL** — one JSON object per line, machine-greppable, append-
+  friendly, the shape CI artifacts and ad-hoc scripts want.
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` shape
+  that ``chrome://tracing`` (and Perfetto) load directly.  Subgoal
+  lifecycles (check-in miss → completion) become *async* spans keyed by
+  the subgoal's sequence number — async events do not require strict
+  stack nesting, which matters because an SCC completes leader-first —
+  and every other SLG event becomes an instant event on the same
+  timeline.
+
+Timestamps: trace events carry nanoseconds since the tracer epoch;
+Chrome wants microseconds, JSONL keeps the raw nanoseconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .trace import (
+    EV_ANSWER_BULK,
+    EV_COMPLETE,
+    EV_HYBRID_ROUTE,
+    EV_SUBGOAL_MISS,
+)
+
+__all__ = [
+    "jsonl_lines",
+    "write_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]
+
+
+def jsonl_lines(tracer):
+    """Yield one JSON line per buffered event, oldest first."""
+    labels = tracer.registry.labels()
+    for ts_ns, kind, seq, detail in tracer.events():
+        record = {
+            "ts_ns": ts_ns,
+            "ev": kind,
+            "seq": seq,
+            "subgoal": labels.get(seq, f"subgoal#{seq}"),
+        }
+        if detail is not None:
+            record["detail"] = detail
+        yield json.dumps(record, sort_keys=True)
+
+
+def write_jsonl(tracer, path_or_file):
+    """Write the buffered events as JSONL; returns the line count."""
+    count = 0
+    if hasattr(path_or_file, "write"):
+        for line in jsonl_lines(tracer):
+            path_or_file.write(line + "\n")
+            count += 1
+        return count
+    with open(path_or_file, "w", encoding="utf-8") as handle:
+        for line in jsonl_lines(tracer):
+            handle.write(line + "\n")
+            count += 1
+    return count
+
+
+# Event kinds that open / close an async subgoal span.  The hybrid
+# route records miss + route + complete for the same frame; the span
+# still opens exactly once (on the miss) because Chrome keys async
+# begin/end pairs by id, and a duplicate "b" for an open id is ignored
+# by the viewer — we filter it anyway to keep the export clean.
+_SPAN_OPENERS = frozenset((EV_SUBGOAL_MISS,))
+_SPAN_CLOSERS = frozenset((EV_COMPLETE,))
+
+
+def chrome_trace_events(tracer, process_name="repro SLG engine"):
+    """The ``traceEvents`` list for the buffered events.
+
+    Subgoal spans are async ``b``/``e`` pairs (``cat`` ``subgoal``,
+    ``id`` the sequence number); point events are instants (``ph: i``)
+    scoped to the process.  A span whose open event was evicted from
+    the ring is synthesized at the window start so the export always
+    loads; a span still open at export time is left unclosed, which
+    the viewers render as running to the end of the capture.
+    """
+    labels = tracer.registry.labels()
+    events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 1,
+        "args": {"name": process_name},
+    }]
+    open_spans = set()
+    for ts_ns, kind, seq, detail in tracer.events():
+        ts_us = ts_ns / 1000.0
+        label = labels.get(seq, f"subgoal#{seq}")
+        if kind in _SPAN_OPENERS:
+            if seq not in open_spans:
+                open_spans.add(seq)
+                events.append({
+                    "name": label,
+                    "cat": "subgoal",
+                    "ph": "b",
+                    "id": seq,
+                    "ts": ts_us,
+                    "pid": 1,
+                    "tid": 1,
+                })
+            continue
+        if kind in _SPAN_CLOSERS:
+            if seq not in open_spans:
+                # The opener fell off the ring: synthesize it at the
+                # window start so begin/end still pair up.
+                events.append({
+                    "name": label,
+                    "cat": "subgoal",
+                    "ph": "b",
+                    "id": seq,
+                    "ts": 0.0,
+                    "pid": 1,
+                    "tid": 1,
+                })
+            open_spans.discard(seq)
+            events.append({
+                "name": label,
+                "cat": "subgoal",
+                "ph": "e",
+                "id": seq,
+                "ts": ts_us,
+                "pid": 1,
+                "tid": 1,
+            })
+            continue
+        args = {"subgoal": label}
+        if detail is not None:
+            key = "count" if kind in (EV_ANSWER_BULK, EV_HYBRID_ROUTE) else "detail"
+            args[key] = detail
+        events.append({
+            "name": kind,
+            "cat": "slg",
+            "ph": "i",
+            "s": "p",
+            "ts": ts_us,
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(tracer, path_or_file, process_name="repro SLG engine"):
+    """Write a ``chrome://tracing``-loadable JSON file; returns the
+    number of trace events written."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer, process_name),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "dropped_events": tracer.dropped,
+            "total_events": tracer.total,
+        },
+    }
+    if hasattr(path_or_file, "write"):
+        json.dump(payload, path_or_file, indent=1)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+    return len(payload["traceEvents"])

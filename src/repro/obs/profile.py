@@ -1,0 +1,220 @@
+"""Per-subgoal spans: self time, answers, consumers, table-space bytes.
+
+The bench suite can say *that* a number moved; this module says *which
+subgoal* moved it.  Each tabled subgoal gets a span that opens when its
+generator is created (or when the hybrid bridge takes it) and closes
+when its frame completes.  Between profiling events, elapsed wall time
+is charged to the innermost open span — so a subgoal's **self time** is
+the time during which it was the innermost incomplete generator, with
+inner subgoals' time excluded and time across suspension/resumption
+attributed to whichever subgoal the scheduler was actually advancing.
+
+Spans survive suspension and resumption unchanged: a non-leader
+generator that exhausts its clauses keeps its span open until its SCC
+leader completes the whole component (completion closes the members in
+one sweep, exactly as ``mark_complete`` does).  Abandoned runs close
+their incomplete spans on cleanup so the stack never leaks across
+queries.
+
+The report is computed on demand, not during tracing: answer counts
+come from the live frames, and table-space byte estimates walk the
+stored answers with ``sys.getsizeof`` (structure shared between
+answers is counted once per report row — it is an estimate, in the
+spirit of XSB's "table space used" statistic, not an allocator audit).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = [
+    "Profiler",
+    "estimate_term_bytes",
+    "estimate_table_bytes",
+    "format_profile",
+]
+
+
+def estimate_term_bytes(term, _seen=None):
+    """Rough heap footprint of one term, shared structure deduplicated.
+
+    Iterative (no recursion — answers can be as deep as the term
+    kernels allow) and id-deduplicated, so interned atoms and shared
+    subterms count once per call.  Pass a shared ``_seen`` set to
+    deduplicate across several terms of one table.
+    """
+    seen = _seen if _seen is not None else set()
+    total = 0
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        marker = id(node)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        total += sys.getsizeof(node)
+        args = getattr(node, "args", None)
+        if args is not None:
+            total += sys.getsizeof(args)
+            stack.extend(args)
+    return total
+
+
+def estimate_table_bytes(frame):
+    """Byte estimate for one subgoal frame's slice of table space:
+    the frame record, its call key, and every stored answer."""
+    seen = set()
+    total = sys.getsizeof(frame) + estimate_term_bytes(frame.key, seen)
+    for answer in frame.answers:
+        total += estimate_term_bytes(answer, seen)
+    return total
+
+
+class Profiler:
+    """Interval-attributed spans over the tabled-subgoal lifecycle.
+
+    The machine calls :meth:`enter` when a generator (or hybrid route)
+    opens a subgoal, :meth:`exit` when its frame completes (or its run
+    is abandoned), and :meth:`note_consumer` when a consumer suspends
+    on it.  Everything is keyed by the frame's stable sequence number;
+    the shared :class:`~repro.obs.trace.SubgoalRegistry` turns those
+    back into printable subgoals at report time.
+    """
+
+    __slots__ = ("enabled", "registry", "clock", "stack", "last",
+                 "self_ns", "opened", "closed", "consumers")
+
+    def __init__(self, registry, clock=None):
+        self.enabled = True
+        self.registry = registry
+        self.clock = clock if clock is not None else time.perf_counter_ns
+        self.stack = []       # seq numbers of open spans, innermost last
+        self.last = None      # timestamp of the previous profiling event
+        self.self_ns = {}     # seq -> accumulated self time
+        self.opened = {}      # seq -> span-open timestamp
+        self.closed = {}      # seq -> span-close timestamp
+        self.consumers = {}   # seq -> suspension count
+
+    def _charge(self, now):
+        if self.stack and self.last is not None:
+            top = self.stack[-1]
+            self.self_ns[top] = self.self_ns.get(top, 0) + (now - self.last)
+        self.last = now
+
+    # -- the hook-site API --------------------------------------------------
+
+    def enter(self, frame):
+        """A generator (or the hybrid bridge) opened this subgoal."""
+        now = self.clock()
+        self._charge(now)
+        self.registry.note(frame)
+        seq = frame.seq
+        self.self_ns.setdefault(seq, 0)
+        self.opened.setdefault(seq, now)
+        self.stack.append(seq)
+
+    def exit(self, frame):
+        """The frame completed (or its run was abandoned)."""
+        now = self.clock()
+        self._charge(now)
+        seq = frame.seq
+        self.closed[seq] = now
+        # Completion closes a whole SCC leader-first, so the span being
+        # closed is not necessarily the innermost; remove it wherever it
+        # sits (sequence numbers are unique, so at most one occurrence).
+        stack = self.stack
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == seq:
+                del stack[index]
+                break
+
+    def note_consumer(self, frame):
+        """A consumer suspended on this subgoal's incomplete table."""
+        seq = frame.seq
+        self.consumers[seq] = self.consumers.get(seq, 0) + 1
+
+    # -- reporting ----------------------------------------------------------
+
+    def clear(self):
+        self.stack = []
+        self.last = None
+        self.self_ns = {}
+        self.opened = {}
+        self.closed = {}
+        self.consumers = {}
+        return self
+
+    def span_count(self):
+        return len(self.opened)
+
+    def total_self_ns(self):
+        return sum(self.self_ns.values())
+
+    def report(self):
+        """Per-subgoal rows, most expensive (self time) first.
+
+        Each row: ``{"seq", "subgoal", "self_ns", "answers",
+        "consumers", "bytes", "state"}``.  ``answers``/``bytes``/
+        ``state`` read the live frame through the registry; a frame
+        that was deleted (tcut, abandoned run) reports what the
+        registry last saw of it.
+        """
+        registry = self.registry
+        rows = []
+        for seq in self.opened:
+            frame = registry.frames.get(seq)
+            if frame is not None:
+                answers = frame.answer_count()
+                space = estimate_table_bytes(frame)
+                state = frame.state
+            else:  # pragma: no cover - registry always notes on enter
+                answers, space, state = 0, 0, "unknown"
+            rows.append({
+                "seq": seq,
+                "subgoal": registry.label(seq),
+                "self_ns": self.self_ns.get(seq, 0),
+                "answers": answers,
+                "consumers": self.consumers.get(seq, 0),
+                "bytes": space,
+                "state": state,
+            })
+        rows.sort(key=lambda row: (-row["self_ns"], row["seq"]))
+        return rows
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return (
+            f"<Profiler {state} {len(self.opened)} spans, "
+            f"{len(self.stack)} open>"
+        )
+
+
+def format_profile(rows):
+    """Plain-text table for a :meth:`Profiler.report` result."""
+    headers = ("subgoal", "self_ms", "answers", "consumers", "bytes", "state")
+    cells = [
+        (
+            row["subgoal"],
+            f"{row['self_ns'] / 1e6:.3f}",
+            str(row["answers"]),
+            str(row["consumers"]),
+            str(row["bytes"]),
+            row["state"],
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Structured SLG event tracing: a bounded ring buffer of typed events.
+
+XSB demonstrates its engine claims through *observable* engine events —
+memo hit rates, scheduling cost, completion behaviour — and its later
+system papers make tracing a first-class language feature.  This module
+is the event side of that story: every interesting SLG transition
+(subgoal check-in hit/miss, answer insert/duplicate, suspension,
+resumption, completion, hybrid routing) can be recorded as a typed,
+monotonic-clock-stamped event keyed by the subgoal it concerns.
+
+Design constraints, mirroring :mod:`repro.perf.counters`:
+
+* **Zero-cost when disabled.**  The machine caches ``engine.tracer`` in
+  a local at the start of every run — ``None`` when tracing is off — so
+  a disabled tracer costs one ``is not None`` test per (coarse) hook
+  site and nothing on term-level kernels.
+* **Bounded when enabled.**  Events land in a ring buffer of fixed
+  capacity; once full, the oldest events are evicted.  A long run can
+  therefore always be traced — the buffer keeps the newest window and
+  counts what it dropped.
+* **Cheap event records.**  An event is a plain 4-tuple
+  ``(ts_ns, kind, subgoal_seq, detail)``: nanoseconds since the tracer
+  epoch (``time.perf_counter_ns``), an interned kind string, the
+  frame's stable sequence number, and an optional scalar payload.
+  Labels are *not* rendered at event time; the registry maps sequence
+  numbers back to frames (and hence printable subgoals) at export time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+__all__ = [
+    "EVENT_KINDS",
+    "SubgoalRegistry",
+    "Tracer",
+    "EV_SUBGOAL_MISS",
+    "EV_SUBGOAL_HIT",
+    "EV_ANSWER_INSERT",
+    "EV_ANSWER_DUP",
+    "EV_ANSWER_BULK",
+    "EV_SUSPEND",
+    "EV_RESUME",
+    "EV_COMPLETE",
+    "EV_HYBRID_ROUTE",
+    "EV_HYBRID_FALLBACK",
+]
+
+# Interned kind strings: comparisons and dict probes on them are
+# pointer-fast, and exporters can emit them verbatim.
+EV_SUBGOAL_MISS = "subgoal_miss"      # first variant call; generator created
+EV_SUBGOAL_HIT = "subgoal_hit"        # repeated variant call; consumer
+EV_ANSWER_INSERT = "answer_insert"    # new answer copied to table space
+EV_ANSWER_DUP = "answer_dup"          # answer suppressed by duplicate check
+EV_ANSWER_BULK = "answer_bulk"        # hybrid bulk install (detail = count)
+EV_SUSPEND = "suspend"                # consumer ran dry on incomplete table
+EV_RESUME = "resume"                  # completion fixpoint woke a consumer
+EV_COMPLETE = "complete"              # frame marked complete
+EV_HYBRID_ROUTE = "hybrid_route"      # subgoal evaluated set-at-a-time
+EV_HYBRID_FALLBACK = "hybrid_fallback"  # hybrid precondition failed
+
+EVENT_KINDS = (
+    EV_SUBGOAL_MISS,
+    EV_SUBGOAL_HIT,
+    EV_ANSWER_INSERT,
+    EV_ANSWER_DUP,
+    EV_ANSWER_BULK,
+    EV_SUSPEND,
+    EV_RESUME,
+    EV_COMPLETE,
+    EV_HYBRID_ROUTE,
+    EV_HYBRID_FALLBACK,
+)
+
+DEFAULT_CAPACITY = 65536
+
+
+class SubgoalRegistry:
+    """Sequence-number → frame map with lazy label rendering.
+
+    Subgoal frames carry a stable, engine-wide sequence number
+    (:attr:`~repro.engine.table.SubgoalFrame.seq`); trace events and
+    profile spans store only that integer.  The registry remembers the
+    frame behind each number it has seen — holding a strong reference,
+    so a frame deleted by ``tcut`` or an abandoned run still has a
+    printable identity in the export — and renders labels on demand via
+    the injected ``render`` callable (the engine supplies one that
+    pretty-prints the reconstructed call term with its operator table).
+    """
+
+    __slots__ = ("frames", "render")
+
+    def __init__(self, render=None):
+        self.frames = {}
+        self.render = render
+
+    def note(self, frame):
+        frames = self.frames
+        if frame.seq not in frames:
+            frames[frame.seq] = frame
+
+    def label(self, seq):
+        frame = self.frames.get(seq)
+        if frame is None:
+            return f"subgoal#{seq}"
+        if self.render is not None:
+            return self.render(frame)
+        return f"{frame.indicator}#{seq}"
+
+    def labels(self):
+        """All known labels, keyed by sequence number."""
+        return {seq: self.label(seq) for seq in self.frames}
+
+
+class Tracer:
+    """A bounded ring buffer of SLG events.
+
+    ``enabled`` is the runtime switch ``trace_control/1`` flips; the
+    machine snapshots it (with the tracer itself) once per run, exactly
+    like ``EngineStats.enabled``.  Timestamps are nanoseconds relative
+    to the tracer's epoch so exports are small and diffable.
+    """
+
+    __slots__ = ("enabled", "capacity", "ring", "total", "registry",
+                 "clock", "epoch")
+
+    def __init__(self, capacity=DEFAULT_CAPACITY, registry=None, clock=None):
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self.ring = deque(maxlen=capacity)
+        self.total = 0
+        self.enabled = True
+        self.registry = registry if registry is not None else SubgoalRegistry()
+        self.clock = clock if clock is not None else time.perf_counter_ns
+        self.epoch = self.clock()
+
+    # -- recording (the hook-site API) --------------------------------------
+
+    def event(self, kind, frame, detail=None):
+        """Record one event against ``frame``; oldest events evict."""
+        self.total += 1
+        self.registry.note(frame)
+        self.ring.append((self.clock() - self.epoch, kind, frame.seq, detail))
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def dropped(self):
+        """Events evicted by the ring since the last clear."""
+        return self.total - len(self.ring)
+
+    def events(self):
+        """The buffered events, oldest first, as plain tuples."""
+        return list(self.ring)
+
+    def clear(self):
+        self.ring.clear()
+        self.total = 0
+        self.epoch = self.clock()
+        return self
+
+    def __len__(self):
+        return len(self.ring)
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return (
+            f"<Tracer {state} {len(self.ring)}/{self.capacity} events, "
+            f"{self.dropped} dropped>"
+        )

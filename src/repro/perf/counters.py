@@ -59,6 +59,11 @@ stores, table answer stores, hybrid plan relations) rather than
 counted here: each store carries its own :class:`StoreStats`, and
 ``Engine.statistics()`` sums them at report time — see the key list
 below.
+
+The ``trace_*`` / ``profile_*`` keys likewise report the state of the
+observability layer (:mod:`repro.obs`): buffered and evicted trace
+events, profiled subgoal count, and total profiled self time in
+nanoseconds — all zero while tracing/profiling are off.
 """
 
 from __future__ import annotations
@@ -80,11 +85,15 @@ _FIELDS = (
     "hybrid_iterations",
 )
 
-# Keys accepted by statistics/2, in reporting order.  The table-space
-# keys (answers, space) are provided by TableSpace.statistics(), the
-# store_* keys by summing per-store StoreStats blocks; both are merged
-# in Engine.statistics().
-STATISTIC_KEYS = _FIELDS + (
+# Keys accepted by statistics/2.  The table-space keys (answers,
+# space) are provided by TableSpace.statistics(), the store_* keys by
+# summing per-store StoreStats blocks, the trace_*/profile_* keys by
+# the observability layer (:mod:`repro.obs`); all are merged in
+# Engine.statistics().  The reporting order — what ``statistics/0``
+# prints and an unbound ``statistics(K, V)`` backtracks through — is
+# deterministic *sorted* order, so adding a counter can never silently
+# reshuffle downstream diffs of statistics dumps.
+STATISTIC_KEYS = tuple(sorted(_FIELDS + (
     "answers_inserted",
     "duplicate_answers",
     "subgoals_created",
@@ -98,7 +107,11 @@ STATISTIC_KEYS = _FIELDS + (
     "store_probes",
     "store_scans",
     "store_index_builds",
-)
+    "trace_events",
+    "trace_dropped",
+    "profile_subgoals",
+    "profile_self_ns",
+)))
 
 
 class StoreStats:

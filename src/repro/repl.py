@@ -8,7 +8,15 @@
 The REPL reads '.'-terminated goals, prints bindings one solution at a
 time (``;`` asks for more, anything else stops), and accepts the usual
 house-keeping forms: ``[file].`` consults a file, ``halt.`` leaves.
-I/O is injected so the loop is fully testable.
+Lines starting with ``:`` are toplevel commands (``:profile``,
+``:help``) rather than goals.  I/O is injected so the loop is fully
+testable.
+
+Observability flags: ``--trace FILE`` records SLG events for the whole
+run and writes them at exit (Chrome trace-event JSON when FILE ends in
+``.json``, JSONL otherwise); ``--profile`` prints the per-subgoal
+profile report at exit.  Both are also reachable from the language via
+``trace_control/1``.
 """
 
 from __future__ import annotations
@@ -25,6 +33,16 @@ __all__ = ["Toplevel", "main"]
 BANNER = "repro (XSB SIGMOD'94 reproduction) — type 'halt.' to leave"
 PROMPT = "?- "
 MORE_PROMPT = " ? "
+
+HELP_TEXT = """\
+goals end with '.'; ';' asks for more solutions
+  [file].             consult a program file
+  halt.               leave the toplevel
+  statistics.         print every engine counter
+  trace_control(on).  start SLG tracing + profiling (off/clear/dump(F)/chrome(F))
+  :profile            print the per-subgoal profile report
+  :help               this text
+"""
 
 
 class Toplevel:
@@ -58,7 +76,7 @@ class Toplevel:
                 return None if not lines else " ".join(lines)
             lines.append(line.rstrip("\n"))
             joined = " ".join(lines).rstrip()
-            if joined.endswith("."):
+            if joined.endswith(".") or joined.lstrip().startswith(":"):
                 return joined
             self._write("   ")
 
@@ -100,8 +118,27 @@ class Toplevel:
 
     # -- the loop --------------------------------------------------------------------
 
+    def _colon_command(self, text):
+        """``:``-prefixed toplevel commands; always returns True."""
+        command = text.lstrip(":").strip().rstrip(".")
+        if command == "profile":
+            if self.engine.profiler is None:
+                self._write(
+                    "profiling is off — start with --profile or "
+                    "trace_control(on).\n"
+                )
+            else:
+                self._write(self.engine.format_profile() + "\n")
+        elif command == "help":
+            self._write(HELP_TEXT)
+        else:
+            self._write(f"unknown command :{command} — try :help\n")
+        return True
+
     def run_goal(self, text):
         """Run one goal; prints bindings / yes / no. Returns False on halt."""
+        if text.lstrip().startswith(":"):
+            return self._colon_command(text.strip())
         try:
             term, varmap = self.engine._goal_and_vars(text)
         except ReproError as error:
@@ -170,7 +207,7 @@ class Toplevel:
 
 
 def main(argv=None):
-    """``python -m repro [files...] [--goal 'g.'] [--quiet]``"""
+    """``python -m repro [files...] [--goal 'g.'] [--quiet] [--trace F] [--profile]``"""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -185,11 +222,30 @@ def main(argv=None):
         help="run this goal and exit (repeatable; direct execution mode)",
     )
     parser.add_argument(
-        "--quiet", action="store_true", help="suppress the banner"
+        "--quiet",
+        action="store_true",
+        help="suppress the banner and statistics/0 header",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record SLG events; write Chrome trace JSON (*.json) or "
+        "JSONL to FILE at exit",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile tabled subgoals; print the report at exit",
     )
     arguments = parser.parse_args(argv)
 
     engine = Engine()
+    if arguments.quiet:
+        engine.quiet = True
+    if arguments.trace:
+        engine.enable_trace()
+    if arguments.trace or arguments.profile:
+        engine.enable_profile()
     for path in arguments.files:
         engine.consult_file(path)
     if arguments.goal:
@@ -197,9 +253,24 @@ def main(argv=None):
         ok = True
         for goal in arguments.goal:
             ok = engine.run_goal(engine.parse(goal)) and ok
+        _finish_observability(engine, arguments)
         return 0 if ok else 1
     Toplevel(engine).interact(banner=not arguments.quiet)
+    _finish_observability(engine, arguments)
     return 0
+
+
+def _finish_observability(engine, arguments):
+    """Flush --trace / --profile output at the end of a run."""
+    if arguments.trace:
+        if arguments.trace.endswith(".json"):
+            engine.write_chrome_trace(arguments.trace)
+        else:
+            engine.write_trace_jsonl(arguments.trace)
+        if not arguments.quiet:
+            sys.stderr.write(f"% trace written to {arguments.trace}\n")
+    if arguments.profile:
+        sys.stdout.write(engine.format_profile() + "\n")
 
 
 if __name__ == "__main__":

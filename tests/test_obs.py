@@ -1,0 +1,377 @@
+"""The observability layer: tracer ring, profiler spans, exporters,
+and the table-inspection builtins.
+
+Everything here follows the statistics layer's discipline: when the
+tracer/profiler are off the machine caches ``None`` and no event can
+be recorded, so the disabled-mode tests pin "adds zero events" exactly
+rather than approximately.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import Engine
+from repro.errors import InstantiationError, TablingError, TypeError_
+from repro.obs import (
+    EV_ANSWER_INSERT,
+    EV_COMPLETE,
+    EV_RESUME,
+    EV_SUBGOAL_HIT,
+    EV_SUBGOAL_MISS,
+    EV_SUSPEND,
+    Profiler,
+    SubgoalRegistry,
+    Tracer,
+    chrome_trace_events,
+    jsonl_lines,
+)
+from conftest import PATH_LEFT, make_cycle
+
+
+CYCLE_EDGES = """
+edge(a,b). edge(b,c). edge(c,a).
+"""
+
+SAME_GEN = """
+:- table sg/2.
+sg(X,X) :- node(X).
+sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).
+node(a). node(b). node(c).
+par(b,a). par(c,a).
+"""
+
+
+class FakeFrame:
+    """Just enough of a SubgoalFrame for unit-testing the ring."""
+
+    def __init__(self, seq, indicator="p/1"):
+        self.seq = seq
+        self.indicator = indicator
+
+
+def traced_engine(program=PATH_LEFT + CYCLE_EDGES, hybrid=False, **kwargs):
+    engine = Engine(trace=True, hybrid=hybrid, **kwargs)
+    engine.consult_string(program)
+    return engine
+
+
+class TestTracerRing:
+    def test_records_events_in_order(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.event(EV_SUBGOAL_MISS, FakeFrame(i))
+        events = tracer.events()
+        assert [ev[2] for ev in events] == [0, 1, 2, 3, 4]
+        # timestamps are monotone non-decreasing and epoch-relative
+        stamps = [ev[0] for ev in events]
+        assert stamps == sorted(stamps)
+        assert stamps[0] >= 0
+
+    def test_overflow_keeps_newest(self):
+        tracer = Tracer(capacity=8)
+        for i in range(20):
+            tracer.event(EV_ANSWER_INSERT, FakeFrame(i))
+        assert len(tracer) == 8
+        assert tracer.total == 20
+        assert tracer.dropped == 12
+        # the ring holds the 8 *newest* events, oldest first
+        assert [ev[2] for ev in tracer.events()] == list(range(12, 20))
+
+    def test_clear_resets_ring_and_total(self):
+        tracer = Tracer(capacity=4)
+        for i in range(6):
+            tracer.event(EV_SUBGOAL_HIT, FakeFrame(i))
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.total == 0
+        assert tracer.dropped == 0
+
+    def test_registry_labels(self):
+        registry = SubgoalRegistry()
+        tracer = Tracer(registry=registry)
+        tracer.event(EV_SUBGOAL_MISS, FakeFrame(7, "path/2"))
+        assert registry.label(7) == "path/2#7"
+        assert registry.label(99) == "subgoal#99"
+
+
+class TestEngineTracing:
+    def test_slg_event_stream(self):
+        engine = traced_engine()
+        engine.query("path(a, X)")
+        kinds = [ev[1] for ev in engine.trace_events()]
+        assert kinds.count(EV_SUBGOAL_MISS) == 1
+        assert kinds.count(EV_SUBGOAL_HIT) == 1
+        assert kinds.count(EV_ANSWER_INSERT) == 3
+        assert kinds.count(EV_SUSPEND) == 1
+        assert kinds.count(EV_COMPLETE) == 1
+        # the miss precedes everything else about that subgoal
+        assert kinds[0] == EV_SUBGOAL_MISS
+        assert kinds[-1] == EV_COMPLETE
+
+    def test_hybrid_event_stream(self):
+        engine = traced_engine(hybrid=True)
+        engine.query("path(a, X)")
+        kinds = [ev[1] for ev in engine.trace_events()]
+        assert kinds[0] == EV_SUBGOAL_MISS
+        assert "hybrid_route" in kinds
+        assert "answer_bulk" in kinds
+        assert kinds[-1] == EV_COMPLETE
+
+    def test_disabled_mode_adds_zero_events(self):
+        # trace=False pins tracing off even under REPRO_TRACE=1 (the
+        # CI tests-trace job runs this whole suite that way)
+        engine = Engine(trace=False)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        assert engine.tracer is None
+        assert engine.trace_events() == []
+        # flipping the switch off mid-engine also stops recording
+        traced = traced_engine()
+        traced.query("path(a, X)")
+        seen = len(traced.tracer)
+        assert seen > 0
+        traced.disable_trace()
+        traced.abolish_all_tables()
+        traced.query("path(a, X)")
+        assert len(traced.tracer) == seen
+
+    def test_resume_events_when_scheduler_wakes_consumers(self):
+        # A mutually recursive SCC: completion finds a suspended
+        # consumer with unconsumed answers and wakes it.
+        engine = traced_engine("""
+            :- table p/1.
+            :- table q/1.
+            p(X) :- q(X).
+            p(1).
+            q(X) :- p(X).
+            q(2).
+        """)
+        engine.query("p(X)")
+        kinds = [ev[1] for ev in engine.trace_events()]
+        assert EV_SUSPEND in kinds
+        assert EV_RESUME in kinds
+
+
+class TestProfiler:
+    def test_spans_cover_nested_subgoals(self):
+        engine = traced_engine(SAME_GEN)
+        engine.query("sg(b, Y)")
+        rows = engine.profile_report()
+        labels = {row["subgoal"]: row for row in rows}
+        assert any(label.startswith("sg(b,") for label in labels)
+        assert any(label.startswith("sg(a,") for label in labels)
+        for row in rows:
+            assert row["state"] == "complete"
+            assert row["self_ns"] >= 0
+            assert row["bytes"] > 0
+        # self time is attributed exclusively: the per-span sum equals
+        # the profiler's total
+        total = sum(row["self_ns"] for row in rows)
+        assert total == engine.profiler.total_self_ns()
+
+    def test_spans_survive_suspension_resumption(self):
+        engine = traced_engine(SAME_GEN)
+        engine.query("sg(b, Y)")
+        prof = engine.profiler
+        # every opened span was closed (SCC completion closes members)
+        assert prof.span_count() == len(prof.closed)
+        assert prof.stack == []
+
+    def test_consumer_counts(self):
+        engine = traced_engine()
+        engine.query("path(a, X)")
+        rows = engine.profile_report()
+        assert rows[0]["consumers"] == 1  # the inner recursive call
+
+    def test_report_sorted_by_self_time(self):
+        engine = traced_engine(SAME_GEN)
+        engine.query("sg(b, Y)")
+        times = [row["self_ns"] for row in engine.profile_report()]
+        assert times == sorted(times, reverse=True)
+
+    def test_disabled_mode_opens_zero_spans(self):
+        engine = Engine(trace=False)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        assert engine.profiler is None
+        assert engine.profile_report() == []
+
+    def test_abandoned_run_closes_spans(self):
+        engine = traced_engine()
+        iterator = engine.query_iter("path(a, X)")
+        next(iterator)
+        iterator.close()  # abandon mid-fixpoint
+        prof = engine.profiler
+        assert prof.stack == []
+        assert prof.span_count() == len(prof.closed)
+
+    def test_format_profile_is_a_table(self):
+        engine = traced_engine()
+        engine.query("path(a, X)")
+        text = engine.format_profile()
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "subgoal", "self_ms", "answers", "consumers", "bytes", "state",
+        ]
+        assert len(lines) == 3  # header, rule, one subgoal row
+
+
+class TestExporters:
+    def test_jsonl_roundtrip(self, tmp_path):
+        engine = traced_engine()
+        engine.query("path(a, X)")
+        out = tmp_path / "trace.jsonl"
+        count = engine.write_trace_jsonl(str(out))
+        lines = out.read_text().splitlines()
+        assert count == len(lines) == len(engine.tracer)
+        records = [json.loads(line) for line in lines]
+        assert records[0]["ev"] == EV_SUBGOAL_MISS
+        assert all("ts_ns" in r and "seq" in r and "subgoal" in r
+                   for r in records)
+
+    def test_chrome_trace_structure(self, tmp_path):
+        engine = traced_engine(SAME_GEN)
+        engine.query("sg(b, Y)")
+        out = tmp_path / "trace.json"
+        engine.write_chrome_trace(str(out))
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        # metadata + async begin/end pairs + instants
+        assert events[0]["ph"] == "M"
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert len(begins) == len(ends) == 2  # sg(b,_), sg(a,_)
+        assert {e["id"] for e in begins} == {e["id"] for e in ends}
+        for event in begins + ends:
+            assert event["cat"] == "subgoal"
+            assert isinstance(event["ts"], float)
+        assert payload["otherData"]["dropped_events"] == 0
+
+    def test_chrome_trace_synthesizes_evicted_openers(self):
+        tracer = Tracer(capacity=2)
+        frame = FakeFrame(3, "p/0")
+        tracer.event(EV_SUBGOAL_MISS, frame)
+        tracer.event(EV_ANSWER_INSERT, frame)
+        tracer.event(EV_COMPLETE, frame)  # miss is now evicted
+        events = chrome_trace_events(tracer)
+        begins = [e for e in events if e["ph"] == "b"]
+        assert len(begins) == 1
+        assert begins[0]["ts"] == 0.0  # synthesized at the epoch
+
+    def test_jsonl_lines_empty_when_off(self):
+        assert list(jsonl_lines(Tracer())) == []
+
+
+class TestInspectionBuiltins:
+    def test_get_calls_enumerates_subgoals(self):
+        engine = traced_engine(SAME_GEN)
+        engine.query("sg(b, Y)")
+        rows = engine.query("get_calls(C, I)")
+        assert len(rows) == 2  # sg(b,_) and the nested sg(a,_)
+        assert sorted(row["I"] for row in rows) == [0, 1]
+
+    def test_get_calls_filters_by_pattern(self):
+        engine = Engine()
+        engine.consult_string(SAME_GEN)
+        engine.query("sg(b, Y)")
+        rows = engine.query("get_calls(sg(b, _), I)")
+        assert len(rows) == 1
+
+    def test_get_returns_by_id_and_by_term(self):
+        engine = Engine()
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        [row] = engine.query("get_calls(_, I)")
+        by_id = engine.query(f"get_returns({row['I']}, A)")
+        by_term = engine.query("get_returns(path(a, _), A)")
+        answers = sorted(str(r["A"]) for r in by_id)
+        assert answers == sorted(str(r["A"]) for r in by_term)
+        assert len(answers) == 3
+
+    def test_get_returns_unknown_table_fails(self):
+        engine = Engine()
+        assert engine.query("get_returns(nosuch(1), A)") == []
+        assert engine.query("get_returns(42, A)") == []
+
+    def test_table_state_lifecycle(self):
+        engine = Engine()
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        assert engine.query("table_state(path(a,_), S)") == [
+            {"S": "undefined"}
+        ]
+        engine.query("path(a, X)")
+        [row] = engine.query("table_state(path(a,_), S)")
+        assert str(row["S"]) == "complete(3)"
+
+    def test_table_state_incomplete_during_evaluation(self):
+        engine = Engine(hybrid=False)
+        engine.consult_string(
+            PATH_LEFT + CYCLE_EDGES
+            + "probe(S) :- path(a, X), table_state(path(a,_), S).\n"
+        )
+        rows = engine.query("probe(S)", limit=1)
+        assert str(rows[0]["S"]).startswith("incomplete(")
+
+    def test_instantiation_and_type_errors(self):
+        engine = Engine()
+        with pytest.raises(InstantiationError):
+            engine.query("table_state(_, S)")
+        with pytest.raises(TypeError_):
+            engine.query("get_returns(3.5, A)")  # neither id nor call
+
+    def test_trace_control_on_off_clear(self):
+        engine = Engine(trace=False)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        assert engine.tracer is None
+        engine.query("trace_control(on)")
+        assert engine.tracer is not None and engine.tracer.enabled
+        assert engine.profiler is not None and engine.profiler.enabled
+        engine.query("path(a, X)")
+        assert len(engine.tracer) > 0
+        engine.query("trace_control(clear)")
+        assert len(engine.tracer) == 0
+        engine.query("trace_control(off)")
+        assert not engine.tracer.enabled
+
+    def test_trace_control_dump_and_chrome(self, tmp_path):
+        engine = traced_engine()
+        engine.query("path(a, X)")
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        engine.query(f"trace_control(dump('{jsonl}'))")
+        engine.query(f"trace_control(chrome('{chrome}'))")
+        assert len(jsonl.read_text().splitlines()) == len(engine.tracer)
+        assert "traceEvents" in json.loads(chrome.read_text())
+
+    def test_trace_control_dump_requires_tracing(self):
+        engine = Engine(trace=False)
+        with pytest.raises(TablingError):
+            engine.query("trace_control(dump('/tmp/nope.jsonl'))")
+
+    def test_trace_control_rejects_garbage(self):
+        engine = Engine()
+        with pytest.raises(TypeError_):
+            engine.query("trace_control(sideways)")
+        with pytest.raises(InstantiationError):
+            engine.query("trace_control(_)")
+
+
+class TestEnvToggle:
+    def test_repro_trace_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        engine = Engine()
+        assert engine.tracer is not None
+        assert engine.profiler is not None
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert Engine().tracer is None
+
+    def test_repro_trace_env_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "512")
+        engine = Engine()
+        assert engine.tracer.capacity == 512
+
+    def test_trace_kwarg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert Engine(trace=False).tracer is None

@@ -143,3 +143,87 @@ class TestDirectExecution:
             assert code == 0
         finally:
             os.unlink(path)
+
+
+TABLED_PATH = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+edge(1,2). edge(2,3).
+"""
+
+
+class TestObservabilityFlags:
+    def _program(self):
+        path = tempfile.mktemp(suffix=".P")
+        with open(path, "w") as handle:
+            handle.write(TABLED_PATH)
+        return path
+
+    def test_trace_flag_writes_jsonl(self, capsys, tmp_path):
+        program, out = self._program(), str(tmp_path / "run.jsonl")
+        try:
+            code = main([program, "--goal", "path(1, _).",
+                         "--trace", out, "--quiet"])
+            assert code == 0
+            lines = open(out).read().splitlines()
+            assert lines and "subgoal_miss" in lines[0]
+        finally:
+            os.unlink(program)
+
+    def test_trace_flag_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        program, out = self._program(), str(tmp_path / "run.json")
+        try:
+            code = main([program, "--goal", "path(1, _).",
+                         "--trace", out, "--quiet"])
+            assert code == 0
+            payload = json.load(open(out))
+            assert any(e["ph"] == "b" for e in payload["traceEvents"])
+        finally:
+            os.unlink(program)
+
+    def test_profile_flag_prints_report(self, capsys):
+        program = self._program()
+        try:
+            code = main([program, "--goal", "path(1, _).", "--profile"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "self_ms" in out and "path(1," in out
+        finally:
+            os.unlink(program)
+
+    def test_quiet_sets_engine_quiet(self, capsys):
+        program = self._program()
+        try:
+            main([program, "--goal", "statistics.", "--quiet"])
+            out = capsys.readouterr().out
+            assert "% engine statistics" not in out
+            main([program, "--goal", "statistics."])
+            assert "% engine statistics" in capsys.readouterr().out
+        finally:
+            os.unlink(program)
+
+
+class TestColonCommands:
+    def test_help_command(self):
+        transcript = run_session(":help\n")
+        assert ":profile" in transcript and "trace_control" in transcript
+
+    def test_profile_command_when_off(self):
+        # trace=False keeps the profiler off even under REPRO_TRACE=1
+        transcript = run_session(":profile\n", Engine(trace=False))
+        assert "profiling is off" in transcript
+
+    def test_profile_command_with_profiler(self):
+        engine = Engine()
+        engine.enable_trace()
+        engine.enable_profile()
+        engine.consult_string(TABLED_PATH)
+        transcript = run_session("path(1, X).\n\n:profile\n", engine)
+        assert "self_ms" in transcript and "path(1," in transcript
+
+    def test_unknown_command(self):
+        transcript = run_session(":sideways\n")
+        assert "unknown command" in transcript and ":help" in transcript

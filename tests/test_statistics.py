@@ -180,6 +180,38 @@ class TestStatisticsBuiltins:
         with pytest.raises(TypeError_):
             engine.query("statistics(no_such_counter, V)")
 
+    def test_statistics2_keys_sorted(self):
+        # The reporting order is deterministic *sorted* order — adding
+        # a counter can never reshuffle downstream diffs of dumps.
+        assert list(STATISTIC_KEYS) == sorted(STATISTIC_KEYS)
+        engine = cycle_engine()
+        rows = engine.query("statistics(K, V)")
+        keys = [row["K"] for row in rows]
+        assert keys == sorted(keys)
+
+    def test_statistics2_observability_keys(self):
+        for key in (
+            "trace_events",
+            "trace_dropped",
+            "profile_subgoals",
+            "profile_self_ns",
+        ):
+            assert key in STATISTIC_KEYS
+        engine = Engine(trace=False, hybrid=False)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        # All zero while tracing/profiling are off …
+        assert engine.query("statistics(trace_events, N)") == [{"N": 0}]
+        assert engine.query("statistics(profile_subgoals, N)") == [{"N": 0}]
+        # … and live once they are on.
+        traced = Engine(trace=True, hybrid=False)
+        traced.consult_string(PATH_LEFT + CYCLE_EDGES)
+        traced.query("path(a, X)")
+        stats = traced.statistics()
+        assert stats["trace_events"] == len(traced.tracer) > 0
+        assert stats["profile_subgoals"] == 1
+        assert stats["profile_self_ns"] > 0
+
     def test_statistics0_prints_every_key(self):
         out = io.StringIO()
         engine = Engine(output=out)
@@ -187,9 +219,24 @@ class TestStatisticsBuiltins:
         engine.query("path(a, X)")
         assert engine.has_solution("statistics")
         lines = out.getvalue().splitlines()
-        assert len(lines) == len(STATISTIC_KEYS)
-        printed = {line.split()[0]: int(line.split()[1]) for line in lines}
+        # One header line, then one line per counter.
+        assert lines[0].startswith("% engine statistics")
+        body = lines[1:]
+        assert len(body) == len(STATISTIC_KEYS)
+        assert [line.split()[0] for line in body] == list(STATISTIC_KEYS)
+        printed = {line.split()[0]: int(line.split()[1]) for line in body}
         assert printed["answers_inserted"] == 3
+
+    def test_statistics0_quiet_suppresses_header(self):
+        out = io.StringIO()
+        engine = Engine(output=out)
+        engine.quiet = True
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        assert engine.has_solution("statistics")
+        lines = out.getvalue().splitlines()
+        assert len(lines) == len(STATISTIC_KEYS)
+        assert not lines[0].startswith("%")
 
 
 class TestDisabledStatistics:
