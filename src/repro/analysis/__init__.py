@@ -1,0 +1,91 @@
+"""Program analysis: one IR, one pipeline, every consumer.
+
+This package is the single home of program structure analysis — the
+shared rule IR (:mod:`.ir`), the graph algorithms (:mod:`.graph`), the
+call-graph walker (:mod:`.callgraph`), the adornment vocabulary
+(:mod:`.adorn`) and the generation-stamped :class:`AnalysisRegistry`
+(:mod:`.registry`) that every clause database carries.  The SLG
+machine, the hybrid bridge, the bottom-up translator, ``table_all``,
+the HiLog specializer and the WFS router all consume these analyses
+instead of re-deriving their own; ``tools/check_no_duplicate_analysis.py``
+keeps it that way.
+"""
+
+from .ir import (  # noqa: F401
+    CMP,
+    COMPARISON_OPS,
+    IS,
+    NEGATION_NAMES,
+    REL,
+    UNIFY,
+    LoweringError,
+    Rule,
+    Var,
+    check_rule_safety,
+    ground_head_row,
+    ground_within_depth,
+    is_fact_clause,
+    list_args,
+    lower_predicate,
+    pattern_vars,
+    skeleton_literal,
+    skeleton_pattern,
+    term_literal,
+    term_pattern,
+)
+from .graph import (  # noqa: F401
+    dependency_edges,
+    negative_sccs,
+    scc_index,
+    scc_reach,
+    stratify,
+    tarjan_sccs,
+)
+from .callgraph import (  # noqa: F401
+    CONTROL_CONSTRUCTS,
+    CONTROL_NAMES,
+    GOAL_META,
+    body_calls,
+    build_call_graph,
+)
+from .adorn import adorned_name, adornment_of, magic_name  # noqa: F401
+from .registry import AnalysisRegistry, EXCLUDED_CONTROL  # noqa: F401
+
+__all__ = [
+    "REL",
+    "CMP",
+    "IS",
+    "UNIFY",
+    "COMPARISON_OPS",
+    "NEGATION_NAMES",
+    "Var",
+    "Rule",
+    "LoweringError",
+    "pattern_vars",
+    "list_args",
+    "term_pattern",
+    "term_literal",
+    "skeleton_pattern",
+    "skeleton_literal",
+    "is_fact_clause",
+    "lower_predicate",
+    "ground_head_row",
+    "ground_within_depth",
+    "check_rule_safety",
+    "tarjan_sccs",
+    "scc_index",
+    "scc_reach",
+    "dependency_edges",
+    "stratify",
+    "negative_sccs",
+    "CONTROL_CONSTRUCTS",
+    "CONTROL_NAMES",
+    "GOAL_META",
+    "body_calls",
+    "build_call_graph",
+    "adornment_of",
+    "adorned_name",
+    "magic_name",
+    "AnalysisRegistry",
+    "EXCLUDED_CONTROL",
+]

@@ -1,0 +1,26 @@
+"""Adornment naming: the binding-pattern vocabulary of the analyses.
+
+An *adornment* summarizes which argument positions of a call are bound
+('b') and which free ('f') — the paper's §2 sideways-information-
+passing annotation.  The magic rewrite (:mod:`repro.bottomup.magic`)
+specializes predicates per adornment and the analysis registry reports
+per-predicate binding/mode summaries in the same vocabulary, so the
+string conventions live here, shared by both.
+"""
+
+from __future__ import annotations
+
+__all__ = ["adornment_of", "adorned_name", "magic_name"]
+
+
+def adornment_of(args):
+    """'b'/'f' string for a query argument list (None marks free)."""
+    return "".join("f" if a is None else "b" for a in args)
+
+
+def adorned_name(pred, adornment):
+    return f"{pred}__{adornment}"
+
+
+def magic_name(pred, adornment):
+    return f"m_{pred}__{adornment}"

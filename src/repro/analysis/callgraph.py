@@ -1,0 +1,140 @@
+"""Call-graph extraction: one body walker for every consumer.
+
+``body_calls`` is the single place that knows which constructs are
+*control* (descend into their goal arguments), which are *goal meta*
+(``findall/3`` runs its second argument), and which make a clause
+statically opaque (a variable goal, ``call/N`` with construction).  It
+works on parsed terms and on compiled clause skeletons alike —
+:class:`~repro.engine.clause.SlotRef` subclasses ``Var``, so a slot in
+goal position looks like exactly what it is: a call through a variable.
+
+Consumers: the analysis registry builds the predicate call graph from
+it, ``modules/table_all.py`` selects tabled predicates over it, and
+``hilog/specialize.py`` shares :data:`CONTROL_NAMES` so its body
+rewriter descends through the same constructs the analysis does.
+"""
+
+from __future__ import annotations
+
+from ..terms import Atom, Struct, Var, deref
+from .ir import NEGATION_NAMES
+
+__all__ = [
+    "CONTROL_CONSTRUCTS",
+    "CONTROL_NAMES",
+    "GOAL_META",
+    "body_calls",
+    "build_call_graph",
+]
+
+#: Control constructs dispatched by the machine's solve loop: the walk
+#: descends into every argument instead of recording a call edge.
+CONTROL_CONSTRUCTS = {
+    (",", 2),
+    (";", 2),
+    ("->", 2),
+    ("\\+", 1),
+    ("not", 1),
+    ("tnot", 1),
+    ("e_tnot", 1),
+    ("once", 1),
+    ("ignore", 1),
+    ("call", 1),
+}
+
+#: All-solutions builtins whose *goal* argument positions the walk
+#: descends into (other arguments are templates/results, not calls).
+GOAL_META = {
+    ("findall", 3): (1,),
+    ("tfindall", 3): (1,),
+    ("bagof", 3): (1,),
+    ("setof", 3): (1,),
+    ("forall", 2): (0, 1),
+}
+
+#: The construct *names* above — the set body rewriters descend through
+#: (arity checks matter for call-graph precision, not for rewriting).
+CONTROL_NAMES = frozenset(
+    {name for name, _ in CONTROL_CONSTRUCTS}
+    | {name for name, _ in GOAL_META}
+)
+
+
+def body_calls(goal, out, negative=False):
+    """Collect called predicate indicators from one body goal.
+
+    Appends ``((name, arity), negative)`` pairs to ``out`` and returns
+    True when the goal was fully analyzable — False when it contains a
+    call the static walk cannot resolve (a variable in goal position,
+    or ``call/N`` with N >= 2, whose target predicate is constructed at
+    run time).  Negation operators flip the polarity flag for the goals
+    they wrap; ``forall/2`` is negative on both arguments (it is
+    ``\\+ (Cond, \\+ Action)`` by definition).
+    """
+    goal = deref(goal)
+    if isinstance(goal, Struct):
+        name = goal.name
+        arity = len(goal.args)
+        key = (name, arity)
+        if key in CONTROL_CONSTRUCTS:
+            flip = negative or name in NEGATION_NAMES
+            transparent = True
+            for arg in goal.args:
+                if not body_calls(arg, out, flip):
+                    transparent = False
+            return transparent
+        positions = GOAL_META.get(key)
+        if positions is not None:
+            flip = negative or name == "forall"
+            transparent = True
+            for position in positions:
+                if not body_calls(goal.args[position], out, flip):
+                    transparent = False
+            return transparent
+        out.append((key, negative))
+        if name == "call" and arity >= 2:
+            # call(F, A...) constructs its target at run time; record
+            # the call/N edge (there may be a user definition) but flag
+            # the clause opaque so downstream reachability stays
+            # conservative.
+            return False
+        return True
+    if isinstance(goal, Atom):
+        out.append(((goal.name, 0), negative))
+        return True
+    if isinstance(goal, Var):
+        return False
+    return True  # numbers etc.: a type error at run time, not a call
+
+
+def build_call_graph(clauses):
+    """Edges head-indicator -> called-indicator over a clause batch.
+
+    ``clauses`` are parsed clause terms (``Head`` or ``Head :- Body``);
+    this is the consult-unit-level view ``table_all`` selects over.
+    """
+    edges = {}
+    for clause in clauses:
+        clause = deref(clause)
+        if (
+            isinstance(clause, Struct)
+            and clause.name == ":-"
+            and len(clause.args) == 2
+        ):
+            head = deref(clause.args[0])
+            body = clause.args[1]
+        else:
+            head = clause
+            body = None
+        if isinstance(head, Struct):
+            head_key = (head.name, len(head.args))
+        elif isinstance(head, Atom):
+            head_key = (head.name, 0)
+        else:
+            continue
+        callees = edges.setdefault(head_key, set())
+        if body is not None:
+            found = []
+            body_calls(body, found)
+            callees.update(key for key, _negative in found)
+    return edges

@@ -1,0 +1,178 @@
+"""Graph algorithms shared by every analysis stage.
+
+This is the *only* place in the tree that implements Tarjan's SCC
+algorithm, dependency-graph condensation and stratification
+(``tools/check_no_duplicate_analysis.py`` enforces that in CI).  The
+functions are deliberately engine-agnostic: nodes are opaque hashable
+keys (predicate indicators in practice), graphs plain dicts of sets.
+"""
+
+from __future__ import annotations
+
+from ..errors import SafetyError
+
+__all__ = [
+    "tarjan_sccs",
+    "scc_index",
+    "scc_reach",
+    "dependency_edges",
+    "stratify",
+    "negative_sccs",
+]
+
+
+def tarjan_sccs(graph):
+    """Tarjan's strongly connected components, iteratively.
+
+    ``graph`` maps node -> iterable of successors; successors that are
+    not themselves keys of ``graph`` are ignored (a callee with no
+    definition cannot be part of a cycle).  Children are visited in
+    sorted order so the SCC list is deterministic, and components are
+    emitted in reverse topological order of the condensation — every
+    SCC appears after all SCCs it can reach.
+    """
+    index_counter = [0]
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in graph:
+                    continue
+                if child not in index:
+                    index[child] = lowlink[child] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def scc_index(sccs):
+    """Map each node to the index of its SCC in ``sccs``."""
+    of = {}
+    for i, scc in enumerate(sccs):
+        for node in scc:
+            of[node] = i
+    return of
+
+
+def scc_reach(graph, sccs, scc_of):
+    """Per-SCC reachability over the condensation.
+
+    Returns a list aligned with ``sccs``: the frozenset of SCC indexes
+    reachable from each component (including itself).  Relies on
+    Tarjan's reverse-topological emission order — by the time an SCC is
+    processed, every component it points into is already done.
+    """
+    reach = []
+    for i, scc in enumerate(sccs):
+        out = {i}
+        for node in scc:
+            for child in graph.get(node, ()):
+                j = scc_of.get(child)
+                if j is not None and j != i:
+                    out.update(reach[j])
+        reach.append(frozenset(out))
+    return reach
+
+
+def dependency_edges(rules, idb):
+    """Edges head -> (callee, negative?) over the ``idb`` predicates.
+
+    ``rules`` is an iterable of IR :class:`~repro.analysis.ir.Rule`
+    objects; only REL body literals whose indicator is in ``idb``
+    contribute edges (facts and builtins cannot be part of a negative
+    cycle).
+    """
+    edges = {}
+    for rule in rules:
+        key = (rule.head_pred, len(rule.head_args))
+        deps = edges.setdefault(key, set())
+        for literal in rule.body:
+            if literal[0] != "rel":
+                continue
+            _, pred, args, positive = literal
+            callee = (pred, len(args))
+            if callee in idb:
+                deps.add((callee, not positive))
+    return edges
+
+
+def stratify(edges):
+    """Assign strata; raises SafetyError when not stratified.
+
+    ``edges`` maps pred_key -> set of ``(callee, negative?)`` pairs.
+    Returns {pred_key: stratum}; a predicate's stratum is strictly
+    above any predicate it depends on negatively.
+    """
+    keys = set(edges)
+    for deps in edges.values():
+        keys.update(callee for callee, _ in deps)
+    strata = {key: 0 for key in keys}
+    changed = True
+    rounds = 0
+    limit = len(keys) * len(keys) + len(keys) + 1
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > limit:
+            raise SafetyError("program is not stratified")
+        for key, deps in edges.items():
+            for callee, negative in deps:
+                needed = strata[callee] + (1 if negative else 0)
+                if strata[key] < needed:
+                    strata[key] = needed
+                    changed = True
+    return strata
+
+
+def negative_sccs(edges, scc_of):
+    """SCC indexes containing an internal negative edge.
+
+    A program is stratifiable exactly when this is empty: a negative
+    edge inside a strongly connected component is a loop through
+    negation, and one outside never is.
+    """
+    offending = set()
+    for key, deps in edges.items():
+        own = scc_of.get(key)
+        if own is None:
+            continue
+        for callee, negative in deps:
+            if negative and scc_of.get(callee) == own:
+                offending.add(own)
+                break
+    return offending

@@ -1,0 +1,475 @@
+"""The shared program IR: normalized rules over frozen values.
+
+Every evaluation layer in this repository reasons about clauses in the
+same normal form — the one the bottom-up engine executes directly and
+the analysis registry (:mod:`repro.analysis.registry`) computes over:
+
+* constants are frozen Python data (ints/floats/strings for atoms and
+  numbers, tuples ``(functor, args...)`` for compounds — the same
+  domain as :mod:`repro.store.codec`);
+* variables are :class:`Var` instances, identity-scoped to their rule;
+* a :class:`Rule` body is a list of literals of four kinds —
+  ``(REL, pred, args, positive)`` for relational literals (negation is
+  a polarity flag, not an operator), ``(CMP, op, left, right)`` for
+  arithmetic comparison, ``(IS, target, expr)`` for arithmetic
+  assignment and ``(UNIFY, left, right)`` for explicit unification.
+
+Two front ends lower into this form and must stay in lock-step; both
+live here so there is exactly one place that decides how a clause maps
+to IR:
+
+* :func:`term_rules` / :func:`term_literal` lower *parsed terms* (the
+  path ``repro.bottomup.datalog.parse_program`` uses);
+* :func:`lower_predicate` / :func:`skeleton_literal` lower *compiled
+  clauses* (:class:`repro.engine.clause.Clause` skeletons, where
+  variables are :class:`SlotRef` slot indexes) — the path the hybrid
+  bridge and the WFS router use.
+
+Before this module existed the two lowerings were separate and
+disagreed on edge cases (``engine/hybrid._translate_rule`` treated
+``tnot/1`` as an opaque builtin, the parser path as a polarity flip);
+now a negated literal is a negative literal on both paths and the
+safety screens decide what to do with it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError, SafetyError, TypeError_
+from ..terms import Atom, Struct
+from ..terms import Var as TermVar
+from ..terms import deref
+
+# The compiled-clause lowering tests variables with isinstance(x, TermVar):
+# SlotRef subclasses Var exactly so that skeleton inspectors need no
+# special case (and importing it here would be circular — engine.clause
+# is loaded through the engine package, which loads this module first).
+
+__all__ = [
+    "REL",
+    "CMP",
+    "IS",
+    "UNIFY",
+    "COMPARISON_OPS",
+    "NEGATION_NAMES",
+    "Var",
+    "Rule",
+    "LoweringError",
+    "pattern_vars",
+    "list_args",
+    "term_pattern",
+    "term_literal",
+    "skeleton_pattern",
+    "skeleton_literal",
+    "is_fact_clause",
+    "lower_predicate",
+    "ground_head_row",
+    "ground_within_depth",
+    "check_rule_safety",
+]
+
+REL = "rel"
+CMP = "cmp"
+IS = "is"
+UNIFY = "unify"
+
+#: Binary arithmetic comparison operators that lower to CMP literals.
+COMPARISON_OPS = frozenset(("<", ">", "=<", ">=", "=:=", "=\\="))
+
+#: Unary operators that flip the polarity of the literal they wrap.
+NEGATION_NAMES = frozenset(("\\+", "not", "tnot", "e_tnot"))
+
+
+class LoweringError(ReproError):
+    """A clause cannot be expressed in the IR (e.g. a variable goal)."""
+
+    def __init__(self, culprit):
+        self.culprit = culprit
+        super().__init__(f"cannot lower to datalog IR: {culprit!r}")
+
+
+class Var:
+    """A rule variable (identity-scoped)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name="_"):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+class Rule:
+    """``head :- body`` with body literals of four kinds.
+
+    * ``(REL, pred, args, positive)`` — a relational literal;
+    * ``(CMP, op, left, right)`` — arithmetic comparison;
+    * ``(IS, target, expr)`` — arithmetic assignment;
+    * ``(UNIFY, left, right)`` — explicit unification/construction.
+    """
+
+    __slots__ = ("head_pred", "head_args", "body")
+
+    def __init__(self, head_pred, head_args, body):
+        self.head_pred = head_pred
+        self.head_args = tuple(head_args)
+        self.body = list(body)
+
+    @property
+    def indicator(self):
+        return f"{self.head_pred}/{len(self.head_args)}"
+
+    def rel_literals(self):
+        return [lit for lit in self.body if lit[0] == REL]
+
+    def __repr__(self):
+        return f"<Rule {self.indicator} :- {len(self.body)} literals>"
+
+
+def pattern_vars(pattern, out=None):
+    if out is None:
+        out = []
+    if isinstance(pattern, Var):
+        if pattern not in out:
+            out.append(pattern)
+    elif isinstance(pattern, tuple):
+        for arg in pattern[1:]:
+            pattern_vars(arg, out)
+    return out
+
+
+def list_args(args):
+    """Wrap an argument tuple so pattern_vars can walk it."""
+    return ("$args",) + tuple(args)
+
+
+# --------------------------------------------------------------------------
+# lowering from parsed terms (the parser front end)
+# --------------------------------------------------------------------------
+
+def term_pattern(term, varmap):
+    """One parsed term as an IR pattern; ``varmap`` keys term identity."""
+    term = deref(term)
+    if isinstance(term, TermVar):
+        var = varmap.get(id(term))
+        if var is None:
+            var = Var(term.name or f"V{len(varmap)}")
+            varmap[id(term)] = var
+        return var
+    if isinstance(term, Atom):
+        return term.name
+    if isinstance(term, Struct):
+        return (term.name,) + tuple(
+            term_pattern(a, varmap) for a in term.args
+        )
+    return term
+
+
+def term_literal(term, varmap, out, positive=True):
+    """Lower one parsed body goal, appending IR literals to ``out``.
+
+    Conjunctions flatten, negation operators flip the polarity of their
+    argument, comparison/``is``/``=`` goals become CMP/IS/UNIFY
+    literals and every other struct or atom a REL literal.
+    """
+    term = deref(term)
+    if isinstance(term, Struct) and term.name == "," and len(term.args) == 2:
+        term_literal(term.args[0], varmap, out, positive)
+        term_literal(term.args[1], varmap, out, positive)
+        return
+    if (
+        isinstance(term, Struct)
+        and term.name in NEGATION_NAMES
+        and len(term.args) == 1
+    ):
+        term_literal(term.args[0], varmap, out, positive=not positive)
+        return
+    if (
+        isinstance(term, Struct)
+        and term.name in COMPARISON_OPS
+        and len(term.args) == 2
+    ):
+        out.append(
+            (
+                CMP,
+                term.name,
+                term_pattern(term.args[0], varmap),
+                term_pattern(term.args[1], varmap),
+            )
+        )
+        return
+    if isinstance(term, Struct) and term.name == "is" and len(term.args) == 2:
+        out.append(
+            (
+                IS,
+                term_pattern(term.args[0], varmap),
+                term_pattern(term.args[1], varmap),
+            )
+        )
+        return
+    if isinstance(term, Struct) and term.name == "=" and len(term.args) == 2:
+        out.append(
+            (
+                UNIFY,
+                term_pattern(term.args[0], varmap),
+                term_pattern(term.args[1], varmap),
+            )
+        )
+        return
+    if isinstance(term, Struct):
+        out.append(
+            (
+                REL,
+                term.name,
+                tuple(term_pattern(a, varmap) for a in term.args),
+                positive,
+            )
+        )
+        return
+    if isinstance(term, Atom):
+        out.append((REL, term.name, (), positive))
+        return
+    raise TypeError_("datalog literal", term)
+
+
+# --------------------------------------------------------------------------
+# lowering from compiled clauses (the store front end)
+# --------------------------------------------------------------------------
+
+def _slot_var(slot, varmap):
+    var = varmap.get(slot.index)
+    if var is None:
+        var = Var(slot.name or f"S{slot.index}")
+        varmap[slot.index] = var
+    return var
+
+
+def skeleton_pattern(skeleton, varmap):
+    """One compiled-clause argument skeleton as an IR pattern.
+
+    SlotRefs map to rule variables by slot index, atoms to their names,
+    structs to tuples.  Iterative, like the skeletonizer itself, so a
+    deep ground argument lowers without blowing the recursion limit
+    (depth policy is the *consumer's* screen, not the lowering's).
+    """
+    if isinstance(skeleton, TermVar):  # a SlotRef: compiled variable
+        return _slot_var(skeleton, varmap)
+    if isinstance(skeleton, Atom):
+        return skeleton.name
+    if not isinstance(skeleton, Struct):
+        return skeleton
+    stack = [(skeleton.name, iter(skeleton.args), [])]
+    while True:
+        name, children, parts = stack[-1]
+        descended = False
+        for child in children:
+            if isinstance(child, TermVar):
+                parts.append(_slot_var(child, varmap))
+            elif isinstance(child, Atom):
+                parts.append(child.name)
+            elif isinstance(child, Struct):
+                stack.append((child.name, iter(child.args), []))
+                descended = True
+                break
+            else:
+                parts.append(child)
+        if descended:
+            continue
+        stack.pop()
+        node = (name,) + tuple(parts)
+        if not stack:
+            return node
+        stack[-1][2].append(node)
+
+
+def skeleton_literal(skeleton, varmap, out, positive=True):
+    """Lower one compiled body-literal skeleton; mirrors term_literal."""
+    if isinstance(skeleton, Struct):
+        name, args = skeleton.name, skeleton.args
+        n = len(args)
+        if name == "," and n == 2:
+            skeleton_literal(args[0], varmap, out, positive)
+            skeleton_literal(args[1], varmap, out, positive)
+            return
+        if name in NEGATION_NAMES and n == 1:
+            skeleton_literal(args[0], varmap, out, not positive)
+            return
+        if name in COMPARISON_OPS and n == 2:
+            out.append(
+                (
+                    CMP,
+                    name,
+                    skeleton_pattern(args[0], varmap),
+                    skeleton_pattern(args[1], varmap),
+                )
+            )
+            return
+        if name == "is" and n == 2:
+            out.append(
+                (
+                    IS,
+                    skeleton_pattern(args[0], varmap),
+                    skeleton_pattern(args[1], varmap),
+                )
+            )
+            return
+        if name == "=" and n == 2:
+            out.append(
+                (
+                    UNIFY,
+                    skeleton_pattern(args[0], varmap),
+                    skeleton_pattern(args[1], varmap),
+                )
+            )
+            return
+        out.append(
+            (
+                REL,
+                name,
+                tuple(skeleton_pattern(a, varmap) for a in args),
+                positive,
+            )
+        )
+        return
+    if isinstance(skeleton, Atom):
+        out.append((REL, skeleton.name, (), positive))
+        return
+    # A SlotRef (or stranger) in literal position: a call through a
+    # variable, which has no first-order IR form.
+    raise LoweringError(skeleton)
+
+
+def _args_ground(head_args):
+    """True when no variable occurs anywhere in the argument skeletons.
+
+    SlotRef subclasses Var, so one isinstance test covers both; the
+    walk is iterative because bulk-loaded facts can be very deep.
+    """
+    stack = list(head_args)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TermVar):
+            return False
+        if isinstance(node, Struct):
+            stack.extend(node.args)
+    return True
+
+
+def is_fact_clause(clause):
+    """True for a compiled clause that is a ground bodiless fact."""
+    return not clause.body and _args_ground(clause.head_args)
+
+
+def lower_predicate(pred):
+    """Lower one compiled predicate: ``(rules, has_facts)``.
+
+    Ground bodiless clauses are *facts* — skipped here (their rows come
+    from the predicate's fact store or :func:`ground_head_row`), only
+    flagged via ``has_facts``.  Everything else, including a bodiless
+    clause with a variable in the head, lowers to a :class:`Rule`.
+    Raises :class:`LoweringError` for a variable body goal.
+    """
+    rules = []
+    has_facts = False
+    for clause in pred.clauses:
+        if is_fact_clause(clause):
+            has_facts = True
+            continue
+        varmap = {}
+        head_args = tuple(
+            skeleton_pattern(arg, varmap) for arg in clause.head_args
+        )
+        body = []
+        for literal in clause.body:
+            skeleton_literal(literal, varmap, body)
+        rules.append(Rule(pred.name, head_args, body))
+    return rules, has_facts
+
+
+def ground_head_row(head_args):
+    """A bodiless clause head as a frozen fact row, or None if nonground.
+
+    Unlike the store codec this applies no depth cap — it serves
+    consumers (the WFS lowering) that must see every fact the clause
+    database holds, not just the storable ones.
+    """
+    if not _args_ground(head_args):
+        return None
+    empty = {}
+    return tuple(skeleton_pattern(arg, empty) for arg in head_args)
+
+
+def ground_within_depth(pattern, limit):
+    """True when ``pattern`` holds no variable and nests below ``limit``.
+
+    The hybrid bridge's screen for structure constants: patterns that
+    build new structure bottom-up could diverge where SLG's
+    demand-driven search would not, and over-deep terms stay on the
+    iterative SLG kernels (mirroring the store codec's freeze cap).
+    """
+    stack = [(pattern, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, Var):
+            return False
+        if isinstance(node, tuple):
+            if depth >= limit:
+                return False
+            for arg in node[1:]:
+                stack.append((arg, depth + 1))
+    return True
+
+
+# --------------------------------------------------------------------------
+# safety (range restriction)
+# --------------------------------------------------------------------------
+
+def check_rule_safety(rule):
+    """Left-to-right range restriction: every head variable, negated
+    literal variable and comparison variable must be bound by an
+    earlier positive relational literal (or IS/UNIFY definition)."""
+    bound = set()
+    for literal in rule.body:
+        kind = literal[0]
+        if kind == REL:
+            _, _, args, positive = literal
+            if positive:
+                for var in pattern_vars(list_args(args)):
+                    bound.add(var)
+            else:
+                for var in pattern_vars(list_args(args)):
+                    if var not in bound:
+                        raise SafetyError(
+                            f"unsafe negation in {rule.indicator}: {var}"
+                        )
+        elif kind == CMP:
+            _, _, left, right = literal
+            for var in pattern_vars(left) + pattern_vars(right):
+                if var not in bound:
+                    raise SafetyError(
+                        f"unsafe comparison in {rule.indicator}: {var}"
+                    )
+        elif kind == IS:
+            _, target, expr = literal
+            for var in pattern_vars(expr):
+                if var not in bound:
+                    raise SafetyError(
+                        f"unsafe arithmetic in {rule.indicator}: {var}"
+                    )
+            for var in pattern_vars(target):
+                bound.add(var)
+        elif kind == UNIFY:
+            _, left, right = literal
+            left_vars = set(pattern_vars(left))
+            right_vars = set(pattern_vars(right))
+            if right_vars <= bound:
+                bound |= left_vars
+            elif left_vars <= bound:
+                bound |= right_vars
+            else:
+                raise SafetyError(f"unsafe unification in {rule.indicator}")
+    for var in pattern_vars(list_args(rule.head_args)):
+        if var not in bound:
+            raise SafetyError(
+                f"rule for {rule.indicator} is not range-restricted: {var}"
+            )

@@ -1,0 +1,538 @@
+"""The staged, generation-stamped analysis registry.
+
+One :class:`AnalysisRegistry` hangs off every clause
+:class:`~repro.engine.database.Database` and is the *only* way the
+evaluation layers look at program structure.  Its stages mirror the
+XSB compiler's passes (DESIGN.md maps them to the paper's sections):
+
+1. **call graph** — predicate-level edges extracted by the shared
+   walker (:mod:`repro.analysis.callgraph`) from compiled clauses;
+2. **Tarjan SCCs + condensation reachability** — which components can
+   reach which (:mod:`repro.analysis.graph`), consumed by the SLG
+   machine's completion filter and the WFS router;
+3. **negation-aware dependency graph** — edges carry polarity,
+   restricted to rule-defined callees (facts cannot close a negative
+   loop);
+4. **stratification verdict** — strata when the program is stratified,
+   the offending SCCs when not; drives WFS routing;
+5. **datalog-safety / hybrid plans** — per-predicate reachable-closure
+   screen over the lowered IR plus the translated bottom-up plan
+   (:class:`~repro.engine.hybrid.HybridPlan`), the hybrid bridge's
+   routing decision;
+6. **adornment/mode summaries** — per-argument binding skeletons in
+   the :mod:`~repro.analysis.adorn` vocabulary.
+
+Every stage is lazy and cached.  Invalidation rides the store layer's
+stamps: the process-global :func:`mutation_generation` makes the
+no-change fast path one integer compare, and when the generation *has*
+moved, per-predicate ``mutations`` stamps (compared together with
+predicate object identity, so retract-then-reassert of an
+identical-looking predicate cannot alias) decide whether the cached
+result actually depends on anything that changed.  A hybrid plan's
+snapshot lists exactly the predicates its reachable closure visited,
+so an assert dirties exactly the plans downstream of the asserted
+predicate and nothing else.
+"""
+
+from __future__ import annotations
+
+from ..errors import SafetyError
+from ..store.codec import MAX_TERM_DEPTH, FreezeError
+from ..terms import Struct
+from ..terms import Var as TermVar
+from . import graph as _graphlib
+from .callgraph import body_calls
+from .ir import (
+    REL,
+    LoweringError,
+    ground_head_row,
+    ground_within_depth,
+    is_fact_clause,
+    lower_predicate,
+)
+
+__all__ = ["AnalysisRegistry", "EXCLUDED_CONTROL"]
+
+# Control constructs are dispatched by name inside the machine's solve
+# loop rather than through the builtin registry, so the datalog-safety
+# screen must reject them explicitly; everything else non-user is
+# caught by the builtin-registry probe.
+EXCLUDED_CONTROL = frozenset(
+    (",", ";", "->", "!", "true", "fail", "false", "\\+",
+     "$answer", "$yield", "$ite", "$cutto", "tcut")
+)
+
+
+class _GraphState:
+    """Stages 1–4, built together (one clause walk serves them all)."""
+
+    __slots__ = (
+        "generation",
+        "stamps",
+        "call_graph",
+        "dep_edges",
+        "opaque",
+        "sccs",
+        "scc_of",
+        "reach",
+        "strat",
+    )
+
+    def __init__(self, generation, stamps, call_graph, dep_edges, opaque):
+        self.generation = generation
+        self.stamps = stamps
+        self.call_graph = call_graph
+        self.dep_edges = dep_edges
+        self.opaque = opaque
+        sccs = _graphlib.tarjan_sccs(call_graph)
+        scc_of = _graphlib.scc_index(sccs)
+        reach = _graphlib.scc_reach(call_graph, sccs, scc_of)
+        # Opacity makes static reachability a lower bound; a component
+        # that is (or can reach) an opaque predicate may reach anything,
+        # which the consumers read as reach = None (the universe).
+        opaque_sccs = {scc_of[key] for key in opaque}
+        if opaque_sccs:
+            reach = [
+                None if not opaque_sccs.isdisjoint(r) else r for r in reach
+            ]
+        self.sccs = sccs
+        self.scc_of = scc_of
+        self.reach = reach
+        self.strat = None  # stage 4, computed on demand
+
+
+class AnalysisRegistry:
+    """Cached program analyses for one clause database."""
+
+    __slots__ = (
+        "db",
+        "hits",
+        "misses",
+        "invalidations",
+        "_generation",
+        "_graph",
+        "_lowered",
+        "_plans",
+        "_modes",
+        "_wfs",
+    )
+
+    def __init__(self, db):
+        # Function-scope import: database.py constructs the registry,
+        # so importing it here at module level would be circular.
+        from ..engine.database import mutation_generation
+
+        self.db = db
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._generation = mutation_generation
+        self._graph = None
+        self._lowered = {}
+        self._plans = {}
+        self._modes = {}
+        self._wfs = None
+
+    # -- stages 1–3: call graph, SCCs, reachability --------------------
+
+    def _ensure_graph(self):
+        generation = self._generation()
+        state = self._graph
+        if state is not None:
+            if state.generation == generation:
+                self.hits += 1
+                return state
+            if self._stamps_fresh(state.stamps):
+                state.generation = generation
+                self.hits += 1
+                return state
+            self.invalidations += 1
+        self.misses += 1
+        state = self._build_graph(generation)
+        self._graph = state
+        return state
+
+    def _stamps_fresh(self, stamps):
+        predicates = self.db.predicates
+        if len(predicates) != len(stamps):
+            return False
+        for key, (pred, stamp) in stamps.items():
+            if predicates.get(key) is not pred or pred.mutations != stamp:
+                return False
+        return True
+
+    def _build_graph(self, generation):
+        predicates = self.db.predicates
+        rule_defined = {
+            key
+            for key, pred in predicates.items()
+            if any(not is_fact_clause(c) for c in pred.clauses)
+        }
+        stamps = {}
+        call_graph = {}
+        dep_edges = {}
+        opaque = set()
+        for key, pred in predicates.items():
+            stamps[key] = (pred, pred.mutations)
+            callees = call_graph.setdefault(key, set())
+            deps = dep_edges.setdefault(key, set())
+            transparent = True
+            for clause in pred.clauses:
+                for literal in clause.body:
+                    found = []
+                    if not body_calls(literal, found):
+                        transparent = False
+                    for callee, negative in found:
+                        callees.add(callee)
+                        if callee in rule_defined:
+                            deps.add((callee, negative))
+            if not transparent:
+                opaque.add(key)
+        return _GraphState(generation, stamps, call_graph, dep_edges, opaque)
+
+    def call_graph(self):
+        """Predicate-level adjacency: key -> set of callee keys."""
+        return self._ensure_graph().call_graph
+
+    def sccs(self):
+        """Tarjan components, in reverse topological order."""
+        return self._ensure_graph().sccs
+
+    def scc_members(self, key):
+        state = self._ensure_graph()
+        own = state.scc_of.get(key)
+        if own is None:
+            return (key,)
+        return tuple(sorted(state.sccs[own]))
+
+    def scc_info(self, key):
+        """``(scc_id, reach)`` for the machine's completion filter.
+
+        ``reach`` is the frozenset of SCC ids the component can reach
+        (itself included), or None when static analysis cannot bound it
+        (a variable goal or ``call/N`` somewhere in the component's
+        reachable part — the caller must assume the universe).  An
+        unknown predicate gets ``(-1, None)``: maximally conservative.
+        """
+        state = self._ensure_graph()
+        own = state.scc_of.get(key)
+        if own is None:
+            return -1, None
+        return own, state.reach[own]
+
+    # -- stage 4: stratification ---------------------------------------
+
+    def stratification(self):
+        """The negation verdict for the whole database.
+
+        Returns a dict: ``stratified`` (bool), ``strata`` ({key:
+        stratum} when stratified, None otherwise) and ``negative_sccs``
+        (the SCC ids with an internal negative edge — the loops through
+        negation).
+        """
+        state = self._ensure_graph()
+        if state.strat is not None:
+            self.hits += 1
+            return state.strat
+        self.misses += 1
+        offending = _graphlib.negative_sccs(state.dep_edges, state.scc_of)
+        strata = None if offending else _graphlib.stratify(state.dep_edges)
+        state.strat = {
+            "stratified": not offending,
+            "strata": strata,
+            "negative_sccs": tuple(sorted(offending)),
+        }
+        return state.strat
+
+    def needs_wfs(self, key):
+        """True when SLG would flounder on ``key``: some SCC reachable
+        from it closes a loop through negation, so the query belongs on
+        the well-founded-semantics interpreter."""
+        verdict = self.stratification()
+        if verdict["stratified"]:
+            return False
+        state = self._graph
+        own = state.scc_of.get(key)
+        if own is None:
+            return False
+        reach = state.reach[own]
+        if reach is None:
+            return True
+        return not set(verdict["negative_sccs"]).isdisjoint(reach)
+
+    # -- stage 5: lowering and datalog-safety / hybrid plans -----------
+
+    def lowered_rules(self, key):
+        """``(rules, has_facts)`` for one defined predicate, cached by
+        its mutation stamp.  Raises KeyError for an unknown predicate
+        and LoweringError for one outside the IR (variable goals)."""
+        pred = self.db.predicates.get(key)
+        if pred is None:
+            raise KeyError(key)
+        entry = self._lowered.get(key)
+        if (
+            entry is not None
+            and entry[0] is pred
+            and entry[1] == pred.mutations
+        ):
+            self.hits += 1
+            return entry[2], entry[3]
+        if entry is not None:
+            self.invalidations += 1
+        self.misses += 1
+        rules, has_facts = lower_predicate(pred)
+        self._lowered[key] = (pred, pred.mutations, rules, has_facts)
+        return rules, has_facts
+
+    def lowered_program(self):
+        """The whole database as one bottom-up ``(Program, facts)``.
+
+        The WFS interpreter's entry point: rules come from the shared
+        lowering, fact rows straight from the ground bodiless clauses
+        (no depth cap — the meta-interpreter must see every fact, not
+        just the storable ones).
+        """
+        from ..bottomup.datalog import Program
+
+        predicates = self.db.predicates
+        rules = []
+        facts = {}
+        for key in sorted(predicates):
+            pred = predicates[key]
+            pred_rules, has_facts = self.lowered_rules(key)
+            rules.extend(pred_rules)
+            if has_facts:
+                rows = facts.setdefault(key, [])
+                for clause in pred.clauses:
+                    if not clause.body:
+                        row = ground_head_row(clause.head_args)
+                        if row is not None:
+                            rows.append(row)
+        return Program(rules, check_safety=False), facts
+
+    def hybrid_plan(self, engine, pred):
+        """The :class:`~repro.engine.hybrid.HybridPlan` for ``pred``,
+        or None when any reachable clause leaves the datalog-safe
+        fragment.
+
+        The result — including the negative verdict — is cached with a
+        snapshot of every predicate the closure visited; assert or
+        retract anywhere in that set (or defining a predicate the
+        analysis saw as missing) invalidates it on the next call, and
+        nothing else does.  While the global generation is unchanged,
+        revalidation is one integer compare.
+        """
+        key = (pred.name, pred.arity)
+        generation = self._generation()
+        cache = self._plans.get(key)
+        if cache is not None:
+            if cache[2] == generation:
+                self.hits += 1
+                return cache[1]
+            if self._snapshot_fresh(cache[0]):
+                self.hits += 1
+                self._plans[key] = (cache[0], cache[1], generation)
+                return cache[1]
+            self.invalidations += 1
+        self.misses += 1
+        snapshot, plan = self._build_plan(engine, pred)
+        self._plans[key] = (snapshot, plan, generation)
+        return plan
+
+    def _snapshot_fresh(self, snapshot):
+        predicates = self.db.predicates
+        for key, known, stamp in snapshot:
+            current = predicates.get(key)
+            if current is not known:
+                return False
+            if known is not None and known.mutations != stamp:
+                return False
+        return True
+
+    def _build_plan(self, engine, pred):
+        """Reachable-closure walk + datalog-safety screen + translation.
+
+        The screen accepts only positive REL literals over non-builtin,
+        non-control predicates whose structure constants are ground
+        within the codec depth bound — the fragment where bottom-up
+        evaluation terminates whenever SLG does.
+        """
+        predicates = self.db.predicates
+        builtins = engine.builtins
+        snapshot = []
+        seen = set()
+        specs = []
+        stack = [(pred.name, pred.arity)]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            target = predicates.get(key)
+            snapshot.append(
+                (key, target, -1 if target is None else target.mutations)
+            )
+            if target is None:
+                if engine.unknown != "fail":
+                    # SLG would raise ExistenceError; preserve that.
+                    return tuple(snapshot), None
+                continue  # undefined-but-failing: an empty relation
+            try:
+                rules, has_facts = self.lowered_rules(key)
+            except LoweringError:
+                return tuple(snapshot), None  # call through a variable
+            for rule in rules:
+                for literal in rule.body:
+                    if literal[0] != REL:
+                        return tuple(snapshot), None  # is/2, comparisons, =/2
+                    _, name, args, positive = literal
+                    if not positive:
+                        return tuple(snapshot), None  # negation
+                    callee = (name, len(args))
+                    if name in EXCLUDED_CONTROL or callee in builtins:
+                        return tuple(snapshot), None
+                    for arg in args:
+                        if isinstance(arg, tuple) and not ground_within_depth(
+                            arg, MAX_TERM_DEPTH
+                        ):
+                            return tuple(snapshot), None
+                    stack.append(callee)
+                for arg in rule.head_args:
+                    if isinstance(arg, tuple) and not ground_within_depth(
+                        arg, MAX_TERM_DEPTH
+                    ):
+                        return tuple(snapshot), None
+            specs.append((target, rules, has_facts))
+        from ..engine.hybrid import translate_plan
+
+        try:
+            plan = translate_plan(specs)
+        except (FreezeError, SafetyError):
+            plan = None
+        return tuple(snapshot), plan
+
+    def plan_for(self, name, arity):
+        """The cached plan entry's plan (no revalidation), or None."""
+        entry = self._plans.get((name, arity))
+        return None if entry is None else entry[1]
+
+    def plans(self):
+        """Every live (positive) hybrid plan; the store walker's view."""
+        return [entry[1] for entry in self._plans.values() if entry[1] is not None]
+
+    # -- WFS interpreter cache -----------------------------------------
+
+    def wfs_interpreter(self, engine):
+        """A WFS meta-interpreter over the current database, cached by
+        generation (any mutation rebuilds — alternating fixpoints are
+        expensive enough that finer invalidation would be noise)."""
+        generation = self._generation()
+        cached = self._wfs
+        if cached is not None and cached[0] == generation:
+            self.hits += 1
+            return cached[1]
+        if cached is not None:
+            self.invalidations += 1
+        self.misses += 1
+        from ..engine.wfs import WFSInterpreter
+
+        interp = WFSInterpreter.from_engine(engine)
+        self._wfs = (generation, interp)
+        return interp
+
+    # -- stage 6: adornment / mode summaries ---------------------------
+
+    def modes(self, key):
+        """Per-argument binding skeleton across a predicate's clause
+        heads: 'v' variable everywhere, 'c' constant everywhere, 's'
+        structure everywhere, 'm' mixed.  None for unknown predicates."""
+        pred = self.db.predicates.get(key)
+        if pred is None:
+            return None
+        entry = self._modes.get(key)
+        if (
+            entry is not None
+            and entry[0] is pred
+            and entry[1] == pred.mutations
+        ):
+            self.hits += 1
+            return entry[2]
+        if entry is not None:
+            self.invalidations += 1
+        self.misses += 1
+        kinds = [set() for _ in range(pred.arity)]
+        for clause in pred.clauses:
+            for position, arg in enumerate(clause.head_args):
+                if isinstance(arg, TermVar):
+                    kinds[position].add("v")
+                elif isinstance(arg, Struct):
+                    kinds[position].add("s")
+                else:
+                    kinds[position].add("c")
+        summary = "".join(
+            next(iter(k)) if len(k) == 1 else ("?" if not k else "m")
+            for k in kinds
+        )
+        self._modes[key] = (pred, pred.mutations, summary)
+        return summary
+
+    # -- reporting ------------------------------------------------------
+
+    def statistics(self):
+        """The ``analysis_*`` counter block merged into statistics/0,2.
+
+        Counts are cumulative for the registry's lifetime (like the
+        store layer's); the SCC/strata gauges read the *cached* state
+        without forcing a build, so reporting never computes."""
+        state = self._graph
+        scc_count = len(state.sccs) if state is not None else 0
+        strata_count = 0
+        if state is not None and state.strat is not None:
+            strata = state.strat["strata"]
+            if strata:
+                strata_count = max(strata.values()) + 1
+        return {
+            "analysis_cache_hits": self.hits,
+            "analysis_cache_misses": self.misses,
+            "analysis_invalidations": self.invalidations,
+            "analysis_scc_count": scc_count,
+            "analysis_strata_count": strata_count,
+        }
+
+    def describe(self, name, arity):
+        """The ``:analyze`` REPL summary for one predicate."""
+        key = (name, arity)
+        pred = self.db.predicates.get(key)
+        lines = [f"% analysis for {name}/{arity}"]
+        if pred is None:
+            lines.append("%   undefined predicate")
+            return "\n".join(lines)
+        state = self._ensure_graph()
+        own = state.scc_of.get(key)
+        members = self.scc_members(key)
+        recursive = len(members) > 1 or key in state.call_graph.get(key, ())
+        shown = ", ".join(f"{n}/{a}" for n, a in members)
+        lines.append(f"%   clauses:    {len(pred.clauses)}")
+        lines.append(f"%   tabled:     {'yes' if pred.tabled else 'no'}")
+        lines.append(f"%   modes:      {self.modes(key) or '-'}")
+        suffix = " (recursive)" if recursive else ""
+        lines.append(f"%   scc:        [{shown}]{suffix}")
+        if own is not None and state.reach[own] is None:
+            lines.append("%   reach:      unbounded (dynamic calls)")
+        verdict = self.stratification()
+        if verdict["stratified"]:
+            stratum = (verdict["strata"] or {}).get(key, 0)
+            lines.append(f"%   stratified: yes (stratum {stratum})")
+        elif self.needs_wfs(key):
+            lines.append("%   stratified: no (route through WFS)")
+        else:
+            lines.append("%   stratified: no (elsewhere; this SCC is clean)")
+        entry = self._plans.get(key)
+        if entry is None:
+            lines.append("%   hybrid:     not analyzed yet")
+        elif entry[1] is None:
+            lines.append("%   hybrid:     fallback (outside datalog fragment)")
+        else:
+            adorns = ", ".join(sorted(entry[1].rewrites)) or "none yet"
+            lines.append(f"%   hybrid:     datalog-safe (adornments: {adorns})")
+        return "\n".join(lines)

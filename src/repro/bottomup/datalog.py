@@ -1,10 +1,14 @@
 """Rule representation for the bottom-up engine.
 
-Rules are first-order Horn clauses with negation and arithmetic,
-represented over frozen Python data (see
-:mod:`repro.bottomup.relation`): constants are ints/floats/strings,
-compounds are tuples ``(functor, args...)``, and variables are
-:class:`Var` instances scoped to their rule.
+Rules are first-order Horn clauses with negation and arithmetic in the
+shared analysis IR (:mod:`repro.analysis.ir`): constants are frozen
+Python data (see :mod:`repro.bottomup.relation`) — ints/floats/strings,
+compounds are tuples ``(functor, args...)`` — and variables are
+:class:`Var` instances scoped to their rule.  The IR classes and both
+lowerings live in the analysis package so the hybrid bridge and this
+engine can never drift apart; this module re-exports them and adds the
+*evaluation* side of the value domain: matching, substitution and
+arithmetic.
 
 ``parse_program`` reads ordinary Prolog syntax through the front end
 in :mod:`repro.lang`, so benchmark programs can be written once and fed
@@ -13,10 +17,24 @@ both to the tuple-at-a-time engine and to this set-at-a-time engine.
 
 from __future__ import annotations
 
+from ..analysis import graph as _graphlib
+from ..analysis.ir import (  # noqa: F401 — the IR is re-exported from here
+    CMP,
+    COMPARISON_OPS,
+    IS,
+    REL,
+    UNIFY,
+    Rule,
+    Var,
+    check_rule_safety,
+    list_args,
+    pattern_vars,
+    term_literal as _literal,
+    term_pattern as _term_to_pattern,
+)
 from ..errors import SafetyError, TypeError_
 from ..lang.parser import parse_terms
 from ..terms import Atom, Struct
-from ..terms import Var as TermVar
 from ..terms import deref
 
 __all__ = [
@@ -32,11 +50,6 @@ __all__ = [
     "eval_expr",
 ]
 
-REL = "rel"
-CMP = "cmp"
-IS = "is"
-UNIFY = "unify"
-
 _COMPARE_OPS = {
     "<": lambda a, b: a < b,
     ">": lambda a, b: a > b,
@@ -45,6 +58,7 @@ _COMPARE_OPS = {
     "=:=": lambda a, b: a == b,
     "=\\=": lambda a, b: a != b,
 }
+assert set(_COMPARE_OPS) == set(COMPARISON_OPS)
 
 _ARITH_OPS = {
     "+": lambda a, b: a + b,
@@ -56,18 +70,6 @@ _ARITH_OPS = {
 }
 
 
-class Var:
-    """A rule variable (identity-scoped)."""
-
-    __slots__ = ("name",)
-
-    def __init__(self, name="_"):
-        self.name = name
-
-    def __repr__(self):
-        return self.name
-
-
 def atom(name):
     """Constants are plain strings in the bottom-up value domain."""
     return name
@@ -75,33 +77,6 @@ def atom(name):
 
 def struct(functor, *args):
     return (functor, *args)
-
-
-class Rule:
-    """``head :- body`` with body literals of four kinds.
-
-    * ``(REL, pred, args, positive)`` — a relational literal;
-    * ``(CMP, op, left, right)`` — arithmetic comparison;
-    * ``(IS, target, expr)`` — arithmetic assignment;
-    * ``(UNIFY, left, right)`` — explicit unification/construction.
-    """
-
-    __slots__ = ("head_pred", "head_args", "body")
-
-    def __init__(self, head_pred, head_args, body):
-        self.head_pred = head_pred
-        self.head_args = tuple(head_args)
-        self.body = list(body)
-
-    @property
-    def indicator(self):
-        return f"{self.head_pred}/{len(self.head_args)}"
-
-    def rel_literals(self):
-        return [lit for lit in self.body if lit[0] == REL]
-
-    def __repr__(self):
-        return f"<Rule {self.indicator} :- {len(self.body)} literals>"
 
 
 class Program:
@@ -126,19 +101,7 @@ class Program:
 
     def dependency_graph(self):
         """Edges head -> (callee, negative?) over IDB predicates."""
-        idb = self.idb_predicates
-        edges = {}
-        for rule in self.rules:
-            key = (rule.head_pred, len(rule.head_args))
-            deps = edges.setdefault(key, set())
-            for literal in rule.body:
-                if literal[0] != REL:
-                    continue
-                _, pred, args, positive = literal
-                callee = (pred, len(args))
-                if callee in idb:
-                    deps.add((callee, not positive))
-        return edges
+        return _graphlib.dependency_edges(self.rules, self.idb_predicates)
 
     def stratify(self):
         """Assign strata; raises SafetyError when not stratified.
@@ -146,26 +109,7 @@ class Program:
         Returns {pred_key: stratum}; a predicate's stratum is strictly
         above any predicate it depends on negatively.
         """
-        edges = self.dependency_graph()
-        keys = set(edges)
-        for deps in edges.values():
-            keys.update(callee for callee, _ in deps)
-        strata = {key: 0 for key in keys}
-        changed = True
-        rounds = 0
-        limit = len(keys) * len(keys) + len(keys) + 1
-        while changed:
-            changed = False
-            rounds += 1
-            if rounds > limit:
-                raise SafetyError("program is not stratified")
-            for key, deps in edges.items():
-                for callee, negative in deps:
-                    needed = strata[callee] + (1 if negative else 0)
-                    if strata[key] < needed:
-                        strata[key] = needed
-                        changed = True
-        return strata
+        return _graphlib.stratify(self.dependency_graph())
 
     def __len__(self):
         return len(self.rules)
@@ -174,18 +118,6 @@ class Program:
 # --------------------------------------------------------------------------
 # matching / substitution / arithmetic over frozen values
 # --------------------------------------------------------------------------
-
-def pattern_vars(pattern, out=None):
-    if out is None:
-        out = []
-    if isinstance(pattern, Var):
-        if pattern not in out:
-            out.append(pattern)
-    elif isinstance(pattern, tuple):
-        for arg in pattern[1:]:
-            pattern_vars(arg, out)
-    return out
-
 
 def match(pattern, value, bindings):
     """Match a pattern against a ground value, extending ``bindings``.
@@ -264,142 +196,8 @@ def compare(op, left, right, bindings):
 
 
 # --------------------------------------------------------------------------
-# safety (range restriction)
+# parsing from Prolog syntax (lowering shared with the analysis layer)
 # --------------------------------------------------------------------------
-
-def check_rule_safety(rule):
-    """Left-to-right range restriction: every head variable, negated
-    literal variable and comparison variable must be bound by an
-    earlier positive relational literal (or IS/UNIFY definition)."""
-    bound = set()
-    for literal in rule.body:
-        kind = literal[0]
-        if kind == REL:
-            _, _, args, positive = literal
-            if positive:
-                for var in pattern_vars(list_args(args)):
-                    bound.add(var)
-            else:
-                for var in pattern_vars(list_args(args)):
-                    if var not in bound:
-                        raise SafetyError(
-                            f"unsafe negation in {rule.indicator}: {var}"
-                        )
-        elif kind == CMP:
-            _, _, left, right = literal
-            for var in pattern_vars(left) + pattern_vars(right):
-                if var not in bound:
-                    raise SafetyError(
-                        f"unsafe comparison in {rule.indicator}: {var}"
-                    )
-        elif kind == IS:
-            _, target, expr = literal
-            for var in pattern_vars(expr):
-                if var not in bound:
-                    raise SafetyError(
-                        f"unsafe arithmetic in {rule.indicator}: {var}"
-                    )
-            for var in pattern_vars(target):
-                bound.add(var)
-        elif kind == UNIFY:
-            _, left, right = literal
-            left_vars = set(pattern_vars(left))
-            right_vars = set(pattern_vars(right))
-            if right_vars <= bound:
-                bound |= left_vars
-            elif left_vars <= bound:
-                bound |= right_vars
-            else:
-                raise SafetyError(f"unsafe unification in {rule.indicator}")
-    for var in pattern_vars(list_args(rule.head_args)):
-        if var not in bound:
-            raise SafetyError(
-                f"rule for {rule.indicator} is not range-restricted: {var}"
-            )
-
-
-def list_args(args):
-    """Wrap an argument tuple so pattern_vars can walk it."""
-    return ("$args",) + tuple(args)
-
-
-# --------------------------------------------------------------------------
-# parsing from Prolog syntax
-# --------------------------------------------------------------------------
-
-def _term_to_pattern(term, varmap):
-    term = deref(term)
-    if isinstance(term, TermVar):
-        var = varmap.get(id(term))
-        if var is None:
-            var = Var(term.name or f"V{len(varmap)}")
-            varmap[id(term)] = var
-        return var
-    if isinstance(term, Atom):
-        return term.name
-    if isinstance(term, Struct):
-        return (term.name,) + tuple(
-            _term_to_pattern(a, varmap) for a in term.args
-        )
-    return term
-
-
-def _literal(term, varmap, out, positive=True):
-    term = deref(term)
-    if isinstance(term, Struct) and term.name == "," and len(term.args) == 2:
-        _literal(term.args[0], varmap, out, positive)
-        _literal(term.args[1], varmap, out, positive)
-        return
-    if (
-        isinstance(term, Struct)
-        and term.name in ("\\+", "not", "tnot", "e_tnot")
-        and len(term.args) == 1
-    ):
-        _literal(term.args[0], varmap, out, positive=not positive)
-        return
-    if isinstance(term, Struct) and term.name in _COMPARE_OPS and len(term.args) == 2:
-        out.append(
-            (
-                CMP,
-                term.name,
-                _term_to_pattern(term.args[0], varmap),
-                _term_to_pattern(term.args[1], varmap),
-            )
-        )
-        return
-    if isinstance(term, Struct) and term.name == "is" and len(term.args) == 2:
-        out.append(
-            (
-                IS,
-                _term_to_pattern(term.args[0], varmap),
-                _term_to_pattern(term.args[1], varmap),
-            )
-        )
-        return
-    if isinstance(term, Struct) and term.name == "=" and len(term.args) == 2:
-        out.append(
-            (
-                UNIFY,
-                _term_to_pattern(term.args[0], varmap),
-                _term_to_pattern(term.args[1], varmap),
-            )
-        )
-        return
-    if isinstance(term, Struct):
-        out.append(
-            (
-                REL,
-                term.name,
-                tuple(_term_to_pattern(a, varmap) for a in term.args),
-                positive,
-            )
-        )
-        return
-    if isinstance(term, Atom):
-        out.append((REL, term.name, (), positive))
-        return
-    raise TypeError_("datalog literal", term)
-
 
 def parse_program(text, check_safety=True):
     """Parse Prolog-syntax text into (Program, facts).

@@ -17,23 +17,14 @@ are exactly what figure 5 measures.
 
 from __future__ import annotations
 
+from ..analysis.adorn import adorned_name, adornment_of, magic_name  # noqa: F401
 from ..errors import SafetyError
 from .datalog import IS, REL, UNIFY, Program, Rule, pattern_vars
 
+# The adornment vocabulary lives in repro.analysis.adorn (the registry
+# reports mode summaries in the same notation); re-exported here for
+# the rewrite's callers.
 __all__ = ["magic_rewrite", "adornment_of", "adorned_name", "magic_name"]
-
-
-def adornment_of(args):
-    """'b'/'f' string for a query argument list (None marks free)."""
-    return "".join("f" if a is None else "b" for a in args)
-
-
-def adorned_name(pred, adornment):
-    return f"{pred}__{adornment}"
-
-
-def magic_name(pred, adornment):
-    return f"m_{pred}__{adornment}"
 
 
 def _literal_vars(args):

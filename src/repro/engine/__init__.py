@@ -465,14 +465,12 @@ class Engine:
             store = pred.fact_store
             if store is not None:
                 seen[id(store)] = store
-            cache = pred.hybrid_cache
-            if cache is not None and cache[1] is not None:
-                plan = cache[1]
-                for relation in plan.facts.values():
+        for plan in self.db.analysis.plans():
+            for relation in plan.facts.values():
+                seen[id(relation)] = relation
+            for prepared, _, _ in plan.rewrites.values():
+                for relation in prepared.relations.values():
                     seen[id(relation)] = relation
-                for prepared, _, _ in plan.rewrites.values():
-                    for relation in prepared.relations.values():
-                        seen[id(relation)] = relation
         for frame in self.tables.all_frames():
             store = frame.answer_store
             if store is not None:
@@ -503,6 +501,7 @@ class Engine:
         merged["profile_self_ns"] = (
             profiler.total_self_ns() if profiler is not None else 0
         )
+        merged.update(self.db.analysis.statistics())
         return merged
 
     def reset_statistics(self):
@@ -517,6 +516,11 @@ class Engine:
 
     def predicate(self, name, arity):
         return self.db.lookup(name, arity)
+
+    def analyze(self, name, arity):
+        """Human-readable analysis-registry summary for one predicate
+        (what the REPL's ``:analyze`` command prints)."""
+        return self.db.analysis.describe(name, arity)
 
     def __repr__(self):
         return (

@@ -54,7 +54,6 @@ class Predicate:
         "module",
         "subsumptive",
         "mutations",
-        "hybrid_cache",
         "fact_store",
         "fact_store_stamp",
     )
@@ -71,14 +70,13 @@ class Predicate:
         self.next_seq = 0
         self.module = module
         self.subsumptive = False
-        # Clause-set version stamp plus the hybrid planner's cached
-        # analysis of this predicate's reachable SCC (see
-        # repro.engine.hybrid).  Every assert/retract bumps the stamp;
-        # the cache records the stamps of everything it looked at and
-        # revalidates against them, so dynamic code invalidates plans
+        # Clause-set version stamp.  Every assert/retract bumps it (and
+        # the process-global generation); the analysis registry
+        # (repro.analysis.registry) records the stamps of everything a
+        # cached result looked at and revalidates against them, so
+        # dynamic code invalidates exactly the dependent analyses
         # without any cross-predicate bookkeeping here.
         self.mutations = 0
-        self.hybrid_cache = None
         # The ground-fact side of the predicate as a TupleStore of
         # frozen rows (see fact_rows), cached against the mutations
         # stamp.  Clause indexing stays term-level in index_plan; this
@@ -260,8 +258,13 @@ class Database:
     """Maps name/arity to :class:`Predicate` and owns declarations."""
 
     def __init__(self):
+        # Imported here, not at module level: the registry reaches back
+        # into this module for mutation_generation.
+        from ..analysis.registry import AnalysisRegistry
+
         self.predicates = {}
         self.hilog_symbols = set()
+        self.analysis = AnalysisRegistry(self)
 
     def lookup(self, name, arity):
         """The predicate for a call, or None when undefined."""
@@ -296,7 +299,11 @@ class Database:
 
     def abolish(self, name, arity):
         """Remove the predicate definition entirely."""
-        self.predicates.pop((name, arity), None)
+        if self.predicates.pop((name, arity), None) is not None:
+            # A removal is a mutation like any other: without the bump,
+            # generation-validated analyses would keep serving results
+            # that still mention the abolished predicate.
+            _GENERATION[0] += 1
 
     def all_predicates(self):
         return list(self.predicates.values())

@@ -19,20 +19,16 @@ negation (``tnot`` sees a completed table) and ``statistics/0`` all
 work unchanged; any precondition failure falls back to ordinary SLG
 resolution.
 
-Safety analysis (cached per predicate, revalidated against clause-set
-version stamps so assert/retract invalidate it):
-
-* every predicate reachable from the call must be defined (or the
-  engine must have ``unknown="fail"``) and none may be a builtin or a
-  control construct — a body literal like ``tnot/1`` or ``is/2``
-  disqualifies the whole SCC;
-* rule arguments must be variables or constants (atoms, numbers,
-  *ground* structures up to :data:`MAX_TERM_DEPTH`) — patterns that
-  build new structure bottom-up could diverge where SLG's demand-driven
-  search would not;
-* bodiless clauses must be ground facts within the depth bound;
-* the translated rules must be range-restricted (the bottom-up
-  engine's safety condition), checked by :class:`Program` itself.
+The safety analysis itself lives in the analysis registry
+(:meth:`repro.analysis.registry.AnalysisRegistry.hybrid_plan`): the
+registry walks the reachable closure over the shared lowered IR,
+screens it for the datalog-safe fragment, and caches the verdict —
+positive or negative — against the store layer's generation stamps so
+assert/retract anywhere in the reachable set invalidates exactly the
+dependent plans.  This module supplies the two halves the registry
+composes: :func:`translate_plan`, which turns screened IR rules into a
+:class:`HybridPlan`, and the per-call machinery below that adorns,
+rewrites and evaluates a plan.
 
 Per call, each argument must be either an unbound variable (a free
 position in the adornment) or ground within the depth bound; repeated
@@ -41,9 +37,10 @@ variables in the call are honored by filtering the answer relation.
 
 from __future__ import annotations
 
-from ..bottomup.datalog import REL, Rule, Var as DVar
+from ..analysis.adorn import adornment_of, magic_name
+from ..analysis.ir import REL, Rule, Var as DVar
 from ..bottomup.datalog import Program
-from ..bottomup.magic import adornment_of, magic_name, magic_rewrite
+from ..bottomup.magic import magic_rewrite
 from ..bottomup.seminaive import EvaluationStats, prepare
 from ..errors import SafetyError
 from ..obs.trace import (
@@ -58,32 +55,16 @@ from ..store.codec import (
     freeze_term,
     thaw_value,
 )
-from ..terms import Atom, Struct, Var, mkatom
-from .clause import SlotRef
+from ..terms import Struct, Var, mkatom
 from .database import mutation_generation
 
-__all__ = ["try_hybrid", "analyze", "HybridPlan", "MAX_TERM_DEPTH"]
+__all__ = ["try_hybrid", "translate_plan", "HybridPlan", "MAX_TERM_DEPTH"]
 
 # Term ↔ row conversion is the shared codec's job: calls whose
 # arguments nest deeper than MAX_TERM_DEPTH are not routed bottom-up
 # (and neither are predicates whose facts do) — 10k-deep terms stay on
 # the iterative SLG kernels.  freeze_term raises FreezeError for
-# those, which the analysis treats exactly like _Unsafe.
-
-# Control constructs are dispatched by name inside the machine's solve
-# loop rather than through the builtin registry, so the analysis must
-# reject them explicitly; everything else non-user is caught by the
-# registry probe.  ``true/0`` could in principle be dropped from a
-# body, but it never appears in datalog workloads and skipping the
-# special case keeps the analysis a pure reachability walk.
-_EXCLUDED = frozenset(
-    (",", ";", "->", "!", "true", "fail", "false", "\\+",
-     "$answer", "$yield", "$ite", "$cutto", "tcut")
-)
-
-
-class _Unsafe(Exception):
-    """Internal: a precondition failed; fall back to SLG."""
+# those, which the registry's screen treats as unsafe.
 
 
 class HybridPlan:
@@ -118,106 +99,31 @@ class HybridPlan:
         self.rewrites = {}
 
 
-# --------------------------------------------------------------------------
-# analysis and translation (cached on the Predicate)
-# --------------------------------------------------------------------------
+def translate_plan(specs):
+    """Build a :class:`HybridPlan` from screened lowered predicates.
 
-def analyze(engine, pred):
-    """The :class:`HybridPlan` for ``pred``, or None when any reachable
-    clause leaves the datalog-safe fragment.
-
-    The result — including the negative verdict — is cached on the
-    predicate together with a snapshot of every predicate the analysis
-    visited and its clause-set version stamp; assert/retract anywhere
-    in the reachable set (or defining a predicate the analysis saw as
-    missing) invalidates the cache on the next call.  The cache also
-    records the global :func:`mutation_generation` it was validated
-    at: while no clause anywhere has changed, revalidation is one
-    integer compare rather than a stamp walk (the common case — every
-    new subgoal of a tabled predicate consults this cache).
+    ``specs`` is a list of ``(pred, rules, has_facts)`` triples as the
+    registry's safety screen produced them — ``rules`` the predicate's
+    lowered IR rules, ``has_facts`` whether it also has ground bodiless
+    clauses.  May raise FreezeError (a fact outside the codec's value
+    domain) or SafetyError (a rule that is not range-restricted); the
+    registry treats both as a negative verdict.
     """
-    cache = pred.hybrid_cache
-    generation = mutation_generation()
-    if cache is not None:
-        if cache[2] == generation:
-            return cache[1]
-        if _cache_valid(engine.db, cache[0]):
-            pred.hybrid_cache = (cache[0], cache[1], generation)
-            return cache[1]
-    snapshot, plan = _build_plan(engine, pred)
-    pred.hybrid_cache = (snapshot, plan, generation)
-    return plan
-
-
-def _cache_valid(db, snapshot):
-    predicates = db.predicates
-    for key, known, stamp in snapshot:
-        current = predicates.get(key)
-        if current is not known:
-            return False
-        if known is not None and known.mutations != stamp:
-            return False
-    return True
-
-
-def _build_plan(engine, pred):
-    """Reachability walk + safety screen + translation, one pass."""
-    predicates = engine.db.predicates
-    builtins = engine.builtins
-    snapshot = []
-    seen = set()
-    reached = []
-    stack = [(pred.name, pred.arity)]
-    while stack:
-        key = stack.pop()
-        if key in seen:
-            continue
-        seen.add(key)
-        target = predicates.get(key)
-        snapshot.append((key, target, -1 if target is None else target.mutations))
-        if target is None:
-            if engine.unknown != "fail":
-                # SLG would raise ExistenceError; preserve that.
-                return tuple(snapshot), None
-            continue  # undefined-but-failing: an empty relation
-        reached.append(target)
-        for clause in target.clauses:
-            for literal in clause.body:
-                if isinstance(literal, Struct):
-                    name, arity = literal.name, len(literal.args)
-                elif isinstance(literal, Atom):
-                    name, arity = literal.name, 0
-                else:
-                    return tuple(snapshot), None  # call through a variable
-                if name in _EXCLUDED or (name, arity) in builtins:
-                    return tuple(snapshot), None
-                stack.append((name, arity))
-    try:
-        plan = _translate(reached)
-    except (_Unsafe, FreezeError, SafetyError):
-        plan = None
-    return tuple(snapshot), plan
-
-
-def _translate(reached):
     rules = []
     facts = {}
-    for pred in reached:
-        rule_clauses = [c for c in pred.clauses if c.body]
-        has_facts = len(rule_clauses) != len(pred.clauses)
+    for pred, pred_rules, has_facts in specs:
         key = (pred.name, pred.arity)
-        if not rule_clauses:
+        if not pred_rules:
             if has_facts:
-                # The predicate's own ground-fact store (a bodiless
-                # clause with a variable, or an over-deep or opaque
-                # argument, raises FreezeError here: not a fact).  The
-                # store is shared, not copied: the plan is invalidated
-                # whenever the clauses change, and the hash indexes
-                # joins build on it persist across plans.
+                # The predicate's own ground-fact store (an over-deep
+                # or opaque argument raises FreezeError here: not a
+                # storable fact).  The store is shared, not copied: the
+                # plan is invalidated whenever the clauses change, and
+                # the hash indexes joins build on it persist across
+                # plans.
                 facts[key] = pred.fact_rows()
             continue
-        for clause in rule_clauses:
-            rules.append(_translate_rule(clause))
+        rules.extend(pred_rules)
         if has_facts:
             # Facts of a predicate that also has rules stay a bulk
             # relation under an ``$edb`` alias fed by a bridge rule.
@@ -231,36 +137,6 @@ def _translate(reached):
     # condition); a head variable unbound by the body — legal in SLG,
     # where it stays a variable in the answer — raises SafetyError.
     return HybridPlan(Program(rules), facts)
-
-
-def _translate_rule(clause):
-    varmap = {}
-    head_args = tuple(_rule_arg(arg, varmap) for arg in clause.head_args)
-    body = []
-    for literal in clause.body:
-        if isinstance(literal, Struct):
-            args = tuple(_rule_arg(arg, varmap) for arg in literal.args)
-            body.append((REL, literal.name, args, True))
-        else:  # Atom (arity 0); anything else was rejected by the walk
-            body.append((REL, literal.name, (), True))
-    return Rule(clause.name, head_args, body)
-
-
-def _rule_arg(skeleton, varmap):
-    """A compiled-clause argument as a bottom-up pattern.
-
-    Variables (SlotRefs) map to rule variables by slot index; atoms
-    and numbers to frozen constants; *ground* structures become frozen
-    tuple constants.  A structure containing a variable is rejected —
-    such patterns synthesize unbounded new terms bottom-up.
-    """
-    if type(skeleton) is SlotRef:
-        var = varmap.get(skeleton.index)
-        if var is None:
-            var = DVar(skeleton.name or f"S{skeleton.index}")
-            varmap[skeleton.index] = var
-        return var
-    return freeze_term(skeleton)
 
 
 # --------------------------------------------------------------------------
@@ -360,7 +236,8 @@ def try_hybrid(engine, frame, call_term, pred, stats, trace=None, prof=None):
     span bracketing the fixpoint, a rejected one a ``hybrid_fallback``
     event, so traces show *where* set-at-a-time evaluation kicked in.
     """
-    cache = pred.hybrid_cache
+    registry = engine.db.analysis
+    cache = registry._plans.get((pred.name, pred.arity))
     if (
         cache is not None
         and cache[1] is None
@@ -374,7 +251,7 @@ def try_hybrid(engine, frame, call_term, pred, stats, trace=None, prof=None):
         if trace is not None:
             trace.event(EV_HYBRID_FALLBACK, frame)
         return False
-    plan = analyze(engine, pred)
+    plan = registry.hybrid_plan(engine, pred)
     if plan is None:
         if stats is not None:
             stats.hybrid_fallbacks += 1

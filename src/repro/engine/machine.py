@@ -63,6 +63,7 @@ from .frames import (
     Goals,
     goals_for_body,
 )
+from .database import mutation_generation
 from .hybrid import try_hybrid
 from .table import Suspension
 
@@ -336,6 +337,7 @@ class Machine:
         "mode",
         "base_mark",
         "depth",
+        "start_generation",
         "stats",
         "trace",
         "prof",
@@ -351,6 +353,11 @@ class Machine:
         self.mode = mode
         self.base_mark = 0
         self.depth = depth
+        # The registry's static SCC reach sets are sound only while the
+        # program the registry analyzed is the program being run; a
+        # mid-run assert/retract bumps the store generation and the
+        # completion merge below falls back to unconditional merging.
+        self.start_generation = mutation_generation()
         # None when statistics are disabled, so every counting site is a
         # single `is not None` test (zero-cost-when-off contract).
         stats = getattr(engine, "stats", None)
@@ -660,6 +667,13 @@ class Machine:
             self.next_dfn += 1
             frame.comp_index = len(self.comp_stack)
             self.comp_stack.append(frame)
+            # Stamp the frame with its static SCC identity: the
+            # completion merge uses reach sets to skip deplink merges
+            # that the call graph proves impossible (independent
+            # components interleaved on the completion stack).
+            frame.scc_id, frame.scc_reach = engine.db.analysis.scc_info(
+                (pred.name, pred.arity)
+            )
             frame.gen_trail_mark = trail.mark()
             self.created_frames.append(frame)
             if prof is not None:
@@ -692,11 +706,27 @@ class Machine:
             consumer = ConsumerCP(trail.mark(), frame, term, goals.next, weak=True)
         elif not frame.complete:
             # In-run repeated call: merge dependency links so the SCC
-            # completes together (approximate SCC of the SLG-WAM).
+            # completes together (approximate SCC of the SLG-WAM).  The
+            # analysis registry's static reach sets prune the merge: a
+            # younger generator whose predicate component provably
+            # cannot reach this frame's component has no dependency on
+            # it, so dragging its deplink down would only delay its
+            # completion (and grow answer retention) for nothing.  The
+            # pruning is sound only while the analyzed program is the
+            # running program — any mid-run assert/retract falls back
+            # to the unconditional merge.
             dfn = frame.dfn
-            for younger in self.comp_stack[frame.comp_index + 1 :]:
-                if younger.deplink > dfn:
-                    younger.deplink = dfn
+            scc = frame.scc_id
+            if scc < 0 or mutation_generation() != self.start_generation:
+                for younger in self.comp_stack[frame.comp_index + 1 :]:
+                    if younger.deplink > dfn:
+                        younger.deplink = dfn
+            else:
+                for younger in self.comp_stack[frame.comp_index + 1 :]:
+                    if younger.deplink > dfn and (
+                        younger.scc_reach is None or scc in younger.scc_reach
+                    ):
+                        younger.deplink = dfn
             consumer = ConsumerCP(trail.mark(), frame, term, goals.next)
         else:
             consumer = ConsumerCP(trail.mark(), frame, term, goals.next)

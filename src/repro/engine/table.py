@@ -97,6 +97,8 @@ class SubgoalFrame:
         "run",
         "gen_trail_mark",
         "negation_delayed",
+        "scc_id",
+        "scc_reach",
     )
 
     def __init__(self, key, indicator, use_trie=False, seq=0):
@@ -132,6 +134,13 @@ class SubgoalFrame:
         self.run = None
         self.gen_trail_mark = 0
         self.negation_delayed = False
+        # Static SCC identity from the analysis registry, stamped by the
+        # machine when the generator is created: scc_id is the
+        # predicate's component id in the registry's call graph,
+        # scc_reach the frozenset of component ids its evaluation can
+        # reach (None = unknown/unbounded, merge conservatively).
+        self.scc_id = -1
+        self.scc_reach = None
 
     # -- answers ------------------------------------------------------------
 

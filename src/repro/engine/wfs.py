@@ -24,10 +24,9 @@ from __future__ import annotations
 from ..bottomup.datalog import parse_program
 from ..bottomup.wellfounded import alternating_fixpoint, ground_program
 from ..errors import ReproError
-from ..lang.writer import term_to_str
 from ..terms import Atom, Struct, Var, deref
 
-__all__ = ["WFSInterpreter", "TRUE", "FALSE", "UNDEFINED"]
+__all__ = ["WFSInterpreter", "TRUE", "FALSE", "UNDEFINED", "needs_wfs", "solve"]
 
 TRUE = "true"
 FALSE = "false"
@@ -46,6 +45,39 @@ def _value_of(term):
     return term
 
 
+def needs_wfs(engine, name, arity):
+    """True when the registry reports the predicate's component as
+    non-stratified — the only case that needs the meta-interpreter."""
+    return engine.db.analysis.needs_wfs((name, arity))
+
+
+def solve(engine, name, arity, args=None):
+    """Route one query by the registry's stratification verdict.
+
+    ``args`` uses None for open positions and frozen values for bound
+    ones (the bottom-up value domain).  Stratified predicates run on
+    the SLG engine — two-valued, so the undefined set is empty; only a
+    predicate whose component the registry reports non-stratified pays
+    for the alternating fixpoint.  Returns sorted
+    ``(true_rows, undefined_rows)``.
+    """
+    if args is None:
+        args = (None,) * arity
+    if needs_wfs(engine, name, arity):
+        return engine.db.analysis.wfs_interpreter(engine).query(name, args)
+    from ..store.codec import thaw_value
+    from ..terms import mkatom
+
+    goal_args = tuple(
+        Var() if value is None else thaw_value(value) for value in args
+    )
+    goal = Struct(name, goal_args) if arity else mkatom(name)
+    rows = set()
+    for _ in engine.query_iter(goal, raw=True):
+        rows.add(tuple(_value_of(arg) for arg in goal_args))
+    return sorted(rows), []
+
+
 class WFSInterpreter:
     """Three-valued query answering over the well-founded model.
 
@@ -61,13 +93,16 @@ class WFSInterpreter:
 
     @classmethod
     def from_engine(cls, engine):
-        """Lift a tuple-engine program into the WFS interpreter."""
+        """Lift a tuple-engine program into the WFS interpreter.
+
+        The rules and facts come straight from the analysis registry's
+        shared lowering (no unparse/reparse round trip), so the
+        meta-interpreter evaluates exactly the IR every other layer
+        analyzes.
+        """
         interp = cls("")
-        chunks = []
-        for pred in engine.db.all_predicates():
-            for clause in pred.clauses:
-                chunks.append(term_to_str(clause.to_term()) + " .")
-        return cls("\n".join(chunks))
+        interp.program, interp.facts = engine.db.analysis.lowered_program()
+        return interp
 
     def add_facts(self, name, rows):
         """Add EDB facts: rows of Python values (str = atom)."""

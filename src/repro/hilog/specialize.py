@@ -22,6 +22,7 @@ are rewritten to call the specialized predicate directly.
 
 from __future__ import annotations
 
+from ..analysis.callgraph import CONTROL_NAMES
 from ..terms import Struct, Var, deref
 from .encode import APPLY, hilog_functor_symbol
 
@@ -63,13 +64,12 @@ def _specialize_literal(term, groups):
     return Struct(term.name, args)
 
 
-_CONTROL = {",", ";", "->", "\\+", "not", "tnot", "e_tnot", "once", "findall",
-             "tfindall", "bagof", "setof", "forall"}
-
-
 def _specialize_body(term, groups):
+    # CONTROL_NAMES is the analysis layer's single source of truth for
+    # which constructs wrap goals; the rewriter descends through
+    # exactly the constructs the call-graph walker does.
     term = deref(term)
-    if isinstance(term, Struct) and term.name in _CONTROL:
+    if isinstance(term, Struct) and term.name in CONTROL_NAMES:
         args = tuple(_specialize_body(a, groups) for a in term.args)
         return Struct(term.name, args)
     return _specialize_literal(term, groups)

@@ -5,144 +5,33 @@ chooses to table enough predicates to ensure that all loops are
 broken", trading precision for simplicity and speed (the exact
 question — will a goal repeat on an SLD path — is undecidable).
 
-The implementation here does exactly that: it builds the predicate
-call graph of the consult unit and tables every predicate belonging to
-a cyclic strongly connected component (including self-loops).  Every
-cycle lies inside one SCC, so tabling all SCC members breaks all
-loops; like XSB's version, this "may happen to choose too many"
-predicates, and the same remedies apply (explicit ``table``
-declarations, or moving predicates to another module, since the
-directive's scope is the consult unit).
+The implementation does exactly that, on top of the shared analysis
+layer: :func:`repro.analysis.callgraph.build_call_graph` extracts the
+predicate call graph of the consult unit (the directive runs over the
+clause batch *before* it lands in the database, so the batch-level
+walker serves here where the database-attached registry cannot), and
+:func:`repro.analysis.graph.tarjan_sccs` finds its cyclic strongly
+connected components.  Every predicate in a cyclic SCC (including
+self-loops) is tabled; every cycle lies inside one SCC, so tabling all
+SCC members breaks all loops.  Like XSB's version this "may happen to
+choose too many" predicates, and the same remedies apply (explicit
+``table`` declarations, or moving predicates to another module, since
+the directive's scope is the consult unit).
 """
 
 from __future__ import annotations
 
-from ..terms import Atom, Struct, deref
+from ..analysis.callgraph import build_call_graph
+from ..analysis.graph import tarjan_sccs
 
 __all__ = ["build_call_graph", "select_tabled"]
-
-_CONTROL = {
-    (",", 2),
-    (";", 2),
-    ("->", 2),
-    ("\\+", 1),
-    ("not", 1),
-    ("tnot", 1),
-    ("e_tnot", 1),
-    ("once", 1),
-    ("ignore", 1),
-    ("call", 1),
-}
-
-
-def _body_literals(term, out):
-    """Collect called predicate indicators, descending into control."""
-    term = deref(term)
-    if isinstance(term, Struct):
-        key = (term.name, len(term.args))
-        if key in _CONTROL:
-            for arg in term.args:
-                _body_literals(arg, out)
-            return
-        if term.name in ("findall", "tfindall", "bagof", "setof") and len(
-            term.args
-        ) == 3:
-            _body_literals(term.args[1], out)
-            return
-        if term.name == "forall" and len(term.args) == 2:
-            _body_literals(term.args[0], out)
-            _body_literals(term.args[1], out)
-            return
-        out.append((term.name, len(term.args)))
-    elif isinstance(term, Atom):
-        out.append((term.name, 0))
-
-
-def build_call_graph(clauses):
-    """Edges head-indicator -> called-indicator over a clause batch."""
-    edges = {}
-    for clause in clauses:
-        clause = deref(clause)
-        if (
-            isinstance(clause, Struct)
-            and clause.name == ":-"
-            and len(clause.args) == 2
-        ):
-            head = deref(clause.args[0])
-            body = clause.args[1]
-        else:
-            head = clause
-            body = None
-        if isinstance(head, Struct):
-            head_key = (head.name, len(head.args))
-        elif isinstance(head, Atom):
-            head_key = (head.name, 0)
-        else:
-            continue
-        callees = edges.setdefault(head_key, set())
-        if body is not None:
-            found = []
-            _body_literals(body, found)
-            callees.update(found)
-    return edges
-
-
-def _tarjan_sccs(graph):
-    """Tarjan's strongly connected components, iteratively."""
-    index_counter = [0]
-    index = {}
-    lowlink = {}
-    on_stack = set()
-    stack = []
-    sccs = []
-
-    for root in graph:
-        if root in index:
-            continue
-        work = [(root, iter(sorted(graph.get(root, ()))))]
-        index[root] = lowlink[root] = index_counter[0]
-        index_counter[0] += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, children = work[-1]
-            advanced = False
-            for child in children:
-                if child not in graph:
-                    continue
-                if child not in index:
-                    index[child] = lowlink[child] = index_counter[0]
-                    index_counter[0] += 1
-                    stack.append(child)
-                    on_stack.add(child)
-                    work.append((child, iter(sorted(graph.get(child, ())))))
-                    advanced = True
-                    break
-                if child in on_stack:
-                    lowlink[node] = min(lowlink[node], index[child])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-            if lowlink[node] == index[node]:
-                scc = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    scc.append(member)
-                    if member == node:
-                        break
-                sccs.append(scc)
-    return sccs
 
 
 def select_tabled(clauses):
     """The predicate indicators ``table_all`` chooses to table."""
     graph = build_call_graph(clauses)
     chosen = set()
-    for scc in _tarjan_sccs(graph):
+    for scc in tarjan_sccs(graph):
         if len(scc) > 1:
             chosen.update(scc)
         else:

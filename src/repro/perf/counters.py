@@ -88,12 +88,19 @@ _FIELDS = (
 # Keys accepted by statistics/2.  The table-space keys (answers,
 # space) are provided by TableSpace.statistics(), the store_* keys by
 # summing per-store StoreStats blocks, the trace_*/profile_* keys by
-# the observability layer (:mod:`repro.obs`); all are merged in
+# the observability layer (:mod:`repro.obs`), the analysis_* keys by
+# the clause database's analysis registry
+# (:mod:`repro.analysis.registry`); all are merged in
 # Engine.statistics().  The reporting order — what ``statistics/0``
 # prints and an unbound ``statistics(K, V)`` backtracks through — is
 # deterministic *sorted* order, so adding a counter can never silently
 # reshuffle downstream diffs of statistics dumps.
 STATISTIC_KEYS = tuple(sorted(_FIELDS + (
+    "analysis_cache_hits",
+    "analysis_cache_misses",
+    "analysis_invalidations",
+    "analysis_scc_count",
+    "analysis_strata_count",
     "answers_inserted",
     "duplicate_answers",
     "subgoals_created",

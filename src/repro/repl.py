@@ -41,6 +41,7 @@ goals end with '.'; ';' asks for more solutions
   statistics.         print every engine counter
   trace_control(on).  start SLG tracing + profiling (off/clear/dump(F)/chrome(F))
   :profile            print the per-subgoal profile report
+  :analyze p/N        print the analysis-registry summary for p/N
   :help               this text
 """
 
@@ -129,6 +130,13 @@ class Toplevel:
                 )
             else:
                 self._write(self.engine.format_profile() + "\n")
+        elif command.startswith("analyze"):
+            spec = command[len("analyze"):].strip()
+            name, _, arity = spec.rpartition("/")
+            if not name or not arity.isdigit():
+                self._write("usage: :analyze name/arity\n")
+            else:
+                self._write(self.engine.analyze(name, int(arity)) + "\n")
         elif command == "help":
             self._write(HELP_TEXT)
         else:

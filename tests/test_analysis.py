@@ -1,0 +1,601 @@
+"""Tests for the shared analysis layer (:mod:`repro.analysis`).
+
+Three groups:
+
+* unit tests for the registry's stages (call graph, SCCs,
+  stratification, modes, WFS routing, describe);
+* regression tests that assert/retract of IDB or EDB clauses
+  invalidates prepared hybrid fixpoints through the store layer's
+  generation stamps;
+* cross-layer consistency property tests: ~100 random programs are
+  analyzed both by the registry and by in-test copies of the three
+  pre-refactor implementations (``table_all``'s call graph + Tarjan,
+  ``DatalogProgram.stratify``'s lifting loop, and ``hybrid.analyze``'s
+  reachability walk + safety screen) and the results must agree.
+"""
+
+import random
+
+import pytest
+
+from repro import Engine
+from repro.analysis.graph import scc_index, scc_reach, tarjan_sccs
+from repro.bottomup.datalog import REL, Program, Rule, Var as DVar, parse_program
+from repro.engine.clause import SlotRef
+from repro.engine.hybrid import HybridPlan
+from repro.errors import SafetyError
+from repro.lang.parser import parse_terms
+from repro.store.codec import FreezeError, freeze_term
+from repro.terms import Atom, Struct, deref
+
+PATH_LEFT = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+"""
+
+
+def hybrid_engine(text="", **kwargs):
+    engine = Engine(hybrid=True, **kwargs)
+    if text:
+        engine.consult_string(text)
+    return engine
+
+
+# --------------------------------------------------------------------------
+# pre-refactor oracles, copied verbatim from the PR-4 tree
+# --------------------------------------------------------------------------
+
+_ORACLE_CONTROL = {
+    (",", 2), (";", 2), ("->", 2), ("\\+", 1), ("not", 1), ("tnot", 1),
+    ("e_tnot", 1), ("once", 1), ("ignore", 1), ("call", 1),
+}
+
+
+def _oracle_body_literals(term, out):
+    term = deref(term)
+    if isinstance(term, Struct):
+        key = (term.name, len(term.args))
+        if key in _ORACLE_CONTROL:
+            for arg in term.args:
+                _oracle_body_literals(arg, out)
+            return
+        if term.name in ("findall", "tfindall", "bagof", "setof") and len(
+            term.args
+        ) == 3:
+            _oracle_body_literals(term.args[1], out)
+            return
+        if term.name == "forall" and len(term.args) == 2:
+            _oracle_body_literals(term.args[0], out)
+            _oracle_body_literals(term.args[1], out)
+            return
+        out.append((term.name, len(term.args)))
+    elif isinstance(term, Atom):
+        out.append((term.name, 0))
+
+
+def oracle_call_graph(clauses):
+    """The old ``table_all.build_call_graph`` over parsed clause terms."""
+    edges = {}
+    for clause in clauses:
+        clause = deref(clause)
+        if (
+            isinstance(clause, Struct)
+            and clause.name == ":-"
+            and len(clause.args) == 2
+        ):
+            head = deref(clause.args[0])
+            body = clause.args[1]
+        else:
+            head = clause
+            body = None
+        if isinstance(head, Struct):
+            head_key = (head.name, len(head.args))
+        elif isinstance(head, Atom):
+            head_key = (head.name, 0)
+        else:
+            continue
+        callees = edges.setdefault(head_key, set())
+        if body is not None:
+            found = []
+            _oracle_body_literals(body, found)
+            callees.update(found)
+    return edges
+
+
+def oracle_dependency_graph(program):
+    """The old ``DatalogProgram.dependency_graph``."""
+    idb = program.idb_predicates
+    edges = {}
+    for rule in program.rules:
+        key = (rule.head_pred, len(rule.head_args))
+        deps = edges.setdefault(key, set())
+        for literal in rule.body:
+            if literal[0] != REL:
+                continue
+            _, pred, args, positive = literal
+            callee = (pred, len(args))
+            if callee in idb:
+                deps.add((callee, not positive))
+    return edges
+
+
+def oracle_stratify(edges):
+    """The old ``DatalogProgram.stratify`` lifting loop."""
+    keys = set(edges)
+    for deps in edges.values():
+        keys.update(callee for callee, _ in deps)
+    strata = {key: 0 for key in keys}
+    changed = True
+    rounds = 0
+    limit = len(keys) * len(keys) + len(keys) + 1
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > limit:
+            raise SafetyError("program is not stratified")
+        for key, deps in edges.items():
+            for callee, negative in deps:
+                needed = strata[callee] + (1 if negative else 0)
+                if strata[key] < needed:
+                    strata[key] = needed
+                    changed = True
+    return strata
+
+
+_ORACLE_EXCLUDED = frozenset(
+    (",", ";", "->", "!", "true", "fail", "false", "\\+",
+     "$answer", "$yield", "$ite", "$cutto", "tcut")
+)
+
+
+class _OracleUnsafe(Exception):
+    pass
+
+
+def _oracle_rule_arg(skeleton, varmap):
+    if type(skeleton) is SlotRef:
+        var = varmap.get(skeleton.index)
+        if var is None:
+            var = DVar(skeleton.name or f"S{skeleton.index}")
+            varmap[skeleton.index] = var
+        return var
+    return freeze_term(skeleton)
+
+
+def _oracle_translate_rule(clause):
+    varmap = {}
+    head_args = tuple(_oracle_rule_arg(arg, varmap) for arg in clause.head_args)
+    body = []
+    for literal in clause.body:
+        if isinstance(literal, Struct):
+            args = tuple(_oracle_rule_arg(arg, varmap) for arg in literal.args)
+            body.append((REL, literal.name, args, True))
+        else:
+            body.append((REL, literal.name, (), True))
+    return Rule(clause.name, head_args, body)
+
+
+def _oracle_translate(reached):
+    rules = []
+    facts = {}
+    for pred in reached:
+        rule_clauses = [c for c in pred.clauses if c.body]
+        has_facts = len(rule_clauses) != len(pred.clauses)
+        key = (pred.name, pred.arity)
+        if not rule_clauses:
+            if has_facts:
+                facts[key] = pred.fact_rows()
+            continue
+        for clause in rule_clauses:
+            rules.append(_oracle_translate_rule(clause))
+        if has_facts:
+            alias = f"{pred.name}$edb"
+            variables = tuple(DVar(f"A{i}") for i in range(pred.arity))
+            rules.append(
+                Rule(pred.name, variables, [(REL, alias, variables, True)])
+            )
+            facts[(alias, pred.arity)] = pred.fact_rows()
+    return HybridPlan(Program(rules), facts)
+
+
+def oracle_build_plan(engine, pred):
+    """The old ``hybrid._build_plan`` reachability walk + screen."""
+    predicates = engine.db.predicates
+    builtins = engine.builtins
+    seen = set()
+    reached = []
+    stack = [(pred.name, pred.arity)]
+    while stack:
+        key = stack.pop()
+        if key in seen:
+            continue
+        seen.add(key)
+        target = predicates.get(key)
+        if target is None:
+            if engine.unknown != "fail":
+                return None
+            continue
+        reached.append(target)
+        for clause in target.clauses:
+            for literal in clause.body:
+                if isinstance(literal, Struct):
+                    name, arity = literal.name, len(literal.args)
+                elif isinstance(literal, Atom):
+                    name, arity = literal.name, 0
+                else:
+                    return None
+                if name in _ORACLE_EXCLUDED or (name, arity) in builtins:
+                    return None
+                stack.append((name, arity))
+    try:
+        return _oracle_translate(reached)
+    except (_OracleUnsafe, FreezeError, SafetyError):
+        return None
+
+
+# --------------------------------------------------------------------------
+# random program generator for the property tests
+# --------------------------------------------------------------------------
+
+_CONSTS = ("a", "b", "c")
+
+
+def random_program(rng):
+    """Random datalog-with-extras text in the fragment where all three
+    pre-refactor analyses and the registry must agree (conjunctive
+    bodies; negation, comparisons, ``is``, structures, undefined and
+    fact-only callees all allowed)."""
+    lines = []
+    for edb in ("e0", "e1"):
+        for _ in range(rng.randint(1, 3)):
+            lines.append(
+                f"{edb}({rng.choice(_CONSTS)},{rng.choice(_CONSTS)})."
+            )
+    preds = [f"p{i}" for i in range(rng.randint(2, 5))]
+    callables = preds + ["e0", "e1", "undef"]
+    for pred in preds:
+        if rng.random() < 0.3:  # IDB predicate with EDB facts mixed in
+            lines.append(
+                f"{pred}({rng.choice(_CONSTS)},{rng.choice(_CONSTS)})."
+            )
+        if rng.random() < 0.1:  # non-ground bodiless clause: a rule
+            lines.append(f"{pred}(X,{rng.choice(_CONSTS)}).")
+        for _ in range(rng.randint(1, 3)):
+            goals = []
+            for position in range(rng.randint(1, 3)):
+                callee = rng.choice(callables)
+                roll = rng.random()
+                args = f"X,Z{position}" if rng.random() < 0.5 else "X,Y"
+                if roll < 0.12:
+                    goals.append(f"\\+ {callee}({args})")
+                elif roll < 0.2:
+                    goals.append("X < Y")
+                elif roll < 0.26:
+                    goals.append("Y is X + 1")
+                elif roll < 0.34:
+                    goals.append(f"{callee}(f(X),Y)")
+                elif roll < 0.4:
+                    goals.append(f"{callee}(f({rng.choice(_CONSTS)}),Y)")
+                else:
+                    goals.append(f"{callee}({args})")
+            lines.append(f"{pred}(X,Y) :- {', '.join(goals)}.")
+    return "\n".join(lines) + "\n"
+
+
+def partition(sccs):
+    return sorted(tuple(sorted(scc)) for scc in sccs)
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_prop_registry_matches_pre_refactor_oracles(seed):
+    rng = random.Random(seed)
+    text = random_program(rng)
+    engine = Engine(unknown="fail" if seed % 2 else "error")
+    engine.consult_string(text)
+    registry = engine.db.analysis
+
+    # 1. Registry SCCs == old table_all call graph + Tarjan output.
+    clauses = list(parse_terms(text))
+    oracle_graph = oracle_call_graph(clauses)
+    assert registry.call_graph() == oracle_graph
+    assert partition(registry.sccs()) == partition(tarjan_sccs(oracle_graph))
+
+    # 2. Registry strata == old DatalogProgram.stratify.
+    program, _ = parse_program(text, check_safety=False)
+    try:
+        oracle_strata = oracle_stratify(oracle_dependency_graph(program))
+    except SafetyError:
+        oracle_strata = None
+    verdict = registry.stratification()
+    if oracle_strata is None:
+        assert not verdict["stratified"]
+        assert verdict["negative_sccs"]
+    else:
+        assert verdict["stratified"]
+        for key, stratum in oracle_strata.items():
+            assert verdict["strata"][key] == stratum
+        for key, stratum in verdict["strata"].items():
+            if key not in oracle_strata:  # fact-only: stratum floor
+                assert stratum == 0
+
+    # 3. Hybrid routing decisions unchanged vs the pre-refactor walk.
+    for key in sorted(engine.db.predicates):
+        pred = engine.db.predicates[key]
+        oracle_plan = oracle_build_plan(engine, pred)
+        registry_plan = registry.hybrid_plan(engine, pred)
+        assert (registry_plan is None) == (oracle_plan is None), key
+
+
+# --------------------------------------------------------------------------
+# registry unit tests
+# --------------------------------------------------------------------------
+
+class TestRegistryStages:
+    def test_call_graph_and_sccs(self):
+        engine = Engine()
+        engine.consult_string(PATH_LEFT + "edge(a,b). edge(b,c).")
+        registry = engine.db.analysis
+        assert registry.call_graph()[("path", 2)] == {("path", 2), ("edge", 2)}
+        assert registry.scc_members(("path", 2)) == (("path", 2),)
+        own, reach = registry.scc_info(("path", 2))
+        edge_own, _ = registry.scc_info(("edge", 2))
+        assert own >= 0 and edge_own >= 0
+        assert own in reach and edge_own in reach
+
+    def test_scc_info_unknown_predicate_is_conservative(self):
+        engine = Engine()
+        assert engine.db.analysis.scc_info(("nope", 3)) == (-1, None)
+
+    def test_variable_goal_makes_reach_unbounded(self):
+        engine = Engine()
+        engine.consult_string("p(X) :- q(X), X. q(a).")
+        _, reach = engine.db.analysis.scc_info(("p", 1))
+        assert reach is None
+
+    def test_graph_cache_hits_and_invalidation(self):
+        engine = Engine()
+        engine.consult_string(PATH_LEFT + ":- dynamic(edge/2). edge(a,b).")
+        registry = engine.db.analysis
+        registry.sccs()
+        misses = registry.misses
+        registry.sccs()
+        assert registry.misses == misses  # second read: generation hit
+        engine.query("assertz(edge(b,c))")
+        registry.sccs()
+        assert registry.misses == misses + 1
+        assert registry.invalidations >= 1
+
+    def test_stratification_and_needs_wfs(self):
+        engine = Engine()
+        engine.consult_string(
+            "win(X) :- move(X,Y), tnot(win(Y)). move(a,b). move(b,a)."
+            " ok(X) :- move(X,Y)."
+        )
+        registry = engine.db.analysis
+        verdict = registry.stratification()
+        assert not verdict["stratified"]
+        assert verdict["strata"] is None
+        assert registry.needs_wfs(("win", 1))
+        # ok/1 only reaches move/2: clean even in a non-stratified db.
+        assert not registry.needs_wfs(("ok", 1))
+
+    def test_stratified_negation_gets_strata(self):
+        engine = Engine()
+        engine.consult_string(
+            "q(X) :- n(X), \\+ p(X). p(X) :- n(X), m(X). n(1). m(1)."
+        )
+        verdict = engine.db.analysis.stratification()
+        assert verdict["stratified"]
+        assert verdict["strata"][("q", 1)] == verdict["strata"][("p", 1)] + 1
+
+    def test_modes_summary(self):
+        engine = Engine()
+        engine.consult_string(":- dynamic(p/3). p(a, X, f(X)). p(b, Y, g(Y)).")
+        assert engine.db.analysis.modes(("p", 3)) == "cvs"
+        engine.query("assertz(p(X, X, X))")
+        assert engine.db.analysis.modes(("p", 3)) == "mvm"
+
+    def test_describe_renders_registry_summary(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b).")
+        engine.query("path(a, X)")
+        text = engine.analyze("path", 2)
+        assert "% analysis for path/2" in text
+        assert "(recursive)" in text
+        assert "stratified: yes" in text
+        assert "datalog-safe" in text
+        assert "bf" in text
+        assert engine.analyze("nosuch", 7).endswith("undefined predicate")
+
+
+class TestSccReach:
+    def test_reach_sets_are_reflexive_transitive(self):
+        graph = {1: {2}, 2: {3}, 3: {2}, 4: set()}
+        sccs = tarjan_sccs(graph)
+        scc_of = scc_index(sccs)
+        reach = scc_reach(graph, sccs, scc_of)
+        assert scc_of[2] == scc_of[3]
+        assert reach[scc_of[1]] == {scc_of[1], scc_of[2], scc_of[3]}
+        assert reach[scc_of[4]] == {scc_of[4]}
+
+
+# --------------------------------------------------------------------------
+# satellite 1: generation-stamped invalidation of prepared fixpoints
+# --------------------------------------------------------------------------
+
+class TestPlanInvalidation:
+    def test_assert_idb_clause_invalidates_prepared_fixpoint(self):
+        engine = hybrid_engine(
+            ":- dynamic(path/2).\n" + PATH_LEFT + "edge(a,b). edge(b,c)."
+        )
+        assert sorted(s["X"] for s in engine.query("path(a, X)")) == ["b", "c"]
+        registry = engine.db.analysis
+        plan_before = registry.plan_for("path", 2)
+        assert plan_before is not None and plan_before.rewrites
+        engine.query("assertz(back(c,a))")
+        engine.query("assertz((path(X,Y) :- path(X,Z), back(Z,Y)))")
+        engine.abolish_all_tables()
+        assert sorted(s["X"] for s in engine.query("path(a, X)")) == [
+            "a", "b", "c",
+        ]
+        assert registry.plan_for("path", 2) is not plan_before
+
+    def test_retract_edb_fact_invalidates_prepared_fixpoint(self):
+        engine = hybrid_engine(
+            PATH_LEFT + ":- dynamic(edge/2). edge(a,b). edge(b,c)."
+        )
+        assert len(engine.query("path(a, X)")) == 2
+        registry = engine.db.analysis
+        plan_before = registry.plan_for("path", 2)
+        invalidations = registry.invalidations
+        assert engine.has_solution("retract(edge(b,c))")
+        engine.abolish_all_tables()
+        assert engine.query("path(a, X)") == [{"X": "b"}]
+        assert registry.plan_for("path", 2) is not plan_before
+        assert registry.invalidations > invalidations
+
+    def test_retract_then_reassert_same_shape_still_invalidates(self):
+        # The pre-refactor snapshot compare could miss a retract
+        # followed by an identical-cardinality reassert; the mutation
+        # stamps count every change, so the plan must rebuild.
+        engine = hybrid_engine(
+            PATH_LEFT + ":- dynamic(edge/2). edge(a,b)."
+        )
+        assert engine.query("path(a, X)") == [{"X": "b"}]
+        registry = engine.db.analysis
+        plan_before = registry.plan_for("path", 2)
+        assert engine.has_solution("retract(edge(a,b))")
+        engine.query("assertz(edge(a,c))")
+        engine.abolish_all_tables()
+        assert engine.query("path(a, X)") == [{"X": "c"}]
+        assert registry.plan_for("path", 2) is not plan_before
+
+
+# --------------------------------------------------------------------------
+# satellite 3: analysis_* statistics and the :analyze REPL command
+# --------------------------------------------------------------------------
+
+class TestAnalysisStatistics:
+    def test_exact_counts_for_hybrid_query(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b). edge(b,c).")
+        stats = engine.statistics()
+        assert stats["analysis_cache_hits"] == 0
+        assert stats["analysis_cache_misses"] == 0
+        engine.query("path(a, X)")
+        stats = engine.statistics()
+        # One hybrid plan plus two lowered predicates (path/2, edge/2);
+        # the subgoal routed bottom-up before SLG ever stamped a frame,
+        # so the call graph was never demanded.
+        assert stats["analysis_cache_misses"] == 3
+        assert stats["analysis_invalidations"] == 0
+        assert stats["analysis_scc_count"] == 0
+        engine.db.analysis.sccs()
+        stats = engine.statistics()
+        assert stats["analysis_cache_misses"] == 4
+        # path/2 and edge/2 are singleton components.
+        assert stats["analysis_scc_count"] == 2
+        before_hits = stats["analysis_cache_hits"]
+        engine.abolish_all_tables()
+        engine.query("path(a, X)")
+        stats = engine.statistics()
+        # Re-running the variant costs one cache hit: the plan lookup
+        # revalidates by generation.
+        assert stats["analysis_cache_misses"] == 4
+        assert stats["analysis_cache_hits"] == before_hits + 1
+        assert stats["analysis_invalidations"] == 0
+
+    def test_strata_count_gauge(self):
+        engine = Engine()
+        engine.consult_string(
+            "q(X) :- n(X), \\+ p(X). p(1). p(X) :- n(X), m(X). n(1). m(1)."
+        )
+        engine.db.analysis.stratification()
+        assert engine.statistics()["analysis_strata_count"] == 2
+
+    def test_statistics2_exposes_analysis_keys(self):
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b).")
+        engine.query("path(a, X)")
+        assert engine.query("statistics(analysis_cache_misses, N)") == [
+            {"N": 3}
+        ]
+        assert engine.query("statistics(analysis_scc_count, N)") == [{"N": 0}]
+
+    def test_analysis_counters_survive_reset(self):
+        # Like the store counters, registry counters are cumulative:
+        # reset_statistics zeroes the scheduling block only.
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b).")
+        engine.query("path(a, X)")
+        engine.reset_statistics()
+        assert engine.statistics()["analysis_cache_misses"] == 3
+
+    def test_repl_analyze_command(self):
+        import io
+
+        from repro.repl import Toplevel
+
+        engine = hybrid_engine(PATH_LEFT + "edge(a,b).")
+        engine.query("path(a, X)")
+        output = io.StringIO()
+        top = Toplevel(
+            engine=engine,
+            input_stream=io.StringIO(":analyze path/2\n"),
+            output_stream=output,
+        )
+        top.interact(banner=False)
+        transcript = output.getvalue()
+        assert "% analysis for path/2" in transcript
+        assert "scc:" in transcript
+
+    def test_repl_analyze_usage_error(self):
+        import io
+
+        from repro.repl import Toplevel
+
+        output = io.StringIO()
+        top = Toplevel(
+            engine=Engine(),
+            input_stream=io.StringIO(":analyze nonsense\n"),
+            output_stream=output,
+        )
+        top.interact(banner=False)
+        assert "usage: :analyze" in output.getvalue()
+
+
+# --------------------------------------------------------------------------
+# WFS routing through the registry's verdict
+# --------------------------------------------------------------------------
+
+class TestWfsRouting:
+    def test_stratified_query_stays_on_slg(self):
+        from repro.engine.wfs import needs_wfs, solve
+
+        engine = Engine()
+        engine.consult_string(PATH_LEFT + "edge(a,b). edge(b,c).")
+        assert not needs_wfs(engine, "path", 2)
+        true_rows, undefined = solve(engine, "path", 2, ("a", None))
+        assert true_rows == [("a", "b"), ("a", "c")]
+        assert undefined == []
+
+    def test_non_stratified_query_routes_to_wfs(self):
+        from repro.engine.wfs import needs_wfs, solve
+
+        engine = Engine()
+        engine.consult_string(
+            "win(X) :- move(X,Y), tnot(win(Y))."
+            " move(a,b). move(b,a). move(c,d)."
+        )
+        assert needs_wfs(engine, "win", 1)
+        true_rows, undefined = solve(engine, "win", 1)
+        assert true_rows == [("c",)]
+        assert undefined == [("a",), ("b",)]
+
+    def test_wfs_interpreter_cached_by_generation(self):
+        engine = Engine()
+        engine.consult_string(
+            "win(X) :- move(X,Y), tnot(win(Y)). :- dynamic(move/2). move(a,b)."
+        )
+        registry = engine.db.analysis
+        first = registry.wfs_interpreter(engine)
+        assert registry.wfs_interpreter(engine) is first
+        engine.query("assertz(move(b,a))")
+        assert registry.wfs_interpreter(engine) is not first

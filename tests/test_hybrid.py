@@ -221,12 +221,12 @@ class TestInvalidation:
     def test_unrelated_assert_keeps_plan(self):
         engine = hybrid_engine(PATH_LEFT + "edge(a,b).")
         engine.query("path(a, X)")
-        pred = engine.db.lookup("path", 2)
-        plan_before = pred.hybrid_cache[1]
+        plan_before = engine.db.analysis.plan_for("path", 2)
+        assert plan_before is not None
         engine.query("assertz(unrelated(1))")
         engine.abolish_all_tables()
         engine.query("path(a, X)")
-        assert pred.hybrid_cache[1] is plan_before
+        assert engine.db.analysis.plan_for("path", 2) is plan_before
 
     def test_variant_subgoals_share_plan(self):
         engine = hybrid_engine(PATH_LEFT + "edge(a,b). edge(b,c).")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI guard: program analysis lives in ``src/repro/analysis/`` only.
+
+PRs 1–4 accumulated four independent call-graph/SCC/stratification
+implementations before PR 5 consolidated them; this script keeps the
+count at one.  It fails when, outside ``src/repro/analysis/``:
+
+* any function or method with an analysis-algorithm name (Tarjan,
+  stratify, dependency graph, call graph) contains actual control
+  flow — loops or comprehensions — rather than delegating to the
+  analysis package; or
+* the identifier ``lowlink`` (the unmistakable fingerprint of a
+  Tarjan implementation) appears at all.
+
+Delegating wrappers (e.g. ``Program.stratify`` calling
+``repro.analysis.graph.stratify``) stay legal: they contain no loops.
+
+Usage: python tools/check_no_duplicate_analysis.py [src-dir]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+FLAGGED_NAMES = {
+    "tarjan",
+    "tarjan_sccs",
+    "_tarjan_sccs",
+    "stratify",
+    "_stratify",
+    "dependency_graph",
+    "dependency_edges",
+    "build_call_graph",
+    "scc_index",
+    "scc_reach",
+    "negative_sccs",
+}
+
+LOOP_NODES = (
+    ast.For,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def has_control_flow(func):
+    return any(
+        isinstance(node, LOOP_NODES)
+        for child in func.body
+        for node in ast.walk(child)
+    )
+
+
+def check_file(path):
+    problems = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in FLAGGED_NAMES and has_control_flow(node):
+                problems.append(
+                    f"{path}:{node.lineno}: {node.name}() implements an "
+                    "analysis algorithm outside src/repro/analysis/"
+                )
+        elif isinstance(node, ast.Name) and node.id == "lowlink":
+            problems.append(
+                f"{path}:{node.lineno}: 'lowlink' — a Tarjan "
+                "implementation outside src/repro/analysis/"
+            )
+    return problems
+
+
+def main(argv):
+    src = pathlib.Path(argv[1] if len(argv) > 1 else "src")
+    analysis_dir = src / "repro" / "analysis"
+    problems = []
+    for path in sorted(src.rglob("*.py")):
+        if analysis_dir in path.parents:
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"{len(problems)} duplicate-analysis problem(s); the single "
+            "implementation belongs in src/repro/analysis/",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok: no analysis implementations outside src/repro/analysis/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
