@@ -45,9 +45,10 @@ from .callgraph import body_calls
 from .ir import (
     REL,
     LoweringError,
+    _args_ground,
+    check_rule_safety,
     ground_head_row,
     ground_within_depth,
-    is_fact_clause,
     lower_predicate,
 )
 
@@ -111,6 +112,7 @@ class AnalysisRegistry:
         "invalidations",
         "_generation",
         "_graph",
+        "_scans",
         "_lowered",
         "_plans",
         "_modes",
@@ -128,6 +130,7 @@ class AnalysisRegistry:
         self.invalidations = 0
         self._generation = mutation_generation
         self._graph = None
+        self._scans = {}
         self._lowered = {}
         self._plans = {}
         self._modes = {}
@@ -161,31 +164,66 @@ class AnalysisRegistry:
                 return False
         return True
 
-    def _build_graph(self, generation):
-        predicates = self.db.predicates
-        rule_defined = {
-            key
-            for key, pred in predicates.items()
-            if any(not is_fact_clause(c) for c in pred.clauses)
-        }
-        stamps = {}
-        call_graph = {}
-        dep_edges = {}
-        opaque = set()
-        for key, pred in predicates.items():
-            stamps[key] = (pred, pred.mutations)
-            callees = call_graph.setdefault(key, set())
-            deps = dep_edges.setdefault(key, set())
-            transparent = True
-            for clause in pred.clauses:
-                for literal in clause.body:
+    def _scan_predicate(self, key, pred):
+        """One predicate's clause-walk summary, memoized by mutation
+        stamp: ``(callees, call_pairs, transparent, has_rule)``.
+
+        The memo outlives graph rebuilds, so an assert to one predicate
+        rescans that predicate alone — a rebuild over a large EDB reuses
+        every other summary instead of re-walking its fact clauses.
+        """
+        entry = self._scans.get(key)
+        if (
+            entry is not None
+            and entry[0] is pred
+            and entry[1] == pred.mutations
+        ):
+            return entry[2]
+        callees = set()
+        pairs = []
+        transparent = True
+        has_rule = False
+        for clause in pred.clauses:
+            body = clause.body
+            if body:
+                has_rule = True
+                for literal in body:
                     found = []
                     if not body_calls(literal, found):
                         transparent = False
-                    for callee, negative in found:
-                        callees.add(callee)
-                        if callee in rule_defined:
-                            deps.add((callee, negative))
+                    for pair in found:
+                        callees.add(pair[0])
+                        pairs.append(pair)
+            elif not has_rule and not _args_ground(clause.head_args):
+                # A bodiless clause with a head variable is a rule, not
+                # a fact; once one rule is seen the check is settled.
+                has_rule = True
+        summary = (callees, pairs, transparent, has_rule)
+        self._scans[key] = (pred, pred.mutations, summary)
+        return summary
+
+    def _build_graph(self, generation):
+        predicates = self.db.predicates
+        stamps = {}
+        summaries = {}
+        rule_defined = set()
+        for key, pred in predicates.items():
+            stamps[key] = (pred, pred.mutations)
+            summary = self._scan_predicate(key, pred)
+            summaries[key] = summary
+            if summary[3]:
+                rule_defined.add(key)
+        call_graph = {}
+        dep_edges = {}
+        opaque = set()
+        for key, (callees, pairs, transparent, _) in summaries.items():
+            # Copies, not the memoized sets: the adjacency is handed out
+            # via call_graph() and must not alias the per-pred memo.
+            call_graph[key] = set(callees)
+            deps = dep_edges[key] = set()
+            for callee, negative in pairs:
+                if callee in rule_defined:
+                    deps.add((callee, negative))
             if not transparent:
                 opaque.add(key)
         return _GraphState(generation, stamps, call_graph, dep_edges, opaque)
@@ -402,6 +440,16 @@ class AnalysisRegistry:
                         arg, MAX_TERM_DEPTH
                     ):
                         return tuple(snapshot), None
+                # Range restriction, checked per rule *during* the walk:
+                # Program() applies the same check_rule_safety to every
+                # rule, so this changes no verdict — it only fails fast.
+                # A query on p(X,X). q(X) :- huge_edb(..) bails here at
+                # p, before lowering (or collecting fact rows for) any
+                # predicate deeper in the closure.
+                try:
+                    check_rule_safety(rule)
+                except SafetyError:
+                    return tuple(snapshot), None
             specs.append((target, rules, has_facts))
         from ..engine.hybrid import translate_plan
 
