@@ -249,6 +249,79 @@ def run_clause_dispatch():
     return total
 
 
+# -- SLD inner-loop series (clause-resolution hot paths) -------------------
+#
+# These three isolate the per-clause-attempt cost that closure
+# compilation targets: head unification against ground facts (scan and
+# bound probe) and inline-builtin body prefixes (arithmetic countdown).
+# Goals are parsed once at setup so the timings measure resolution, not
+# the reader; like the tabled series, the engine is cached across
+# repeats so best-of-N never times database loading.
+
+_PREPARED = {}
+
+
+def _prepared(key, build):
+    entry = _PREPARED.get(key)
+    if entry is None:
+        entry = _PREPARED[key] = build()
+    return entry
+
+
+SCAN2 = """
+scan2(X, Z) :- edge(X, Y), edge(Y, Z).
+"""
+
+BUILTIN_CHAIN = """
+loop(0).
+loop(N) :- N > 0, M is N - 1, loop(M).
+"""
+
+
+def run_fact_scan():
+    """Open two-hop scan over ground facts (unbound head unification)."""
+    def build():
+        engine = _engine(SCAN2, [("edge", chain_edges(512))])
+        return engine, engine.parse("scan2(X, Z)")
+
+    engine, goal = _prepared("fact_scan_512", build)
+    global _LAST_ENGINE
+    _LAST_ENGINE = engine
+    total = 0
+    for _ in range(4):
+        total += engine.count(goal)
+    return total
+
+
+def run_fact_probe():
+    """Bound first-argument probes against a ground-fact relation."""
+    def build():
+        engine = _engine("", [("edge", chain_edges(512))])
+        goals = [engine.parse(f"edge({n}, X)") for n in range(1, 513, 3)]
+        return engine, goals
+
+    engine, goals = _prepared("fact_probe_512", build)
+    global _LAST_ENGINE
+    _LAST_ENGINE = engine
+    total = 0
+    for _ in range(40):
+        for goal in goals:
+            total += engine.count(goal)
+    return total
+
+
+def run_builtin_chain():
+    """Deep arithmetic countdown: inline-builtin body prefix per step."""
+    def build():
+        engine = _engine(BUILTIN_CHAIN)
+        return engine, engine.parse("loop(12000)")
+
+    engine, goal = _prepared("builtin_chain_12k", build)
+    global _LAST_ENGINE
+    _LAST_ENGINE = engine
+    return engine.count(goal)
+
+
 EXPECTED = {
     "leftrec_chain_1024": 1023,
     "leftrec_chain_4096": 4095,
@@ -264,6 +337,9 @@ EXPECTED = {
     "variant_checkin": 200 * 63,
     "answer_consume": 20 * 1023,
     "clause_dispatch": 30 * 73,
+    "fact_scan_512": 4 * 510,
+    "fact_probe_512": 40 * 171,
+    "builtin_chain_12k": 1,
 }
 
 SERIES = {
@@ -281,6 +357,9 @@ SERIES = {
     "variant_checkin": run_variant_checkin,
     "answer_consume": run_answer_consume,
     "clause_dispatch": run_clause_dispatch,
+    "fact_scan_512": run_fact_scan,
+    "fact_probe_512": run_fact_probe,
+    "builtin_chain_12k": run_builtin_chain,
 }
 
 

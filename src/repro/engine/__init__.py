@@ -99,6 +99,23 @@ class Engine:
         the safe fragment transparently falls back to SLG.  ``None``
         (default) reads the ``REPRO_HYBRID`` environment variable
         (``0``/``false``/``off`` disables; on otherwise).
+    compile:
+        lower clauses to shape-specialized closures on first dispatch
+        (:mod:`repro.engine.compile`) instead of renaming the cached
+        template on every resolution; clause shapes the compiler does
+        not specialize run a generic closure byte-identical in
+        behavior to the template path.  ``None`` (default) reads the
+        ``REPRO_COMPILE`` environment variable (``0``/``false``/``off``
+        disables; on otherwise).
+    compile_warmup:
+        number of calls a predicate must receive before its clauses
+        are compiled; until then calls run the template path.  The
+        mode scan, frozen-row batch and per-clause closures are an
+        investment that a one-shot load never repays, so cold
+        predicates stay on the template and hot ones compile once the
+        count says the investment amortizes.  ``0`` compiles on the
+        first call (what the exact-counter tests use).  ``None``
+        (default) reads ``REPRO_COMPILE_WARMUP`` (default 64).
     trace:
         record typed SLG events (check-in hit/miss, answer
         insert/duplicate, suspension, resumption, completion, hybrid
@@ -124,6 +141,8 @@ class Engine:
         output=None,
         statistics=True,
         hybrid=None,
+        compile=None,
+        compile_warmup=None,
         trace=None,
         profile=None,
     ):
@@ -145,6 +164,14 @@ class Engine:
                 "0", "false", "off"
             )
         self.hybrid = bool(hybrid)
+        if compile is None:
+            compile = os.environ.get("REPRO_COMPILE", "1").lower() not in (
+                "0", "false", "off"
+            )
+        self.compile = bool(compile)
+        if compile_warmup is None:
+            compile_warmup = int(os.environ.get("REPRO_COMPILE_WARMUP", "64"))
+        self.compile_warmup = compile_warmup
         self.hilog_specialize = hilog_specialize
         self.output = output if output is not None else sys.stdout
         self.quiet = False

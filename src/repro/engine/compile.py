@@ -1,0 +1,289 @@
+"""The per-clause closure compiler (ROADMAP item 4).
+
+The paper's central performance claim is that XSB runs *compiled*
+clauses; the Python rendering of that claim is this module.  Instead
+of interpreting every resolution through the one-size-fits-all
+template walk in :mod:`repro.engine.clause`, each clause is lowered —
+lazily, on first dispatch — to a closure specialized for its shape:
+
+* bodiless ground clauses get the **fused fact kernel** (the whole
+  head match as per-register compares against precomputed operands,
+  sharing the row-codec value domain with the predicate fact store);
+* clauses whose head arguments are variables, constants or ground
+  structures get the **argument-register kernel**: first-occurrence
+  head variables capture without deref bookkeeping or trailing, and a
+  leading run of inline builtins (``is/2``, comparisons, ``=/2``,
+  ``==/2``) executes eagerly inside the closure as one
+  superinstruction;
+* everything else gets the **generic kernel**, byte-identical in
+  behavior to the template path.
+
+Shape selection consults the analysis registry's mode summaries
+(:meth:`~repro.analysis.registry.AnalysisRegistry.modes`): an
+all-constant fact predicate is compiled eagerly as a batch — its
+fused kernels and frozen rows are built together, and
+:meth:`~repro.engine.database.Predicate.fact_rows` reuses the rows
+instead of re-freezing.
+
+Caching follows the analysis registry's discipline exactly: one
+:class:`CompiledUnit` hangs off each :class:`Predicate`, stamped with
+the predicate's ``mutations`` counter.  Assert, retract and
+predicate-level retract bump the stamp (and the process generation),
+so a stale unit is never served — the dispatch sites revalidate with
+one integer compare; ``abolish`` removes the predicate object and the
+unit dies with it.  Closures are keyed by clause ``seq``, which is
+monotonic per predicate and never reused, so a rebuilt unit can never
+alias a retracted clause's code to a reasserted one.
+"""
+
+from __future__ import annotations
+
+from ..store.codec import FreezeError, freeze_term
+from ..terms import Atom, Struct, Var
+from .clause import SlotRef
+from .specialized.kernels import (
+    OP_ATOM,
+    OP_CAPTURE,
+    OP_GROUND,
+    OP_REUNIFY,
+    OP_SCALAR,
+    clause_kernel,
+    compile_arith_node,
+    const_builder,
+    eager_compare,
+    eager_is_const,
+    eager_is_slot,
+    eager_is_term,
+    eager_struct_cmp,
+    eager_unify,
+    flat_struct_builder,
+    fused_fact_kernel,
+    generic_builder,
+    generic_kernel,
+    slot_builder,
+)
+
+__all__ = ["CompiledUnit", "ensure_unit", "INLINE_BUILTINS"]
+
+# Arithmetic comparisons inlined as superinstruction steps.  These are
+# the default handlers' exact semantics (see _arith_cmp in builtins);
+# builtins dispatch before user predicates, so they cannot be shadowed
+# by program clauses.
+_CMP_OPS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=:=": lambda a, b: a == b,
+    "=\\=": lambda a, b: a != b,
+}
+
+# Body builtins the compiler may execute eagerly inside a clause
+# closure (all arity 2): deterministic, no choice points, and their
+# failure/error behavior is position-identical to goal dispatch.
+INLINE_BUILTINS = frozenset(_CMP_OPS) | {"is", "=", "==", "\\=="}
+
+
+# --------------------------------------------------------------------------
+# shape analysis
+# --------------------------------------------------------------------------
+
+def _skeleton_ground(sk):
+    """True when a skeleton contains no SlotRef (SlotRef is a Var)."""
+    stack = [sk]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Var):
+            return False
+        if isinstance(t, Struct):
+            stack.extend(t.args)
+    return True
+
+
+def _head_plan(head_args):
+    """Head ops for the argument-register kernel, or None when some
+    argument is a non-ground structure (those keep the template walk)."""
+    ops = []
+    seen = set()
+    for sk in head_args:
+        if type(sk) is SlotRef:
+            if sk.index in seen:
+                ops.append((OP_REUNIFY, sk.index, None))
+            else:
+                seen.add(sk.index)
+                ops.append((OP_CAPTURE, sk.index, None))
+        elif isinstance(sk, Struct):
+            if not _skeleton_ground(sk):
+                return None
+            ops.append((OP_GROUND, sk, None))
+        elif isinstance(sk, Atom):
+            ops.append((OP_ATOM, sk, sk.name))
+        else:
+            ops.append((OP_SCALAR, sk, None))
+    return tuple(ops)
+
+
+def _term_builder(sk):
+    """A builder ``fn(slots) -> term`` for one literal/operand skeleton."""
+    if type(sk) is SlotRef:
+        return slot_builder(sk.index, sk.name)
+    if isinstance(sk, Struct):
+        parts = []
+        ground = True
+        for child in sk.args:
+            if type(child) is SlotRef:
+                ground = False
+                parts.append((True, child.index, child.name))
+            elif isinstance(child, Struct):
+                if not _skeleton_ground(child):
+                    return generic_builder(sk)
+                parts.append((False, child, None))
+            else:
+                parts.append((False, child, None))
+        if ground:
+            return const_builder(sk)
+        return flat_struct_builder(sk.name, tuple(parts))
+    return const_builder(sk)
+
+
+def _eager_step(sk):
+    """A superinstruction step for one leading body literal, or None."""
+    if not isinstance(sk, Struct) or len(sk.args) != 2:
+        return None
+    name = sk.name
+    left, right = sk.args
+    op = _CMP_OPS.get(name)
+    if op is not None:
+        return eager_compare(
+            op, compile_arith_node(left), compile_arith_node(right)
+        )
+    if name == "is":
+        expr = compile_arith_node(right)
+        if type(left) is SlotRef:
+            return eager_is_slot(left.index, expr)
+        tl = type(left)
+        if tl is int or tl is float:
+            return eager_is_const(left, expr)
+        return eager_is_term(_term_builder(left), expr)
+    if name == "=":
+        return eager_unify(_term_builder(left), _term_builder(right))
+    if name == "==":
+        return eager_struct_cmp(True, _term_builder(left), _term_builder(right))
+    if name == "\\==":
+        return eager_struct_cmp(
+            False, _term_builder(left), _term_builder(right)
+        )
+    return None
+
+
+def _body_plan(body):
+    """``(eager_steps, builders)``: the leading inline-builtin prefix
+    plus reversed builders for the residual literals."""
+    eager = []
+    index = 0
+    for literal in body:
+        step = _eager_step(literal)
+        if step is None:
+            break
+        eager.append(step)
+        index += 1
+    builders = [_term_builder(literal) for literal in body[index:]]
+    builders.reverse()
+    return tuple(eager), tuple(builders)
+
+
+def _compile_closure(clause, rows):
+    """Lower one clause to its kernel; fused facts also deposit their
+    frozen row (the codec value shared with the predicate fact store)."""
+    head_args = clause.head_args
+    if not clause.body and clause.nslots == 0:
+        ops = []
+        row = []
+        for sk in head_args:
+            if isinstance(sk, Atom):
+                ops.append((OP_ATOM, sk, sk.name))
+                if row is not None:
+                    row.append(sk.name)
+            elif isinstance(sk, Struct):
+                ops.append((OP_GROUND, sk, None))
+                if row is not None:
+                    try:
+                        row.append(freeze_term(sk))
+                    except FreezeError:
+                        row = None
+            else:
+                ops.append((OP_SCALAR, sk, None))
+                if row is not None:
+                    row.append(sk)
+        if row is not None:
+            rows[clause.seq] = tuple(row)
+        return fused_fact_kernel(tuple(ops))
+    head_ops = _head_plan(head_args)
+    if head_ops is None:
+        return generic_kernel(clause)
+    eager_steps, builders = _body_plan(clause.body)
+    return clause_kernel(clause.nslots, head_ops, eager_steps, builders)
+
+
+# --------------------------------------------------------------------------
+# the per-predicate unit and its cache discipline
+# --------------------------------------------------------------------------
+
+class CompiledUnit:
+    """Compiled closures for one predicate at one mutation stamp.
+
+    ``closures`` maps clause ``seq`` to kernel; ``rows`` holds the
+    frozen rows of fused facts (reused by ``Predicate.fact_rows``);
+    ``modes`` is the analysis registry's binding summary that selected
+    the compilation strategy.
+    """
+
+    __slots__ = ("stamp", "closures", "rows", "modes")
+
+    def __init__(self, pred, modes):
+        self.stamp = pred.mutations
+        self.closures = {}
+        self.rows = {}
+        self.modes = modes
+
+    def closure_for(self, clause, stats):
+        """Compile (and cache) the kernel for one clause."""
+        closure = _compile_closure(clause, self.rows)
+        self.closures[clause.seq] = closure
+        if stats is not None:
+            stats.clauses_compiled += 1
+        return closure
+
+
+def ensure_unit(pred, engine, stats):
+    """Build and attach a fresh unit for ``pred`` (stamp-validated by
+    the dispatch sites; called only on a miss).
+
+    The analysis registry's mode summary drives the strategy: a fact
+    predicate whose every head argument is constant ('c' across the
+    board) gets its frozen-row cache deposited eagerly in one batch —
+    ``Predicate.fact_rows`` reuses those rows, so set-at-a-time scans
+    never freeze the same fact twice.  Closures themselves always
+    compile lazily, one clause on first dispatch: a large fact relation
+    probed on a bound argument touches a handful of clauses, and a
+    short-lived engine may touch none at all, so compiling all of them
+    up front is wasted work precisely when the engine is cheapest.
+    """
+    modes = engine.db.analysis.modes((pred.name, pred.arity))
+    unit = CompiledUnit(pred, modes)
+    pred.compiled_unit = unit
+    if (
+        modes is not None
+        and all(kind == "c" for kind in modes)
+        and all(not clause.body for clause in pred.clauses)
+    ):
+        rows = unit.rows
+        for clause in pred.clauses:
+            if clause.nslots == 0:
+                try:
+                    rows[clause.seq] = tuple(
+                        freeze_term(arg) for arg in clause.head_args
+                    )
+                except FreezeError:
+                    pass
+    return unit

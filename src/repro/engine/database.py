@@ -56,6 +56,8 @@ class Predicate:
         "mutations",
         "fact_store",
         "fact_store_stamp",
+        "compiled_unit",
+        "dispatch_count",
     )
 
     def __init__(self, name, arity, dynamic=False, module="usermod"):
@@ -84,6 +86,17 @@ class Predicate:
         # statistics aggregation) without re-freezing per plan.
         self.fact_store = None
         self.fact_store_stamp = -1
+        # Compiled-closure unit (repro.engine.compile.CompiledUnit),
+        # attached lazily by the machine when Engine(compile=) is on
+        # and revalidated against the mutations stamp on every
+        # dispatch — the same discipline as the analysis registry, so
+        # assert/retract/abolish can never serve stale compiled code.
+        self.compiled_unit = None
+        # Calls dispatched while uncompiled; the machine compiles the
+        # predicate once this clears Engine(compile_warmup=), so a
+        # predicate that is only ever called a handful of times never
+        # pays the mode scan or per-clause closure builds.
+        self.dispatch_count = 0
 
     @property
     def indicator(self):
@@ -154,9 +167,25 @@ class Predicate:
         if store is not None and self.fact_store_stamp == self.mutations:
             return store
         store = make_store(self.name, self.arity)
+        unit = self.compiled_unit
+        compiled_rows = (
+            unit.rows
+            if unit is not None and unit.stamp == self.mutations
+            else None
+        )
         for clause in self.clauses:
             if not clause.body:
-                store.add(tuple(freeze_term(arg) for arg in clause.head_args))
+                # The clause compiler freezes fused facts as it lowers
+                # them; reuse those rows instead of re-freezing.  A
+                # bodiless clause without a row (unfused, or over the
+                # depth bound) falls through to freeze_term, keeping
+                # FreezeError propagation identical.
+                row = None
+                if compiled_rows is not None:
+                    row = compiled_rows.get(clause.seq)
+                if row is None:
+                    row = tuple(freeze_term(arg) for arg in clause.head_args)
+                store.add(row)
         self.fact_store = store
         self.fact_store_stamp = self.mutations
         return store

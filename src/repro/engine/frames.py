@@ -84,20 +84,47 @@ class ChoicePoint:
 class ClauseCP(ChoicePoint):
     """Alternatives of an ordinary (non-tabled) predicate call."""
 
-    __slots__ = ("call_args", "continuation", "candidates", "pos", "body_cutbar")
+    __slots__ = (
+        "call_args", "continuation", "candidates", "pos", "body_cutbar", "unit",
+    )
 
-    def __init__(self, trail_mark, call_args, continuation, candidates, body_cutbar):
+    def __init__(
+        self, trail_mark, call_args, continuation, candidates, body_cutbar,
+        unit=None,
+    ):
         super().__init__(trail_mark)
         self.call_args = call_args
         self.continuation = continuation
         self.candidates = candidates
         self.pos = 0
         self.body_cutbar = body_cutbar
+        # CompiledUnit of the predicate when clause compilation is on
+        # (stamp-validated by the machine before construction); None
+        # selects the template path below.
+        self.unit = unit
 
     def retry(self, machine):
         trail = machine.trail
         candidates = self.candidates
         stats = machine.stats
+        unit = self.unit
+        if unit is not None:
+            closures = unit.closures
+            while self.pos < len(candidates):
+                clause = candidates[self.pos]
+                self.pos += 1
+                closure = closures.get(clause.seq)
+                if closure is None:
+                    closure = unit.closure_for(clause, stats)
+                result = closure(
+                    machine, self.call_args, self.continuation,
+                    self.body_cutbar,
+                )
+                if result is None:
+                    trail.undo_to(self.trail_mark)
+                    continue
+                return result
+            return EXHAUSTED
         while self.pos < len(candidates):
             clause = candidates[self.pos]
             self.pos += 1

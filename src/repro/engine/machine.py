@@ -96,11 +96,12 @@ class GeneratorCP(ChoicePoint):
         "pos",
         "body_cutbar",
         "in_completion",
+        "unit",
     )
 
     def __init__(
         self, trail_mark, frame, call_term, call_args, continuation, candidates,
-        body_cutbar,
+        body_cutbar, unit=None,
     ):
         super().__init__(trail_mark)
         self.frame = frame
@@ -111,6 +112,10 @@ class GeneratorCP(ChoicePoint):
         self.pos = 0
         self.body_cutbar = body_cutbar
         self.in_completion = False
+        # CompiledUnit of the predicate when clause compilation is on
+        # (stamp-validated by the machine before construction); None
+        # selects the template path.
+        self.unit = unit
 
     def retry(self, machine):
         trail = machine.trail
@@ -118,6 +123,34 @@ class GeneratorCP(ChoicePoint):
         if not self.in_completion:
             candidates = self.candidates
             stats = machine.stats
+            unit = self.unit
+            if unit is not None:
+                closures = unit.closures
+                answer_goal = None
+                while self.pos < len(candidates):
+                    clause = candidates[self.pos]
+                    self.pos += 1
+                    closure = closures.get(clause.seq)
+                    if closure is None:
+                        closure = unit.closure_for(clause, stats)
+                    if answer_goal is None:
+                        # One $answer node serves every attempt of this
+                        # retry: Goals cells are immutable, and at most
+                        # one attempt returns it.
+                        answer_goal = Goals(
+                            Struct("$answer", (frame, self.call_term)),
+                            self.continuation,
+                            self.body_cutbar,
+                        )
+                    result = closure(
+                        machine, self.call_args, answer_goal, self.body_cutbar
+                    )
+                    if result is None:
+                        trail.undo_to(self.trail_mark)
+                        continue
+                    return result
+                self.in_completion = True
+                return self._check_complete(machine)
             while self.pos < len(candidates):
                 clause = candidates[self.pos]
                 self.pos += 1
@@ -341,6 +374,8 @@ class Machine:
         "stats",
         "trace",
         "prof",
+        "compiled",
+        "compile_warmup",
     )
 
     def __init__(self, engine, mode=MODE_QUERY, depth=0):
@@ -369,6 +404,11 @@ class Machine:
         self.trace = tracer if tracer is not None and tracer.enabled else None
         prof = getattr(engine, "profiler", None)
         self.prof = prof if prof is not None and prof.enabled else None
+        # Clause-closure compilation (repro.engine.compile): snapshotted
+        # once per run like the stats/trace/prof locals, so the disabled
+        # path costs one truth test per user-predicate call.
+        self.compiled = getattr(engine, "compile", False)
+        self.compile_warmup = getattr(engine, "compile_warmup", 0)
 
     # -- public entry ---------------------------------------------------------
 
@@ -599,6 +639,30 @@ class Machine:
 
     # -- ordinary calls -----------------------------------------------------------
 
+    def _ensure_unit(self, pred, stats):
+        """Unit for a predicate whose cached unit is missing or stale.
+
+        Compilation is an investment — a mode scan, the frozen-row
+        batch, a closure build per dispatched clause — so cold
+        predicates stay on the template path until they have been
+        called ``compile_warmup`` times; a stale unit means the
+        investment was already made once, so mutated-but-warm
+        predicates recompile immediately (their count is already past
+        the gate).  Returns None while the predicate is still warming
+        up, which the dispatch sites read as "template path".
+        """
+        count = pred.dispatch_count + 1
+        pred.dispatch_count = count
+        if count <= self.compile_warmup:
+            return None
+        # Lazy import: builtins imports this module at load time, so
+        # the compiler (which needs builtins) can only be pulled in
+        # once the engine is fully constructed — and only on this rare
+        # unit-rebuild path.
+        from .compile import ensure_unit
+
+        return ensure_unit(pred, self.engine, stats)
+
     def _call_user(self, pred, args, goals):
         candidates = pred.candidates(args)
         if not candidates:
@@ -607,10 +671,25 @@ class Machine:
         stats = self.stats
         if stats is not None:
             stats.clause_candidates += len(candidates)
+        if self.compiled:
+            unit = pred.compiled_unit
+            if unit is None or unit.stamp != pred.mutations:
+                unit = self._ensure_unit(pred, stats)
+        else:
+            unit = None
         if len(candidates) == 1:
             # Determinate call: no choice point (the WAM's indexing win).
             clause = candidates[0]
             mark = trail.mark()
+            if unit is not None:
+                closure = unit.closures.get(clause.seq)
+                if closure is None:
+                    closure = unit.closure_for(clause, stats)
+                result = closure(self, args, goals.next, len(self.cpstack))
+                if result is None:
+                    trail.undo_to(mark)
+                    return self._backtrack()
+                return result
             slots = clause.match_head(args, trail)
             if slots is None:
                 trail.undo_to(mark)
@@ -623,7 +702,9 @@ class Machine:
                 clause.body_terms(slots), goals.next, len(self.cpstack)
             )
         cutbar = len(self.cpstack)
-        cp = ClauseCP(trail.mark(), args, goals.next, candidates, cutbar)
+        cp = ClauseCP(
+            trail.mark(), args, goals.next, candidates, cutbar, unit=unit
+        )
         self.cpstack.append(cp)
         result = cp.retry(self)
         if result is EXHAUSTED:
@@ -681,9 +762,16 @@ class Machine:
             candidates = pred.candidates(args)
             if stats is not None:
                 stats.clause_candidates += len(candidates)
+            if self.compiled and candidates:
+                unit = pred.compiled_unit
+                if unit is None or unit.stamp != pred.mutations:
+                    unit = self._ensure_unit(pred, stats)
+            else:
+                unit = None
             cutbar = len(cpstack)
             cp = GeneratorCP(
-                trail.mark(), frame, term, args, goals.next, candidates, cutbar
+                trail.mark(), frame, term, args, goals.next, candidates,
+                cutbar, unit=unit,
             )
             cpstack.append(cp)
             result = cp.retry(self)

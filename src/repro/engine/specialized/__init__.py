@@ -1,0 +1,13 @@
+"""Specialized clause kernels for the compiled SLD/SLG inner loop.
+
+See :mod:`repro.engine.specialized.kernels` for the kernel factories
+and :mod:`repro.engine.compile` for shape selection and caching.
+"""
+
+from .kernels import (
+    clause_kernel,
+    fused_fact_kernel,
+    generic_kernel,
+)
+
+__all__ = ["clause_kernel", "fused_fact_kernel", "generic_kernel"]

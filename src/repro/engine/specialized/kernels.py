@@ -1,0 +1,402 @@
+"""Specialized closure kernels — the SLG-WAM instruction shapes.
+
+Every factory here returns a *kernel*: a closure
+
+    ``kernel(machine, call_args, continuation, cutbar) -> goals | None``
+
+that performs one clause resolution attempt.  On success it returns
+the goal chain to continue with (the continuation itself when the
+clause contributes no residual body goals); on failure it returns
+``None`` and the caller unwinds the trail to its pre-attempt mark —
+the same contract as :meth:`Clause.match_head`.
+
+The shapes mirror the instruction specialization of the SLG-WAM (the
+paper's compiled-clause story, DESIGN.md maps them):
+
+* :func:`fused_fact_kernel` — a ground fact's head match collapsed to
+  per-register compares against precomputed operands (``get_constant``
+  fused across the whole head): no slot array, no term construction,
+  no trailing except bindings of unbound call registers.
+* :func:`clause_kernel` — argument-register head matching (first
+  occurrences capture without deref bookkeeping or trailing) plus a
+  precompiled body: an eager prefix of inline builtins executed inside
+  the closure (the superinstruction) and prebuilt literal builders for
+  the residual goals.
+* :func:`generic_kernel` — byte-identical in behavior to the template
+  path (``match_head`` + ``body_terms``); the fallback for clause
+  shapes the compiler does not specialize.
+
+Shape *selection* lives in :mod:`repro.engine.compile`; this module
+only manufactures closures from already-chosen plans.
+"""
+
+from __future__ import annotations
+
+from ...errors import EvaluationError, InstantiationError
+from ...terms import Atom, Struct, Var, compare_terms, unify
+from ..builtins import _BINARY, _UNARY, arith_eval
+from ..clause import _UNSET, SlotRef, _build
+from ..frames import Goals, goals_for_body
+
+__all__ = [
+    "OP_CAPTURE",
+    "OP_REUNIFY",
+    "OP_ATOM",
+    "OP_SCALAR",
+    "OP_GROUND",
+    "fused_fact_kernel",
+    "clause_kernel",
+    "generic_kernel",
+    "const_builder",
+    "slot_builder",
+    "flat_struct_builder",
+    "generic_builder",
+    "compile_arith_node",
+    "eager_compare",
+    "eager_is_slot",
+    "eager_is_const",
+    "eager_is_term",
+    "eager_unify",
+    "eager_struct_cmp",
+]
+
+# Head-argument op codes.  Ops are ``(op, x, y)`` triples:
+# CAPTURE/REUNIFY carry the slot index in x; ATOM carries the atom
+# term in x and its interned name (the row-codec value) in y; SCALAR
+# and GROUND carry the skeleton term in x.
+OP_CAPTURE = 0
+OP_REUNIFY = 1
+OP_ATOM = 2
+OP_SCALAR = 3
+OP_GROUND = 4
+
+
+# --------------------------------------------------------------------------
+# head kernels
+# --------------------------------------------------------------------------
+
+def fused_fact_kernel(ops):
+    """A ground fact's whole head match as one closure.
+
+    ``ops`` holds one ``(op, term, frozen)`` triple per argument; the
+    common cases — the call register IS the stored operand (interned
+    atoms, small ints) or an unbound variable — resolve with zero
+    function calls per register.
+    """
+
+    def kernel(machine, call_args, continuation, cutbar):
+        entries = machine.trail.entries
+        i = 0
+        for op, term, frozen in ops:
+            a = call_args[i]
+            i += 1
+            while isinstance(a, Var):
+                ref = a.ref
+                if ref is None:
+                    break
+                a = ref
+            if a is term:
+                continue
+            if isinstance(a, Var):
+                a.ref = term
+                entries.append(a)
+            elif op == OP_ATOM:
+                if isinstance(a, Atom) and a.name == frozen:
+                    continue
+                return None
+            elif op == OP_SCALAR:
+                if type(a) is type(term) and a == term:
+                    continue
+                return None
+            elif not unify(a, term, machine.trail):
+                return None
+        stats = machine.stats
+        if stats is not None:
+            stats.clause_matches += 1
+            stats.compiled_hits += 1
+            stats.fused_fact_matches += 1
+        return continuation
+
+    return kernel
+
+
+def clause_kernel(nslots, head_ops, eager_steps, builders):
+    """Argument-register head matching plus a precompiled body.
+
+    ``head_ops`` are ``(op, x, y)`` triples (see the op codes above),
+    ``eager_steps`` the leading inline-builtin superinstruction (each
+    ``step(machine, slots) -> bool``), ``builders`` the residual body
+    literal builders *already reversed* for goal-chain construction.
+    """
+
+    def kernel(machine, call_args, continuation, cutbar):
+        trail = machine.trail
+        slots = [_UNSET] * nslots
+        i = 0
+        for op, x, y in head_ops:
+            a = call_args[i]
+            i += 1
+            if op == OP_CAPTURE:
+                while isinstance(a, Var):
+                    ref = a.ref
+                    if ref is None:
+                        break
+                    a = ref
+                slots[x] = a
+                continue
+            if op == OP_REUNIFY:
+                if not unify(slots[x], a, trail):
+                    return None
+                continue
+            while isinstance(a, Var):
+                ref = a.ref
+                if ref is None:
+                    break
+                a = ref
+            if a is x:
+                continue
+            if isinstance(a, Var):
+                a.ref = x
+                trail.entries.append(a)
+            elif op == OP_ATOM:
+                if isinstance(a, Atom) and a.name == y:
+                    continue
+                return None
+            elif op == OP_SCALAR:
+                if type(a) is type(x) and a == x:
+                    continue
+                return None
+            elif not unify(a, x, trail):
+                return None
+        stats = machine.stats
+        if stats is not None:
+            stats.clause_matches += 1
+            stats.compiled_hits += 1
+        for step in eager_steps:
+            if not step(machine, slots):
+                return None
+        goals = continuation
+        for build in builders:
+            goals = Goals(build(slots), goals, cutbar)
+        return goals
+
+    return kernel
+
+
+def generic_kernel(clause):
+    """The fallback: template matching wrapped in the kernel contract.
+
+    Behaviorally byte-identical to the uncompiled path — same
+    ``match_head``, same ``body_terms`` — so any clause the compiler
+    declines to specialize loses nothing.
+    """
+    match_head = clause.match_head
+    body = clause.body
+    body_terms = clause.body_terms
+
+    def kernel(machine, call_args, continuation, cutbar):
+        slots = match_head(call_args, machine.trail)
+        if slots is None:
+            return None
+        stats = machine.stats
+        if stats is not None:
+            stats.clause_matches += 1
+            stats.compiled_fallbacks += 1
+        if not body:
+            return continuation
+        return goals_for_body(body_terms(slots), continuation, cutbar)
+
+    return kernel
+
+
+# --------------------------------------------------------------------------
+# body literal builders (the compiled analog of put instructions)
+# --------------------------------------------------------------------------
+
+def const_builder(term):
+    """A ground literal: share the immutable skeleton, build nothing."""
+
+    def build(slots):
+        return term
+
+    return build
+
+
+def slot_builder(index, name):
+    """A bare-variable literal (call through a clause variable)."""
+
+    def build(slots):
+        value = slots[index]
+        if value is _UNSET:
+            value = Var(name)
+            slots[index] = value
+        return value
+
+    return build
+
+
+def flat_struct_builder(name, parts):
+    """A literal whose children are slots or ground constants.
+
+    ``parts`` holds ``(is_slot, value, varname)`` triples; the builder
+    is a single pass with no stack machinery (cf. the explicit-stack
+    walk in :func:`repro.engine.clause._build`).
+    """
+
+    def build(slots):
+        out = []
+        append = out.append
+        for is_slot, value, varname in parts:
+            if is_slot:
+                v = slots[value]
+                if v is _UNSET:
+                    v = Var(varname)
+                    slots[value] = v
+                append(v)
+            else:
+                append(value)
+        return Struct(name, out)
+
+    return build
+
+
+def generic_builder(skeleton):
+    """Anything nested: the template instantiation walk."""
+
+    def build(slots):
+        return _build(skeleton, slots)
+
+    return build
+
+
+# --------------------------------------------------------------------------
+# eager inline builtins (superinstruction steps)
+# --------------------------------------------------------------------------
+#
+# Each step runs *inside* the clause closure, after the head matched:
+# ``step(machine, slots) -> bool``.  A False return fails the whole
+# resolution attempt; the caller's trail unwind (to the pre-attempt
+# mark) discards any partial bindings, which is observably identical
+# to the builtin failing as a goal and the machine backtracking.
+
+def compile_arith_node(sk):
+    """Compile an arithmetic-expression skeleton to ``fn(slots) -> num``.
+
+    Known operators become direct closure composition over
+    :data:`~repro.engine.builtins._BINARY` / ``_UNARY`` — the same
+    functions, wrapped with the same error translation, that
+    :func:`~repro.engine.builtins.arith_eval` applies — so compiled
+    and interpreted evaluation raise identical errors in identical
+    order.  Anything else (atom constants incl. the dynamic
+    ``random``, unknown functors) defers to ``arith_eval`` at run
+    time, preserving its error behavior exactly.
+    """
+    t = type(sk)
+    if t is int or t is float:
+        return lambda slots: sk
+    if t is SlotRef:
+        index = sk.index
+
+        def node(slots):
+            v = slots[index]
+            tv = type(v)
+            if tv is int or tv is float:
+                return v
+            if v is _UNSET:
+                raise InstantiationError("arithmetic expression")
+            return arith_eval(v)
+
+        return node
+    if t is Struct:
+        args = sk.args
+        if len(args) == 2:
+            fn = _BINARY.get(sk.name)
+            if fn is not None:
+                left = compile_arith_node(args[0])
+                right = compile_arith_node(args[1])
+
+                def node(slots):
+                    try:
+                        return fn(left(slots), right(slots))
+                    except ZeroDivisionError as exc:
+                        raise EvaluationError("zero_divisor") from exc
+
+                return node
+        elif len(args) == 1:
+            fn = _UNARY.get(sk.name)
+            if fn is not None:
+                operand = compile_arith_node(args[0])
+
+                def node(slots):
+                    try:
+                        return fn(operand(slots))
+                    except ValueError as exc:
+                        raise EvaluationError(str(exc)) from exc
+
+                return node
+
+        def node(slots):
+            return arith_eval(_build(sk, slots))
+
+        return node
+
+    def node(slots):
+        return arith_eval(sk)
+
+    return node
+
+
+def eager_compare(op, left, right):
+    """One arithmetic comparison collapsed into the clause closure."""
+
+    def step(machine, slots):
+        return op(left(slots), right(slots))
+
+    return step
+
+
+def eager_is_slot(index, expr):
+    """``Slot is Expr``: bind the register directly — no fresh Var, no
+    ``is/2`` goal term, no trailing when the slot is body-only."""
+
+    def step(machine, slots):
+        value = expr(slots)
+        cur = slots[index]
+        if cur is _UNSET:
+            slots[index] = value
+            return True
+        return unify(cur, value, machine.trail)
+
+    return step
+
+
+def eager_is_const(target, expr):
+    """``Const is Expr``: type-exact value check, as unify would."""
+
+    def step(machine, slots):
+        value = expr(slots)
+        return type(value) is type(target) and value == target
+
+    return step
+
+
+def eager_is_term(build, expr):
+    def step(machine, slots):
+        value = expr(slots)
+        return unify(build(slots), value, machine.trail)
+
+    return step
+
+
+def eager_unify(left, right):
+    def step(machine, slots):
+        return unify(left(slots), right(slots), machine.trail)
+
+    return step
+
+
+def eager_struct_cmp(want_equal, left, right):
+    def step(machine, slots):
+        return (compare_terms(left(slots), right(slots)) == 0) is want_equal
+
+    return step

@@ -52,6 +52,21 @@ The counters:
 ``hybrid_iterations``
     Semi-naive delta iterations run on behalf of hybrid subgoals (the
     set-at-a-time analog of consumer resumptions).
+``clauses_compiled``
+    Clause templates lowered to specialized Python closures by the
+    clause compiler (:mod:`repro.engine.compile`) — counted once per
+    closure built, eager batch compilation included.
+``compiled_hits`` / ``compiled_fallbacks``
+    Clause-head matches dispatched through a *specialized* compiled
+    kernel (fused fact match, argument-register head, builtin
+    superinstruction) vs. through the generic fallback closure, which
+    is behaviorally identical to the template path.  Their sum equals
+    the compiled share of ``clause_matches``; the fallback count is
+    the quantity shape specialization exists to shrink.
+``fused_fact_matches``
+    The subset of ``compiled_hits`` served by the fused ground-fact
+    kernel: head matched register-against-row with no slot array, no
+    term construction and no trailing beyond variable bindings.
 
 The ``store_*`` keys are aggregated over every live
 :class:`~repro.store.TupleStore` the engine owns (predicate fact
@@ -83,6 +98,10 @@ _FIELDS = (
     "hybrid_fallbacks",
     "hybrid_answers",
     "hybrid_iterations",
+    "clauses_compiled",
+    "compiled_hits",
+    "compiled_fallbacks",
+    "fused_fact_matches",
 )
 
 # Keys accepted by statistics/2.  The table-space keys (answers,

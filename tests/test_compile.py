@@ -1,0 +1,372 @@
+"""The clause-closure compiler: specialization, caching, invalidation.
+
+The compiled path's contract is *observational equivalence* with the
+template path — same answers, same order, same errors, same counter
+stream for the shared counters — plus its own ``compile_*`` event
+counters.  The invalidation tests pin the generation-stamp discipline:
+assert/retract/retractall/abolish must never let a dispatch site serve
+stale compiled code.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.errors import EvaluationError, InstantiationError
+from repro.engine.compile import CompiledUnit, ensure_unit
+from repro.terms import canonical_key
+
+
+GUARDED = """
+classify(N, neg) :- N < 0.
+classify(N, zero) :- N =:= 0.
+classify(N, pos) :- N > 0.
+"""
+
+FACTS = """
+edge(a, b). edge(b, c). edge(c, d). edge(a, d).
+"""
+
+
+def ab_engines(program, **kwargs):
+    """The same program on a compiled and a template engine.
+
+    ``compile_warmup=0`` unless the caller says otherwise: these tests
+    pin what the compiled path *does*, so the warmup gate (which exists
+    to keep one-shot loads on the template path) must not hide it.
+    """
+    kwargs.setdefault("compile_warmup", 0)
+    pair = []
+    for flag in (True, False):
+        engine = Engine(compile=flag, **kwargs)
+        engine.consult_string(program)
+        pair.append(engine)
+    return pair
+
+
+def _rows(engine, goal):
+    """Solutions with structured bindings made comparable (Struct
+    equality is identity, so raw terms are canonicalized)."""
+    return [
+        {name: canonical_key(value) for name, value in solution.items()}
+        for solution in engine.query(goal, raw=True)
+    ]
+
+
+def assert_same_answers(program, goals, **kwargs):
+    compiled, template = ab_engines(program, **kwargs)
+    for goal in goals:
+        assert _rows(compiled, goal) == _rows(template, goal), goal
+    assert compiled.statistics()["clauses_compiled"] >= 1
+    assert template.statistics()["clauses_compiled"] == 0
+    return compiled, template
+
+
+class TestEquivalence:
+    def test_ground_facts(self):
+        assert_same_answers(FACTS, ["edge(X, Y)", "edge(a, Y)", "edge(X, d)",
+                                    "edge(b, b)", "edge(q, Z)"])
+
+    def test_builtin_guards(self):
+        assert_same_answers(
+            GUARDED,
+            ["classify(-3, C)", "classify(0, C)", "classify(7, C)"],
+        )
+
+    def test_arith_chain_recursion(self):
+        program = """
+        loop(0).
+        loop(N) :- N > 0, M is N - 1, loop(M).
+        """
+        assert_same_answers(program, ["loop(50)", "loop(0)", "loop(-1)"])
+
+    def test_repeated_head_variables(self):
+        program = """
+        eq(X, X).
+        both(X, X, f(X)).
+        """
+        assert_same_answers(
+            program,
+            ["eq(a, a)", "eq(a, b)", "eq(Z, c)", "both(1, 1, W)",
+             "both(A, B, f(q))"],
+        )
+
+    def test_structured_heads_fall_back(self):
+        # A non-ground structure in the head keeps the template walk
+        # (the generic kernel); behavior must be unchanged.
+        program = """
+        first(pair(X, _), X).
+        wrap(X, box(X)).
+        """
+        compiled, _ = assert_same_answers(
+            program,
+            ["first(pair(a, b), W)", "wrap(7, B)", "wrap(I, box(g(h)))"],
+        )
+        assert compiled.statistics()["compiled_fallbacks"] >= 1
+
+    def test_ground_struct_head_args_specialize(self):
+        program = """
+        conf(point(1, 2)).
+        conf(point(3, 4)).
+        """
+        compiled, _ = assert_same_answers(
+            program, ["conf(C)", "conf(point(3, X))", "conf(point(9, 9))"]
+        )
+        assert compiled.statistics()["compiled_fallbacks"] == 0
+
+    def test_unify_and_compare_superinstructions(self):
+        program = """
+        pick(X, Y) :- X = f(Y), Y == a.
+        differ(X, Y) :- X \\== Y.
+        """
+        assert_same_answers(
+            program,
+            ["pick(f(a), R)", "pick(f(b), R)", "pick(P, a)",
+             "differ(a, b)", "differ(a, a)", "differ(f(Z), f(Z))"],
+        )
+
+    def test_cut_inside_compiled_body(self):
+        program = """
+        grade(N, fail) :- N < 60, !.
+        grade(N, pass) :- N < 90, !.
+        grade(_, ace).
+        """
+        assert_same_answers(
+            program, ["grade(40, G)", "grade(75, G)", "grade(95, G)"]
+        )
+
+    def test_tabled_generator_dispatch(self):
+        program = """
+        :- table path/2.
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- path(X, Z), edge(Z, Y).
+        edge(1, 2). edge(2, 3). edge(3, 1).
+        """
+        compiled, template = ab_engines(program, hybrid=False)
+        for engine in (compiled, template):
+            assert sorted(s["X"] for s in engine.query("path(1, X)")) == [
+                1, 2, 3,
+            ]
+        # Same SLG event stream through the compiled generator.
+        ours, theirs = compiled.statistics(), template.statistics()
+        for key in ("clause_candidates", "clause_matches",
+                    "answers_inserted", "duplicate_answers", "suspensions",
+                    "completions"):
+            assert ours[key] == theirs[key], key
+        assert ours["compiled_hits"] + ours["compiled_fallbacks"] > 0
+
+    def test_solution_order_preserved(self):
+        program = """
+        pref(a). pref(b). pref(c).
+        two(X, Y) :- pref(X), pref(Y).
+        """
+        compiled, template = ab_engines(program)
+        assert compiled.query("two(X, Y)") == template.query("two(X, Y)")
+
+
+class TestErrorParity:
+    def test_zero_divisor(self):
+        for flag in (True, False):
+            engine = Engine(compile=flag, compile_warmup=0)
+            engine.consult_string("halve(X, Y) :- Y is X / 0.")
+            with pytest.raises(EvaluationError):
+                engine.query("halve(4, Y)")
+
+    def test_unbound_arith_operand(self):
+        for flag in (True, False):
+            engine = Engine(compile=flag, compile_warmup=0)
+            engine.consult_string("bump(X, Y) :- Y is X + 1.")
+            with pytest.raises(InstantiationError):
+                engine.query("bump(_, Y)")
+
+    def test_eager_failure_unwinds_trail(self):
+        # The head binds the call variable before the eager guard
+        # fails; backtracking into the next clause must see it unbound.
+        program = """
+        probe(X) :- X = 1, 1 > 2.
+        probe(other).
+        """
+        for flag in (True, False):
+            engine = Engine(compile=flag, compile_warmup=0)
+            engine.consult_string(program)
+            assert engine.query("probe(W)") == [{"W": "other"}]
+            assert len(engine.trail) == 0
+
+
+class TestCounters:
+    def test_exact_compile_counts(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(FACTS + GUARDED)
+        assert engine.query("classify(5, C)") == [{"C": "pos"}]
+        stats = engine.statistics()
+        # classify/3's three clauses compile lazily on first dispatch;
+        # the guards of the first two fail after their heads match.
+        assert stats["clauses_compiled"] == 3
+        assert stats["compiled_hits"] == 3
+        assert stats["compiled_fallbacks"] == 0
+        assert stats["fused_fact_matches"] == 0
+        # edge/2 compiles lazily as well: the bound probe dispatches
+        # only the two indexed candidates, and both matches are fused.
+        assert engine.query("edge(a, X)") == [{"X": "b"}, {"X": "d"}]
+        stats = engine.statistics()
+        assert stats["clauses_compiled"] == 5
+        assert stats["fused_fact_matches"] == 2
+        assert stats["compiled_hits"] == 5
+        # Compiled dispatch counts matches exactly like the template.
+        assert stats["clause_matches"] == (
+            stats["compiled_hits"] + stats["compiled_fallbacks"]
+        )
+
+    def test_closures_cached_across_queries(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(GUARDED)
+        engine.query("classify(1, C)")
+        compiled_once = engine.statistics()["clauses_compiled"]
+        engine.query("classify(2, C)")
+        engine.query("classify(-2, C)")
+        assert engine.statistics()["clauses_compiled"] == compiled_once
+
+    def test_disabled_engine_reports_zero(self):
+        engine = Engine(compile=False)
+        engine.consult_string(FACTS)
+        engine.query("edge(X, Y)")
+        stats = engine.statistics()
+        assert stats["clauses_compiled"] == 0
+        assert stats["compiled_hits"] == 0
+        assert stats["compiled_fallbacks"] == 0
+        assert stats["fused_fact_matches"] == 0
+
+    def test_statistics2_exposes_compile_keys(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(FACTS)
+        engine.query("edge(a, X)")
+        [row] = engine.query("statistics(clauses_compiled, N)")
+        assert row["N"] >= 1
+        [row] = engine.query("statistics(fused_fact_matches, N)")
+        assert row["N"] >= 1
+
+
+class TestInvalidation:
+    def test_retract_then_reassert_recompiles(self):
+        # The regression this PR guards against: a retract followed by
+        # a reassert must not serve the closure compiled for the old
+        # clause set.
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(":- dynamic(f/1).\nf(1).")
+        assert engine.query("f(X)") == [{"X": 1}]
+        unit_before = engine.predicate("f", 1).compiled_unit
+        assert isinstance(unit_before, CompiledUnit)
+        assert engine.has_solution("retract(f(1))")
+        assert engine.has_solution("assertz(f(2))")
+        assert engine.query("f(X)") == [{"X": 2}]
+        pred = engine.predicate("f", 1)
+        unit_after = pred.compiled_unit
+        assert unit_after is not unit_before
+        assert unit_after.stamp == pred.mutations
+
+    def test_retractall_invalidates(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(":- dynamic(g/1).\ng(a). g(b).")
+        assert len(engine.query("g(X)")) == 2
+        assert engine.has_solution("retractall(g(_))")
+        assert engine.query("g(X)") == []
+        assert engine.has_solution("assertz(g(c))")
+        assert engine.query("g(X)") == [{"X": "c"}]
+
+    def test_abolish_then_redefine(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(":- dynamic(h/1).\nh(old).")
+        assert engine.query("h(X)") == [{"X": "old"}]
+        assert engine.has_solution("abolish(h/1)")
+        engine.consult_string(":- dynamic(h/1).\nh(new).")
+        assert engine.query("h(X)") == [{"X": "new"}]
+
+    def test_assert_extends_compiled_predicate(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(":- dynamic(e/2).\ne(1, 2).")
+        assert engine.query("e(1, X)") == [{"X": 2}]
+        assert engine.has_solution("assertz(e(1, 3))")
+        assert engine.query("e(1, X)") == [{"X": 2}, {"X": 3}]
+
+    def test_seq_keys_survive_interleaved_mutation(self):
+        # Clause seq is monotonic per predicate, so a rebuilt unit can
+        # never alias a retracted clause's closure to a new clause.
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(":- dynamic(k/1).\nk(1). k(2).")
+        engine.query("k(X)")
+        for step in range(3, 7):
+            assert engine.has_solution(f"retract(k({step - 2}))")
+            assert engine.has_solution(f"assertz(k({step}))")
+            rows = engine.query("k(X)")
+            assert [r["X"] for r in rows] == [step - 1, step]
+
+
+class TestFusedRowSharing:
+    def test_fact_rows_reuses_compiled_rows(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(FACTS)
+        engine.query("edge(a, X)")  # attaches the unit (eager row batch)
+        pred = engine.predicate("edge", 2)
+        unit = pred.compiled_unit
+        assert unit is not None and unit.rows
+        store = pred.fact_rows()
+        assert len(store) == 4
+        assert set(unit.rows.values()) == set(store)
+
+    def test_fact_rows_without_unit_still_works(self):
+        engine = Engine(compile=False)
+        engine.consult_string(FACTS)
+        assert len(engine.predicate("edge", 2).fact_rows()) == 4
+
+
+class TestConfiguration:
+    def test_env_flag_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILE", "0")
+        engine = Engine()
+        assert engine.compile is False
+
+    def test_env_flag_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILE", raising=False)
+        assert Engine().compile is True
+
+    def test_parameter_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILE", "0")
+        assert Engine(compile=True).compile is True
+
+    def test_eager_rows_for_constant_fact_predicate(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(FACTS)
+        engine.query("edge(a, X)")
+        unit = engine.predicate("edge", 2).compiled_unit
+        # All four frozen rows deposited in one batch when the unit is
+        # attached; closures compile lazily, so only the two clauses
+        # the bound probe dispatched have one.
+        assert len(unit.rows) == 4
+        assert len(unit.closures) == 2
+
+    def test_warmup_keeps_cold_predicates_on_template(self):
+        engine = Engine(compile=True, compile_warmup=3)
+        engine.consult_string(FACTS)
+        for _ in range(3):
+            engine.query("edge(a, X)")
+        # Three calls within the warmup window: template path only.
+        assert engine.statistics()["clauses_compiled"] == 0
+        assert engine.predicate("edge", 2).compiled_unit is None
+        engine.query("edge(a, X)")
+        # The fourth call clears the gate and compiles.
+        assert engine.statistics()["clauses_compiled"] == 2
+        assert engine.predicate("edge", 2).compiled_unit is not None
+
+    def test_warmup_env_and_parameter(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILE_WARMUP", raising=False)
+        assert Engine().compile_warmup == 64
+        monkeypatch.setenv("REPRO_COMPILE_WARMUP", "7")
+        assert Engine().compile_warmup == 7
+        assert Engine(compile_warmup=2).compile_warmup == 2
+
+    def test_ensure_unit_stamps_current_mutations(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        engine.consult_string(GUARDED)
+        pred = engine.predicate("classify", 2)
+        unit = ensure_unit(pred, engine, None)
+        assert unit.stamp == pred.mutations
+        assert pred.compiled_unit is unit

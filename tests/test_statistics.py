@@ -25,8 +25,13 @@ def cycle_engine(hybrid=False):
     # hybrid off by default: these tests pin the *SLG* event stream
     # (suspensions, duplicate checks, clause retrievals), which the
     # set-at-a-time hybrid route deliberately bypasses.  The hybrid
-    # stream has its own exact-count class below.
-    engine = Engine(hybrid=hybrid)
+    # stream has its own exact-count class below.  Clause compilation
+    # is pinned on explicitly so the compile_* counts stay exact under
+    # a REPRO_COMPILE=0 environment (the template-path stream is
+    # covered by TestTemplatePathExactCounts).
+    # compile_warmup=0 so the first dispatch already compiles — the
+    # pinned compile_* counts would otherwise read the warmup gate.
+    engine = Engine(hybrid=hybrid, compile=True, compile_warmup=0)
     engine.consult_string(PATH_LEFT + CYCLE_EDGES)
     return engine
 
@@ -57,6 +62,15 @@ class TestExactCounts:
         # first-argument index serving edge/2 retrievals.
         assert stats["clause_candidates"] == 6
         assert stats["clause_matches"] == 6
+        # Clause compilation (on by default): the three edge/2 facts
+        # compile lazily as fused kernels, the two path/2 rules as
+        # register kernels; every match dispatches through a
+        # specialized closure, and the four edge retrievals take the
+        # fused ground-fact path.
+        assert stats["clauses_compiled"] == 5
+        assert stats["compiled_hits"] == 6
+        assert stats["compiled_fallbacks"] == 0
+        assert stats["fused_fact_matches"] == 4
         # Table space: one frame + three answers, nothing reclaimed.
         assert stats["space_live"] == 4
         assert stats["space_peak"] == 4
@@ -95,6 +109,28 @@ class TestExactCounts:
         assert stats["hybrid_fallbacks"] == 0
         assert stats["hybrid_answers"] == 0
         assert stats["hybrid_iterations"] == 0
+
+
+class TestTemplatePathExactCounts:
+    """The same query with clause compilation off: the shared counter
+    stream must be identical and the compile_* counters silent."""
+
+    def test_path_cycle_counts_match_compiled_stream(self):
+        engine = Engine(hybrid=False, compile=False)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        solutions = engine.query("path(a, X)")
+        assert sorted(s["X"] for s in solutions) == ["a", "b", "c"]
+        stats = engine.statistics()
+        assert stats["clause_candidates"] == 6
+        assert stats["clause_matches"] == 6
+        assert stats["answers_inserted"] == 3
+        assert stats["duplicate_answers"] == 1
+        assert stats["suspensions"] == 1
+        assert stats["completions"] == 1
+        assert stats["clauses_compiled"] == 0
+        assert stats["compiled_hits"] == 0
+        assert stats["compiled_fallbacks"] == 0
+        assert stats["fused_fact_matches"] == 0
 
 
 class TestHybridExactCounts:

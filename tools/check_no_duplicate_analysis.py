@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""CI guard: program analysis lives in ``src/repro/analysis/`` only.
+"""CI guard: program analysis lives in ``src/repro/analysis/`` only,
+and clause lowering in the dedicated lowering modules only.
 
 PRs 1–4 accumulated four independent call-graph/SCC/stratification
 implementations before PR 5 consolidated them; this script keeps the
@@ -11,6 +12,15 @@ count at one.  It fails when, outside ``src/repro/analysis/``:
   analysis package; or
 * the identifier ``lowlink`` (the unmistakable fingerprint of a
   Tarjan implementation) appears at all.
+
+PR 6 adds a second guard with the same shape: *clause lowering* — the
+translation of clause terms to an executable/analyzable form — lives
+in exactly four places (the template compiler ``engine/clause.py``,
+the shared IR lowering ``analysis/ir.py`` via the analysis package,
+the closure compiler ``engine/compile.py`` + ``engine/specialized/``,
+and the WAM compiler ``wam/compiler.py``).  A function elsewhere named
+like a clause compiler that contains control flow is a fifth ad-hoc
+lowering in the making and fails the check.
 
 Delegating wrappers (e.g. ``Program.stratify`` calling
 ``repro.analysis.graph.stratify``) stay legal: they contain no loops.
@@ -38,6 +48,31 @@ FLAGGED_NAMES = {
     "negative_sccs",
 }
 
+# Clause-lowering fingerprints: functions with these names may only
+# live in the sanctioned lowering modules (LOWERING_ALLOWED below).
+LOWERING_NAMES = {
+    "compile_clause",
+    "compile_clause_code",
+    "lower_clause",
+    "lower_predicate",
+    "skeleton_literal",
+    "skeleton_pattern",
+    "term_literal",
+    "term_pattern",
+    "clause_kernel",
+    "fused_fact_kernel",
+}
+
+# Paths (relative to the repro package root) where clause lowering is
+# legitimate.  Everything else must delegate.
+LOWERING_ALLOWED = (
+    "analysis/",
+    "engine/clause.py",
+    "engine/compile.py",
+    "engine/specialized/",
+    "wam/compiler.py",
+)
+
 LOOP_NODES = (
     ast.For,
     ast.While,
@@ -56,7 +91,15 @@ def has_control_flow(func):
     )
 
 
-def check_file(path):
+def lowering_allowed(path, root):
+    try:
+        rel = path.relative_to(root / "repro").as_posix()
+    except ValueError:
+        return False
+    return rel.startswith(LOWERING_ALLOWED)
+
+
+def check_file(path, check_lowering=True):
     problems = []
     tree = ast.parse(path.read_text(), filename=str(path))
     for node in ast.walk(tree):
@@ -65,6 +108,16 @@ def check_file(path):
                 problems.append(
                     f"{path}:{node.lineno}: {node.name}() implements an "
                     "analysis algorithm outside src/repro/analysis/"
+                )
+            if (
+                check_lowering
+                and node.name in LOWERING_NAMES
+                and has_control_flow(node)
+            ):
+                problems.append(
+                    f"{path}:{node.lineno}: {node.name}() implements clause "
+                    "lowering outside the sanctioned modules "
+                    f"({', '.join(LOWERING_ALLOWED)})"
                 )
         elif isinstance(node, ast.Name) and node.id == "lowlink":
             problems.append(
@@ -81,17 +134,23 @@ def main(argv):
     for path in sorted(src.rglob("*.py")):
         if analysis_dir in path.parents:
             continue
-        problems.extend(check_file(path))
+        problems.extend(
+            check_file(path, check_lowering=not lowering_allowed(path, src))
+        )
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(
-            f"{len(problems)} duplicate-analysis problem(s); the single "
-            "implementation belongs in src/repro/analysis/",
+            f"{len(problems)} duplicate-implementation problem(s); analysis "
+            "belongs in src/repro/analysis/, clause lowering in "
+            f"{', '.join(LOWERING_ALLOWED)}",
             file=sys.stderr,
         )
         return 1
-    print("ok: no analysis implementations outside src/repro/analysis/")
+    print(
+        "ok: no analysis implementations outside src/repro/analysis/ and "
+        "no clause lowering outside the sanctioned modules"
+    )
     return 0
 
 
