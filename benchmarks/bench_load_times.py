@@ -15,18 +15,43 @@ Three ways to get a relation into the engine, fastest last:
 Asserted shape: general > formatted > object file, with the object
 file at least 4x faster than the formatted read (measured multiple is
 printed; the paper's was 12x).
+
+The persistence-tier series time the *engine*-level analogs of those
+paths against their per-item baselines, and write the committed
+before/after record::
+
+    PYTHONPATH=src python benchmarks/bench_load_times.py --json
+
+``BENCH_load.json`` holds the set-at-a-time paths (bulk formatted
+ingest, consult-cache hit, disk-backed probe) and
+``BENCH_load_before.json`` the item-at-a-time paths they replace
+(per-line read+assert, cold parse+compile consult, eager full
+materialization), measured on the same tree under the same series
+names so :func:`repro.bench.compare_results` lines them up.
 """
 
+import argparse
 import os
+import shutil
 import tempfile
 
 from repro import Engine
-from repro.bench import format_table, join_relations, time_call
+from repro.bench import (
+    format_table,
+    join_relations,
+    time_call,
+    write_json_results,
+)
 from repro.lang import parse_terms
-from repro.storage import load_formatted
+from repro.storage import (
+    bulk_load_formatted,
+    load_formatted,
+)
 from repro.wam import WamMachine, compile_predicate, load_object_file, save_object_file
 
 SIZE = 3000
+BULK_SIZE = 100_000
+PROBES = 200
 
 
 def make_sources():
@@ -128,6 +153,265 @@ def test_loaded_code_answers_queries(benchmark):
     assert benchmark(check) == ["b"]
 
 
+# -- persistence-tier series (set-at-a-time vs item-at-a-time) -------------
+
+def bulk_lines(size=BULK_SIZE):
+    rows, _ = join_relations(size)
+    return [f"{k}\t{payload}\t{k % 97}" for k, payload in rows]
+
+
+def make_consult_source(size=SIZE):
+    rows, _ = join_relations(size)
+    text = "\n".join(f"fact({a}, '{b}')." for a, b in rows)
+    text += (
+        "\n:- table reach/1.\n"
+        "reach(X) :- fact(X, _).\n"
+    )
+    return text
+
+
+def ingest_per_line(lines):
+    """Baseline: one read+assert (and index maintenance) per line."""
+    engine = Engine()
+    return load_formatted(engine, "fact", lines)
+
+
+def ingest_bulk(lines, backend=None):
+    """One parse pass, one batch install, one index build."""
+    engine = Engine()
+    return bulk_load_formatted(engine, "fact", lines, backend=backend)
+
+
+def consult_cold(path):
+    """Baseline: full lex + parse + clause compile of the source."""
+    engine = Engine(objcache=False)
+    engine.consult_file(path)
+    return len(engine.predicate("fact", 2).clauses)
+
+
+def consult_cached(path, cache_dir):
+    """Replay of the serialized pre-compiled consult (a cache hit)."""
+    engine = Engine(objcache=True, objcache_dir=cache_dir)
+    engine.consult_file(path)
+    assert engine.stats.objcache_hits == 1, "series requires a warm cache"
+    return len(engine.predicate("fact", 2).clauses)
+
+
+def probe_run(engine, keys):
+    total = 0
+    for key in keys:
+        total += engine.count(f"fact({key}, P, M)")
+    return total
+
+
+def probe_after_disk_load(lines, keys):
+    """Load on the mmap-backed store, then run indexed probes; rows
+    materialize into terms lazily, per probe."""
+    engine = Engine()
+    bulk_load_formatted(engine, "fact", lines, backend="disk")
+    return probe_run(engine, keys)
+
+
+def probe_after_full_materialize(lines, keys):
+    """Baseline: eagerly build one Clause (terms and all) per row,
+    then run the same probes."""
+    engine = Engine()
+    bulk_load_formatted(engine, "fact", lines, materialize="clauses")
+    return probe_run(engine, keys)
+
+
+def measure_persistence(before, bulk_size=BULK_SIZE):
+    """The three committed series; ``before`` selects the baselines."""
+    lines = bulk_lines(bulk_size)
+    keys = [(i * 37) % bulk_size for i in range(PROBES)]
+    tmp = tempfile.mkdtemp(prefix="repro-load-bench-")
+    results = {}
+    try:
+        source = os.path.join(tmp, "prog.P")
+        with open(source, "w", encoding="utf-8") as handle:
+            handle.write(make_consult_source())
+        cache_dir = os.path.join(tmp, "objcache")
+        if before:
+            results["bulk_load_100k"], n = time_call(
+                ingest_per_line, lines
+            )
+            results["objcache_consult"], _ = time_call(
+                consult_cold, source, repeat=2
+            )
+            results["disk_probe_100k"], hits = time_call(
+                probe_after_full_materialize, lines, keys
+            )
+        else:
+            results["bulk_load_100k"], n = time_call(ingest_bulk, lines)
+            # one cold consult populates the cache, off the clock
+            Engine(
+                objcache=True, objcache_dir=cache_dir
+            ).consult_file(source)
+            results["objcache_consult"], _ = time_call(
+                consult_cached, source, cache_dir, repeat=2
+            )
+            results["disk_probe_100k"], hits = time_call(
+                probe_after_disk_load, lines, keys
+            )
+        assert n == bulk_size
+        assert hits == PROBES  # every probed key exists exactly once
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return results
+
+
+def test_bulk_ingest_speedup(benchmark):
+    lines = bulk_lines(20_000)
+    benchmark(ingest_bulk, lines)
+    per_line, _ = time_call(ingest_per_line, lines)
+    bulk, _ = time_call(ingest_bulk, lines, repeat=2)
+    multiple = per_line / bulk
+    print(f"\nbulk ingest speedup over per-line assert: {multiple:.1f}x")
+    assert multiple > 3
+
+
+def test_cached_consult_speedup(benchmark):
+    tmp = tempfile.mkdtemp(prefix="repro-load-bench-")
+    try:
+        source = os.path.join(tmp, "prog.P")
+        with open(source, "w", encoding="utf-8") as handle:
+            handle.write(make_consult_source())
+        cache_dir = os.path.join(tmp, "objcache")
+        Engine(objcache=True, objcache_dir=cache_dir).consult_file(source)
+        benchmark(consult_cached, source, cache_dir)
+        cold, n_cold = time_call(consult_cold, source, repeat=2)
+        cached, n_hot = time_call(
+            consult_cached, source, cache_dir, repeat=3
+        )
+        assert n_cold == n_hot == SIZE
+        multiple = cold / cached
+        print(
+            f"\ncached consult speedup over parse+compile: {multiple:.1f}x"
+            " (paper's object files: ~12x over formatted read)"
+        )
+        assert multiple > 5
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_disk_probe_matches_memory(benchmark):
+    lines = bulk_lines(5_000)
+    keys = [(i * 37) % 5_000 for i in range(50)]
+    benchmark(probe_after_disk_load, lines, keys)
+    assert probe_after_disk_load(lines, keys) == (
+        probe_after_full_materialize(lines, keys)
+    )
+
+
+# -- peak-RSS experiment (run with --rss) ----------------------------------
+
+_RSS_CHILD = r"""
+import gc, resource, sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {here!r})
+from repro import Engine
+from bench_load_times import bulk_lines
+engine = Engine()
+lines = bulk_lines({size})
+mode = {mode!r}
+if mode == "terms":
+    from repro.storage import load_formatted
+    load_formatted(engine, "fact", lines)
+else:
+    from repro.storage import bulk_load_formatted
+    bulk_load_formatted(engine, "fact", lines, backend=mode)
+del lines
+assert engine.count("fact(31337, P, M)") == 1  # indexed probe answers
+gc.collect()
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+resident_kb = 0
+with open("/proc/self/status") as handle:
+    for line in handle:
+        if line.startswith("VmRSS:"):
+            resident_kb = int(line.split()[1])
+            break
+print(peak_kb, resident_kb)
+"""
+
+
+def measure_peak_rss(size, mode):
+    """(peak, resident) RSS in MB of loading ``size`` facts.
+
+    ``mode`` is ``"terms"`` (per-line read+assert: one Clause and one
+    term tuple per fact), ``"memory"`` (bulk rows in a memory store)
+    or ``"disk"`` (bulk rows on the mmap-backed store).  Peak is the
+    load-time high-water mark; resident is what stays mapped once the
+    relation is loaded, probed and collected.  A fresh subprocess per
+    mode keeps ``ru_maxrss`` honest — the high-water mark cannot leak
+    across modes.
+    """
+    import subprocess
+    import sys
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    src = os.path.join(here, "..", "src")
+    script = _RSS_CHILD.format(src=src, here=here, size=size, mode=mode)
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, check=True,
+    )
+    peak_kb, resident_kb = out.stdout.split()
+    return int(peak_kb) / 1024.0, int(resident_kb) / 1024.0
+
+
+def _parse_args():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="write BENCH_load.json and BENCH_load_before.json",
+    )
+    parser.add_argument(
+        "--size", type=int, default=BULK_SIZE,
+        help="bulk relation size for the persistence series",
+    )
+    parser.add_argument(
+        "--rss", action="store_true",
+        help="measure peak RSS of a 1M-fact load per storage mode",
+    )
+    parser.add_argument(
+        "--rss-size", type=int, default=1_000_000,
+        help="relation size for the --rss experiment",
+    )
+    return parser.parse_args()
+
+
 if __name__ == "__main__":
+    args = _parse_args()
+    if args.rss:
+        rows = [
+            (mode,) + measure_peak_rss(args.rss_size, mode)
+            for mode in ("terms", "memory", "disk")
+        ]
+        print(f"RSS loading {args.rss_size} facts (subprocess each)")
+        print(format_table(["mode", "peak MB", "resident MB"], rows))
+        raise SystemExit(0)
     for label, seconds in measure():
         print(f"{label:34s} {seconds*1e3:9.2f} ms")
+    print()
+    after = measure_persistence(before=False, bulk_size=args.size)
+    before = measure_persistence(before=True, bulk_size=args.size)
+    rows = [
+        (name, before[name] * 1e3, after[name] * 1e3,
+         before[name] / after[name])
+        for name in sorted(after)
+    ]
+    print(f"persistence tier, {args.size}-tuple relation")
+    print(format_table(
+        ["series", "before ms", "after ms", "speedup"], rows
+    ))
+    if args.json:
+        here = os.path.dirname(os.path.abspath(__file__))
+        write_json_results(
+            os.path.join(here, "BENCH_load.json"), after,
+            meta={"series": "set-at-a-time", "bulk_size": args.size},
+        )
+        write_json_results(
+            os.path.join(here, "BENCH_load_before.json"), before,
+            meta={"series": "item-at-a-time", "bulk_size": args.size},
+        )
+        print("wrote BENCH_load.json / BENCH_load_before.json")

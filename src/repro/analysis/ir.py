@@ -369,6 +369,10 @@ def lower_predicate(pred):
     clause with a variable in the head, lowers to a :class:`Rule`.
     Raises :class:`LoweringError` for a variable body goal.
     """
+    if getattr(pred, "row_store", None) is not None:
+        # Row-backed relations hold only ground facts; their rows come
+        # from the fact store, so there is nothing to lower per clause.
+        return [], len(pred.clauses) > 0
     rules = []
     has_facts = False
     for clause in pred.clauses:

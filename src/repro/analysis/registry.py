@@ -179,6 +179,14 @@ class AnalysisRegistry:
             and entry[1] == pred.mutations
         ):
             return entry[2]
+        if pred.row_store is not None:
+            # Row-backed relations are pure ground facts by
+            # construction (a rule assert promotes them to clause-land
+            # first), so the walk over — possibly millions of — lazy
+            # row clauses is skipped outright.
+            summary = (set(), [], True, False)
+            self._scans[key] = (pred, pred.mutations, summary)
+            return summary
         callees = set()
         pairs = []
         transparent = True

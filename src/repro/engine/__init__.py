@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 import sys
 
-from ..errors import ParseError
+from ..errors import ParseError, StorageError
 from ..lang.ops import OperatorTable
 from ..lang.parser import Parser
 from ..modules import ModuleSystem
@@ -130,6 +130,18 @@ class Engine:
         aggregated by :meth:`profile_report`.  ``None`` (default)
         follows ``trace``, so ``REPRO_TRACE=1`` lights up the whole
         observability layer at once.
+    objcache:
+        serve :meth:`consult_file` from the hashed compiled-program
+        cache (:mod:`repro.storage.objcache` — the section 4.6
+        object-file load path): a repeat consult of unchanged source
+        replays pre-compiled clauses, skipping lexer, parser and
+        clause compiler.  ``None`` (default) reads ``REPRO_OBJCACHE``
+        (``0``/``false``/``off`` disables; on otherwise).
+        :meth:`consult_string` always compiles from source.
+    objcache_dir:
+        directory for cache entries; ``None`` (default) reads
+        ``REPRO_OBJCACHE_DIR``, falling back to
+        ``~/.cache/repro/objcache``.
     """
 
     def __init__(
@@ -145,6 +157,8 @@ class Engine:
         compile_warmup=None,
         trace=None,
         profile=None,
+        objcache=None,
+        objcache_dir=None,
     ):
         if answer_store not in ("hash", "trie"):
             raise ValueError("answer_store must be 'hash' or 'trie'")
@@ -173,6 +187,12 @@ class Engine:
             compile_warmup = int(os.environ.get("REPRO_COMPILE_WARMUP", "64"))
         self.compile_warmup = compile_warmup
         self.hilog_specialize = hilog_specialize
+        if objcache is None:
+            objcache = os.environ.get("REPRO_OBJCACHE", "1").lower() not in (
+                "0", "false", "off"
+            )
+        self.objcache = bool(objcache)
+        self.objcache_dir = objcache_dir
         self.output = output if output is not None else sys.stdout
         self.quiet = False
         if trace is None:
@@ -211,6 +231,21 @@ class Engine:
         return self
 
     def consult_file(self, path):
+        """Consult a source file, through the consult cache when on.
+
+        With ``objcache`` enabled this is the object-file load of
+        section 4.6: the file's content hash names a cache entry, a
+        hit replays pre-compiled clauses and recorded load-time
+        effects, a miss compiles from source and writes the entry for
+        next time.  Behavior is identical either way — only the work
+        skipped differs.
+        """
+        if self.objcache:
+            from ..storage.objcache import consult_file_cached
+
+            return consult_file_cached(
+                self, path, cache_dir=self.objcache_dir
+            )
         with open(path, "r", encoding="utf-8") as handle:
             return self.consult_string(handle.read())
 
@@ -247,6 +282,52 @@ class Engine:
             pred.add_clause(Clause(name, terms, (), 0))
             count += 1
         return count
+
+    def bulk_add_facts(
+        self, name, arity, rows, dynamic=True, backend=None,
+        materialize="rows",
+    ):
+        """Set-at-a-time installation of one relation's ground facts.
+
+        ``rows`` is any iterable (consumed once, so a generator
+        streams) of tuples in the frozen row domain (str for atoms,
+        int/float for numbers, nested tuples for ground structures —
+        the same values :func:`repro.store.freeze_term` produces).
+        The whole batch costs one database probe, one mutation stamp
+        and one index build, against one of each *per fact* on the
+        :meth:`add_facts` path — that gap is the ingest half of
+        section 4.6's 12x.  A wrong-arity row raises
+        :class:`~repro.errors.StorageError` mid-stream; rows before it
+        may already be installed.
+
+        With ``materialize="rows"`` (default) a previously empty
+        predicate keeps the batch as a
+        :class:`~repro.store.TupleStore` and serves clause heads as
+        lazy row views; ``"clauses"`` materializes
+        :class:`~repro.engine.clause.Clause` objects eagerly.
+        ``backend`` picks the store backend (``REPRO_TUPLESTORE`` when
+        ``None``), e.g. ``"disk"`` for the mmap-backed on-disk store.
+        """
+        def checked(batch):
+            for row in batch:
+                row = tuple(row)
+                if len(row) != arity:
+                    raise StorageError(
+                        f"{name}/{arity}: bulk fact row has arity "
+                        f"{len(row)}"
+                    )
+                yield row
+
+        pred = self.db.ensure(name, arity, dynamic=dynamic)
+        pred.dynamic = pred.dynamic or dynamic
+        added = pred.extend_facts(
+            checked(rows), backend=backend, materialize=materialize
+        )
+        stats = self.stats
+        if stats.enabled:
+            stats.load_bulk_facts += added
+            stats.load_bulk_batches += 1
+        return added
 
     def assertz(self, text):
         """Assert one clause given as source text (dynamic code)."""

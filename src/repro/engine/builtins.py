@@ -689,6 +689,18 @@ def bi_retractall(machine, args, goals):
         machine.engine.db.declare_dynamic(name, arity)
         return goals.next
     call_args = head.args if isinstance(head, Struct) else ()
+    seen = set()
+    for arg in call_args:
+        arg = deref(arg)
+        if not isinstance(arg, Var) or id(arg) in seen:
+            break
+        seen.add(id(arg))
+    else:
+        # Fully open call: every clause head matches, so drop them
+        # wholesale — one index rebuild, and a row-backed relation
+        # empties its store in place instead of materializing clauses.
+        pred.retract_all_clauses()
+        return goals.next
     trail = machine.trail
     mark = trail.mark()
     for clause in list(pred.candidates(call_args)):

@@ -13,12 +13,17 @@ from __future__ import annotations
 
 from ..errors import ReproError, TypeError_
 from ..index import FirstStringIndex, IndexPlan, IndexSpec
-from ..store import freeze_term, make_store
+from ..store import freeze_term, make_store, thaw_value
 from ..store.codec import FreezeError
-from ..terms import Struct
-from .clause import compile_clause
+from ..terms import Atom, Struct, Var, bind, deref, mkatom, unify
+from .clause import Clause, compile_clause
 
-__all__ = ["Predicate", "Database", "mutation_generation"]
+__all__ = [
+    "Predicate",
+    "Database",
+    "RowClause",
+    "mutation_generation",
+]
 
 HASH = "hash"
 TRIE = "trie"  # first-string indexing
@@ -36,6 +41,139 @@ _GENERATION = [0]
 
 def mutation_generation():
     return _GENERATION[0]
+
+
+class RowClause:
+    """A fact clause materialized on demand from one stored row.
+
+    Row-backed predicates (:meth:`Predicate.extend_facts` in ``"rows"``
+    mode) keep their extensional database as a TupleStore of frozen
+    codec rows — a 1M-fact relation is one store plus this thin view,
+    not a million :class:`~repro.engine.clause.Clause` objects.  A
+    RowClause satisfies the clause duck type the resolution paths use
+    (``seq``/``body``/``match_head``/``body_terms``/``to_term``/...);
+    ``seq`` is the row id, stable because row-backed predicates promote
+    to real clauses before any destructive mutation (see
+    :meth:`Predicate._promote_rows`).  ``match_head`` compares the
+    row's frozen values against the call arguments directly — the same
+    register-against-row discipline as the compiled fused fact kernel —
+    thawing a value to a term only to bind an unbound argument.
+    """
+
+    __slots__ = ("store", "name", "seq")
+
+    body = ()
+    nslots = 0
+    source = None
+
+    def __init__(self, store, name, seq):
+        self.store = store
+        self.name = name
+        self.seq = seq
+
+    @property
+    def arity(self):
+        return self.store.arity
+
+    @property
+    def indicator(self):
+        return f"{self.name}/{self.store.arity}"
+
+    @property
+    def head_args(self):
+        return tuple(
+            thaw_value(value) for value in self.store.row_at(self.seq)
+        )
+
+    # -- resolution (the Clause duck type) --------------------------------
+
+    def match_head(self, call_args, trail):
+        """Row-vs-registers head match; ``[]`` (no slots) or None."""
+        for value, arg in zip(self.store.row_at(self.seq), call_args):
+            t = deref(arg)
+            if isinstance(t, Var):
+                bind(t, thaw_value(value), trail)
+                continue
+            tv = type(value)
+            if tv is str:
+                if not (isinstance(t, Atom) and t.name == value):
+                    return None
+            elif tv is tuple:
+                if not unify(t, thaw_value(value), trail):
+                    return None
+            elif type(t) is not tv or t != value:
+                return None
+        return []
+
+    def body_terms(self, slots):
+        return []
+
+    def head_term(self, slots):
+        return self.to_term()
+
+    def fresh_slots(self):
+        return []
+
+    # -- inspection -------------------------------------------------------
+
+    def to_term(self):
+        row = self.store.row_at(self.seq)
+        if not row:
+            return mkatom(self.name)
+        return Struct(self.name, tuple(thaw_value(v) for v in row))
+
+    def variant_key(self):
+        from ..terms.compare import canonical_key
+
+        return canonical_key(self.to_term())
+
+    def __repr__(self):
+        return f"<RowClause {self.indicator} #{self.seq}>"
+
+
+class _RowClauseList:
+    """The ``clauses`` view of a row-backed predicate.
+
+    Sequence-shaped (``len``/``iter``/``[i]``) so every read-only
+    clause consumer works unchanged; RowClause objects are minted per
+    access and carry only (store, name, row id).  Row ids are exactly
+    ``range(len(store))``: the store is append-only while row-backed
+    (dedup skips never leave holes, and destructive operations promote
+    to real clauses first).
+    """
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred):
+        self.pred = pred
+
+    def __len__(self):
+        return len(self.pred.row_store)
+
+    def __iter__(self):
+        pred = self.pred
+        store = pred.row_store
+        name = pred.name
+        for rid in range(len(store)):
+            yield RowClause(store, name, rid)
+
+    def __getitem__(self, item):
+        pred = self.pred
+        store = pred.row_store
+        count = len(store)
+        if isinstance(item, slice):
+            return [
+                RowClause(store, pred.name, rid)
+                for rid in range(*item.indices(count))
+            ]
+        if item < 0:
+            item += count
+        if not 0 <= item < count:
+            raise IndexError(item)
+        return RowClause(store, pred.name, item)
+
+    def __repr__(self):
+        return f"<_RowClauseList {len(self)} rows>"
 
 
 class Predicate:
@@ -58,6 +196,9 @@ class Predicate:
         "fact_store_stamp",
         "compiled_unit",
         "dispatch_count",
+        "row_store",
+        "_row_index",
+        "_row_index_stamp",
     )
 
     def __init__(self, name, arity, dynamic=False, module="usermod"):
@@ -97,6 +238,14 @@ class Predicate:
         # predicate that is only ever called a handful of times never
         # pays the mode scan or per-clause closure builds.
         self.dispatch_count = 0
+        # Row mode (extend_facts materialize="rows"): the relation IS
+        # a TupleStore and ``clauses`` is a lazy RowClause view over
+        # it; _row_index maps first-column probe keys to row ids,
+        # rebuilt lazily against the mutations stamp.  None = normal
+        # clause-land predicate.
+        self.row_store = None
+        self._row_index = None
+        self._row_index_stamp = -1
 
     @property
     def indicator(self):
@@ -111,6 +260,7 @@ class Predicate:
         ``[1,2,3+5]`` arrives as ``[(1,), (2,), (3, 5)]``.  Existing
         clauses are re-indexed.
         """
+        self._promote_rows()
         for positions in field_sets:
             for pos in positions:
                 if not 1 <= pos <= self.arity:
@@ -126,6 +276,7 @@ class Predicate:
 
     def set_trie_index(self):
         """Install first-string indexing (static predicates only)."""
+        self._promote_rows()
         if self.dynamic:
             # The paper, footnote 8: dynamic clauses currently support
             # only hash-based indexing.
@@ -190,9 +341,206 @@ class Predicate:
         self.fact_store_stamp = self.mutations
         return store
 
+    # -- row mode ---------------------------------------------------------------
+
+    def _promote_rows(self):
+        """Materialize a row-backed relation as real Clause objects.
+
+        Any operation row mode cannot express tuple-at-a-time —
+        asserting a rule or an asserta, retracting one clause,
+        re-indexing — first lands here: every row becomes a
+        :class:`~repro.engine.clause.Clause` with its row id as the
+        clause ``seq`` (so a RowClause in a caller's hand still names
+        the same clause), the index plan rebuilds over the
+        materialized clauses, and the predicate is an ordinary
+        clause-land predicate from then on.  The store stays attached
+        as the cached fact store — its rows still mirror the clause
+        set exactly.
+        """
+        store = self.row_store
+        if store is None:
+            return
+        name = self.name
+        clauses = []
+        for rid in range(len(store)):
+            clause = Clause(
+                name,
+                tuple(thaw_value(v) for v in store.row_at(rid)),
+                (),
+                0,
+            )
+            clause.seq = rid
+            clauses.append(clause)
+        self.clauses = clauses
+        self.row_store = None
+        self._row_index = None
+        self.next_seq = len(clauses)
+        if self.index_kind == TRIE:
+            self.trie_index = FirstStringIndex()
+            for clause in clauses:
+                self.trie_index.insert(
+                    clause.seq, self._head_term_skeleton(clause), clause
+                )
+        else:
+            self.index_plan.rebuild(
+                (c.seq, c.head_args, c) for c in clauses
+            )
+
+    def extend_facts(self, rows, backend=None, materialize="rows"):
+        """Bulk-install ground fact rows as one batch; returns the count.
+
+        ``rows`` are frozen codec values.  One mutation stamp, one
+        index build, and the fact store deposited eagerly — against
+        per-row :meth:`add_clause`, which pays index maintenance and a
+        stamp bump per fact.
+
+        ``materialize="rows"`` keeps the relation as the TupleStore
+        itself (``backend`` selects it; ``"disk"`` for the mmap-backed
+        run) with clauses minted lazily per access; duplicate rows
+        collapse, relation-style.  Requires a backend with stable row
+        addressing and a predicate with no term-level clauses —
+        anything else falls back to ``"clauses"``: real Clause objects
+        per row (duplicates kept), exactly like per-line assertz, just
+        batched.
+        """
+        if materialize == "rows":
+            store = self.row_store
+            if store is None and not self.clauses:
+                store = make_store(self.name, self.arity, backend=backend)
+                if hasattr(store, "row_at"):
+                    self.row_store = store
+                    self.clauses = _RowClauseList(self)
+                else:
+                    store = None
+            if store is not None:
+                added = store.extend_rows(rows)
+                self.next_seq = len(store)
+                self.mutations += 1
+                _GENERATION[0] += 1
+                self._row_index = None
+                self.fact_store = store
+                self.fact_store_stamp = self.mutations
+                return added
+        if materialize == "rows":
+            # Relation semantics were requested but the backend cannot
+            # do row addressing: collapse in-batch duplicates here so
+            # the fallback agrees with a row-backed load on the
+            # answer set.
+            rows = list(dict.fromkeys(tuple(row) for row in rows))
+        else:
+            # The clause path walks the batch more than once; pin the
+            # stream (``rows`` may be a generator).
+            rows = [tuple(row) for row in rows]
+        self._promote_rows()
+        name = self.name
+        seq = self.next_seq
+        clauses = []
+        for row in rows:
+            clause = Clause(
+                name, tuple(thaw_value(v) for v in row), (), 0
+            )
+            clause.seq = seq
+            seq += 1
+            clauses.append(clause)
+        self.next_seq = seq
+        was_empty = not self.clauses
+        self.clauses.extend(clauses)
+        self.mutations += 1
+        _GENERATION[0] += 1
+        if self.index_kind == TRIE:
+            for clause in clauses:
+                self.trie_index.insert(
+                    clause.seq, self._head_term_skeleton(clause), clause
+                )
+        else:
+            self.index_plan.rebuild(
+                (c.seq, c.head_args, c) for c in self.clauses
+            )
+        store = self.fact_store
+        if store is not None and self.fact_store_stamp == self.mutations - 1:
+            store.extend_rows(rows)
+            self.fact_store_stamp = self.mutations
+        elif was_empty:
+            store = make_store(self.name, self.arity, backend=backend)
+            store.extend_rows(rows)
+            self.fact_store = store
+            self.fact_store_stamp = self.mutations
+        else:
+            self.fact_store = None
+        return len(clauses)
+
+    def add_clauses(self, clauses):
+        """Install pre-compiled clauses as one batch (the consult
+        cache's replay path): sequence numbers assigned in order, one
+        mutation stamp, one index build — skipping exactly the
+        per-clause work a cache hit exists to skip."""
+        self._promote_rows()
+        seq = self.next_seq
+        for clause in clauses:
+            clause.seq = seq
+            seq += 1
+        self.next_seq = seq
+        self.clauses.extend(clauses)
+        self.mutations += 1
+        _GENERATION[0] += 1
+        if self.index_kind == TRIE:
+            for clause in clauses:
+                self.trie_index.insert(
+                    clause.seq, self._head_term_skeleton(clause), clause
+                )
+        else:
+            self.index_plan.rebuild(
+                (c.seq, c.head_args, c) for c in self.clauses
+            )
+        self.fact_store = None
+        return len(clauses)
+
+    def _row_candidates(self, call_args):
+        """Row-mode clause selection: probe the first-column id index."""
+        store = self.row_store
+        if not call_args:
+            return self.clauses
+        arg = deref(call_args[0])
+        if isinstance(arg, Atom):
+            key = arg.name
+        elif isinstance(arg, (int, float)):
+            key = arg
+        elif isinstance(arg, Struct):
+            key = ("$s", arg.name, len(arg.args))
+        else:
+            return self.clauses  # unbound (or opaque): full scan
+        index = self._row_index
+        if index is None or self._row_index_stamp != self.mutations:
+            # Buckets pack as id-or-[ids]: a key relation of N rows
+            # costs N dict entries and zero list objects.
+            index = {}
+            for rid in range(len(store)):
+                value = store.row_at(rid)[0]
+                if type(value) is tuple:
+                    row_key = ("$s", value[0], len(value) - 1)
+                else:
+                    row_key = value
+                bucket = index.get(row_key)
+                if bucket is None:
+                    index[row_key] = rid
+                elif type(bucket) is int:
+                    index[row_key] = [bucket, rid]
+                else:
+                    bucket.append(rid)
+            self._row_index = index
+            self._row_index_stamp = self.mutations
+        ids = index.get(key)
+        if ids is None:
+            return ()
+        name = self.name
+        if type(ids) is int:
+            return (RowClause(store, name, ids),)
+        return [RowClause(store, name, rid) for rid in ids]
+
     # -- clause management ------------------------------------------------------
 
     def add_clause(self, clause, front=False):
+        self._promote_rows()
         clause.seq = self.next_seq
         self.next_seq += 1
         self.mutations += 1
@@ -232,6 +580,26 @@ class Predicate:
         return clause
 
     def remove_clause(self, clause):
+        if self.row_store is not None:
+            # Tuple-at-a-time retraction exits row mode; the promoted
+            # clause keeps the row id as its seq, so the caller's
+            # RowClause still names it.
+            seq = clause.seq
+            self._promote_rows()
+            clause = next(
+                (c for c in self.clauses if c.seq == seq), None
+            )
+            if clause is None:
+                return False
+        elif type(clause) is RowClause:
+            # A RowClause from a snapshot taken before an earlier
+            # retraction promoted this predicate: its row id is still
+            # the promoted clause's seq, so relocate it.
+            clause = next(
+                (c for c in self.clauses if c.seq == clause.seq), None
+            )
+            if clause is None:
+                return False
         try:
             self.clauses.remove(clause)
         except ValueError:
@@ -250,6 +618,17 @@ class Predicate:
 
     def retract_all_clauses(self):
         """Predicate-level retract: drop every clause at once."""
+        store = self.row_store
+        if store is not None:
+            # Row mode empties wholesale: clear the store in place
+            # (captured consumers stay valid) and stay row-backed.
+            store.clear()
+            self.mutations += 1
+            _GENERATION[0] += 1
+            self._row_index = None
+            self.next_seq = 0
+            self.fact_store_stamp = self.mutations
+            return
         self.clauses.clear()
         self.mutations += 1
         _GENERATION[0] += 1
@@ -266,6 +645,8 @@ class Predicate:
 
     def candidates(self, call_args):
         """Clauses possibly matching the call, in clause order."""
+        if self.row_store is not None:
+            return self._row_candidates(call_args)
         if not call_args:
             return self.clauses
         if self.index_kind == TRIE:

@@ -655,6 +655,12 @@ class Machine:
         pred.dispatch_count = count
         if count <= self.compile_warmup:
             return None
+        if pred.row_store is not None:
+            # Row-backed relations already match register-against-row
+            # (RowClause.match_head is the fused fact kernel's
+            # discipline); building per-row closures would materialize
+            # the whole EDB, which row mode exists to avoid.
+            return None
         # Lazy import: builtins imports this module at load time, so
         # the compiler (which needs builtins) can only be pulled in
         # once the engine is fully constructed — and only on this rare

@@ -25,7 +25,41 @@ from ..errors import ParseError
 from ..terms import Atom, Struct, deref, list_to_python
 from .parser import Parser
 
-__all__ = ["ProgramReader", "parse_indicator"]
+__all__ = ["ProgramReader", "parse_indicator", "replay_events"]
+
+
+def replay_events(engine, events):
+    """Re-run a recorded consult event stream against ``engine``.
+
+    This is the consult-cache hit path: declarations and load-time
+    goals re-execute in their original order (their side effects are
+    not cacheable), while clause batches install *pre-compiled* via
+    :meth:`~repro.engine.database.Predicate.add_clauses` — one
+    sequence assignment, one mutation stamp and one index build per
+    predicate per batch, with no lexing, parsing or clause
+    compilation anywhere.
+    """
+    reader = ProgramReader(engine)
+    pending = []  # _directive may flush; always empty during replay
+    for event in events:
+        kind = event[0]
+        if kind == "d":
+            reader._directive(event[1], pending)
+        elif kind == "g":
+            engine.run_goal(event[1])
+        elif kind == "t":
+            engine.db.declare_tabled(event[1], event[2])
+        elif kind == "c":
+            groups = {}
+            for clause in event[1]:
+                groups.setdefault(
+                    (clause.name, clause.arity), []
+                ).append(clause)
+            for (name, arity), group in groups.items():
+                engine.db.ensure(name, arity).add_clauses(group)
+        else:
+            raise ParseError(f"unknown consult replay event {kind!r}")
+    engine.modules.reset_to_default()
 
 
 def parse_indicator(term):
@@ -53,18 +87,41 @@ def _spec_list(term):
     return [term]
 
 
-class ProgramReader:
-    """Reads one or more consult units into an engine."""
+# Directive shapes handled declaratively by _directive; anything else
+# in directive position runs as a load-time goal.  The consult cache
+# records declarations and goals as distinct replay events, so the
+# split is named here once.
+_DECLARATIONS = frozenset([
+    ("table", 1), ("hilog", 1), ("dynamic", 1), ("discontiguous", 1),
+    ("index", 2), ("index", 3), ("op", 3), ("export", 1), ("local", 1),
+    ("import", 1), ("module", 1), ("module", 2),
+])
 
-    def __init__(self, engine):
+
+class ProgramReader:
+    """Reads one or more consult units into an engine.
+
+    With ``record`` (a list), every replayable consult event is
+    appended as it happens — ``("d", directive)`` for declarations,
+    ``("g", goal)`` for load-time goals, ``("t", name, arity)`` for
+    tabling declarations made at flush time, ``("c", clauses)`` for
+    each installed (compiled) clause batch.  The consult cache
+    (:mod:`repro.storage.objcache`) serializes that stream and
+    :func:`replay_events` re-runs it, skipping lexer, parser and
+    clause compiler entirely.
+    """
+
+    def __init__(self, engine, record=None):
         self.engine = engine
+        self.record = record
 
     def consult(self, text):
         """Consult source text: directives take effect in order; clauses
         are installed (and HiLog-specialized) at the end of the unit."""
-        from ..hilog import hilog_encode, specialize_batch
+        from ..hilog import hilog_encode
 
         engine = self.engine
+        record = self.record
         parser = Parser(text, engine.operators)
         pending = []
         auto_table = False
@@ -82,8 +139,16 @@ class ProgramReader:
                 directive = deref(term.args[0])
                 if self._is_table_all(directive):
                     auto_table = True
-                else:
+                elif self._is_declaration(directive):
+                    if record is not None:
+                        record.append(("d", directive))
                     self._directive(directive, pending)
+                else:
+                    # A load-time goal: pending clauses land first.
+                    self._flush(pending, auto_table=False)
+                    if record is not None:
+                        record.append(("g", directive))
+                    engine.run_goal(directive)
                 continue
             if (
                 isinstance(term, Struct)
@@ -91,7 +156,10 @@ class ProgramReader:
                 and len(term.args) == 1
             ):
                 self._flush(pending, auto_table=False)
-                engine.run_goal(deref(term.args[0]))
+                goal = deref(term.args[0])
+                if record is not None:
+                    record.append(("g", goal))
+                engine.run_goal(goal)
                 continue
             from .dcg import is_dcg_rule, translate_dcg
 
@@ -108,6 +176,7 @@ class ProgramReader:
         if not pending:
             return
         engine = self.engine
+        record = self.record
         clauses = pending[:]
         pending.clear()
         if engine.hilog_specialize:
@@ -121,19 +190,40 @@ class ProgramReader:
                 pred = engine.db.lookup("apply", apply_arity)
                 if pred is not None and pred.tabled:
                     engine.db.declare_tabled(spec_name, spec_arity)
+                    if record is not None:
+                        record.append(("t", spec_name, spec_arity))
         if auto_table:
             from ..modules.table_all import select_tabled
 
             for name, arity in select_tabled(clauses):
                 engine.db.declare_tabled(name, arity)
-        for clause in clauses:
-            engine.db.add_clause_term(clause)
+                if record is not None:
+                    record.append(("t", name, arity))
+        if record is None:
+            for clause in clauses:
+                engine.db.add_clause_term(clause)
+        else:
+            record.append(
+                ("c", [engine.db.add_clause_term(c) for c in clauses])
+            )
 
     # -- directives ----------------------------------------------------------------
 
     @staticmethod
     def _is_table_all(directive):
         return isinstance(directive, Atom) and directive.name == "table_all"
+
+    @staticmethod
+    def _is_declaration(directive):
+        """True for directive shapes :meth:`_directive` handles itself
+        (everything else in directive position is a load-time goal).
+        Non-callable directives route through the declaration path so
+        the error they raise is unchanged."""
+        if isinstance(directive, Struct):
+            return (directive.name, len(directive.args)) in _DECLARATIONS
+        if isinstance(directive, Atom):
+            return (directive.name, 0) in _DECLARATIONS
+        return True
 
     def _directive(self, directive, pending):
         engine = self.engine

@@ -67,6 +67,26 @@ The counters:
     The subset of ``compiled_hits`` served by the fused ground-fact
     kernel: head matched register-against-row with no slot array, no
     term construction and no trailing beyond variable bindings.
+``objcache_hits`` / ``objcache_misses``
+    ``Engine.consult_file`` calls served from the hashed compiled-
+    program cache (:mod:`repro.storage.objcache` — the section 4.6
+    object-file load path, skipping lexer, parser, clause compiler
+    and per-clause index maintenance) vs. consults that compiled from
+    source.
+``objcache_writes``
+    Cache entries written after a successful cold consult (every miss
+    that completes without error writes one, so hits are transparent
+    from the second consult on).
+``objcache_invalid``
+    Cache entries found corrupt, truncated, or carrying a stale
+    magic/format version: each is silently discarded and recompiled
+    from source (also counted as a miss).
+``load_bulk_facts`` / ``load_bulk_batches``
+    Ground facts installed through the set-at-a-time bulk path
+    (``Engine.bulk_add_facts`` / ``storage.textio.bulk_load_formatted``)
+    and the number of batches; each batch costs one database probe,
+    one mutation stamp and one index build however many facts it
+    carries.
 
 The ``store_*`` keys are aggregated over every live
 :class:`~repro.store.TupleStore` the engine owns (predicate fact
@@ -102,6 +122,12 @@ _FIELDS = (
     "compiled_hits",
     "compiled_fallbacks",
     "fused_fact_matches",
+    "objcache_hits",
+    "objcache_misses",
+    "objcache_writes",
+    "objcache_invalid",
+    "load_bulk_facts",
+    "load_bulk_batches",
 )
 
 # Keys accepted by statistics/2.  The table-space keys (answers,

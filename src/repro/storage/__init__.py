@@ -12,9 +12,22 @@ backing store matters.  Three load paths, fastest last:
   simple index maintenance" on the paper's hardware;
 * **object files** (:mod:`repro.wam.objfile`) load precompiled code
   ~12x faster than formatted read + assert.
+
+Two set-at-a-time accelerations of those paths live here too:
+
+* the **bulk formatted read** (:func:`bulk_load_formatted`) parses a
+  whole file into frozen rows (shared atom intern table) and installs
+  them as one batch — one index build per relation instead of one per
+  fact;
+* the **consult cache** (:mod:`repro.storage.objcache`) is the engine
+  tier's object file: ``Engine.consult_file`` keys a serialized,
+  pre-compiled consult by source hash and replays it on repeat loads.
 """
 
+from .objcache import cache_key, consult_file_cached, default_cache_dir
 from .textio import (
+    bulk_load_formatted,
+    bulk_load_formatted_file,
     consult_text_file,
     dump_formatted,
     load_formatted,
@@ -26,6 +39,11 @@ __all__ = [
     "consult_text_file",
     "load_formatted",
     "load_formatted_file",
+    "bulk_load_formatted",
+    "bulk_load_formatted_file",
     "dump_formatted",
     "parse_formatted_line",
+    "default_cache_dir",
+    "cache_key",
+    "consult_file_cached",
 ]

@@ -1,0 +1,141 @@
+"""The hashed consult cache — section 4.6's object files, engine tier.
+
+"Static code is translated by the XSB compiler into object files ...
+loading an object file is about 12x faster than loading through the
+formatted read and assert."  XSB keys object files by file name and
+lets ``consult`` pick the ``.O`` over the ``.P`` when it is newer; we
+key entries by a *content hash* instead, so an entry can never go
+stale against its source — editing the file simply misses the cache.
+
+The key covers everything that can change what consulting a given
+byte string produces:
+
+* the source bytes themselves,
+* the serialization :data:`~repro.wam.objfile.FORMAT_VERSION`,
+* the engine's HiLog-specialization flag and pre-consult HiLog symbol
+  set (both change the compiled clauses), and
+* the operator table signature (operators change how the source
+  *parses*).
+
+A hit replays the recorded consult event stream
+(:func:`repro.lang.reader.replay_events`): declarations and load-time
+goals re-run in order, clause batches install pre-compiled.  A corrupt,
+truncated or stale-format entry is silently discarded and the source
+recompiled (counted in ``objcache_invalid``); errors while *writing*
+an entry are swallowed too — the cache is an accelerator, never a
+point of failure.  Errors raised by the program itself (parse errors,
+failing load-time goals) propagate identically on both paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+
+from ..errors import StorageError
+from ..wam.objfile import (
+    FORMAT_VERSION,
+    load_engine_cache,
+    save_engine_cache,
+)
+
+__all__ = ["default_cache_dir", "cache_key", "consult_file_cached"]
+
+
+def default_cache_dir():
+    """The entry directory: ``REPRO_OBJCACHE_DIR`` or a user cache."""
+    configured = os.environ.get("REPRO_OBJCACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "objcache"
+    )
+
+
+def _operator_signature(operators):
+    """Deterministic rendering of the operator table's live state."""
+    rows = []
+    for fixity, table in (
+        ("pre", operators._prefix),
+        ("in", operators._infix),
+        ("post", operators._postfix),
+    ):
+        for name in sorted(table):
+            op = table[name]
+            rows.append(f"{fixity} {name} {op.priority} {op.type_code}")
+    return "\n".join(rows)
+
+
+def cache_key(source, engine):
+    """Content hash naming the cache entry for ``source`` bytes.
+
+    Everything that influences what the consult produces is folded in;
+    two engines in the same pre-consult state hash a given file to the
+    same entry, and any drift — source edit, serialization format
+    bump, operator redefinition, HiLog declarations carried over from
+    an earlier consult — lands on a different entry rather than a
+    stale one.
+    """
+    digest = hashlib.sha256()
+    digest.update(source)
+    digest.update(b"\x00format:%d" % FORMAT_VERSION)
+    digest.update(
+        b"\x00specialize:1" if engine.hilog_specialize
+        else b"\x00specialize:0"
+    )
+    digest.update(b"\x00hilog:")
+    digest.update(",".join(sorted(engine.hilog_symbols)).encode("utf-8"))
+    digest.update(b"\x00ops:")
+    digest.update(_operator_signature(engine.operators).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def consult_file_cached(engine, path, cache_dir=None):
+    """Consult ``path``, serving from / refreshing the consult cache.
+
+    Hit: deserialize and replay, no lexing, parsing or compiling.
+    Miss: consult from source while recording, then write the entry
+    atomically.  Invalid entry: discard, recompile, rewrite.
+    """
+    from ..lang.reader import ProgramReader, replay_events
+
+    with open(path, "rb") as handle:
+        source = handle.read()
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    entry = os.path.join(cache_dir, cache_key(source, engine) + ".wamc")
+    stats = engine.stats if engine.stats.enabled else None
+
+    events = None
+    if os.path.exists(entry):
+        try:
+            events = load_engine_cache(entry)
+        except (StorageError, OSError, pickle.PickleError, EOFError,
+                AttributeError, ImportError, IndexError, TypeError,
+                ValueError):
+            # Corrupt, truncated, stale format, or unpicklable payload:
+            # behave exactly as if the entry were absent.
+            if stats is not None:
+                stats.objcache_invalid += 1
+            events = None
+    if events is not None:
+        if stats is not None:
+            stats.objcache_hits += 1
+        replay_events(engine, events)
+        return engine
+
+    if stats is not None:
+        stats.objcache_misses += 1
+    record = []
+    ProgramReader(engine, record=record).consult(
+        source.decode("utf-8")
+    )
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        save_engine_cache(entry, record)
+    except (OSError, pickle.PickleError):
+        return engine  # unwritable cache never fails the consult
+    if stats is not None:
+        stats.objcache_writes += 1
+    return engine

@@ -1,25 +1,43 @@
-"""ASCII interfaces: the general reader and the formatted reader.
+"""ASCII interfaces: the general reader and the formatted readers.
 
 The formatted reader handles the common database case: one fact per
 line, fields separated by a delimiter, no operator parsing and no
 arbitrary term structure.  Fields are typed by shape: an integer-
 looking field becomes an integer, a float-looking field a float, and
-anything else an atom.  Each line is asserted as one dynamic fact with
-index maintenance, which is exactly the paper's "formatted read …
-read and assert a fact in about a millisecond … including simple
-index maintenance".
+anything else an atom.  :func:`load_formatted` asserts each line as
+one dynamic fact with index maintenance, which is exactly the paper's
+"formatted read … read and assert a fact in about a millisecond …
+including simple index maintenance".
+
+:func:`bulk_load_formatted` is the set-at-a-time fast path over the
+same format: the whole file parses into frozen codec rows first (one
+shared intern table, so repeated atom fields alias one string object),
+then lands in one :meth:`Predicate.extend_facts` batch — one database
+probe, one mutation stamp, one index build, and the predicate's fact
+store deposited eagerly so the fused fact matcher is hot from the
+first call.  This is the formatted-read half of the paper's section
+4.6 loading story; the object-file half is the consult cache
+(:mod:`repro.storage.objcache`).
 """
 
 from __future__ import annotations
 
+import itertools
+
 from ..errors import StorageError
 from ..store.codec import parse_field
+
+# Distinct strings the bulk loader's intern table may hold before it
+# resets; bounds the loader's own footprint on high-cardinality data.
+_INTERN_CAP = 1 << 16
 
 __all__ = [
     "consult_text_file",
     "parse_formatted_line",
     "load_formatted",
     "load_formatted_file",
+    "bulk_load_formatted",
+    "bulk_load_formatted_file",
     "dump_formatted",
 ]
 
@@ -67,11 +85,97 @@ def load_formatted_file(engine, name, path, delimiter="\t"):
         return load_formatted(engine, name, handle, delimiter)
 
 
+def bulk_load_formatted(
+    engine,
+    name,
+    lines,
+    delimiter="\t",
+    arity=None,
+    backend=None,
+    materialize="rows",
+):
+    """Bulk-ingest formatted lines as one batch; returns the fact count.
+
+    All lines parse to frozen codec rows first (shared intern table:
+    repeated atom fields are one string object), then install through
+    :meth:`repro.engine.Engine.bulk_add_facts` — see there for the
+    ``materialize`` modes (``"rows"`` keeps the relation as a
+    TupleStore with lazy clause materialization and collapses
+    duplicate lines, relation-style; ``"clauses"`` builds one clause
+    per line like :func:`load_formatted`, just batched) and the
+    ``backend`` knob (``"disk"`` keeps the rows mmap-backed).
+
+    Raises :class:`~repro.errors.StorageError` on ragged rows when
+    ``arity`` is given (or inferred from the first row).  Lines
+    *stream* into the store — a row-addressable backend never holds
+    the parsed relation as one Python list, so loading a multi-million
+    fact EDB peaks at the store's own footprint (for the disk backend:
+    the offsets array plus one spill buffer).  A ragged line aborts
+    the load mid-stream; rows before it may already be installed.
+    """
+    intern = {}
+
+    def parsed():
+        expected = arity
+        for line in lines:
+            if not line.strip():
+                continue
+            if len(intern) > _INTERN_CAP:
+                # High-cardinality fields (unique payloads) would grow
+                # the table without ever aliasing anything; reset it.
+                # Low-cardinality columns — the fields interning is
+                # for — repopulate within a few lines.
+                intern.clear()
+            row = tuple(
+                parse_field(field, intern)
+                for field in line.rstrip("\n").split(delimiter)
+            )
+            if expected is None:
+                expected = len(row)
+            elif len(row) != expected:
+                raise StorageError(
+                    f"{name}: expected {expected} fields, "
+                    f"got {len(row)}: {line!r}"
+                )
+            yield row
+
+    iterator = parsed()
+    if arity is None:
+        first = next(iterator, None)
+        if first is None:
+            return 0
+        arity = len(first)
+        iterator = itertools.chain((first,), iterator)
+    return engine.bulk_add_facts(
+        name, arity, iterator, backend=backend, materialize=materialize
+    )
+
+
+def bulk_load_formatted_file(
+    engine,
+    name,
+    path,
+    delimiter="\t",
+    arity=None,
+    backend=None,
+    materialize="rows",
+):
+    with open(path, "r", encoding="utf-8") as handle:
+        return bulk_load_formatted(
+            engine, name, handle, delimiter,
+            arity=arity, backend=backend, materialize=materialize,
+        )
+
+
 def dump_formatted(engine, name, arity, path, delimiter="\t"):
     """Write a dynamic relation back out as a formatted file.
 
     Only fact predicates with atomic fields round-trip; anything else
-    needs the general writer.
+    needs the general writer.  An atom whose name contains the
+    delimiter (or a newline) cannot round-trip either — the formatted
+    reader would split it into extra fields — so such rows are
+    rejected here, at dump time, instead of writing a file that
+    silently re-loads as different facts.
     """
     from ..terms import Atom
 
@@ -88,7 +192,13 @@ def dump_formatted(engine, name, arity, path, delimiter="\t"):
             fields = []
             for arg in clause.head_args:
                 if isinstance(arg, Atom):
-                    fields.append(arg.name)
+                    text = arg.name
+                    if delimiter in text or "\n" in text or "\r" in text:
+                        raise StorageError(
+                            f"{name}/{arity}: field {text!r} contains the "
+                            f"delimiter or a newline and cannot round-trip"
+                        )
+                    fields.append(text)
                 elif isinstance(arg, (int, float)):
                     fields.append(repr(arg))
                 else:

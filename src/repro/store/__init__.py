@@ -14,6 +14,11 @@ per consumer.  Backends:
     :class:`~repro.store.relstore_adapter.RelStoreTupleStore` — rows
     in WAL-logged, lock-guarded, buffer-pooled pages with B+-tree
     indexes; deliberately pays the Table 3 per-tuple costs.
+``disk``
+    :class:`~repro.store.diskstore.DiskTupleStore` — serialized rows
+    in one append-only, mmap-backed byte run with id-valued hash
+    indexes and lazy row materialization on probe/scan; the bulk-EDB
+    backend (rows never fully materialize as Python objects).
 
 :func:`make_store` picks the backend from the ``REPRO_TUPLESTORE``
 environment variable (or an explicit argument), so a test run or a
@@ -57,7 +62,7 @@ __all__ = [
     "thaw_value",
 ]
 
-BACKENDS = ("memory", "relstore")
+BACKENDS = ("memory", "relstore", "disk")
 
 # Test hook: when not None, overrides the environment selection.
 _FORCED_BACKEND = None
@@ -86,6 +91,10 @@ def make_store(name, arity, backend=None):
         from .relstore_adapter import RelStoreTupleStore
 
         return RelStoreTupleStore(name, arity)
+    if backend == "disk":
+        from .diskstore import DiskTupleStore
+
+        return DiskTupleStore(name, arity)
     raise ValueError(
         f"unknown tuple-store backend {backend!r} (expected one of {BACKENDS})"
     )

@@ -98,11 +98,18 @@ def thaw_value(value):
     return value
 
 
-def parse_field(text):
+def parse_field(text, intern=None):
     """Type one formatted-reader field by shape.
 
     Integer-looking text becomes an int, float-looking text a float,
     anything else stays a string (an atom in term-land).
+
+    ``intern`` is an optional dict mapping field text to its canonical
+    string object.  Formatted EDBs repeat atom fields massively (every
+    foreign key, every enum column); a bulk load passes one shared
+    table so each distinct string is kept once — repeated fields alias
+    the same object instead of one fresh ``str`` per line — and hash
+    probes on those columns compare by identity first.
     """
     if not text:
         return ""
@@ -114,13 +121,19 @@ def parse_field(text):
             try:
                 return float(text)
             except ValueError:
-                return text
-    if head == ".":
+                pass
+    elif head == ".":
         try:
             return float(text)
         except ValueError:
-            return text
-    return text
+            pass
+    if intern is None:
+        return text
+    canonical = intern.get(text)
+    if canonical is None:
+        intern[text] = text
+        return text
+    return canonical
 
 
 # --------------------------------------------------------------------------

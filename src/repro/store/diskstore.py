@@ -1,0 +1,412 @@
+"""The mmap-backed on-disk TupleStore backend (``REPRO_TUPLESTORE=disk``).
+
+Production XSB keeps large extensional databases out of the heap: facts
+live in indexed tables and only the tuples a query touches are ever
+materialized as terms.  This backend reproduces that split for the
+store layer.  Rows are serialized through the shared codec
+(:func:`repro.relstore.rowcodec.encode_row` — the same on-page form the
+paged relstore uses) into one append-only byte run; once the run
+outgrows :data:`SPILL_BYTES` it spills to an anonymous temporary file
+and all earlier bytes are re-read through ``mmap``, so a loaded EDB
+costs the process page cache, not Python objects.  Probes and scans
+return *lazy* row views that decode each row on access — a 1M-fact
+relation holds one offsets array and (at most) one page-cached file,
+and only the rows a query actually touches become Python tuples.
+
+Deviations from the memory backend, all documented properties of the
+layout rather than accidents:
+
+* **Indexes and membership map to row ids**, not rows: an index bucket
+  is a list of integer offsets-table ids and the dedup map is
+  ``hash(row) -> id-or-ids`` (a bare id in the common no-collision
+  case, a list under collisions) with candidate rows decoded only on
+  hash collision.  Decoded equality is Python equality, so ``(1,)``
+  and ``(1.0,)`` still collapse exactly as they do in memory.
+* **``remove`` tombstones.**  The byte run is append-only; a removed
+  row keeps its bytes but leaves membership, every index, iteration
+  and ``len``.  Row ids of surviving rows never move (the row-mode
+  predicate view of :mod:`repro.engine.database` depends on that).
+* **``add_keyed`` keeps its keys in memory** — the SLG answer table's
+  duplicate check needs canonical-key identity (``1`` vs ``1.0``),
+  which the serialized form cannot answer; answer tables are small
+  relative to the EDB, so their keys stay Python objects (the same
+  trade the relstore adapter makes for its whole membership set).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+from array import array
+
+from ..perf.counters import StoreStats
+from ..relstore.rowcodec import decode_row, encode_row
+from .tuplestore import TupleStore
+
+__all__ = ["DiskTupleStore", "SPILL_BYTES"]
+
+# Encoded bytes buffered in memory before the run spills to the file
+# and is remapped; REPRO_DISK_SPILL_BYTES overrides (tests use tiny
+# values to exercise the mmap path on small relations).
+SPILL_BYTES = 1 << 22
+
+
+def _spill_bytes():
+    raw = os.environ.get("REPRO_DISK_SPILL_BYTES")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return SPILL_BYTES
+
+
+class _LazyRows:
+    """A sequence view over row ids that decodes rows on access."""
+
+    __slots__ = ("_store", "_ids")
+
+    def __init__(self, store, ids):
+        self._store = store
+        self._ids = ids
+
+    def __len__(self):
+        return len(self._ids)
+
+    def __iter__(self):
+        row_at = self._store.row_at
+        for rid in self._ids:
+            yield row_at(rid)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return _LazyRows(self._store, self._ids[item])
+        return self._store.row_at(self._ids[item])
+
+    def __contains__(self, row):
+        return any(candidate == row for candidate in self)
+
+    def __eq__(self, other):
+        if isinstance(other, (list, tuple, _LazyRows)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self):
+        return f"<_LazyRows {len(self._ids)} rows>"
+
+
+class DiskTupleStore(TupleStore):
+    """Paged, mmap-friendly rows behind the TupleStore protocol."""
+
+    __slots__ = (
+        "name", "arity", "generation", "stats", "directory",
+        "spill_bytes", "indexes",
+        "_offsets", "_tail", "_total", "_mm", "_mm_size", "_file",
+        "_members", "_dead", "_keys",
+    )
+
+    def __init__(self, name, arity, directory=None, spill_bytes=None):
+        self.name = name
+        self.arity = arity
+        self.generation = 0
+        self.stats = StoreStats()
+        self.directory = directory
+        self.spill_bytes = (
+            _spill_bytes() if spill_bytes is None else spill_bytes
+        )
+        # positions -> {key: id-or-[ids]} (packed like _members: a
+        # unique-key index of N rows costs N dict entries, zero lists)
+        self.indexes = {}
+        # Byte offsets of each row in the run; row i spans
+        # _offsets[i] .. _offsets[i+1] (or _total for the last row).
+        # A packed int array: 8 bytes per row, not a PyObject per row.
+        self._offsets = array("q")
+        self._tail = bytearray()  # bytes not yet spilled
+        self._total = 0  # total encoded bytes (spilled + tail)
+        self._mm = None  # mmap over the spilled prefix
+        self._mm_size = 0
+        self._file = None
+        self._members = {}  # hash(row) -> row id, or [ids] on collision
+        self._dead = set()  # tombstoned row ids
+        self._keys = None  # add_keyed membership, engaged on first use
+
+    # -- the byte run ------------------------------------------------------
+
+    def _append(self, encoded):
+        rid = len(self._offsets)
+        self._offsets.append(self._total)
+        self._tail += encoded
+        self._total += len(encoded)
+        if len(self._tail) >= self.spill_bytes:
+            self._spill()
+        return rid
+
+    def _spill(self):
+        """Flush the in-memory tail to the file and remap the run."""
+        if self._file is None:
+            self._file = tempfile.TemporaryFile(
+                prefix=f"{self.name}.{self.arity}.", dir=self.directory
+            )
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(self._tail)
+        self._file.flush()
+        if self._mm is not None:
+            self._mm.close()
+        self._mm = mmap.mmap(
+            self._file.fileno(), self._total, access=mmap.ACCESS_READ
+        )
+        self._mm_size = self._total
+        self._tail.clear()
+
+    def _raw(self, rid):
+        """The encoded bytes of row ``rid`` (each row is contiguous in
+        exactly one region: spills move the whole tail)."""
+        start = self._offsets[rid]
+        end = (
+            self._offsets[rid + 1]
+            if rid + 1 < len(self._offsets)
+            else self._total
+        )
+        mm_size = self._mm_size
+        if end <= mm_size:
+            return self._mm[start:end]
+        return bytes(self._tail[start - mm_size : end - mm_size])
+
+    def row_at(self, rid):
+        """Materialize one row from its on-disk bytes."""
+        return decode_row(self._raw(rid))
+
+    def _live_ids(self):
+        dead = self._dead
+        count = len(self._offsets)
+        if not dead:
+            return range(count)
+        return [rid for rid in range(count) if rid not in dead]
+
+    def _find(self, row):
+        """The live id storing ``row``, or None."""
+        bucket = self._members.get(hash(row))
+        if bucket is None:
+            return None
+        if type(bucket) is int:
+            return bucket if self.row_at(bucket) == row else None
+        for rid in bucket:
+            if self.row_at(rid) == row:
+                return rid
+        return None
+
+    def _member_add(self, row_hash, rid):
+        members = self._members
+        bucket = members.get(row_hash)
+        if bucket is None:
+            members[row_hash] = rid
+        elif type(bucket) is int:
+            members[row_hash] = [bucket, rid]
+        else:
+            bucket.append(rid)
+
+    def _member_remove(self, row_hash, rid):
+        members = self._members
+        bucket = members[row_hash]
+        if type(bucket) is int:
+            del members[row_hash]
+            return
+        bucket.remove(rid)
+        if len(bucket) == 1:
+            members[row_hash] = bucket[0]
+
+    @staticmethod
+    def _bucket_add(index, key, rid):
+        bucket = index.get(key)
+        if bucket is None:
+            index[key] = rid
+        elif type(bucket) is int:
+            index[key] = [bucket, rid]
+        else:
+            bucket.append(rid)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, row):
+        """Insert one row; True when it was new."""
+        row = tuple(row)
+        if self._find(row) is not None:
+            return False
+        rid = self._append(encode_row(row))
+        self._member_add(hash(row), rid)
+        for positions, index in self.indexes.items():
+            self._bucket_add(
+                index, tuple(row[p] for p in positions), rid
+            )
+        return True
+
+    def add_keyed(self, key, row):
+        """Insert ``row`` deduplicating by a caller-supplied ``key``
+        (kept in memory — see the module docstring)."""
+        if self._keys is None:
+            self._keys = set()
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        rid = self._append(encode_row(tuple(row)))
+        for positions, index in self.indexes.items():
+            self._bucket_add(
+                index, tuple(row[p] for p in positions), rid
+            )
+        return True
+
+    def extend_rows(self, rows):
+        """Bulk insert: rows stream straight into the byte run (any
+        iterable, consumed once — each parsed tuple is garbage the
+        moment its bytes land) and each live index is rebuilt once
+        after the batch."""
+        member_add = self._member_add
+        added = 0
+        for row in rows:
+            row = tuple(row)
+            if self._find(row) is not None:
+                continue
+            rid = self._append(encode_row(row))
+            member_add(hash(row), rid)
+            added += 1
+        if added and self.indexes:
+            stats = self.stats
+            bucket_add = self._bucket_add
+            for positions, index in self.indexes.items():
+                index.clear()
+                for rid in self._live_ids():
+                    row = self.row_at(rid)
+                    bucket_add(
+                        index, tuple(row[p] for p in positions), rid
+                    )
+                stats.index_builds += 1
+        return added
+
+    def remove(self, row):
+        """Tombstone one row; True when it was present."""
+        row = tuple(row)
+        rid = self._find(row)
+        if rid is None:
+            return False
+        self._member_remove(hash(row), rid)
+        self._dead.add(rid)
+        for positions, index in self.indexes.items():
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            if type(bucket) is int:
+                if bucket == rid:
+                    del index[key]
+            elif rid in bucket:
+                bucket.remove(rid)
+                if len(bucket) == 1:
+                    index[key] = bucket[0]
+        self.generation += 1
+        return True
+
+    def clear(self):
+        """Empty the store in place; the file (if any) is truncated and
+        reused, and every index dict keeps its identity."""
+        del self._offsets[:]  # array has no clear() before 3.13
+        self._tail.clear()
+        self._total = 0
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        self._mm_size = 0
+        if self._file is not None:
+            self._file.seek(0)
+            self._file.truncate(0)
+        self._members.clear()
+        self._dead.clear()
+        if self._keys is not None:
+            self._keys.clear()
+        for index in self.indexes.values():
+            index.clear()
+        self.generation += 1
+
+    def close(self):
+        """Release the mmap and the backing temporary file."""
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- indexes and probes ------------------------------------------------
+
+    def _index_for(self, positions):
+        index = self.indexes.get(positions)
+        if index is None:
+            index = {}
+            bucket_add = self._bucket_add
+            for rid in self._live_ids():
+                row = self.row_at(rid)
+                bucket_add(index, tuple(row[p] for p in positions), rid)
+            self.indexes[positions] = index
+            self.stats.index_builds += 1
+        return index
+
+    def ensure_index(self, positions):
+        """Declare (and build on demand) an index on ``positions``."""
+        positions = tuple(positions)
+        self.check_index_positions(positions)
+        self._index_for(positions)
+
+    def probe(self, positions, key):
+        """All rows whose ``positions`` equal ``key`` as a lazy view —
+        rows decode as the consumer touches them."""
+        positions = tuple(positions)
+        stats = self.stats
+        if not positions:
+            stats.scans += 1
+            return _LazyRows(self, tuple(self._live_ids()))
+        stats.probes += 1
+        ids = self._index_for(positions).get(tuple(key))
+        if ids is None:
+            return ()
+        if type(ids) is int:
+            return _LazyRows(self, (ids,))
+        return _LazyRows(self, tuple(ids))
+
+    # -- container protocol ------------------------------------------------
+
+    def __contains__(self, row):
+        if self._keys is not None:
+            return row in self._keys
+        return self._find(tuple(row)) is not None
+
+    def __len__(self):
+        return len(self._offsets) - len(self._dead)
+
+    def __iter__(self):
+        row_at = self.row_at
+        for rid in self._live_ids():
+            yield row_at(rid)
+
+    def copy(self):
+        """An independent store over its own byte run and file."""
+        clone = DiskTupleStore(
+            self.name, self.arity,
+            directory=self.directory, spill_bytes=self.spill_bytes,
+        )
+        clone.extend_rows(self)
+        for positions in self.indexes:
+            clone._index_for(positions)
+        return clone
+
+    def __repr__(self):
+        spilled = self._mm_size
+        return (
+            f"<DiskTupleStore {self.name}/{self.arity} {len(self)} rows "
+            f"{self._total}B ({spilled}B mapped)>"
+        )

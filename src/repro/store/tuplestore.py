@@ -79,6 +79,17 @@ class TupleStore:
                 added += 1
         return added
 
+    def extend_rows(self, rows):
+        """Bulk insert that defers index maintenance to one build after
+        the whole batch (instead of N incremental updates) — the bulk
+        EDB ingest path of :mod:`repro.storage.textio`.  Semantics are
+        identical to :meth:`add_many` (dedup, insertion order, new-row
+        count); only the maintenance schedule differs.  This default
+        delegates to ``add_many``; backends with incremental per-insert
+        index updates override it.
+        """
+        return self.add_many(rows)
+
 
 class MemoryTupleStore(TupleStore):
     """The tuned in-memory backend (and the bottom-up ``Relation``).
@@ -139,6 +150,35 @@ class MemoryTupleStore(TupleStore):
             index_key = tuple(row[p] for p in positions)
             index.setdefault(index_key, []).append(row)
         return True
+
+    def extend_rows(self, rows):
+        """Bulk insert with index maintenance deferred to one in-place
+        rebuild per live index after the batch."""
+        tuples = self.tuples
+        out = self.rows
+        added = 0
+        for row in rows:
+            if row in tuples:
+                continue
+            tuples.add(row)
+            out.append(row)
+            added += 1
+        if added and self.indexes:
+            stats = self.stats
+            for positions, index in self.indexes.items():
+                index.clear()
+                for row in out:
+                    key = tuple(row[p] for p in positions)
+                    index.setdefault(key, []).append(row)
+                stats.index_builds += 1
+        return added
+
+    def row_at(self, rid):
+        """The row with insertion id ``rid`` (the row-mode clause view
+        of :mod:`repro.engine.database` addresses rows by these ids;
+        they are stable because row-backed predicates promote to
+        clause-land before any destructive mutation)."""
+        return self.rows[rid]
 
     def remove(self, row):
         """Remove one row everywhere it is stored; True when present."""

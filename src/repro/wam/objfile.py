@@ -10,10 +10,23 @@ predicates: loading skips tokenizing, parsing, clause compilation and
 index construction — it only reconstructs the in-memory code records —
 which is where the order-of-magnitude win over read+assert comes from
 (measured by ``benchmarks/bench_load_times.py``).
+
+Two serialized forms live here:
+
+* *object files* (``save_object_file``/``load_object_file``) — the
+  WAM tier's compiled predicates, as above;
+* *engine cache entries* (``save_engine_cache``/``load_engine_cache``)
+  — the engine tier's analog: one consult's recorded event stream
+  (declarations, load-time goals, compiled clause batches; see
+  :class:`repro.lang.reader.ProgramReader`), serialized so
+  ``Engine.consult_file`` can replay a previously compiled program
+  without lexing, parsing or compiling anything
+  (:mod:`repro.storage.objcache` keys the entries by source hash).
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 
 from ..errors import StorageError
@@ -22,12 +35,16 @@ from .compiler import CompiledClause, CompiledPredicate
 __all__ = [
     "save_object_file",
     "load_object_file",
+    "save_engine_cache",
+    "load_engine_cache",
     "FactClause",
     "MAGIC",
+    "CACHE_MAGIC",
     "FORMAT_VERSION",
 ]
 
 MAGIC = b"XSBOBJ"
+CACHE_MAGIC = b"XSBWAMC"
 FORMAT_VERSION = 2
 
 _ATOM = "a"
@@ -153,6 +170,69 @@ def save_object_file(path, predicates):
         handle.write(bytes([FORMAT_VERSION]))
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
     return len(payload)
+
+
+def save_engine_cache(path, events):
+    """Serialize one consult's recorded event stream atomically.
+
+    Clause batches are stored as ``(name, head_args, body, nslots)``
+    skeleton tuples — the live Clause objects keep their seq/source
+    untouched, and skeleton terms (Atoms intern through ``mkatom`` on
+    unpickling, SlotRefs are plain slot records) round-trip by
+    construction.  The write goes through a temp file + ``os.replace``
+    so a crashed writer can never leave a truncated entry behind.
+    """
+    payload = []
+    for event in events:
+        if event[0] == "c":
+            payload.append((
+                "c",
+                [
+                    (c.name, c.head_args, c.body, c.nslots)
+                    for c in event[1]
+                ],
+            ))
+        else:
+            payload.append(event)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(CACHE_MAGIC)
+        handle.write(bytes([FORMAT_VERSION]))
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return len(payload)
+
+
+def load_engine_cache(path):
+    """Load a consult-cache entry back into a replayable event stream.
+
+    Raises :class:`~repro.errors.StorageError` on a bad magic or a
+    stale format version; unpickling errors propagate as-is (the
+    consult cache treats any of them as "entry invalid, recompile").
+    """
+    from ..engine.clause import Clause
+
+    with open(path, "rb") as handle:
+        magic = handle.read(len(CACHE_MAGIC))
+        if magic != CACHE_MAGIC:
+            raise StorageError(f"{path}: not an engine cache entry")
+        version = handle.read(1)
+        if not version or version[0] != FORMAT_VERSION:
+            raise StorageError(f"{path}: unsupported cache format")
+        payload = pickle.load(handle)
+    events = []
+    for event in payload:
+        if event[0] == "c":
+            events.append((
+                "c",
+                [
+                    Clause(name, head_args, body, nslots)
+                    for name, head_args, body, nslots in event[1]
+                ],
+            ))
+        else:
+            events.append(event)
+    return events
 
 
 def load_object_file(path):

@@ -1,0 +1,480 @@
+"""The persistence tier: consult cache, bulk fact ingest, row-backed
+predicates and the on-disk tuple store (section 4.6).
+
+The consult cache must be *transparent*: a cache-hit consult and a
+cold consult of the same source leave the engine in observably
+identical states — answers, tabling, operators, HiLog declarations,
+load-time side effects, index directives.  The bulk loader must agree
+with the per-line formatted reader on every answer.  These tests pin
+both equivalences plus the failure discipline (corrupt entries are
+silently recompiled) with exact counter values.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro import Engine
+from repro.errors import StorageError
+from repro.storage import (
+    bulk_load_formatted,
+    bulk_load_formatted_file,
+    cache_key,
+    dump_formatted,
+    load_formatted,
+)
+from repro.store.codec import parse_field
+from repro.wam.objfile import CACHE_MAGIC, FORMAT_VERSION
+
+PROGRAM = """
+:- table path/2.
+:- dynamic edge/2.
+:- index(edge/2, 1).
+edge(a, b).  edge(b, c).  edge(c, d).  edge(d, a).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+
+:- dynamic mark/1.
+:- assert(mark(loaded)).
+
+:- op(700, xfx, ===).
+same(X === X).
+
+:- hilog h.
+h(a, 1).  h(b, 2).
+"""
+
+
+def write_program(tmp_path, text=PROGRAM, name="prog.P"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def cached_engine(tmp_path, **kwargs):
+    return Engine(
+        objcache=True, objcache_dir=str(tmp_path / "cache"), **kwargs
+    )
+
+
+def entry_paths(tmp_path):
+    cache = tmp_path / "cache"
+    if not cache.exists():
+        return []
+    return sorted(cache / name for name in os.listdir(cache))
+
+
+def check_program_state(engine):
+    """The observable effects PROGRAM must leave, hot or cold."""
+    answers = sorted(
+        (r["X"], r["Y"]) for r in engine.query("path(X, Y)")
+    )
+    assert len(answers) == 16  # 4-cycle: every pair reachable
+    assert engine.has_solution("mark(loaded)")  # load-time goal ran
+    assert engine.query("same(a === a)") == [{}]  # op declaration took
+    assert engine.query("X(a, N), N > 1") == []  # hilog + arithmetic
+    assert engine.query("h(b, N)") == [{"N": 2}]
+    assert engine.predicate("path", 2).tabled
+    assert engine.predicate("mark", 1).dynamic
+    return answers
+
+
+class TestConsultCache:
+    def test_cold_consult_writes_entry(self, tmp_path):
+        src = write_program(tmp_path)
+        engine = cached_engine(tmp_path)
+        engine.consult_file(src)
+        stats = engine.stats
+        assert (
+            stats.objcache_hits,
+            stats.objcache_misses,
+            stats.objcache_writes,
+            stats.objcache_invalid,
+        ) == (0, 1, 1, 0)
+        assert len(entry_paths(tmp_path)) == 1
+        check_program_state(engine)
+
+    def test_warm_consult_hits_and_matches_cold(self, tmp_path):
+        src = write_program(tmp_path)
+        cold = cached_engine(tmp_path)
+        cold.consult_file(src)
+        cold_answers = check_program_state(cold)
+
+        warm = cached_engine(tmp_path)
+        warm.consult_file(src)
+        stats = warm.stats
+        assert (
+            stats.objcache_hits,
+            stats.objcache_misses,
+            stats.objcache_writes,
+            stats.objcache_invalid,
+        ) == (1, 0, 0, 0)
+        assert check_program_state(warm) == cold_answers
+
+    def test_source_edit_misses(self, tmp_path):
+        src = write_program(tmp_path)
+        cached_engine(tmp_path).consult_file(src)
+        with open(src, "a") as handle:
+            handle.write("edge(d, e).\n")
+        engine = cached_engine(tmp_path)
+        engine.consult_file(src)
+        assert engine.stats.objcache_misses == 1
+        assert engine.stats.objcache_invalid == 0
+        assert len(entry_paths(tmp_path)) == 2  # both keys live
+        assert engine.has_solution("edge(d, e)")
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["garbage", "truncated", "stale_magic", "stale_version"],
+    )
+    def test_bad_entry_recompiles_silently(self, tmp_path, corruption):
+        src = write_program(tmp_path)
+        cold = cached_engine(tmp_path)
+        cold.consult_file(src)
+        (entry,) = entry_paths(tmp_path)
+        raw = entry.read_bytes()
+        if corruption == "garbage":
+            entry.write_bytes(b"\x00\x01not a cache entry")
+        elif corruption == "truncated":
+            entry.write_bytes(raw[: len(raw) // 2])
+        elif corruption == "stale_magic":
+            entry.write_bytes(b"XXXXXXX" + raw[len(CACHE_MAGIC):])
+        else:
+            entry.write_bytes(
+                CACHE_MAGIC
+                + bytes([FORMAT_VERSION + 1])
+                + raw[len(CACHE_MAGIC) + 1:]
+            )
+        engine = cached_engine(tmp_path)
+        engine.consult_file(src)
+        stats = engine.stats
+        assert (
+            stats.objcache_hits,
+            stats.objcache_misses,
+            stats.objcache_writes,
+            stats.objcache_invalid,
+        ) == (0, 1, 1, 1)
+        check_program_state(engine)
+        # The rewritten entry serves the next consult.
+        again = cached_engine(tmp_path)
+        again.consult_file(src)
+        assert again.stats.objcache_hits == 1
+        check_program_state(again)
+
+    def test_objcache_off_never_touches_disk_cache(self, tmp_path):
+        src = write_program(tmp_path)
+        engine = Engine(
+            objcache=False, objcache_dir=str(tmp_path / "cache")
+        )
+        engine.consult_file(src)
+        stats = engine.stats
+        assert stats.objcache_hits == 0
+        assert stats.objcache_misses == 0
+        assert stats.objcache_writes == 0
+        assert entry_paths(tmp_path) == []
+        check_program_state(engine)
+
+    def test_env_toggle_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJCACHE", "0")
+        assert Engine().objcache is False
+        monkeypatch.setenv("REPRO_OBJCACHE", "1")
+        assert Engine().objcache is True
+
+    def test_env_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJCACHE_DIR", str(tmp_path / "envdir"))
+        src = write_program(tmp_path)
+        engine = Engine(objcache=True)
+        engine.consult_file(src)
+        assert engine.stats.objcache_writes == 1
+        assert os.listdir(tmp_path / "envdir")
+
+    def test_key_covers_engine_state(self, tmp_path):
+        source = b"p(a). p(f(b))."
+        plain = Engine()
+        assert cache_key(source, plain) == cache_key(source, Engine())
+        assert cache_key(b"p(a).", plain) != cache_key(source, plain)
+        nospec = Engine(hilog_specialize=False)
+        assert cache_key(source, nospec) != cache_key(source, plain)
+        hilog = Engine()
+        hilog.hilog_symbols.add("f")
+        assert cache_key(source, hilog) != cache_key(source, plain)
+        ops = Engine()
+        ops.operators.add(700, "xfx", "===")
+        assert cache_key(source, ops) != cache_key(source, plain)
+
+    def test_replayed_clauses_retract_and_reassert(self, tmp_path):
+        src = write_program(tmp_path)
+        cached_engine(tmp_path).consult_file(src)
+        engine = cached_engine(tmp_path)
+        engine.consult_file(src)
+        assert engine.stats.objcache_hits == 1
+        assert engine.run_goal(engine.parse("retract(edge(a, b))"))
+        assert engine.count("edge(X, Y)") == 3
+        engine.assertz("edge(a, b)")
+        engine.abolish_all_tables()
+        assert engine.count("path(a, Y)") == 4
+        # The mutation stayed in this engine: a fresh hit is pristine.
+        fresh = cached_engine(tmp_path)
+        fresh.consult_file(src)
+        assert fresh.count("edge(X, Y)") == 4
+
+    def test_consult_string_never_caches(self, tmp_path):
+        engine = cached_engine(tmp_path)
+        engine.consult_string("p(a).")
+        assert engine.stats.objcache_misses == 0
+        assert entry_paths(tmp_path) == []
+
+    def test_unwritable_cache_dir_still_consults(self, tmp_path):
+        src = write_program(tmp_path)
+        blocker = tmp_path / "cache"
+        blocker.write_text("a file where the cache dir should be")
+        engine = Engine(objcache=True, objcache_dir=str(blocker))
+        engine.consult_file(src)
+        assert engine.stats.objcache_misses == 1
+        assert engine.stats.objcache_writes == 0
+        check_program_state(engine)
+
+
+class TestBulkLoad:
+    LINES = [f"e{i}\t{i % 7}\t{i * 10}" for i in range(500)]
+
+    def answers(self, engine):
+        return sorted(
+            (r["N"], r["D"], r["S"])
+            for r in engine.query("emp(N, D, S)")
+        )
+
+    @pytest.mark.parametrize("materialize", ["rows", "clauses"])
+    def test_matches_per_line_loader(self, materialize):
+        per_line = Engine()
+        load_formatted(per_line, "emp", self.LINES)
+        bulk = Engine()
+        n = bulk_load_formatted(
+            bulk, "emp", self.LINES, materialize=materialize
+        )
+        assert n == 500
+        assert self.answers(bulk) == self.answers(per_line)
+        assert bulk.count("emp(e42, D, S)") == 1
+        assert bulk.count("emp(N, 3, S)") == per_line.count("emp(N, 3, S)")
+
+    def test_counters_and_batching(self):
+        engine = Engine()
+        bulk_load_formatted(engine, "emp", self.LINES)
+        bulk_load_formatted(engine, "dept", ["1\tsales", "2\tops"])
+        assert engine.stats.load_bulk_facts == 502
+        assert engine.stats.load_bulk_batches == 2
+
+    def test_interning_aliases_repeated_atoms(self):
+        engine = Engine()
+        # Identity only observable in memory: the disk backend decodes
+        # fresh strings on access, so pin the backend here.
+        bulk_load_formatted(
+            engine,
+            "emp",
+            ["alice\tsales", "bob\tsales", "carol\tsales"],
+            backend="memory",
+        )
+        store = engine.predicate("emp", 2).row_store
+        rows = list(store)
+        assert rows[0][1] is rows[1][1]  # one "sales" object, aliased
+        assert rows[1][1] is rows[2][1]
+
+    def test_parse_field_intern_table(self):
+        intern = {}
+        a = parse_field("shared_atom", intern)
+        b = parse_field("shared_atom", intern)
+        assert a is b
+        assert parse_field("12", intern) == 12
+        assert parse_field("3.5", intern) == 3.5
+        # Without a table, behavior is the historical one.
+        assert parse_field("shared_atom") == "shared_atom"
+
+    def test_ragged_rows_rejected(self):
+        engine = Engine()
+        with pytest.raises(StorageError):
+            bulk_load_formatted(engine, "emp", ["a\tb", "a\tb\tc"])
+        with pytest.raises(StorageError):
+            engine.bulk_add_facts("emp", 2, [("a", "b"), ("a",)])
+
+    def test_empty_input(self):
+        engine = Engine()
+        assert bulk_load_formatted(engine, "emp", []) == 0
+        assert bulk_load_formatted(engine, "emp", ["", "  "]) == 0
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "emp.tsv"
+        path.write_text("\n".join(self.LINES) + "\n")
+        engine = Engine()
+        n = bulk_load_formatted_file(engine, "emp", str(path))
+        assert n == 500
+        assert engine.count("emp(N, D, S)") == 500
+
+    def test_dump_rejects_embedded_delimiter(self, tmp_path):
+        engine = Engine()
+        engine.add_fact("p", "contains\tthe delimiter", 1)
+        with pytest.raises(StorageError):
+            dump_formatted(engine, "p", 2, str(tmp_path / "p.tsv"))
+        engine.add_fact("q", "contains\na newline", 1)
+        with pytest.raises(StorageError):
+            dump_formatted(engine, "q", 2, str(tmp_path / "q.tsv"))
+        # Clean relations still round-trip.
+        engine.add_fact("r", "fine", 1)
+        dump_formatted(engine, "r", 2, str(tmp_path / "r.tsv"))
+        loaded = Engine()
+        bulk_load_formatted_file(loaded, "r", str(tmp_path / "r.tsv"))
+        assert loaded.query("r(X, N)") == [{"X": "fine", "N": 1}]
+
+
+class TestRowBackedPredicates:
+    def load(self, engine, **kwargs):
+        # Row mode needs a backend with stable row ids (memory, disk);
+        # pin memory so these assertions hold under REPRO_TUPLESTORE
+        # overrides like relstore, where the loader falls back to
+        # eager clause materialization.
+        kwargs.setdefault("backend", "memory")
+        bulk_load_formatted(
+            engine,
+            "edge",
+            [f"n{i}\tn{i + 1}" for i in range(100)],
+            **kwargs,
+        )
+        return engine.predicate("edge", 2)
+
+    def test_rows_serve_queries_without_materializing(self):
+        engine = Engine()
+        pred = self.load(engine)
+        assert pred.row_store is not None
+        assert engine.count("edge(n5, Y)") == 1
+        assert engine.count("edge(X, Y)") == 100
+        assert pred.row_store is not None  # queries did not promote
+
+    def test_assertz_promotes_and_preserves_rows(self):
+        engine = Engine()
+        pred = self.load(engine)
+        engine.assertz("edge(extra, n0)")
+        assert pred.row_store is None
+        assert len(pred.clauses) == 101
+        assert engine.count("edge(X, Y)") == 101
+        assert engine.count("edge(n5, Y)") == 1
+
+    def test_retract_promotes_and_removes(self):
+        engine = Engine()
+        self.load(engine)
+        assert engine.run_goal(engine.parse("retract(edge(n5, n6))"))
+        assert engine.count("edge(n5, Y)") == 0
+        assert engine.count("edge(X, Y)") == 99
+
+    def test_retractall_stays_row_backed(self):
+        engine = Engine()
+        pred = self.load(engine)
+        assert engine.run_goal(engine.parse("retractall(edge(_, _))"))
+        assert engine.count("edge(X, Y)") == 0
+        assert pred.row_store is not None
+        engine.bulk_add_facts("edge", 2, [("a", "b")])
+        assert engine.count("edge(X, Y)") == 1
+
+    def test_tabled_recursion_over_rows(self):
+        engine = Engine()
+        self.load(engine)
+        engine.consult_string(
+            ":- table reach/2.\n"
+            "reach(X, Y) :- edge(X, Y).\n"
+            "reach(X, Y) :- reach(X, Z), edge(Z, Y).\n"
+        )
+        assert engine.count("reach(n0, Y)") == 100
+
+    def test_compiled_dispatch_over_rows(self):
+        engine = Engine(compile=True, compile_warmup=0)
+        self.load(engine)
+        for _ in range(3):
+            assert engine.count("edge(n7, Y)") == 1
+        assert engine.stats.clause_matches > 0
+
+    def test_duplicate_rows_collapse(self):
+        engine = Engine()
+        n = engine.bulk_add_facts(
+            "p", 1, [("a",), ("b",), ("a",)]
+        )
+        assert n == 2  # relation semantics: the batch deduplicates
+        assert engine.count("p(X)") == 2
+
+    def test_structured_fields_thaw(self):
+        engine = Engine()
+        engine.bulk_add_facts(
+            "p", 2, [("a", ("f", 1, "x")), ("b", ("f", 2, "y"))]
+        )
+        assert engine.query("p(a, Z)", raw=False) is not None
+        assert engine.count("p(X, f(2, y))") == 1
+
+
+class TestDiskBackend:
+    def test_bulk_load_on_disk(self):
+        engine = Engine()
+        bulk_load_formatted(
+            engine,
+            "big",
+            (f"k{i}\t{i}" for i in range(2000)),
+            backend="disk",
+        )
+        pred = engine.predicate("big", 2)
+        assert type(pred.row_store).__name__ == "DiskTupleStore"
+        assert engine.count("big(k1234, V)") == 1
+        assert engine.query("big(k7, V)") == [{"V": 7}]
+        assert engine.count("big(K, V)") == 2000
+
+    def test_spilled_store_serves_queries(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_SPILL_BYTES", "64")
+        engine = Engine()
+        bulk_load_formatted(
+            engine,
+            "big",
+            (f"k{i}\t{i}" for i in range(500)),
+            backend="disk",
+        )
+        store = engine.predicate("big", 2).row_store
+        assert store._mm is not None  # the mmap spill really happened
+        assert engine.count("big(k42, V)") == 1
+        assert engine.count("big(K, V)") == 500
+
+    def test_env_backend_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TUPLESTORE", "disk")
+        engine = Engine()
+        bulk_load_formatted(engine, "p", ["a\t1", "b\t2"])
+        assert type(engine.predicate("p", 2).row_store).__name__ == (
+            "DiskTupleStore"
+        )
+        assert engine.query("p(b, N)") == [{"N": 2}]
+
+    def test_promotion_off_disk(self):
+        engine = Engine()
+        engine.bulk_add_facts(
+            "p", 2, [("a", 1), ("b", 2)], backend="disk"
+        )
+        engine.assertz("p(c, 3)")
+        assert engine.predicate("p", 2).row_store is None
+        assert engine.count("p(X, N)") == 3
+
+
+class TestCacheSerializationFormat:
+    def test_clause_pickle_roundtrip(self):
+        from repro.engine.clause import compile_clause
+        from repro.terms import Atom, Struct, Var, mkatom
+
+        x = Var("X")
+        clause = compile_clause(
+            Struct(
+                ":-",
+                (
+                    Struct("p", (x, mkatom("a"))),
+                    Struct("q", (x, Struct("f", (mkatom("b"),)))),
+                ),
+            )
+        )
+        copy = pickle.loads(pickle.dumps(clause))
+        assert copy.name == clause.name
+        assert copy.nslots == clause.nslots
+        assert copy.variant_key() == clause.variant_key()
+        atom = pickle.loads(pickle.dumps(mkatom("interned")))
+        assert atom is mkatom("interned")  # Atoms re-intern on load
+        assert isinstance(atom, Atom)

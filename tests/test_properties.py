@@ -365,7 +365,7 @@ _ops = st.lists(
 _INDEXES = [(0,), (1,), (2,), (0, 1), (1, 2), (0, 1, 2)]
 
 
-@pytest.mark.parametrize("backend", ["memory", "relstore"])
+@pytest.mark.parametrize("backend", ["memory", "relstore", "disk"])
 @given(ops=_ops, probes=st.lists(st.tuples(st.sampled_from(_INDEXES), _row),
                                  min_size=1, max_size=8))
 @settings(max_examples=40, deadline=None)

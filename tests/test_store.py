@@ -24,7 +24,7 @@ from repro.store import (
 )
 from repro.terms import Atom, Struct, Var, mkatom
 
-BACKENDS = ["memory", "relstore"]
+BACKENDS = ["memory", "relstore", "disk"]
 
 
 @pytest.fixture(params=BACKENDS)

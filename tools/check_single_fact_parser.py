@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI guard: fact-field parsing lives in the storage tier only.
+
+The formatted readers type fields by shape (int-looking text becomes
+an int, float-looking a float, anything else an atom string) through
+exactly one function — ``repro.store.codec.parse_field`` — and split
+formatted lines in exactly one module, ``repro.storage.textio``.  The
+persistence PR added a second consumer (the bulk loader) and the
+temptation profile is clear: the next loader, REPL command or
+benchmark that needs "just a quick tab-split with int coercion" is an
+ad-hoc reimplementation whose typing rules silently drift from the
+codec's (``1`` vs ``1.0`` vs ``"1"`` decide row identity everywhere —
+dedup, indexing, the disk store's hash membership).
+
+This script fails when, outside ``src/repro/storage/`` and
+``src/repro/store/``:
+
+* the identifiers ``parse_field`` or ``parse_formatted_line`` are
+  referenced at all (consumers must call the loaders, not re-type
+  fields themselves); or
+* a function whose name matches a loader fingerprint (``parse_line``,
+  ``parse_row``, ``split_fields``, ``type_field``, ``coerce_field``)
+  contains actual control flow rather than delegating.
+
+Usage: python tools/check_single_fact_parser.py [src-dir]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+# The only identifiers that may type formatted fields; referencing
+# them outside the storage tier is the violation.
+PARSER_NAMES = {"parse_field", "parse_formatted_line"}
+
+# Function names that announce a field-typing loop in the making.
+FLAGGED_DEFS = {
+    "parse_line",
+    "parse_row",
+    "split_fields",
+    "type_field",
+    "coerce_field",
+}
+
+# Paths (relative to the repro package root) where fact parsing is
+# legitimate: the codec that defines it and the loaders that use it.
+ALLOWED = (
+    "storage/",
+    "store/",
+)
+
+LOOP_NODES = (
+    ast.For,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def has_control_flow(func):
+    return any(
+        isinstance(node, LOOP_NODES)
+        for child in func.body
+        for node in ast.walk(child)
+    )
+
+
+def parsing_allowed(path, root):
+    try:
+        rel = path.relative_to(root / "repro").as_posix()
+    except ValueError:
+        return False
+    return rel.startswith(ALLOWED)
+
+
+def check_file(path):
+    problems = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id in PARSER_NAMES:
+            problems.append(
+                f"{path}:{node.lineno}: '{node.id}' referenced outside "
+                "the storage tier — route loads through repro.storage"
+            )
+        elif isinstance(node, ast.Attribute) and node.attr in PARSER_NAMES:
+            problems.append(
+                f"{path}:{node.lineno}: '{node.attr}' referenced outside "
+                "the storage tier — route loads through repro.storage"
+            )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in FLAGGED_DEFS and has_control_flow(node):
+                problems.append(
+                    f"{path}:{node.lineno}: {node.name}() looks like an "
+                    "ad-hoc fact parser outside src/repro/storage/ — "
+                    "use parse_formatted_line / bulk_load_formatted"
+                )
+    return problems
+
+
+def main(argv):
+    root = pathlib.Path(argv[1] if len(argv) > 1 else "src")
+    problems = []
+    for path in sorted(root.rglob("*.py")):
+        if parsing_allowed(path, root):
+            continue
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems))
+        print(
+            f"\n{len(problems)} ad-hoc fact-parsing site(s); field "
+            "typing must go through repro.store.codec.parse_field via "
+            "the repro.storage loaders."
+        )
+        return 1
+    print("fact parsing confined to the storage tier: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
