@@ -303,10 +303,18 @@ def test_disk_probe_matches_memory(benchmark):
     )
 
 
+def test_rss_guard_degrades_to_none():
+    # An unusable measurement child (here: a bogus storage mode, same
+    # failure surface as a platform without resource.getrusage) must
+    # degrade to (None, None) — reported as "n/a" / JSON null — rather
+    # than raise.
+    assert measure_peak_rss(10, "no-such-backend") == (None, None)
+
+
 # -- peak-RSS experiment (run with --rss) ----------------------------------
 
 _RSS_CHILD = r"""
-import gc, resource, sys
+import gc, sys
 sys.path.insert(0, {src!r})
 sys.path.insert(0, {here!r})
 from repro import Engine
@@ -323,13 +331,20 @@ else:
 del lines
 assert engine.count("fact(31337, P, M)") == 1  # indexed probe answers
 gc.collect()
-peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-resident_kb = 0
-with open("/proc/self/status") as handle:
-    for line in handle:
-        if line.startswith("VmRSS:"):
-            resident_kb = int(line.split()[1])
-            break
+try:
+    import resource
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+except (ImportError, AttributeError, OSError):
+    peak_kb = None
+resident_kb = None
+try:
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                resident_kb = int(line.split()[1])
+                break
+except OSError:
+    resident_kb = None
 print(peak_kb, resident_kb)
 """
 
@@ -344,6 +359,10 @@ def measure_peak_rss(size, mode):
     relation is loaded, probed and collected.  A fresh subprocess per
     mode keeps ``ru_maxrss`` honest — the high-water mark cannot leak
     across modes.
+
+    Either component is ``None`` on platforms without the measurement
+    primitive (``resource.getrusage`` for peak, ``/proc/self/status``
+    for resident) — the caller prints "n/a" and the JSON reports null.
     """
     import subprocess
     import sys
@@ -351,12 +370,21 @@ def measure_peak_rss(size, mode):
     here = os.path.dirname(os.path.abspath(__file__))
     src = os.path.join(here, "..", "src")
     script = _RSS_CHILD.format(src=src, here=here, size=size, mode=mode)
-    out = subprocess.run(
-        [sys.executable, "-c", script],
-        capture_output=True, text=True, check=True,
+    try:
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+    parts = out.stdout.split()
+    if len(parts) != 2:
+        return None, None
+    peak_kb, resident_kb = parts
+    return (
+        None if peak_kb == "None" else int(peak_kb) / 1024.0,
+        None if resident_kb == "None" else int(resident_kb) / 1024.0,
     )
-    peak_kb, resident_kb = out.stdout.split()
-    return int(peak_kb) / 1024.0, int(resident_kb) / 1024.0
 
 
 def _parse_args():
@@ -383,12 +411,29 @@ def _parse_args():
 if __name__ == "__main__":
     args = _parse_args()
     if args.rss:
-        rows = [
-            (mode,) + measure_peak_rss(args.rss_size, mode)
+        measured = {
+            mode: measure_peak_rss(args.rss_size, mode)
             for mode in ("terms", "memory", "disk")
+        }
+        rows = [
+            (mode,)
+            + tuple("n/a" if value is None else value for value in pair)
+            for mode, pair in measured.items()
         ]
         print(f"RSS loading {args.rss_size} facts (subprocess each)")
         print(format_table(["mode", "peak MB", "resident MB"], rows))
+        if args.json:
+            here = os.path.dirname(os.path.abspath(__file__))
+            write_json_results(
+                os.path.join(here, "BENCH_load_rss.json"),
+                {
+                    f"{mode}_{kind}_mb": value
+                    for mode, pair in measured.items()
+                    for kind, value in zip(("peak", "resident"), pair)
+                },
+                meta={"series": "peak-rss", "rss_size": args.rss_size},
+            )
+            print("wrote BENCH_load_rss.json")
         raise SystemExit(0)
     for label, seconds in measure():
         print(f"{label:34s} {seconds*1e3:9.2f} ms")

@@ -1,0 +1,242 @@
+"""Update-churn benchmark: interleaved assert/retract/query against a
+completed transitive-closure table.
+
+PR 8's incremental maintenance subsystem claims that a single-fact
+update to a tabled predicate's base relation is repaired in (roughly)
+time proportional to the *consequences* of the change, not to the size
+of the table.  This file measures exactly that claim on the paper's
+canonical TC workload: a ``path/2`` left recursion over a dynamic
+``edge/2`` chain, churned by a loop of assert → query → retract →
+query updates.
+
+Two modes run the identical update script:
+
+* **incremental** (the default engine): each query-boundary flush
+  applies the pending edge deltas to the table's persistent
+  materialization — delta-join insertion for asserts, DRed
+  over-delete/re-derive for retracts — and bulk-reinstalls answers.
+
+* **cold** (``Engine(incremental=False)``): the pre-PR-8 contract —
+  mutations leave completed tables stale, so the script abolishes all
+  tables before every query and pays a full from-scratch re-derivation
+  of the closure each time.
+
+``BENCH_update.json`` holds the incremental timings and
+``BENCH_update_before.json`` the cold ones, both written by
+:func:`repro.bench.write_json_results` under the same series names so
+:func:`repro.bench.compare_results` reads the repair-vs-cold speedup
+directly.  Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_update_churn.py --json
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Engine  # noqa: E402
+from repro.bench import (  # noqa: E402
+    chain_edges,
+    compare_results,
+    format_table,
+    time_call,
+    write_json_results,
+)
+
+PROGRAM = """
+:- table path/2.
+:- dynamic(edge/2).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+"""
+
+CHAIN = 256          # chain length of the single-fact-churn series
+CHAIN_TAIL = 64      # chain length of the tail-growth series
+CYCLES = 8           # assert/query/retract/query rounds per timed run
+
+# The churned queries bind the *second* argument of the left
+# recursion.  A bound first argument would let the demand-driven
+# bottom-up evaluation stay linear in the chain length, making even
+# the cold mode artificially cheap; binding the answer side forces the
+# cold mode to re-derive the full |chain|²/2-tuple closure per query,
+# which is exactly the wholesale cost the incremental repair avoids.
+
+
+def _engine(chain, incremental, goal, expect):
+    engine = Engine(incremental=incremental)
+    engine.consult_string(PROGRAM)
+    engine.add_facts("edge", chain_edges(chain))
+    count = engine.count(goal)  # complete the table
+    assert count == expect, f"setup: got {count}, expected {expect}"
+    return engine
+
+
+def churn_leaf(engine, chain, cycles, cold=False):
+    """Assert/retract a one-consequence edge, querying in between.
+
+    ``edge(leaf, chain)`` (a fresh node pointing at the chain's last
+    node, which has no outgoing edges) has exactly one consequence —
+    ``path(leaf, chain)`` — so the incremental repair is a single-row
+    delta-join insert, then a single-row DRed delete with no
+    re-derivation cascade."""
+    base = chain - 1
+    goal = f"path(X, {chain})"
+    total = 0
+    for i in range(cycles):
+        leaf = 100_000 + i
+        engine.run_goal(engine.parse(f"assertz(edge({leaf}, {chain}))"))
+        if cold:
+            engine.abolish_all_tables()
+        count = engine.count(goal)
+        assert count == base + 1, f"after assert: {count} != {base + 1}"
+        engine.run_goal(engine.parse(f"retract(edge({leaf}, {chain}))"))
+        if cold:
+            engine.abolish_all_tables()
+        count = engine.count(goal)
+        assert count == base, f"after retract: {count} != {base}"
+        total += count
+    return total
+
+
+def churn_tail(engine, chain, cycles, cold=False):
+    """Grow and shrink the chain at its tail, querying in between.
+
+    Appending ``edge(chain, chain+1)`` has ``chain`` consequences
+    (every node reaches the new tail), so this series exercises the
+    bulk side of the delta machinery: a delta-join insertion wave on
+    assert and a full DRed over-deletion cascade on retract."""
+    tail = chain + 1
+    goal = f"path(X, {tail})"
+    total = 0
+    for _ in range(cycles):
+        engine.run_goal(engine.parse(f"assertz(edge({chain}, {tail}))"))
+        if cold:
+            engine.abolish_all_tables()
+        count = engine.count(goal)
+        assert count == chain, f"after assert: {count} != {chain}"
+        engine.run_goal(engine.parse(f"retract(edge({chain}, {tail}))"))
+        if cold:
+            engine.abolish_all_tables()
+        count = engine.count(goal)
+        assert count == 0, f"after retract: {count} != 0"
+        total += count
+    return total
+
+
+SERIES = {
+    # name: (workload fn, chain length, completing goal, initial count)
+    f"tc_leaf_churn_chain{CHAIN}": (
+        churn_leaf, CHAIN, f"path(X, {CHAIN})", CHAIN - 1
+    ),
+    f"tc_tail_churn_chain{CHAIN_TAIL}": (
+        churn_tail, CHAIN_TAIL, f"path(X, {CHAIN_TAIL + 1})", 0
+    ),
+}
+
+
+def run_all(incremental, cycles=CYCLES, repeat=3, counters=None):
+    """Best-of-``repeat`` seconds per series for one mode.
+
+    Each series gets a fresh engine with a completed table, then one
+    unmeasured warm-up round: in incremental mode the first flush pays
+    the one-time cold materialization build that later repairs reuse,
+    and the cold mode gets the same treatment so the comparison stays
+    symmetric.
+    """
+    results = {}
+    for name, (workload, chain, goal, expect) in SERIES.items():
+        engine = _engine(chain, incremental, goal, expect)
+        workload(engine, chain, 1, cold=not incremental)  # warm-up
+        seconds, _ = time_call(
+            workload, engine, chain, cycles,
+            repeat=repeat, cold=not incremental,
+        )
+        results[name] = seconds
+        if counters is not None:
+            counters[name] = engine.statistics()
+    return results
+
+
+def _series_engine(name, incremental):
+    _, chain, goal, expect = SERIES[name]
+    return _engine(chain, incremental, goal, expect)
+
+
+# -- pytest entry points ---------------------------------------------------
+
+def test_update_churn_answers_identical(benchmark):
+    """Both modes answer every interleaved query identically (the
+    asserts inside the workloads pin the counts)."""
+    name = f"tc_tail_churn_chain{CHAIN_TAIL}"
+
+    def run():
+        warm = _series_engine(name, incremental=True)
+        cold = _series_engine(name, incremental=False)
+        return (
+            churn_tail(warm, CHAIN_TAIL, 2)
+            + churn_tail(cold, CHAIN_TAIL, 2, cold=True)
+        )
+
+    # total accumulates the after-retract count (0) each cycle
+    assert benchmark(run) == 0
+
+
+def test_single_fact_repair_beats_cold_rederivation(benchmark):
+    """The acceptance shape: repairing a one-consequence update must
+    beat cold re-derivation of the closure by a wide margin."""
+    name = f"tc_leaf_churn_chain{CHAIN}"
+
+    def ratio():
+        warm = _series_engine(name, incremental=True)
+        cold = _series_engine(name, incremental=False)
+        churn_leaf(warm, CHAIN, 1)               # pay the mat build
+        churn_leaf(cold, CHAIN, 1, cold=True)
+        warm_s, _ = time_call(churn_leaf, warm, CHAIN, 2)
+        cold_s, _ = time_call(churn_leaf, cold, CHAIN, 2, cold=True)
+        return cold_s / warm_s
+
+    assert benchmark(ratio) > 5.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="write BENCH_update.json and BENCH_update_before.json",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--cycles", type=int, default=CYCLES)
+    options = parser.parse_args()
+
+    counters = {}
+    incr = run_all(
+        incremental=True, cycles=options.cycles,
+        repeat=options.repeat, counters=counters,
+    )
+    cold = run_all(
+        incremental=False, cycles=options.cycles, repeat=options.repeat,
+    )
+    rows, geomean = compare_results(
+        {"results": cold}, {"results": incr}
+    )
+    print(f"update churn, {options.cycles} assert/retract/query cycles")
+    print(format_table(
+        ["series", "cold ms", "incremental ms", "repair speedup"],
+        [(name, b * 1e3, a * 1e3, speedup)
+         for name, b, a, speedup in rows],
+    ))
+    print(f"geometric-mean speedup: {geomean:.1f}x")
+    if options.json:
+        here = os.path.dirname(os.path.abspath(__file__))
+        write_json_results(
+            os.path.join(here, "BENCH_update.json"), incr,
+            meta={"mode": "incremental-repair", "cycles": options.cycles},
+            counters=counters,
+        )
+        write_json_results(
+            os.path.join(here, "BENCH_update_before.json"), cold,
+            meta={"mode": "cold-rederivation", "cycles": options.cycles},
+        )
+        print("wrote BENCH_update.json / BENCH_update_before.json")

@@ -266,6 +266,50 @@ class AnalysisRegistry:
             return -1, None
         return own, state.reach[own]
 
+    def affected_keys(self, changed):
+        """The affected-table closure of a set of changed predicates.
+
+        ``changed`` is an iterable of ``(name, arity)`` keys that were
+        asserted into, retracted from, or otherwise mutated.  Returns
+        ``(affected, universe)``: ``affected`` is the set of defined
+        predicate keys whose evaluation may depend on any changed key —
+        every key whose SCC's condensation reach set intersects a
+        changed SCC (unbounded reach counts as intersecting) — and
+        ``universe`` is True when the closure cannot be bounded at all
+        (a changed key is not a node of the current call graph, e.g. an
+        abolished predicate whose dependents' reach sets no longer
+        mention it).  The incremental table maintainer keeps completed
+        tables outside this closure ``valid`` instead of abolishing
+        them wholesale.
+        """
+        state = self._ensure_graph()
+        scc_of = state.scc_of
+        changed_sccs = set()
+        for key in changed:
+            own = scc_of.get(key)
+            if own is None:
+                return frozenset(), True
+            changed_sccs.add(own)
+        if not changed_sccs:
+            return frozenset(), False
+        reach = state.reach
+        affected = set()
+        for key, own in scc_of.items():
+            r = reach[own]
+            if r is None or not changed_sccs.isdisjoint(r):
+                affected.add(key)
+        return affected, False
+
+    def plan_closure(self, key):
+        """The predicate keys a cached hybrid plan's reachable-closure
+        walk visited (its exact dependency set), or None when no plan
+        entry is cached for ``key``.  No revalidation: the caller pairs
+        this with :meth:`hybrid_plan`, which refreshed the entry."""
+        entry = self._plans.get(key)
+        if entry is None:
+            return None
+        return frozenset(k for k, _, _ in entry[0])
+
     # -- stage 4: stratification ---------------------------------------
 
     def stratification(self):

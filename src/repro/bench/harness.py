@@ -149,7 +149,12 @@ def write_json_results(path, results, meta=None, counters=None):
             "tuple_store": backend_name(),
             **(meta or {}),
         },
-        "results": {name: float(seconds) for name, seconds in results.items()},
+        # None marks a measurement the platform could not take (e.g. no
+        # resource.getrusage) and serializes as JSON null.
+        "results": {
+            name: None if seconds is None else float(seconds)
+            for name, seconds in results.items()
+        },
     }
     if counters is not None:
         payload["counters"] = {

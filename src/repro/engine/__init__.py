@@ -142,6 +142,18 @@ class Engine:
         directory for cache entries; ``None`` (default) reads
         ``REPRO_OBJCACHE_DIR``, falling back to
         ``~/.cache/repro/objcache``.
+    incremental:
+        maintain completed tables *incrementally* under assert/retract
+        (:mod:`repro.engine.incremental`): mutations emit typed
+        per-predicate deltas, and at the next top-level query boundary
+        the affected-table closure (from the analysis registry's call
+        graph) decides which completed tables stay ``valid``, which are
+        repaired through the semi-naive delta machinery (DRed for
+        retracts, delta insertion for asserts), and which take a
+        *targeted* abolish.  With it off, mutations leave tables
+        untouched until ``abolish_all_tables`` — the pre-incremental
+        contract.  ``None`` (default) reads ``REPRO_INCREMENTAL``
+        (``0``/``false``/``off`` disables; on otherwise).
     """
 
     def __init__(
@@ -159,6 +171,7 @@ class Engine:
         profile=None,
         objcache=None,
         objcache_dir=None,
+        incremental=None,
     ):
         if answer_store not in ("hash", "trie"):
             raise ValueError("answer_store must be 'hash' or 'trie'")
@@ -193,6 +206,17 @@ class Engine:
             )
         self.objcache = bool(objcache)
         self.objcache_dir = objcache_dir
+        if incremental is None:
+            incremental = os.environ.get(
+                "REPRO_INCREMENTAL", "1"
+            ).lower() not in ("0", "false", "off")
+        if incremental:
+            from .incremental import IncrementalMaintainer
+
+            self.incremental = IncrementalMaintainer(self)
+            self.db.set_delta_sink(self.incremental)
+        else:
+            self.incremental = None
         self.output = output if output is not None else sys.stdout
         self.quiet = False
         if trace is None:
@@ -620,6 +644,34 @@ class Engine:
 
     def abolish_all_tables(self):
         self.tables.abolish_all()
+        return self
+
+    def abolish_predicate(self, name, arity):
+        """``abolish/2``: drop a predicate's clauses and every completed
+        table that could observe them — its own and its dependents',
+        computed from the analysis registry's call graph *before* the
+        clauses go (afterwards the predicate is no longer a graph node
+        and the dependency is invisible).  The table drops are
+        *targeted* deletes, never ``abolish_all``; incomplete frames
+        belong to in-flight runs and are left alone.
+        """
+        from .incremental import _frame_key
+
+        key = (name, arity)
+        if self.db.lookup(name, arity) is not None:
+            affected, universe = self.db.analysis.affected_keys((key,))
+            for frame in self.tables.all_frames():
+                if not frame.complete:
+                    continue
+                fkey = _frame_key(frame)
+                if (
+                    universe
+                    or fkey is None
+                    or fkey == key
+                    or fkey in affected
+                ):
+                    self.tables.delete(frame)
+        self.db.abolish(name, arity)
         return self
 
     def predicate(self, name, arity):

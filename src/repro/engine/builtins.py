@@ -726,7 +726,10 @@ def bi_abolish(machine, args, goals):
         name = deref(spec.args[0])
         arity = deref(spec.args[1])
         if isinstance(name, Atom) and isinstance(arity, int):
-            machine.engine.db.abolish(name.name, arity)
+            # Through the engine facade: abolishing a (possibly tabled)
+            # predicate also drops its own and its dependents' completed
+            # tables with targeted deletes.
+            machine.engine.abolish_predicate(name.name, arity)
             return goals.next
     raise TypeError_("predicate indicator", spec)
 
@@ -760,7 +763,7 @@ def bi_clause(machine, args, goals):
 
 
 def bi_abolish_all_tables(machine, args, goals):
-    machine.engine.tables.abolish_all()
+    machine.engine.abolish_all_tables()
     return goals.next
 
 

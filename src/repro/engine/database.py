@@ -199,6 +199,7 @@ class Predicate:
         "row_store",
         "_row_index",
         "_row_index_stamp",
+        "delta_sink",
     )
 
     def __init__(self, name, arity, dynamic=False, module="usermod"):
@@ -246,6 +247,14 @@ class Predicate:
         self.row_store = None
         self._row_index = None
         self._row_index_stamp = -1
+        # Typed update-delta sink (repro.engine.incremental): when the
+        # owning engine runs with incremental table maintenance on,
+        # every mutation below reports *what* changed — a fact-row
+        # insert/remove, or a structural (rule-level) change — instead
+        # of only bumping the stamps.  None (the default) keeps every
+        # mutation site at one attribute read and one ``is not None``
+        # test, the zero-cost-when-off contract.
+        self.delta_sink = None
 
     @property
     def indicator(self):
@@ -403,6 +412,11 @@ class Predicate:
         per row (duplicates kept), exactly like per-line assertz, just
         batched.
         """
+        sink = self.delta_sink
+        if sink is not None:
+            # The delta needs the batch twice (install + report), so
+            # pin the stream before any consumer drains it.
+            rows = [tuple(row) for row in rows]
         if materialize == "rows":
             store = self.row_store
             if store is None and not self.clauses:
@@ -420,6 +434,8 @@ class Predicate:
                 self._row_index = None
                 self.fact_store = store
                 self.fact_store_stamp = self.mutations
+                if sink is not None:
+                    sink.record_insert_many((self.name, self.arity), rows)
                 return added
         if materialize == "rows":
             # Relation semantics were requested but the backend cannot
@@ -467,6 +483,8 @@ class Predicate:
             self.fact_store_stamp = self.mutations
         else:
             self.fact_store = None
+        if sink is not None:
+            sink.record_insert_many((self.name, self.arity), rows)
         return len(clauses)
 
     def add_clauses(self, clauses):
@@ -493,6 +511,12 @@ class Predicate:
                 (c.seq, c.head_args, c) for c in self.clauses
             )
         self.fact_store = None
+        sink = self.delta_sink
+        if sink is not None:
+            # A consult-cache replay mixes rules and facts in one
+            # batch; the conservative structural delta re-derives
+            # dependents rather than classifying every clause.
+            sink.record_structural((self.name, self.arity))
         return len(clauses)
 
     def _row_candidates(self, call_args):
@@ -558,25 +582,34 @@ class Predicate:
                 clause.seq, clause.head_args, clause, front=front
             )
         store = self.fact_store
+        sink = self.delta_sink
+        row = None
+        if not clause.body and (store is not None or sink is not None):
+            # One freeze serves both the incremental fact-store append
+            # and the update delta; a clause outside the row domain
+            # leaves row = None (not a storable fact).
+            try:
+                row = tuple(freeze_term(arg) for arg in clause.head_args)
+            except FreezeError:
+                row = None
         if store is not None:
             # Appending a ground fact keeps the cached store current;
             # rules don't enter it, and asserta would have to reorder
             # rows, so both just invalidate.
             if (
-                clause.body
+                row is None
                 or front
                 or self.fact_store_stamp != self.mutations - 1
             ):
                 self.fact_store = None
             else:
-                try:
-                    store.add(
-                        tuple(freeze_term(arg) for arg in clause.head_args)
-                    )
-                except FreezeError:
-                    self.fact_store = None
-                else:
-                    self.fact_store_stamp = self.mutations
+                store.add(row)
+                self.fact_store_stamp = self.mutations
+        if sink is not None:
+            if row is None:
+                sink.record_structural((self.name, self.arity))
+            else:
+                sink.record_insert((self.name, self.arity), row)
         return clause
 
     def remove_clause(self, clause):
@@ -614,10 +647,47 @@ class Predicate:
         # retraction cannot tell whether the row must go; rebuild
         # lazily instead of guessing.
         self.fact_store = None
+        sink = self.delta_sink
+        if sink is not None:
+            self._record_removal(sink, clause)
         return True
+
+    def _record_removal(self, sink, clause):
+        """Emit the update delta for one retracted clause: a fact-row
+        removal when the clause was a ground fact whose row has no
+        surviving duplicate clause, a structural delta otherwise."""
+        key = (self.name, self.arity)
+        if clause.body:
+            sink.record_structural(key)
+            return
+        try:
+            row = tuple(freeze_term(arg) for arg in clause.head_args)
+        except FreezeError:
+            sink.record_structural(key)
+            return
+        # Duplicate fact clauses collapse to one relation row: the row
+        # disappears only when no identical fact clause survives, so
+        # probe the clause index for a surviving twin before reporting
+        # the removal.
+        for other in self.candidates(clause.head_args):
+            if other.body:
+                continue
+            try:
+                if tuple(
+                    freeze_term(arg) for arg in other.head_args
+                ) == row:
+                    return
+            except FreezeError:
+                continue
+        sink.record_remove(key, row)
 
     def retract_all_clauses(self):
         """Predicate-level retract: drop every clause at once."""
+        sink = self.delta_sink
+        if sink is not None:
+            # Wholesale emptying is reported structurally: dependent
+            # tables re-derive from scratch (targeted, not global).
+            sink.record_structural((self.name, self.arity))
         store = self.row_store
         if store is not None:
             # Row mode empties wholesale: clear the store in place
@@ -675,6 +745,7 @@ class Database:
         self.predicates = {}
         self.hilog_symbols = set()
         self.analysis = AnalysisRegistry(self)
+        self.delta_sink = None
 
     def lookup(self, name, arity):
         """The predicate for a call, or None when undefined."""
@@ -685,8 +756,17 @@ class Database:
         pred = self.predicates.get(key)
         if pred is None:
             pred = Predicate(name, arity, dynamic=dynamic)
+            pred.delta_sink = self.delta_sink
             self.predicates[key] = pred
         return pred
+
+    def set_delta_sink(self, sink):
+        """Attach (or detach, with None) the typed update-delta sink
+        every predicate reports its mutations to — the incremental
+        table maintainer's feed (:mod:`repro.engine.incremental`)."""
+        self.delta_sink = sink
+        for pred in self.predicates.values():
+            pred.delta_sink = sink
 
     def add_clause_term(self, term, dynamic=False, front=False):
         """Compile and store one clause; returns the Clause."""
@@ -714,6 +794,9 @@ class Database:
             # generation-validated analyses would keep serving results
             # that still mention the abolished predicate.
             _GENERATION[0] += 1
+            sink = self.delta_sink
+            if sink is not None:
+                sink.record_structural((name, arity))
 
     def all_predicates(self):
         return list(self.predicates.values())

@@ -1,0 +1,543 @@
+"""Incremental table maintenance: delta-driven re-derivation.
+
+Before this module, any assert or retract left completed tables
+untouched until the user reclaimed *all* of them with
+``abolish_all_tables`` — wholesale invalidation, XSB's pre-incremental
+story.  This module is the repository's version of XSB's incremental
+tabling (Saha & Ramakrishnan's delete-rederive over the invalidation
+graph): mutations emit typed per-predicate deltas, a flush at the next
+query boundary computes the *affected-table closure* from the analysis
+registry's call graph, and each affected completed table is either
+
+* **kept** — its plan's exact reachable closure proves it independent
+  of every changed predicate, so its ``valid`` stamp survives;
+* **repaired** — for datalog-safe roots the table's answers are
+  recomputed through the semi-naive delta machinery of
+  :mod:`repro.bottomup.seminaive` against a persistent per-root
+  *materialization*: retracted rows run DRed (over-delete everything
+  derivable through them, re-derive what has an alternative proof),
+  asserted rows run ordinary semi-naive insertion, and the repaired
+  relation is bulk re-installed into the frame; or
+* **abolished, targeted** — the root leaves the datalog-safe fragment
+  (builtins, negation, non-ground answers) or its indicator cannot be
+  resolved, so just *that* frame is dropped.  Nothing in this module
+  ever calls ``abolish_all``.
+
+The pipeline is wired behind ``Engine(incremental=)`` /
+``REPRO_INCREMENTAL`` with the same zero-cost-when-off contract as
+statistics and tracing: when off, every mutation site pays one
+attribute read and an ``is not None`` test, and no maintainer exists.
+
+Lifecycle: a completed frame is ``valid`` until a flush proves a
+changed predicate reachable from it (``invalid``), transitions to
+``re-deriving`` while its answers are being rebuilt, and back to
+``valid`` when the repaired answer set is installed (see the
+``LIFE_*`` constants in :mod:`repro.engine.table`).
+"""
+
+from __future__ import annotations
+
+from ..bottomup.seminaive import (
+    EvaluationStats,
+    _bound_probe,
+    _compile_plan,
+    _delta_order,
+    _join,
+    _match_args,
+    _rel,
+    _rounds,
+    evaluate,
+)
+from ..obs.trace import (
+    EV_TABLE_ABOLISH,
+    EV_TABLE_INVALIDATE,
+    EV_TABLE_REPAIR_BEGIN,
+    EV_TABLE_REPAIR_END,
+)
+from ..store.codec import thaw_value
+from ..terms import Struct, mkatom
+from .hybrid import _call_goal
+from .table import LIFE_INVALID, LIFE_REDERIVING, LIFE_VALID, frame_call_term
+
+__all__ = ["IncrementalMaintainer", "Materialization", "PredDelta"]
+
+
+def _frame_key(frame):
+    """``(name, arity)`` parsed back out of a frame's indicator."""
+    name, sep, arity = frame.indicator.rpartition("/")
+    if not sep:
+        return None
+    try:
+        return name, int(arity)
+    except ValueError:
+        return None
+
+
+class PredDelta:
+    """The pending net change to one predicate since the last flush.
+
+    ``ops`` maps frozen fact rows to their *last* transition (True =
+    the row became present, False = it became absent).  Last-op-wins is
+    exact under set semantics because the database only emits a delta
+    when a row's presence actually changes, so replaying the final
+    state of each row reproduces the net effect of any assert/retract
+    interleaving.  ``structural`` marks changes row deltas cannot
+    express — a rule clause, a consult replay, ``retract_all``,
+    ``abolish`` — and forces dependent materializations to rebuild.
+    """
+
+    __slots__ = ("ops", "structural")
+
+    def __init__(self):
+        self.ops = {}
+        self.structural = False
+
+
+class Materialization:
+    """A persistent bottom-up image of one root predicate's closure.
+
+    Built from the root's cached :class:`~repro.engine.hybrid.HybridPlan`
+    by evaluating the *full* (non-magic) program cold, over private
+    copies of the plan's fact relations — the plan's own relations
+    alias the live predicate stores and must not be mutated here.
+    Between flushes the image is repaired in place: row deltas stream
+    through the same compiled semi-naive join plans the fixpoint used,
+    so a one-fact update costs a handful of delta joins instead of a
+    re-evaluation.
+
+    ``plans_by_delta`` is the delta-driven plan group of
+    :mod:`repro.bottomup.seminaive`, except that — unlike ``prepare``,
+    which skips pure-EDB body positions because base relations never
+    change mid-fixpoint — it covers *every* body literal: here the EDB
+    is exactly what changes.
+    """
+
+    __slots__ = ("root", "closure", "idb", "relations", "stats",
+                 "plans_by_delta", "rules_by_head")
+
+    def __init__(self, root, plan, closure):
+        self.root = root
+        self.closure = closure
+        self.idb = set(plan.program.idb_predicates)
+        self.stats = EvaluationStats()
+        facts = {key: list(rel) for key, rel in plan.facts.items()}
+        self.relations = evaluate(plan.program, facts, stats=self.stats)
+        relations = self.relations
+        plans_by_delta = {}
+        rules_by_head = {}
+        for rule in plan.program.rules:
+            head_key = (rule.head_pred, len(rule.head_args))
+            full = _rel(relations, head_key)
+            rules_by_head.setdefault(head_key, []).append(rule)
+            for index, literal in enumerate(rule.body):
+                body_key = (literal[1], len(literal[2]))
+                order = _delta_order(rule, index)
+                compiled = _compile_plan(rule, order, relations)
+                plans_by_delta.setdefault(body_key, []).append(
+                    (rule, index, order, compiled, full, head_key)
+                )
+        self.plans_by_delta = plans_by_delta
+        self.rules_by_head = rules_by_head
+
+    def rel_key_for(self, key):
+        """The relation a predicate's *base facts* live in.
+
+        Facts of a predicate that also has rules sit under the
+        ``$edb`` alias (fed to the original name by the plan's bridge
+        rule); everything else is stored under its own name.
+        """
+        alias = (key[0] + "$edb", key[1])
+        if alias in self.relations:
+            return alias
+        return key
+
+    def can_accept(self, key):
+        """Can a base-fact delta for ``key`` be expressed here?
+
+        A rule-defined predicate with no ``$edb`` alias had no facts
+        when the plan was translated; a fact asserted to it now has no
+        relation to land in, so the materialization must rebuild.
+        """
+        if key in self.idb:
+            return (key[0] + "$edb", key[1]) in self.relations
+        return True
+
+    def insert(self, rows_by_key):
+        """Semi-naive delta insertion; returns base rows actually new."""
+        relations = self.relations
+        deltas = {}
+        added = 0
+        for key, rows in rows_by_key.items():
+            rel_key = self.rel_key_for(key)
+            full = _rel(relations, rel_key)
+            fresh = [row for row in rows if full.add(row)]
+            if fresh:
+                added += len(fresh)
+                deltas[rel_key] = fresh
+        if deltas:
+            _rounds(self.plans_by_delta, deltas, relations, self.stats)
+        return added
+
+    def delete(self, rows_by_key):
+        """DRed: over-delete, re-derive survivors, re-insert.
+
+        Returns ``(removed, rederived)``: base rows actually removed,
+        and over-deleted derived rows put back because an alternative
+        derivation (not using any deleted fact) still supports them.
+        """
+        relations = self.relations
+        plans_by_delta = self.plans_by_delta
+        stats = self.stats
+        # Over-deletion, round by round.  Each round joins its deltas
+        # *before* removing them — standard semi-naive form: every
+        # consequence must be found while the supporting rows are still
+        # in the relations the other body literals probe.  ``scheduled``
+        # (insertion-ordered) prevents re-queueing a row and remembers
+        # everything over-deleted for the re-derivation pass.
+        scheduled = {}
+        deltas = {}
+        removed = 0
+        for key, rows in rows_by_key.items():
+            rel_key = self.rel_key_for(key)
+            relation = relations.get(rel_key)
+            if relation is None:
+                continue
+            present = [row for row in rows if row in relation]
+            if present:
+                removed += len(present)
+                deltas[rel_key] = present
+                scheduled[rel_key] = dict.fromkeys(present)
+        while deltas:
+            stats.iterations += 1
+            derived = {}
+            for body_key, rows in deltas.items():
+                for rule, index, order, compiled, full, head_key in \
+                        plans_by_delta.get(body_key, ()):
+                    out = []
+                    if compiled is not None:
+                        compiled(rows, out.append)
+                        stats.derivations += len(out)
+                    else:
+                        _join(rule, index, relations, body_key, rows,
+                              stats, out, order=order)
+                    if out:
+                        derived.setdefault(head_key, []).extend(out)
+            for rel_key, rows in deltas.items():
+                relation = relations[rel_key]
+                for row in rows:
+                    relation.remove(row)
+            deltas = {}
+            for head_key, rows in derived.items():
+                relation = relations.get(head_key)
+                if relation is None:
+                    continue
+                seen = scheduled.setdefault(head_key, {})
+                fresh = []
+                for row in rows:
+                    if row not in seen and row in relation:
+                        seen[row] = None
+                        fresh.append(row)
+                if fresh:
+                    deltas[head_key] = fresh
+        # Re-derivation: an over-deleted IDB row with a derivation in
+        # the post-deletion state comes back; semi-naive insertion then
+        # restores everything transitively derivable from the
+        # re-admitted rows.
+        back = {}
+        rederived = 0
+        for key, rows in scheduled.items():
+            if key not in self.idb:
+                continue
+            rules = self.rules_by_head.get(key, ())
+            alive = [row for row in rows
+                     if any(self._derives(rule, row) for rule in rules)]
+            if alive:
+                back[key] = alive
+        deltas = {}
+        for key, rows in back.items():
+            full = relations[key]
+            fresh = [row for row in rows if full.add(row)]
+            if fresh:
+                rederived += len(fresh)
+                deltas[key] = fresh
+        if deltas:
+            _rounds(plans_by_delta, deltas, relations, stats)
+        return removed, rederived
+
+    def _derives(self, rule, row):
+        """Does ``rule`` derive ``row`` in the current relations?"""
+        bindings = {}
+        added = _match_args(rule.head_args, row, bindings)
+        if added is None:
+            return False
+        return self._satisfy(rule.body, 0, bindings)
+
+    def _satisfy(self, body, step, bindings):
+        if step == len(body):
+            return True
+        _, pred, args, _ = body[step]
+        relation = self.relations.get((pred, len(args)))
+        if relation is None:
+            return False
+        positions, key = _bound_probe(args, bindings)
+        for candidate in relation.probe(positions, key):
+            added = _match_args(args, candidate, bindings)
+            if added is None:
+                continue
+            if self._satisfy(body, step + 1, bindings):
+                for var in added:
+                    del bindings[var]
+                return True
+            for var in added:
+                del bindings[var]
+        return False
+
+
+class IncrementalMaintainer:
+    """The engine's delta sink and flush driver.
+
+    Installed as ``Database.delta_sink`` when incremental maintenance
+    is on: every mutation site in :mod:`repro.engine.database` reports
+    here (``record_*``), deltas accumulate lazily, and the machine
+    flushes at the next *top-level* query boundary — mid-run semantics
+    are untouched, and a mutation burst costs one maintenance pass
+    however many updates it batches.
+    """
+
+    __slots__ = ("engine", "pending", "dirty", "materializations")
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.pending = {}
+        self.dirty = False
+        self.materializations = {}
+
+    # -- the sink API (called from repro.engine.database) -------------------
+
+    def _delta(self, key):
+        delta = self.pending.get(key)
+        if delta is None:
+            delta = self.pending[key] = PredDelta()
+        self.dirty = True
+        stats = self.engine.stats
+        if stats.enabled:
+            stats.incr_deltas += 1
+        return delta
+
+    def record_insert(self, key, row):
+        """One ground fact became present."""
+        delta = self._delta(key)
+        if not delta.structural:
+            delta.ops[row] = True
+
+    def record_remove(self, key, row):
+        """One ground fact became absent."""
+        delta = self._delta(key)
+        if not delta.structural:
+            delta.ops[row] = False
+
+    def record_insert_many(self, key, rows):
+        """A bulk ingest batch became present (counts as one delta)."""
+        delta = self._delta(key)
+        if not delta.structural:
+            ops = delta.ops
+            for row in rows:
+                ops[row] = True
+
+    def record_structural(self, key):
+        """A change row deltas cannot express (rule, replay, abolish)."""
+        delta = self._delta(key)
+        delta.structural = True
+        delta.ops.clear()
+
+    # -- the flush (called by the machine at the query boundary) ------------
+
+    def flush(self):
+        """Drain pending deltas and bring the table space up to date."""
+        pending = self.pending
+        self.dirty = False
+        if not pending:
+            return
+        self.pending = {}
+        engine = self.engine
+        stats = engine.stats
+        if stats.enabled:
+            stats.incr_flushes += 1
+        else:
+            stats = None
+        tracer = engine.tracer
+        trace = tracer if tracer is not None and tracer.enabled else None
+        tables = engine.tables
+        if self.materializations:
+            self._update_materializations(pending, stats)
+        completed = [f for f in tables.all_frames() if f.complete]
+        if not completed:
+            return
+        changed = frozenset(pending)
+        affected, universe = engine.db.analysis.affected_keys(changed)
+        by_root = {}
+        doomed = []
+        kept = 0
+        for frame in completed:
+            key = _frame_key(frame)
+            if key is None:
+                doomed.append(frame)
+            elif universe or key in affected:
+                by_root.setdefault(key, []).append(frame)
+            else:
+                kept += 1
+        for key, frames in by_root.items():
+            kept += self._maintain_root(
+                key, frames, pending, changed, stats, trace, tables
+            )
+        for frame in doomed:
+            self._invalidate(frame, stats, trace)
+            self._abolish(frame, stats, trace, tables)
+        if stats is not None:
+            stats.incr_tables_kept += kept
+
+    def _update_materializations(self, pending, stats):
+        """Apply (or give up on) the flush's deltas, mat by mat.
+
+        A materialization survives only if every pending change inside
+        its closure is a row delta it can express; otherwise it is
+        discarded and the next repair of its root rebuilds it cold —
+        which still repairs the root's tables, just without the delta
+        shortcut.
+        """
+        for root, mat in list(self.materializations.items()):
+            touched = [key for key in mat.closure if key in pending]
+            if not touched:
+                continue
+            if any(pending[key].structural for key in touched) or not all(
+                mat.can_accept(key) for key in touched
+            ):
+                del self.materializations[root]
+                continue
+            removals = {}
+            inserts = {}
+            for key in touched:
+                dead = []
+                live = []
+                for row, alive in pending[key].ops.items():
+                    (live if alive else dead).append(row)
+                if dead:
+                    removals[key] = dead
+                if live:
+                    inserts[key] = live
+            if removals:
+                removed, rederived = mat.delete(removals)
+                if stats is not None:
+                    stats.incr_rows_deleted += removed
+                    stats.incr_rederived += rederived
+            if inserts:
+                added = mat.insert(inserts)
+                if stats is not None:
+                    stats.incr_rows_inserted += added
+
+    def _maintain_root(self, key, frames, pending, changed, stats, trace,
+                       tables):
+        """Repair, keep, or abolish one root's completed frames.
+
+        Returns how many of them stayed valid (proven independent by
+        the plan's exact closure — a refinement over the call-graph
+        reach that put them in the affected set).
+        """
+        engine = self.engine
+        mat = self.materializations.get(key)
+        if mat is None:
+            pred = engine.db.predicates.get(key)
+            if pred is None:
+                plan = None
+            else:
+                plan = engine.db.analysis.hybrid_plan(engine, pred)
+            if plan is None:
+                # Outside the datalog-safe fragment (builtins, negation,
+                # non-ground answers) or undefined: targeted abolish.
+                for frame in frames:
+                    self._invalidate(frame, stats, trace)
+                    self._abolish(frame, stats, trace, tables)
+                return 0
+            closure = engine.db.analysis.plan_closure(key)
+            if closure is None:
+                closure = frozenset((key,))
+            if not (changed & closure):
+                return len(frames)
+            # Built *after* the mutations landed, so this flush's
+            # deltas are already reflected; structural changes are fine
+            # here — the rebuilt plan carries the new rules.
+            mat = self.materializations[key] = Materialization(
+                key, plan, closure
+            )
+        elif not (changed & mat.closure):
+            return len(frames)
+        for frame in frames:
+            self._invalidate(frame, stats, trace)
+            self._repair(frame, key, mat, stats, trace, tables)
+        return 0
+
+    def _repair(self, frame, key, mat, stats, trace, tables):
+        """Re-install one frame's answers from its materialization."""
+        name, arity = key
+        frame.lifecycle = LIFE_REDERIVING
+        if trace is not None:
+            trace.event(EV_TABLE_REPAIR_BEGIN, frame)
+        goal = _call_goal(frame_call_term(frame), arity)
+        if goal is None:
+            # A call the bottom-up image cannot express (partially
+            # instantiated structure argument): targeted abolish.
+            self._abolish(frame, stats, trace, tables)
+            return
+        goal_args, repeated = goal
+        relation = mat.relations.get(key)
+        if relation is None:
+            rows = []
+        else:
+            checks = [(i, g) for i, g in enumerate(goal_args) if g is not None]
+            rows = relation.probe(
+                tuple(i for i, _ in checks), tuple(g for _, g in checks)
+            )
+        if repeated:
+            rows = [
+                row
+                for row in rows
+                if all(
+                    row[group[0]] == row[i]
+                    for group in repeated
+                    for i in group[1:]
+                )
+            ]
+        else:
+            # ``probe`` with no bound positions returns the live row
+            # list; the frame's answer store must own its sequence.
+            rows = list(rows)
+        if arity == 0:
+            answers = [mkatom(name)] if rows else []
+            rows = [()] if rows else []
+        else:
+            answers = [
+                Struct(name, tuple(thaw_value(v) for v in row))
+                for row in rows
+            ]
+        tables.space_live -= frame.reset_answers()
+        count = frame.add_answers_bulk(answers, rows=rows)
+        tables.note_bulk_answers(count)
+        frame.lifecycle = LIFE_VALID
+        if stats is not None:
+            stats.incr_tables_repaired += 1
+        if trace is not None:
+            trace.event(EV_TABLE_REPAIR_END, frame, count)
+
+    def _invalidate(self, frame, stats, trace):
+        frame.lifecycle = LIFE_INVALID
+        if stats is not None:
+            stats.incr_tables_invalidated += 1
+        if trace is not None:
+            trace.event(EV_TABLE_INVALIDATE, frame)
+
+    def _abolish(self, frame, stats, trace, tables):
+        tables.delete(frame)
+        if stats is not None:
+            stats.incr_tables_abolished += 1
+        if trace is not None:
+            trace.event(EV_TABLE_ABOLISH, frame)

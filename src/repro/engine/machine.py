@@ -416,6 +416,15 @@ class Machine:
         """Generator of solutions (True per solution; read bindings from
         the goal's variables while the generator is suspended)."""
         engine = self.engine
+        if self.depth == 0:
+            # Top-level query boundary: drain any update deltas and
+            # bring completed tables up to date (repair / keep /
+            # targeted abolish) before the run snapshots table state.
+            # Nested machines never flush — mid-run semantics are the
+            # immediate-update semantics the SLG kernels already have.
+            maintainer = getattr(engine, "incremental", None)
+            if maintainer is not None and maintainer.dirty:
+                maintainer.flush()
         trail = self.trail
         self.base_mark = trail.mark()
         # The goal chain ends in a $yield node rather than None so that

@@ -28,11 +28,24 @@ __all__ = [
     "TableSpace",
     "INCOMPLETE",
     "COMPLETE",
+    "LIFE_VALID",
+    "LIFE_INVALID",
+    "LIFE_REDERIVING",
     "frame_call_term",
 ]
 
 INCOMPLETE = "incomplete"
 COMPLETE = "complete"
+
+# The maintenance lifecycle of a *completed* table under update
+# (repro.engine.incremental).  Orthogonal to ``state``: a frame is
+# ``valid`` while its answers agree with the current clause set,
+# ``invalid`` once a flush proves a changed predicate reachable from
+# it, and ``re-deriving`` while the semi-naive delta repair is
+# rebuilding its answer set — after which it is ``valid`` again.
+LIFE_VALID = "valid"
+LIFE_INVALID = "invalid"
+LIFE_REDERIVING = "re-deriving"
 
 
 def frame_call_term(frame, variables=None):
@@ -99,6 +112,7 @@ class SubgoalFrame:
         "negation_delayed",
         "scc_id",
         "scc_reach",
+        "lifecycle",
     )
 
     def __init__(self, key, indicator, use_trie=False, seq=0):
@@ -141,6 +155,7 @@ class SubgoalFrame:
         # reach (None = unknown/unbounded, merge conservatively).
         self.scc_id = -1
         self.scc_reach = None
+        self.lifecycle = LIFE_VALID
 
     # -- answers ------------------------------------------------------------
 
@@ -207,6 +222,27 @@ class SubgoalFrame:
         if rows is not None and self.answer_store is not None:
             self.answer_store.rows.extend(rows)
         return len(terms)
+
+    def reset_answers(self):
+        """Drop every stored answer, keeping the frame checked in.
+
+        The incremental repair path (:mod:`repro.engine.incremental`)
+        empties a stale completed table and bulk re-installs the
+        repaired answer set; the frame object — and hence its key,
+        sequence number and registry identity — survives, so variant
+        hits, trace labels and profile spans keep working across the
+        repair.  Returns the number of answers dropped (the caller
+        adjusts the table-space gauge).
+        """
+        dropped = len(self.answers)
+        self.answers = []
+        self.answer_ground = []
+        if self.answer_trie is not None:
+            self.answer_trie = AnswerTrie()
+        else:
+            self.answer_store = MemoryTupleStore(self.indicator, None)
+            self.answer_keys = self.answer_store.tuples
+        return dropped
 
     def answer_count(self):
         return len(self.answers)

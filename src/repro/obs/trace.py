@@ -45,6 +45,10 @@ __all__ = [
     "EV_COMPLETE",
     "EV_HYBRID_ROUTE",
     "EV_HYBRID_FALLBACK",
+    "EV_TABLE_INVALIDATE",
+    "EV_TABLE_REPAIR_BEGIN",
+    "EV_TABLE_REPAIR_END",
+    "EV_TABLE_ABOLISH",
 ]
 
 # Interned kind strings: comparisons and dict probes on them are
@@ -59,6 +63,15 @@ EV_RESUME = "resume"                  # completion fixpoint woke a consumer
 EV_COMPLETE = "complete"              # frame marked complete
 EV_HYBRID_ROUTE = "hybrid_route"      # subgoal evaluated set-at-a-time
 EV_HYBRID_FALLBACK = "hybrid_fallback"  # hybrid precondition failed
+# Incremental table maintenance (repro.engine.incremental): a flush
+# marks affected completed tables invalid, then either repairs each
+# through the semi-naive delta machinery (the begin/end pair brackets
+# the repair span; end's detail is the reinstalled answer count) or
+# drops it with a targeted abolish.
+EV_TABLE_INVALIDATE = "table_invalidate"      # completed table marked stale
+EV_TABLE_REPAIR_BEGIN = "table_repair_begin"  # delta repair span opens
+EV_TABLE_REPAIR_END = "table_repair_end"      # repair done (detail = answers)
+EV_TABLE_ABOLISH = "table_abolish"            # targeted drop (not repairable)
 
 EVENT_KINDS = (
     EV_SUBGOAL_MISS,
@@ -71,6 +84,10 @@ EVENT_KINDS = (
     EV_COMPLETE,
     EV_HYBRID_ROUTE,
     EV_HYBRID_FALLBACK,
+    EV_TABLE_INVALIDATE,
+    EV_TABLE_REPAIR_BEGIN,
+    EV_TABLE_REPAIR_END,
+    EV_TABLE_ABOLISH,
 )
 
 DEFAULT_CAPACITY = 65536

@@ -87,6 +87,29 @@ The counters:
     and the number of batches; each batch costs one database probe,
     one mutation stamp and one index build however many facts it
     carries.
+``incr_deltas`` / ``incr_flushes``
+    Typed per-predicate update deltas recorded by assert/retract/bulk
+    ingest while incremental table maintenance
+    (:mod:`repro.engine.incremental`) is on, and the number of
+    query-boundary flushes that drained a non-empty delta set.
+``incr_tables_invalidated`` / ``incr_tables_kept``
+    Completed tables a flush marked stale because the analysis
+    registry's call graph reaches a changed predicate, vs. completed
+    tables that kept their ``valid`` stamp because the affected-table
+    closure proved them independent of every change.
+``incr_tables_repaired`` / ``incr_tables_abolished``
+    Invalidated tables repaired in place through the semi-naive delta
+    machinery (DRed over-deletion + re-derivation for retracts,
+    delta-driven insertion for asserts) with their answers bulk
+    re-installed, vs. tables dropped by a *targeted* abolish (never
+    global) because their predicate leaves the datalog-safe fragment,
+    depends through negation, or saw a structural (rule-level) change.
+``incr_rows_inserted`` / ``incr_rows_deleted``
+    Net fact rows applied to incremental materializations by delta
+    insertion and DRed deletion.
+``incr_rederived``
+    Over-deleted tuples put back by the DRed re-derivation pass (each
+    had an alternative derivation not using a deleted fact).
 
 The ``store_*`` keys are aggregated over every live
 :class:`~repro.store.TupleStore` the engine owns (predicate fact
@@ -128,6 +151,15 @@ _FIELDS = (
     "objcache_invalid",
     "load_bulk_facts",
     "load_bulk_batches",
+    "incr_deltas",
+    "incr_flushes",
+    "incr_tables_invalidated",
+    "incr_tables_kept",
+    "incr_tables_repaired",
+    "incr_tables_abolished",
+    "incr_rows_inserted",
+    "incr_rows_deleted",
+    "incr_rederived",
 )
 
 # Keys accepted by statistics/2.  The table-space keys (answers,

@@ -42,6 +42,7 @@ goals end with '.'; ';' asks for more solutions
   trace_control(on).  start SLG tracing + profiling (off/clear/dump(F)/chrome(F))
   :profile            print the per-subgoal profile report
   :analyze p/N        print the analysis-registry summary for p/N
+  :tables             list tables with their maintenance lifecycle
   :help               this text
 """
 
@@ -137,11 +138,39 @@ class Toplevel:
                 self._write("usage: :analyze name/arity\n")
             else:
                 self._write(self.engine.analyze(name, int(arity)) + "\n")
+        elif command == "tables":
+            self._write(self._format_tables())
         elif command == "help":
             self._write(HELP_TEXT)
         else:
             self._write(f"unknown command :{command} — try :help\n")
         return True
+
+    def _format_tables(self):
+        """The ``:tables`` listing: every subgoal frame with its SLG
+        state and its incremental-maintenance lifecycle (valid /
+        invalid / re-deriving), plus how many update deltas are
+        waiting for the next query-boundary flush."""
+        engine = self.engine
+        maintainer = engine.incremental
+        if maintainer is None:
+            header = "% tables (incremental maintenance: off)\n"
+        else:
+            pending = len(maintainer.pending)
+            header = (
+                "% tables (incremental maintenance: on, "
+                f"{pending} predicate delta(s) pending)\n"
+            )
+        frames = engine.tables.all_frames()
+        if not frames:
+            return header + "%   (no tables)\n"
+        lines = [header]
+        for frame in sorted(frames, key=lambda f: f.seq):
+            lines.append(
+                f"%   {frame.indicator:<20} {frame.state:<12} "
+                f"{frame.lifecycle:<12} {len(frame.answers)} answers\n"
+            )
+        return "".join(lines)
 
     def run_goal(self, text):
         """Run one goal; prints bindings / yes / no. Returns False on halt."""

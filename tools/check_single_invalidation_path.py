@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI guard: table invalidation flows through exactly one pipeline.
+
+PR 8 replaced wholesale table invalidation with the incremental
+maintenance subsystem (``src/repro/engine/incremental.py``): mutations
+emit typed deltas from ``src/repro/engine/database.py``, and a flush
+decides per table whether to keep, repair, or *targeted*-abolish it.
+That design only stays sound while there is exactly one way for a
+mutation to become an invalidation.  This script fails when, under
+``src/``:
+
+* the identifier ``_GENERATION`` — the process-global mutation
+  generation — is touched outside ``engine/database.py``.  Every
+  mutation site must go through the database layer (which both bumps
+  the generation *and* feeds the delta sink); an ad-hoc bump elsewhere
+  would invalidate analysis caches without producing deltas, silently
+  splitting the two invalidation views.
+
+* ``abolish_all(...)`` is *called* (as an attribute call, i.e.
+  ``something.abolish_all()``) outside the sanctioned modules:
+  ``engine/table.py`` (the definition), ``engine/__init__.py`` (the
+  user-facing ``abolish_all_tables`` facade).  In particular the
+  incremental maintainer itself may never reach for it — its contract
+  is targeted deletes only — and builtins/REPL/storage code must go
+  through the engine facade so the single wholesale entry point stays
+  observable.
+
+Usage: python tools/check_single_invalidation_path.py [src-dir]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+# The only module allowed to own (and bump) the global mutation
+# generation.  Everything else imports mutation_generation().
+GENERATION_ALLOWED = ("engine/database.py",)
+
+# Modules allowed to *call* ``.abolish_all(...)``.  The definition site
+# (table.py) is listed for its own doctests/defaults; the engine facade
+# is the single user-facing wholesale entry point.
+ABOLISH_ALL_ALLOWED = (
+    "engine/table.py",
+    "engine/__init__.py",
+)
+
+
+def _relative(path, src):
+    try:
+        return path.relative_to(src / "repro").as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_file(path, rel):
+    problems = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    generation_ok = rel.startswith(GENERATION_ALLOWED)
+    abolish_ok = rel.startswith(ABOLISH_ALL_ALLOWED)
+    for node in ast.walk(tree):
+        if (
+            not generation_ok
+            and isinstance(node, ast.Name)
+            and node.id == "_GENERATION"
+        ):
+            problems.append(
+                f"{path}:{node.lineno}: '_GENERATION' outside "
+                "engine/database.py — mutations must go through the "
+                "database layer so deltas and generation stamps stay "
+                "in sync"
+            )
+        if (
+            not abolish_ok
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "abolish_all"
+        ):
+            problems.append(
+                f"{path}:{node.lineno}: '.abolish_all()' call outside "
+                f"{', '.join(ABOLISH_ALL_ALLOWED)} — table invalidation "
+                "is incremental (keep / repair / targeted abolish); "
+                "wholesale reclamation goes through "
+                "Engine.abolish_all_tables"
+            )
+    return problems
+
+
+def main(argv):
+    src = pathlib.Path(argv[1] if len(argv) > 1 else "src")
+    problems = []
+    for path in sorted(src.rglob("*.py")):
+        problems.extend(check_file(path, _relative(path, src)))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"{len(problems)} invalidation-path problem(s); the global "
+            "generation lives in engine/database.py and wholesale table "
+            "reclamation in Engine.abolish_all_tables only",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "ok: mutation generation confined to engine/database.py; no "
+        "ad-hoc abolish_all calls outside the sanctioned entry points"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
