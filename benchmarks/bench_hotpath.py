@@ -363,14 +363,17 @@ SERIES = {
 }
 
 
-def run_all(repeat=3, names=None, counters=None):
+def run_all(repeat=3, names=None, counters=None, metrics=None):
     """Best-of-``repeat`` seconds per series; checks result counts.
 
     Pass a dict as ``counters`` to also collect each series engine's
     ``statistics()`` snapshot (taken after the last repeat, so counts
-    accumulate over all ``repeat`` runs).  The getattr guard keeps the
-    script runnable against before-trees that predate the statistics
-    layer.
+    accumulate over all ``repeat`` runs).  Pass a dict as ``metrics``
+    to collect each series engine's ``metrics_snapshot()`` — non-empty
+    only when the engine ran with ``REPRO_METRICS=1``, embedding the
+    per-series query-latency percentiles in the bench JSON.  The
+    getattr guards keep the script runnable against before-trees that
+    predate the statistics/metrics layers.
     """
     results = {}
     for name, fn in SERIES.items():
@@ -384,6 +387,12 @@ def run_all(repeat=3, names=None, counters=None):
             statistics = getattr(_LAST_ENGINE, "statistics", None)
             if statistics is not None:
                 counters[name] = statistics()
+        if metrics is not None and _LAST_ENGINE is not None:
+            snapshot = getattr(_LAST_ENGINE, "metrics_snapshot", None)
+            if snapshot is not None:
+                snap = snapshot()
+                if snap:
+                    metrics[name] = snap
     return results
 
 
@@ -433,14 +442,19 @@ if __name__ == "__main__":
             f"(choose from {', '.join(SERIES)})"
         )
     counters = {}
+    metrics = {}
     timings = run_all(
-        repeat=options.repeat, names=options.series or None, counters=counters
+        repeat=options.repeat, names=options.series or None,
+        counters=counters, metrics=metrics,
     )
     for name, seconds in timings.items():
         print(f"{name:24s} {seconds * 1e3:10.3f} ms")
     if options.out:
+        kwargs = {}
+        if metrics:
+            kwargs["metrics"] = metrics
         write_json_results(
             options.out, timings, meta={"repeat": options.repeat},
-            counters=counters or None,
+            counters=counters or None, **kwargs,
         )
         print(f"wrote {options.out}")

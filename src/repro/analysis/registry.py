@@ -117,6 +117,7 @@ class AnalysisRegistry:
         "_plans",
         "_modes",
         "_wfs",
+        "observer",
     )
 
     def __init__(self, db):
@@ -135,6 +136,9 @@ class AnalysisRegistry:
         self._plans = {}
         self._modes = {}
         self._wfs = None
+        # The engine's span recorder (repro.obs.spans), set when
+        # metrics or tracing are enabled; rebuilds report through it.
+        self.observer = None
 
     # -- stages 1–3: call graph, SCCs, reachability --------------------
 
@@ -151,7 +155,23 @@ class AnalysisRegistry:
                 return state
             self.invalidations += 1
         self.misses += 1
-        state = self._build_graph(generation)
+        observer = self.observer
+        if observer is not None:
+            from ..obs.spans import STAGE_ANALYSIS
+
+            token = observer.begin(STAGE_ANALYSIS, label="analysis:graph")
+            try:
+                state = self._build_graph(generation)
+            finally:
+                observer.end(token, detail=len(self.db.predicates))
+            from ..obs.trace import EV_ANALYSIS_REBUILD
+
+            observer.point(
+                EV_ANALYSIS_REBUILD, label="analysis_rebuild",
+                detail=len(self.db.predicates),
+            )
+        else:
+            state = self._build_graph(generation)
         self._graph = state
         return state
 
@@ -425,7 +445,25 @@ class AnalysisRegistry:
                 return cache[1]
             self.invalidations += 1
         self.misses += 1
-        snapshot, plan = self._build_plan(engine, pred)
+        observer = self.observer
+        if observer is not None:
+            from ..obs.spans import STAGE_ANALYSIS
+            from ..obs.trace import EV_ANALYSIS_REBUILD
+
+            token = observer.begin(
+                STAGE_ANALYSIS, label=f"analysis:plan {key[0]}/{key[1]}"
+            )
+            try:
+                snapshot, plan = self._build_plan(engine, pred)
+            finally:
+                observer.end(token)
+            observer.point(
+                EV_ANALYSIS_REBUILD,
+                label=f"analysis_rebuild {key[0]}/{key[1]}",
+                detail=len(snapshot),
+            )
+        else:
+            snapshot, plan = self._build_plan(engine, pred)
         self._plans[key] = (snapshot, plan, generation)
         return plan
 

@@ -123,7 +123,8 @@ def _git_commit():
     return out.stdout.strip() or "unknown"
 
 
-def write_json_results(path, results, meta=None, counters=None):
+def write_json_results(path, results, meta=None, counters=None,
+                       metrics=None):
     """Persist benchmark timings for later comparison.
 
     ``results`` maps series name to seconds (floats).  The interpreter
@@ -134,7 +135,10 @@ def write_json_results(path, results, meta=None, counters=None):
     ``Engine.statistics()`` dict per series — stored alongside the
     timings so a perf regression can be diagnosed from the committed
     record (did clause_candidates blow up, or did wall time move on
-    its own?).  Returns the payload written.
+    its own?).  ``metrics`` (optional) is a mapping of
+    ``Engine.metrics_snapshot()`` dicts per series, embedding the
+    latency/answer histograms (with p50/p90/p99) next to the best-of
+    wall times.  Returns the payload written.
     """
     from ..store import backend_name
 
@@ -159,6 +163,10 @@ def write_json_results(path, results, meta=None, counters=None):
     if counters is not None:
         payload["counters"] = {
             name: dict(snapshot) for name, snapshot in counters.items()
+        }
+    if metrics is not None:
+        payload["metrics"] = {
+            name: dict(snapshot) for name, snapshot in metrics.items()
         }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

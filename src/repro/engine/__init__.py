@@ -27,7 +27,18 @@ from ..terms import (
     mkatom,
     resolve,
 )
-from ..obs import Profiler, SubgoalRegistry, Tracer
+from ..obs import (
+    MetricsRegistry,
+    Profiler,
+    SpanRecorder,
+    SubgoalRegistry,
+    Tracer,
+)
+from ..obs.spans import (
+    STAGE_CONSULT,
+    STAGE_PARSE,
+    STAGE_SLG,
+)
 from ..perf import EngineStats
 from ..terms.rename import copy_term
 from .builtins import default_registry
@@ -130,6 +141,14 @@ class Engine:
         aggregated by :meth:`profile_report`.  ``None`` (default)
         follows ``trace``, so ``REPRO_TRACE=1`` lights up the whole
         observability layer at once.
+    metrics:
+        keep the query-level metrics registry (:mod:`repro.obs.metrics`)
+        live: every top-level query runs under a root span with child
+        spans per subsystem stage, and latency / answers / table-space
+        histograms accumulate for :meth:`metrics_snapshot` and the
+        ``write_metrics/2`` exposition builtin.  ``None`` (default)
+        reads ``REPRO_METRICS`` (unset/``0``/``false``/``off``
+        disables; on otherwise).
     objcache:
         serve :meth:`consult_file` from the hashed compiled-program
         cache (:mod:`repro.storage.objcache` — the section 4.6
@@ -169,6 +188,7 @@ class Engine:
         compile_warmup=None,
         trace=None,
         profile=None,
+        metrics=None,
         objcache=None,
         objcache_dir=None,
         incremental=None,
@@ -233,6 +253,12 @@ class Engine:
         self._obs_registry = SubgoalRegistry(render=self._render_subgoal)
         self.tracer = None
         self.profiler = None
+        self.spans = None
+        if metrics is None:
+            metrics = os.environ.get("REPRO_METRICS", "0").lower() not in (
+                "0", "false", "off", ""
+            )
+        self.metrics = MetricsRegistry() if metrics else None
         if trace:
             self.enable_trace(
                 capacity=trace if isinstance(trace, int)
@@ -240,6 +266,8 @@ class Engine:
             )
         if profile:
             self.enable_profile()
+        if self.metrics is not None:
+            self._ensure_spans()
         self.counting = False
         self.call_counts = {}
         self.log_subgoals = False
@@ -251,7 +279,16 @@ class Engine:
         """Consult program text (clauses and directives)."""
         from ..lang.reader import ProgramReader
 
-        ProgramReader(self).consult(text)
+        spans = self.spans
+        token = (
+            spans.begin(STAGE_CONSULT, label="consult:<string>")
+            if spans is not None else None
+        )
+        try:
+            ProgramReader(self).consult(text)
+        finally:
+            if spans is not None:
+                spans.end(token)
         return self
 
     def consult_file(self, path):
@@ -267,9 +304,18 @@ class Engine:
         if self.objcache:
             from ..storage.objcache import consult_file_cached
 
-            return consult_file_cached(
-                self, path, cache_dir=self.objcache_dir
+            spans = self.spans
+            token = (
+                spans.begin(STAGE_CONSULT, label=f"consult:{path}")
+                if spans is not None else None
             )
+            try:
+                return consult_file_cached(
+                    self, path, cache_dir=self.objcache_dir
+                )
+            finally:
+                if spans is not None:
+                    spans.end(token)
         with open(path, "r", encoding="utf-8") as handle:
             return self.consult_string(handle.read())
 
@@ -351,6 +397,14 @@ class Engine:
         if stats.enabled:
             stats.load_bulk_facts += added
             stats.load_bulk_batches += 1
+        spans = self.spans
+        if spans is not None:
+            from ..obs import EV_BULK_INGEST
+
+            spans.point(
+                EV_BULK_INGEST, label=f"bulk:{name}/{arity}", detail=added
+            )
+            spans.observe("bulk_ingest_rows", added)
         return added
 
     def assertz(self, text):
@@ -433,6 +487,17 @@ class Engine:
         returned.  Closing the iterator abandons the run and reclaims
         any tables it left incomplete.
         """
+        spans = self.spans
+        if spans is not None:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                return self._query_iter_metered(goal, raw, spans)
+            metrics = self.metrics
+            if metrics is not None and metrics.enabled:
+                return self._query_iter_fast(goal, raw, spans)
+        return self._query_iter_plain(goal, raw)
+
+    def _query_iter_plain(self, goal, raw):
         term, varmap = self._goal_and_vars(goal)
         machine = Machine(self, MODE_QUERY)
         for _ in machine.solve(term):
@@ -444,6 +509,67 @@ class Engine:
                 yield {
                     name: term_to_python(var) for name, var in varmap.items()
                 }
+
+    def _query_iter_fast(self, goal, raw, spans):
+        """Metrics-only query iterator: two clock reads per query (no
+        child spans — there is no trace timeline to draw), observing
+        latency and answer count when the generator closes."""
+        started = spans.clock()
+        answers = 0
+        try:
+            term, varmap = self._goal_and_vars(goal)
+            machine = Machine(self, MODE_QUERY)
+            for _ in machine.solve(term):
+                answers += 1
+                if raw:
+                    yield {
+                        name: copy_term(var)
+                        for name, var in varmap.items()
+                    }
+                else:
+                    yield {
+                        name: term_to_python(var)
+                        for name, var in varmap.items()
+                    }
+        finally:
+            spans.end_query_fast(started, answers)
+
+    def _query_iter_metered(self, goal, raw, spans):
+        """The query iterator under a root span: parse and SLG child
+        spans, then latency / answers / table-space observations when
+        the generator closes.  Latency is wall time from first demand
+        to exhaustion or close — consumer time between solutions is
+        included, which is what a service-level latency means."""
+        label = goal if isinstance(goal, str) else None
+        root = spans.begin_query(
+            label=f"?- {label.strip()}" if label is not None else "?- <term>"
+        )
+        answers = 0
+        try:
+            token = spans.begin(STAGE_PARSE)
+            try:
+                term, varmap = self._goal_and_vars(goal)
+            finally:
+                spans.end(token)
+            machine = Machine(self, MODE_QUERY)
+            token = spans.begin(STAGE_SLG)
+            try:
+                for _ in machine.solve(term):
+                    answers += 1
+                    if raw:
+                        yield {
+                            name: copy_term(var)
+                            for name, var in varmap.items()
+                        }
+                    else:
+                        yield {
+                            name: term_to_python(var)
+                            for name, var in varmap.items()
+                        }
+            finally:
+                spans.end(token, detail=answers)
+        finally:
+            spans.end_query(root, answers)
 
     def query(self, goal, limit=None, raw=False):
         """All solutions (or the first ``limit``) as a list of dicts."""
@@ -468,6 +594,24 @@ class Engine:
 
     def count(self, goal):
         """Number of solutions (drains the query)."""
+        spans = self.spans
+        if spans is not None:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                return self._count_traced(goal, spans)
+            metrics = self.metrics
+            if metrics is not None and metrics.enabled:
+                # metrics-only fast path: root measurements, no spans
+                started = spans.clock()
+                total = 0
+                try:
+                    term, _ = self._goal_and_vars(goal)
+                    machine = Machine(self, MODE_QUERY)
+                    for _ in machine.solve(term):
+                        total += 1
+                finally:
+                    spans.end_query_fast(started, total)
+                return total
         machine = Machine(self, MODE_QUERY)
         term, _ = self._goal_and_vars(goal)
         total = 0
@@ -475,9 +619,52 @@ class Engine:
             total += 1
         return total
 
+    def _count_traced(self, goal, spans):
+        label = goal if isinstance(goal, str) else None
+        root = spans.begin_query(
+            label=f"?- {label.strip()}" if label is not None else "?- <term>"
+        )
+        total = 0
+        try:
+            token = spans.begin(STAGE_PARSE)
+            try:
+                term, _ = self._goal_and_vars(goal)
+            finally:
+                spans.end(token)
+            machine = Machine(self, MODE_QUERY)
+            token = spans.begin(STAGE_SLG)
+            try:
+                for _ in machine.solve(term):
+                    total += 1
+            finally:
+                spans.end(token, detail=total)
+        finally:
+            spans.end_query(root, total)
+        return total
+
     def run_goal(self, term):
         """Run a goal term once for its side effects; True on success."""
+        spans = self.spans
         machine = Machine(self, MODE_QUERY)
+        if spans is not None:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                return self._run_goal_traced(term, spans, machine)
+            metrics = self.metrics
+            if metrics is not None and metrics.enabled:
+                started = spans.clock()
+                found = False
+                try:
+                    gen = machine.solve(term)
+                    try:
+                        for _ in gen:
+                            found = True
+                            break
+                    finally:
+                        gen.close()
+                finally:
+                    spans.end_query_fast(started, int(found))
+                return found
         gen = machine.solve(term)
         try:
             for _ in gen:
@@ -485,6 +672,23 @@ class Engine:
             return False
         finally:
             gen.close()
+
+    def _run_goal_traced(self, term, spans, machine):
+        root = spans.begin_query(label="?- <goal>")
+        found = False
+        try:
+            token = spans.begin(STAGE_SLG)
+            gen = machine.solve(term)
+            try:
+                for _ in gen:
+                    found = True
+                    break
+            finally:
+                gen.close()
+                spans.end(token, detail=int(found))
+        finally:
+            spans.end_query(root, int(found))
+        return found
 
     # -- instrumentation / maintenance ----------------------------------------------
 
@@ -526,6 +730,14 @@ class Engine:
 
         return term_to_str(frame_call_term(frame), self.operators)
 
+    def _ensure_spans(self):
+        """Create the per-query span recorder (idempotent) and hand it
+        to the analysis registry as its rebuild observer."""
+        if self.spans is None:
+            self.spans = SpanRecorder(self)
+        self.db.analysis.observer = self.spans
+        return self.spans
+
     def enable_trace(self, capacity=None):
         """Switch the SLG event tracer on (new runs pick it up)."""
         if self.tracer is None:
@@ -535,6 +747,7 @@ class Engine:
             )
         else:
             self.tracer.enabled = True
+        self._ensure_spans()
         return self
 
     def disable_trace(self):
@@ -574,6 +787,45 @@ class Engine:
         if self.tracer is None:
             raise ValueError("tracing is not enabled on this engine")
         return write_chrome_trace(self.tracer, path_or_file)
+
+    def enable_metrics(self):
+        """Switch the query-level metrics registry on (idempotent)."""
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics.enabled = True
+        self._ensure_spans()
+        return self
+
+    def disable_metrics(self):
+        """Stop recording metrics; collected data stays snapshotable."""
+        if self.metrics is not None:
+            self.metrics.enabled = False
+        return self
+
+    def metrics_snapshot(self):
+        """A JSON-able snapshot of the metrics registry (counters,
+        gauges, histograms with p50/p90/p99); ``{}`` when metrics were
+        never enabled.  Each snapshot takes one fresh ``table_space_
+        bytes`` sample (gauge + histogram observation, scrape-style) —
+        the fast query path only samples every 64th query, so short
+        runs get their table-space distribution here."""
+        if self.metrics is None:
+            return {}
+        if self.spans is not None and self.metrics.enabled:
+            space = self.spans.table_space_bytes()
+            self.metrics.set_gauge("table_space_bytes", space)
+            self.metrics.observe("table_space_bytes", space)
+        return self.metrics.snapshot()
+
+    def write_metrics(self, path_or_file, fmt=None):
+        """Write the metrics snapshot (``fmt`` ``"json"``/
+        ``"prometheus"``; ``None`` infers from a ``.json`` suffix)."""
+        from ..obs import write_metrics
+
+        if self.metrics is None:
+            raise ValueError("metrics are not enabled on this engine")
+        return write_metrics(self.metrics_snapshot(), path_or_file, fmt=fmt)
 
     def profile_report(self):
         """Per-subgoal profile rows (self time, answers, consumers,
@@ -632,6 +884,16 @@ class Engine:
         )
         merged["profile_self_ns"] = (
             profiler.total_self_ns() if profiler is not None else 0
+        )
+        metrics = self.metrics
+        merged["metrics_queries"] = (
+            metrics.counters.get("queries", 0) if metrics is not None else 0
+        )
+        merged["metrics_spans"] = (
+            metrics.counters.get("spans", 0) if metrics is not None else 0
+        )
+        merged["metrics_histograms"] = (
+            len(metrics.histograms) if metrics is not None else 0
         )
         merged.update(self.db.analysis.statistics())
         return merged

@@ -903,6 +903,36 @@ def bi_trace_control(machine, args, goals):
     raise TypeError_("trace_control command", command)
 
 
+def bi_write_metrics(machine, args, goals):
+    """``write_metrics(Format, File)`` — metrics exposition from the
+    language.
+
+    ``Format`` is the atom ``json`` or ``prometheus``; ``File`` an atom
+    path.  Writes the engine's current metrics snapshot (latency /
+    answer / table-space histograms with p50/p90/p99, stage span
+    durations, subsystem counters).  Metrics must be enabled
+    (``REPRO_METRICS=1``, ``Engine(metrics=True)``, or
+    ``enable_metrics``); mirroring ``trace_control(dump(F))``, calling
+    it on a metrics-less engine is an error, not a silent no-op.
+    """
+    engine = machine.engine
+    fmt = deref(args[0])
+    target = deref(args[1])
+    if isinstance(fmt, Var) or isinstance(target, Var):
+        raise InstantiationError("write_metrics/2")
+    if not isinstance(fmt, Atom) or fmt.name not in ("json", "prometheus"):
+        raise TypeError_("write_metrics format (json or prometheus)", fmt)
+    if not isinstance(target, Atom):
+        raise TypeError_("write_metrics file", target)
+    if engine.metrics is None:
+        raise TablingError(
+            "write_metrics/2: metrics are not enabled; construct the "
+            "engine with metrics=True or set REPRO_METRICS=1"
+        )
+    engine.write_metrics(target.name, fmt=fmt.name)
+    return goals.next
+
+
 def bi_statistics0(machine, args, goals):
     """``statistics/0`` — print every counter to the engine's output.
 
@@ -1196,6 +1226,7 @@ def default_registry():
         ("get_returns", 2): bi_get_returns,
         ("table_state", 2): bi_table_state,
         ("trace_control", 1): bi_trace_control,
+        ("write_metrics", 2): bi_write_metrics,
         ("statistics", 0): bi_statistics0,
         ("statistics", 2): bi_statistics2,
         ("atom_codes", 2): bi_atom_codes,

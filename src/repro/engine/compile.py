@@ -269,21 +269,40 @@ def ensure_unit(pred, engine, stats):
     short-lived engine may touch none at all, so compiling all of them
     up front is wasted work precisely when the engine is cheapest.
     """
-    modes = engine.db.analysis.modes((pred.name, pred.arity))
-    unit = CompiledUnit(pred, modes)
-    pred.compiled_unit = unit
-    if (
-        modes is not None
-        and all(kind == "c" for kind in modes)
-        and all(not clause.body for clause in pred.clauses)
-    ):
-        rows = unit.rows
-        for clause in pred.clauses:
-            if clause.nslots == 0:
-                try:
-                    rows[clause.seq] = tuple(
-                        freeze_term(arg) for arg in clause.head_args
-                    )
-                except FreezeError:
-                    pass
+    spans = engine.spans
+    token = None
+    if spans is not None:
+        from ..obs.spans import STAGE_COMPILE
+
+        token = spans.begin(
+            STAGE_COMPILE, label=f"compile {pred.name}/{pred.arity}"
+        )
+    try:
+        modes = engine.db.analysis.modes((pred.name, pred.arity))
+        unit = CompiledUnit(pred, modes)
+        pred.compiled_unit = unit
+        if (
+            modes is not None
+            and all(kind == "c" for kind in modes)
+            and all(not clause.body for clause in pred.clauses)
+        ):
+            rows = unit.rows
+            for clause in pred.clauses:
+                if clause.nslots == 0:
+                    try:
+                        rows[clause.seq] = tuple(
+                            freeze_term(arg) for arg in clause.head_args
+                        )
+                    except FreezeError:
+                        pass
+    finally:
+        if spans is not None:
+            spans.end(token, detail=len(pred.clauses))
+            from ..obs.trace import EV_COMPILE_UNIT
+
+            spans.point(
+                EV_COMPILE_UNIT,
+                label=f"compile_unit {pred.name}/{pred.arity}",
+                detail=len(pred.clauses),
+            )
     return unit

@@ -266,6 +266,12 @@ def try_hybrid(engine, frame, call_term, pred, stats, trace=None, prof=None):
             trace.event(EV_HYBRID_FALLBACK, frame)
         return False
     goal_args, repeated = goal
+    spans = engine.spans
+    token = None
+    if spans is not None:
+        from ..obs.spans import STAGE_HYBRID
+
+        token = spans.begin(STAGE_HYBRID, label=f"hybrid {frame.indicator}")
     if prof is not None:
         prof.enter(frame)
     try:
@@ -277,6 +283,8 @@ def try_hybrid(engine, frame, call_term, pred, stats, trace=None, prof=None):
             trace.event(EV_HYBRID_FALLBACK, frame)
         if prof is not None:
             prof.exit(frame)
+        if spans is not None:
+            spans.end(token)
         return False
     if repeated:
         rows = [
@@ -311,4 +319,6 @@ def try_hybrid(engine, frame, call_term, pred, stats, trace=None, prof=None):
         # as one completion, mirroring what SLG would have reported.
         stats.ground_answers += count
         stats.completions += 1
+    if spans is not None:
+        spans.end(token, detail=count)
     return True

@@ -368,33 +368,45 @@ class IncrementalMaintainer:
         tracer = engine.tracer
         trace = tracer if tracer is not None and tracer.enabled else None
         tables = engine.tables
-        if self.materializations:
-            self._update_materializations(pending, stats)
-        completed = [f for f in tables.all_frames() if f.complete]
-        if not completed:
-            return
-        changed = frozenset(pending)
-        affected, universe = engine.db.analysis.affected_keys(changed)
-        by_root = {}
-        doomed = []
-        kept = 0
-        for frame in completed:
-            key = _frame_key(frame)
-            if key is None:
-                doomed.append(frame)
-            elif universe or key in affected:
-                by_root.setdefault(key, []).append(frame)
-            else:
-                kept += 1
-        for key, frames in by_root.items():
-            kept += self._maintain_root(
-                key, frames, pending, changed, stats, trace, tables
+        spans = engine.spans
+        token = None
+        if spans is not None:
+            from ..obs.spans import STAGE_FLUSH
+
+            token = spans.begin(
+                STAGE_FLUSH, label=f"flush:{len(pending)} delta(s)"
             )
-        for frame in doomed:
-            self._invalidate(frame, stats, trace)
-            self._abolish(frame, stats, trace, tables)
-        if stats is not None:
-            stats.incr_tables_kept += kept
+        kept = 0
+        try:
+            if self.materializations:
+                self._update_materializations(pending, stats)
+            completed = [f for f in tables.all_frames() if f.complete]
+            if not completed:
+                return
+            changed = frozenset(pending)
+            affected, universe = engine.db.analysis.affected_keys(changed)
+            by_root = {}
+            doomed = []
+            for frame in completed:
+                key = _frame_key(frame)
+                if key is None:
+                    doomed.append(frame)
+                elif universe or key in affected:
+                    by_root.setdefault(key, []).append(frame)
+                else:
+                    kept += 1
+            for key, frames in by_root.items():
+                kept += self._maintain_root(
+                    key, frames, pending, changed, stats, trace, tables
+                )
+            for frame in doomed:
+                self._invalidate(frame, stats, trace)
+                self._abolish(frame, stats, trace, tables)
+            if stats is not None:
+                stats.incr_tables_kept += kept
+        finally:
+            if spans is not None:
+                spans.end(token, detail=kept)
 
     def _update_materializations(self, pending, stats):
         """Apply (or give up on) the flush's deltas, mat by mat.
@@ -527,6 +539,9 @@ class IncrementalMaintainer:
             stats.incr_tables_repaired += 1
         if trace is not None:
             trace.event(EV_TABLE_REPAIR_END, frame, count)
+        spans = self.engine.spans
+        if spans is not None:
+            spans.observe("repair_rows", count)
 
     def _invalidate(self, frame, stats, trace):
         frame.lifecycle = LIFE_INVALID

@@ -1,21 +1,31 @@
-"""Observability: structured SLG tracing, profiling, and exporters.
+"""Observability: structured SLG tracing, profiling, metrics, exporters.
 
 The counters in :mod:`repro.perf` answer "how many"; this package
-answers "which subgoal, when, and for how long".  Three pieces:
+answers "which subgoal, when, for how long — and what is the p99".
+Five pieces:
 
 * :mod:`repro.obs.trace` — a bounded ring-buffer tracer of typed SLG
   events (check-in hit/miss, answer insert/duplicate, suspension,
-  resumption, completion, hybrid routing), each stamped with a
-  monotonic clock and a stable subgoal id.
+  resumption, completion, hybrid routing) plus engine-stage events
+  (query/stage spans, objcache hit/miss, compile, bulk ingest, disk
+  spill), each stamped with a monotonic clock and a stable id.
 * :mod:`repro.obs.profile` — per-subgoal spans: cumulative self time,
   answer and consumer counts, and table-space byte estimates,
-  aggregated into a sortable profile report.
+  aggregated into a sortable profile report and the per-predicate
+  ``:top`` view.
+* :mod:`repro.obs.metrics` — the metrics registry: counters, gauges
+  and log-scaled histograms with mergeable snapshots, p50/p90/p99
+  extraction, and Prometheus-text / JSON exposition.
+* :mod:`repro.obs.spans` — the per-query span recorder that brackets
+  every top-level goal and each subsystem stage, fanning out to the
+  metrics registry and the tracer.
 * :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing``
-  trace-event exporters.
+  trace-event exporters (stage spans render as a nested timeline).
 
 Everything follows the zero-cost-when-disabled discipline of the
 counters layer: the machine caches ``engine.tracer`` / ``engine.profiler``
-in locals once per run, and a disabled subsystem is simply ``None``.
+in locals once per run, engine-stage hook sites test ``engine.spans``
+once, and a disabled subsystem is simply ``None``.
 """
 
 from .export import (
@@ -24,20 +34,40 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    merge_histograms,
+    merge_snapshots,
+    render_json,
+    render_prometheus,
+    write_metrics,
+)
 from .profile import (
     Profiler,
+    aggregate_top,
     estimate_table_bytes,
     estimate_term_bytes,
     format_profile,
+    format_top,
 )
+from .spans import SpanRecorder, note_disk_spill
 from .trace import (
+    EV_ANALYSIS_REBUILD,
     EV_ANSWER_BULK,
     EV_ANSWER_DUP,
     EV_ANSWER_INSERT,
+    EV_BULK_INGEST,
+    EV_COMPILE_UNIT,
     EV_COMPLETE,
+    EV_DISK_SPILL,
     EV_HYBRID_FALLBACK,
     EV_HYBRID_ROUTE,
+    EV_OBJCACHE_HIT,
+    EV_OBJCACHE_MISS,
     EV_RESUME,
+    EV_SPAN_BEGIN,
+    EV_SPAN_END,
     EV_SUBGOAL_HIT,
     EV_SUBGOAL_MISS,
     EV_SUSPEND,
@@ -50,6 +80,9 @@ __all__ = [
     "Tracer",
     "SubgoalRegistry",
     "Profiler",
+    "MetricsRegistry",
+    "Histogram",
+    "SpanRecorder",
     "EVENT_KINDS",
     "EV_SUBGOAL_MISS",
     "EV_SUBGOAL_HIT",
@@ -61,9 +94,25 @@ __all__ = [
     "EV_COMPLETE",
     "EV_HYBRID_ROUTE",
     "EV_HYBRID_FALLBACK",
+    "EV_SPAN_BEGIN",
+    "EV_SPAN_END",
+    "EV_ANALYSIS_REBUILD",
+    "EV_COMPILE_UNIT",
+    "EV_OBJCACHE_HIT",
+    "EV_OBJCACHE_MISS",
+    "EV_BULK_INGEST",
+    "EV_DISK_SPILL",
     "estimate_term_bytes",
     "estimate_table_bytes",
     "format_profile",
+    "aggregate_top",
+    "format_top",
+    "merge_histograms",
+    "merge_snapshots",
+    "render_prometheus",
+    "render_json",
+    "write_metrics",
+    "note_disk_spill",
     "jsonl_lines",
     "write_jsonl",
     "chrome_trace_events",

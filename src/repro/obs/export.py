@@ -24,6 +24,8 @@ from .trace import (
     EV_ANSWER_BULK,
     EV_COMPLETE,
     EV_HYBRID_ROUTE,
+    EV_SPAN_BEGIN,
+    EV_SPAN_END,
     EV_SUBGOAL_MISS,
 )
 
@@ -83,6 +85,13 @@ def chrome_trace_events(tracer, process_name="repro SLG engine"):
     the ring is synthesized at the window start so the export always
     loads; a span still open at export time is left unclosed, which
     the viewers render as running to the end of the capture.
+
+    Engine-stage spans (:mod:`repro.obs.spans` — the per-query root
+    and its parse/analysis/compile/hybrid/flush/slg children) are
+    strictly LIFO within one engine, so they export as synchronous
+    ``B``/``E`` duration events and the viewers render them as a
+    nested timeline under the async subgoal spans.  An ``E`` whose
+    ``B`` was evicted gets a synthesized opener at the window start.
     """
     labels = tracer.registry.labels()
     events = [{
@@ -93,9 +102,50 @@ def chrome_trace_events(tracer, process_name="repro SLG engine"):
         "args": {"name": process_name},
     }]
     open_spans = set()
+    stage_depth = 0
     for ts_ns, kind, seq, detail in tracer.events():
         ts_us = ts_ns / 1000.0
         label = labels.get(seq, f"subgoal#{seq}")
+        if kind == EV_SPAN_BEGIN:
+            stage_depth += 1
+            record = {
+                "name": label,
+                "cat": "stage",
+                "ph": "B",
+                "ts": ts_us,
+                "pid": 1,
+                "tid": 1,
+            }
+            if detail is not None:
+                record["args"] = {"detail": detail}
+            events.append(record)
+            continue
+        if kind == EV_SPAN_END:
+            if stage_depth == 0:
+                # The opener fell off the ring: synthesize it so the
+                # B/E stack stays balanced and the export loads.
+                events.insert(1, {
+                    "name": label,
+                    "cat": "stage",
+                    "ph": "B",
+                    "ts": 0.0,
+                    "pid": 1,
+                    "tid": 1,
+                })
+            else:
+                stage_depth -= 1
+            record = {
+                "name": label,
+                "cat": "stage",
+                "ph": "E",
+                "ts": ts_us,
+                "pid": 1,
+                "tid": 1,
+            }
+            if detail is not None:
+                record["args"] = {"detail": detail}
+            events.append(record)
+            continue
         if kind in _SPAN_OPENERS:
             if seq not in open_spans:
                 open_spans.add(seq)
@@ -133,13 +183,14 @@ def chrome_trace_events(tracer, process_name="repro SLG engine"):
                 "tid": 1,
             })
             continue
-        args = {"subgoal": label}
+        # Negative ids are engine-stage events, not subgoals.
+        args = {"label" if seq < 0 else "subgoal": label}
         if detail is not None:
             key = "count" if kind in (EV_ANSWER_BULK, EV_HYBRID_ROUTE) else "detail"
             args[key] = detail
         events.append({
             "name": kind,
-            "cat": "slg",
+            "cat": "stage" if seq < 0 else "slg",
             "ph": "i",
             "s": "p",
             "ts": ts_us,

@@ -1,0 +1,312 @@
+"""The metrics registry: counters, gauges, log-scaled histograms.
+
+The counters layer (:mod:`repro.perf`) answers "how many over the
+engine's lifetime"; this module answers *distributional* questions —
+"what is the p50/p99 query latency?" — which is the measurement the
+ROADMAP's concurrent-query-service benchmark needs.  XSB exposes the
+same family of numbers through ``statistics/1`` regions (table space,
+program space, CPU time); the histogram registry is that idea with
+percentiles.
+
+Design:
+
+* **Log-scaled buckets.**  A histogram observation ``v`` (a
+  non-negative number, typically nanoseconds or bytes) lands in bucket
+  ``int(v).bit_length()`` — bucket 0 holds ``v < 1``, bucket ``i >= 1``
+  holds ``2**(i-1) <= v < 2**i``.  Powers of two give ~2x relative
+  error, cost one ``bit_length`` per observation, and need at most ~65
+  buckets for any 64-bit value, stored sparsely.
+* **Mergeable snapshots.**  :meth:`Histogram.snapshot` returns a plain
+  dict (JSON-able); :func:`merge_histograms` adds bucket counts, so
+  merging is exact, commutative and associative — snapshots from
+  several engines (the future query-service workers) combine into one
+  distribution.
+* **Nearest-rank percentiles.**  ``percentile(q)`` walks the cumulative
+  bucket counts to the nearest-rank bucket and interpolates linearly
+  inside it; the result is always within the bucket that contains the
+  true (sorted-list) nearest-rank value, and exact min/max tighten the
+  edge buckets.  The property tests pin this contract against a
+  sorted-list oracle.
+
+Zero-cost discipline: a disabled metrics layer is ``engine.metrics is
+None``; hook sites go through :mod:`repro.obs.spans`, which performs
+that single test.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "merge_histograms",
+    "merge_snapshots",
+    "render_prometheus",
+    "render_json",
+    "write_metrics",
+]
+
+
+def bucket_index(value):
+    """The log2 bucket for one observation (0 for values below 1)."""
+    value = int(value)
+    return value.bit_length() if value > 0 else 0
+
+
+def bucket_bounds(index):
+    """``(low, high)`` of bucket ``index``: values land in
+    ``low <= v < high``; bucket 0 is ``[0, 1)``."""
+    if index <= 0:
+        return (0, 1)
+    return (1 << (index - 1), 1 << index)
+
+
+class Histogram:
+    """A log2-bucketed histogram over non-negative observations."""
+
+    __slots__ = ("buckets", "count", "sum", "min", "max")
+
+    def __init__(self):
+        self.buckets = {}
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        if value < 0:
+            value = 0
+        buckets = self.buckets
+        # inlined bucket_index — this is the hot call of the registry
+        index = int(value).bit_length()
+        buckets[index] = buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, q):
+        """Nearest-rank percentile (``q`` in [0, 1]); None when empty.
+
+        The returned value lies inside the bucket holding the true
+        nearest-rank observation, linearly interpolated by rank within
+        the bucket, then clamped to the observed [min, max]."""
+        count = self.count
+        if count == 0:
+            return None
+        rank = max(1, min(count, math.ceil(q * count)))
+        cumulative = 0
+        for index in sorted(self.buckets):
+            width = self.buckets[index]
+            if cumulative + width >= rank:
+                low, high = bucket_bounds(index)
+                within = rank - cumulative  # 1-based rank inside bucket
+                if width > 1:
+                    value = low + (high - low) * (within - 1) / (width - 1)
+                else:
+                    value = low
+                return min(max(value, self.min), self.max)
+            cumulative += width
+        return self.max  # pragma: no cover - ranks always land above
+
+    def snapshot(self):
+        """A plain-dict, JSON-able copy with percentiles attached."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot):
+        hist = cls()
+        hist.count = snapshot.get("count", 0)
+        hist.sum = snapshot.get("sum", 0)
+        hist.min = snapshot.get("min")
+        hist.max = snapshot.get("max")
+        hist.buckets = {
+            int(i): n for i, n in snapshot.get("buckets", {}).items()
+        }
+        return hist
+
+    def __repr__(self):
+        return f"<Histogram n={self.count} sum={self.sum}>"
+
+
+def merge_histograms(left, right):
+    """Merge two histogram snapshots (exact: bucket counts add)."""
+    merged = Histogram.from_snapshot(left)
+    for index, width in right.get("buckets", {}).items():
+        index = int(index)
+        merged.buckets[index] = merged.buckets.get(index, 0) + width
+    merged.count += right.get("count", 0)
+    merged.sum += right.get("sum", 0)
+    for bound, pick in (("min", min), ("max", max)):
+        other = right.get(bound)
+        ours = getattr(merged, bound)
+        if other is not None:
+            setattr(merged, bound, other if ours is None else pick(ours, other))
+    return merged.snapshot()
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms behind one ``enabled`` flag.
+
+    The engine owns at most one; ``engine.metrics is None`` is the
+    zero-cost disabled state, and ``enabled`` is the runtime switch
+    (``disable_metrics``) that stops recording without discarding what
+    was already collected.
+    """
+
+    __slots__ = ("enabled", "counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.enabled = True
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def inc(self, name, amount=1):
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name, value):
+        self.gauges[name] = value
+
+    def observe(self, name, value):
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name):
+        """The named histogram, created on first use."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self):
+        """A JSON-able snapshot: ``{"counters", "gauges", "histograms"}``
+        with per-histogram p50/p90/p99 attached."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def clear(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+        return self
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return (
+            f"<MetricsRegistry {state} {len(self.counters)} counters, "
+            f"{len(self.histograms)} histograms>"
+        )
+
+
+def merge_snapshots(left, right):
+    """Merge two registry snapshots: counters add, gauges take the max,
+    histograms merge bucket-exactly.  Associative and commutative, so
+    any merge tree over worker snapshots yields the same totals."""
+    counters = dict(left.get("counters", {}))
+    for name, value in right.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + value
+    gauges = dict(left.get("gauges", {}))
+    for name, value in right.get("gauges", {}).items():
+        gauges[name] = value if name not in gauges else max(gauges[name], value)
+    histograms = dict(left.get("histograms", {}))
+    for name, snap in right.get("histograms", {}).items():
+        histograms[name] = (
+            merge_histograms(histograms[name], snap)
+            if name in histograms else snap
+        )
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }
+
+
+# --------------------------------------------------------------------------
+# Exposition
+# --------------------------------------------------------------------------
+
+def _prom_name(name):
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def render_prometheus(snapshot, prefix="repro"):
+    """Prometheus text exposition of a registry snapshot.
+
+    Counters become ``<prefix>_<name>_total``, gauges bare samples, and
+    histograms the standard cumulative ``_bucket{le=...}`` series with
+    ``_sum`` and ``_count`` (``le`` bounds are the bucket upper edges
+    ``2**i``, plus ``+Inf``).
+    """
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric}_total counter")
+        lines.append(f"{metric}_total {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for index in sorted(int(i) for i in hist.get("buckets", {})):
+            cumulative += hist["buckets"][str(index)]
+            upper = bucket_bounds(index)[1]
+            lines.append(f'{metric}_bucket{{le="{upper}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.get("count", 0)}')
+        lines.append(f"{metric}_sum {hist.get('sum', 0)}")
+        lines.append(f"{metric}_count {hist.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot):
+    """JSON exposition (the snapshot, stable key order, one trailing
+    newline — the shape the CI artifact and bench JSONs embed)."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def write_metrics(snapshot, path_or_file, fmt=None):
+    """Write a snapshot in ``"json"`` or ``"prometheus"`` text form.
+
+    ``fmt=None`` infers from the path: ``*.json`` means JSON, anything
+    else (including streams) Prometheus text.  Returns the byte count.
+    """
+    if fmt is None:
+        name = getattr(path_or_file, "name", path_or_file)
+        fmt = "json" if str(name).endswith(".json") else "prometheus"
+    if fmt not in ("json", "prometheus"):
+        raise ValueError(f"unknown metrics format {fmt!r}")
+    text = render_json(snapshot) if fmt == "json" else render_prometheus(snapshot)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return len(text)

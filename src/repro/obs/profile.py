@@ -33,6 +33,8 @@ __all__ = [
     "estimate_term_bytes",
     "estimate_table_bytes",
     "format_profile",
+    "aggregate_top",
+    "format_top",
 ]
 
 
@@ -168,11 +170,14 @@ class Profiler:
                 answers = frame.answer_count()
                 space = estimate_table_bytes(frame)
                 state = frame.state
+                indicator = frame.indicator
             else:  # pragma: no cover - registry always notes on enter
                 answers, space, state = 0, 0, "unknown"
+                indicator = f"subgoal#{seq}"
             rows.append({
                 "seq": seq,
                 "subgoal": registry.label(seq),
+                "indicator": indicator,
                 "self_ns": self.self_ns.get(seq, 0),
                 "answers": answers,
                 "consumers": self.consumers.get(seq, 0),
@@ -188,6 +193,75 @@ class Profiler:
             f"<Profiler {state} {len(self.opened)} spans, "
             f"{len(self.stack)} open>"
         )
+
+
+def aggregate_top(rows, limit=None):
+    """Collapse :meth:`Profiler.report` rows per predicate — the data
+    behind the REPL's ``:top`` view.
+
+    Each aggregate row: ``{"pred", "self_ns", "answers", "tables",
+    "consumers", "bytes", "answers_per_s"}``, sorted by self time
+    descending.  ``answers_per_s`` is the predicate's answer rate over
+    its own self time (None when no time was charged to it).
+    """
+    grouped = {}
+    for row in rows:
+        agg = grouped.get(row["indicator"])
+        if agg is None:
+            agg = grouped[row["indicator"]] = {
+                "pred": row["indicator"],
+                "self_ns": 0,
+                "answers": 0,
+                "tables": 0,
+                "consumers": 0,
+                "bytes": 0,
+            }
+        agg["self_ns"] += row["self_ns"]
+        agg["answers"] += row["answers"]
+        agg["tables"] += 1
+        agg["consumers"] += row["consumers"]
+        agg["bytes"] += row["bytes"]
+    out = sorted(
+        grouped.values(), key=lambda agg: (-agg["self_ns"], agg["pred"])
+    )
+    for agg in out:
+        agg["answers_per_s"] = (
+            agg["answers"] / (agg["self_ns"] / 1e9)
+            if agg["self_ns"] > 0 else None
+        )
+    return out[:limit] if limit is not None else out
+
+
+def format_top(rows, limit=10):
+    """Plain-text ``:top`` table for :func:`aggregate_top` rows."""
+    rows = rows[:limit]
+    headers = ("pred", "self_ms", "answers", "ans/s", "tables", "bytes")
+    cells = [
+        (
+            agg["pred"],
+            f"{agg['self_ns'] / 1e6:.3f}",
+            str(agg["answers"]),
+            f"{agg['answers_per_s']:.0f}" if agg["answers_per_s"] is not None
+            else "-",
+            str(agg["tables"]),
+            str(agg["bytes"]),
+        )
+        for agg in rows
+    ]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
 
 
 def format_profile(rows):

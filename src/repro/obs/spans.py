@@ -1,0 +1,335 @@
+"""Per-query spans: one root span per top-level goal, child spans per
+subsystem stage, fanned out to the metrics registry and the tracer.
+
+PR 4's tracer sees *SLG* events keyed by subgoal frames; everything the
+engine grew since — analysis-registry rebuilds, clause compilation,
+the hybrid fixpoint, incremental flush, the consult cache, disk-store
+spills — was invisible except as lifetime counters.  The
+:class:`SpanRecorder` is the one object those subsystems talk to: a
+stage span brackets the work (duration lands in a ``span_<stage>_ns``
+histogram and, when tracing, as a ``span_begin``/``span_end`` pair the
+Chrome exporter renders as a nested timeline), and typed point events
+(``objcache_hit``, ``disk_spill``, ...) mark things that happen *at* a
+moment rather than *over* one.
+
+Zero-cost discipline, same as the tracer: ``engine.spans`` is ``None``
+until metrics or tracing is enabled, so every coarse hook site pays a
+single ``is not None`` test.  Stage spans are strictly LIFO within one
+engine (query > parse/analysis/compile/flush/slg), which is what lets
+the exporter use Chrome's synchronous ``B``/``E`` duration events.
+
+Span ids are **negative** integers: subgoal frames own the non-negative
+sequence numbers, so the two id spaces share the tracer ring and the
+:class:`~repro.obs.trace.SubgoalRegistry` without collision.
+
+Disk spills have no engine in scope (a :class:`~repro.store.diskstore.
+DiskTupleStore` is plain storage), so the module keeps a weak set of
+live recorders and :func:`note_disk_spill` fans the event out to every
+engine that is currently recording.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+
+from .metrics import Histogram
+from .trace import (
+    EV_SPAN_BEGIN,
+    EV_SPAN_END,
+    EV_DISK_SPILL,
+)
+
+__all__ = [
+    "SpanRecorder",
+    "note_disk_spill",
+    "STAGE_QUERY",
+    "STAGE_PARSE",
+    "STAGE_CONSULT",
+    "STAGE_ANALYSIS",
+    "STAGE_COMPILE",
+    "STAGE_HYBRID",
+    "STAGE_FLUSH",
+    "STAGE_SLG",
+]
+
+# Stage names double as histogram suffixes (span_<stage>_ns) and trace
+# labels; keep them short, lowercase, and stable — EXPERIMENTS and the
+# DESIGN.md statistics/1 mapping cite them.
+STAGE_QUERY = "query"        # root: one per top-level goal
+STAGE_PARSE = "parse"        # goal text -> term (+ HiLog encode)
+STAGE_CONSULT = "consult"    # consult_file/consult_string (incl. objcache)
+STAGE_ANALYSIS = "analysis"  # analysis-registry call-graph rebuild
+STAGE_COMPILE = "compile"    # clause compiler unit build
+STAGE_HYBRID = "hybrid"      # bottom-up magic-set fixpoint
+STAGE_FLUSH = "flush"        # incremental keep/repair/abolish flush
+STAGE_SLG = "slg"            # tuple-at-a-time SLG resolution
+
+# Histogram names precomputed per stage — span ends are hot enough
+# that an f-string per event shows up in the overhead budget.
+_SPAN_HIST = {
+    stage: f"span_{stage}_ns"
+    for stage in (STAGE_QUERY, STAGE_PARSE, STAGE_CONSULT, STAGE_ANALYSIS,
+                  STAGE_COMPILE, STAGE_HYBRID, STAGE_FLUSH, STAGE_SLG)
+}
+
+# How many answers the table-space estimator walks per frame before it
+# scales a sample instead (the numbers are estimates either way), and
+# how often the fast query path samples the table-space histogram.
+_BYTES_SAMPLE = 24
+_SPACE_EVERY = 64
+
+_RECORDERS = weakref.WeakSet()
+
+
+def note_disk_spill(nbytes):
+    """Record a disk-store spill on every live, recording engine."""
+    for recorder in list(_RECORDERS):
+        recorder.disk_spill(nbytes)
+
+
+class SpanRecorder:
+    """The per-engine span fan-out.
+
+    Created the first time metrics or tracing is enabled and kept for
+    the engine's lifetime; whether each event actually lands anywhere
+    is re-checked per event against ``engine.metrics`` /
+    ``engine.tracer`` (both carry runtime ``enabled`` switches), so
+    ``trace_control(on)`` mid-session is honored without re-wiring the
+    hook sites.
+    """
+
+    __slots__ = ("engine", "clock", "next_id", "_bytes_cache", "_tick",
+                 "__weakref__")
+
+    def __init__(self, engine, clock=None):
+        self.engine = engine
+        self.clock = clock if clock is not None else time.perf_counter_ns
+        self.next_id = -1
+        self._bytes_cache = {}
+        self._tick = 0
+        _RECORDERS.add(self)
+
+    # -- sink resolution ----------------------------------------------------
+
+    def _metrics(self):
+        metrics = self.engine.metrics
+        if metrics is not None and metrics.enabled:
+            return metrics
+        return None
+
+    def _tracer(self):
+        tracer = self.engine.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
+
+    def active(self):
+        return self._metrics() is not None or self._tracer() is not None
+
+    def tracing(self):
+        """True when span events also land in the tracer ring — the
+        engine's query paths pick the full-span (traced) flavor then,
+        and the minimal metrics-only fast path otherwise."""
+        return self._tracer() is not None
+
+    def _new_id(self):
+        span_id = self.next_id
+        self.next_id = span_id - 1
+        return span_id
+
+    # -- stage spans --------------------------------------------------------
+
+    def begin(self, stage, label=None, detail=None):
+        """Open a stage span; returns an opaque token for :meth:`end`
+        (``None`` when nothing is recording — :meth:`end` accepts it)."""
+        tracer = self._tracer()
+        if tracer is None and self._metrics() is None:
+            return None
+        span_id = self._new_id()
+        if tracer is not None:
+            tracer.stage_event(
+                EV_SPAN_BEGIN, span_id, label if label is not None else stage,
+                detail,
+            )
+        return (stage, span_id, self.clock())
+
+    def end(self, token, detail=None):
+        """Close a stage span; returns its duration in nanoseconds."""
+        if token is None:
+            return 0
+        stage, span_id, started = token
+        elapsed = self.clock() - started
+        metrics = self._metrics()
+        if metrics is not None:
+            name = _SPAN_HIST.get(stage)
+            if name is None:
+                name = _SPAN_HIST[stage] = f"span_{stage}_ns"
+            metrics.observe(name, elapsed)
+            metrics.inc("spans")
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.stage_event(EV_SPAN_END, span_id, stage, detail)
+        return elapsed
+
+    # -- typed point events -------------------------------------------------
+
+    def point(self, kind, label=None, detail=None):
+        """A typed instant event: counted in metrics, marked in trace."""
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.inc(kind)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.stage_event(
+                kind, self._new_id(), label if label is not None else kind,
+                detail,
+            )
+
+    def observe(self, name, value):
+        """Record one histogram observation (metrics only)."""
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.observe(name, value)
+
+    def disk_spill(self, nbytes):
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.inc(EV_DISK_SPILL)
+            metrics.observe("disk_spill_bytes", nbytes)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.stage_event(EV_DISK_SPILL, self._new_id(), "disk_spill",
+                               nbytes)
+
+    # -- the query root -----------------------------------------------------
+
+    def begin_query(self, label=None):
+        return self.begin(STAGE_QUERY, label=label)
+
+    def end_query(self, token, answers):
+        """Close a root span: latency, answer count and table-space
+        histograms, plus the ``queries`` counter."""
+        if token is None:
+            return 0
+        elapsed = self.end(token, detail=answers)
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.inc("queries")
+            metrics.observe("query_latency_ns", elapsed)
+            metrics.observe("query_answers", answers)
+            metrics.observe("table_space_bytes", self.table_space_bytes())
+        return elapsed
+
+    # -- the metrics-only fast path -----------------------------------------
+    #
+    # With tracing off there is no timeline to draw, so the engine's
+    # query paths skip the parse/SLG child spans and record only the
+    # root measurements — two clock reads and two histogram
+    # observations per query.  The overhead budget here is ~1 µs: the
+    # BENCH_hotpath fact-probe series issues 7 µs queries, and the
+    # enabled-mode geomean claim in EXPERIMENTS P7 depends on this
+    # path staying minimal.  Coarse, amortized stages (consult,
+    # analysis, compile, hybrid, flush, repair, spills) keep their
+    # always-on spans via begin/end above.
+
+    def begin_query_fast(self):
+        """Start timing a query in metrics-only mode: just the clock
+        value, or None when metrics are off/disabled."""
+        metrics = self.engine.metrics
+        if metrics is None or not metrics.enabled:
+            return None
+        return self.clock()
+
+    def end_query_fast(self, started, answers):
+        """Record one query: latency + answer histograms, ``queries``
+        counter, and a table-space sample every ``_SPACE_EVERY``-th
+        query.  Short runs get their table-space observation at
+        snapshot time instead (``Engine.metrics_snapshot`` samples once
+        per scrape), so a fresh engine's first query never pays a
+        full-table walk.  The two ``Histogram.observe`` bodies are
+        inlined — both values are non-negative ints here
+        (``perf_counter_ns`` deltas and answer counts), and the method
+        dispatch is measurable against a ~7 µs fact-probe query."""
+        if started is None:
+            return 0
+        elapsed = self.clock() - started
+        metrics = self.engine.metrics
+        if metrics is None or not metrics.enabled:
+            return elapsed
+        counters = metrics.counters
+        counters["queries"] = counters.get("queries", 0) + 1
+        histograms = metrics.histograms
+        hist = histograms.get("query_latency_ns")
+        if hist is None:
+            hist = histograms["query_latency_ns"] = Histogram()
+        buckets = hist.buckets
+        index = elapsed.bit_length()
+        buckets[index] = buckets.get(index, 0) + 1
+        hist.count += 1
+        hist.sum += elapsed
+        if hist.min is None or elapsed < hist.min:
+            hist.min = elapsed
+        if hist.max is None or elapsed > hist.max:
+            hist.max = elapsed
+        hist = histograms.get("query_answers")
+        if hist is None:
+            hist = histograms["query_answers"] = Histogram()
+        buckets = hist.buckets
+        index = answers.bit_length()
+        buckets[index] = buckets.get(index, 0) + 1
+        hist.count += 1
+        hist.sum += answers
+        if hist.min is None or answers < hist.min:
+            hist.min = answers
+        if hist.max is None or answers > hist.max:
+            hist.max = answers
+        tick = self._tick = self._tick + 1
+        if not tick % _SPACE_EVERY:
+            metrics.observe("table_space_bytes", self.table_space_bytes())
+        return elapsed
+
+    # -- table-space byte estimates (memoized) ------------------------------
+
+    def table_space_bytes(self):
+        """Byte estimate over all *completed* tables, memoized per
+        ``(frame.seq, answer_count)`` so warm repeated queries pay a
+        dict probe per frame, not a term walk.  Large tables are
+        estimated from a ``_BYTES_SAMPLE``-answer sample scaled by the
+        answer count — the numbers are heap estimates either way, and
+        a full walk of a fresh multi-thousand-answer table would
+        dominate the query it is supposed to measure."""
+        from .profile import estimate_table_bytes, estimate_term_bytes
+
+        cache = self._bytes_cache
+        if len(cache) > 4096:
+            cache.clear()
+        total = 0
+        for frame in self.engine.tables.all_frames():
+            if not frame.complete:
+                continue
+            count = frame.answer_count()
+            key = (frame.seq, count)
+            value = cache.get(key)
+            if value is None:
+                if count <= _BYTES_SAMPLE:
+                    value = estimate_table_bytes(frame)
+                else:
+                    seen = set()
+                    sampled = 0
+                    walked = 0
+                    for answer in frame.answers:
+                        sampled += estimate_term_bytes(answer, seen)
+                        walked += 1
+                        if walked >= _BYTES_SAMPLE:
+                            break
+                    value = (sampled * count) // walked
+                cache[key] = value
+            total += value
+        return total
+
+    def __repr__(self):
+        return (
+            f"<SpanRecorder metrics={'on' if self._metrics() else 'off'} "
+            f"trace={'on' if self._tracer() else 'off'}>"
+        )

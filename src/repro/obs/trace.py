@@ -49,6 +49,14 @@ __all__ = [
     "EV_TABLE_REPAIR_BEGIN",
     "EV_TABLE_REPAIR_END",
     "EV_TABLE_ABOLISH",
+    "EV_SPAN_BEGIN",
+    "EV_SPAN_END",
+    "EV_ANALYSIS_REBUILD",
+    "EV_COMPILE_UNIT",
+    "EV_OBJCACHE_HIT",
+    "EV_OBJCACHE_MISS",
+    "EV_BULK_INGEST",
+    "EV_DISK_SPILL",
 ]
 
 # Interned kind strings: comparisons and dict probes on them are
@@ -72,6 +80,20 @@ EV_TABLE_INVALIDATE = "table_invalidate"      # completed table marked stale
 EV_TABLE_REPAIR_BEGIN = "table_repair_begin"  # delta repair span opens
 EV_TABLE_REPAIR_END = "table_repair_end"      # repair done (detail = answers)
 EV_TABLE_ABOLISH = "table_abolish"            # targeted drop (not repairable)
+# Engine-stage events (repro.obs.spans): spans bracket a subsystem
+# stage of one query (parse, analysis, compile, hybrid, flush, slg)
+# under a per-query root; the rest are typed instants for the PR 5-8
+# subsystems.  All are keyed by *negative* span ids — subgoal frames
+# own the non-negative sequence numbers, so both share the ring and
+# the registry without collision.
+EV_SPAN_BEGIN = "span_begin"            # stage span opens (LIFO per engine)
+EV_SPAN_END = "span_end"                # stage span closes (detail varies)
+EV_ANALYSIS_REBUILD = "analysis_rebuild"  # registry rebuilt the call graph
+EV_COMPILE_UNIT = "compile_unit"        # clause compiler built one unit
+EV_OBJCACHE_HIT = "objcache_hit"        # consult served from the cache
+EV_OBJCACHE_MISS = "objcache_miss"      # consult compiled from source
+EV_BULK_INGEST = "bulk_ingest"          # bulk_add_facts batch (detail = rows)
+EV_DISK_SPILL = "disk_spill"            # disk store spilled (detail = bytes)
 
 EVENT_KINDS = (
     EV_SUBGOAL_MISS,
@@ -88,6 +110,14 @@ EVENT_KINDS = (
     EV_TABLE_REPAIR_BEGIN,
     EV_TABLE_REPAIR_END,
     EV_TABLE_ABOLISH,
+    EV_SPAN_BEGIN,
+    EV_SPAN_END,
+    EV_ANALYSIS_REBUILD,
+    EV_COMPILE_UNIT,
+    EV_OBJCACHE_HIT,
+    EV_OBJCACHE_MISS,
+    EV_BULK_INGEST,
+    EV_DISK_SPILL,
 )
 
 DEFAULT_CAPACITY = 65536
@@ -104,12 +134,16 @@ class SubgoalRegistry:
     printable identity in the export — and renders labels on demand via
     the injected ``render`` callable (the engine supplies one that
     pretty-prints the reconstructed call term with its operator table).
+
+    Engine-stage events (:mod:`repro.obs.spans`) have no frame; they
+    register a plain name against their (negative) span id instead.
     """
 
-    __slots__ = ("frames", "render")
+    __slots__ = ("frames", "names", "render")
 
     def __init__(self, render=None):
         self.frames = {}
+        self.names = {}
         self.render = render
 
     def note(self, frame):
@@ -117,17 +151,29 @@ class SubgoalRegistry:
         if frame.seq not in frames:
             frames[frame.seq] = frame
 
+    def note_name(self, seq, name):
+        names = self.names
+        if seq not in names:
+            names[seq] = name
+
     def label(self, seq):
         frame = self.frames.get(seq)
         if frame is None:
+            name = self.names.get(seq)
+            if name is not None:
+                return name
             return f"subgoal#{seq}"
         if self.render is not None:
             return self.render(frame)
         return f"{frame.indicator}#{seq}"
 
     def labels(self):
-        """All known labels, keyed by sequence number."""
-        return {seq: self.label(seq) for seq in self.frames}
+        """All known labels, keyed by sequence number / span id."""
+        out = {seq: self.label(seq) for seq in self.frames}
+        for seq, name in self.names.items():
+            if seq not in out:
+                out[seq] = name
+        return out
 
 
 class Tracer:
@@ -160,6 +206,13 @@ class Tracer:
         self.total += 1
         self.registry.note(frame)
         self.ring.append((self.clock() - self.epoch, kind, frame.seq, detail))
+
+    def stage_event(self, kind, span_id, label, detail=None):
+        """Record an engine-stage event (no subgoal frame): a span
+        begin/end or a typed instant, keyed by a negative span id."""
+        self.total += 1
+        self.registry.note_name(span_id, label)
+        self.ring.append((self.clock() - self.epoch, kind, span_id, detail))
 
     # -- inspection ---------------------------------------------------------
 

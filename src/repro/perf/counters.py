@@ -122,6 +122,13 @@ The ``trace_*`` / ``profile_*`` keys likewise report the state of the
 observability layer (:mod:`repro.obs`): buffered and evicted trace
 events, profiled subgoal count, and total profiled self time in
 nanoseconds — all zero while tracing/profiling are off.
+
+The ``metrics_*`` keys report the query-level metrics registry
+(:mod:`repro.obs.metrics`): root query spans closed, total stage spans
+recorded, and distinct histogram series — all zero while metrics are
+off (``REPRO_METRICS`` unset).  The distributions themselves are not
+statistics keys; read them through ``Engine.metrics_snapshot()`` or
+the ``write_metrics/2`` exposition builtin.
 """
 
 from __future__ import annotations
@@ -195,6 +202,9 @@ STATISTIC_KEYS = tuple(sorted(_FIELDS + (
     "trace_dropped",
     "profile_subgoals",
     "profile_self_ns",
+    "metrics_queries",
+    "metrics_spans",
+    "metrics_histograms",
 )))
 
 

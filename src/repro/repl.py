@@ -40,9 +40,12 @@ goals end with '.'; ';' asks for more solutions
   halt.               leave the toplevel
   statistics.         print every engine counter
   trace_control(on).  start SLG tracing + profiling (off/clear/dump(F)/chrome(F))
+  write_metrics(F,P). write the metrics snapshot (F: json or prometheus)
   :profile            print the per-subgoal profile report
+  :top [N]            per-predicate self-time/answer-rate (top N, default 10)
+  :top on|off         refresh the :top view live after every query
   :analyze p/N        print the analysis-registry summary for p/N
-  :tables             list tables with their maintenance lifecycle
+  :tables             list tables with lifecycle, answers, and bytes
   :help               this text
 """
 
@@ -58,6 +61,7 @@ class Toplevel:
         )
         if engine is None:
             self.engine.output = self.output
+        self.live_top = False  # ``:top on`` — reprint after every query
 
     # -- plumbing ------------------------------------------------------------
 
@@ -130,7 +134,16 @@ class Toplevel:
                     "trace_control(on).\n"
                 )
             else:
+                tracer = self.engine.tracer
+                if tracer is not None and tracer.dropped > 0:
+                    self._write(
+                        f"% warning: {tracer.dropped} trace event(s) "
+                        f"dropped (ring capacity {tracer.capacity}) — "
+                        "the oldest window is missing from dumps\n"
+                    )
                 self._write(self.engine.format_profile() + "\n")
+        elif command == "top" or command.startswith("top "):
+            self._top_command(command[len("top"):].strip())
         elif command.startswith("analyze"):
             spec = command[len("analyze"):].strip()
             name, _, arity = spec.rpartition("/")
@@ -145,6 +158,40 @@ class Toplevel:
         else:
             self._write(f"unknown command :{command} — try :help\n")
         return True
+
+    def _top_command(self, argument):
+        """``:top [N]`` prints the per-predicate view; ``:top on``/
+        ``:top off`` toggle the live refresh after every query."""
+        if argument == "on":
+            self.live_top = True
+            self._write("% :top live refresh on\n")
+            return
+        if argument == "off":
+            self.live_top = False
+            self._write("% :top live refresh off\n")
+            return
+        limit = 10
+        if argument:
+            if not argument.isdigit():
+                self._write("usage: :top [N] | :top on | :top off\n")
+                return
+            limit = int(argument)
+        self._write_top(limit)
+
+    def _write_top(self, limit=10):
+        if self.engine.profiler is None:
+            self._write(
+                "profiling is off — start with --profile or "
+                "trace_control(on).\n"
+            )
+            return
+        from .obs import aggregate_top, format_top
+
+        rows = aggregate_top(self.engine.profile_report())
+        if not rows:
+            self._write("% (no profiled predicates yet)\n")
+            return
+        self._write(format_top(rows, limit=limit) + "\n")
 
     def _format_tables(self):
         """The ``:tables`` listing: every subgoal frame with its SLG
@@ -164,12 +211,25 @@ class Toplevel:
         frames = engine.tables.all_frames()
         if not frames:
             return header + "%   (no tables)\n"
+        from .obs import estimate_table_bytes
+
         lines = [header]
+        total_answers = 0
+        total_bytes = 0
         for frame in sorted(frames, key=lambda f: f.seq):
+            answers = len(frame.answers)
+            space = estimate_table_bytes(frame)
+            total_answers += answers
+            total_bytes += space
             lines.append(
                 f"%   {frame.indicator:<20} {frame.state:<12} "
-                f"{frame.lifecycle:<12} {len(frame.answers)} answers\n"
+                f"{frame.lifecycle:<12} {answers} answers  "
+                f"{space} bytes\n"
             )
+        lines.append(
+            f"%   {'total':<20} {len(frames)} table(s)"
+            f"{'':<15} {total_answers} answers  {total_bytes} bytes\n"
+        )
         return "".join(lines)
 
     def run_goal(self, text):
@@ -226,6 +286,8 @@ class Toplevel:
                 iterator.close()
         except ReproError as error:
             self._write(f"error: {error}\n")
+        if self.live_top:
+            self._write_top()
         return True
 
     def interact(self, banner=True):
@@ -274,6 +336,12 @@ def main(argv=None):
         action="store_true",
         help="profile tabled subgoals; print the report at exit",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="record query-level metrics; write the snapshot to FILE at "
+        "exit (JSON when FILE ends in .json, Prometheus text otherwise)",
+    )
     arguments = parser.parse_args(argv)
 
     engine = Engine()
@@ -283,6 +351,8 @@ def main(argv=None):
         engine.enable_trace()
     if arguments.trace or arguments.profile:
         engine.enable_profile()
+    if arguments.metrics:
+        engine.enable_metrics()
     for path in arguments.files:
         engine.consult_file(path)
     if arguments.goal:
@@ -298,7 +368,7 @@ def main(argv=None):
 
 
 def _finish_observability(engine, arguments):
-    """Flush --trace / --profile output at the end of a run."""
+    """Flush --trace / --profile / --metrics output at run end."""
     if arguments.trace:
         if arguments.trace.endswith(".json"):
             engine.write_chrome_trace(arguments.trace)
@@ -308,6 +378,12 @@ def _finish_observability(engine, arguments):
             sys.stderr.write(f"% trace written to {arguments.trace}\n")
     if arguments.profile:
         sys.stdout.write(engine.format_profile() + "\n")
+    if getattr(arguments, "metrics", None):
+        engine.write_metrics(arguments.metrics)
+        if not arguments.quiet:
+            sys.stderr.write(
+                f"% metrics written to {arguments.metrics}\n"
+            )
 
 
 if __name__ == "__main__":

@@ -119,14 +119,23 @@ def consult_file_cached(engine, path, cache_dir=None):
             if stats is not None:
                 stats.objcache_invalid += 1
             events = None
+    spans = engine.spans
     if events is not None:
         if stats is not None:
             stats.objcache_hits += 1
+        if spans is not None:
+            from ..obs.trace import EV_OBJCACHE_HIT
+
+            spans.point(EV_OBJCACHE_HIT, label=f"objcache:{path}")
         replay_events(engine, events)
         return engine
 
     if stats is not None:
         stats.objcache_misses += 1
+    if spans is not None:
+        from ..obs.trace import EV_OBJCACHE_MISS
+
+        spans.point(EV_OBJCACHE_MISS, label=f"objcache:{path}")
     record = []
     ProgramReader(engine, record=record).consult(
         source.decode("utf-8")

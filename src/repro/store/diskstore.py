@@ -40,6 +40,7 @@ import os
 import tempfile
 from array import array
 
+from ..obs.spans import note_disk_spill
 from ..perf.counters import StoreStats
 from ..relstore.rowcodec import decode_row, encode_row
 from .tuplestore import TupleStore
@@ -144,6 +145,7 @@ class DiskTupleStore(TupleStore):
 
     def _spill(self):
         """Flush the in-memory tail to the file and remap the run."""
+        spilled = len(self._tail)
         if self._file is None:
             self._file = tempfile.TemporaryFile(
                 prefix=f"{self.name}.{self.arity}.", dir=self.directory
@@ -158,6 +160,9 @@ class DiskTupleStore(TupleStore):
         )
         self._mm_size = self._total
         self._tail.clear()
+        # A plain store has no engine in scope; the span module fans
+        # the event out to every engine currently recording.
+        note_disk_spill(spilled)
 
     def _raw(self, rid):
         """The encoded bytes of row ``rid`` (each row is contiguous in

@@ -1,0 +1,440 @@
+"""The query-level metrics layer: histogram registry, spans, exposition.
+
+The histogram percentile tests pin the documented contract against a
+sorted-list oracle: the nearest-rank value computed from the sorted
+observations always falls in some log2 bucket, and ``percentile(q)``
+must return a value inside that same bucket (the registry never claims
+better than ~2x relative error).  The merge tests pin exactness —
+bucket counts add, so any merge tree gives identical totals.
+
+The statistics-key pins follow the counters layer's discipline: with
+metrics disabled the new keys are *exactly* zero, not approximately.
+"""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro import Engine
+from repro.errors import InstantiationError, TablingError, TypeError_
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    chrome_trace_events,
+    merge_histograms,
+    merge_snapshots,
+    note_disk_spill,
+    render_json,
+    render_prometheus,
+    write_metrics,
+)
+from repro.obs.metrics import bucket_bounds, bucket_index
+from conftest import PATH_LEFT
+
+
+CYCLE_EDGES = """
+edge(a,b). edge(b,c). edge(c,a).
+"""
+
+
+def metered_engine(program=PATH_LEFT + CYCLE_EDGES, **kwargs):
+    # trace pinned off so the metrics-only pins (no parse/SLG child
+    # spans) hold even when the suite runs under REPRO_TRACE=1
+    kwargs.setdefault("trace", False)
+    engine = Engine(metrics=True, **kwargs)
+    engine.consult_string(program)
+    return engine
+
+
+def oracle_nearest_rank(values, q):
+    """The sorted-list nearest-rank percentile the histogram tracks."""
+    import math
+
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+# --------------------------------------------------------------------------
+# Buckets
+# --------------------------------------------------------------------------
+
+class TestBuckets:
+    def test_index_bounds_roundtrip(self):
+        for value in [0, 1, 2, 3, 7, 8, 1023, 1024, 10**12]:
+            low, high = bucket_bounds(bucket_index(value))
+            assert low <= value < high
+
+    def test_bucket_zero_holds_sub_unit_values(self):
+        assert bucket_index(0) == 0
+        assert bucket_index(0.5) == 0
+        assert bucket_bounds(0) == (0, 1)
+
+    def test_buckets_partition_the_axis(self):
+        # consecutive buckets tile [0, 2^k) with no gap or overlap
+        edges = [bucket_bounds(i) for i in range(12)]
+        for (_, high), (low, _) in zip(edges, edges[1:]):
+            assert high == low
+
+
+# --------------------------------------------------------------------------
+# Percentiles vs. the sorted-list oracle
+# --------------------------------------------------------------------------
+
+DISTRIBUTIONS = [
+    ("uniform", lambda rng: rng.randrange(0, 10_000)),
+    ("exponential-ish", lambda rng: int(2 ** rng.uniform(0, 30))),
+    ("constant", lambda rng: 42),
+    ("bimodal", lambda rng: rng.choice((3, 1_000_000))),
+]
+
+
+class TestPercentileOracle:
+    @pytest.mark.parametrize("name,draw", DISTRIBUTIONS,
+                             ids=[d[0] for d in DISTRIBUTIONS])
+    @pytest.mark.parametrize("n", [1, 2, 17, 500])
+    def test_percentile_lands_in_oracle_bucket(self, name, draw, n):
+        rng = random.Random(f"{name}/{n}")
+        values = [draw(rng) for _ in range(n)]
+        hist = Histogram()
+        for value in values:
+            hist.observe(value)
+        for q in (0.0, 0.5, 0.90, 0.99, 1.0):
+            oracle = oracle_nearest_rank(values, q)
+            low, high = bucket_bounds(bucket_index(oracle))
+            got = hist.percentile(q)
+            assert low <= got <= high, (
+                f"{name} n={n} q={q}: {got} outside oracle bucket "
+                f"[{low}, {high}) of {oracle}"
+            )
+            assert hist.min <= got <= hist.max
+
+    def test_empty_histogram_has_no_percentile(self):
+        assert Histogram().percentile(0.5) is None
+
+    def test_exact_on_single_observation(self):
+        hist = Histogram()
+        hist.observe(777)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.percentile(q) == 777
+
+    def test_monotone_in_q(self):
+        rng = random.Random(7)
+        hist = Histogram()
+        for _ in range(200):
+            hist.observe(rng.randrange(0, 10**9))
+        points = [hist.percentile(q / 20) for q in range(21)]
+        assert points == sorted(points)
+
+
+# --------------------------------------------------------------------------
+# Merging
+# --------------------------------------------------------------------------
+
+class TestMerge:
+    def _split_histograms(self, values, parts=3):
+        chunks = [values[i::parts] for i in range(parts)]
+        snaps = []
+        for chunk in chunks:
+            hist = Histogram()
+            for value in chunk:
+                hist.observe(value)
+            snaps.append(hist.snapshot())
+        return snaps
+
+    def test_merge_is_exact(self):
+        rng = random.Random(11)
+        values = [rng.randrange(0, 10**6) for _ in range(300)]
+        whole = Histogram()
+        for value in values:
+            whole.observe(value)
+        a, b, c = self._split_histograms(values)
+        merged = merge_histograms(merge_histograms(a, b), c)
+        expect = whole.snapshot()
+        for key in ("count", "sum", "min", "max", "buckets"):
+            assert merged[key] == expect[key]
+
+    def test_merge_is_associative(self):
+        rng = random.Random(13)
+        values = [int(2 ** rng.uniform(0, 20)) for _ in range(120)]
+        a, b, c = self._split_histograms(values)
+        left = merge_histograms(merge_histograms(a, b), c)
+        right = merge_histograms(a, merge_histograms(b, c))
+        assert left == right
+
+    def test_merge_with_empty_is_identity(self):
+        hist = Histogram()
+        for value in (1, 5, 9):
+            hist.observe(value)
+        snap = hist.snapshot()
+        empty = Histogram().snapshot()
+        assert merge_histograms(snap, empty) == snap
+        assert merge_histograms(empty, snap) == snap
+
+    def test_snapshot_merge_semantics(self):
+        # counters add, gauges take the max, histograms merge exactly
+        a = MetricsRegistry()
+        a.inc("queries", 3)
+        a.set_gauge("table_space_bytes", 100)
+        a.observe("lat", 4)
+        b = MetricsRegistry()
+        b.inc("queries", 2)
+        b.inc("spans")
+        b.set_gauge("table_space_bytes", 70)
+        b.observe("lat", 16)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"] == {"queries": 5, "spans": 1}
+        assert merged["gauges"] == {"table_space_bytes": 100}
+        assert merged["histograms"]["lat"]["count"] == 2
+        assert merged["histograms"]["lat"]["sum"] == 20
+
+    def test_snapshot_merge_associative(self):
+        registries = []
+        rng = random.Random(17)
+        for _ in range(3):
+            reg = MetricsRegistry()
+            for _ in range(40):
+                reg.inc("n")
+                reg.observe("v", rng.randrange(0, 10**4))
+            registries.append(reg.snapshot())
+        a, b, c = registries
+        assert (merge_snapshots(merge_snapshots(a, b), c)
+                == merge_snapshots(a, merge_snapshots(b, c)))
+
+
+# --------------------------------------------------------------------------
+# Engine integration and the statistics keys
+# --------------------------------------------------------------------------
+
+class TestEngineMetrics:
+    def test_single_query_populates_the_registry(self):
+        engine = metered_engine()
+        engine.query("path(a, X)")
+        snap = engine.metrics_snapshot()
+        assert snap["counters"]["queries"] == 1
+        latency = snap["histograms"]["query_latency_ns"]
+        assert latency["count"] == 1
+        assert latency["p50"] == latency["p99"] == latency["max"]
+        answers = snap["histograms"]["query_answers"]
+        assert answers["count"] == 1 and answers["sum"] == 3
+        # metrics-only mode spans the coarse stages; parse/SLG child
+        # spans appear only under tracing (no timeline to draw here)
+        assert "span_consult_ns" in snap["histograms"]
+        assert "span_slg_ns" not in snap["histograms"]
+        assert snap["gauges"]["table_space_bytes"] > 0
+
+    def test_percentiles_correct_over_many_queries(self):
+        engine = metered_engine()
+        for _ in range(20):
+            engine.query("path(a, X)")
+        snap = engine.metrics_snapshot()
+        latency = snap["histograms"]["query_latency_ns"]
+        assert latency["count"] == 20
+        assert latency["min"] <= latency["p50"] <= latency["p99"]
+        assert latency["p99"] <= latency["max"]
+
+    def test_statistics_keys_enabled_exact(self):
+        engine = metered_engine()
+        engine.query("path(a, X)")
+        stats = engine.statistics()
+        assert stats["metrics_queries"] == 1
+        # metrics-only: consult + analysis + hybrid + flush spans
+        assert stats["metrics_spans"] == 4
+        # latency + answers + the four span histograms; table-space is
+        # sampled at snapshot time (scrape-style), not per query
+        assert stats["metrics_histograms"] == 6
+        snap = engine.metrics_snapshot()
+        assert snap["histograms"]["table_space_bytes"]["count"] == 1
+        assert engine.statistics()["metrics_histograms"] == 7
+        engine.query("path(b, X)")
+        assert engine.statistics()["metrics_queries"] == 2
+
+    def test_statistics_keys_traced_exact(self):
+        engine = Engine(trace=True, metrics=True)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        stats = engine.statistics()
+        assert stats["metrics_queries"] == 1
+        # tracing adds the root + parse + slg spans to the coarse four
+        assert stats["metrics_spans"] == 7
+        assert stats["metrics_histograms"] == 10
+
+    def test_statistics_keys_disabled_exactly_zero(self):
+        # metrics=False pins the layer off even under REPRO_METRICS=1
+        # (the CI tests-metrics job runs this whole suite that way)
+        engine = Engine(metrics=False)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        stats = engine.statistics()
+        assert stats["metrics_queries"] == 0
+        assert stats["metrics_spans"] == 0
+        assert stats["metrics_histograms"] == 0
+        assert engine.metrics is None
+
+    def test_disable_metrics_stops_recording(self):
+        engine = metered_engine()
+        engine.query("path(a, X)")
+        engine.disable_metrics()
+        engine.query("path(b, X)")
+        assert engine.metrics_snapshot()["counters"]["queries"] == 1
+
+    def test_count_and_run_goal_are_metered(self):
+        engine = metered_engine()
+        engine.count("path(a, X)")
+        engine.run_goal(engine.parse("path(b, _)"))
+        assert engine.metrics_snapshot()["counters"]["queries"] == 2
+
+    def test_repair_rows_histogram_on_incremental_repair(self):
+        engine = metered_engine(
+            ":- dynamic(edge/2).\n" + PATH_LEFT + CYCLE_EDGES,
+            incremental=True,
+        )
+        engine.query("path(a, X)")
+        engine.query("assert(edge(c, d))")
+        engine.query("path(a, X)")
+        snap = engine.metrics_snapshot()
+        assert snap["histograms"]["repair_rows"]["count"] >= 1
+
+    def test_note_disk_spill_reaches_recording_engines(self):
+        engine = metered_engine()
+        note_disk_spill(4096)
+        snap = engine.metrics_snapshot()
+        assert snap["counters"]["disk_spill"] == 1
+        assert snap["histograms"]["disk_spill_bytes"]["sum"] == 4096
+
+
+# --------------------------------------------------------------------------
+# The nested Chrome timeline (acceptance criterion)
+# --------------------------------------------------------------------------
+
+class TestNestedSpans:
+    def test_chrome_trace_nests_all_stages(self):
+        engine = Engine(trace=True, metrics=True, hybrid=False,
+                        compile=True, compile_warmup=0)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        events = chrome_trace_events(engine.tracer)
+        stages = [e for e in events if e.get("cat") == "stage"
+                  and e["ph"] in ("B", "E")]
+        names = [e["name"] for e in stages if e["ph"] == "B"]
+        assert sum(1 for e in stages if e["ph"] == "B") == \
+            sum(1 for e in stages if e["ph"] == "E")
+        # parse -> analysis -> compile -> flush -> slg, under one root
+        assert any(n.startswith("consult") for n in names)
+        assert any(n.startswith("?-") for n in names)
+        assert "parse" in names
+        assert any(n.startswith("analysis") for n in names)
+        assert any(n.startswith("compile") for n in names)
+        assert any(n.startswith("flush") for n in names)
+        assert "slg" in names
+        # strict LIFO nesting: B/E bracket like parentheses
+        depth = 0
+        for event in stages:
+            depth += 1 if event["ph"] == "B" else -1
+            assert depth >= 0
+        assert depth == 0
+
+    def test_hybrid_route_emits_hybrid_span(self):
+        engine = Engine(trace=True, metrics=True, hybrid=True)
+        engine.consult_string(PATH_LEFT + CYCLE_EDGES)
+        engine.query("path(a, X)")
+        snap = engine.metrics_snapshot()
+        assert "span_hybrid_ns" in snap["histograms"]
+
+    def test_objcache_hit_and_miss_points(self, tmp_path):
+        source = tmp_path / "prog.P"
+        source.write_text(PATH_LEFT + CYCLE_EDGES)
+        cache = tmp_path / "cache"
+        for expected in ("objcache_miss", "objcache_hit"):
+            engine = Engine(trace=True, metrics=True, objcache=True,
+                            objcache_dir=str(cache))
+            engine.consult_file(str(source))
+            kinds = [ev[1] for ev in engine.trace_events()]
+            assert expected in kinds
+            assert engine.metrics_snapshot()["counters"][expected] == 1
+
+
+# --------------------------------------------------------------------------
+# Exposition
+# --------------------------------------------------------------------------
+
+class TestExposition:
+    def _snapshot(self):
+        engine = metered_engine()
+        engine.query("path(a, X)")
+        return engine.metrics_snapshot()
+
+    def test_prometheus_shape(self):
+        text = render_prometheus(self._snapshot())
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_queries_total 1" in text
+        assert "# TYPE repro_table_space_bytes gauge" in text
+        assert "# TYPE repro_query_latency_ns histogram" in text
+        assert 'le="+Inf"' in text
+
+    def test_prometheus_buckets_are_cumulative(self):
+        hist = Histogram()
+        for value in (1, 2, 4, 8, 1000):
+            hist.observe(value)
+        reg = MetricsRegistry()
+        reg.histograms["v"] = hist
+        text = render_prometheus(reg.snapshot())
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith('repro_v_bucket')]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5  # the +Inf bucket equals the count
+
+    def test_json_roundtrip(self):
+        snap = self._snapshot()
+        assert json.loads(render_json(snap)) == json.loads(
+            json.dumps(snap))
+
+    def test_write_metrics_infers_format(self, tmp_path):
+        snap = self._snapshot()
+        as_json = tmp_path / "m.json"
+        as_prom = tmp_path / "m.prom"
+        write_metrics(snap, str(as_json))
+        write_metrics(snap, str(as_prom))
+        assert json.loads(as_json.read_text())["counters"]["queries"] == 1
+        assert "repro_queries_total 1" in as_prom.read_text()
+
+    def test_write_metrics_accepts_stream_and_rejects_garbage(self):
+        snap = self._snapshot()
+        stream = io.StringIO()
+        write_metrics(snap, stream, fmt="json")
+        assert json.loads(stream.getvalue())["counters"]["queries"] == 1
+        with pytest.raises(ValueError):
+            write_metrics(snap, io.StringIO(), fmt="xml")
+
+
+# --------------------------------------------------------------------------
+# The write_metrics/2 builtin
+# --------------------------------------------------------------------------
+
+class TestWriteMetricsBuiltin:
+    def test_writes_json_and_prometheus(self, tmp_path):
+        engine = metered_engine()
+        engine.query("path(a, X)")
+        as_json = tmp_path / "m.json"
+        as_prom = tmp_path / "m.prom"
+        assert engine.run_goal(
+            engine.parse(f"write_metrics(json, '{as_json}')"))
+        assert engine.run_goal(
+            engine.parse(f"write_metrics(prometheus, '{as_prom}')"))
+        assert "queries" in json.loads(as_json.read_text())["counters"]
+        assert "repro_queries_total" in as_prom.read_text()
+
+    def test_requires_metrics_enabled(self, tmp_path):
+        engine = Engine(metrics=False)
+        with pytest.raises(TablingError):
+            engine.query(f"write_metrics(json, '{tmp_path / 'm.json'}')")
+
+    def test_rejects_bad_arguments(self, tmp_path):
+        engine = metered_engine()
+        with pytest.raises(InstantiationError):
+            engine.query("write_metrics(_, somewhere)")
+        with pytest.raises(TypeError_):
+            engine.query(f"write_metrics(xml, '{tmp_path / 'm'}')")

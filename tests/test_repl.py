@@ -166,8 +166,9 @@ class TestObservabilityFlags:
             code = main([program, "--goal", "path(1, _).",
                          "--trace", out, "--quiet"])
             assert code == 0
-            lines = open(out).read().splitlines()
-            assert lines and "subgoal_miss" in lines[0]
+            text = open(out).read()
+            # stage spans open the file now; the SLG stream is present
+            assert text.splitlines() and "subgoal_miss" in text
         finally:
             os.unlink(program)
 
@@ -227,3 +228,85 @@ class TestColonCommands:
     def test_unknown_command(self):
         transcript = run_session(":sideways\n")
         assert "unknown command" in transcript and ":help" in transcript
+
+    def test_profile_warns_about_dropped_events(self):
+        from repro.obs import Tracer
+
+        engine = Engine(trace=False)
+        engine.enable_trace()
+        engine.enable_profile()
+        # swap in a tiny ring so the query forces evictions
+        engine.tracer = Tracer(capacity=8,
+                               registry=engine.tracer.registry)
+        engine.consult_string(TABLED_PATH)
+        transcript = run_session("path(1, X).\n\n:profile\n", engine)
+        assert "dropped" in transcript and "ring capacity 8" in transcript
+
+    def test_tables_lists_bytes_and_totals(self):
+        engine = Engine()
+        engine.consult_string(TABLED_PATH)
+        transcript = run_session("path(1, X).\n\n:tables\n", engine)
+        assert "bytes" in transcript
+        assert "total" in transcript
+        assert "1 table(s)" in transcript
+
+    def test_top_command(self):
+        engine = Engine(trace=False)
+        engine.enable_trace()
+        engine.enable_profile()
+        engine.consult_string(TABLED_PATH)
+        transcript = run_session("path(1, X).\n\n:top\n", engine)
+        assert "self_ms" in transcript and "path/2" in transcript
+
+    def test_top_when_profiling_off(self):
+        transcript = run_session(":top\n", Engine(trace=False))
+        assert "profiling is off" in transcript
+
+    def test_top_rejects_garbage_argument(self):
+        transcript = run_session(":top sideways\n", Engine(trace=False))
+        assert "usage: :top" in transcript
+
+    def test_top_live_refresh_toggle(self):
+        engine = Engine(trace=False)
+        engine.enable_trace()
+        engine.enable_profile()
+        engine.consult_string(TABLED_PATH)
+        transcript = run_session(
+            ":top on\npath(1, X).\n\n:top off\npath(1, X).\n\n", engine)
+        assert "live refresh on" in transcript
+        assert "live refresh off" in transcript
+        # the view printed after the first query only
+        assert transcript.count("self_ms") == 1
+
+
+class TestMetricsFlag:
+    def _program(self):
+        path = tempfile.mktemp(suffix=".P")
+        with open(path, "w") as handle:
+            handle.write(TABLED_PATH)
+        return path
+
+    def test_metrics_flag_writes_json(self, capsys, tmp_path):
+        import json
+
+        program, out = self._program(), str(tmp_path / "metrics.json")
+        try:
+            code = main([program, "--goal", "path(1, _).",
+                         "--metrics", out, "--quiet"])
+            assert code == 0
+            snapshot = json.load(open(out))
+            assert snapshot["counters"]["queries"] == 1
+            assert "query_latency_ns" in snapshot["histograms"]
+        finally:
+            os.unlink(program)
+
+    def test_metrics_flag_writes_prometheus(self, capsys, tmp_path):
+        program, out = self._program(), str(tmp_path / "metrics.prom")
+        try:
+            code = main([program, "--goal", "path(1, _).",
+                         "--metrics", out])
+            assert code == 0
+            assert "repro_queries_total 1" in open(out).read()
+            assert "metrics written to" in capsys.readouterr().err
+        finally:
+            os.unlink(program)

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Fail when engine code reads a wall clock outside the obs layer.
+
+The observability layer (PR 9) exists so every timing measurement in
+the engine flows through one instrumented path: spans feed the metrics
+histograms and the trace ring, and the bench harness owns best-of wall
+timing.  An ad-hoc ``time.perf_counter()`` sprinkled into a subsystem
+bypasses all of that — it can't be disabled, can't be exported, and
+silently double-counts when the subsystem later gains a span.  This
+guard keeps the clock calls where they belong.
+
+Flags calls to ``time.perf_counter``, ``time.perf_counter_ns``,
+``time.monotonic``, ``time.monotonic_ns``, ``time.process_time``,
+``time.process_time_ns``, ``time.time``, and ``time.time_ns`` in any
+``src`` module except the sanctioned ones (the obs clock owners and
+the bench harness).  Both ``time.perf_counter(...)`` attribute calls
+and bare ``perf_counter(...)`` after ``from time import ...`` are
+caught; *references* (e.g. passing ``time.perf_counter_ns`` as a
+default clock) are fine only inside the sanctioned modules, so the
+check simply skips those files.
+
+Usage: python tools/check_no_adhoc_timing.py [src-dir]
+"""
+
+import ast
+import pathlib
+import sys
+
+CLOCK_NAMES = frozenset(
+    {
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "time",
+        "time_ns",
+    }
+)
+
+# Paths (relative to the src dir) that legitimately own a clock: the
+# trace/profile/span recorders (which inject ``time.perf_counter_ns``
+# as the default clock) and the bench harness (best-of wall timing).
+TIMING_ALLOWED = (
+    "repro/obs/trace.py",
+    "repro/obs/profile.py",
+    "repro/obs/spans.py",
+    "repro/bench/harness.py",
+)
+
+
+def timing_allowed(path, root):
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        return False
+    return rel in TIMING_ALLOWED
+
+
+def _clock_call_name(node):
+    """The clock name a call targets, or None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+        and func.attr in CLOCK_NAMES
+    ):
+        return f"time.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in CLOCK_NAMES - {"time"}:
+        # Bare ``perf_counter()`` etc. after ``from time import ...``.
+        # Bare ``time()`` is too ambiguous to flag (local helpers).
+        return func.id
+    return None
+
+
+def check_file(path):
+    problems = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    imported_clocks = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            imported_clocks.update(
+                alias.asname or alias.name
+                for alias in node.names
+                if alias.name in CLOCK_NAMES
+            )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _clock_call_name(node)
+        if name is None:
+            continue
+        if "." not in name and name not in imported_clocks:
+            continue  # a local function that happens to share the name
+        problems.append(
+            f"{path}:{node.lineno}: ad-hoc {name}() call — timing "
+            "belongs in the obs layer (spans/trace/profile) or the "
+            "bench harness"
+        )
+    return problems
+
+
+def main(argv):
+    src = pathlib.Path(argv[1] if len(argv) > 1 else "src")
+    problems = []
+    for path in sorted(src.rglob("*.py")):
+        if timing_allowed(path, src):
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"{len(problems)} ad-hoc timing problem(s); clocks belong in "
+            f"{', '.join(TIMING_ALLOWED)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "ok: no ad-hoc clock reads outside the sanctioned timing modules"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
