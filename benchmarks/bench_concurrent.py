@@ -1,0 +1,238 @@
+"""Concurrent query-service benchmark: shared knowledge base vs
+isolated engines, at 1/4/16/64 clients.
+
+The SharedKB/Session split exists so a query service can reuse one
+session's completed tables for every other session's variant calls.
+This benchmark quantifies that: C client threads each issue R requests
+drawn round-robin from G distinct tabled subgoals.
+
+* **shared** — every client is a :class:`~repro.engine.session.Session`
+  over one concurrent knowledge base: the first variant call evaluates
+  a subgoal, everyone else check-ins for free (G evaluations total).
+* **isolated** — every client owns a private :class:`~repro.Engine`
+  (the only way to serve concurrent clients before the split): each
+  engine evaluates each subgoal it sees (up to C × G evaluations).
+
+Per (mode, clients) the JSON records wall time, throughput
+(requests/s), per-request p50/p99 latency from the merged metrics
+histograms, and the shared-table hit rate.  The headline claim —
+asserted by ``test_shared_tables_beat_isolated_at_16_clients`` — is
+that at 16 clients the shared knowledge base sustains at least 2x the
+throughput of isolated engines on this workload.
+
+Run standalone to (re)generate the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_concurrent.py --out benchmarks/BENCH_concurrent.json
+    PYTHONPATH=src python benchmarks/bench_concurrent.py --isolated-only \
+        --out benchmarks/BENCH_concurrent_before.json
+"""
+
+import argparse
+import os
+import sys
+import threading
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Engine  # noqa: E402
+from repro.bench import chain_edges, format_table, time_call  # noqa: E402
+from repro.bench import write_json_results  # noqa: E402
+from repro.obs.metrics import merge_snapshots  # noqa: E402
+
+PATH_RIGHT = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- edge(X,Z), path(Z,Y).
+"""
+
+CHAIN = 192          # chain length: one subgoal evaluation ~ a few ms
+GOALS = 24           # distinct tabled subgoals in the request mix
+REQUESTS = 48        # requests per client
+CLIENT_COUNTS = (1, 4, 16, 64)
+
+
+def _program_engine(**engine_kwargs):
+    engine = Engine(**engine_kwargs)
+    engine.consult_string(PATH_RIGHT)
+    engine.add_facts("edge", chain_edges(CHAIN))
+    return engine
+
+
+def _goal(index):
+    return f"path({index % GOALS + 1}, X)"
+
+
+def _run_clients(make_session, clients):
+    """Spawn one thread per client; each runs REQUESTS queries.
+    Returns the sessions (for metrics) after all threads join."""
+    sessions = [make_session() for _ in range(clients)]
+    barrier = threading.Barrier(clients)
+    errors = []
+
+    def client(session, offset):
+        try:
+            barrier.wait(timeout=30)
+            for i in range(REQUESTS):
+                session.query(_goal(offset + i))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(session, tid * 7))
+        for tid, session in enumerate(sessions)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise RuntimeError(f"client thread failed: {errors[0]}")
+    return sessions
+
+
+def run_shared(clients):
+    """All clients are sessions over one concurrent knowledge base."""
+    engine = _program_engine(metrics=True)
+    engine.kb.enable_concurrency()
+    seconds, sessions = time_call(
+        _run_clients, lambda: engine.session(metrics=True), clients
+    )
+    merged = {}
+    for session in sessions:
+        snap = session.metrics_snapshot()
+        merged = merge_snapshots(merged, snap) if merged else snap
+    return seconds, merged, engine.kb.shared_hit_ratio()
+
+
+def run_isolated(clients):
+    """Every client owns a private engine: no sharing possible."""
+    seconds, sessions = time_call(
+        _run_clients, lambda: _program_engine(metrics=True), clients
+    )
+    merged = {}
+    for session in sessions:
+        snap = session.metrics_snapshot()
+        merged = merge_snapshots(merged, snap) if merged else snap
+    return seconds, merged, 0.0
+
+
+def run_all(client_counts=CLIENT_COUNTS, modes=("shared", "isolated")):
+    """Returns ``{series: seconds}`` plus a metrics dict per series."""
+    runners = {"shared": run_shared, "isolated": run_isolated}
+    results = {}
+    metrics = {}
+    extras = {}
+    for clients in client_counts:
+        for mode in modes:
+            name = f"{mode}_{clients}c"
+            seconds, merged, hit_ratio = runners[mode](clients)
+            results[name] = seconds
+            metrics[name] = merged
+            latency = merged.get("histograms", {}).get("query_latency_ns", {})
+            extras[name] = {
+                "clients": clients,
+                "requests": clients * REQUESTS,
+                "throughput_rps": clients * REQUESTS / seconds,
+                "p50_latency_ns": latency.get("p50"),
+                "p99_latency_ns": latency.get("p99"),
+                "shared_hit_ratio": hit_ratio,
+            }
+    return results, metrics, extras
+
+
+def _table(extras):
+    return format_table(
+        ["series", "wall_s", "req/s", "p50_us", "p99_us", "hit%"],
+        [
+            (
+                name,
+                row["requests"] / row["throughput_rps"],
+                row["throughput_rps"],
+                (row["p50_latency_ns"] or 0) / 1e3,
+                (row["p99_latency_ns"] or 0) / 1e3,
+                row["shared_hit_ratio"] * 100,
+            )
+            for name, row in extras.items()
+        ],
+    )
+
+
+# -- pytest entry points ---------------------------------------------------
+
+def test_shared_tables_beat_isolated_at_16_clients(benchmark):
+    def ratio():
+        shared_s, _, hit_ratio = run_shared(16)
+        isolated_s, _, _ = run_isolated(16)
+        assert hit_ratio > 0.5  # most check-ins served from peers
+        return isolated_s / shared_s
+
+    # The acceptance claim: cross-query table reuse at 16 clients is
+    # worth at least 2x throughput over per-client isolated engines.
+    # One round: each round already runs 16x2 client fleets to
+    # completion, and the margin is ~10x, not a timing coin-flip.
+    assert benchmark.pedantic(ratio, rounds=1) > 2.0
+
+
+def test_concurrent_bench_write_json(benchmark, tmp_path):
+    benchmark(lambda: run_shared(2))
+    results, metrics, extras = run_all(client_counts=(1, 4), modes=("shared",))
+    out = tmp_path / "BENCH_concurrent.json"
+    payload = write_json_results(
+        str(out), results,
+        meta={"chain": CHAIN, "goals": GOALS, "requests": REQUESTS,
+              "series_detail": extras},
+        metrics=metrics,
+    )
+    assert payload["results"].keys() == results.keys()
+    for name in results:
+        detail = payload["meta"]["series_detail"][name]
+        assert detail["throughput_rps"] > 0
+        assert detail["p99_latency_ns"] >= detail["p50_latency_ns"]
+    print()
+    print(_table(extras))
+
+
+def test_shared_answers_identical_to_isolated(benchmark):
+    def answers(run):
+        if run == "shared":
+            engine = _program_engine()
+            engine.kb.enable_concurrency()
+            session = engine.session()
+        else:
+            session = _program_engine()
+        return [
+            sorted(s["X"] for s in session.query(_goal(i)))
+            for i in range(GOALS)
+        ]
+
+    assert benchmark(lambda: answers("shared")) == answers("isolated")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    parser.add_argument("--isolated-only", action="store_true",
+                        help="run only the isolated mode (the 'before' "
+                        "deployment shape: one engine per client)")
+    parser.add_argument("--shared-only", action="store_true")
+    parser.add_argument("--clients", type=int, nargs="*",
+                        default=list(CLIENT_COUNTS))
+    options = parser.parse_args()
+    if options.isolated_only:
+        modes = ("isolated",)
+    elif options.shared_only:
+        modes = ("shared",)
+    else:
+        modes = ("shared", "isolated")
+    results, metrics, extras = run_all(
+        client_counts=tuple(options.clients), modes=modes
+    )
+    print(_table(extras))
+    if options.out:
+        write_json_results(
+            options.out, results,
+            meta={"chain": CHAIN, "goals": GOALS, "requests": REQUESTS,
+                  "series_detail": extras},
+            metrics=metrics,
+        )
+        print(f"wrote {options.out}")

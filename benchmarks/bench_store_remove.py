@@ -1,0 +1,152 @@
+"""Micro-benchmark: swap-pop tuple-store removal vs the old list scan.
+
+``MemoryTupleStore.remove`` used to delete from the rows list with
+``list.remove`` — an O(rows) scan per call, which made bulk deletions
+(the incremental maintainer's DRed cascades retract whole support
+sets) quadratic in relation size.  PR 10 replaced it with a lazily
+built row→position map and swap-pop: pop the last row into the vacated
+slot, O(1) per removal, list identity preserved for compiled join
+plans.
+
+The series here removes ``size // 4`` random rows from stores of
+increasing size, once through the real :meth:`remove` and once through
+a reference implementation of the old scan, so the JSON shows the
+asymptotic gap directly: the scan's per-removal cost grows linearly
+with the store while swap-pop stays flat.
+
+Run standalone for a quick table::
+
+    PYTHONPATH=src python benchmarks/bench_store_remove.py
+    PYTHONPATH=src python benchmarks/bench_store_remove.py --out /tmp/remove.json
+"""
+
+import argparse
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import format_table, time_call, write_json_results  # noqa: E402
+from repro.store.tuplestore import MemoryTupleStore  # noqa: E402
+
+SIZES = (1_000, 4_000, 16_000, 64_000)
+REMOVE_FRACTION = 4  # remove size // REMOVE_FRACTION rows per run
+
+
+def _filled_store(size):
+    store = MemoryTupleStore("bench", 2)
+    store.add_many((i, i % 97) for i in range(size))
+    store.ensure_index((0,))
+    return store
+
+
+def _victims(size, seed=11):
+    rng = random.Random(seed)
+    return rng.sample(range(size), size // REMOVE_FRACTION)
+
+
+def remove_swap_pop(size):
+    """The shipped path: position-map pop + swap-pop, O(1) per row."""
+    store = _filled_store(size)
+    for i in _victims(size):
+        store.remove((i, i % 97))
+    return store
+
+
+def remove_list_scan(size):
+    """Reference for the pre-PR-10 behavior: ``list.remove`` scans the
+    rows list for each victim, so a bulk delete is O(rows * removals)."""
+    store = _filled_store(size)
+    for i in _victims(size):
+        row = (i, i % 97)
+        if row not in store.tuples:
+            continue
+        store.tuples.discard(row)
+        store.rows.remove(row)  # the old O(rows) scan
+        for positions, index in store.indexes.items():
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(row)
+                if not bucket:
+                    del index[key]
+        store.generation += 1
+        store.stats.removes += 1
+    return store
+
+
+SERIES = {
+    f"{impl}_{size}": (fn, size)
+    for size in SIZES
+    for impl, fn in (("swap_pop", remove_swap_pop),
+                     ("list_scan", remove_list_scan))
+}
+
+
+def run_series(names=None, repeat=3):
+    results = {}
+    for name, (fn, size) in SERIES.items():
+        if names and name not in names:
+            continue
+        seconds, _ = time_call(fn, size, repeat=repeat)
+        results[name] = seconds
+    return results
+
+
+def _table(results):
+    rows = []
+    for size in SIZES:
+        swap = results.get(f"swap_pop_{size}")
+        scan = results.get(f"list_scan_{size}")
+        if swap is None or scan is None:
+            continue
+        removals = size // REMOVE_FRACTION
+        rows.append((
+            size, removals,
+            swap * 1e9 / removals, scan * 1e9 / removals,
+            scan / swap,
+        ))
+    return format_table(
+        ["rows", "removals", "swap_ns/rm", "scan_ns/rm", "speedup"], rows
+    )
+
+
+# -- pytest entry points ---------------------------------------------------
+
+def test_swap_pop_store_state_matches_scan(benchmark):
+    fast = benchmark(remove_swap_pop, SIZES[0])
+    slow = remove_list_scan(SIZES[0])
+    assert fast.tuples == slow.tuples
+    assert sorted(fast.rows) == sorted(slow.rows)
+    assert fast.stats.removes == slow.stats.removes > 0
+    # Index contents agree (bucket order may differ after swap-pop).
+    assert fast.probe((0,), (5,)) == slow.probe((0,), (5,))
+
+
+def test_swap_pop_cost_stays_flat_as_store_grows(benchmark):
+    small = SIZES[0]
+    large = SIZES[-1]
+    small_s, _ = time_call(remove_swap_pop, small, repeat=3)
+    large_s = benchmark(lambda: time_call(remove_swap_pop, large, repeat=3)[0])
+    per_small = small_s / (small // REMOVE_FRACTION)
+    per_large = large_s / (large // REMOVE_FRACTION)
+    # O(1) per removal: a 64x bigger store must not cost anywhere near
+    # 64x more per removal; generous 6x bound for cache effects.
+    assert per_large < per_small * 6
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("series", nargs="*", help="subset of series names")
+    options = parser.parse_args()
+    results = run_series(options.series or None, repeat=options.repeat)
+    print(_table(results))
+    if options.out:
+        write_json_results(
+            options.out, results,
+            meta={"sizes": list(SIZES), "remove_fraction": REMOVE_FRACTION},
+        )
+        print(f"wrote {options.out}")

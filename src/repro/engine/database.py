@@ -200,6 +200,7 @@ class Predicate:
         "_row_index",
         "_row_index_stamp",
         "delta_sink",
+        "write_guard",
     )
 
     def __init__(self, name, arity, dynamic=False, module="usermod"):
@@ -255,6 +256,12 @@ class Predicate:
         # mutation site at one attribute read and one ``is not None``
         # test, the zero-cost-when-off contract.
         self.delta_sink = None
+        # Concurrent-mode mutation hook (repro.engine.kb): when the
+        # owning SharedKB runs in concurrent mode, every mutation below
+        # first calls this to assert the KB write lock is held.  None
+        # (the default) keeps the single-session contract: one
+        # attribute read and one ``is not None`` test per mutation.
+        self.write_guard = None
 
     @property
     def indicator(self):
@@ -412,6 +419,9 @@ class Predicate:
         per row (duplicates kept), exactly like per-line assertz, just
         batched.
         """
+        guard = self.write_guard
+        if guard is not None:
+            guard()
         sink = self.delta_sink
         if sink is not None:
             # The delta needs the batch twice (install + report), so
@@ -492,6 +502,9 @@ class Predicate:
         cache's replay path): sequence numbers assigned in order, one
         mutation stamp, one index build — skipping exactly the
         per-clause work a cache hit exists to skip."""
+        guard = self.write_guard
+        if guard is not None:
+            guard()
         self._promote_rows()
         seq = self.next_seq
         for clause in clauses:
@@ -564,6 +577,9 @@ class Predicate:
     # -- clause management ------------------------------------------------------
 
     def add_clause(self, clause, front=False):
+        guard = self.write_guard
+        if guard is not None:
+            guard()
         self._promote_rows()
         clause.seq = self.next_seq
         self.next_seq += 1
@@ -613,6 +629,9 @@ class Predicate:
         return clause
 
     def remove_clause(self, clause):
+        guard = self.write_guard
+        if guard is not None:
+            guard()
         if self.row_store is not None:
             # Tuple-at-a-time retraction exits row mode; the promoted
             # clause keeps the row id as its seq, so the caller's
@@ -683,6 +702,9 @@ class Predicate:
 
     def retract_all_clauses(self):
         """Predicate-level retract: drop every clause at once."""
+        guard = self.write_guard
+        if guard is not None:
+            guard()
         sink = self.delta_sink
         if sink is not None:
             # Wholesale emptying is reported structurally: dependent
@@ -746,6 +768,7 @@ class Database:
         self.hilog_symbols = set()
         self.analysis = AnalysisRegistry(self)
         self.delta_sink = None
+        self.write_guard = None
 
     def lookup(self, name, arity):
         """The predicate for a call, or None when undefined."""
@@ -755,10 +778,22 @@ class Database:
         key = (name, arity)
         pred = self.predicates.get(key)
         if pred is None:
+            guard = self.write_guard
+            if guard is not None:
+                guard()
             pred = Predicate(name, arity, dynamic=dynamic)
             pred.delta_sink = self.delta_sink
+            pred.write_guard = self.write_guard
             self.predicates[key] = pred
         return pred
+
+    def set_write_guard(self, guard):
+        """Attach the concurrent-mode mutation hook (see
+        :class:`repro.engine.kb.SharedKB`) to the database and every
+        predicate, current and future."""
+        self.write_guard = guard
+        for pred in self.predicates.values():
+            pred.write_guard = guard
 
     def set_delta_sink(self, sink):
         """Attach (or detach, with None) the typed update-delta sink
@@ -789,6 +824,9 @@ class Database:
 
     def abolish(self, name, arity):
         """Remove the predicate definition entirely."""
+        guard = self.write_guard
+        if guard is not None:
+            guard()
         if self.predicates.pop((name, arity), None) is not None:
             # A removal is a mutation like any other: without the bump,
             # generation-validated analyses would keep serving results

@@ -367,7 +367,11 @@ class IncrementalMaintainer:
             stats = None
         tracer = engine.tracer
         trace = tracer if tracer is not None and tracer.enabled else None
-        tables = engine.tables
+        # The maintainer always repairs the *shared* table space: the
+        # owning session's ``tables`` attribute may alias a private
+        # space (Session.local_dynamic), which lives under the
+        # pre-incremental wholesale-invalidation contract instead.
+        tables = engine.kb.tables
         spans = engine.spans
         token = None
         if spans is not None:

@@ -1,0 +1,265 @@
+"""The shared knowledge base: everything many sessions may consult.
+
+The paper's deductive-database claim rests on a split XSB makes
+architecturally (and Swift & Warren's later overview states outright):
+the *table space* is an immutable store of completed relations that any
+evaluation may consult, while SLG execution state — choice points,
+suspensions, the trail — belongs to exactly one in-flight evaluation.
+:class:`SharedKB` is that split made explicit.  It owns the program
+database and its analysis registry, the operator table, the module
+system, the builtin registry, the table space of completed subgoal
+frames, and the incremental maintainer — everything that is either
+immutable between mutations or stamped by the store layer's generation
+counter.  A :class:`~repro.engine.session.Session` owns everything
+else.
+
+Concurrency discipline (active only after :meth:`enable_concurrency`;
+a plain single-session :class:`~repro.engine.Engine` never pays for
+any of it):
+
+* **Readers–writer lock** (:class:`RWLock`).  A query holds the read
+  side for its whole evaluation, so it sees one consistent cut of the
+  clause database and the table space.  Mutations — assert, retract,
+  consult, declarations, the incremental flush — run under the write
+  side, which excludes every reader: snapshot isolation at query
+  granularity, pinned by the store layer's mutation generation.
+* **Evaluation lock** (``eval_lock``).  Completed tables are immutable
+  outside the write lock, so a variant hit on one is served with *no*
+  lock beyond the read side — the free cross-session answer set the
+  ROADMAP promises.  Generating a new table (or consuming an
+  incomplete one) serializes on this reentrant lock: all incomplete
+  frames in the shared space therefore belong to the lock holder,
+  which is exactly the invariant the SLG completion machinery already
+  assumes within one run.
+* **Upgrade ban.**  Acquiring the write side while holding only the
+  read side raises instead of deadlocking.  A goal that tries to
+  mutate the shared database mid-query in concurrent mode gets a
+  clear error pointing at session-local predicates or the service's
+  mutation commands.
+
+Lock order is read → eval and never the reverse of anything; writers
+take only the write side.  Both facts together give deadlock freedom.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from ..lang.ops import OperatorTable
+from ..modules import ModuleSystem
+from .builtins import default_registry
+from .database import Database
+from .table import TableSpace
+
+__all__ = ["RWLock", "SharedKB"]
+
+
+class RWLock:
+    """A reentrant readers–writer lock with writer preference.
+
+    Reentrancy rules, chosen for the engine's call shapes:
+
+    * a thread may nest read acquisitions (queries start queries via
+      ``findall`` and friends);
+    * a thread holding the *write* side may acquire the read side —
+      a no-op depth bump — so consult-time directives can run queries;
+    * a thread holding only the *read* side may **not** acquire the
+      write side: upgrading deadlocks two upgraders, so it raises
+      ``RuntimeError`` immediately instead.
+
+    Writer preference: once a writer is waiting, new first-entry
+    readers queue behind it, so a mutation burst cannot be starved by
+    a stream of queries.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = {}        # thread ident -> read depth
+        self._writer = None       # thread ident of the writer, or None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    def acquire_read(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self):
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._readers.get(me)
+            if not depth:
+                raise RuntimeError("release_read without a matching acquire")
+            if depth > 1:
+                self._readers[me] = depth - 1
+                return
+            del self._readers[me]
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    "cannot mutate the shared knowledge base from inside a "
+                    "running query (read->write upgrade); use session-local "
+                    "predicates or the service's mutation commands"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    def read_held(self):
+        return threading.get_ident() in self._readers
+
+    def write_held(self):
+        return self._writer == threading.get_ident()
+
+
+class SharedKB:
+    """One knowledge base, any number of sessions.
+
+    Construction is exactly the shared half of the old ``Engine``
+    constructor; a session created against the KB layers its own trail,
+    counters and observability on top.  ``concurrent`` stays False for
+    a plain single-session engine — every hot-path site that would pay
+    for locking tests that one flag (or a value derived from it once
+    per run) first.
+    """
+
+    def __init__(self, answer_store="hash", subgoal_index="dict"):
+        if answer_store not in ("hash", "trie"):
+            raise ValueError("answer_store must be 'hash' or 'trie'")
+        self.db = Database()
+        self.tables = TableSpace(
+            use_trie=(answer_store == "trie"), subgoal_index=subgoal_index
+        )
+        self.builtins = default_registry()
+        self.operators = OperatorTable()
+        self.modules = ModuleSystem()
+        self.hilog_symbols = self.db.hilog_symbols
+        self.answer_store = answer_store
+        self.subgoal_index = subgoal_index
+        # Installed by the owning Engine when incremental maintenance
+        # is on (the maintainer needs a session for its counters).
+        self.incremental = None
+        self.lock = RWLock()
+        self.eval_lock = threading.RLock()
+        self.concurrent = False
+        self._sessions = weakref.WeakValueDictionary()
+        self._next_sid = 0
+        self._sid_lock = threading.Lock()
+
+    # -- session registry ---------------------------------------------------
+
+    def register(self, session):
+        """Assign a session id and track the session (weakly)."""
+        with self._sid_lock:
+            sid = self._next_sid
+            self._next_sid = sid + 1
+            self._sessions[sid] = session
+        return sid
+
+    def sessions(self):
+        """Live sessions, oldest first (for ``:sessions`` and gauges)."""
+        with self._sid_lock:
+            return [s for _, s in sorted(self._sessions.items())]
+
+    def sessions_active(self):
+        with self._sid_lock:
+            return len(self._sessions)
+
+    # -- concurrency --------------------------------------------------------
+
+    def enable_concurrency(self):
+        """Switch the KB into shared (locked) mode.
+
+        Monotonic: once on, stays on.  The database's write guard
+        rejects mutations made outside the write lock from then on, so
+        every mutation path must go through a session's locked
+        wrappers (they all check ``kb.concurrent``).
+        """
+        if not self.concurrent:
+            self.concurrent = True
+            self.db.set_write_guard(self._check_write)
+        return self
+
+    def _check_write(self):
+        """Database mutation hook: writers must hold the write lock."""
+        if not self.lock.write_held():
+            if self.lock.read_held():
+                raise RuntimeError(
+                    "cannot mutate the shared knowledge base from inside a "
+                    "running query in concurrent mode; declare the "
+                    "predicate session-local or use a mutation command"
+                )
+            raise RuntimeError(
+                "shared knowledge base mutated without the write lock; "
+                "use the Session mutation methods in concurrent mode"
+            )
+
+    def flush_if_dirty(self):
+        """Drain pending incremental deltas under the write lock.
+
+        Called by a session's locked query path before it takes the
+        read side, so the clause database and the table space it then
+        reads are one consistent cut.  The caller loops: between our
+        release and its read acquisition another mutation may land.
+        """
+        maintainer = self.incremental
+        if maintainer is None or not maintainer.dirty:
+            return False
+        self.lock.acquire_write()
+        try:
+            if maintainer.dirty:
+                maintainer.flush()
+        finally:
+            self.lock.release_write()
+        return True
+
+    def shared_hit_ratio(self):
+        """Fraction of subgoal hits served from another session's
+        completed table, summed over live sessions (a gauge for the
+        Prometheus exposition)."""
+        hits = 0
+        shared = 0
+        for session in self.sessions():
+            stats = session.stats
+            hits += stats.subgoal_hits
+            shared += stats.table_hit_shared
+        if hits <= 0:
+            return 0.0
+        return shared / hits
+
+    def __repr__(self):
+        return (
+            f"<SharedKB {self.db.user_clause_count()} clauses, "
+            f"{self.tables.frame_count()} tables, "
+            f"{self.sessions_active()} session(s), "
+            f"{'concurrent' if self.concurrent else 'single'}>"
+        )

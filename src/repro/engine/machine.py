@@ -376,6 +376,8 @@ class Machine:
         "prof",
         "compiled",
         "compile_warmup",
+        "shared",
+        "_eval_locked",
     )
 
     def __init__(self, engine, mode=MODE_QUERY, depth=0):
@@ -409,6 +411,14 @@ class Machine:
         # path costs one truth test per user-predicate call.
         self.compiled = getattr(engine, "compile", False)
         self.compile_warmup = getattr(engine, "compile_warmup", 0)
+        # Shared-table discipline (repro.engine.kb): snapshotted once
+        # per run like the locals above.  When True, _call_tabled
+        # probes the shared table space lock-free for completed
+        # variants and serializes table *generation* on the KB's
+        # evaluation lock (acquired on the first non-completed
+        # check-in, released by _cleanup).
+        self.shared = getattr(engine, "shared_slg", False)
+        self._eval_locked = False
 
     # -- public entry ---------------------------------------------------------
 
@@ -424,7 +434,13 @@ class Machine:
             # immediate-update semantics the SLG kernels already have.
             maintainer = getattr(engine, "incremental", None)
             if maintainer is not None and maintainer.dirty:
-                maintainer.flush()
+                # In concurrent mode the flush mutates shared frames,
+                # so only a write-lock holder may run it here; locked
+                # query paths drained the deltas before taking the
+                # read side (Session._acquire_query_read).
+                kb = getattr(engine, "kb", None)
+                if kb is None or not kb.concurrent or kb.lock.write_held():
+                    maintainer.flush()
         trail = self.trail
         self.base_mark = trail.mark()
         # The goal chain ends in a $yield node rather than None so that
@@ -730,7 +746,39 @@ class Machine:
     # -- tabled calls ----------------------------------------------------------------
 
     def _call_tabled(self, term, pred, args, goals):
-        tables = self.engine.tables
+        engine = self.engine
+        tables = engine.tables
+        if self.shared and not self._eval_locked:
+            # Shared table space, evaluation lock not yet held: probe
+            # for a completed variant lock-free.  Completed frames are
+            # immutable outside the KB write lock (excluded by this
+            # query's read hold), so a hit — this session's or another
+            # session's — is served with no lock at all: the free
+            # cross-session answer set.  Anything else (miss, or an
+            # incomplete frame) serializes table generation on the
+            # KB's reentrant evaluation lock; from then on every
+            # incomplete frame in the shared space belongs to this
+            # thread, which is the invariant the completion machinery
+            # assumes within one run.
+            frame = tables.lookup_term(term)
+            if frame is not None and frame.complete:
+                stats = self.stats
+                if stats is not None:
+                    stats.subgoal_hits += 1
+                    if frame.owner >= 0 and frame.owner != engine.sid:
+                        stats.table_hit_shared += 1
+                if self.trace is not None:
+                    self.trace.event(EV_SUBGOAL_HIT, frame)
+                trail = self.trail
+                consumer = ConsumerCP(trail.mark(), frame, term, goals.next)
+                self.cpstack.append(consumer)
+                result = consumer.retry(self)
+                if result is EXHAUSTED:
+                    self.cpstack.pop()
+                    return self._backtrack()
+                return result
+            engine.kb.eval_lock.acquire()
+            self._eval_locked = True
         # One canonicalization covers both the variant lookup and (on a
         # miss) the new frame's key.
         frame, created = tables.check_in(term, pred.indicator)
@@ -744,7 +792,7 @@ class Machine:
                 stats.subgoal_misses += 1
             if trace is not None:
                 trace.event(EV_SUBGOAL_MISS, frame)
-            engine = self.engine
+            frame.owner = engine.sid
             if engine.hybrid and try_hybrid(engine, frame, term, pred, stats,
                                             trace=trace, prof=prof):
                 # Datalog-safe SCC: the bridge evaluated the subgoal
@@ -796,6 +844,8 @@ class Machine:
             return result
         if stats is not None:
             stats.subgoal_hits += 1
+            if frame.complete and frame.owner >= 0 and frame.owner != engine.sid:
+                stats.table_hit_shared += 1
         if trace is not None:
             trace.event(EV_SUBGOAL_HIT, frame)
 
@@ -906,3 +956,9 @@ class Machine:
         self.cpstack.clear()
         self.comp_stack.clear()
         self.trail.undo_to(self.base_mark)
+        if self._eval_locked:
+            # Incomplete frames created under the evaluation lock are
+            # gone (deleted above or completed); only now may another
+            # session generate tables.
+            self._eval_locked = False
+            self.engine.kb.eval_lock.release()

@@ -1,0 +1,1220 @@
+"""Per-session evaluation state over a shared knowledge base.
+
+A :class:`Session` is the mutable half of the Engine split: its own
+trail, perf counters, observability stack (tracer / profiler / span
+recorder / metrics registry), configuration flags, and — optionally —
+session-local dynamic predicates layered over the shared database.
+Everything it *consults* (clauses, analysis, completed tables,
+operators, modules, builtins) lives in the :class:`~repro.engine.kb.
+SharedKB` it was created against and is aliased as plain attributes,
+so the SLG machine's hot path reads ``engine.db`` / ``engine.tables``
+exactly as it always has.
+
+Concurrency (active only when ``kb.concurrent``; a plain
+single-session :class:`~repro.engine.Engine` pays one flag test per
+query):
+
+* every query runs under the KB's read lock for its whole life, after
+  a consistent-read loop that drains any pending incremental deltas
+  under the write lock first — the clause database and the table
+  space a query sees are one cut, pinned by the store layer's
+  mutation generation;
+* every mutation method wraps itself in the write lock and marks the
+  session *exclusive* for its duration, so consult-time directives
+  and update goals (assert/retract builtins) run on the plain
+  single-threaded paths while holding exclusivity;
+* a session that declares local predicates trades the shared table
+  space for a private one (``tables_shared = False``): local
+  definitions may change what any subgoal derives, so sharing its
+  tables would poison other sessions.  The private space is
+  conservatively abolished whenever the global mutation generation
+  moves.
+
+Session-local dynamic predicates (:meth:`Session.local_dynamic`) may
+not shadow shared predicates — a fresh name only.  That keeps the
+shared analysis registry, the hybrid planner and the lock-free
+completed-table probe all sound without consulting session state.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from ..errors import ParseError, ReproError, StorageError
+from ..lang.parser import Parser
+from ..terms import (
+    Atom,
+    Struct,
+    Trail,
+    Var,
+    deref,
+    is_proper_list,
+    list_to_python,
+    make_list,
+    mkatom,
+    resolve,
+)
+from ..obs import (
+    MetricsRegistry,
+    Profiler,
+    SpanRecorder,
+    SubgoalRegistry,
+    Tracer,
+)
+from ..obs.spans import (
+    STAGE_CONSULT,
+    STAGE_PARSE,
+    STAGE_SLG,
+)
+from ..perf import EngineStats
+from ..terms.rename import copy_term
+from .clause import Clause
+from .database import Predicate, mutation_generation
+from .machine import MODE_QUERY, Machine
+from .table import TableSpace, frame_call_term
+
+__all__ = [
+    "Session",
+    "SessionDatabase",
+    "python_to_term",
+    "term_to_python",
+]
+
+
+def python_to_term(value):
+    """Convert a Python value to a term: str -> atom, int/float kept,
+    list/tuple -> Prolog list, terms passed through."""
+    if isinstance(value, (Atom, Struct, Var, int, float)):
+        return value
+    if isinstance(value, str):
+        return mkatom(value)
+    if isinstance(value, (list, tuple)):
+        return make_list([python_to_term(v) for v in value])
+    raise TypeError(f"cannot convert {value!r} to a term")
+
+
+def term_to_python(term):
+    """Convert a term to a Python value: atoms -> str, numbers kept,
+    proper lists -> list; other terms are returned resolved."""
+    term = deref(term)
+    if isinstance(term, Atom):
+        if term.name == "[]":
+            return []
+        return term.name
+    if isinstance(term, (int, float)):
+        return term
+    if isinstance(term, Struct) and is_proper_list(term):
+        return [term_to_python(item) for item in list_to_python(term)]
+    return resolve(term)
+
+
+class _ChainedPredicates:
+    """``predicates`` view merging session-local predicates over the
+    shared dict.  Locals never shadow (enforced at declaration), so
+    probe order is a pure disjoint union; the machine's per-call
+    ``predicates.get(key)`` costs one extra dict probe only in
+    sessions that actually declared locals."""
+
+    __slots__ = ("local", "shared")
+
+    def __init__(self, local, shared):
+        self.local = local
+        self.shared = shared
+
+    def get(self, key, default=None):
+        pred = self.local.get(key)
+        if pred is not None:
+            return pred
+        return self.shared.get(key, default)
+
+    def __getitem__(self, key):
+        pred = self.get(key)
+        if pred is None:
+            raise KeyError(key)
+        return pred
+
+    def __contains__(self, key):
+        return key in self.local or key in self.shared
+
+    def __iter__(self):
+        yield from self.local
+        for key in self.shared:
+            if key not in self.local:
+                yield key
+
+    def __len__(self):
+        return len(self.local) + len(self.shared)
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        return [self[key] for key in self]
+
+    def items(self):
+        return [(key, self[key]) for key in self]
+
+
+class SessionDatabase:
+    """The database a session with local predicates sees.
+
+    Duck-types the read surface of :class:`~repro.engine.database.
+    Database` (``predicates`` / ``lookup`` / ``analysis`` / ...), and
+    routes mutations: a key declared session-local lands in the
+    private dict (no lock, no delta sink — local code is invisible to
+    the shared maintainer), anything else delegates to the shared
+    database, whose write guard enforces the lock discipline in
+    concurrent mode.
+    """
+
+    def __init__(self, session, shared):
+        self.session = session
+        self.shared = shared
+        self.local = {}
+        self.predicates = _ChainedPredicates(self.local, shared.predicates)
+        self.hilog_symbols = shared.hilog_symbols
+        self.analysis = shared.analysis
+
+    @property
+    def delta_sink(self):
+        return self.shared.delta_sink
+
+    def declare_local(self, name, arity):
+        key = (name, arity)
+        pred = self.local.get(key)
+        if pred is not None:
+            return pred
+        if key in self.shared.predicates:
+            raise ReproError(
+                f"{name}/{arity} exists in the shared database; "
+                f"session-local predicates may not shadow shared ones"
+            )
+        pred = Predicate(name, arity, dynamic=True)
+        self.local[key] = pred
+        return pred
+
+    def lookup(self, name, arity):
+        return self.predicates.get((name, arity))
+
+    def ensure(self, name, arity, dynamic=False):
+        pred = self.local.get((name, arity))
+        if pred is not None:
+            return pred
+        return self.shared.ensure(name, arity, dynamic=dynamic)
+
+    def add_clause_term(self, term, dynamic=False, front=False):
+        from .clause import compile_clause
+
+        clause = compile_clause(term)
+        pred = self.local.get((clause.name, clause.arity))
+        if pred is not None:
+            pred.add_clause(clause, front=front)
+            return clause
+        return self.shared.add_clause_term(term, dynamic=dynamic, front=front)
+
+    def declare_tabled(self, name, arity):
+        if (name, arity) in self.local:
+            raise ReproError(
+                f"{name}/{arity} is session-local; local predicates "
+                f"cannot be tabled"
+            )
+        self.shared.declare_tabled(name, arity)
+
+    def declare_dynamic(self, name, arity):
+        if (name, arity) in self.local:
+            return
+        self.shared.declare_dynamic(name, arity)
+
+    def abolish(self, name, arity):
+        if self.local.pop((name, arity), None) is not None:
+            return
+        self.shared.abolish(name, arity)
+
+    def set_delta_sink(self, sink):
+        self.shared.set_delta_sink(sink)
+
+    def all_predicates(self):
+        return list(self.local.values()) + self.shared.all_predicates()
+
+    def user_clause_count(self):
+        return sum(len(p) for p in self.local.values()) + \
+            self.shared.user_clause_count()
+
+
+class Session:
+    """One client's evaluation context over a shared knowledge base.
+
+    Constructed against a :class:`~repro.engine.kb.SharedKB`;
+    :class:`~repro.engine.Engine` is the subclass that builds its own
+    KB, preserving the historical single-object constructor.  Flag
+    parameters follow the Engine constructor's documentation; a
+    sibling session (:meth:`session`) inherits the creator's flags.
+    """
+
+    def __init__(
+        self,
+        kb,
+        unknown="error",
+        hilog_specialize=True,
+        output=None,
+        statistics=True,
+        hybrid=None,
+        compile=None,
+        compile_warmup=None,
+        trace=None,
+        profile=None,
+        metrics=None,
+        objcache=None,
+        objcache_dir=None,
+    ):
+        self.kb = kb
+        self.db = kb.db
+        self.tables = kb.tables
+        self.trail = Trail()
+        self.builtins = kb.builtins
+        self.operators = kb.operators
+        self.modules = kb.modules
+        self.hilog_symbols = kb.hilog_symbols
+        self.incremental = kb.incremental
+        self.stats = EngineStats(enabled=statistics)
+        self.unknown = unknown
+        if hybrid is None:
+            hybrid = os.environ.get("REPRO_HYBRID", "1").lower() not in (
+                "0", "false", "off"
+            )
+        self.hybrid = bool(hybrid)
+        if compile is None:
+            compile = os.environ.get("REPRO_COMPILE", "1").lower() not in (
+                "0", "false", "off"
+            )
+        self.compile = bool(compile)
+        if compile_warmup is None:
+            compile_warmup = int(os.environ.get("REPRO_COMPILE_WARMUP", "64"))
+        self.compile_warmup = compile_warmup
+        self.hilog_specialize = hilog_specialize
+        if objcache is None:
+            objcache = os.environ.get("REPRO_OBJCACHE", "1").lower() not in (
+                "0", "false", "off"
+            )
+        self.objcache = bool(objcache)
+        self.objcache_dir = objcache_dir
+        self.output = output if output is not None else sys.stdout
+        self.quiet = False
+        if trace is None:
+            raw = os.environ.get("REPRO_TRACE", "0").lower()
+            if raw in ("0", "false", "off", ""):
+                trace = False
+            else:
+                try:
+                    trace = int(raw)
+                except ValueError:
+                    trace = True
+        if profile is None:
+            profile = bool(trace)
+        self._obs_registry = SubgoalRegistry(render=self._render_subgoal)
+        self.tracer = None
+        self.profiler = None
+        self.spans = None
+        if metrics is None:
+            metrics = os.environ.get("REPRO_METRICS", "0").lower() not in (
+                "0", "false", "off", ""
+            )
+        self.metrics = MetricsRegistry() if metrics else None
+        if trace:
+            self.enable_trace(
+                capacity=trace if isinstance(trace, int)
+                and not isinstance(trace, bool) and trace > 1 else None
+            )
+        if profile:
+            self.enable_profile()
+        if self.metrics is not None:
+            self._ensure_spans()
+        self.counting = False
+        self.call_counts = {}
+        self.log_subgoals = False
+        self.subgoal_log = []
+        # Concurrency state: queries consult the shared table space
+        # until the first local-predicate declaration trades it for a
+        # private one; ``_exclusive`` marks "running under the write
+        # lock" so nested work takes the plain single-threaded paths.
+        self.tables_shared = True
+        self._exclusive = False
+        self._tables_gen = mutation_generation()
+        self.queries = 0
+        self.sid = kb.register(self)
+
+    # -- the shared/locked discipline ---------------------------------------
+
+    @property
+    def shared_slg(self):
+        """Should a machine run under the shared-table discipline
+        (lock-free completed-variant probe + evaluation lock)?  Read
+        once per machine construction."""
+        return self.kb.concurrent and self.tables_shared \
+            and not self._exclusive
+
+    def _acquire_query_read(self):
+        """The consistent-read loop: take the read lock with no
+        pending incremental deltas outstanding, so the clause database
+        and the table space are one generation-consistent cut."""
+        kb = self.kb
+        lock = kb.lock
+        maintainer = kb.incremental
+        while True:
+            lock.acquire_read()
+            if maintainer is None or not maintainer.dirty:
+                return
+            lock.release_read()
+            kb.flush_if_dirty()
+
+    def _write_locked(self, thunk):
+        """Run a mutation under the KB write lock, exclusively."""
+        lock = self.kb.lock
+        lock.acquire_write()
+        exclusive = self._exclusive
+        self._exclusive = True
+        try:
+            return thunk()
+        finally:
+            self._exclusive = exclusive
+            lock.release_write()
+
+    def _sync_private_tables(self):
+        """Wholesale-invalidate the private table space when the global
+        mutation generation moved: local predicates have no delta sink,
+        so the private space lives under the pre-incremental contract."""
+        gen = mutation_generation()
+        if gen != self._tables_gen:
+            self.tables.abolish_all()
+            self._tables_gen = gen
+
+    def session(self, **overrides):
+        """A sibling session over the same knowledge base, inheriting
+        this session's flags (override any by keyword)."""
+        kwargs = {
+            "unknown": self.unknown,
+            "hilog_specialize": self.hilog_specialize,
+            "statistics": self.stats.enabled,
+            "hybrid": self.hybrid,
+            "compile": self.compile,
+            "compile_warmup": self.compile_warmup,
+            "trace": False,
+            "profile": False,
+            "metrics": self.metrics is not None,
+            "objcache": self.objcache,
+            "objcache_dir": self.objcache_dir,
+        }
+        kwargs.update(overrides)
+        return Session(self.kb, **kwargs)
+
+    def local_dynamic(self, name, arity):
+        """Declare a session-local dynamic predicate (a fresh name —
+        shadowing a shared predicate raises).  The first local
+        declaration trades the shared table space for a private one:
+        local definitions may change what any subgoal derives, so this
+        session's tables must not be consulted by other sessions."""
+        if not isinstance(self.db, SessionDatabase):
+            self.db = SessionDatabase(self, self.kb.db)
+        pred = self.db.declare_local(name, arity)
+        if self.tables_shared:
+            self.tables = TableSpace(
+                use_trie=(self.kb.answer_store == "trie"),
+                subgoal_index=self.kb.subgoal_index,
+            )
+            self.tables_shared = False
+            self._tables_gen = mutation_generation()
+        return pred
+
+    # -- loading ---------------------------------------------------------------
+
+    def consult_string(self, text):
+        """Consult program text (clauses and directives)."""
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(lambda: self.consult_string(text))
+        from ..lang.reader import ProgramReader
+
+        spans = self.spans
+        token = (
+            spans.begin(STAGE_CONSULT, label="consult:<string>")
+            if spans is not None else None
+        )
+        try:
+            ProgramReader(self).consult(text)
+        finally:
+            if spans is not None:
+                spans.end(token)
+        return self
+
+    def consult_file(self, path):
+        """Consult a source file, through the consult cache when on.
+
+        With ``objcache`` enabled this is the object-file load of
+        section 4.6: the file's content hash names a cache entry, a
+        hit replays pre-compiled clauses and recorded load-time
+        effects, a miss compiles from source and writes the entry for
+        next time.  Behavior is identical either way — only the work
+        skipped differs.
+        """
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(lambda: self.consult_file(path))
+        if self.objcache:
+            from ..storage.objcache import consult_file_cached
+
+            spans = self.spans
+            token = (
+                spans.begin(STAGE_CONSULT, label=f"consult:{path}")
+                if spans is not None else None
+            )
+            try:
+                return consult_file_cached(
+                    self, path, cache_dir=self.objcache_dir
+                )
+            finally:
+                if spans is not None:
+                    spans.end(token)
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.consult_string(handle.read())
+
+    def add_fact(self, name, *args, dynamic=True, front=False):
+        """Fast-path insertion of one ground fact, bypassing the parser.
+
+        This is the analog of the formatted read + assert of section
+        4.6: arguments are Python values (str -> atom) and the fact is
+        compiled and indexed directly.
+        """
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(
+                lambda: self.add_fact(name, *args, dynamic=dynamic,
+                                      front=front)
+            )
+        terms = tuple(python_to_term(a) for a in args)
+        clause = Clause(name, terms, (), 0)
+        pred = self.db.ensure(name, len(terms), dynamic=dynamic)
+        pred.dynamic = pred.dynamic or dynamic
+        pred.add_clause(clause, front=front)
+        return clause
+
+    def add_facts(self, name, rows, dynamic=True):
+        """Bulk-insert ground facts from an iterable of tuples.
+
+        The predicate lookup is hoisted out of the loop (keyed per
+        arity, since rows may in principle vary), so bulk loading pays
+        one database probe per relation rather than one per fact.
+        """
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(
+                lambda: self.add_facts(name, rows, dynamic=dynamic)
+            )
+        count = 0
+        preds = {}
+        for row in rows:
+            terms = tuple(python_to_term(a) for a in row)
+            pred = preds.get(len(terms))
+            if pred is None:
+                pred = self.db.ensure(name, len(terms), dynamic=dynamic)
+                pred.dynamic = pred.dynamic or dynamic
+                preds[len(terms)] = pred
+            pred.add_clause(Clause(name, terms, (), 0))
+            count += 1
+        return count
+
+    def bulk_add_facts(
+        self, name, arity, rows, dynamic=True, backend=None,
+        materialize="rows",
+    ):
+        """Set-at-a-time installation of one relation's ground facts.
+
+        ``rows`` is any iterable (consumed once, so a generator
+        streams) of tuples in the frozen row domain (str for atoms,
+        int/float for numbers, nested tuples for ground structures —
+        the same values :func:`repro.store.freeze_term` produces).
+        The whole batch costs one database probe, one mutation stamp
+        and one index build, against one of each *per fact* on the
+        :meth:`add_facts` path — that gap is the ingest half of
+        section 4.6's 12x.  A wrong-arity row raises
+        :class:`~repro.errors.StorageError` mid-stream; rows before it
+        may already be installed.
+
+        With ``materialize="rows"`` (default) a previously empty
+        predicate keeps the batch as a
+        :class:`~repro.store.TupleStore` and serves clause heads as
+        lazy row views; ``"clauses"`` materializes
+        :class:`~repro.engine.clause.Clause` objects eagerly.
+        ``backend`` picks the store backend (``REPRO_TUPLESTORE`` when
+        ``None``), e.g. ``"disk"`` for the mmap-backed on-disk store.
+        """
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(
+                lambda: self.bulk_add_facts(
+                    name, arity, rows, dynamic=dynamic, backend=backend,
+                    materialize=materialize,
+                )
+            )
+
+        def checked(batch):
+            for row in batch:
+                row = tuple(row)
+                if len(row) != arity:
+                    raise StorageError(
+                        f"{name}/{arity}: bulk fact row has arity "
+                        f"{len(row)}"
+                    )
+                yield row
+
+        pred = self.db.ensure(name, arity, dynamic=dynamic)
+        pred.dynamic = pred.dynamic or dynamic
+        added = pred.extend_facts(
+            checked(rows), backend=backend, materialize=materialize
+        )
+        stats = self.stats
+        if stats.enabled:
+            stats.load_bulk_facts += added
+            stats.load_bulk_batches += 1
+        spans = self.spans
+        if spans is not None:
+            from ..obs import EV_BULK_INGEST
+
+            spans.point(
+                EV_BULK_INGEST, label=f"bulk:{name}/{arity}", detail=added
+            )
+            spans.observe("bulk_ingest_rows", added)
+        return added
+
+    def assertz(self, text):
+        """Assert one clause given as source text (dynamic code)."""
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(lambda: self.assertz(text))
+        term = self.parse(text)
+        from ..hilog import hilog_encode
+
+        self.db.add_clause_term(
+            hilog_encode(term, self.hilog_symbols), dynamic=True
+        )
+        return self
+
+    def load_library(self):
+        """Consult the bundled list/set library (member/2, append/3,
+        reverse/2, select/3, set operations, maplist/foldl, ...)."""
+        from ..lib import load_library
+
+        return load_library(self)
+
+    def run_update(self, goal):
+        """Run a goal that may mutate the shared database (assert/
+        retract builtins) under the write lock in concurrent mode —
+        the query service's mutation command.  Returns True on
+        success, like :meth:`run_goal`."""
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(lambda: self.run_update(goal))
+        if isinstance(goal, str):
+            goal, _ = self._goal_and_vars(goal)
+        return self.run_goal(goal)
+
+    # -- declarations ------------------------------------------------------------
+
+    def table(self, name, arity):
+        """Declare a predicate tabled (``:- table name/arity.``)."""
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(lambda: self.table(name, arity))
+        self.db.declare_tabled(name, arity)
+        return self
+
+    def dynamic(self, name, arity):
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(lambda: self.dynamic(name, arity))
+        self.db.declare_dynamic(name, arity)
+        return self
+
+    def index(self, name, arity, field_sets, bucket_count=0):
+        """Declare hash indexing, e.g. ``index('p', 5, [1, 2, (3, 5)])``."""
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(
+                lambda: self.index(name, arity, field_sets,
+                                   bucket_count=bucket_count)
+            )
+        normalized = [
+            (fields,) if isinstance(fields, int) else tuple(fields)
+            for fields in field_sets
+        ]
+        self.db.ensure(name, arity).set_hash_index(
+            normalized, bucket_count=bucket_count
+        )
+        return self
+
+    def index_trie(self, name, arity):
+        """Declare first-string (trie) indexing for a static predicate."""
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(lambda: self.index_trie(name, arity))
+        self.db.ensure(name, arity).set_trie_index()
+        return self
+
+    # -- querying --------------------------------------------------------------------
+
+    def parse(self, text):
+        """Parse a single term using this engine's operator table."""
+        from ..lang.parser import parse_term
+
+        return parse_term(text, self.operators)
+
+    def _goal_and_vars(self, goal):
+        if isinstance(goal, str):
+            text = goal if goal.rstrip().endswith(".") else goal + " ."
+            parser = Parser(text, self.operators)
+            result = parser.read_term()
+            if result is None:
+                raise ParseError("empty query")
+            term, varmap = result
+            from ..hilog import hilog_encode
+
+            term = hilog_encode(term, self.hilog_symbols)
+            return term, varmap
+        from ..terms import term_variables
+
+        named = {
+            (v.name or f"_V{i}"): v
+            for i, v in enumerate(term_variables(goal))
+        }
+        return goal, named
+
+    def query_iter(self, goal, raw=False):
+        """Iterate solutions as dicts {variable name: value}.
+
+        Values are converted to Python (atoms -> str, lists -> list)
+        unless ``raw=True``, in which case resolved term copies are
+        returned.  Closing the iterator abandons the run and reclaims
+        any tables it left incomplete.
+
+        In concurrent mode the KB read lock is held from the first
+        demand until the iterator is exhausted or closed — drain or
+        close promptly.
+        """
+        self.queries += 1
+        if self.kb.concurrent and not self._exclusive:
+            return self._query_iter_locked(goal, raw)
+        if not self.tables_shared:
+            self._sync_private_tables()
+        return self._query_iter_dispatch(goal, raw)
+
+    def _query_iter_locked(self, goal, raw):
+        self._acquire_query_read()
+        try:
+            if not self.tables_shared:
+                self._sync_private_tables()
+            yield from self._query_iter_dispatch(goal, raw)
+        finally:
+            self.kb.lock.release_read()
+
+    def _query_iter_dispatch(self, goal, raw):
+        spans = self.spans
+        if spans is not None:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                return self._query_iter_metered(goal, raw, spans)
+            metrics = self.metrics
+            if metrics is not None and metrics.enabled:
+                return self._query_iter_fast(goal, raw, spans)
+        return self._query_iter_plain(goal, raw)
+
+    def _query_iter_plain(self, goal, raw):
+        term, varmap = self._goal_and_vars(goal)
+        machine = Machine(self, MODE_QUERY)
+        for _ in machine.solve(term):
+            if raw:
+                yield {
+                    name: copy_term(var) for name, var in varmap.items()
+                }
+            else:
+                yield {
+                    name: term_to_python(var) for name, var in varmap.items()
+                }
+
+    def _query_iter_fast(self, goal, raw, spans):
+        """Metrics-only query iterator: two clock reads per query (no
+        child spans — there is no trace timeline to draw), observing
+        latency and answer count when the generator closes."""
+        started = spans.clock()
+        answers = 0
+        try:
+            term, varmap = self._goal_and_vars(goal)
+            machine = Machine(self, MODE_QUERY)
+            for _ in machine.solve(term):
+                answers += 1
+                if raw:
+                    yield {
+                        name: copy_term(var)
+                        for name, var in varmap.items()
+                    }
+                else:
+                    yield {
+                        name: term_to_python(var)
+                        for name, var in varmap.items()
+                    }
+        finally:
+            spans.end_query_fast(started, answers)
+
+    def _query_iter_metered(self, goal, raw, spans):
+        """The query iterator under a root span: parse and SLG child
+        spans, then latency / answers / table-space observations when
+        the generator closes.  Latency is wall time from first demand
+        to exhaustion or close — consumer time between solutions is
+        included, which is what a service-level latency means."""
+        label = goal if isinstance(goal, str) else None
+        root = spans.begin_query(
+            label=f"?- {label.strip()}" if label is not None else "?- <term>"
+        )
+        answers = 0
+        try:
+            token = spans.begin(STAGE_PARSE)
+            try:
+                term, varmap = self._goal_and_vars(goal)
+            finally:
+                spans.end(token)
+            machine = Machine(self, MODE_QUERY)
+            token = spans.begin(STAGE_SLG)
+            try:
+                for _ in machine.solve(term):
+                    answers += 1
+                    if raw:
+                        yield {
+                            name: copy_term(var)
+                            for name, var in varmap.items()
+                        }
+                    else:
+                        yield {
+                            name: term_to_python(var)
+                            for name, var in varmap.items()
+                        }
+            finally:
+                spans.end(token, detail=answers)
+        finally:
+            spans.end_query(root, answers)
+
+    def query(self, goal, limit=None, raw=False):
+        """All solutions (or the first ``limit``) as a list of dicts."""
+        out = []
+        iterator = self.query_iter(goal, raw=raw)
+        try:
+            for solution in iterator:
+                out.append(solution)
+                if limit is not None and len(out) >= limit:
+                    break
+        finally:
+            iterator.close()
+        return out
+
+    def once(self, goal, raw=False):
+        """First solution or None."""
+        solutions = self.query(goal, limit=1, raw=raw)
+        return solutions[0] if solutions else None
+
+    def has_solution(self, goal):
+        return self.once(goal) is not None
+
+    def count(self, goal):
+        """Number of solutions (drains the query)."""
+        self.queries += 1
+        if self.kb.concurrent and not self._exclusive:
+            self._acquire_query_read()
+            try:
+                if not self.tables_shared:
+                    self._sync_private_tables()
+                return self._count_dispatch(goal)
+            finally:
+                self.kb.lock.release_read()
+        if not self.tables_shared:
+            self._sync_private_tables()
+        return self._count_dispatch(goal)
+
+    def _count_dispatch(self, goal):
+        spans = self.spans
+        if spans is not None:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                return self._count_traced(goal, spans)
+            metrics = self.metrics
+            if metrics is not None and metrics.enabled:
+                # metrics-only fast path: root measurements, no spans
+                started = spans.clock()
+                total = 0
+                try:
+                    term, _ = self._goal_and_vars(goal)
+                    machine = Machine(self, MODE_QUERY)
+                    for _ in machine.solve(term):
+                        total += 1
+                finally:
+                    spans.end_query_fast(started, total)
+                return total
+        machine = Machine(self, MODE_QUERY)
+        term, _ = self._goal_and_vars(goal)
+        total = 0
+        for _ in machine.solve(term):
+            total += 1
+        return total
+
+    def _count_traced(self, goal, spans):
+        label = goal if isinstance(goal, str) else None
+        root = spans.begin_query(
+            label=f"?- {label.strip()}" if label is not None else "?- <term>"
+        )
+        total = 0
+        try:
+            token = spans.begin(STAGE_PARSE)
+            try:
+                term, _ = self._goal_and_vars(goal)
+            finally:
+                spans.end(token)
+            machine = Machine(self, MODE_QUERY)
+            token = spans.begin(STAGE_SLG)
+            try:
+                for _ in machine.solve(term):
+                    total += 1
+            finally:
+                spans.end(token, detail=total)
+        finally:
+            spans.end_query(root, total)
+        return total
+
+    def run_goal(self, term):
+        """Run a goal term once for its side effects; True on success."""
+        self.queries += 1
+        if self.kb.concurrent and not self._exclusive:
+            self._acquire_query_read()
+            try:
+                if not self.tables_shared:
+                    self._sync_private_tables()
+                return self._run_goal_dispatch(term)
+            finally:
+                self.kb.lock.release_read()
+        if not self.tables_shared:
+            self._sync_private_tables()
+        return self._run_goal_dispatch(term)
+
+    def _run_goal_dispatch(self, term):
+        spans = self.spans
+        machine = Machine(self, MODE_QUERY)
+        if spans is not None:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                return self._run_goal_traced(term, spans, machine)
+            metrics = self.metrics
+            if metrics is not None and metrics.enabled:
+                started = spans.clock()
+                found = False
+                try:
+                    gen = machine.solve(term)
+                    try:
+                        for _ in gen:
+                            found = True
+                            break
+                    finally:
+                        gen.close()
+                finally:
+                    spans.end_query_fast(started, int(found))
+                return found
+        gen = machine.solve(term)
+        try:
+            for _ in gen:
+                return True
+            return False
+        finally:
+            gen.close()
+
+    def _run_goal_traced(self, term, spans, machine):
+        root = spans.begin_query(label="?- <goal>")
+        found = False
+        try:
+            token = spans.begin(STAGE_SLG)
+            gen = machine.solve(term)
+            try:
+                for _ in gen:
+                    found = True
+                    break
+            finally:
+                gen.close()
+                spans.end(token, detail=int(found))
+        finally:
+            spans.end_query(root, int(found))
+        return found
+
+    # -- instrumentation / maintenance ----------------------------------------------
+
+    def start_counting(self, log_subgoals=False):
+        """Count predicate calls (used to reproduce Figure 2).
+
+        With ``log_subgoals=True`` every call's variant-canonical form
+        is recorded too, so *distinct subgoals* can be counted — the
+        quantity Figure 2 plots for SLDNF over the game tree.
+        """
+        self.counting = True
+        self.call_counts = {}
+        self.log_subgoals = log_subgoals
+        self.subgoal_log = []
+        return self
+
+    def stop_counting(self):
+        self.counting = False
+        return dict(self.call_counts)
+
+    def distinct_subgoals(self, name, arity):
+        """Distinct logged subgoal variants of one predicate."""
+        return len(
+            {
+                key
+                for (n, a, key) in self.subgoal_log
+                if n == name and a == arity
+            }
+        )
+
+    def table_statistics(self):
+        return self.tables.statistics()
+
+    # -- observability (repro.obs) ---------------------------------------------------
+
+    def _render_subgoal(self, frame):
+        """Printable form of a frame's call term (trace/profile labels)."""
+        from ..lang.writer import term_to_str
+
+        return term_to_str(frame_call_term(frame), self.operators)
+
+    def _ensure_spans(self):
+        """Create the per-query span recorder (idempotent) and hand it
+        to the analysis registry as its rebuild observer."""
+        if self.spans is None:
+            self.spans = SpanRecorder(self)
+        self.kb.db.analysis.observer = self.spans
+        return self.spans
+
+    def enable_trace(self, capacity=None):
+        """Switch the SLG event tracer on (new runs pick it up)."""
+        if self.tracer is None:
+            self.tracer = Tracer(
+                **({} if capacity is None else {"capacity": capacity}),
+                registry=self._obs_registry,
+            )
+        else:
+            self.tracer.enabled = True
+        self._ensure_spans()
+        return self
+
+    def disable_trace(self):
+        if self.tracer is not None:
+            self.tracer.enabled = False
+        return self
+
+    def enable_profile(self):
+        """Switch the per-subgoal span profiler on."""
+        if self.profiler is None:
+            self.profiler = Profiler(self._obs_registry)
+        else:
+            self.profiler.enabled = True
+        return self
+
+    def disable_profile(self):
+        if self.profiler is not None:
+            self.profiler.enabled = False
+        return self
+
+    def trace_events(self):
+        """The buffered trace events (oldest first); [] when off."""
+        return self.tracer.events() if self.tracer is not None else []
+
+    def write_trace_jsonl(self, path_or_file):
+        """Export the trace ring as JSONL; returns the line count."""
+        from ..obs import write_jsonl
+
+        if self.tracer is None:
+            raise ValueError("tracing is not enabled on this engine")
+        return write_jsonl(self.tracer, path_or_file)
+
+    def write_chrome_trace(self, path_or_file):
+        """Export the trace ring in Chrome trace-event format."""
+        from ..obs import write_chrome_trace
+
+        if self.tracer is None:
+            raise ValueError("tracing is not enabled on this engine")
+        return write_chrome_trace(self.tracer, path_or_file)
+
+    def enable_metrics(self):
+        """Switch the query-level metrics registry on (idempotent)."""
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics.enabled = True
+        self._ensure_spans()
+        return self
+
+    def disable_metrics(self):
+        """Stop recording metrics; collected data stays snapshotable."""
+        if self.metrics is not None:
+            self.metrics.enabled = False
+        return self
+
+    def metrics_snapshot(self):
+        """A JSON-able snapshot of the metrics registry (counters,
+        gauges, histograms with p50/p90/p99); ``{}`` when metrics were
+        never enabled.  Each snapshot takes one fresh ``table_space_
+        bytes`` sample (gauge + histogram observation, scrape-style) —
+        the fast query path only samples every 64th query, so short
+        runs get their table-space distribution here.  Session-level
+        gauges (live session count, cross-session hit ratio) are set
+        scrape-style here too."""
+        if self.metrics is None:
+            return {}
+        if self.spans is not None and self.metrics.enabled:
+            space = self.spans.table_space_bytes()
+            self.metrics.set_gauge("table_space_bytes", space)
+            self.metrics.observe("table_space_bytes", space)
+        if self.metrics.enabled:
+            kb = self.kb
+            self.metrics.set_gauge("sessions_active", kb.sessions_active())
+            self.metrics.set_gauge(
+                "shared_hit_ratio", kb.shared_hit_ratio()
+            )
+        return self.metrics.snapshot()
+
+    def write_metrics(self, path_or_file, fmt=None):
+        """Write the metrics snapshot (``fmt`` ``"json"``/
+        ``"prometheus"``; ``None`` infers from a ``.json`` suffix)."""
+        from ..obs import write_metrics
+
+        if self.metrics is None:
+            raise ValueError("metrics are not enabled on this engine")
+        return write_metrics(self.metrics_snapshot(), path_or_file, fmt=fmt)
+
+    def profile_report(self):
+        """Per-subgoal profile rows (self time, answers, consumers,
+        byte estimates), most expensive first; [] when off."""
+        return self.profiler.report() if self.profiler is not None else []
+
+    def format_profile(self):
+        """The profile report as a plain-text table."""
+        from ..obs import format_profile
+
+        return format_profile(self.profile_report())
+
+    def tuple_stores(self):
+        """Every live :class:`~repro.store.TupleStore` this engine owns,
+        deduplicated by identity: predicate fact stores, hash-mode
+        answer stores, the relations of cached hybrid plans, and the
+        incremental maintainer's warm materializations (base stores
+        are shared with the fact stores, so sharing is why the walk
+        dedups)."""
+        seen = {}
+        for pred in self.db.predicates.values():
+            store = pred.fact_store
+            if store is not None:
+                seen[id(store)] = store
+        for plan in self.db.analysis.plans():
+            for relation in plan.facts.values():
+                seen[id(relation)] = relation
+            for prepared, _, _ in plan.rewrites.values():
+                for relation in prepared.relations.values():
+                    seen[id(relation)] = relation
+        for frame in self.tables.all_frames():
+            store = frame.answer_store
+            if store is not None:
+                seen[id(store)] = store
+        maintainer = self.incremental
+        if maintainer is not None:
+            for mat in maintainer.materializations.values():
+                for relation in mat.relations.values():
+                    seen[id(relation)] = relation
+        return list(seen.values())
+
+    def statistics(self):
+        """Merged engine statistics: SLG scheduling counters, table-space
+        usage, and the storage layer's index/probe counters — the keys
+        ``statistics/2`` enumerates."""
+        merged = self.stats.snapshot()
+        merged.update(self.tables.statistics())
+        stores = self.tuple_stores()
+        merged["store_count"] = len(stores)
+        merged["store_rows"] = sum(len(s) for s in stores)
+        merged["store_probes"] = sum(s.stats.probes for s in stores)
+        merged["store_scans"] = sum(s.stats.scans for s in stores)
+        merged["store_index_builds"] = sum(
+            s.stats.index_builds for s in stores
+        )
+        merged["store_removes"] = sum(s.stats.removes for s in stores)
+        merged["sessions_active"] = self.kb.sessions_active()
+        tracer = self.tracer
+        merged["trace_events"] = len(tracer) if tracer is not None else 0
+        merged["trace_dropped"] = tracer.dropped if tracer is not None else 0
+        profiler = self.profiler
+        merged["profile_subgoals"] = (
+            profiler.span_count() if profiler is not None else 0
+        )
+        merged["profile_self_ns"] = (
+            profiler.total_self_ns() if profiler is not None else 0
+        )
+        metrics = self.metrics
+        merged["metrics_queries"] = (
+            metrics.counters.get("queries", 0) if metrics is not None else 0
+        )
+        merged["metrics_spans"] = (
+            metrics.counters.get("spans", 0) if metrics is not None else 0
+        )
+        merged["metrics_histograms"] = (
+            len(metrics.histograms) if metrics is not None else 0
+        )
+        merged.update(self.db.analysis.statistics())
+        return merged
+
+    def reset_statistics(self):
+        """Zero the scheduling counters (table-space usage is live
+        state and is not reset)."""
+        self.stats.reset()
+        return self
+
+    def abolish_all_tables(self):
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(self.abolish_all_tables)
+        self.tables.abolish_all()
+        return self
+
+    def abolish_predicate(self, name, arity):
+        """``abolish/2``: drop a predicate's clauses and every completed
+        table that could observe them — its own and its dependents',
+        computed from the analysis registry's call graph *before* the
+        clauses go (afterwards the predicate is no longer a graph node
+        and the dependency is invisible).  The table drops are
+        *targeted* deletes, never ``abolish_all``; incomplete frames
+        belong to in-flight runs and are left alone.
+        """
+        if self.kb.concurrent and not self._exclusive:
+            return self._write_locked(
+                lambda: self.abolish_predicate(name, arity)
+            )
+        from .incremental import _frame_key
+
+        key = (name, arity)
+        if self.db.lookup(name, arity) is not None:
+            affected, universe = self.db.analysis.affected_keys((key,))
+            for frame in self.tables.all_frames():
+                if not frame.complete:
+                    continue
+                fkey = _frame_key(frame)
+                if (
+                    universe
+                    or fkey is None
+                    or fkey == key
+                    or fkey in affected
+                ):
+                    self.tables.delete(frame)
+        self.db.abolish(name, arity)
+        return self
+
+    def predicate(self, name, arity):
+        return self.db.lookup(name, arity)
+
+    def analyze(self, name, arity):
+        """Human-readable analysis-registry summary for one predicate
+        (what the REPL's ``:analyze`` command prints)."""
+        return self.db.analysis.describe(name, arity)
+
+    def __repr__(self):
+        return (
+            f"<Session #{self.sid} {self.db.user_clause_count()} clauses, "
+            f"{self.tables.frame_count()} tables>"
+        )

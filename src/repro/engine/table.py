@@ -113,6 +113,7 @@ class SubgoalFrame:
         "scc_id",
         "scc_reach",
         "lifecycle",
+        "owner",
     )
 
     def __init__(self, key, indicator, use_trie=False, seq=0):
@@ -156,6 +157,11 @@ class SubgoalFrame:
         self.scc_id = -1
         self.scc_reach = None
         self.lifecycle = LIFE_VALID
+        # Session id of the run that generated this table (shared-KB
+        # mode only; -1 otherwise).  A completed-variant hit from a
+        # different session counts as table_hit_shared — the
+        # cross-session answer-cache metric.
+        self.owner = -1
 
     # -- answers ------------------------------------------------------------
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 
 __all__ = [
     "Histogram",
@@ -165,55 +166,73 @@ class MetricsRegistry:
     zero-cost disabled state, and ``enabled`` is the runtime switch
     (``disable_metrics``) that stops recording without discarding what
     was already collected.
+
+    Every recording method and ``snapshot`` hold ``lock``: a registry
+    may be scraped (``metrics_snapshot``, the REPL's ``:top``, the
+    query service's aggregation) from a thread other than the one
+    recording into it, and a counter increment or a histogram's
+    count/sum/bucket triple must never be observed half-applied.  The
+    lock is uncontended in single-session use; the hot-path cost is
+    one lock word per query (see ``spans.end_query_fast``, which
+    shares this lock for its inlined updates).
     """
 
-    __slots__ = ("enabled", "counters", "gauges", "histograms")
+    __slots__ = ("enabled", "counters", "gauges", "histograms", "lock")
 
     def __init__(self):
         self.enabled = True
         self.counters = {}
         self.gauges = {}
         self.histograms = {}
+        self.lock = threading.Lock()
 
     # -- recording ----------------------------------------------------------
 
     def inc(self, name, amount=1):
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self.lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def set_gauge(self, name, value):
-        self.gauges[name] = value
+        with self.lock:
+            self.gauges[name] = value
 
     def observe(self, name, value):
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        hist.observe(value)
+        with self.lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
 
     def histogram(self, name):
         """The named histogram, created on first use."""
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        return hist
+        with self.lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            return hist
 
     # -- snapshots ----------------------------------------------------------
 
     def snapshot(self):
         """A JSON-able snapshot: ``{"counters", "gauges", "histograms"}``
-        with per-histogram p50/p90/p99 attached."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "gauges": dict(sorted(self.gauges.items())),
-            "histograms": {
-                name: hist.snapshot()
-                for name, hist in sorted(self.histograms.items())
-            },
-        }
+        with per-histogram p50/p90/p99 attached.  Taken under the
+        registry lock, so it is a consistent cut even while another
+        thread records."""
+        with self.lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "gauges": dict(sorted(self.gauges.items())),
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(self.histograms.items())
+                },
+            }
 
     def clear(self):
-        self.counters = {}
-        self.gauges = {}
-        self.histograms = {}
+        with self.lock:
+            self.counters = {}
+            self.gauges = {}
+            self.histograms = {}
         return self
 
     def __repr__(self):

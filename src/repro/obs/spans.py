@@ -257,33 +257,34 @@ class SpanRecorder:
         metrics = self.engine.metrics
         if metrics is None or not metrics.enabled:
             return elapsed
-        counters = metrics.counters
-        counters["queries"] = counters.get("queries", 0) + 1
-        histograms = metrics.histograms
-        hist = histograms.get("query_latency_ns")
-        if hist is None:
-            hist = histograms["query_latency_ns"] = Histogram()
-        buckets = hist.buckets
-        index = elapsed.bit_length()
-        buckets[index] = buckets.get(index, 0) + 1
-        hist.count += 1
-        hist.sum += elapsed
-        if hist.min is None or elapsed < hist.min:
-            hist.min = elapsed
-        if hist.max is None or elapsed > hist.max:
-            hist.max = elapsed
-        hist = histograms.get("query_answers")
-        if hist is None:
-            hist = histograms["query_answers"] = Histogram()
-        buckets = hist.buckets
-        index = answers.bit_length()
-        buckets[index] = buckets.get(index, 0) + 1
-        hist.count += 1
-        hist.sum += answers
-        if hist.min is None or answers < hist.min:
-            hist.min = answers
-        if hist.max is None or answers > hist.max:
-            hist.max = answers
+        with metrics.lock:
+            counters = metrics.counters
+            counters["queries"] = counters.get("queries", 0) + 1
+            histograms = metrics.histograms
+            hist = histograms.get("query_latency_ns")
+            if hist is None:
+                hist = histograms["query_latency_ns"] = Histogram()
+            buckets = hist.buckets
+            index = elapsed.bit_length()
+            buckets[index] = buckets.get(index, 0) + 1
+            hist.count += 1
+            hist.sum += elapsed
+            if hist.min is None or elapsed < hist.min:
+                hist.min = elapsed
+            if hist.max is None or elapsed > hist.max:
+                hist.max = elapsed
+            hist = histograms.get("query_answers")
+            if hist is None:
+                hist = histograms["query_answers"] = Histogram()
+            buckets = hist.buckets
+            index = answers.bit_length()
+            buckets[index] = buckets.get(index, 0) + 1
+            hist.count += 1
+            hist.sum += answers
+            if hist.min is None or answers < hist.min:
+                hist.min = answers
+            if hist.max is None or answers > hist.max:
+                hist.max = answers
         tick = self._tick = self._tick + 1
         if not tick % _SPACE_EVERY:
             metrics.observe("table_space_bytes", self.table_space_bytes())

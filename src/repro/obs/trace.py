@@ -28,6 +28,7 @@ Design constraints, mirroring :mod:`repro.perf.counters`:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 
@@ -186,7 +187,7 @@ class Tracer:
     """
 
     __slots__ = ("enabled", "capacity", "ring", "total", "registry",
-                 "clock", "epoch")
+                 "clock", "epoch", "lock")
 
     def __init__(self, capacity=DEFAULT_CAPACITY, registry=None, clock=None):
         if capacity <= 0:
@@ -198,21 +199,33 @@ class Tracer:
         self.registry = registry if registry is not None else SubgoalRegistry()
         self.clock = clock if clock is not None else time.perf_counter_ns
         self.epoch = self.clock()
+        # The ring may be appended to and drained (events(), :trace,
+        # exporters) from different threads under the query service;
+        # the lock keeps ``total``'s read-modify-write and the
+        # append/eviction pair atomic so ``dropped`` can never go
+        # negative or a drain see a half-recorded event.
+        self.lock = threading.Lock()
 
     # -- recording (the hook-site API) --------------------------------------
 
     def event(self, kind, frame, detail=None):
         """Record one event against ``frame``; oldest events evict."""
-        self.total += 1
         self.registry.note(frame)
-        self.ring.append((self.clock() - self.epoch, kind, frame.seq, detail))
+        with self.lock:
+            self.total += 1
+            self.ring.append(
+                (self.clock() - self.epoch, kind, frame.seq, detail)
+            )
 
     def stage_event(self, kind, span_id, label, detail=None):
         """Record an engine-stage event (no subgoal frame): a span
         begin/end or a typed instant, keyed by a negative span id."""
-        self.total += 1
         self.registry.note_name(span_id, label)
-        self.ring.append((self.clock() - self.epoch, kind, span_id, detail))
+        with self.lock:
+            self.total += 1
+            self.ring.append(
+                (self.clock() - self.epoch, kind, span_id, detail)
+            )
 
     # -- inspection ---------------------------------------------------------
 
@@ -223,12 +236,14 @@ class Tracer:
 
     def events(self):
         """The buffered events, oldest first, as plain tuples."""
-        return list(self.ring)
+        with self.lock:
+            return list(self.ring)
 
     def clear(self):
-        self.ring.clear()
-        self.total = 0
-        self.epoch = self.clock()
+        with self.lock:
+            self.ring.clear()
+            self.total = 0
+            self.epoch = self.clock()
         return self
 
     def __len__(self):

@@ -46,6 +46,7 @@ goals end with '.'; ';' asks for more solutions
   :top on|off         refresh the :top view live after every query
   :analyze p/N        print the analysis-registry summary for p/N
   :tables             list tables with lifecycle, answers, and bytes
+  :sessions           list live sessions over this knowledge base
   :help               this text
 """
 
@@ -153,6 +154,8 @@ class Toplevel:
                 self._write(self.engine.analyze(name, int(arity)) + "\n")
         elif command == "tables":
             self._write(self._format_tables())
+        elif command == "sessions":
+            self._write(self._format_sessions())
         elif command == "help":
             self._write(HELP_TEXT)
         else:
@@ -230,6 +233,31 @@ class Toplevel:
             f"%   {'total':<20} {len(frames)} table(s)"
             f"{'':<15} {total_answers} answers  {total_bytes} bytes\n"
         )
+        return "".join(lines)
+
+    def _format_sessions(self):
+        """The ``:sessions`` listing: every live session registered on
+        this engine's knowledge base, with its query count, table-space
+        sharing mode, and the KB-wide cross-session hit ratio."""
+        engine = self.engine
+        kb = engine.kb
+        sessions = kb.sessions()
+        lines = [
+            f"% sessions ({kb.sessions_active()} active, "
+            f"shared-table hit ratio {kb.shared_hit_ratio():.3f})\n"
+        ]
+        for session in sorted(sessions, key=lambda s: s.sid):
+            marker = " (this one)" if session is engine else ""
+            tables = "shared" if session.tables_shared else "private"
+            shared_hits = (
+                session.stats.table_hit_shared
+                if session.stats is not None else 0
+            )
+            lines.append(
+                f"%   #{session.sid:<4} {session.queries} queries  "
+                f"{tables} tables  {shared_hits} shared hit(s)"
+                f"{marker}\n"
+            )
         return "".join(lines)
 
     def run_goal(self, text):

@@ -1,0 +1,43 @@
+"""The concurrent query service over one shared knowledge base.
+
+Layers (each importable on its own):
+
+:mod:`repro.server.service`
+    :class:`QueryService` — sessions, the worker pool, admission
+    control, graceful shutdown.  Embeddable: no sockets.
+:mod:`repro.server.protocol`
+    The JSON-lines wire format shared by both front doors.
+:mod:`repro.server.tcp`
+    Threaded TCP front door (:func:`serve_tcp`).
+:mod:`repro.server.aio`
+    asyncio front door (:func:`serve_async`) — the event loop
+    multiplexes connections, the pool evaluates.
+
+Quickstart::
+
+    from repro import Engine
+    from repro.server import serve_tcp
+
+    engine = Engine()
+    engine.consult_string(":- table path/2. ...")
+    server = serve_tcp(engine, port=7171)
+    ...
+    server.close()
+"""
+
+from .protocol import decode_request, encode_response, jsonable
+from .service import QueryService, default_workers
+from .tcp import TCPQueryServer, serve_tcp
+from .aio import AsyncQueryServer, serve_async
+
+__all__ = [
+    "AsyncQueryServer",
+    "QueryService",
+    "TCPQueryServer",
+    "decode_request",
+    "default_workers",
+    "encode_response",
+    "jsonable",
+    "serve_async",
+    "serve_tcp",
+]

@@ -1,0 +1,105 @@
+"""The asyncio front door: the same line protocol, served from an
+event loop, with evaluation still on the service's thread pool.
+
+SLG resolution is synchronous Python, so the event loop must never run
+it inline; instead every decoded request goes through
+:meth:`QueryService.submit` (admission control included) and the
+resulting :class:`concurrent.futures.Future` is awaited via
+:func:`asyncio.wrap_future`.  The loop therefore multiplexes thousands
+of idle connections while at most ``workers`` queries evaluate — the
+standard shape for a blocking core behind an async edge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .protocol import decode_request, encode_response, error_response
+from .service import QueryService
+
+__all__ = ["AsyncQueryServer", "serve_async"]
+
+
+class AsyncQueryServer:
+    """An asyncio server over one :class:`QueryService`."""
+
+    def __init__(self, engine, host="127.0.0.1", port=0, service=None,
+                 **service_options):
+        self.service = (
+            service if service is not None
+            else QueryService(engine, **service_options)
+        )
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self):
+        """Bind and start serving; returns self (``self.port`` is the
+        bound port when constructed with ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _serve_connection(self, reader, writer):
+        sid = None
+        try:
+            sid = self.service.open_session()
+            writer.write(
+                encode_response(
+                    {"ok": True, "hello": "repro", "sid": sid}
+                ).encode("utf-8")
+            )
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = decode_request(line.decode("utf-8"))
+                except ValueError as exc:
+                    response = error_response("bad_request", exc)
+                    request = None
+                else:
+                    if request is None:
+                        continue
+                    future = self.service.submit(sid, request)
+                    response = await asyncio.wrap_future(future)
+                writer.write(encode_response(response).encode("utf-8"))
+                await writer.drain()
+                if request is not None and request.get("op") == "close":
+                    break
+        except (RuntimeError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if sid is not None:
+                self.service.close_session(sid)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def close(self):
+        """Stop accepting, then drain and close the service (off-loop,
+        since the drain blocks)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.service.close
+        )
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.close()
+
+
+async def serve_async(engine, host="127.0.0.1", port=0, **service_options):
+    """Start an :class:`AsyncQueryServer`; ``await server.close()`` to
+    stop it."""
+    server = AsyncQueryServer(engine, host=host, port=port,
+                              **service_options)
+    return await server.start()

@@ -1,0 +1,78 @@
+"""The query service's line protocol: JSON objects, one per line.
+
+A request is either a JSON object (``{"op": "query", "goal":
+"path(1, X)"}``) or a bare goal line, which is shorthand for the
+``query`` op.  A response is always one JSON object terminated by a
+newline, with ``"ok"`` telling the two shapes apart:
+
+``{"ok": true, ...}``
+    Success; the payload depends on the op (``answers`` for queries,
+    ``snapshot`` for metrics, ...).
+``{"ok": false, "error": "<class>", "message": "..."}``
+    Failure — a parse/evaluation error, an unknown op, or admission
+    control turning the request away (``"error": "overloaded"``).
+
+Ops:
+
+``query``  ``goal`` (text), optional ``limit`` — solutions as a list
+    of ``{var: value}`` dicts.
+``update``  ``goal`` — run a goal that may mutate the shared database
+    (assert/retract builtins) under the KB write lock.
+``assert``  ``clause`` — assert one clause given as source text.
+``consult``  ``text`` — consult program text.
+``local``  ``name``, ``arity`` — declare a session-local dynamic
+    predicate (this session stops sharing tables; see
+    :meth:`repro.engine.session.Session.local_dynamic`).
+``statistics`` — the session's merged statistics dict.
+``metrics`` — the service-wide metrics snapshot (every session's
+    registry merged exactly; see :func:`repro.obs.metrics.merge_snapshots`).
+``sessions`` — live sessions with per-session query counts.
+``ping`` / ``close`` — liveness and connection teardown.
+
+Values in answers are JSON-rendered: atoms/numbers/lists natively,
+anything structured through the writer (``term_to_str``), so every
+response line is valid JSON whatever the program returns.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["decode_request", "encode_response", "jsonable", "error_response"]
+
+
+def decode_request(line):
+    """One request dict from one wire line (bare goal -> query op)."""
+    text = line.strip()
+    if not text:
+        return None
+    if text.startswith("{"):
+        request = json.loads(text)
+        if not isinstance(request, dict) or "op" not in request:
+            raise ValueError("request object needs an 'op' field")
+        return request
+    return {"op": "query", "goal": text}
+
+
+def encode_response(response):
+    """One wire line (newline-terminated JSON) from a response dict."""
+    return json.dumps(response, sort_keys=True, default=str) + "\n"
+
+
+def error_response(kind, message):
+    return {"ok": False, "error": kind, "message": str(message)}
+
+
+def jsonable(value, operators=None):
+    """Render one answer value for the wire: JSON natives pass
+    through, lists recurse, terms go through the writer."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [jsonable(v, operators) for v in value]
+    from ..lang.writer import term_to_str
+
+    try:
+        return term_to_str(value, operators)
+    except Exception:
+        return repr(value)

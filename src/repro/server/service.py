@@ -1,0 +1,329 @@
+"""The concurrent query service: many sessions, one shared knowledge
+base, a bounded thread pool.
+
+This is the deployment shape the SharedKB/Session split exists for —
+XSB's "deductive database engine" framing means many clients querying
+one program, not one REPL.  The service:
+
+* turns the engine's knowledge base concurrent
+  (:meth:`~repro.engine.kb.SharedKB.enable_concurrency`) exactly once,
+* opens one :class:`~repro.engine.session.Session` per client (a
+  sibling of the seed engine — same flags, own metrics registry, own
+  trail and SLG state),
+* runs every request on a fixed :class:`~concurrent.futures.
+  ThreadPoolExecutor` (``REPRO_SERVER_WORKERS`` or a CPU-derived
+  default; ``1`` is the serial-equivalence configuration the CI leg
+  pins),
+* applies **admission control** before anything touches the pool: a
+  bounded count of in-flight requests service-wide (``max_pending``)
+  and a per-session cap (``session_cap``); past either bound a request
+  is rejected immediately with an ``"overloaded"`` error rather than
+  queued without bound, and
+* shuts down **gracefully**: ``close()`` stops admitting, drains the
+  requests already accepted, then releases the pool.
+
+Threading contract: one request runs on one worker thread from start
+to finish (a query is drained eagerly inside :meth:`execute`), so the
+KB's reentrant eval/write locks always see a consistent owning thread.
+A session itself is single-threaded — its trail and machine state are
+not shareable — which the per-session lock enforces even if a client
+pipelines requests.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import ReproError
+from .protocol import error_response, jsonable
+
+__all__ = ["QueryService", "default_workers"]
+
+DEFAULT_QUERY_LIMIT = 10000
+
+
+def default_workers():
+    """``REPRO_SERVER_WORKERS`` if set, else min(8, cpu count)."""
+    raw = os.environ.get("REPRO_SERVER_WORKERS")
+    if raw:
+        workers = int(raw)
+        if workers < 1:
+            raise ValueError("REPRO_SERVER_WORKERS must be >= 1")
+        return workers
+    return min(8, os.cpu_count() or 1)
+
+
+class _ClientSession:
+    """One client's slot: the session plus its admission bookkeeping."""
+
+    __slots__ = ("session", "lock", "pending")
+
+    def __init__(self, session):
+        self.session = session
+        # Serializes the session: its trail/machine state is
+        # single-threaded even though the KB underneath is shared.
+        self.lock = threading.Lock()
+        self.pending = 0
+
+
+class QueryService:
+    """The shared-KB query service.
+
+    ``engine`` is the seed session whose knowledge base all clients
+    share — typically an :class:`~repro.engine.Engine` that consulted
+    the program before the service starts.  Client sessions are
+    spawned from it (:meth:`~repro.engine.session.Session.session`),
+    so they inherit its flags; each gets its own metrics registry,
+    which :meth:`metrics_snapshot` merges exactly.
+    """
+
+    def __init__(self, engine, workers=None, max_pending=None,
+                 session_cap=4, query_limit=DEFAULT_QUERY_LIMIT):
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        engine.kb.enable_concurrency()
+        self.engine = engine
+        self.workers = workers
+        self.max_pending = max_pending if max_pending is not None else workers * 8
+        self.session_cap = session_cap
+        self.query_limit = query_limit
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query"
+        )
+        self._lock = threading.Lock()
+        self._clients = {}
+        self._pending = 0
+        self._closed = False
+        self._idle = threading.Condition(self._lock)
+
+    # -- session lifecycle --------------------------------------------------
+
+    def open_session(self, **overrides):
+        """Open a client session; returns its sid."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("query service is closed")
+        overrides.setdefault("metrics", True)
+        session = self.engine.session(**overrides)
+        with self._lock:
+            self._clients[session.sid] = _ClientSession(session)
+        return session.sid
+
+    def close_session(self, sid):
+        with self._lock:
+            self._clients.pop(sid, None)
+
+    def session(self, sid):
+        client = self._clients.get(sid)
+        if client is None:
+            raise KeyError(f"no such session: {sid}")
+        return client.session
+
+    # -- admission + dispatch -----------------------------------------------
+
+    def _admit(self, sid):
+        """Reserve one in-flight slot, or explain why not."""
+        with self._lock:
+            if self._closed:
+                return "closed", "query service is shutting down"
+            client = self._clients.get(sid)
+            if client is None:
+                return "no_session", f"no such session: {sid}"
+            if self._pending >= self.max_pending:
+                return "overloaded", (
+                    f"service at capacity ({self.max_pending} in flight)"
+                )
+            if client.pending >= self.session_cap:
+                return "overloaded", (
+                    f"session {sid} at capacity ({self.session_cap} in flight)"
+                )
+            self._pending += 1
+            client.pending += 1
+        return None
+
+    def _release(self, sid):
+        with self._lock:
+            self._pending -= 1
+            client = self._clients.get(sid)
+            if client is not None:
+                client.pending -= 1
+            if self._pending == 0:
+                self._idle.notify_all()
+
+    def submit(self, sid, request):
+        """Admit and schedule one request; returns a Future resolving
+        to the response dict.  Rejections resolve immediately."""
+        rejected = self._admit(sid)
+        if rejected is not None:
+            future = _done_future(error_response(*rejected))
+            return future
+        try:
+            return self.executor.submit(self._run, sid, request)
+        except RuntimeError:  # executor already shut down
+            self._release(sid)
+            return _done_future(
+                error_response("closed", "query service is shutting down")
+            )
+
+    def _run(self, sid, request):
+        try:
+            return self.execute(sid, request)
+        finally:
+            self._release(sid)
+
+    def handle(self, sid, request):
+        """Admit, run, and wait — the synchronous client surface."""
+        return self.submit(sid, request).result()
+
+    # -- the ops ------------------------------------------------------------
+
+    def execute(self, sid, request):
+        """Run one already-admitted request on the calling thread."""
+        client = self._clients.get(sid)
+        if client is None:
+            return error_response("no_session", f"no such session: {sid}")
+        op = request.get("op", "query")
+        handler = _OPS.get(op)
+        if handler is None:
+            return error_response("unknown_op", f"unknown op: {op}")
+        with client.lock:
+            try:
+                return handler(self, client.session, request)
+            except KeyError as exc:
+                return error_response(
+                    "bad_request", f"op '{op}' requires field {exc}"
+                )
+            except ReproError as exc:
+                return error_response("repro_error", exc)
+            except Exception as exc:  # protocol boundary: never crash a worker
+                return error_response(type(exc).__name__, exc)
+
+    def _op_query(self, session, request):
+        goal = request["goal"]
+        limit = request.get("limit", self.query_limit)
+        operators = session.operators
+        solutions = session.query(goal, limit=limit)
+        answers = [
+            {var: jsonable(value, operators) for var, value in solution.items()}
+            for solution in solutions
+        ]
+        return {"ok": True, "answers": answers, "count": len(answers)}
+
+    def _op_update(self, session, request):
+        ok = session.run_update(request["goal"])
+        return {"ok": True, "applied": bool(ok)}
+
+    def _op_assert(self, session, request):
+        session.assertz(request["clause"])
+        return {"ok": True}
+
+    def _op_consult(self, session, request):
+        session.consult_string(request["text"])
+        return {"ok": True}
+
+    def _op_local(self, session, request):
+        session.local_dynamic(request["name"], int(request["arity"]))
+        return {"ok": True, "shared_tables": session.tables_shared}
+
+    def _op_statistics(self, session, request):
+        return {"ok": True, "statistics": session.statistics()}
+
+    def _op_metrics(self, session, request):
+        return {"ok": True, "snapshot": self.metrics_snapshot()}
+
+    def _op_sessions(self, session, request):
+        return {"ok": True, "sessions": self.sessions()}
+
+    def _op_ping(self, session, request):
+        return {"ok": True, "pong": True}
+
+    def _op_close(self, session, request):
+        self.close_session(session.sid)
+        return {"ok": True, "closed": session.sid}
+
+    # -- aggregation --------------------------------------------------------
+
+    def sessions(self):
+        """Live sessions over the whole KB (service clients and the
+        seed engine alike), with per-session query counts."""
+        out = []
+        for session in self.engine.kb.sessions():
+            out.append({
+                "sid": session.sid,
+                "queries": session.queries,
+                "shared_tables": session.tables_shared,
+            })
+        return out
+
+    def metrics_snapshot(self):
+        """Every live session's registry merged exactly (counters add,
+        histogram buckets add) — see :func:`repro.obs.metrics.
+        merge_snapshots`; the associativity of that merge is what makes
+        the aggregate independent of session iteration order."""
+        from ..obs.metrics import merge_snapshots
+
+        merged = {}
+        for session in self.engine.kb.sessions():
+            snap = session.metrics_snapshot()
+            if snap:
+                merged = merge_snapshots(merged, snap) if merged else snap
+        return merged
+
+    # -- shutdown -----------------------------------------------------------
+
+    def drain(self, timeout=None):
+        """Block until no requests are in flight."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._pending == 0, timeout)
+
+    def close(self, wait=True):
+        """Graceful shutdown: stop admitting, drain accepted work,
+        release the pool.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if wait:
+            self.drain()
+        self.executor.shutdown(wait=wait)
+        with self._lock:
+            self._clients.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return (
+            f"<QueryService {state} {len(self._clients)} sessions, "
+            f"{self.workers} workers, {self._pending} in flight>"
+        )
+
+
+_OPS = {
+    "query": QueryService._op_query,
+    "update": QueryService._op_update,
+    "assert": QueryService._op_assert,
+    "consult": QueryService._op_consult,
+    "local": QueryService._op_local,
+    "statistics": QueryService._op_statistics,
+    "metrics": QueryService._op_metrics,
+    "sessions": QueryService._op_sessions,
+    "ping": QueryService._op_ping,
+    "close": QueryService._op_close,
+}
+
+
+def _done_future(value):
+    from concurrent.futures import Future
+
+    future = Future()
+    future.set_result(value)
+    return future

@@ -1,0 +1,126 @@
+"""The threaded TCP front door: one acceptor, one reader thread per
+connection, all evaluation on the service's worker pool.
+
+A connection maps 1:1 to a session: the handler opens one on accept,
+reads newline-delimited requests, hands each to
+:meth:`~repro.server.service.QueryService.handle` (which blocks the
+*reader* thread, never a pool worker, while the request runs), and
+writes one response line back.  ``close`` — or EOF — tears the session
+down.  Graceful shutdown closes the listener first, then lets the
+in-flight connections finish their current request.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from .protocol import decode_request, encode_response, error_response
+from .service import QueryService
+
+__all__ = ["TCPQueryServer", "serve_tcp"]
+
+
+class TCPQueryServer:
+    """A line-protocol TCP server over one :class:`QueryService`."""
+
+    def __init__(self, engine, host="127.0.0.1", port=0, service=None,
+                 **service_options):
+        self.service = (
+            service if service is not None
+            else QueryService(engine, **service_options)
+        )
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()
+        self._threads = []
+        self._accepting = threading.Event()
+        self._acceptor = None
+
+    @property
+    def port(self):
+        return self.address[1]
+
+    # -- serving ------------------------------------------------------------
+
+    def start(self):
+        """Accept connections on a background thread; returns self."""
+        self._accepting.set()
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._acceptor.start()
+        return self
+
+    def _accept_loop(self):
+        while self._accepting.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed: shutdown
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="repro-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn):
+        sid = None
+        try:
+            sid = self.service.open_session()
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            writer = conn.makefile("w", encoding="utf-8", newline="\n")
+            hello = {"ok": True, "hello": "repro", "sid": sid}
+            writer.write(encode_response(hello))
+            writer.flush()
+            for line in reader:
+                request = None
+                try:
+                    request = decode_request(line)
+                except ValueError as exc:
+                    response = error_response("bad_request", exc)
+                else:
+                    if request is None:
+                        continue
+                    response = self.service.handle(sid, request)
+                writer.write(encode_response(response))
+                writer.flush()
+                if request is not None and request.get("op") == "close":
+                    break
+        except (RuntimeError, OSError):
+            pass  # service closed or client went away mid-write
+        finally:
+            if sid is not None:
+                self.service.close_session(sid)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- shutdown -----------------------------------------------------------
+
+    def close(self):
+        """Stop accepting, drain in-flight requests, close the service."""
+        self._accepting.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5)
+        self.service.close(wait=True)
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def serve_tcp(engine, host="127.0.0.1", port=0, **service_options):
+    """Start a :class:`TCPQueryServer` and return it (already
+    accepting); ``server.port`` is the bound port when ``port=0``."""
+    return TCPQueryServer(engine, host=host, port=port,
+                          **service_options).start()

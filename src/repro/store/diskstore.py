@@ -309,6 +309,7 @@ class DiskTupleStore(TupleStore):
                 if len(bucket) == 1:
                     index[key] = bucket[0]
         self.generation += 1
+        self.stats.removes += 1
         return True
 
     def clear(self):

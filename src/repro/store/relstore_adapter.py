@@ -101,6 +101,7 @@ class RelStoreTupleStore(TupleStore):
         self.tuples.discard(row)
         self._rebuild(rows)
         self.generation += 1
+        self.stats.removes += 1
         return True
 
     def clear(self):

@@ -109,7 +109,7 @@ class MemoryTupleStore(TupleStore):
     """
 
     __slots__ = ("name", "arity", "tuples", "rows", "indexes",
-                 "generation", "stats")
+                 "generation", "stats", "_positions")
 
     def __init__(self, name, arity):
         self.name = name
@@ -119,6 +119,13 @@ class MemoryTupleStore(TupleStore):
         self.indexes = {}
         self.generation = 0
         self.stats = StoreStats()
+        # row -> list position, built lazily by the first remove and
+        # maintained by every later append, so each remove is a dict
+        # pop + swap-pop instead of an O(rows) list scan (bulk DRed
+        # cascades were quadratic in relation size).  None until a
+        # store actually removes: insert-only stores (the fixpoint hot
+        # path) never pay the maintenance.
+        self._positions = None
 
     # -- mutation ----------------------------------------------------------
 
@@ -128,6 +135,9 @@ class MemoryTupleStore(TupleStore):
             return False
         self.tuples.add(row)
         self.rows.append(row)
+        slots = self._positions
+        if slots is not None:
+            slots[row] = len(self.rows) - 1
         for positions, index in self.indexes.items():
             key = tuple(row[p] for p in positions)
             index.setdefault(key, []).append(row)
@@ -146,6 +156,9 @@ class MemoryTupleStore(TupleStore):
             return False
         self.tuples.add(key)
         self.rows.append(row)
+        slots = self._positions
+        if slots is not None:
+            slots[row] = len(self.rows) - 1
         for positions, index in self.indexes.items():
             index_key = tuple(row[p] for p in positions)
             index.setdefault(index_key, []).append(row)
@@ -156,12 +169,15 @@ class MemoryTupleStore(TupleStore):
         rebuild per live index after the batch."""
         tuples = self.tuples
         out = self.rows
+        slots = self._positions
         added = 0
         for row in rows:
             if row in tuples:
                 continue
             tuples.add(row)
             out.append(row)
+            if slots is not None:
+                slots[row] = len(out) - 1
             added += 1
         if added and self.indexes:
             stats = self.stats
@@ -181,11 +197,32 @@ class MemoryTupleStore(TupleStore):
         return self.rows[rid]
 
     def remove(self, row):
-        """Remove one row everywhere it is stored; True when present."""
+        """Remove one row everywhere it is stored; True when present.
+
+        The row slot is filled by swap-pop: the last row moves into the
+        vacated position and the list shrinks by one — O(1) against the
+        old O(rows) ``list.remove`` scan, and the ``rows`` list keeps
+        its identity (compiled join plans capture it), with no
+        tombstones ever visible to consumers.  The cost is that
+        insertion order is no longer authoritative after a removal;
+        iteration stays deterministic (same operation sequence, same
+        order).  Row-mode predicates promote to clause-land before any
+        destructive mutation, so :meth:`row_at` ids never live across
+        a remove.
+        """
         if row not in self.tuples:
             return False
         self.tuples.discard(row)
-        self.rows.remove(row)
+        rows = self.rows
+        slots = self._positions
+        if slots is None:
+            slots = {r: i for i, r in enumerate(rows)}
+            self._positions = slots
+        idx = slots.pop(row)
+        last = rows.pop()
+        if idx < len(rows):
+            rows[idx] = last
+            slots[last] = idx
         for positions, index in self.indexes.items():
             key = tuple(row[p] for p in positions)
             bucket = index.get(key)
@@ -194,6 +231,7 @@ class MemoryTupleStore(TupleStore):
                 if not bucket:
                     del index[key]
         self.generation += 1
+        self.stats.removes += 1
         return True
 
     def clear(self):
@@ -206,6 +244,7 @@ class MemoryTupleStore(TupleStore):
         """
         self.tuples.clear()
         self.rows.clear()
+        self._positions = None
         for index in self.indexes.values():
             index.clear()
         self.generation += 1

@@ -1,0 +1,335 @@
+"""Concurrent sessions against a serial oracle.
+
+Each script seeds a small tabled program (a transitive closure over
+dynamic ``edge/2`` facts plus a stratified ``win/1`` game over static
+``move/2``), then lets N sessions run randomized query/mutation
+interleavings on their own threads over one shared knowledge base.
+
+Two levels of checking:
+
+* **Final state, serial-engine oracle.**  Mutations are partitioned so
+  no two threads touch the same fact (set semantics make them commute),
+  so after the join the shared database has one well-defined state; a
+  fresh *serial* engine replaying base + all mutations must produce
+  identical answer multisets for every query goal, and the
+  :class:`~repro.engine.wfs.WFSInterpreter` must agree on every ``win``
+  verdict the sessions saw.
+* **Mid-run snapshot admissibility.**  Every answer set observed
+  *during* the run must equal the closure of some admissible database
+  state: the querying thread's own mutations up to that point (program
+  order, enforced by the session), plus a *prefix* of each other
+  thread's mutations (writes publish in order under the KB write lock,
+  and the query's read hold freezes one consistent snapshot).
+
+The suite runs ≥100 scripts; CI re-runs the file under
+``REPRO_INCREMENTAL=0`` and the disk tuple-store backend, and two
+in-file legs pin those configurations locally.
+"""
+
+import itertools
+import random
+import threading
+
+import pytest
+
+from repro import Engine
+from repro.engine.wfs import TRUE, WFSInterpreter
+
+NODES = (1, 2, 3, 4, 5, 6)
+WIN_NODES = (1, 2, 3, 4, 5)
+
+PATH_VARIANTS = {
+    "left": "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).",
+    "right": "path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).",
+}
+
+WIN_RULE = "win(X) :- move(X, Y), tnot(win(Y))."
+
+
+# ---------------------------------------------------------------------------
+# Script generation
+# ---------------------------------------------------------------------------
+
+def generate_script(seed):
+    """One deterministic script: program + per-thread op lists."""
+    rng = random.Random(seed)
+    pairs = [(a, b) for a in NODES for b in NODES if a != b]
+    base_edges = sorted(rng.sample(pairs, rng.randint(2, 6)))
+    # Acyclic move graph keeps win/1 stratified for the SLG engine.
+    moves = sorted(
+        {
+            (a, b)
+            for a, b in (
+                sorted(rng.sample(WIN_NODES, 2)) for _ in range(rng.randint(2, 5))
+            )
+        }
+    )
+    variant = rng.choice(sorted(PATH_VARIANTS))
+    nthreads = rng.randint(2, 3)
+    # Fact ownership: each mutable pair belongs to exactly one thread,
+    # so concurrent asserts/retracts commute as set operations.
+    owned = {t: [] for t in range(nthreads)}
+    for i, pair in enumerate(rng.sample(pairs, rng.randint(3, 8))):
+        owned[i % nthreads].append(pair)
+    scripts = []
+    for t in range(nthreads):
+        ops = []
+        live = [pair for pair in owned[t] if pair in base_edges]
+        dead = [pair for pair in owned[t] if pair not in base_edges]
+        for _ in range(rng.randint(2, 4)):
+            kind = rng.random()
+            if kind < 0.45 or not (live or dead):
+                goal = rng.choice(
+                    [
+                        "path(X, Y)",
+                        f"path({rng.choice(NODES)}, X)",
+                        f"path(X, {rng.choice(NODES)})",
+                    ]
+                )
+                ops.append(("query", goal))
+            elif kind < 0.6:
+                ops.append(("win", rng.choice(WIN_NODES)))
+            elif dead and (not live or rng.random() < 0.5):
+                pair = dead.pop(rng.randrange(len(dead)))
+                ops.append(("assert", pair))
+                live.append(pair)
+            else:
+                pair = live.pop(rng.randrange(len(live)))
+                ops.append(("retract", pair))
+                dead.append(pair)
+        scripts.append(ops)
+    return {
+        "base_edges": base_edges,
+        "moves": moves,
+        "variant": variant,
+        "threads": scripts,
+    }
+
+
+def program_text(script):
+    lines = [":- table path/2.", ":- dynamic edge/2.",
+             PATH_VARIANTS[script["variant"]], ":- table win/1.", WIN_RULE]
+    lines += [f"move({a}, {b})." for a, b in script["moves"]]
+    lines += [f"edge({a}, {b})." for a, b in script["base_edges"]]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+def closure(edges):
+    """Transitive closure of an edge set (plain-Python oracle)."""
+    adjacency = {}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+    reach = {}
+    for start in adjacency:
+        seen = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        reach[start] = seen
+    return {(a, b) for a, targets in reach.items() for b in targets}
+
+
+def oracle_answers(goal, edges):
+    """What a query goal must return over ``edges``, as a sorted list."""
+    pairs = closure(edges)
+    if goal == "path(X, Y)":
+        return sorted(pairs)
+    head, tail = goal.split("(", 1)
+    args = tail.rstrip(")").split(", ")
+    if args[0] == "X":
+        node = int(args[1])
+        return sorted((a, node) for a, b in pairs if b == node)
+    node = int(args[0])
+    return sorted((node, b) for a, b in pairs if a == node)
+
+
+def normalize(goal, solutions):
+    """Engine solutions -> the oracle's sorted tuple shape."""
+    if goal == "path(X, Y)":
+        return sorted((s["X"], s["Y"]) for s in solutions)
+    head, tail = goal.split("(", 1)
+    args = tail.rstrip(")").split(", ")
+    if args[0] == "X":
+        node = int(args[1])
+        return sorted((s["X"], node) for s in solutions)
+    node = int(args[0])
+    return sorted((node, s["X"]) for s in solutions)
+
+
+def apply_mutations(edges, mutations):
+    edges = set(edges)
+    for kind, pair in mutations:
+        if kind == "assert":
+            edges.add(pair)
+        else:
+            edges.discard(pair)
+    return edges
+
+
+# ---------------------------------------------------------------------------
+# Concurrent execution
+# ---------------------------------------------------------------------------
+
+def run_script_concurrently(script):
+    """Run one script over N threads; returns per-thread observation
+    logs and the engine (still holding the final shared state)."""
+    engine = Engine(unknown="fail")
+    engine.consult_string(program_text(script))
+    engine.kb.enable_concurrency()
+    barrier = threading.Barrier(len(script["threads"]))
+    logs = [[] for _ in script["threads"]]
+    errors = []
+
+    def runner(tid, ops):
+        try:
+            session = engine.session()
+            barrier.wait(timeout=10)
+            done = []
+            for op in ops:
+                kind = op[0]
+                if kind == "query":
+                    goal = op[1]
+                    answers = normalize(goal, session.query(goal))
+                    logs[tid].append(("query", goal, tuple(done), answers))
+                elif kind == "win":
+                    node = op[1]
+                    verdict = session.has_solution(f"win({node})")
+                    logs[tid].append(("win", node, verdict))
+                else:
+                    pair = op[1]
+                    functor = "assertz" if kind == "assert" else "retract"
+                    session.run_update(
+                        f"{functor}(edge({pair[0]}, {pair[1]}))"
+                    )
+                    if engine.incremental is None:
+                        # Pre-incremental contract: mutations leave
+                        # completed tables stale until a wholesale drop.
+                        session.abolish_all_tables()
+                    done.append((kind, pair))
+                    logs[tid].append(("mutate", kind, pair))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append((tid, exc))
+
+    threads = [
+        threading.Thread(target=runner, args=(tid, ops))
+        for tid, ops in enumerate(script["threads"])
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, f"session thread failed: {errors}"
+    return logs, engine
+
+
+def check_script(script, logs, engine):
+    base = set(script["base_edges"])
+    thread_mutations = [
+        [(entry[1], entry[2]) for entry in log if entry[0] == "mutate"]
+        for log in logs
+    ]
+    all_mutations = [m for muts in thread_mutations for m in muts]
+    final_edges = apply_mutations(base, all_mutations)
+
+    # -- final state vs a fresh serial engine -------------------------------
+    serial = Engine(unknown="fail")
+    serial.consult_string(program_text(script))
+    for kind, (a, b) in all_mutations:
+        functor = "assertz" if kind == "assert" else "retract"
+        serial.run_update(f"{functor}(edge({a}, {b}))")
+        if serial.incremental is None:
+            serial.abolish_all_tables()
+    goals = sorted(
+        {entry[1] for log in logs for entry in log if entry[0] == "query"}
+    ) or ["path(X, Y)"]
+    for goal in goals:
+        concurrent_now = normalize(goal, engine.query(goal))
+        assert concurrent_now == normalize(goal, serial.query(goal))
+        assert concurrent_now == oracle_answers(goal, final_edges)
+
+    # -- WFS verdicts (static move graph) vs the bottom-up oracle -----------
+    wfs = WFSInterpreter(WIN_RULE)
+    wfs.add_facts("move", script["moves"])
+    for log in logs:
+        for entry in log:
+            if entry[0] == "win":
+                _, node, verdict = entry
+                assert verdict == (wfs.truth("win", (node,)) == TRUE)
+
+    # -- mid-run answers must match an admissible snapshot ------------------
+    for tid, log in enumerate(logs):
+        others = [muts for t, muts in enumerate(thread_mutations) if t != tid]
+        for entry in log:
+            if entry[0] != "query":
+                continue
+            _, goal, own_prefix, answers = entry
+            prefix_choices = [range(len(muts) + 1) for muts in others]
+            admissible = False
+            for lengths in itertools.product(*prefix_choices):
+                visible = list(own_prefix)
+                for muts, length in zip(others, lengths):
+                    visible.extend(muts[:length])
+                state = apply_mutations(base, visible)
+                if answers == oracle_answers(goal, state):
+                    admissible = True
+                    break
+            assert admissible, (
+                f"thread {tid} saw {goal} -> {answers}, not the closure of "
+                f"any admissible snapshot (own prefix {own_prefix})"
+            )
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+SCRIPTS = 100
+
+
+@pytest.mark.parametrize("seed", range(SCRIPTS))
+def test_concurrent_script_matches_serial_oracle(seed):
+    script = generate_script(seed)
+    logs, engine = run_script_concurrently(script)
+    check_script(script, logs, engine)
+
+
+@pytest.mark.parametrize("seed", range(1000, 1012))
+def test_concurrent_scripts_without_incremental(seed, monkeypatch):
+    monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+    script = generate_script(seed)
+    logs, engine = run_script_concurrently(script)
+    assert engine.incremental is None
+    check_script(script, logs, engine)
+
+
+@pytest.mark.parametrize("seed", range(2000, 2012))
+def test_concurrent_scripts_on_disk_store(seed, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TUPLESTORE", "disk")
+    monkeypatch.setenv("REPRO_TUPLESTORE_DIR", str(tmp_path))
+    script = generate_script(seed)
+    logs, engine = run_script_concurrently(script)
+    check_script(script, logs, engine)
+
+
+def test_shared_tables_actually_reused_across_script_sessions():
+    """A query-only script where every thread asks the same goal: all
+    but the first resolution must be served from the shared table."""
+    script = {
+        "base_edges": [(1, 2), (2, 3), (3, 4)],
+        "moves": [(1, 2)],
+        "variant": "right",
+        "threads": [[("query", "path(1, X)")] for _ in range(4)],
+    }
+    logs, engine = run_script_concurrently(script)
+    check_script(script, logs, engine)
+    stats = engine.statistics()
+    assert stats["table_hit_shared"] >= 1
+    assert engine.kb.shared_hit_ratio() > 0

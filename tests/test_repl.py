@@ -278,6 +278,18 @@ class TestColonCommands:
         # the view printed after the first query only
         assert transcript.count("self_ms") == 1
 
+    def test_sessions_lists_live_sessions(self):
+        engine = Engine()
+        engine.consult_string(TABLED_PATH)
+        engine.query("path(1, X)")
+        sibling = engine.session()
+        sibling.query("path(1, X)")
+        transcript = run_session(":sessions\n", engine)
+        assert "2 active" in transcript
+        assert "(this one)" in transcript
+        assert f"#{sibling.sid}" in transcript
+        assert "shared-table hit ratio" in transcript
+
 
 class TestMetricsFlag:
     def _program(self):

@@ -1,0 +1,371 @@
+"""The concurrent query service: protocol, ops, admission control,
+both front doors, and serial equivalence under one worker.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import Engine
+from repro.server import (
+    QueryService,
+    decode_request,
+    default_workers,
+    encode_response,
+    serve_async,
+    serve_tcp,
+)
+
+PROGRAM = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- edge(X,Z), path(Z,Y).
+edge(1,2). edge(2,3). edge(3,4).
+:- dynamic d/1.
+"""
+
+
+def make_engine():
+    engine = Engine()
+    engine.consult_string(PROGRAM)
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+def test_decode_bare_goal_is_a_query():
+    assert decode_request("path(1, X)\n") == {"op": "query", "goal": "path(1, X)"}
+
+
+def test_decode_json_object_passes_through():
+    request = decode_request('{"op": "ping"}\n')
+    assert request == {"op": "ping"}
+
+
+def test_decode_blank_line_is_none():
+    assert decode_request("   \n") is None
+
+
+def test_decode_object_without_op_raises():
+    with pytest.raises(ValueError):
+        decode_request('{"goal": "p(X)"}')
+
+
+def test_encode_response_is_one_json_line():
+    line = encode_response({"ok": True, "count": 2})
+    assert line.endswith("\n")
+    assert json.loads(line) == {"ok": True, "count": 2}
+
+
+# ---------------------------------------------------------------------------
+# QueryService ops
+# ---------------------------------------------------------------------------
+
+def test_service_query_answers():
+    with QueryService(make_engine(), workers=2) as service:
+        sid = service.open_session()
+        response = service.handle(sid, {"op": "query", "goal": "path(1, X)"})
+        assert response["ok"]
+        assert response["answers"] == [{"X": 2}, {"X": 3}, {"X": 4}]
+        assert response["count"] == 3
+
+
+def test_service_query_limit():
+    with QueryService(make_engine(), workers=1) as service:
+        sid = service.open_session()
+        response = service.handle(
+            sid, {"op": "query", "goal": "path(X, Y)", "limit": 2}
+        )
+        assert response["count"] == 2
+
+
+def test_service_update_is_visible_to_other_sessions():
+    with QueryService(make_engine(), workers=2) as service:
+        writer = service.open_session()
+        reader = service.open_session()
+        assert service.handle(
+            writer, {"op": "update", "goal": "assertz(d(7))"}
+        )["ok"]
+        response = service.handle(reader, {"op": "query", "goal": "d(X)"})
+        assert response["answers"] == [{"X": 7}]
+
+
+def test_service_assert_and_consult():
+    with QueryService(make_engine(), workers=1) as service:
+        sid = service.open_session()
+        assert service.handle(sid, {"op": "assert", "clause": "d(1)."})["ok"]
+        assert service.handle(
+            sid, {"op": "consult", "text": "d(2). d(3)."}
+        )["ok"]
+        response = service.handle(sid, {"op": "query", "goal": "d(X)"})
+        assert response["count"] == 3
+
+
+def test_service_local_predicate_stays_private():
+    with QueryService(make_engine(), workers=2) as service:
+        a = service.open_session()
+        b = service.open_session()
+        response = service.handle(
+            a, {"op": "local", "name": "scratch", "arity": 1}
+        )
+        assert response["ok"] and not response["shared_tables"]
+        assert service.handle(
+            a, {"op": "update", "goal": "assertz(scratch(1))"}
+        )["ok"]
+        assert service.handle(
+            a, {"op": "query", "goal": "scratch(X)"}
+        )["count"] == 1
+        other = service.handle(b, {"op": "query", "goal": "scratch(X)"})
+        assert not other["ok"]  # undefined for everyone else
+
+
+def test_service_error_response_shape():
+    with QueryService(make_engine(), workers=1) as service:
+        sid = service.open_session()
+        response = service.handle(sid, {"op": "query", "goal": "nope(X)"})
+        assert response == {
+            "ok": False,
+            "error": "repro_error",
+            "message": response["message"],
+        }
+        assert "nope/1" in response["message"]
+        assert service.handle(sid, {"op": "frobnicate"})["error"] == "unknown_op"
+        missing = service.handle(sid, {"op": "update"})  # no "goal" field
+        assert missing["error"] == "bad_request"
+        assert "'goal'" in missing["message"]
+
+
+def test_service_statistics_metrics_sessions_ping():
+    with QueryService(make_engine(), workers=1) as service:
+        sid = service.open_session()
+        service.handle(sid, {"op": "query", "goal": "path(1, X)"})
+        stats = service.handle(sid, {"op": "statistics"})
+        assert stats["ok"] and "subgoal_misses" in stats["statistics"]
+        metrics = service.handle(sid, {"op": "metrics"})
+        assert metrics["snapshot"]["counters"]["queries"] >= 1
+        sessions = service.handle(sid, {"op": "sessions"})
+        assert any(row["sid"] == sid for row in sessions["sessions"])
+        assert service.handle(sid, {"op": "ping"})["pong"]
+
+
+def test_service_close_op_removes_session():
+    service = QueryService(make_engine(), workers=1)
+    sid = service.open_session()
+    assert service.handle(sid, {"op": "close"})["closed"] == sid
+    response = service.handle(sid, {"op": "ping"})
+    assert response["error"] == "no_session"
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# Admission control and shutdown
+# ---------------------------------------------------------------------------
+
+SLOW_PROGRAM = """
+mklist(0, []) :- !.
+mklist(N, [N|T]) :- M is N - 1, mklist(M, T).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+slow :- mklist(120, L), nrev(L, _).
+"""
+
+
+def test_service_rejects_past_max_pending():
+    engine = Engine()
+    engine.consult_string(SLOW_PROGRAM)
+    service = QueryService(engine, workers=1, max_pending=1, session_cap=1)
+    a = service.open_session()
+    b = service.open_session()
+    slow = service.submit(a, {"op": "query", "goal": "slow"})
+    rejected = service.submit(b, {"op": "ping"})
+    response = rejected.result()
+    assert response["error"] == "overloaded"
+    assert slow.result()["ok"]
+    assert service.handle(b, {"op": "ping"})["ok"]  # slot freed
+    service.close()
+
+
+def test_service_per_session_cap():
+    engine = Engine()
+    engine.consult_string(SLOW_PROGRAM)
+    service = QueryService(engine, workers=1, max_pending=8, session_cap=1)
+    sid = service.open_session()
+    slow = service.submit(sid, {"op": "query", "goal": "slow"})
+    rejected = service.submit(sid, {"op": "ping"}).result()
+    assert rejected["error"] == "overloaded"
+    assert "session" in rejected["message"]
+    assert slow.result()["ok"]
+    service.close()
+
+
+def test_service_graceful_close_drains_accepted_work():
+    engine = Engine()
+    engine.consult_string(SLOW_PROGRAM)
+    service = QueryService(engine, workers=2)
+    sid = service.open_session()
+    futures = [
+        service.submit(sid, {"op": "query", "goal": "slow"})
+        for _ in range(3)
+    ]
+    service.close(wait=True)
+    done = [f.result() for f in futures]
+    assert all(r["ok"] or r["error"] == "overloaded" for r in done)
+    assert any(r["ok"] for r in done)
+    after = service.submit(sid, {"op": "ping"}).result()
+    assert after["error"] in ("closed", "no_session")
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVER_WORKERS", "3")
+    assert default_workers() == 3
+    monkeypatch.setenv("REPRO_SERVER_WORKERS", "0")
+    with pytest.raises(ValueError):
+        default_workers()
+    monkeypatch.delenv("REPRO_SERVER_WORKERS")
+    assert default_workers() >= 1
+
+
+# ---------------------------------------------------------------------------
+# Serial equivalence: one worker == serial engine
+# ---------------------------------------------------------------------------
+
+def test_single_worker_service_matches_serial_engine():
+    goals = ["path(1, X)", "path(X, Y)", "path(2, X)", "d(X)", "path(3, X)"]
+    serial = make_engine()
+    serial.consult_string("d(5). d(6).")
+    expected = [serial.query(goal) for goal in goals]
+
+    engine = make_engine()
+    engine.consult_string("d(5). d(6).")
+    with QueryService(engine, workers=1) as service:
+        sids = [service.open_session() for _ in range(4)]
+        responses = []
+        for i, goal in enumerate(goals):
+            responses.append(
+                service.handle(sids[i % 4], {"op": "query", "goal": goal})
+            )
+    for response, answers in zip(responses, expected):
+        assert response["ok"]
+        assert response["answers"] == answers
+
+
+# ---------------------------------------------------------------------------
+# TCP front door
+# ---------------------------------------------------------------------------
+
+def tcp_client(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+    return sock, stream
+
+
+def test_tcp_round_trip():
+    with serve_tcp(make_engine(), workers=2) as server:
+        sock, stream = tcp_client(server.port)
+        hello = json.loads(stream.readline())
+        assert hello["ok"] and hello["hello"] == "repro"
+        stream.write("path(1, X)\n")
+        stream.flush()
+        response = json.loads(stream.readline())
+        assert response["answers"] == [{"X": 2}, {"X": 3}, {"X": 4}]
+        stream.write('{"op": "close"}\n')
+        stream.flush()
+        assert json.loads(stream.readline())["ok"]
+        sock.close()
+
+
+def test_tcp_many_clients_share_tables():
+    engine = make_engine()
+    with serve_tcp(engine, workers=4) as server:
+        results = []
+        errors = []
+
+        def client():
+            try:
+                sock, stream = tcp_client(server.port)
+                stream.readline()  # hello
+                stream.write("path(1, X)\n")
+                stream.flush()
+                results.append(json.loads(stream.readline())["count"])
+                sock.close()
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results == [3] * 8
+    # at least one of the eight served from another session's table
+    assert engine.kb.shared_hit_ratio() > 0
+
+
+def test_tcp_bad_request_line():
+    with serve_tcp(make_engine(), workers=1) as server:
+        sock, stream = tcp_client(server.port)
+        stream.readline()
+        stream.write('{"no_op": 1}\n')
+        stream.flush()
+        response = json.loads(stream.readline())
+        assert response["error"] == "bad_request"
+        sock.close()
+
+
+# ---------------------------------------------------------------------------
+# asyncio front door
+# ---------------------------------------------------------------------------
+
+def test_async_round_trip():
+    async def scenario():
+        server = await serve_async(make_engine(), workers=2)
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            hello = json.loads(await reader.readline())
+            assert hello["ok"]
+            writer.write(b'{"op": "query", "goal": "path(1, X)"}\n')
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["count"] == 3
+            writer.write(b'{"op": "close"}\n')
+            await writer.drain()
+            assert json.loads(await reader.readline())["ok"]
+            writer.close()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_async_concurrent_connections():
+    async def scenario():
+        server = await serve_async(make_engine(), workers=4)
+
+        async def client():
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            await reader.readline()
+            writer.write(b"path(X, Y)\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            return response["count"]
+
+        try:
+            counts = await asyncio.gather(*[client() for _ in range(6)])
+            assert counts == [6] * 6
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())

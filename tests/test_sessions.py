@@ -1,0 +1,436 @@
+"""The SharedKB/Session split: cross-session table reuse, locking
+discipline, session-local predicates, and the thread-safety satellites
+(swap-pop store removal, locked metrics/tracer).
+"""
+
+import threading
+
+import pytest
+
+from repro import Engine
+from repro.engine import RWLock, Session, SharedKB
+from repro.errors import ReproError
+from repro.obs.metrics import merge_snapshots
+from repro.store.tuplestore import MemoryTupleStore
+
+PATH_PROGRAM = """
+:- table path/2.
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- edge(X,Z), path(Z,Y).
+edge(1,2). edge(2,3). edge(3,4).
+"""
+
+
+# ---------------------------------------------------------------------------
+# SharedKB / Session basics
+# ---------------------------------------------------------------------------
+
+def test_engine_is_a_session_over_a_shared_kb():
+    engine = Engine()
+    assert isinstance(engine, Session)
+    assert isinstance(engine.kb, SharedKB)
+    assert engine.db is engine.kb.db
+    assert engine.tables is engine.kb.tables
+
+
+def test_sibling_sessions_share_clauses_and_answers():
+    engine = Engine()
+    engine.consult_string(PATH_PROGRAM)
+    other = engine.session()
+    assert other.kb is engine.kb
+    assert other.sid != engine.sid
+    mine = {(s["X"], s["Y"]) for s in engine.query("path(X, Y)")}
+    theirs = {(s["X"], s["Y"]) for s in other.query("path(X, Y)")}
+    assert mine == theirs
+    assert len(mine) == 6
+
+
+def test_kb_session_registry_and_repr():
+    engine = Engine()
+    kb = engine.kb
+    assert engine in kb.sessions()
+    before = kb.sessions_active()
+    extra = engine.session()
+    assert kb.sessions_active() == before + 1
+    assert f"#{extra.sid}" in repr(extra)
+    assert "SharedKB" in repr(kb)
+
+
+# ---------------------------------------------------------------------------
+# RWLock
+# ---------------------------------------------------------------------------
+
+def test_rwlock_reentrant_read_and_write():
+    lock = RWLock()
+    lock.acquire_read()
+    lock.acquire_read()
+    assert lock.read_held()
+    lock.release_read()
+    lock.release_read()
+    assert not lock.read_held()
+    lock.acquire_write()
+    lock.acquire_write()
+    assert lock.write_held()
+    lock.release_write()
+    lock.release_write()
+    assert not lock.write_held()
+
+
+def test_rwlock_writer_may_read():
+    lock = RWLock()
+    lock.acquire_write()
+    lock.acquire_read()
+    lock.release_read()
+    lock.release_write()
+
+
+def test_rwlock_read_to_write_upgrade_raises():
+    lock = RWLock()
+    lock.acquire_read()
+    with pytest.raises(RuntimeError, match="read->write upgrade"):
+        lock.acquire_write()
+    lock.release_read()
+
+
+def test_rwlock_blocks_writer_while_read_held():
+    lock = RWLock()
+    lock.acquire_read()
+    acquired = threading.Event()
+
+    def writer():
+        lock.acquire_write()
+        acquired.set()
+        lock.release_write()
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    assert not acquired.wait(0.1)
+    lock.release_read()
+    assert acquired.wait(2)
+    thread.join()
+
+
+# ---------------------------------------------------------------------------
+# Cross-session completed-table reuse
+# ---------------------------------------------------------------------------
+
+def test_second_session_variant_checkin_does_zero_slg_work():
+    """The exact-pin test from the issue: once session A completed the
+    table, session B's variant check-in is one probe — a shared hit,
+    no subgoal creation, no resolution."""
+    engine = Engine()
+    engine.consult_string(PATH_PROGRAM)
+    assert engine.query("path(1, X)")  # A evaluates and completes
+
+    other = engine.session()
+    answers = {s["X"] for s in other.query("path(1, X)")}
+    assert answers == {2, 3, 4}
+    stats = other.stats
+    assert stats.table_hit_shared == 1
+    assert stats.subgoal_hits == 1
+    assert stats.subgoal_misses == 0
+
+
+def test_own_completed_table_hit_is_not_counted_as_shared():
+    engine = Engine()
+    engine.consult_string(PATH_PROGRAM)
+    engine.query("path(1, X)")
+    engine.stats.reset()
+    engine.query("path(1, X)")
+    assert engine.stats.subgoal_hits == 1
+    assert engine.stats.table_hit_shared == 0
+
+
+def test_shared_hit_ratio_and_gauges():
+    engine = Engine(metrics=True)
+    engine.consult_string(PATH_PROGRAM)
+    engine.query("path(1, X)")
+    other = engine.session(metrics=True)
+    other.query("path(1, X)")
+    kb = engine.kb
+    assert kb.shared_hit_ratio() > 0
+    snap = other.metrics_snapshot()
+    assert snap["gauges"]["sessions_active"] == kb.sessions_active()
+    assert snap["gauges"]["shared_hit_ratio"] == kb.shared_hit_ratio()
+    from repro.obs.metrics import render_prometheus
+
+    text = render_prometheus(snap)
+    assert "repro_sessions_active 2" in text
+    assert "repro_shared_hit_ratio" in text
+
+
+def test_statistics_expose_shared_and_session_counters():
+    engine = Engine()
+    engine.consult_string(PATH_PROGRAM)
+    stats = engine.statistics()
+    assert "table_hit_shared" in stats
+    assert "store_removes" in stats
+    assert stats["sessions_active"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Write discipline in concurrent mode
+# ---------------------------------------------------------------------------
+
+def test_concurrent_mutation_inside_query_raises():
+    engine = Engine()
+    engine.consult_string(":- dynamic d/1.\nd(1). d(2).")
+    engine.kb.enable_concurrency()
+    iterator = engine.query_iter("d(X)")
+    next(iterator)
+    with pytest.raises((ReproError, RuntimeError), match="running query"):
+        engine.add_fact("d", 3)
+    iterator.close()
+    engine.add_fact("d", 3)  # fine once the read lock is released
+    assert engine.count("d(X)") == 3
+
+
+def test_concurrent_mutations_serialize_with_queries():
+    engine = Engine(unknown="fail")
+    engine.consult_string(":- dynamic d/1.")
+    engine.kb.enable_concurrency()
+    errors = []
+
+    def mutate(base):
+        try:
+            for i in range(25):
+                engine.session().add_fact("d", base + i)
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    readers = []
+
+    def read():
+        try:
+            session = engine.session()
+            for _ in range(25):
+                readers.append(session.count("d(X)"))
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=mutate, args=(100,)),
+        threading.Thread(target=mutate, args=(200,)),
+        threading.Thread(target=read),
+        threading.Thread(target=read),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert engine.count("d(X)") == 50
+    assert all(0 <= n <= 50 for n in readers)
+
+
+def test_mutation_invalidates_shared_tables_for_all_sessions():
+    engine = Engine()
+    engine.consult_string(
+        ":- table reach/1.\n:- dynamic edge/2.\n"
+        "reach(Y) :- edge(1, Y).\nedge(1, 2)."
+    )
+    other = engine.session()
+    assert {s["Y"] for s in other.query("reach(Y)")} == {2}
+    engine.add_fact("edge", 1, 9)
+    if engine.incremental is None:
+        # pre-incremental contract: stale until the wholesale drop
+        engine.abolish_all_tables()
+    assert {s["Y"] for s in other.query("reach(Y)")} == {2, 9}
+    assert {s["Y"] for s in engine.query("reach(Y)")} == {2, 9}
+
+
+# ---------------------------------------------------------------------------
+# Session-local predicates
+# ---------------------------------------------------------------------------
+
+def test_local_dynamic_is_invisible_to_other_sessions():
+    engine = Engine(unknown="fail")
+    engine.consult_string("shared(1).")
+    mine = engine.session()
+    mine.local_dynamic("scratch", 1)
+    mine.run_update("assertz(scratch(7))")
+    assert mine.count("scratch(X)") == 1
+    assert mine.count("shared(X)") == 1  # shared still visible
+    other = engine.session()
+    assert other.count("scratch(X)") == 0
+    assert ("scratch", 1) not in engine.kb.db.predicates
+
+
+def test_local_dynamic_cannot_shadow_shared_predicate():
+    engine = Engine()
+    engine.consult_string("shared(1).")
+    session = engine.session()
+    with pytest.raises(ReproError, match="shadow"):
+        session.local_dynamic("shared", 1)
+
+
+def test_local_dynamic_trades_shared_tables_for_private():
+    engine = Engine()
+    engine.consult_string(PATH_PROGRAM)
+    session = engine.session()
+    assert session.tables_shared
+    session.local_dynamic("scratch", 1)
+    assert not session.tables_shared
+    assert session.tables is not engine.kb.tables
+    # private tables still answer correctly, without polluting shared
+    assert {s["X"] for s in session.query("path(1, X)")} == {2, 3, 4}
+
+
+def test_private_tables_invalidate_on_shared_mutation():
+    engine = Engine()
+    engine.consult_string(
+        ":- table reach/1.\n:- dynamic edge/2.\n"
+        "reach(Y) :- edge(1, Y).\nedge(1, 2)."
+    )
+    session = engine.session()
+    session.local_dynamic("scratch", 1)
+    assert {s["Y"] for s in session.query("reach(Y)")} == {2}
+    engine.add_fact("edge", 1, 5)
+    assert {s["Y"] for s in session.query("reach(Y)")} == {2, 5}
+
+
+# ---------------------------------------------------------------------------
+# Satellite: swap-pop MemoryTupleStore removal
+# ---------------------------------------------------------------------------
+
+def test_memory_store_remove_keeps_list_identity_and_rows():
+    store = MemoryTupleStore("t", 2)
+    rows_obj = store.rows
+    for i in range(10):
+        store.add((i, i * 10))
+    assert store.remove((4, 40))
+    assert store.rows is rows_obj  # compiled plans capture this list
+    assert len(store) == 9
+    assert (4, 40) not in store
+    assert set(store) == {(i, i * 10) for i in range(10) if i != 4}
+    assert not store.remove((4, 40))  # already gone
+    assert store.stats.removes == 1
+
+
+def test_memory_store_remove_updates_indexes():
+    store = MemoryTupleStore("t", 2)
+    for i in range(8):
+        store.add((i % 2, i))
+    store.ensure_index((0,))
+    assert store.remove((0, 4))
+    assert sorted(store.probe((0,), (0,))) == [(0, 0), (0, 2), (0, 6)]
+    assert sorted(store.probe((0,), (1,))) == [(1, 1), (1, 3), (1, 5), (1, 7)]
+
+
+def test_memory_store_interleaved_add_remove_matches_set_oracle():
+    import random
+
+    rng = random.Random(1234)
+    store = MemoryTupleStore("t", 1)
+    oracle = set()
+    for _ in range(2000):
+        value = rng.randrange(60)
+        row = (value,)
+        if rng.random() < 0.4 and oracle:
+            victim = (rng.choice(sorted(oracle))[0],)
+            assert store.remove(victim) == (victim in oracle)
+            oracle.discard(victim)
+        else:
+            assert store.add(row) == (row not in oracle)
+            oracle.add(row)
+        if not rng.randrange(100):
+            assert set(store) == oracle
+            assert len(store) == len(oracle)
+    assert set(store) == oracle
+
+
+def test_warm_incremental_repair_drives_store_removes():
+    """Warm DRed repair deletes rows in place — the swap-pop path —
+    and the removals surface in the merged statistics."""
+    import os
+
+    if os.environ.get("REPRO_INCREMENTAL", "").lower() in ("0", "false", "off"):
+        pytest.skip("incremental maintenance disabled")
+    engine = Engine()
+    engine.consult_string(
+        ":- table path/2.\n:- dynamic edge/2.\n"
+        "path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n"
+        "edge(a,b). edge(b,c)."
+    )
+    assert engine.count("path(a, X)") == 2
+    assert engine.run_update("assertz(edge(c, d))")
+    assert engine.count("path(a, X)") == 3   # cold repair: builds the mat
+    assert engine.run_update("retract(edge(c, d))")
+    assert engine.count("path(a, X)") == 2   # warm DRed: rows removed
+    stats = engine.statistics()
+    assert stats["incr_rows_deleted"] >= 1
+    assert stats["store_removes"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Satellite: thread-safe metrics / tracer
+# ---------------------------------------------------------------------------
+
+def test_metrics_registry_concurrent_increments_are_exact():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    threads = [
+        threading.Thread(
+            target=lambda: [registry.inc("hits") for _ in range(5000)]
+        )
+        for _ in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.snapshot()["counters"]["hits"] == 40000
+
+
+def test_tracer_concurrent_appends_account_for_every_event():
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(capacity=256)
+
+    class FakeFrame:
+        seq = 0
+        indicator = "f/0"
+
+    def record():
+        for _ in range(2000):
+            tracer.event("subgoal_hit", FakeFrame())
+
+    threads = [threading.Thread(target=record) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert tracer.total == 12000
+    assert len(tracer.events()) == 256
+    assert tracer.dropped == 12000 - 256
+
+
+def test_merge_snapshots_associative_across_concurrent_workers():
+    """Worker registries filled from threads, then merged in two
+    different association orders — totals must agree exactly."""
+    engine = Engine(metrics=True)
+    engine.consult_string(PATH_PROGRAM)
+    engine.kb.enable_concurrency()
+    workers = [engine.session(metrics=True) for _ in range(3)]
+
+    def run(session, count):
+        for _ in range(count):
+            session.query("path(1, X)")
+
+    threads = [
+        threading.Thread(target=run, args=(session, 20 + 5 * i))
+        for i, session in enumerate(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    snaps = [session.metrics_snapshot() for session in workers]
+    left = merge_snapshots(merge_snapshots(snaps[0], snaps[1]), snaps[2])
+    right = merge_snapshots(snaps[0], merge_snapshots(snaps[1], snaps[2]))
+    assert left["counters"] == right["counters"]
+    assert left["histograms"] == right["histograms"]
+    assert left["counters"]["queries"] == 20 + 25 + 30
+    total = left["histograms"]["query_latency_ns"]["count"]
+    assert total == 75

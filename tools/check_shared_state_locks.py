@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""CI guard: shared-knowledge-base state is only touched behind the
+lock discipline the SharedKB/Session split defines.
+
+PR 10 split the engine into a :class:`SharedKB` (clause database,
+table space, completed tables) and per-session contexts, with three
+rules that keep concurrent sessions sound:
+
+1. **Every session-level mutation method re-enters itself under the
+   write lock.**  The mutation surface of ``engine/session.py`` (the
+   methods listed in ``MUTATION_METHODS``) must each contain the
+   ``_write_locked`` re-entry — a mutation method without it would
+   mutate the shared database while other sessions hold read locks.
+
+2. **Every clause-database mutation entry point checks the write
+   guard.**  The ``Predicate``/``Database`` methods listed in
+   ``GUARDED_DB_METHODS`` (in ``engine/database.py``) must read
+   ``write_guard`` before mutating — that hook is how an unlocked
+   mutation in concurrent mode becomes a loud error instead of a
+   silent race.
+
+3. **The KB's locks are acquired only where the design says.**
+   ``eval_lock`` (the shared SLG generation lock) may be acquired or
+   released only in ``engine/machine.py`` (the shared-mode check-in
+   and the run-teardown release) and ``engine/kb.py`` (the owner);
+   ``acquire_write``/``release_write`` only in ``engine/kb.py`` and
+   ``engine/session.py`` (``_write_locked`` / the consistent-read
+   loop).  A stray acquire elsewhere would create lock-order cycles
+   the design deliberately avoids (eval under read, write exclusive
+   of both).
+
+Usage: python tools/check_shared_state_locks.py [src-dir]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+# Session methods that mutate the shared knowledge base: each must
+# contain a self._write_locked(...) re-entry (rule 1).
+MUTATION_METHODS = (
+    "consult_string",
+    "consult_file",
+    "add_fact",
+    "add_facts",
+    "bulk_add_facts",
+    "assertz",
+    "run_update",
+    "table",
+    "dynamic",
+    "index",
+    "index_trie",
+    "abolish_all_tables",
+    "abolish_predicate",
+)
+
+# Database/Predicate mutation entry points: each must read the
+# ``write_guard`` hook before mutating (rule 2).
+GUARDED_DB_METHODS = (
+    "extend_facts",
+    "add_clauses",
+    "add_clause",
+    "remove_clause",
+    "retract_all_clauses",
+    "abolish",
+)
+
+# Modules allowed to acquire/release the shared locks (rule 3).
+EVAL_LOCK_ALLOWED = ("engine/kb.py", "engine/machine.py")
+WRITE_LOCK_ALLOWED = ("engine/kb.py", "engine/session.py")
+
+
+def _relative(path, src):
+    try:
+        return path.relative_to(src / "repro").as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _method_defs(tree, class_name):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    yield item
+
+
+def _calls_attribute(func_def, attr):
+    for node in ast.walk(func_def):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == attr
+        ):
+            return True
+    return False
+
+
+def _reads_attribute(func_def, attr):
+    for node in ast.walk(func_def):
+        if isinstance(node, ast.Attribute) and node.attr == attr:
+            return True
+    return False
+
+
+def check_session_mutations(path):
+    problems = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = {}
+    for func in _method_defs(tree, "Session"):
+        if func.name in MUTATION_METHODS:
+            found[func.name] = func
+    for name in MUTATION_METHODS:
+        func = found.get(name)
+        if func is None:
+            problems.append(
+                f"{path}: Session.{name} missing — the mutation surface "
+                "this guard pins has changed; update MUTATION_METHODS"
+            )
+        elif not _calls_attribute(func, "_write_locked"):
+            problems.append(
+                f"{path}:{func.lineno}: Session.{name} does not re-enter "
+                "under self._write_locked — shared-KB mutations must "
+                "take the write lock in concurrent mode"
+            )
+    return problems
+
+
+def check_database_guards(path):
+    problems = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for class_name in ("Predicate", "Database"):
+        for func in _method_defs(tree, class_name):
+            if func.name in GUARDED_DB_METHODS and not _reads_attribute(
+                func, "write_guard"
+            ):
+                problems.append(
+                    f"{path}:{func.lineno}: {class_name}.{func.name} does "
+                    "not check write_guard — unlocked mutations in "
+                    "concurrent mode must fail loudly, not race"
+                )
+    return problems
+
+
+def check_lock_call_sites(path, rel):
+    problems = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    eval_ok = rel.startswith(EVAL_LOCK_ALLOWED)
+    write_ok = rel.startswith(WRITE_LOCK_ALLOWED)
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+        ):
+            continue
+        attr = node.func.attr
+        target = node.func.value
+        if (
+            not eval_ok
+            and attr in ("acquire", "release")
+            and isinstance(target, ast.Attribute)
+            and target.attr == "eval_lock"
+        ):
+            problems.append(
+                f"{path}:{node.lineno}: eval_lock.{attr}() outside "
+                f"{', '.join(EVAL_LOCK_ALLOWED)} — shared SLG generation "
+                "serializes only through the machine's check-in path"
+            )
+        if not write_ok and attr in ("acquire_write", "release_write"):
+            problems.append(
+                f"{path}:{node.lineno}: {attr}() outside "
+                f"{', '.join(WRITE_LOCK_ALLOWED)} — the KB write lock is "
+                "taken only by Session._write_locked and the KB itself"
+            )
+    return problems
+
+
+def main(argv):
+    src = pathlib.Path(argv[1] if len(argv) > 1 else "src")
+    problems = []
+    session = src / "repro" / "engine" / "session.py"
+    database = src / "repro" / "engine" / "database.py"
+    if session.exists():
+        problems.extend(check_session_mutations(session))
+    else:
+        problems.append(f"{session}: missing — the Session layer moved?")
+    if database.exists():
+        problems.extend(check_database_guards(database))
+    else:
+        problems.append(f"{database}: missing — the Database layer moved?")
+    for path in sorted(src.rglob("*.py")):
+        problems.extend(check_lock_call_sites(path, _relative(path, src)))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"{len(problems)} shared-state locking problem(s); see "
+            "engine/kb.py for the locking design",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "ok: session mutations re-enter under the write lock, database "
+        "entry points check the write guard, and shared locks are "
+        "acquired only at their sanctioned sites"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

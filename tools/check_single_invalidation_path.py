@@ -18,8 +18,11 @@ mutation to become an invalidation.  This script fails when, under
 
 * ``abolish_all(...)`` is *called* (as an attribute call, i.e.
   ``something.abolish_all()``) outside the sanctioned modules:
-  ``engine/table.py`` (the definition), ``engine/__init__.py`` (the
-  user-facing ``abolish_all_tables`` facade).  In particular the
+  ``engine/table.py`` (the definition), ``engine/session.py`` (the
+  user-facing ``abolish_all_tables`` facade, plus the private-table
+  wholesale sync — a session-local space has no delta sink, so
+  generation-stamped wholesale invalidation is its one sound
+  maintenance strategy).  In particular the
   incremental maintainer itself may never reach for it — its contract
   is targeted deletes only — and builtins/REPL/storage code must go
   through the engine facade so the single wholesale entry point stays
@@ -43,7 +46,7 @@ GENERATION_ALLOWED = ("engine/database.py",)
 # is the single user-facing wholesale entry point.
 ABOLISH_ALL_ALLOWED = (
     "engine/table.py",
-    "engine/__init__.py",
+    "engine/session.py",
 )
 
 
